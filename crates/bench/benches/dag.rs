@@ -1,0 +1,47 @@
+//! Criterion microbenchmarks for the DAG substrate: topological sorts,
+//! reachability closures, and memory-profile computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sc_sim::SimConfig;
+use sc_workload::{GeneratorParams, SynthGenerator};
+
+fn bench_sorts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topo_sorts");
+    for nodes in [100usize, 400, 1600] {
+        let w = SynthGenerator::new(GeneratorParams { nodes, ..Default::default() }).generate();
+        g.bench_with_input(BenchmarkId::new("kahn", nodes), &nodes, |b, _| {
+            b.iter(|| w.graph.kahn_order())
+        });
+        g.bench_with_input(BenchmarkId::new("dfs_postorder", nodes), &nodes, |b, _| {
+            b.iter(|| w.graph.dfs_postorder_topo())
+        });
+        g.bench_with_input(BenchmarkId::new("descendant_counts", nodes), &nodes, |b, _| {
+            b.iter(|| w.graph.descendant_counts())
+        });
+    }
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synth_generation");
+    for nodes in [100usize, 400] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                SynthGenerator::new(GeneratorParams { nodes: n, ..Default::default() }).generate()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_problem_derivation(c: &mut Criterion) {
+    let w = SynthGenerator::new(GeneratorParams::default()).generate();
+    let config = SimConfig::paper(1_600_000_000);
+    c.bench_function("problem_derivation_100", |b| {
+        b.iter(|| w.problem(&config).expect("valid"))
+    });
+}
+
+criterion_group!(benches, bench_sorts, bench_generation, bench_problem_derivation);
+criterion_main!(benches);

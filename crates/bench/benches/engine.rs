@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks for the execution-engine substrate: operator
+//! throughput, the columnar file format, and a full controller refresh.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use sc_core::Plan;
+use sc_dag::NodeId;
+use sc_engine::controller::Controller;
+use sc_engine::exec::{self, AggFunc};
+use sc_engine::expr::Expr;
+use sc_engine::storage::{format, DiskCatalog, MemoryCatalog};
+use sc_engine::{DataType, Table, TableBuilder, Value};
+use sc_workload::engine_mvs::sales_pipeline;
+use sc_workload::tpcds::TinyTpcds;
+
+fn numbers(n: i64) -> Table {
+    let mut t = TableBuilder::new()
+        .column("k", DataType::Int64)
+        .column("v", DataType::Float64)
+        .build();
+    for i in 0..n {
+        t.push_row(vec![Value::Int64(i % 1000), Value::Float64(i as f64)]).expect("row");
+    }
+    t
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let t = numbers(100_000);
+    let mut g = c.benchmark_group("operators");
+    g.throughput(Throughput::Elements(t.num_rows() as u64));
+    let pred = Expr::col("v").gt(Expr::lit(50_000.0f64));
+    g.bench_function("filter_100k", |b| b.iter(|| exec::filter(&t, &pred).expect("filters")));
+    g.bench_function("aggregate_100k", |b| {
+        b.iter(|| {
+            exec::aggregate(
+                &t,
+                &["k".to_string()],
+                &[(AggFunc::Sum, "v".to_string(), "s".to_string())],
+            )
+            .expect("aggregates")
+        })
+    });
+    let small = numbers(1000);
+    g.bench_function("hash_join_100k_x_1k", |b| {
+        b.iter(|| {
+            exec::hash_join(
+                &t,
+                &small,
+                &[("k".to_string(), "k".to_string())],
+                exec::JoinType::Inner,
+            )
+            .expect("joins")
+        })
+    });
+    g.finish();
+}
+
+fn bench_format(c: &mut Criterion) {
+    let t = numbers(100_000);
+    let bytes = format::encode(&t);
+    let mut g = c.benchmark_group("columnar_format");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_100k", |b| b.iter(|| format::encode(&t)));
+    g.bench_function("decode_100k", |b| b.iter(|| format::decode(bytes.clone()).expect("decodes")));
+    g.finish();
+}
+
+fn bench_refresh(c: &mut Criterion) {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let disk = DiskCatalog::open(dir.path()).expect("opens");
+    TinyTpcds::generate(0.5, 42).load_into(&disk).expect("ingests");
+    let mem = MemoryCatalog::new(64 << 20);
+    let mvs = sales_pipeline();
+    let order: Vec<NodeId> = (0..mvs.len()).map(NodeId).collect();
+    let baseline = Plan::unoptimized(order.clone());
+    let flagged = Plan {
+        order,
+        flagged: sc_core::FlagSet::from_nodes(mvs.len(), [NodeId(0), NodeId(5), NodeId(6)]),
+    };
+    let controller = Controller::new(&disk, &mem);
+    let mut g = c.benchmark_group("controller_refresh");
+    g.sample_size(20);
+    g.bench_function("baseline_9mv", |b| {
+        b.iter(|| controller.refresh(&mvs, &baseline).expect("refreshes"))
+    });
+    g.bench_function("flagged_9mv", |b| {
+        b.iter(|| controller.refresh(&mvs, &flagged).expect("refreshes"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_format, bench_refresh);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks for the S/C Opt solver components (the wall
+//! times behind Figure 13): constraint-set construction, the MKP solve,
+//! MA-DFS scheduling, and the full alternating optimization, across DAG
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sc_core::constraints::ConstraintSets;
+use sc_core::order::{MaDfsScheduler, OrderScheduler};
+use sc_core::select::{MkpSelector, NodeSelector};
+use sc_core::{FlagSet, Problem, ScOptimizer};
+use sc_sim::SimConfig;
+use sc_workload::{GeneratorParams, SynthGenerator};
+
+fn problem_of(nodes: usize, seed: u64) -> Problem {
+    SynthGenerator::new(GeneratorParams { nodes, seed, ..Default::default() })
+        .generate()
+        .problem(&SimConfig::paper(1_600_000_000))
+        .expect("valid problem")
+}
+
+fn bench_constraints(c: &mut Criterion) {
+    let mut g = c.benchmark_group("constraint_sets");
+    for nodes in [25usize, 50, 100] {
+        let p = problem_of(nodes, 7);
+        let order = p.graph().kahn_order();
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| ConstraintSets::build(&p, &order).expect("builds"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mkp_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mkp_select");
+    for nodes in [25usize, 50, 100] {
+        let p = problem_of(nodes, 7);
+        let order = p.graph().kahn_order();
+        let sel = MkpSelector::default();
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| sel.select(&p, &order).expect("selects"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_madfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ma_dfs");
+    for nodes in [25usize, 50, 100] {
+        let p = problem_of(nodes, 7);
+        let order = p.graph().kahn_order();
+        let flags = MkpSelector::default().select(&p, &order).expect("selects");
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| MaDfsScheduler.order(&p, &flags).expect("orders"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_alternating(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alternating_opt");
+    for nodes in [25usize, 50, 100] {
+        let p = problem_of(nodes, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| ScOptimizer::default().optimize(&p).expect("optimizes"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let p = problem_of(100, 7);
+    let order = p.graph().kahn_order();
+    let flags = FlagSet::all(p.len());
+    c.bench_function("peak_memory_usage_100", |b| {
+        b.iter(|| sc_core::memory::peak_memory_usage(&p, &order, &flags).expect("computes"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_constraints,
+    bench_mkp_select,
+    bench_madfs,
+    bench_alternating,
+    bench_feasibility
+);
+criterion_main!(benches);

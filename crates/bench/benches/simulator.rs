@@ -1,0 +1,41 @@
+//! Criterion microbenchmarks for the discrete-event simulator: full
+//! refresh-run replays across workload sizes and the LRU baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sc_bench::sc_plan;
+use sc_sim::{SimConfig, Simulator};
+use sc_workload::{DatasetSpec, GeneratorParams, PaperWorkload, SynthGenerator};
+
+fn bench_paper_workloads(c: &mut Criterion) {
+    let ds = DatasetSpec::tpcds(100.0);
+    let config = SimConfig::paper(ds.memory_budget(1.6));
+    let sim = Simulator::new(config.clone());
+    let w = PaperWorkload::Io2.build(&ds);
+    let plan = sc_plan(&w, &config);
+    let order = w.graph.kahn_order();
+    let mut g = c.benchmark_group("sim_io2");
+    g.bench_function("baseline", |b| b.iter(|| sim.run_unoptimized(&w).expect("runs")));
+    g.bench_function("sc_plan", |b| b.iter(|| sim.run(&w, &plan).expect("runs")));
+    g.bench_function("lru", |b| {
+        b.iter(|| sim.run_lru(&w, &order, config.memory_budget).expect("runs"))
+    });
+    g.finish();
+}
+
+fn bench_synth_sizes(c: &mut Criterion) {
+    let config = SimConfig::paper(1_600_000_000);
+    let sim = Simulator::new(config.clone());
+    let mut g = c.benchmark_group("sim_synth");
+    for nodes in [25usize, 100, 400] {
+        let w = SynthGenerator::new(GeneratorParams { nodes, ..Default::default() }).generate();
+        let plan = sc_core::Plan::unoptimized(w.graph.kahn_order());
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| sim.run(&w, &plan).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_paper_workloads, bench_synth_sizes);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! **Table III**: summary of the five MV-refresh workloads — TPC-DS query
+//! groups, node counts, and I/O ratios (the published Polars estimates
+//! next to the effective engine-level ratio the simulation targets).
+
+use sc_bench::print_header;
+use sc_sim::{SimConfig, Simulator};
+use sc_workload::{DatasetSpec, PaperWorkload};
+
+fn main() {
+    println!("Table III — workload summary (100GB TPC-DS)\n");
+    print_header(&[
+        ("workload", 10),
+        ("TPC-DS queries", 16),
+        ("# nodes", 7),
+        ("polars I/O", 10),
+        ("engine I/O", 10),
+    ]);
+    let ds = DatasetSpec::tpcds(100.0);
+    let sim = Simulator::new(SimConfig::paper(1));
+    for w in PaperWorkload::all() {
+        let built = w.build(&ds);
+        let r = sim.run_unoptimized(&built).expect("valid workload");
+        let io = r.total_read_s() + r.total_write_s();
+        let measured = io / (io + r.total_compute_s());
+        let queries: Vec<String> =
+            w.tpcds_queries().iter().map(|q| q.to_string()).collect();
+        println!(
+            "{:>10} | {:>16} | {:>7} | {:>9.1}% | {:>9.1}%",
+            w.name(),
+            queries.join(", "),
+            built.len(),
+            100.0 * w.polars_io_ratio(),
+            100.0 * measured,
+        );
+    }
+    println!("\npaper (Polars column): 51.5 / 59.0 / 46.6 / 0.9 / 28.3 %");
+    println!("node counts: 21 / 19 / 26 / 21 / 16");
+}

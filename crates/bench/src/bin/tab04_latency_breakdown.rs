@@ -1,0 +1,55 @@
+//! **Table IV**: effect of S/C's optimization on table-read, compute, and
+//! total query latency across Memory Catalog sizes, on the 100 GB
+//! datasets. Latencies are summed over the five workloads.
+
+use sc_bench::{print_header, sc_plan};
+use sc_sim::{SimConfig, SimReport, Simulator};
+use sc_workload::{DatasetSpec, PaperWorkload};
+
+fn suite_reports(dataset: &DatasetSpec, config: &SimConfig) -> Vec<SimReport> {
+    let sim = Simulator::new(config.clone());
+    PaperWorkload::all()
+        .into_iter()
+        .map(|w| {
+            let built = w.build(dataset);
+            if config.memory_budget <= 1 {
+                sim.run_unoptimized(&built).expect("valid workload")
+            } else {
+                sim.run(&built, &sc_plan(&built, config)).expect("valid plan")
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Table IV — latency breakdown vs Memory Catalog size (simulated s,\nsummed over the 5 workloads)\n");
+    for partitioned in [false, true] {
+        let dataset = DatasetSpec { scale_gb: 100.0, partitioned };
+        println!("{}:", dataset.label());
+        print_header(&[
+            ("metric", 10),
+            ("No opt", 8),
+            ("0.4%", 8),
+            ("0.8%", 8),
+            ("1.6%", 8),
+            ("3.2%", 8),
+            ("6.4%", 8),
+        ]);
+        let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 3]; // read, compute, query
+        for budget_pct in [0.0, 0.4, 0.8, 1.6, 3.2, 6.4] {
+            let budget = if budget_pct == 0.0 { 1 } else { dataset.memory_budget(budget_pct) };
+            let reports = suite_reports(&dataset, &SimConfig::paper(budget));
+            rows[0].push(reports.iter().map(|r| r.total_read_s()).sum());
+            rows[1].push(reports.iter().map(|r| r.total_compute_s()).sum());
+            rows[2].push(reports.iter().map(|r| r.total_query_s()).sum());
+        }
+        for (name, row) in ["Table read", "Compute", "Query"].iter().zip(&rows) {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:>8.1}")).collect();
+            println!("{:>10} | {}", name, cells.join(" | "));
+        }
+        let reduction = rows[0][0] / rows[0][5];
+        println!("table-read reduction at 6.4%: {reduction:.2}x\n");
+    }
+    println!("paper: table-read latency drops 1.51x (TPC-DS) / 1.42x (TPC-DSp)");
+    println!("at 6.4% while compute latency is essentially unchanged");
+}

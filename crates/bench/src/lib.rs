@@ -1,0 +1,113 @@
+//! Shared harness code for the experiment binaries (`src/bin/*`), each of
+//! which regenerates one table or figure of the paper's evaluation (§VI).
+//!
+//! Run e.g. `cargo run --release -p sc-bench --bin fig09_end_to_end`.
+//! Simulated experiments print *simulated seconds* from the calibrated
+//! cost model (the shapes, not the authors' testbed numbers); optimizer
+//! timing experiments (Figure 13) measure real wall time.
+
+use sc_core::order::OrderScheduler;
+use sc_core::select::NodeSelector;
+use sc_core::{AlternatingOptimizer, Plan, ScOptimizer};
+use sc_sim::{SimConfig, SimWorkload, Simulator};
+use sc_workload::{DatasetSpec, PaperWorkload};
+
+/// The §VI-F method grid: every selector+scheduler combination the paper
+/// ablates, ours last.
+pub fn ablation_methods() -> Vec<AlternatingOptimizer> {
+    use sc_core::order::{MaDfsScheduler, SaScheduler, SeparatorScheduler};
+    use sc_core::select::{GreedySelector, MkpSelector, RandomSelector, RatioSelector};
+    fn sel(s: impl NodeSelector + 'static) -> Box<dyn NodeSelector> {
+        Box::new(s)
+    }
+    fn ord(o: impl OrderScheduler + 'static) -> Box<dyn OrderScheduler> {
+        Box::new(o)
+    }
+    vec![
+        AlternatingOptimizer::new(sel(RandomSelector::default()), ord(MaDfsScheduler)),
+        AlternatingOptimizer::new(sel(GreedySelector), ord(MaDfsScheduler)),
+        AlternatingOptimizer::new(sel(RatioSelector), ord(MaDfsScheduler)),
+        AlternatingOptimizer::new(
+            sel(MkpSelector::default()),
+            ord(SaScheduler { iterations: 10_000, ..Default::default() }),
+        ),
+        AlternatingOptimizer::new(sel(MkpSelector::default()), ord(SeparatorScheduler)),
+        AlternatingOptimizer::new(sel(MkpSelector::default()), ord(MaDfsScheduler)),
+    ]
+}
+
+/// Sums of baseline and S/C end-to-end times over the five workloads.
+pub struct SuiteResult {
+    /// Σ unoptimized totals.
+    pub baseline_s: f64,
+    /// Σ optimized totals.
+    pub sc_s: f64,
+}
+
+impl SuiteResult {
+    /// Aggregate speedup.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_s / self.sc_s
+    }
+}
+
+/// Runs all five paper workloads on `dataset` under `config`, optimizing
+/// with the full S/C method.
+pub fn run_suite(dataset: &DatasetSpec, config: &SimConfig) -> SuiteResult {
+    let sim = Simulator::new(config.clone());
+    let mut baseline_s = 0.0;
+    let mut sc_s = 0.0;
+    for w in PaperWorkload::all() {
+        let built = w.build(dataset);
+        let plan = sc_plan(&built, config);
+        baseline_s += sim.run_unoptimized(&built).expect("valid workload").total_s;
+        sc_s += sim.run(&built, &plan).expect("valid plan").total_s;
+    }
+    SuiteResult { baseline_s, sc_s }
+}
+
+/// Full S/C plan (MKP + MA-DFS alternating optimization) for a workload.
+pub fn sc_plan(workload: &SimWorkload, config: &SimConfig) -> Plan {
+    let problem = workload.problem(config).expect("valid problem");
+    ScOptimizer::default().optimize(&problem).expect("optimizable")
+}
+
+/// Prints a header line plus an aligned separator for a simple console
+/// table.
+pub fn print_header(cols: &[(&str, usize)]) {
+    let head: Vec<String> = cols.iter().map(|(name, w)| format!("{name:>w$}")).collect();
+    println!("{}", head.join(" | "));
+    let sep: Vec<String> = cols.iter().map(|(_, w)| "-".repeat(*w)).collect();
+    println!("{}", sep.join("-+-"));
+}
+
+/// `"1.23x"`-style formatting used across experiment output.
+pub fn speedup_cell(baseline: f64, optimized: f64) -> String {
+    format!("{:.2}x", baseline / optimized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_and_sc_wins() {
+        let ds = DatasetSpec::tpcds(10.0);
+        let r = run_suite(&ds, &SimConfig::paper(ds.memory_budget(1.6)));
+        assert!(r.baseline_s > 0.0);
+        assert!(r.speedup() > 1.0);
+    }
+
+    #[test]
+    fn ablation_grid_shape() {
+        let methods = ablation_methods();
+        assert_eq!(methods.len(), 6);
+        assert_eq!(methods.last().unwrap().method_name(), "MKP + MA-DFS");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(speedup_cell(10.0, 5.0), "2.00x");
+        print_header(&[("a", 5), ("b", 8)]); // must not panic
+    }
+}

@@ -1,0 +1,293 @@
+//! Algorithm 2: alternating optimization for **S/C Opt** (§V-C).
+//!
+//! Starting from a plain topological order and an empty flag set, the
+//! optimizer alternates between the two subproblem solvers:
+//!
+//! 1. **S/C Opt Nodes** — select the flagged set for the current order;
+//! 2. **S/C Opt Order** — reschedule to lower average memory usage, making
+//!    room for more flags in the next round.
+//!
+//! Termination follows the paper exactly: stop when the new flag set does
+//! not grow in total *size* (line 5), or when the rescheduled order violates
+//! the memory budget (line 8) — in that rare case the previous iteration's
+//! outputs are already optimal for this procedure. A configurable iteration
+//! cap guards against pathological inputs (the paper observes convergence
+//! in fewer than 10 iterations for 100-node graphs).
+
+use serde::{Deserialize, Serialize};
+
+use crate::memory::peak_memory_usage;
+use crate::order::{MaDfsScheduler, OrderScheduler, TopologicalScheduler};
+use crate::plan::{FlagSet, Plan};
+use crate::select::{MkpSelector, NodeSelector};
+use crate::{Problem, Result};
+
+/// Per-iteration diagnostics captured by
+/// [`AlternatingOptimizer::optimize_traced`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationTrace {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Total speedup score of the flag set selected this iteration.
+    pub score: f64,
+    /// Total size of the flag set selected this iteration.
+    pub flagged_size: u64,
+    /// Number of flagged nodes.
+    pub flagged_count: usize,
+    /// Peak memory usage of the accepted `(order, flags)` pair.
+    pub peak_memory: u64,
+}
+
+/// Why the alternating optimization stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Convergence {
+    /// The selector could not grow the total flagged size (line 5).
+    FlaggedSizeStalled,
+    /// The rescheduler produced an order violating the budget (line 8).
+    InfeasibleOrder,
+    /// The iteration cap was reached.
+    IterationCap,
+}
+
+/// The outcome of a full optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizeOutcome {
+    /// The final plan (order + flags).
+    pub plan: Plan,
+    /// Why the loop stopped.
+    pub convergence: Convergence,
+    /// Per-iteration diagnostics.
+    pub trace: Vec<IterationTrace>,
+}
+
+/// Algorithm 2, generic over the two subproblem solvers so the §VI-F
+/// ablations (`Greedy + MA-DFS`, `MKP + SA`, …) reuse the same loop.
+pub struct AlternatingOptimizer {
+    selector: Box<dyn NodeSelector>,
+    scheduler: Box<dyn OrderScheduler>,
+    max_iterations: usize,
+}
+
+impl AlternatingOptimizer {
+    /// Builds an optimizer from a node selector and an order scheduler.
+    pub fn new(selector: Box<dyn NodeSelector>, scheduler: Box<dyn OrderScheduler>) -> Self {
+        AlternatingOptimizer { selector, scheduler, max_iterations: 50 }
+    }
+
+    /// Overrides the iteration cap (default 50).
+    pub fn with_max_iterations(mut self, cap: usize) -> Self {
+        self.max_iterations = cap.max(1);
+        self
+    }
+
+    /// `"<selector> + <scheduler>"`, e.g. `"MKP + MA-DFS"`.
+    pub fn method_name(&self) -> String {
+        format!("{} + {}", self.selector.name(), self.scheduler.name())
+    }
+
+    /// Runs Algorithm 2 and returns the final plan.
+    pub fn optimize(&self, problem: &Problem) -> Result<Plan> {
+        Ok(self.optimize_traced(problem)?.plan)
+    }
+
+    /// Runs Algorithm 2, capturing per-iteration diagnostics.
+    pub fn optimize_traced(&self, problem: &Problem) -> Result<OptimizeOutcome> {
+        // Line 1-2: τ = topological order, U = ∅.
+        let mut order = TopologicalScheduler.order(problem, &FlagSet::none(problem.len()))?;
+        let mut flags = FlagSet::none(problem.len());
+        let mut trace = Vec::new();
+        let mut convergence = Convergence::IterationCap;
+
+        for iteration in 1..=self.max_iterations {
+            // Line 4: U_new = selector(τ).
+            let new_flags = self.selector.select(problem, &order)?;
+            debug_assert!(
+                problem.is_feasible(&order, &new_flags)?,
+                "{} returned an infeasible flag set",
+                self.selector.name()
+            );
+            // Line 5: stop when total flagged size stalls.
+            if problem.total_size(&new_flags) <= problem.total_size(&flags) && iteration > 1 {
+                convergence = Convergence::FlaggedSizeStalled;
+                break;
+            }
+            flags = new_flags;
+            trace.push(IterationTrace {
+                iteration,
+                score: problem.total_score(&flags),
+                flagged_size: problem.total_size(&flags),
+                flagged_count: flags.count(),
+                peak_memory: peak_memory_usage(problem, &order, &flags)?,
+            });
+            if iteration == 1 && flags.count() == 0 {
+                // Nothing can ever be flagged; don't bother rescheduling.
+                convergence = Convergence::FlaggedSizeStalled;
+                break;
+            }
+
+            // Line 7: τ_new = scheduler(U).
+            let new_order = self.scheduler.order(problem, &flags)?;
+            // Line 8: keep the previous order if the new one is infeasible.
+            if peak_memory_usage(problem, &new_order, &flags)? > problem.budget() {
+                convergence = Convergence::InfeasibleOrder;
+                break;
+            }
+            order = new_order;
+        }
+
+        Ok(OptimizeOutcome { plan: Plan { order, flagged: flags }, convergence, trace })
+    }
+}
+
+/// The paper's full method: `MKP + MA-DFS`.
+pub struct ScOptimizer {
+    inner: AlternatingOptimizer,
+}
+
+impl Default for ScOptimizer {
+    fn default() -> Self {
+        ScOptimizer {
+            inner: AlternatingOptimizer::new(
+                Box::new(MkpSelector::default()),
+                Box::new(MaDfsScheduler),
+            ),
+        }
+    }
+}
+
+impl ScOptimizer {
+    /// Runs the full S/C optimization.
+    pub fn optimize(&self, problem: &Problem) -> Result<Plan> {
+        self.inner.optimize(problem)
+    }
+
+    /// Runs the full S/C optimization with diagnostics.
+    pub fn optimize_traced(&self, problem: &Problem) -> Result<OptimizeOutcome> {
+        self.inner.optimize_traced(problem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{DfsScheduler, SaScheduler, SeparatorScheduler};
+    use crate::select::{GreedySelector, RandomSelector, RatioSelector};
+    use sc_dag::NodeId;
+
+    /// Figure 7: order τ2 unlocks flagging both 100 GB nodes.
+    fn fig7() -> Problem {
+        Problem::from_arrays(
+            &["v1", "v2", "v3", "v4", "v5", "v6"],
+            &[100, 10, 100, 10, 10, 10],
+            &[100.0, 10.0, 100.0, 10.0, 10.0, 10.0],
+            [(0, 1), (0, 3), (2, 4), (4, 5)],
+            100,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sc_optimizer_finds_fig7_optimum() {
+        let p = fig7();
+        let out = ScOptimizer::default().optimize_traced(&p).unwrap();
+        let plan = &out.plan;
+        assert!(p.graph().is_topological_order(&plan.order));
+        assert!(p.is_feasible(&plan.order, &plan.flagged).unwrap());
+        // Both 100 GB nodes flagged — requires the joint optimization.
+        assert!(plan.flagged.contains(NodeId(0)));
+        assert!(plan.flagged.contains(NodeId(2)));
+        assert!(plan.objective(&p) >= 230.0);
+    }
+
+    #[test]
+    fn score_is_monotone_across_iterations() {
+        let p = fig7();
+        let out = ScOptimizer::default().optimize_traced(&p).unwrap();
+        assert!(!out.trace.is_empty());
+        for w in out.trace.windows(2) {
+            assert!(w[1].score >= w[0].score - 1e-9, "score regressed: {:?}", out.trace);
+            assert!(w[1].flagged_size > w[0].flagged_size, "size must strictly grow");
+        }
+        for t in &out.trace {
+            assert!(t.peak_memory <= p.budget());
+        }
+    }
+
+    #[test]
+    fn converges_quickly() {
+        let p = fig7();
+        let out = ScOptimizer::default().optimize_traced(&p).unwrap();
+        assert!(out.trace.len() < 10, "paper: <10 iterations, got {}", out.trace.len());
+        assert_ne!(out.convergence, Convergence::IterationCap);
+    }
+
+    #[test]
+    fn nothing_flaggable_terminates_immediately() {
+        let p = Problem::from_arrays(
+            &["a", "b"],
+            &[500, 600],
+            &[1.0, 1.0],
+            [(0usize, 1usize)],
+            100,
+        )
+        .unwrap();
+        let out = ScOptimizer::default().optimize_traced(&p).unwrap();
+        assert_eq!(out.plan.flagged.count(), 0);
+        assert_eq!(out.convergence, Convergence::FlaggedSizeStalled);
+    }
+
+    #[test]
+    fn ablation_combinations_all_run() {
+        let p = fig7();
+        let selectors: Vec<Box<dyn NodeSelector>> = vec![
+            Box::new(MkpSelector::default()),
+            Box::new(GreedySelector),
+            Box::new(RandomSelector::default()),
+            Box::new(RatioSelector),
+        ];
+        for sel in selectors {
+            let opt = AlternatingOptimizer::new(sel, Box::new(MaDfsScheduler));
+            let plan = opt.optimize(&p).unwrap();
+            assert!(p.is_feasible(&plan.order, &plan.flagged).unwrap());
+        }
+        let schedulers: Vec<Box<dyn OrderScheduler>> = vec![
+            Box::new(MaDfsScheduler),
+            Box::new(DfsScheduler::default()),
+            Box::new(SaScheduler { iterations: 500, ..Default::default() }),
+            Box::new(SeparatorScheduler),
+        ];
+        for sch in schedulers {
+            let opt = AlternatingOptimizer::new(Box::new(MkpSelector::default()), sch);
+            let plan = opt.optimize(&p).unwrap();
+            assert!(p.is_feasible(&plan.order, &plan.flagged).unwrap());
+        }
+    }
+
+    #[test]
+    fn mkp_madfs_dominates_ablations_on_fig7() {
+        let p = fig7();
+        let ours = ScOptimizer::default().optimize(&p).unwrap().objective(&p);
+        let greedy = AlternatingOptimizer::new(Box::new(GreedySelector), Box::new(MaDfsScheduler))
+            .optimize(&p)
+            .unwrap()
+            .objective(&p);
+        assert!(ours >= greedy, "ours {ours} vs greedy {greedy}");
+    }
+
+    #[test]
+    fn method_name_formats() {
+        let opt =
+            AlternatingOptimizer::new(Box::new(MkpSelector::default()), Box::new(MaDfsScheduler));
+        assert_eq!(opt.method_name(), "MKP + MA-DFS");
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let p = fig7();
+        let opt =
+            AlternatingOptimizer::new(Box::new(MkpSelector::default()), Box::new(MaDfsScheduler))
+                .with_max_iterations(1);
+        let out = opt.optimize_traced(&p).unwrap();
+        assert!(out.trace.len() <= 1);
+    }
+}

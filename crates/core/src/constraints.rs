@@ -1,0 +1,313 @@
+//! Constraint-set construction for the MKP formulation (§V-A).
+//!
+//! For a fixed execution order `τ`, the set
+//! `Vi := {vj | τ(j) ≤ τ(i) ≤ max_{(vj,vk)∈E} τ(k)}` contains the nodes
+//! that, when flagged, are resident in the Memory Catalog while node `vi`
+//! executes. Each `Vi` induces one knapsack constraint
+//! `Σ_{vj∈Vi} xj·sj ≤ M`.
+//!
+//! Following Algorithm 1 the sets are *simplified* before solving:
+//!
+//! * nodes with `si > M` or `ti = 0` are **excluded** (`Vexclude`) — flagging
+//!   them is infeasible or worthless;
+//! * **non-maximal** sets (`Vi ⊊ Vj`) are dropped — they are implied;
+//! * **trivial** sets (`Σ sj ≤ M`) are dropped — they cannot be violated;
+//! * candidate nodes appearing in *no* retained set can be flagged for free.
+
+use sc_dag::NodeId;
+
+use crate::memory::residency;
+use crate::{Problem, Result};
+
+/// The simplified constraint sets for one `(problem, order)` pair.
+#[derive(Debug, Clone)]
+pub struct ConstraintSets {
+    /// Retained (maximal, non-trivial) constraint sets; each is a sorted
+    /// list of node ids whose combined flagged size must stay within budget.
+    pub sets: Vec<Vec<NodeId>>,
+    /// Nodes excluded from consideration (`si > M` or `ti = 0`).
+    pub excluded: Vec<NodeId>,
+    /// Candidate nodes that appear in at least one retained set — the MKP's
+    /// variables (`Vmkp`).
+    pub mkp_nodes: Vec<NodeId>,
+    /// Candidate nodes in no retained set: flagging them can never violate
+    /// the budget, so Algorithm 1 line 9 adds them to the solution for free.
+    pub free_nodes: Vec<NodeId>,
+}
+
+impl ConstraintSets {
+    /// The `GetConstraints` subroutine: builds and simplifies the constraint
+    /// sets by a linear scan over the execution order.
+    pub fn build(problem: &Problem, order: &[NodeId]) -> Result<Self> {
+        let n = problem.len();
+        let budget = problem.budget();
+        let res = residency(problem, order)?;
+
+        let mut is_excluded = vec![false; n];
+        for v in problem.graph().node_ids() {
+            if problem.size(v) > budget || problem.score(v) == 0.0 {
+                is_excluded[v.index()] = true;
+            }
+        }
+
+        // Residency intervals of non-excluded candidates, as (start, end,
+        // node). Childless nodes have no interval and are free by definition.
+        let mut intervals: Vec<(usize, usize, NodeId)> = Vec::new();
+        for v in problem.graph().node_ids() {
+            if is_excluded[v.index()] {
+                continue;
+            }
+            if let Some((start, end)) = res[v.index()] {
+                intervals.push((start, end, v));
+            }
+        }
+
+        // Linear scan: sweep execution positions; emit the active set right
+        // before any interval expires (those snapshots dominate all others
+        // in between, since membership only grows until a removal).
+        let mut starts_at: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut ends_at_count = vec![0usize; n];
+        for &(s, e, v) in &intervals {
+            starts_at[s].push(v);
+            ends_at_count[e] += 1;
+        }
+        let mut active: Vec<NodeId> = Vec::new();
+        let mut active_size: u128 = 0;
+        let mut snapshots: Vec<Vec<NodeId>> = Vec::new();
+        for p in 0..n {
+            for &v in &starts_at[p] {
+                active.push(v);
+                active_size += problem.size(v) as u128;
+            }
+            let expiring = ends_at_count[p];
+            if expiring > 0 || p + 1 == n {
+                // Candidate maximal snapshot; skip trivial ones outright.
+                if active_size > budget as u128 && active.len() > 1 {
+                    let mut snap = active.clone();
+                    snap.sort_unstable();
+                    snapshots.push(snap);
+                }
+                if expiring > 0 {
+                    active.retain(|&v| {
+                        let keep = res[v.index()].map(|(_, e)| e > p).unwrap_or(false);
+                        if !keep {
+                            active_size -= problem.size(v) as u128;
+                        }
+                        keep
+                    });
+                }
+            }
+        }
+
+        // Drop non-maximal snapshots (Vi ⊊ Vj). Snapshot count is bounded by
+        // the number of expiry positions, so the quadratic pass is cheap.
+        snapshots.sort_by_key(|s| std::cmp::Reverse(s.len()));
+        snapshots.dedup();
+        let mut sets: Vec<Vec<NodeId>> = Vec::new();
+        'outer: for cand in snapshots {
+            for kept in &sets {
+                if is_subset(&cand, kept) {
+                    continue 'outer;
+                }
+            }
+            sets.push(cand);
+        }
+
+        let mut in_some_set = vec![false; n];
+        for set in &sets {
+            for &v in set {
+                in_some_set[v.index()] = true;
+            }
+        }
+
+        let excluded: Vec<NodeId> =
+            problem.graph().node_ids().filter(|v| is_excluded[v.index()]).collect();
+        let mkp_nodes: Vec<NodeId> =
+            problem.graph().node_ids().filter(|v| in_some_set[v.index()]).collect();
+        let free_nodes: Vec<NodeId> = problem
+            .graph()
+            .node_ids()
+            .filter(|v| !is_excluded[v.index()] && !in_some_set[v.index()])
+            .collect();
+
+        Ok(ConstraintSets { sets, excluded, mkp_nodes, free_nodes })
+    }
+
+    /// Number of retained constraints `k`.
+    pub fn num_constraints(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+/// Whether sorted `a` is a subset of sorted `b`.
+fn is_subset(a: &[NodeId], b: &[NodeId]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut it = b.iter();
+    'outer: for x in a {
+        for y in it.by_ref() {
+            match y.cmp(x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[usize]) -> Vec<NodeId> {
+        xs.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    /// Chain a(50) -> b(60) -> c(10) with budget 100: a and b co-resident
+    /// while b executes.
+    fn chain() -> Problem {
+        Problem::from_arrays(
+            &["a", "b", "c"],
+            &[50, 60, 10],
+            &[5.0, 6.0, 1.0],
+            [(0, 1), (1, 2)],
+            100,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn subset_helper() {
+        assert!(is_subset(&ids(&[1, 3]), &ids(&[0, 1, 2, 3])));
+        assert!(!is_subset(&ids(&[1, 4]), &ids(&[0, 1, 2, 3])));
+        assert!(is_subset(&[], &ids(&[0])));
+        assert!(!is_subset(&ids(&[0, 1]), &ids(&[0])));
+    }
+
+    #[test]
+    fn chain_produces_one_binding_constraint() {
+        let p = chain();
+        let order = ids(&[0, 1, 2]);
+        let cs = ConstraintSets::build(&p, &order).unwrap();
+        // a resident 0..=1, b resident 1..=2; position 1 has {a, b} with
+        // total 110 > 100: one retained constraint. Position 2 has {b}
+        // (trivial, 60 ≤ 100).
+        assert_eq!(cs.sets, vec![ids(&[0, 1])]);
+        assert_eq!(cs.mkp_nodes, ids(&[0, 1]));
+        // c is childless and scored, so it is free.
+        assert_eq!(cs.free_nodes, ids(&[2]));
+        assert!(cs.excluded.is_empty());
+    }
+
+    #[test]
+    fn oversized_and_zero_score_nodes_are_excluded() {
+        let p = Problem::from_arrays(
+            &["big", "zero", "ok"],
+            &[500, 10, 20],
+            &[9.0, 0.0, 2.0],
+            [(0, 2), (1, 2)],
+            100,
+        )
+        .unwrap();
+        let cs = ConstraintSets::build(&p, &ids(&[0, 1, 2])).unwrap();
+        assert_eq!(cs.excluded, ids(&[0, 1]));
+        // Remaining candidate 'ok' alone is ≤ budget: trivial, so free.
+        assert!(cs.sets.is_empty());
+        assert_eq!(cs.free_nodes, ids(&[2]));
+    }
+
+    #[test]
+    fn trivial_sets_are_dropped() {
+        let p = Problem::from_arrays(
+            &["a", "b", "c"],
+            &[10, 10, 10],
+            &[1.0, 1.0, 1.0],
+            [(0, 1), (1, 2)],
+            100,
+        )
+        .unwrap();
+        let cs = ConstraintSets::build(&p, &ids(&[0, 1, 2])).unwrap();
+        assert!(cs.sets.is_empty());
+        assert_eq!(cs.free_nodes, ids(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn non_maximal_sets_are_dropped() {
+        // a(60) -> b(60) -> c(60) -> d, all flaggable; budget 100.
+        // Residency: a:0..=1, b:1..=2, c:2..=3.
+        // Snapshots at expiries: pos1 {a,b}, pos2 {b,c}, pos3 {c} (trivial).
+        let p = Problem::from_arrays(
+            &["a", "b", "c", "d"],
+            &[60, 60, 60, 1],
+            &[1.0, 1.0, 1.0, 1.0],
+            [(0, 1), (1, 2), (2, 3)],
+            100,
+        )
+        .unwrap();
+        let cs = ConstraintSets::build(&p, &ids(&[0, 1, 2, 3])).unwrap();
+        assert_eq!(cs.sets.len(), 2);
+        assert!(cs.sets.contains(&ids(&[0, 1])));
+        assert!(cs.sets.contains(&ids(&[1, 2])));
+    }
+
+    #[test]
+    fn long_resident_node_appears_in_many_sets() {
+        // hub(80) feeds three consumers executed consecutively, each also
+        // flaggable at 80; budget 100 forces pairwise constraints.
+        let p = Problem::from_arrays(
+            &["hub", "x", "y", "z", "t"],
+            &[80, 80, 80, 80, 1],
+            &[8.0, 1.0, 1.0, 1.0, 1.0],
+            [(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)],
+            100,
+        )
+        .unwrap();
+        let order = ids(&[0, 1, 2, 3, 4]);
+        let cs = ConstraintSets::build(&p, &order).unwrap();
+        // hub resident 0..=3; x resident 1..=4? No: x's child t at pos 4 →
+        // 1..=4; y 2..=4; z 3..=4. Snapshot at pos 3 (hub expires):
+        // {hub,x,y,z}; at pos 4: {x,y,z}. The latter is a subset? No —
+        // {x,y,z} ⊂ {hub,x,y,z}: dropped as non-maximal.
+        assert_eq!(cs.sets.len(), 1);
+        assert_eq!(cs.sets[0], ids(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn snapshot_emitted_at_final_position() {
+        // Two parallel chains ending at the last position; no expiry before
+        // the end, so the final-position snapshot must be emitted.
+        let p = Problem::from_arrays(
+            &["a", "b", "end"],
+            &[70, 70, 1],
+            &[1.0, 1.0, 1.0],
+            [(0, 2), (1, 2)],
+            100,
+        )
+        .unwrap();
+        let cs = ConstraintSets::build(&p, &ids(&[0, 1, 2])).unwrap();
+        assert_eq!(cs.sets, vec![ids(&[0, 1])]);
+    }
+
+    #[test]
+    fn order_changes_constraints() {
+        let p = Problem::from_arrays(
+            &["a", "b", "c", "d"],
+            &[60, 60, 1, 1],
+            &[1.0, 1.0, 1.0, 1.0],
+            [(0, 2), (1, 3)],
+            100,
+        )
+        .unwrap();
+        // Interleaved: a b c d — a resident 0..=2, b resident 1..=3 → overlap.
+        let cs = ConstraintSets::build(&p, &ids(&[0, 1, 2, 3])).unwrap();
+        assert_eq!(cs.sets.len(), 1);
+        // Branch-at-a-time: a c b d — a resident 0..=1, b resident 2..=3 →
+        // no overlap, no constraint.
+        let cs = ConstraintSets::build(&p, &ids(&[0, 2, 1, 3])).unwrap();
+        assert!(cs.sets.is_empty());
+        assert_eq!(cs.free_nodes.len(), 4);
+    }
+}

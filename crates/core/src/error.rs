@@ -1,0 +1,70 @@
+use std::fmt;
+
+use sc_dag::{DagError, NodeId};
+
+/// Errors produced by the S/C Opt optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// The underlying graph operation failed.
+    Dag(DagError),
+    /// A speedup score was negative or not finite.
+    InvalidScore { node: NodeId, score: f64 },
+    /// The Memory Catalog budget is zero; nothing can ever be flagged.
+    ZeroBudget,
+    /// A flag set has the wrong length for the problem.
+    FlagSetMismatch { expected: usize, got: usize },
+    /// The MKP solver hit its node limit before proving optimality and no
+    /// incumbent was found (cannot happen with a greedy warm start; kept for
+    /// API completeness).
+    SolverExhausted,
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Dag(e) => write!(f, "graph error: {e}"),
+            OptError::InvalidScore { node, score } => {
+                write!(f, "invalid speedup score {score} for node {node}")
+            }
+            OptError::ZeroBudget => write!(f, "memory catalog budget is zero"),
+            OptError::FlagSetMismatch { expected, got } => {
+                write!(f, "flag set length {got} does not match problem size {expected}")
+            }
+            OptError::SolverExhausted => write!(f, "MKP solver exhausted without incumbent"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Dag(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DagError> for OptError {
+    fn from(e: DagError) -> Self {
+        OptError::Dag(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = OptError::from(DagError::SelfLoop { node: NodeId(1) });
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+        assert!(OptError::ZeroBudget.source().is_none());
+        assert!(OptError::InvalidScore { node: NodeId(0), score: f64::NAN }
+            .to_string()
+            .contains("invalid"));
+        assert!(OptError::FlagSetMismatch { expected: 3, got: 2 }.to_string().contains('3'));
+        assert!(OptError::SolverExhausted.to_string().contains("exhausted"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Memory accounting for `(order, flagged)` pairs.
+//!
+//! Following §IV of the paper, a flagged node `vj` occupies Memory Catalog
+//! space during the executions of all nodes `vi` with
+//! `τ(j) ≤ τ(i) ≤ max_{(vj,vk)∈E} τ(k)` — from its own execution until its
+//! last child finishes. A childless flagged node is released immediately
+//! (its only benefit is parallelizing its own materialization) and never
+//! counts toward co-resident memory.
+
+use sc_dag::NodeId;
+
+use crate::plan::FlagSet;
+use crate::{Problem, Result};
+
+/// Residency interval of each node under an order: `Some((start, end))`
+/// means the node, *if flagged*, occupies memory while the nodes at
+/// positions `start..=end` execute. Childless nodes yield `None`.
+pub fn residency(problem: &Problem, order: &[NodeId]) -> Result<Vec<Option<(usize, usize)>>> {
+    let graph = problem.graph();
+    let pos = graph.order_positions(order)?;
+    let last_child = graph.last_child_position(order)?;
+    Ok(graph
+        .node_ids()
+        .map(|v| last_child[v.index()].map(|end| (pos[v.index()], end)))
+        .collect())
+}
+
+/// Memory usage at every execution position: `profile[p]` is the combined
+/// size of flagged nodes resident while the node at position `p` executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryProfile {
+    usage: Vec<u64>,
+}
+
+impl MemoryProfile {
+    /// Computes the profile for `flags` under `order`.
+    pub fn compute(problem: &Problem, order: &[NodeId], flags: &FlagSet) -> Result<Self> {
+        flags.check_len(problem)?;
+        let res = residency(problem, order)?;
+        let n = problem.len();
+        // Difference array: O(n) instead of O(n * interval length).
+        let mut diff = vec![0i128; n + 1];
+        for v in flags.iter() {
+            if let Some((start, end)) = res[v.index()] {
+                diff[start] += problem.size(v) as i128;
+                diff[end + 1] -= problem.size(v) as i128;
+            }
+        }
+        let mut usage = Vec::with_capacity(n);
+        let mut acc: i128 = 0;
+        for d in diff.iter().take(n) {
+            acc += d;
+            debug_assert!(acc >= 0);
+            usage.push(acc as u64);
+        }
+        Ok(MemoryProfile { usage })
+    }
+
+    /// Usage at each position.
+    pub fn usage(&self) -> &[u64] {
+        &self.usage
+    }
+
+    /// Peak usage over the run.
+    pub fn peak(&self) -> u64 {
+        self.usage.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Peak co-resident flagged memory — the `PeakMemoryUsage` subroutine of
+/// Algorithm 2 (line 8), computed in linear time.
+pub fn peak_memory_usage(problem: &Problem, order: &[NodeId], flags: &FlagSet) -> Result<u64> {
+    Ok(MemoryProfile::compute(problem, order, flags)?.peak())
+}
+
+/// Average memory usage — the S/C Opt Order objective (Problem 3):
+/// `1/n · Σ_{vi∈U} (max_{(vi,vj)∈E} τ(j) − τ(i)) · si`, assuming unit job
+/// execution times.
+pub fn average_memory_usage(problem: &Problem, order: &[NodeId], flags: &FlagSet) -> Result<f64> {
+    flags.check_len(problem)?;
+    let res = residency(problem, order)?;
+    let mut total: f64 = 0.0;
+    for v in flags.iter() {
+        if let Some((start, end)) = res[v.index()] {
+            total += (end - start) as f64 * problem.size(v) as f64;
+        }
+    }
+    Ok(total / problem.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 7 toy example: six nodes; v1 (id 0) and v3 (id 2) are the
+    /// two 100 GB nodes. Graph: v1→v2, v1→v4, v3→v5, v3→v6(no: v6 child of
+    /// v5)… we follow the paper's narrative: v1 can be released after v4
+    /// executes; ordering v4 before v3 lets both v1 and v3 be flagged.
+    fn fig7() -> Problem {
+        // Sizes in GB (use GB as raw u64 for readability), score = size.
+        // v1(100) -> v2(10), v1 -> v4(10); v3(100) -> v5(10); v5 -> v6(10).
+        Problem::from_arrays(
+            &["v1", "v2", "v3", "v4", "v5", "v6"],
+            &[100, 10, 100, 10, 10, 10],
+            &[100.0, 10.0, 100.0, 10.0, 10.0, 10.0],
+            [(0, 1), (0, 3), (2, 4), (4, 5)],
+            100,
+        )
+        .unwrap()
+    }
+
+    fn ids(xs: &[usize]) -> Vec<NodeId> {
+        xs.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn residency_matches_release_rule() {
+        let p = fig7();
+        // τ1 = v1 v2 v3 v4 v5 v6 (ids 0,1,2,3,4,5)
+        let order = ids(&[0, 1, 2, 3, 4, 5]);
+        let res = residency(&p, &order).unwrap();
+        assert_eq!(res[0], Some((0, 3))); // v1 released after v4 at position 3
+        assert_eq!(res[1], None); // v2 childless
+        assert_eq!(res[2], Some((2, 4))); // v3 released after v5
+        assert_eq!(res[4], Some((4, 5))); // v5 released after v6
+        assert_eq!(res[5], None);
+    }
+
+    #[test]
+    fn order_determines_coresidency_like_fig7() {
+        let p = fig7();
+        let both = FlagSet::from_nodes(6, [NodeId(0), NodeId(2)]);
+        // τ1: v1 v2 v3 v4 ... — v1 still resident when v3 executes: peak 200.
+        let t1 = ids(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(peak_memory_usage(&p, &t1, &both).unwrap(), 200);
+        assert!(!p.is_feasible(&t1, &both).unwrap());
+        // τ2: v1 v2 v4 v3 v5 v6 — v1 released (after v4) before v3 runs.
+        let t2 = ids(&[0, 1, 3, 2, 4, 5]);
+        assert_eq!(peak_memory_usage(&p, &t2, &both).unwrap(), 100);
+        assert!(p.is_feasible(&t2, &both).unwrap());
+    }
+
+    #[test]
+    fn profile_shape() {
+        let p = fig7();
+        let both = FlagSet::from_nodes(6, [NodeId(0), NodeId(2)]);
+        let t2 = ids(&[0, 1, 3, 2, 4, 5]);
+        let prof = MemoryProfile::compute(&p, &t2, &both).unwrap();
+        // v1 resident at positions 0..=2 (its last child v4 runs at pos 2),
+        // v3 resident at positions 3..=4.
+        assert_eq!(prof.usage(), &[100, 100, 100, 100, 100, 0]);
+    }
+
+    #[test]
+    fn average_memory_prefers_early_release() {
+        let p = fig7();
+        let flags = FlagSet::from_nodes(6, [NodeId(0)]);
+        let t1 = ids(&[0, 1, 2, 3, 4, 5]); // v1 resident 0..=3 → span 3
+        let t2 = ids(&[0, 1, 3, 2, 4, 5]); // v1 resident 0..=2 → span 2
+        let a1 = average_memory_usage(&p, &t1, &flags).unwrap();
+        let a2 = average_memory_usage(&p, &t2, &flags).unwrap();
+        assert!(a2 < a1);
+        assert!((a1 - 3.0 * 100.0 / 6.0).abs() < 1e-9);
+        assert!((a2 - 2.0 * 100.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn childless_nodes_never_count() {
+        let p = Problem::from_arrays(
+            &["a", "b"],
+            &[u64::MAX / 2, 1],
+            &[1.0, 1.0],
+            std::iter::empty(),
+            10,
+        )
+        .unwrap();
+        let order = ids(&[0, 1]);
+        let flags = FlagSet::all(2);
+        // Both nodes are childless: zero co-resident memory by the paper's
+        // Vi definition.
+        assert_eq!(peak_memory_usage(&p, &order, &flags).unwrap(), 0);
+        assert_eq!(average_memory_usage(&p, &order, &flags).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_flags_zero_memory() {
+        let p = fig7();
+        let order = ids(&[0, 1, 2, 3, 4, 5]);
+        let flags = FlagSet::none(6);
+        assert_eq!(peak_memory_usage(&p, &order, &flags).unwrap(), 0);
+    }
+
+    #[test]
+    fn mismatched_flags_error() {
+        let p = fig7();
+        let order = ids(&[0, 1, 2, 3, 4, 5]);
+        let flags = FlagSet::none(2);
+        assert!(peak_memory_usage(&p, &order, &flags).is_err());
+    }
+
+    #[test]
+    fn invalid_order_error() {
+        let p = fig7();
+        let flags = FlagSet::none(6);
+        assert!(peak_memory_usage(&p, &ids(&[0, 0, 0, 0, 0, 0]), &flags).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! DFS-based schedulers: the paper's memory-aware MA-DFS and the
+//! random-tie-breaking DFS it improves upon (§V-B, Figure 8).
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use sc_dag::NodeId;
+
+use crate::order::{dfs_schedule, OrderScheduler};
+use crate::plan::FlagSet;
+use crate::{Problem, Result};
+
+/// **MA-DFS** — memory-aware depth-first scheduling.
+///
+/// A DFS traversal must tie-break when several branches are available. A
+/// random choice can keep large flagged nodes in memory for a long time;
+/// MA-DFS instead prioritizes candidates by lower *actual memory
+/// consumption* so the largest flagged dependencies are computed last and
+/// released soonest.
+///
+/// Tie-break key, ascending (first difference wins):
+///
+/// 1. **resident memory consumption** — the node's size if flagged *and* it
+///    has children (a childless flagged node is released immediately under
+///    the paper's `Vi` semantics and never occupies co-resident memory),
+///    else 0;
+/// 2. **branch size** (descendant count) — entering a small branch returns
+///    to the remaining siblings sooner, releasing their resident parents
+///    earlier. This reproduces Figure 8, where MA-DFS runs leaf `v5` before
+///    `v6 → v7` so `v3` is held for 3 executions instead of 5;
+/// 3. node size, then node id — full determinism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaDfsScheduler;
+
+impl OrderScheduler for MaDfsScheduler {
+    fn order(&self, problem: &Problem, flagged: &FlagSet) -> Result<Vec<NodeId>> {
+        flagged.check_len(problem)?;
+        let graph = problem.graph();
+        let descendants = graph.descendant_counts();
+        Ok(dfs_schedule(graph, |v| {
+            let resident =
+                if flagged.contains(v) && graph.out_degree(v) > 0 { problem.size(v) } else { 0 };
+            (resident, descendants[v.index()], problem.size(v))
+        }))
+    }
+
+    fn name(&self) -> &'static str {
+        "MA-DFS"
+    }
+}
+
+/// Baseline: DFS-based scheduling with *random* tie-breaking (the
+/// "off-the-shelf DFS-based sorts in existing work" of §V-B).
+#[derive(Debug, Clone, Copy)]
+pub struct DfsScheduler {
+    /// RNG seed for the tie-breaking permutation.
+    pub seed: u64,
+}
+
+impl Default for DfsScheduler {
+    fn default() -> Self {
+        DfsScheduler { seed: 0x5c }
+    }
+}
+
+impl OrderScheduler for DfsScheduler {
+    fn order(&self, problem: &Problem, flagged: &FlagSet) -> Result<Vec<NodeId>> {
+        flagged.check_len(problem)?;
+        // Assign each node a random priority once; DFS tie-breaks on it.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let priority: Vec<u64> = (0..problem.len()).map(|_| rng.gen()).collect();
+        Ok(dfs_schedule(problem.graph(), |v| priority[v.index()]))
+    }
+
+    fn name(&self) -> &'static str {
+        "DFS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{average_memory_usage, peak_memory_usage};
+    use crate::order::test_util::fig8;
+
+    fn ids(xs: &[usize]) -> Vec<NodeId> {
+        xs.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn madfs_reproduces_figure8_order() {
+        let (p, flags) = fig8();
+        let order = MaDfsScheduler.order(&p, &flags).unwrap();
+        assert!(p.graph().is_topological_order(&order));
+        // The paper's MA-DFS order: v1 v2 v4 v3 v5 v6 v7
+        // (internal ids: v1=0, v2=1, v3=2, v4=3, v5=4, v6=5, v7=6).
+        assert_eq!(order, ids(&[0, 1, 3, 2, 4, 5, 6]));
+        // v3 (id 2) is resident for exactly 3 executions: v3, v5, v6.
+        let res = crate::memory::residency(&p, &order).unwrap();
+        assert_eq!(res[2], Some((3, 5)));
+    }
+
+    #[test]
+    fn madfs_enables_extra_flagging_like_paper() {
+        let (p, flags) = fig8();
+        let order = MaDfsScheduler.order(&p, &flags).unwrap();
+        // The plan stays within the 100 GB budget...
+        assert!(peak_memory_usage(&p, &order, &flags).unwrap() <= p.budget());
+        // ...and leaves room to additionally flag v6 (20 GB), the payoff in
+        // Figure 8.
+        let mut more = flags.clone();
+        more.set(NodeId(5), true);
+        assert!(
+            p.is_feasible(&order, &more).unwrap(),
+            "MA-DFS order must leave room for v6"
+        );
+    }
+
+    #[test]
+    fn adversarial_dfs_keeps_v3_longer() {
+        let (p, flags) = fig8();
+        let ma = MaDfsScheduler.order(&p, &flags).unwrap();
+        let ma_avg = average_memory_usage(&p, &ma, &flags).unwrap();
+        // The paper's bad DFS order: v1 v3 v6 v7 v2 v5 v4.
+        let bad = ids(&[0, 2, 5, 6, 1, 4, 3]);
+        assert!(p.graph().is_topological_order(&bad));
+        let bad_avg = average_memory_usage(&p, &bad, &flags).unwrap();
+        assert!(ma_avg < bad_avg, "MA-DFS {ma_avg} must beat bad DFS {bad_avg}");
+        // v3 resident 5 executions under the bad order...
+        let res = crate::memory::residency(&p, &bad).unwrap();
+        assert_eq!(res[2], Some((1, 5)));
+        // ...and flagging v6 on top is infeasible there.
+        let mut more = flags.clone();
+        more.set(NodeId(5), true);
+        assert!(!p.is_feasible(&bad, &more).unwrap());
+    }
+
+    #[test]
+    fn madfs_never_loses_to_random_dfs_on_fig8() {
+        let (p, flags) = fig8();
+        let ma = MaDfsScheduler.order(&p, &flags).unwrap();
+        let ma_avg = average_memory_usage(&p, &ma, &flags).unwrap();
+        for seed in 0..20 {
+            let dfs = DfsScheduler { seed }.order(&p, &flags).unwrap();
+            assert!(p.graph().is_topological_order(&dfs));
+            let avg = average_memory_usage(&p, &dfs, &flags).unwrap();
+            assert!(
+                ma_avg <= avg + 1e-9,
+                "MA-DFS ({ma_avg}) lost to DFS seed {seed} ({avg})"
+            );
+        }
+    }
+
+    #[test]
+    fn dfs_is_seed_deterministic() {
+        let (p, flags) = fig8();
+        let a = DfsScheduler { seed: 9 }.order(&p, &flags).unwrap();
+        let b = DfsScheduler { seed: 9 }.order(&p, &flags).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn madfs_handles_empty_flags() {
+        let (p, _) = fig8();
+        let order = MaDfsScheduler.order(&p, &FlagSet::none(p.len())).unwrap();
+        assert!(p.graph().is_topological_order(&order));
+    }
+
+    #[test]
+    fn rejects_mismatched_flag_set() {
+        let (p, _) = fig8();
+        assert!(MaDfsScheduler.order(&p, &FlagSet::none(2)).is_err());
+        assert!(DfsScheduler::default().order(&p, &FlagSet::none(2)).is_err());
+    }
+}

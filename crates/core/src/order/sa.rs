@@ -1,0 +1,185 @@
+//! Simulated annealing baseline for S/C Opt Order (§VI "Methods").
+//!
+//! A hill-climbing algorithm over execution orders: in each iteration two
+//! *swappable* nodes (swapping them keeps the order topological) are chosen
+//! at random; the swap is kept if it lowers average memory usage, and still
+//! accepted with a cooling probability otherwise to escape local minima.
+//! The paper runs 10,000 iterations.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use sc_dag::NodeId;
+
+use crate::memory::average_memory_usage;
+use crate::order::OrderScheduler;
+use crate::plan::FlagSet;
+use crate::{Problem, Result};
+
+/// Simulated-annealing order scheduler (baseline `SA`).
+#[derive(Debug, Clone, Copy)]
+pub struct SaScheduler {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of proposed swaps (paper: 10,000).
+    pub iterations: usize,
+    /// Initial acceptance temperature, in bytes of average memory usage.
+    /// Each iteration the temperature decays geometrically to ~0.
+    pub initial_temperature: f64,
+}
+
+impl Default for SaScheduler {
+    fn default() -> Self {
+        SaScheduler { seed: 0x5c, iterations: 10_000, initial_temperature: 1.0 }
+    }
+}
+
+impl SaScheduler {
+    /// Whether exchanging positions `i < j` of `order` keeps it topological.
+    ///
+    /// Only the two moved nodes can newly violate an edge, so it suffices to
+    /// check the edges incident to them against the swapped positions.
+    fn swap_is_valid(
+        problem: &Problem,
+        order: &[NodeId],
+        pos: &[usize],
+        i: usize,
+        j: usize,
+    ) -> bool {
+        debug_assert!(i < j);
+        let a = order[i]; // moves to j
+        let b = order[j]; // moves to i
+        let new_pos = |v: NodeId| -> usize {
+            if v == a {
+                j
+            } else if v == b {
+                i
+            } else {
+                pos[v.index()]
+            }
+        };
+        let graph = problem.graph();
+        for &v in &[a, b] {
+            let p = new_pos(v);
+            if graph.parents(v).iter().any(|&q| new_pos(q) > p) {
+                return false;
+            }
+            if graph.children(v).iter().any(|&c| new_pos(c) < p) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl OrderScheduler for SaScheduler {
+    fn order(&self, problem: &Problem, flagged: &FlagSet) -> Result<Vec<NodeId>> {
+        flagged.check_len(problem)?;
+        let mut order = problem.graph().kahn_order();
+        let n = order.len();
+        if n < 2 {
+            return Ok(order);
+        }
+        let mut pos = problem.graph().order_positions(&order)?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut energy = average_memory_usage(problem, &order, flagged)?;
+        // Scale the temperature to the problem: a fraction of the initial
+        // average usage (or 1 byte if nothing is resident yet).
+        let mut temperature = (energy * 0.1).max(self.initial_temperature);
+        let cooling = 0.999_f64;
+
+        let mut best = order.clone();
+        let mut best_energy = energy;
+
+        for _ in 0..self.iterations {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            let (i, j) = (i.min(j), i.max(j));
+            if !Self::swap_is_valid(problem, &order, &pos, i, j) {
+                temperature *= cooling;
+                continue;
+            }
+            order.swap(i, j);
+            pos[order[i].index()] = i;
+            pos[order[j].index()] = j;
+            let candidate = average_memory_usage(problem, &order, flagged)?;
+            let delta = candidate - energy;
+            let accept = delta < 0.0
+                || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+            if accept {
+                energy = candidate;
+                if energy < best_energy {
+                    best_energy = energy;
+                    best.copy_from_slice(&order);
+                }
+            } else {
+                // Undo.
+                order.swap(i, j);
+                pos[order[i].index()] = i;
+                pos[order[j].index()] = j;
+            }
+            temperature *= cooling;
+        }
+        Ok(best)
+    }
+
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::test_util::fig8;
+
+    #[test]
+    fn sa_output_is_topological() {
+        let (p, flags) = fig8();
+        let order = SaScheduler::default().order(&p, &flags).unwrap();
+        assert!(p.graph().is_topological_order(&order));
+    }
+
+    #[test]
+    fn sa_is_seed_deterministic() {
+        let (p, flags) = fig8();
+        let a = SaScheduler { seed: 3, ..Default::default() }.order(&p, &flags).unwrap();
+        let b = SaScheduler { seed: 3, ..Default::default() }.order(&p, &flags).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sa_improves_over_kahn_seed_order() {
+        let (p, flags) = fig8();
+        let kahn = p.graph().kahn_order();
+        let kahn_avg = average_memory_usage(&p, &kahn, &flags).unwrap();
+        let sa = SaScheduler::default().order(&p, &flags).unwrap();
+        let sa_avg = average_memory_usage(&p, &sa, &flags).unwrap();
+        assert!(
+            sa_avg <= kahn_avg + 1e-9,
+            "SA ({sa_avg}) must not be worse than its seed order ({kahn_avg})"
+        );
+    }
+
+    #[test]
+    fn swap_validity_is_checked() {
+        let (p, _) = fig8();
+        let order = p.graph().kahn_order();
+        let pos = p.graph().order_positions(&order).unwrap();
+        // Swapping a parent with its own child is never valid.
+        for (a, b) in p.graph().edges() {
+            let (i, j) = (pos[a.index()].min(pos[b.index()]), pos[a.index()].max(pos[b.index()]));
+            assert!(!SaScheduler::swap_is_valid(&p, &order, &pos, i, j));
+        }
+    }
+
+    #[test]
+    fn sa_handles_tiny_graphs() {
+        let p = Problem::from_arrays(&["a"], &[1], &[1.0], std::iter::empty(), 10).unwrap();
+        let order = SaScheduler::default().order(&p, &FlagSet::none(1)).unwrap();
+        assert_eq!(order.len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+use serde::{Deserialize, Serialize};
+
+use sc_dag::NodeId;
+
+use crate::{OptError, Problem, Result};
+
+/// The set `U` of flagged nodes — nodes whose outputs are kept (temporarily)
+/// in the Memory Catalog.
+///
+/// Stored as a dense boolean vector indexed by [`NodeId`]; the optimizer
+/// manipulates flag sets in tight loops, so O(1) membership beats a hash set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlagSet {
+    flags: Vec<bool>,
+}
+
+impl FlagSet {
+    /// The empty flag set over `n` nodes (`U0 = ∅` in Algorithm 2).
+    pub fn none(n: usize) -> Self {
+        FlagSet { flags: vec![false; n] }
+    }
+
+    /// Flag set with every node flagged (useful as an infeasible extreme in
+    /// tests).
+    pub fn all(n: usize) -> Self {
+        FlagSet { flags: vec![true; n] }
+    }
+
+    /// Builds from an explicit boolean vector.
+    pub fn from_vec(flags: Vec<bool>) -> Self {
+        FlagSet { flags }
+    }
+
+    /// Builds from a list of flagged node ids.
+    pub fn from_nodes(n: usize, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut f = FlagSet::none(n);
+        for v in nodes {
+            f.set(v, true);
+        }
+        f
+    }
+
+    /// Number of nodes covered by this flag set (flagged or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the flag set covers zero nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Whether `v` is flagged.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.flags[v.index()]
+    }
+
+    /// Flags or unflags `v`.
+    #[inline]
+    pub fn set(&mut self, v: NodeId, flagged: bool) {
+        self.flags[v.index()] = flagged;
+    }
+
+    /// Number of flagged nodes `|U|`.
+    pub fn count(&self) -> usize {
+        self.flags.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterator over flagged node ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(NodeId(i)))
+    }
+
+    /// The raw boolean slice.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.flags
+    }
+
+    /// Validates that this flag set matches `problem`'s node count.
+    pub fn check_len(&self, problem: &Problem) -> Result<()> {
+        if self.len() == problem.len() {
+            Ok(())
+        } else {
+            Err(OptError::FlagSetMismatch { expected: problem.len(), got: self.len() })
+        }
+    }
+}
+
+impl FromIterator<bool> for FlagSet {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        FlagSet { flags: iter.into_iter().collect() }
+    }
+}
+
+/// The optimizer's output for one refresh run: the execution order `τ` and
+/// the flagged set `U` (Figure 4, right).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// Execution order: `order[k]` is the node executed at step `k`.
+    pub order: Vec<NodeId>,
+    /// Nodes to create directly in the Memory Catalog.
+    pub flagged: FlagSet,
+}
+
+impl Plan {
+    /// A plan that runs nodes in the given order with nothing flagged — the
+    /// unoptimized baseline the paper compares against.
+    pub fn unoptimized(order: Vec<NodeId>) -> Self {
+        let n = order.len();
+        Plan { order, flagged: FlagSet::none(n) }
+    }
+
+    /// Total speedup score of this plan under `problem` — the S/C Opt
+    /// objective value.
+    pub fn objective(&self, problem: &Problem) -> f64 {
+        problem.total_score(&self.flagged)
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self, problem: &Problem) -> String {
+        format!(
+            "plan: {} nodes, {} flagged ({} bytes, score {:.2})",
+            self.order.len(),
+            self.flagged.count(),
+            problem.total_size(&self.flagged),
+            self.objective(problem),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let mut f = FlagSet::none(4);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.count(), 0);
+        f.set(NodeId(2), true);
+        assert!(f.contains(NodeId(2)));
+        assert!(!f.contains(NodeId(0)));
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![NodeId(2)]);
+        f.set(NodeId(2), false);
+        assert_eq!(f.count(), 0);
+    }
+
+    #[test]
+    fn from_nodes_and_all() {
+        let f = FlagSet::from_nodes(3, [NodeId(0), NodeId(2)]);
+        assert_eq!(f.as_slice(), &[true, false, true]);
+        assert_eq!(FlagSet::all(3).count(), 3);
+        assert!(FlagSet::none(0).is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let f: FlagSet = [true, false, true].into_iter().collect();
+        assert_eq!(f.count(), 2);
+    }
+
+    #[test]
+    fn check_len_matches_problem() {
+        let p = Problem::from_arrays(&["a"], &[1], &[1.0], std::iter::empty(), 10).unwrap();
+        assert!(FlagSet::none(1).check_len(&p).is_ok());
+        assert!(matches!(
+            FlagSet::none(2).check_len(&p),
+            Err(OptError::FlagSetMismatch { expected: 1, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn unoptimized_plan_has_no_flags() {
+        let plan = Plan::unoptimized(vec![NodeId(0), NodeId(1)]);
+        assert_eq!(plan.flagged.count(), 0);
+        assert_eq!(plan.order.len(), 2);
+    }
+
+    #[test]
+    fn objective_and_summary() {
+        let p = Problem::from_arrays(
+            &["a", "b"],
+            &[10, 20],
+            &[1.5, 2.5],
+            [(0usize, 1usize)],
+            100,
+        )
+        .unwrap();
+        let plan = Plan {
+            order: vec![NodeId(0), NodeId(1)],
+            flagged: FlagSet::from_nodes(2, [NodeId(1)]),
+        };
+        assert_eq!(plan.objective(&p), 2.5);
+        let s = plan.summary(&p);
+        assert!(s.contains("1 flagged"));
+        assert!(s.contains("20 bytes"));
+    }
+}

@@ -1,0 +1,159 @@
+//! The speedup-score estimation model (§IV, "Speedup Scores").
+//!
+//! The score of flagging node `vi` relative to the fully-sequential baseline
+//! is
+//!
+//! ```text
+//! ti = Σ_{(vi,vj)∈E} [ read(vj | vi on disk) − read(vj | vi in memory) ]
+//!    + [ time(create vi on disk) − time(create vi in memory) ]
+//! ```
+//!
+//! Every downstream consumer reads `vi` from memory instead of storage, and
+//! `vi`'s own materialization is moved off the critical path (it proceeds in
+//! parallel with downstream computation, §III-C).
+//!
+//! The model is parameterized by storage/memory bandwidths, defaulting to
+//! the paper's measured environment: 519.8 MB/s disk read, 358.9 MB/s disk
+//! write, 175 µs read latency.
+
+use serde::{Deserialize, Serialize};
+
+use sc_dag::Dag;
+
+use crate::problem::MvMeta;
+use crate::{Problem, Result};
+
+/// Number of bytes in a mebibyte/gibibyte, used by the defaults below.
+pub const MIB: u64 = 1 << 20;
+/// Bytes per gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// A linear I/O cost model: `time(bytes) = latency + bytes / bandwidth`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// External-storage read bandwidth, bytes/second.
+    pub disk_read_bps: f64,
+    /// External-storage write bandwidth, bytes/second.
+    pub disk_write_bps: f64,
+    /// Memory-catalog effective bandwidth, bytes/second (covers the cost of
+    /// handing in-memory tables to the execution engine).
+    pub mem_bps: f64,
+    /// Fixed per-access storage latency, seconds.
+    pub disk_latency_s: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+impl CostModel {
+    /// The environment measured in §VI-A of the paper: 519.8 MB/s read,
+    /// 358.9 MB/s write, 175 µs latency; memory at 8 GiB/s effective.
+    pub fn paper() -> Self {
+        CostModel {
+            disk_read_bps: 519.8 * 1e6,
+            disk_write_bps: 358.9 * 1e6,
+            mem_bps: 8.0 * GIB as f64,
+            disk_latency_s: 175e-6,
+        }
+    }
+
+    /// Time to read `bytes` from external storage.
+    pub fn disk_read_time(&self, bytes: u64) -> f64 {
+        self.disk_latency_s + bytes as f64 / self.disk_read_bps
+    }
+
+    /// Time to write `bytes` to external storage.
+    pub fn disk_write_time(&self, bytes: u64) -> f64 {
+        self.disk_latency_s + bytes as f64 / self.disk_write_bps
+    }
+
+    /// Time to read `bytes` from the Memory Catalog.
+    pub fn mem_read_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.mem_bps
+    }
+
+    /// Time to create `bytes` in the Memory Catalog.
+    pub fn mem_write_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.mem_bps
+    }
+
+    /// The paper's speedup score `ti` for a node of output size `size` with
+    /// `num_children` downstream consumers.
+    pub fn speedup_score(&self, size: u64, num_children: usize) -> f64 {
+        let read_saving = self.disk_read_time(size) - self.mem_read_time(size);
+        let write_saving = self.disk_write_time(size) - self.mem_write_time(size);
+        (num_children as f64 * read_saving + write_saving).max(0.0)
+    }
+
+    /// Annotates a dependency graph of `(name, output size)` pairs with
+    /// speedup scores, producing an S/C Opt instance.
+    pub fn build_problem(
+        &self,
+        graph: &Dag<(String, u64)>,
+        budget: u64,
+    ) -> Result<Problem> {
+        let annotated = graph.map(|v, (name, size)| {
+            MvMeta::new(name.clone(), *size, self.speedup_score(*size, graph.out_degree(v)))
+        });
+        Problem::new(annotated, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_sane() {
+        let m = CostModel::paper();
+        // Reading 1 GiB: ~2.07 s at 519.8 MB/s.
+        let t = m.disk_read_time(GIB);
+        assert!((t - (GIB as f64 / (519.8e6) + 175e-6)).abs() < 1e-9);
+        assert!(m.disk_write_time(GIB) > m.disk_read_time(GIB));
+        assert!(m.mem_read_time(GIB) < m.disk_read_time(GIB) / 10.0);
+    }
+
+    #[test]
+    fn score_grows_with_fanout_and_size() {
+        let m = CostModel::paper();
+        let s1 = m.speedup_score(GIB, 1);
+        let s2 = m.speedup_score(GIB, 2);
+        let s_big = m.speedup_score(4 * GIB, 1);
+        assert!(s2 > s1);
+        assert!(s_big > s1);
+        // Zero children still saves the write.
+        assert!(m.speedup_score(GIB, 0) > 0.0);
+        // A zero-byte table only saves the fixed access latency.
+        assert!((m.speedup_score(0, 0) - m.disk_latency_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_is_never_negative() {
+        // A model where memory is slower than disk (degenerate) must clamp.
+        let m = CostModel {
+            disk_read_bps: 1e9,
+            disk_write_bps: 1e9,
+            mem_bps: 1e6,
+            disk_latency_s: 0.0,
+        };
+        assert_eq!(m.speedup_score(GIB, 3), 0.0);
+    }
+
+    #[test]
+    fn build_problem_annotates_scores() {
+        let g: Dag<(String, u64)> = Dag::from_parts(
+            [("a".to_string(), GIB), ("b".to_string(), MIB)],
+            [(0usize, 1usize)],
+        )
+        .unwrap();
+        let m = CostModel::paper();
+        let p = m.build_problem(&g, GIB).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!((p.score(sc_dag::NodeId(0)) - m.speedup_score(GIB, 1)).abs() < 1e-12);
+        assert!((p.score(sc_dag::NodeId(1)) - m.speedup_score(MIB, 0)).abs() < 1e-12);
+        assert_eq!(p.graph().node(sc_dag::NodeId(0)).name, "a");
+    }
+}

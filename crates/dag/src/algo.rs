@@ -1,0 +1,180 @@
+use crate::{Dag, NodeId};
+
+impl<N> Dag<N> {
+    /// All nodes reachable from `start` through directed edges, excluding
+    /// `start` itself, in id order.
+    pub fn descendants(&self, start: NodeId) -> Vec<NodeId> {
+        self.collect_reachable(start, false)
+    }
+
+    /// All nodes that can reach `start`, excluding `start` itself, in id
+    /// order.
+    pub fn ancestors(&self, start: NodeId) -> Vec<NodeId> {
+        self.collect_reachable(start, true)
+    }
+
+    fn collect_reachable(&self, start: NodeId, reverse: bool) -> Vec<NodeId> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(v) = stack.pop() {
+            let next = if reverse { self.parents(v) } else { self.children(v) };
+            for &w in next {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen[start.index()] = false;
+        self.node_ids().filter(|v| seen[v.index()]).collect()
+    }
+
+    /// Longest-path level of every node: roots are level 0 and
+    /// `level[v] = 1 + max(level of parents)` otherwise.
+    ///
+    /// For the stage-structured DAGs of the paper's workload generator
+    /// (§VI-H) this recovers the stage index of each node.
+    pub fn levels(&self) -> Vec<usize> {
+        let order = self.kahn_order();
+        let mut level = vec![0usize; self.len()];
+        for &v in &order {
+            for &c in self.children(v) {
+                level[c.index()] = level[c.index()].max(level[v.index()] + 1);
+            }
+        }
+        level
+    }
+
+    /// Height of the DAG: number of levels (0 for an empty graph).
+    pub fn height(&self) -> usize {
+        self.levels().iter().map(|&l| l + 1).max().unwrap_or(0)
+    }
+
+    /// Width of the DAG: the maximum number of nodes on a single level.
+    pub fn width(&self) -> usize {
+        let levels = self.levels();
+        let mut counts = vec![0usize; self.height()];
+        for &l in &levels {
+            counts[l] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+
+    /// Number of distinct descendants of every node, computed with bitset
+    /// propagation in reverse topological order (`O(n·m/64)`).
+    ///
+    /// Schedulers use this as a "remaining branch size" signal: entering a
+    /// small branch first returns to the siblings (and releases flagged
+    /// parents) sooner.
+    pub fn descendant_counts(&self) -> Vec<usize> {
+        let n = self.len();
+        let words = n.div_ceil(64);
+        let mut bits: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+        let order = self.kahn_order();
+        for &v in order.iter().rev() {
+            let mut acc = vec![0u64; words];
+            for &c in self.children(v) {
+                acc[c.index() / 64] |= 1u64 << (c.index() % 64);
+                for (a, b) in acc.iter_mut().zip(&bits[c.index()]) {
+                    *a |= *b;
+                }
+            }
+            bits[v.index()] = acc;
+        }
+        bits.iter()
+            .map(|ws| ws.iter().map(|w| w.count_ones() as usize).sum())
+            .collect()
+    }
+
+    /// For every node, the position (in `order`) of its last-executed child,
+    /// or `None` for childless nodes.
+    ///
+    /// In the paper this is `max_{(vj,vk)∈E} τ(k)`: the time at which a
+    /// flagged node `vj` can be released from the Memory Catalog.
+    pub fn last_child_position(&self, order: &[NodeId]) -> crate::Result<Vec<Option<usize>>> {
+        let pos = self.order_positions(order)?;
+        Ok(self
+            .node_ids()
+            .map(|v| self.children(v).iter().map(|c| pos[c.index()]).max())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layered() -> Dag<()> {
+        // Level 0: 0, 1   Level 1: 2, 3   Level 2: 4
+        Dag::from_parts(
+            std::iter::repeat_n((), 5),
+            [(0, 2), (1, 2), (1, 3), (2, 4), (3, 4)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn descendants_and_ancestors() {
+        let g = layered();
+        assert_eq!(g.descendants(NodeId(1)), vec![NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(g.descendants(NodeId(4)), vec![]);
+        assert_eq!(g.ancestors(NodeId(4)), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(g.ancestors(NodeId(0)), vec![]);
+    }
+
+    #[test]
+    fn levels_height_width() {
+        let g = layered();
+        assert_eq!(g.levels(), vec![0, 0, 1, 1, 2]);
+        assert_eq!(g.height(), 3);
+        assert_eq!(g.width(), 2);
+    }
+
+    #[test]
+    fn levels_use_longest_path() {
+        // 0 -> 1 -> 2 and 0 -> 2: node 2 sits at level 2, not 1.
+        let g: Dag<()> =
+            Dag::from_parts([(), (), ()], [(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.levels(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn last_child_position_matches_paper_release_rule() {
+        let g = layered();
+        let order = g.kahn_order(); // 0, 1, 2, 3, 4
+        let last = g.last_child_position(&order).unwrap();
+        assert_eq!(last[0], Some(2)); // only child is node 2 at position 2
+        assert_eq!(last[1], Some(3)); // children 2 (pos 2) and 3 (pos 3)
+        assert_eq!(last[4], None); // leaf
+    }
+
+    #[test]
+    fn descendant_counts_match_descendants() {
+        let g = layered();
+        let counts = g.descendant_counts();
+        for v in g.node_ids() {
+            assert_eq!(counts[v.index()], g.descendants(v).len());
+        }
+        assert_eq!(counts, vec![2, 3, 1, 1, 0]);
+    }
+
+    #[test]
+    fn descendant_counts_on_wide_graph() {
+        // 70 nodes to cross the 64-bit word boundary.
+        let n = 70;
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+        let g: Dag<()> = Dag::from_parts(std::iter::repeat_n((), n), edges).unwrap();
+        let counts = g.descendant_counts();
+        assert_eq!(counts[0], n - 1);
+        assert!(counts[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn empty_graph_dimensions() {
+        let g: Dag<()> = Dag::new();
+        assert_eq!(g.height(), 0);
+        assert_eq!(g.width(), 0);
+        assert!(g.levels().is_empty());
+    }
+}

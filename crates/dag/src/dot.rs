@@ -1,0 +1,45 @@
+use std::fmt::Write as _;
+
+use crate::Dag;
+
+impl<N> Dag<N> {
+    /// Renders the graph in GraphViz DOT syntax, labeling nodes with
+    /// `label(id, payload)`.
+    ///
+    /// Useful for eyeballing workload structure:
+    /// `dot -Tpng graph.dot -o graph.png`.
+    pub fn to_dot(&self, mut label: impl FnMut(crate::NodeId, &N) -> String) -> String {
+        let mut out = String::from("digraph sc {\n  rankdir=TB;\n");
+        for v in self.node_ids() {
+            let l = label(v, self.node(v)).replace('"', "\\\"");
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", v.index(), l);
+        }
+        for (a, b) in self.edges() {
+            let _ = writeln!(out, "  n{} -> n{};", a.index(), b.index());
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let g: Dag<&str> = Dag::from_parts(["a", "b"], [(0, 1)]).unwrap();
+        let dot = g.to_dot(|id, n| format!("{}:{}", id, n));
+        assert!(dot.starts_with("digraph sc {"));
+        assert!(dot.contains("n0 [label=\"v0:a\"];"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let g: Dag<&str> = Dag::from_parts(["say \"hi\""], std::iter::empty()).unwrap();
+        let dot = g.to_dot(|_, n| n.to_string());
+        assert!(dot.contains("\\\"hi\\\""));
+    }
+}

@@ -1,0 +1,69 @@
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by DAG construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// A node id referenced a node that does not exist in the graph.
+    NodeOutOfBounds { node: NodeId, len: usize },
+    /// An edge `from -> to` would have created a self loop.
+    SelfLoop { node: NodeId },
+    /// An edge `from -> to` would have created a cycle.
+    WouldCycle { from: NodeId, to: NodeId },
+    /// The same edge was inserted twice.
+    DuplicateEdge { from: NodeId, to: NodeId },
+    /// A permutation handed to an order-sensitive API was not a valid
+    /// permutation of the node set (wrong length or repeated ids).
+    InvalidPermutation { expected: usize, got: usize },
+    /// A permutation was a valid permutation but violated a dependency.
+    NotTopological { from: NodeId, to: NodeId },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::NodeOutOfBounds { node, len } => {
+                write!(f, "node id {node} out of bounds for graph of {len} nodes")
+            }
+            DagError::SelfLoop { node } => write!(f, "self loop on node {node}"),
+            DagError::WouldCycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
+            DagError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to}")
+            }
+            DagError::InvalidPermutation { expected, got } => {
+                write!(f, "invalid permutation: expected {expected} distinct ids, got {got}")
+            }
+            DagError::NotTopological { from, to } => {
+                write!(f, "order violates dependency {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DagError::WouldCycle { from: NodeId(1), to: NodeId(2) };
+        assert!(e.to_string().contains("cycle"));
+        let e = DagError::NodeOutOfBounds { node: NodeId(9), len: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+        let e = DagError::SelfLoop { node: NodeId(4) };
+        assert!(e.to_string().contains("self loop"));
+        let e = DagError::DuplicateEdge { from: NodeId(0), to: NodeId(1) };
+        assert!(e.to_string().contains("duplicate"));
+        let e = DagError::InvalidPermutation { expected: 5, got: 4 };
+        assert!(e.to_string().contains("permutation"));
+        let e = DagError::NotTopological { from: NodeId(0), to: NodeId(1) };
+        assert!(e.to_string().contains("violates"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # sc-dag — DAG substrate for the S/C materialization system
+//!
+//! The S/C paper (ICDE 2023) models a materialized-view refresh workload as a
+//! directed acyclic graph: nodes are individual MV updates, edges are
+//! dependencies between them ("`v -> w`" means `w` reads the output of `v`).
+//!
+//! This crate provides the graph data structure and the graph algorithms the
+//! optimizer builds on:
+//!
+//! * [`Dag`] — an append-only adjacency-list DAG with cycle-safe edge
+//!   insertion and per-node payloads;
+//! * topological orders ([`Dag::kahn_order`], [`Dag::dfs_postorder_topo`],
+//!   [`Dag::is_topological_order`]);
+//! * reachability and structure queries ([`Dag::descendants`],
+//!   [`Dag::ancestors`], [`Dag::levels`], [`Dag::roots`], [`Dag::leaves`]);
+//! * GraphViz DOT export for debugging ([`Dag::to_dot`]).
+//!
+//! The paper used Python NetworkX for this role; we implement the substrate
+//! from scratch so the repository is fully self-contained.
+//!
+//! ```
+//! use sc_dag::Dag;
+//!
+//! // The Figure 4 workload: TABLE -> MV1 -> {MV2, MV3}.
+//! let mut g: Dag<&str> = Dag::new();
+//! let mv1 = g.add_node("MV1");
+//! let mv2 = g.add_node("MV2");
+//! let mv3 = g.add_node("MV3");
+//! g.add_edge(mv1, mv2).unwrap();
+//! g.add_edge(mv1, mv3).unwrap();
+//!
+//! let order = g.kahn_order();
+//! assert!(g.is_topological_order(&order));
+//! assert_eq!(order[0], mv1);
+//! ```
+
+mod algo;
+mod dot;
+mod error;
+mod graph;
+mod topo;
+
+pub use error::DagError;
+pub use graph::{Dag, EdgeIter, NodeId};
+pub use topo::TopoBuilder;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, DagError>;

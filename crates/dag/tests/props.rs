@@ -1,0 +1,94 @@
+//! Property-based tests for the DAG substrate.
+
+use proptest::prelude::*;
+use sc_dag::{Dag, NodeId};
+
+/// Generates a random DAG by sampling edges `(a, b)` with `a < b`, which is
+/// acyclic by construction (node ids already form a topological order).
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Dag<u32>> {
+    (2..max_nodes)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2));
+            (Just(n), edges)
+        })
+        .prop_map(|(n, raw_edges)| {
+            let mut g: Dag<u32> = Dag::new();
+            for i in 0..n {
+                g.add_node(i as u32);
+            }
+            for (a, b) in raw_edges {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi {
+                    // Ignore duplicates; ordering guarantees acyclicity.
+                    let _ = g.add_edge(NodeId(lo), NodeId(hi));
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #[test]
+    fn kahn_order_is_always_topological(g in arb_dag(40)) {
+        let order = g.kahn_order();
+        prop_assert!(g.is_topological_order(&order));
+        prop_assert_eq!(order.len(), g.len());
+    }
+
+    #[test]
+    fn dfs_topo_is_always_topological(g in arb_dag(40)) {
+        let order = g.dfs_postorder_topo();
+        prop_assert!(g.is_topological_order(&order));
+    }
+
+    #[test]
+    fn descendants_ancestors_are_duals(g in arb_dag(25)) {
+        for v in g.node_ids() {
+            for d in g.descendants(v) {
+                prop_assert!(g.ancestors(d).contains(&v),
+                    "{v} -> {d} but {v} not an ancestor of {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_is_consistent_with_descendants(g in arb_dag(25)) {
+        for v in g.node_ids() {
+            let desc = g.descendants(v);
+            for w in g.node_ids() {
+                let expected = w == v || desc.contains(&w);
+                prop_assert_eq!(g.reaches(v, w), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_respect_edges(g in arb_dag(40)) {
+        let levels = g.levels();
+        for (a, b) in g.edges() {
+            prop_assert!(levels[a.index()] < levels[b.index()]);
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_iterator(g in arb_dag(40)) {
+        prop_assert_eq!(g.edges().count(), g.edge_count());
+    }
+
+    #[test]
+    fn cycle_insertion_always_rejected(g in arb_dag(25)) {
+        // For every existing edge, adding the reverse of a reachable pair
+        // must fail and leave the graph untouched.
+        let mut g = g;
+        let edges: Vec<_> = g.edges().collect();
+        let before = g.edge_count();
+        let mut rejected = 0;
+        for (a, b) in edges {
+            if g.add_edge(b, a).is_err() {
+                rejected += 1;
+            }
+        }
+        prop_assert_eq!(rejected, before, "every reverse edge must be rejected");
+        prop_assert_eq!(g.edge_count(), before);
+    }
+}

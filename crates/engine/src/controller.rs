@@ -1,0 +1,599 @@
+//! The S/C **Controller** (§III): executes an MV refresh run according to
+//! the optimizer's plan.
+//!
+//! For each node in the plan's execution order the controller runs the
+//! node's logical plan, reading inputs from the Memory Catalog when present
+//! and from external storage otherwise. Flagged nodes are created directly
+//! in memory and handed to a *background materializer* thread that persists
+//! them in parallel with downstream computation (Figure 6); a flagged entry
+//! is released as soon as (a) all of its consumers have executed and (b)
+//! its materialization has finished, so every MV is always fully persisted
+//! by the end of the run — S/C never weakens the SLA.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel;
+
+use sc_core::Plan;
+use sc_dag::NodeId;
+
+use crate::plan::{LogicalPlan, TableSource};
+use crate::storage::{DiskCatalog, MemoryCatalog};
+use crate::table::Table;
+use crate::{EngineError, Result};
+
+/// One MV update: a name and the query producing its contents.
+#[derive(Debug, Clone)]
+pub struct MvDefinition {
+    /// Output table name (other MVs reference it by this name).
+    pub name: String,
+    /// The query computing the MV.
+    pub plan: LogicalPlan,
+}
+
+impl MvDefinition {
+    /// Creates a definition.
+    pub fn new(name: impl Into<String>, plan: LogicalPlan) -> Self {
+        MvDefinition { name: name.into(), plan }
+    }
+}
+
+/// Controller tuning.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// If true (default), a flagged node whose output unexpectedly exceeds
+    /// the remaining Memory Catalog budget falls back to a blocking disk
+    /// materialization instead of failing the run. The optimizer plans from
+    /// *estimated* sizes, so a small estimation error must not abort a
+    /// refresh.
+    pub fallback_on_memory_pressure: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig { fallback_on_memory_pressure: true }
+    }
+}
+
+/// Timing breakdown for one executed node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMetrics {
+    /// MV name.
+    pub name: String,
+    /// Seconds spent reading inputs from external storage.
+    pub read_s: f64,
+    /// Seconds spent in operators (total node time minus storage reads).
+    pub compute_s: f64,
+    /// Seconds of *blocking* write (0 for flagged nodes — their write is
+    /// backgrounded).
+    pub write_s: f64,
+    /// Output size in bytes.
+    pub output_bytes: u64,
+    /// Output row count.
+    pub rows: usize,
+    /// Whether this node was kept in the Memory Catalog.
+    pub flagged: bool,
+    /// Whether a flagged node fell back to disk (memory pressure).
+    pub fell_back: bool,
+    /// How many inputs were served from the Memory Catalog.
+    pub memory_reads: usize,
+    /// How many inputs were read from external storage.
+    pub disk_reads: usize,
+}
+
+/// Outcome of a refresh run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// End-to-end wall time: from run start until every MV (including
+    /// background materializations) is persisted.
+    pub total_s: f64,
+    /// Per-node breakdowns, in execution order.
+    pub nodes: Vec<NodeMetrics>,
+    /// Peak Memory Catalog usage observed during the run.
+    pub peak_memory_bytes: u64,
+    /// Seconds spent at the end of the run waiting for the background
+    /// materializer to drain.
+    pub final_drain_s: f64,
+}
+
+impl RunMetrics {
+    /// Total blocking read seconds across nodes.
+    pub fn total_read_s(&self) -> f64 {
+        self.nodes.iter().map(|n| n.read_s).sum()
+    }
+
+    /// Total compute seconds across nodes.
+    pub fn total_compute_s(&self) -> f64 {
+        self.nodes.iter().map(|n| n.compute_s).sum()
+    }
+
+    /// Total blocking write seconds across nodes.
+    pub fn total_write_s(&self) -> f64 {
+        self.nodes.iter().map(|n| n.write_s).sum()
+    }
+}
+
+/// Executes MV refresh runs against a disk catalog + memory catalog pair.
+pub struct Controller<'a> {
+    disk: &'a DiskCatalog,
+    memory: &'a MemoryCatalog,
+    config: ControllerConfig,
+}
+
+/// Table resolver that prefers the Memory Catalog and accounts read time.
+struct RunSource<'a> {
+    memory: &'a MemoryCatalog,
+    disk: &'a DiskCatalog,
+    read_s: Cell<f64>,
+    memory_reads: Cell<usize>,
+    disk_reads: Cell<usize>,
+    // Cache of disk reads within a single node execution so a plan that
+    // scans the same table twice doesn't pay twice (engines buffer this).
+    node_cache: RefCell<HashMap<String, Arc<Table>>>,
+}
+
+impl TableSource for RunSource<'_> {
+    fn table(&self, name: &str) -> Result<Arc<Table>> {
+        if let Some(t) = self.memory.get(name) {
+            self.memory_reads.set(self.memory_reads.get() + 1);
+            return Ok(t);
+        }
+        if let Some(t) = self.node_cache.borrow().get(name) {
+            return Ok(t.clone());
+        }
+        let started = Instant::now();
+        let t = Arc::new(self.disk.read_table(name)?);
+        self.read_s.set(self.read_s.get() + started.elapsed().as_secs_f64());
+        self.disk_reads.set(self.disk_reads.get() + 1);
+        self.node_cache.borrow_mut().insert(name.to_string(), t.clone());
+        Ok(t)
+    }
+}
+
+impl<'a> Controller<'a> {
+    /// Creates a controller over the two catalogs.
+    pub fn new(disk: &'a DiskCatalog, memory: &'a MemoryCatalog) -> Self {
+        Controller { disk, memory, config: ControllerConfig::default() }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: ControllerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Derives the dependency edges among `mvs` (an edge `i -> j` when MV
+    /// `j` scans MV `i`'s output).
+    pub fn dependencies(mvs: &[MvDefinition]) -> Vec<(usize, usize)> {
+        let index: HashMap<&str, usize> =
+            mvs.iter().enumerate().map(|(i, m)| (m.name.as_str(), i)).collect();
+        let mut edges = Vec::new();
+        for (j, mv) in mvs.iter().enumerate() {
+            for input in mv.plan.input_tables() {
+                if let Some(&i) = index.get(input.as_str()) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Performs the refresh run described by `plan` over `mvs`.
+    ///
+    /// Preconditions checked here: the plan covers exactly the MV set and
+    /// its order respects every derived dependency.
+    pub fn refresh(&self, mvs: &[MvDefinition], plan: &Plan) -> Result<RunMetrics> {
+        let n = mvs.len();
+        if plan.order.len() != n || plan.flagged.len() != n {
+            return Err(EngineError::InvalidPlan(format!(
+                "plan covers {} nodes, workload has {n}",
+                plan.order.len()
+            )));
+        }
+        let mut seen = vec![false; n];
+        for &v in &plan.order {
+            if v.index() >= n || seen[v.index()] {
+                return Err(EngineError::InvalidPlan(format!("order is not a permutation: {v}")));
+            }
+            seen[v.index()] = true;
+        }
+        let edges = Self::dependencies(mvs);
+        let mut pos = vec![0usize; n];
+        for (p, &v) in plan.order.iter().enumerate() {
+            pos[v.index()] = p;
+        }
+        for &(i, j) in &edges {
+            if pos[i] > pos[j] {
+                return Err(EngineError::InvalidPlan(format!(
+                    "order executes '{}' before its dependency '{}'",
+                    mvs[j].name, mvs[i].name
+                )));
+            }
+        }
+
+        // Remaining-consumer counts for release bookkeeping.
+        let mut remaining_children = vec![0usize; n];
+        for &(i, _) in &edges {
+            remaining_children[i] += 1;
+        }
+        let has_children: Vec<bool> = remaining_children.iter().map(|&c| c > 0).collect();
+
+        self.memory.reset_peak();
+        let run_started = Instant::now();
+
+        let mut metrics_nodes: Vec<NodeMetrics> = Vec::with_capacity(n);
+        let mut final_drain_s = 0.0f64;
+
+        // Background materializer: receives (node index, name, table),
+        // persists it, reports completion.
+        let (work_tx, work_rx) = channel::unbounded::<(usize, String, Arc<Table>)>();
+        let (done_tx, done_rx) = channel::unbounded::<(usize, Result<u64>)>();
+
+        std::thread::scope(|scope| -> Result<()> {
+            let disk = self.disk;
+            scope.spawn(move || {
+                for (idx, name, table) in work_rx {
+                    let result = disk.write_table(&name, &table);
+                    // The run ends before the channel closes, so a send
+                    // failure can only happen on early abort; ignore it.
+                    let _ = done_tx.send((idx, result));
+                }
+            });
+
+            // Release state per node: children pending + write pending.
+            let mut write_pending = vec![false; n];
+            let mut resident = vec![false; n];
+
+            let process_done = |timeout: Option<std::time::Duration>,
+                                write_pending: &mut Vec<bool>,
+                                mvs: &[MvDefinition]|
+             -> Result<bool> {
+                let msg = match timeout {
+                    None => match done_rx.try_recv() {
+                        Ok(m) => m,
+                        Err(_) => return Ok(false),
+                    },
+                    Some(t) => match done_rx.recv_timeout(t) {
+                        Ok(m) => m,
+                        Err(_) => return Ok(false),
+                    },
+                };
+                let (idx, result) = msg;
+                result.map_err(|e| EngineError::Materialize(format!("{}: {e}", mvs[idx].name)))?;
+                write_pending[idx] = false;
+                Ok(true)
+            };
+
+            for &node in &plan.order {
+                let idx = node.index();
+                let mv = &mvs[idx];
+                let source = RunSource {
+                    memory: self.memory,
+                    disk: self.disk,
+                    read_s: Cell::new(0.0),
+                    memory_reads: Cell::new(0),
+                    disk_reads: Cell::new(0),
+                    node_cache: RefCell::new(HashMap::new()),
+                };
+
+                let node_started = Instant::now();
+                let output = Arc::new(mv.plan.execute(&source)?);
+                let exec_elapsed = node_started.elapsed().as_secs_f64();
+                let read_s = source.read_s.get();
+                let compute_s = (exec_elapsed - read_s).max(0.0);
+                let output_bytes = output.byte_size();
+                let rows = output.num_rows();
+
+                let is_flagged = plan.flagged.contains(NodeId(idx));
+                let mut write_s = 0.0;
+                let mut fell_back = false;
+
+                if is_flagged && !has_children[idx] {
+                    // No consumers: skip the catalog (it is outside every
+                    // Vi), just background the write.
+                    write_pending[idx] = true;
+                    work_tx
+                        .send((idx, mv.name.clone(), output))
+                        .map_err(|e| EngineError::Materialize(e.to_string()))?;
+                } else if is_flagged {
+                    match self.memory.insert(&mv.name, output.clone()) {
+                        Ok(()) => {
+                            resident[idx] = true;
+                            write_pending[idx] = true;
+                            work_tx
+                                .send((idx, mv.name.clone(), output))
+                                .map_err(|e| EngineError::Materialize(e.to_string()))?;
+                        }
+                        Err(EngineError::MemoryBudgetExceeded { .. })
+                            if self.config.fallback_on_memory_pressure =>
+                        {
+                            fell_back = true;
+                            let w = Instant::now();
+                            self.disk.write_table(&mv.name, &output)?;
+                            write_s = w.elapsed().as_secs_f64();
+                        }
+                        Err(e) => return Err(e),
+                    }
+                } else {
+                    let w = Instant::now();
+                    self.disk.write_table(&mv.name, &output)?;
+                    write_s = w.elapsed().as_secs_f64();
+                }
+
+                metrics_nodes.push(NodeMetrics {
+                    name: mv.name.clone(),
+                    read_s,
+                    compute_s,
+                    write_s,
+                    output_bytes,
+                    rows,
+                    flagged: is_flagged && !fell_back,
+                    fell_back,
+                    memory_reads: source.memory_reads.get(),
+                    disk_reads: source.disk_reads.get(),
+                });
+
+                // This node consumed its parents: update release counts.
+                // Per §III-C a flagged entry is freed as soon as all of its
+                // dependents complete; the materializer thread holds its own
+                // reference, so releasing the catalog budget is safe even
+                // while the background write is still in flight.
+                for &(i, j) in &edges {
+                    if j == idx {
+                        remaining_children[i] -= 1;
+                        if remaining_children[i] == 0 && resident[i] {
+                            self.memory.remove(&mvs[i].name);
+                            resident[i] = false;
+                        }
+                    }
+                }
+
+                // Opportunistically drain materializer completions.
+                while process_done(None, &mut write_pending, mvs)? {}
+            }
+
+            // All nodes executed; wait for outstanding materializations.
+            drop(work_tx);
+            let drain_started = Instant::now();
+            while write_pending.iter().any(|&p| p) {
+                if !process_done(Some(std::time::Duration::from_millis(50)), &mut write_pending, mvs)? {
+                    continue;
+                }
+            }
+            final_drain_s = drain_started.elapsed().as_secs_f64();
+
+            // Release any still-resident flagged nodes (all children done by
+            // now — every node has executed).
+            for (idx, r) in resident.iter().enumerate() {
+                if *r {
+                    self.memory.remove(&mvs[idx].name);
+                }
+            }
+            Ok(())
+        })?;
+
+        Ok(RunMetrics {
+            total_s: run_started.elapsed().as_secs_f64(),
+            nodes: metrics_nodes,
+            peak_memory_bytes: self.memory.peak(),
+            final_drain_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::AggExpr;
+    use crate::storage::Throttle;
+    use crate::table::TableBuilder;
+    use crate::types::{DataType, Value};
+    use sc_core::FlagSet;
+
+    /// Base table with `n` rows of (k, v).
+    fn base_table(n: i64) -> Table {
+        let mut t = TableBuilder::new()
+            .column("k", DataType::Int64)
+            .column("v", DataType::Float64)
+            .build();
+        for i in 0..n {
+            t.push_row(vec![Value::Int64(i % 10), Value::Float64(i as f64)]).unwrap();
+        }
+        t
+    }
+
+    /// A 3-node workload like Figure 4: base -> mv1 -> {mv2, mv3}.
+    fn fig4_workload() -> Vec<MvDefinition> {
+        vec![
+            MvDefinition::new(
+                "mv1",
+                LogicalPlan::scan("base").filter(Expr::col("v").ge(Expr::lit(10.0f64))),
+            ),
+            MvDefinition::new(
+                "mv2",
+                LogicalPlan::scan("mv1").aggregate(
+                    vec!["k".into()],
+                    vec![AggExpr::new(crate::exec::AggFunc::Sum, "v", "sum_v")],
+                ),
+            ),
+            MvDefinition::new(
+                "mv3",
+                LogicalPlan::scan("mv1").filter(Expr::col("k").eq(Expr::lit(3i64))),
+            ),
+        ]
+    }
+
+    fn setup(budget: u64) -> (tempfile::TempDir, DiskCatalog, MemoryCatalog) {
+        let dir = tempfile::tempdir().unwrap();
+        let disk = DiskCatalog::open(dir.path()).unwrap();
+        disk.write_table("base", &base_table(500)).unwrap();
+        let mem = MemoryCatalog::new(budget);
+        (dir, disk, mem)
+    }
+
+    fn plan_for(mvs: &[MvDefinition], flagged: &[usize]) -> Plan {
+        let order: Vec<NodeId> = (0..mvs.len()).map(NodeId).collect();
+        Plan { order, flagged: FlagSet::from_nodes(mvs.len(), flagged.iter().map(|&i| NodeId(i))) }
+    }
+
+    #[test]
+    fn unflagged_run_materializes_everything() {
+        let (_dir, disk, mem) = setup(1 << 20);
+        let mvs = fig4_workload();
+        let plan = plan_for(&mvs, &[]);
+        let metrics = Controller::new(&disk, &mem).refresh(&mvs, &plan).unwrap();
+        assert_eq!(metrics.nodes.len(), 3);
+        for mv in &mvs {
+            assert!(disk.contains(&mv.name), "{} must be persisted", mv.name);
+        }
+        assert_eq!(metrics.peak_memory_bytes, 0);
+        assert!(mem.is_empty());
+        // Unflagged nodes pay blocking writes.
+        assert!(metrics.nodes.iter().all(|n| n.write_s >= 0.0 && !n.flagged));
+        // mv2/mv3 read mv1 from disk.
+        assert!(metrics.nodes[1].disk_reads >= 1);
+    }
+
+    #[test]
+    fn flagged_run_produces_identical_tables() {
+        let (_dir1, disk1, mem1) = setup(1 << 20);
+        let (_dir2, disk2, mem2) = setup(1 << 20);
+        let mvs = fig4_workload();
+
+        Controller::new(&disk1, &mem1).refresh(&mvs, &plan_for(&mvs, &[])).unwrap();
+        Controller::new(&disk2, &mem2).refresh(&mvs, &plan_for(&mvs, &[0])).unwrap();
+
+        for mv in &mvs {
+            assert_eq!(
+                disk1.read_table(&mv.name).unwrap(),
+                disk2.read_table(&mv.name).unwrap(),
+                "flagging must not change {}'s contents",
+                mv.name
+            );
+        }
+    }
+
+    #[test]
+    fn flagged_node_served_from_memory_and_released() {
+        let (_dir, disk, mem) = setup(1 << 20);
+        let mvs = fig4_workload();
+        let plan = plan_for(&mvs, &[0]);
+        let metrics = Controller::new(&disk, &mem).refresh(&mvs, &plan).unwrap();
+        // mv1 flagged: no blocking write, consumers read from memory.
+        assert!(metrics.nodes[0].flagged);
+        assert_eq!(metrics.nodes[0].write_s, 0.0);
+        assert_eq!(metrics.nodes[1].memory_reads, 1);
+        assert_eq!(metrics.nodes[1].disk_reads, 0);
+        assert_eq!(metrics.nodes[2].memory_reads, 1);
+        // Released at the end; still persisted.
+        assert!(mem.is_empty());
+        assert!(disk.contains("mv1"));
+        assert!(metrics.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn memory_pressure_falls_back_to_disk() {
+        let (_dir, disk, mem) = setup(16); // comically small budget
+        let mvs = fig4_workload();
+        let plan = plan_for(&mvs, &[0]);
+        let metrics = Controller::new(&disk, &mem).refresh(&mvs, &plan).unwrap();
+        assert!(metrics.nodes[0].fell_back);
+        assert!(!metrics.nodes[0].flagged);
+        assert!(disk.contains("mv1"));
+        // Consumers read from disk instead.
+        assert_eq!(metrics.nodes[1].memory_reads, 0);
+    }
+
+    #[test]
+    fn memory_pressure_without_fallback_errors() {
+        let (_dir, disk, mem) = setup(16);
+        let mvs = fig4_workload();
+        let plan = plan_for(&mvs, &[0]);
+        let controller = Controller::new(&disk, &mem)
+            .with_config(ControllerConfig { fallback_on_memory_pressure: false });
+        assert!(matches!(
+            controller.refresh(&mvs, &plan),
+            Err(EngineError::MemoryBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_plans() {
+        let (_dir, disk, mem) = setup(1 << 20);
+        let mvs = fig4_workload();
+        let c = Controller::new(&disk, &mem);
+        // Wrong length.
+        let bad = Plan { order: vec![NodeId(0)], flagged: FlagSet::none(1) };
+        assert!(matches!(c.refresh(&mvs, &bad), Err(EngineError::InvalidPlan(_))));
+        // Not a permutation.
+        let bad = Plan {
+            order: vec![NodeId(0), NodeId(0), NodeId(1)],
+            flagged: FlagSet::none(3),
+        };
+        assert!(matches!(c.refresh(&mvs, &bad), Err(EngineError::InvalidPlan(_))));
+        // Dependency violation: mv2 before mv1.
+        let bad = Plan {
+            order: vec![NodeId(1), NodeId(0), NodeId(2)],
+            flagged: FlagSet::none(3),
+        };
+        assert!(matches!(c.refresh(&mvs, &bad), Err(EngineError::InvalidPlan(_))));
+    }
+
+    #[test]
+    fn dependencies_derived_from_scans() {
+        let mvs = fig4_workload();
+        let deps = Controller::dependencies(&mvs);
+        assert_eq!(deps, vec![(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn missing_base_table_fails_cleanly() {
+        let dir = tempfile::tempdir().unwrap();
+        let disk = DiskCatalog::open(dir.path()).unwrap();
+        let mem = MemoryCatalog::new(1 << 20);
+        let mvs = fig4_workload();
+        let plan = plan_for(&mvs, &[]);
+        assert!(matches!(
+            Controller::new(&disk, &mem).refresh(&mvs, &plan),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn throttled_flagged_run_is_faster_than_unflagged() {
+        // With a slow disk, flagging mv1 must cut end-to-end time: its
+        // write overlaps downstream compute and its two consumers skip
+        // disk reads. This is Figure 1 in miniature.
+        let dir = tempfile::tempdir().unwrap();
+        let slow = Throttle { read_bps: 4e6, write_bps: 3e6, latency_s: 0.002 };
+        let disk = DiskCatalog::open_throttled(dir.path(), slow).unwrap();
+        disk.write_table("base", &base_table(4000)).unwrap();
+        let mem = MemoryCatalog::new(1 << 22);
+        let mvs = fig4_workload();
+
+        let base = Controller::new(&disk, &mem).refresh(&mvs, &plan_for(&mvs, &[])).unwrap();
+        let sc = Controller::new(&disk, &mem).refresh(&mvs, &plan_for(&mvs, &[0])).unwrap();
+        assert!(
+            sc.total_s < base.total_s,
+            "S/C run ({:.3}s) must beat baseline ({:.3}s)",
+            sc.total_s,
+            base.total_s
+        );
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    fn run_metrics_sums() {
+        let (_dir, disk, mem) = setup(1 << 20);
+        let mvs = fig4_workload();
+        let m = Controller::new(&disk, &mem).refresh(&mvs, &plan_for(&mvs, &[])).unwrap();
+        assert!(m.total_read_s() >= 0.0);
+        assert!(m.total_compute_s() >= 0.0);
+        assert!(m.total_write_s() >= 0.0);
+        assert!(m.total_s >= m.total_write_s());
+    }
+}

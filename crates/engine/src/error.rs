@@ -1,0 +1,107 @@
+use std::fmt;
+
+/// Errors produced by the execution engine, the storage catalogs, and the
+/// refresh controller.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A value or column had the wrong type for an operation.
+    TypeMismatch { expected: String, got: String, context: String },
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A referenced table does not exist in any catalog.
+    UnknownTable(String),
+    /// A table already exists where a new one was to be created.
+    TableExists(String),
+    /// Row or column arity did not match the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// Division by zero or a similar arithmetic fault.
+    Arithmetic(String),
+    /// Creating a table in the Memory Catalog would exceed its budget.
+    MemoryBudgetExceeded { requested: u64, used: u64, budget: u64 },
+    /// The on-disk file was not a valid table (corrupt or truncated).
+    Corrupt(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// An invalid refresh plan (wrong node count, non-topological order…).
+    InvalidPlan(String),
+    /// A background materialization worker failed.
+    Materialize(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::TypeMismatch { expected, got, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, got {got}")
+            }
+            EngineError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            EngineError::TableExists(t) => write!(f, "table '{t}' already exists"),
+            EngineError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected}, got {got}")
+            }
+            EngineError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            EngineError::MemoryBudgetExceeded { requested, used, budget } => write!(
+                f,
+                "memory catalog budget exceeded: requested {requested} B with {used}/{budget} B used"
+            ),
+            EngineError::Corrupt(m) => write!(f, "corrupt table file: {m}"),
+            EngineError::Io(e) => write!(f, "io error: {e}"),
+            EngineError::InvalidPlan(m) => write!(f, "invalid refresh plan: {m}"),
+            EngineError::Materialize(m) => write!(f, "materialization failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(EngineError, &str)> = vec![
+            (
+                EngineError::TypeMismatch {
+                    expected: "Int64".into(),
+                    got: "Utf8".into(),
+                    context: "filter".into(),
+                },
+                "type mismatch",
+            ),
+            (EngineError::UnknownColumn("x".into()), "unknown column"),
+            (EngineError::UnknownTable("t".into()), "unknown table"),
+            (EngineError::TableExists("t".into()), "already exists"),
+            (EngineError::ArityMismatch { expected: 2, got: 3 }, "arity"),
+            (EngineError::Arithmetic("div by zero".into()), "arithmetic"),
+            (
+                EngineError::MemoryBudgetExceeded { requested: 10, used: 5, budget: 8 },
+                "budget exceeded",
+            ),
+            (EngineError::Corrupt("bad magic".into()), "corrupt"),
+            (EngineError::InvalidPlan("cycle".into()), "invalid refresh plan"),
+            (EngineError::Materialize("disk full".into()), "materialization"),
+        ];
+        for (e, frag) in cases {
+            assert!(e.to_string().contains(frag), "{e} missing '{frag}'");
+        }
+        let io = EngineError::from(std::io::Error::other("x"));
+        assert!(io.to_string().contains("io error"));
+        use std::error::Error as _;
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,241 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::column::{Column, RowKey};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::types::DataType;
+use crate::{EngineError, Result};
+
+/// Aggregate functions supported by [`aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count (ignores its input column's values).
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric minimum.
+    Min,
+    /// Numeric maximum.
+    Max,
+    /// Numeric mean.
+    Avg,
+}
+
+impl AggFunc {
+    fn output_type(self, input: DataType) -> Result<DataType> {
+        match self {
+            AggFunc::Count => Ok(DataType::Int64),
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => match input {
+                DataType::Int64 => Ok(DataType::Int64),
+                DataType::Float64 => Ok(DataType::Float64),
+                DataType::Date => Ok(DataType::Date),
+                other => Err(EngineError::TypeMismatch {
+                    expected: "numeric".into(),
+                    got: other.to_string(),
+                    context: "aggregate".into(),
+                }),
+            },
+            AggFunc::Avg => match input {
+                DataType::Int64 | DataType::Float64 | DataType::Date => Ok(DataType::Float64),
+                other => Err(EngineError::TypeMismatch {
+                    expected: "numeric".into(),
+                    got: other.to_string(),
+                    context: "aggregate".into(),
+                }),
+            },
+        }
+    }
+}
+
+/// Running state of one aggregate over one group.
+#[derive(Debug, Clone, Copy)]
+struct AggState {
+    count: i64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AggState {
+    fn new() -> Self {
+        AggState { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn update(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// Hash aggregation: groups `input` by the named key columns and computes
+/// `(func, input column, output name)` aggregates per group.
+///
+/// With no group keys the whole table forms a single group (global
+/// aggregate), matching SQL semantics for a non-grouped aggregate over a
+/// non-empty input; an empty input yields zero rows.
+pub fn aggregate(
+    input: &Table,
+    group_by: &[String],
+    aggs: &[(AggFunc, String, String)],
+) -> Result<Table> {
+    let key_cols: Vec<&Column> =
+        group_by.iter().map(|g| input.column_by_name(g)).collect::<Result<_>>()?;
+    let agg_cols: Vec<&Column> =
+        aggs.iter().map(|(_, c, _)| input.column_by_name(c)).collect::<Result<_>>()?;
+
+    // Validate output types up front.
+    let mut fields: Vec<Field> = Vec::with_capacity(group_by.len() + aggs.len());
+    for g in group_by {
+        fields.push(input.schema().field(g)?.clone());
+    }
+    for ((func, _, name), col) in aggs.iter().zip(&agg_cols) {
+        fields.push(Field::new(name.clone(), func.output_type(col.data_type())?));
+    }
+
+    // Group rows.
+    let mut groups: HashMap<Vec<RowKey>, (usize, Vec<AggState>)> = HashMap::new();
+    let mut group_order: Vec<Vec<RowKey>> = Vec::new();
+    for row in 0..input.num_rows() {
+        let key: Vec<RowKey> = key_cols.iter().map(|c| c.key(row)).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            group_order.push(key);
+            (row, vec![AggState::new(); aggs.len()])
+        });
+        for (state, col) in entry.1.iter_mut().zip(&agg_cols) {
+            // Count works on any type; numeric states need a numeric view.
+            let v = col.value(row).as_f64().unwrap_or(0.0);
+            state.update(v);
+        }
+    }
+
+    // Emit one row per group in first-seen order (deterministic output).
+    let mut columns: Vec<Column> =
+        fields.iter().map(|f| Column::with_capacity(f.dtype, groups.len())).collect();
+    for key in &group_order {
+        let (first_row, states) = &groups[key];
+        for (i, kc) in key_cols.iter().enumerate() {
+            columns[i].push(kc.value(*first_row))?;
+        }
+        for (j, ((func, _, _), state)) in aggs.iter().zip(states).enumerate() {
+            let out_idx = group_by.len() + j;
+            let dtype = fields[out_idx].dtype;
+            let scalar = match func {
+                AggFunc::Count => state.count as f64,
+                AggFunc::Sum => state.sum,
+                AggFunc::Min => state.min,
+                AggFunc::Max => state.max,
+                AggFunc::Avg => state.sum / state.count.max(1) as f64,
+            };
+            let value = match dtype {
+                DataType::Int64 => crate::types::Value::Int64(scalar as i64),
+                DataType::Float64 => crate::types::Value::Float64(scalar),
+                DataType::Date => crate::types::Value::Date(scalar as i32),
+                _ => unreachable!("validated output type"),
+            };
+            columns[out_idx].push(value)?;
+        }
+    }
+    Table::new(Arc::new(Schema::new(fields)?), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use crate::types::Value;
+
+    fn sales() -> Table {
+        let mut t = TableBuilder::new()
+            .column("store", DataType::Utf8)
+            .column("qty", DataType::Int64)
+            .column("price", DataType::Float64)
+            .build();
+        for (s, q, p) in [
+            ("a", 1, 10.0),
+            ("b", 2, 20.0),
+            ("a", 3, 30.0),
+            ("b", 4, 5.0),
+            ("a", 5, 1.0),
+        ] {
+            t.push_row(vec![s.into(), (q as i64).into(), p.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn group_by_sum_count() {
+        let out = aggregate(
+            &sales(),
+            &["store".into()],
+            &[
+                (AggFunc::Sum, "qty".into(), "total_qty".into()),
+                (AggFunc::Count, "qty".into(), "n".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        // First-seen order: a then b.
+        assert_eq!(out.value(0, 0), Value::Utf8("a".into()));
+        assert_eq!(out.value(0, 1), Value::Int64(9));
+        assert_eq!(out.value(0, 2), Value::Int64(3));
+        assert_eq!(out.value(1, 1), Value::Int64(6));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let out = aggregate(
+            &sales(),
+            &["store".into()],
+            &[
+                (AggFunc::Min, "price".into(), "lo".into()),
+                (AggFunc::Max, "price".into(), "hi".into()),
+                (AggFunc::Avg, "price".into(), "mean".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.value(0, 1), Value::Float64(1.0));
+        assert_eq!(out.value(0, 2), Value::Float64(30.0));
+        let Value::Float64(mean) = out.value(1, 3) else { panic!("avg must be float") };
+        assert!((mean - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_aggregate_no_keys() {
+        let out = aggregate(&sales(), &[], &[(AggFunc::Sum, "qty".into(), "s".into())]).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, 0), Value::Int64(15));
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        let empty = TableBuilder::new().column("x", DataType::Int64).build();
+        let out = aggregate(&empty, &[], &[(AggFunc::Sum, "x".into(), "s".into())]).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn sum_of_strings_rejected() {
+        let r = aggregate(&sales(), &[], &[(AggFunc::Sum, "store".into(), "s".into())]);
+        assert!(r.is_err());
+        // Count of strings is fine.
+        let ok =
+            aggregate(&sales(), &[], &[(AggFunc::Count, "store".into(), "n".into())]).unwrap();
+        assert_eq!(ok.value(0, 0), Value::Int64(5));
+    }
+
+    #[test]
+    fn unknown_columns_rejected() {
+        assert!(aggregate(&sales(), &["zzz".into()], &[]).is_err());
+        assert!(aggregate(&sales(), &[], &[(AggFunc::Sum, "zzz".into(), "s".into())]).is_err());
+    }
+
+    #[test]
+    fn avg_output_is_float_even_for_ints() {
+        let out = aggregate(&sales(), &[], &[(AggFunc::Avg, "qty".into(), "m".into())]).unwrap();
+        assert_eq!(out.schema().field("m").unwrap().dtype, DataType::Float64);
+        assert_eq!(out.value(0, 0), Value::Float64(3.0));
+    }
+}

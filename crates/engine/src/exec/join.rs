@@ -1,0 +1,242 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::column::{Column, RowKey};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::types::{DataType, Value};
+use crate::{EngineError, Result};
+
+/// Join type. The S/C workloads (select-project-join units from TPC-DS)
+/// need inner and left outer joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Keep only matching pairs.
+    Inner,
+    /// Keep every left row; unmatched right columns are filled with
+    /// type-appropriate nulls (0 / 0.0 / "" / false).
+    Left,
+}
+
+/// Hash join of `left` and `right` on equality of the named key columns.
+///
+/// The smaller side should conventionally be `right` (the build side); the
+/// probe streams over `left`. Output columns are the left columns followed
+/// by the right columns, with right-side name collisions suffixed `_r`.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    on: &[(String, String)],
+    join_type: JoinType,
+) -> Result<Table> {
+    if on.is_empty() {
+        return Err(EngineError::InvalidPlan("join requires at least one key".into()));
+    }
+    let left_keys: Vec<&Column> =
+        on.iter().map(|(l, _)| left.column_by_name(l)).collect::<Result<_>>()?;
+    let right_keys: Vec<&Column> =
+        on.iter().map(|(_, r)| right.column_by_name(r)).collect::<Result<_>>()?;
+
+    // Build side: right table.
+    let mut build: HashMap<Vec<RowKey>, Vec<usize>> = HashMap::with_capacity(right.num_rows());
+    for row in 0..right.num_rows() {
+        let key: Vec<RowKey> = right_keys.iter().map(|c| c.key(row)).collect();
+        build.entry(key).or_default().push(row);
+    }
+
+    // Probe side: left table.
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<Option<usize>> = Vec::new();
+    for row in 0..left.num_rows() {
+        let key: Vec<RowKey> = left_keys.iter().map(|c| c.key(row)).collect();
+        match build.get(&key) {
+            Some(matches) => {
+                for &r in matches {
+                    left_idx.push(row);
+                    right_idx.push(Some(r));
+                }
+            }
+            None => {
+                if join_type == JoinType::Left {
+                    left_idx.push(row);
+                    right_idx.push(None);
+                }
+            }
+        }
+    }
+
+    // Assemble output schema: left fields, then right fields (deduped).
+    let mut fields: Vec<Field> = left.schema().fields().to_vec();
+    let mut right_names: Vec<String> = Vec::with_capacity(right.num_columns());
+    for f in right.schema().fields() {
+        let name = if left.schema().index_of(&f.name).is_ok() {
+            format!("{}_r", f.name)
+        } else {
+            f.name.clone()
+        };
+        right_names.push(name.clone());
+        fields.push(Field::new(name, f.dtype));
+    }
+
+    let mut columns: Vec<Column> = Vec::with_capacity(fields.len());
+    for c in left.columns() {
+        columns.push(c.take(&left_idx));
+    }
+    for c in right.columns() {
+        columns.push(take_optional(c, &right_idx));
+    }
+    Table::new(Arc::new(Schema::new(fields)?), columns)
+}
+
+/// Gathers rows where present, null-filling gaps (left-join misses).
+fn take_optional(c: &Column, indices: &[Option<usize>]) -> Column {
+    let mut out = Column::with_capacity(c.data_type(), indices.len());
+    for idx in indices {
+        let v = match idx {
+            Some(i) => c.value(*i),
+            None => null_of(c.data_type()),
+        };
+        out.push(v).expect("type-consistent by construction");
+    }
+    out
+}
+
+fn null_of(dtype: DataType) -> Value {
+    match dtype {
+        DataType::Int64 => Value::Int64(0),
+        DataType::Float64 => Value::Float64(0.0),
+        DataType::Utf8 => Value::Utf8(String::new()),
+        DataType::Bool => Value::Bool(false),
+        DataType::Date => Value::Date(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn orders() -> Table {
+        let mut t = TableBuilder::new()
+            .column("order_id", DataType::Int64)
+            .column("cust_id", DataType::Int64)
+            .column("amount", DataType::Float64)
+            .build();
+        t.push_row(vec![100.into(), 1.into(), 10.0.into()]).unwrap();
+        t.push_row(vec![101.into(), 2.into(), 20.0.into()]).unwrap();
+        t.push_row(vec![102.into(), 1.into(), 30.0.into()]).unwrap();
+        t.push_row(vec![103.into(), 9.into(), 40.0.into()]).unwrap();
+        t
+    }
+
+    fn customers() -> Table {
+        let mut t = TableBuilder::new()
+            .column("cust_id", DataType::Int64)
+            .column("name", DataType::Utf8)
+            .build();
+        t.push_row(vec![1.into(), "alice".into()]).unwrap();
+        t.push_row(vec![2.into(), "bob".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let out = hash_join(
+            &orders(),
+            &customers(),
+            &[("cust_id".into(), "cust_id".into())],
+            JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3); // order 103 has no customer
+        // Collision: right cust_id renamed.
+        assert!(out.schema().index_of("cust_id_r").is_ok());
+        assert_eq!(out.value(0, out.schema().index_of("name").unwrap()), Value::Utf8("alice".into()));
+    }
+
+    #[test]
+    fn left_join_null_fills() {
+        let out = hash_join(
+            &orders(),
+            &customers(),
+            &[("cust_id".into(), "cust_id".into())],
+            JoinType::Left,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 4);
+        let name_col = out.schema().index_of("name").unwrap();
+        assert_eq!(out.value(3, name_col), Value::Utf8(String::new()));
+    }
+
+    #[test]
+    fn one_to_many_duplicates_probe_rows() {
+        // Customer 1 has two orders; joining customers->orders fans out.
+        let out = hash_join(
+            &customers(),
+            &orders(),
+            &[("cust_id".into(), "cust_id".into())],
+            JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let mut l = TableBuilder::new()
+            .column("a", DataType::Int64)
+            .column("b", DataType::Utf8)
+            .build();
+        l.push_row(vec![1.into(), "x".into()]).unwrap();
+        l.push_row(vec![1.into(), "y".into()]).unwrap();
+        let mut r = TableBuilder::new()
+            .column("a2", DataType::Int64)
+            .column("b2", DataType::Utf8)
+            .column("v", DataType::Int64)
+            .build();
+        r.push_row(vec![1.into(), "x".into(), 7.into()]).unwrap();
+        r.push_row(vec![1.into(), "z".into(), 8.into()]).unwrap();
+        let out = hash_join(
+            &l,
+            &r,
+            &[("a".into(), "a2".into()), ("b".into(), "b2".into())],
+            JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.value(0, out.schema().index_of("v").unwrap()), Value::Int64(7));
+    }
+
+    #[test]
+    fn join_requires_keys_and_valid_columns() {
+        assert!(hash_join(&orders(), &customers(), &[], JoinType::Inner).is_err());
+        assert!(hash_join(
+            &orders(),
+            &customers(),
+            &[("nope".into(), "cust_id".into())],
+            JoinType::Inner
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_sides() {
+        let empty_right = TableBuilder::new().column("cust_id", DataType::Int64).build();
+        let out = hash_join(
+            &orders(),
+            &empty_right,
+            &[("cust_id".into(), "cust_id".into())],
+            JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 0);
+        let out = hash_join(
+            &orders(),
+            &empty_right,
+            &[("cust_id".into(), "cust_id".into())],
+            JoinType::Left,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), orders().num_rows());
+    }
+}

@@ -1,0 +1,13 @@
+//! Relational operators. Each operator is a pure function
+//! `(&Table, …) -> Result<Table>`; the [`crate::plan::LogicalPlan`]
+//! interpreter composes them.
+
+mod aggregate;
+mod join;
+mod project;
+mod sort;
+
+pub use aggregate::{aggregate, AggFunc};
+pub use join::{hash_join, JoinType};
+pub use project::{filter, project};
+pub use sort::{limit, sort_by, union_all, SortKey};

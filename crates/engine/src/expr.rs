@@ -1,0 +1,407 @@
+//! Scalar expressions evaluated column-at-a-time over a [`Table`].
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::types::{DataType, Value};
+use crate::{EngineError, Result};
+
+/// Binary operators supported in expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Numeric addition.
+    Add,
+    /// Numeric subtraction.
+    Sub,
+    /// Numeric multiplication.
+    Mul,
+    /// Numeric division (errors on division by zero).
+    Div,
+    /// Equality on any type.
+    Eq,
+    /// Inequality on any type.
+    Ne,
+    /// Less-than on numerics, dates and strings.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+}
+
+#[allow(clippy::should_implement_trait)] // fluent builder API: a.add(b) reads as SQL
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary { left: Box::new(self), op, right: Box::new(rhs) }
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Div, rhs)
+    }
+    /// `self = rhs`
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+    /// `self != rhs`
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ne, rhs)
+    }
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Le, rhs)
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Ge, rhs)
+    }
+    /// `self AND rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+    /// `self OR rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+
+    /// Columns referenced by this expression (with duplicates).
+    pub fn referenced_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+        }
+    }
+
+    /// Evaluates the expression over every row of `table`.
+    pub fn evaluate(&self, table: &Table) -> Result<Column> {
+        match self {
+            Expr::Column(name) => Ok(table.column_by_name(name)?.clone()),
+            Expr::Literal(v) => {
+                let mut c = Column::with_capacity(v.data_type(), table.num_rows());
+                for _ in 0..table.num_rows() {
+                    c.push(v.clone())?;
+                }
+                Ok(c)
+            }
+            Expr::Binary { left, op, right } => {
+                let l = left.evaluate(table)?;
+                let r = right.evaluate(table)?;
+                eval_binary(&l, *op, &r)
+            }
+        }
+    }
+
+    /// The output type of this expression over `table`'s schema, without
+    /// evaluating it.
+    pub fn output_type(&self, table: &Table) -> Result<DataType> {
+        match self {
+            Expr::Column(name) => Ok(table.schema().field(name)?.dtype),
+            Expr::Literal(v) => Ok(v.data_type()),
+            Expr::Binary { left, op, right } => {
+                let lt = left.output_type(table)?;
+                let rt = right.output_type(table)?;
+                binary_output_type(lt, *op, rt)
+            }
+        }
+    }
+}
+
+fn binary_output_type(l: DataType, op: BinOp, r: DataType) -> Result<DataType> {
+    use BinOp::*;
+    let numeric =
+        |t: DataType| matches!(t, DataType::Int64 | DataType::Float64 | DataType::Date);
+    match op {
+        Add | Sub | Mul | Div => {
+            if !numeric(l) || !numeric(r) {
+                return Err(type_err(l, r, "arithmetic"));
+            }
+            if l == DataType::Int64 && r == DataType::Int64 && op != Div {
+                Ok(DataType::Int64)
+            } else {
+                Ok(DataType::Float64)
+            }
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => Ok(DataType::Bool),
+        And | Or => {
+            if l == DataType::Bool && r == DataType::Bool {
+                Ok(DataType::Bool)
+            } else {
+                Err(type_err(l, r, "boolean logic"))
+            }
+        }
+    }
+}
+
+fn type_err(l: DataType, r: DataType, context: &str) -> EngineError {
+    EngineError::TypeMismatch {
+        expected: l.to_string(),
+        got: r.to_string(),
+        context: context.to_string(),
+    }
+}
+
+fn eval_binary(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+    use BinOp::*;
+    debug_assert_eq!(l.len(), r.len());
+    match op {
+        Add | Sub | Mul | Div => eval_arith(l, op, r),
+        Eq | Ne | Lt | Le | Gt | Ge => eval_cmp(l, op, r),
+        And | Or => {
+            let a = l.as_bool()?;
+            let b = r.as_bool()?;
+            let out = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| if op == And { x && y } else { x || y })
+                .collect();
+            Ok(Column::Bool(out))
+        }
+    }
+}
+
+fn eval_arith(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+    // Fast path: Int64 ⊕ Int64 stays integral (except division).
+    if let (Column::Int64(a), Column::Int64(b)) = (l, r) {
+        match op {
+            BinOp::Add => {
+                return Ok(Column::Int64(a.iter().zip(b).map(|(x, y)| x.wrapping_add(*y)).collect()))
+            }
+            BinOp::Sub => {
+                return Ok(Column::Int64(a.iter().zip(b).map(|(x, y)| x.wrapping_sub(*y)).collect()))
+            }
+            BinOp::Mul => {
+                return Ok(Column::Int64(a.iter().zip(b).map(|(x, y)| x.wrapping_mul(*y)).collect()))
+            }
+            BinOp::Div => {}
+            _ => unreachable!("eval_arith only receives arithmetic ops"),
+        }
+    }
+    let a = numeric_view(l)?;
+    let b = numeric_view(r)?;
+    let out: Result<Vec<f64>> = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| match op {
+            BinOp::Add => Ok(x + y),
+            BinOp::Sub => Ok(x - y),
+            BinOp::Mul => Ok(x * y),
+            BinOp::Div => {
+                if y == 0.0 {
+                    Err(EngineError::Arithmetic("division by zero".into()))
+                } else {
+                    Ok(x / y)
+                }
+            }
+            _ => unreachable!("arith op"),
+        })
+        .collect();
+    Ok(Column::Float64(out?))
+}
+
+fn numeric_view(c: &Column) -> Result<Vec<f64>> {
+    match c {
+        Column::Int64(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+        Column::Float64(v) => Ok(v.clone()),
+        Column::Date(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+        other => Err(EngineError::TypeMismatch {
+            expected: "numeric".into(),
+            got: other.data_type().to_string(),
+            context: "arithmetic".into(),
+        }),
+    }
+}
+
+fn eval_cmp(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+    use std::cmp::Ordering;
+    let decide = |ord: Ordering| -> bool {
+        match op {
+            BinOp::Eq => ord == Ordering::Equal,
+            BinOp::Ne => ord != Ordering::Equal,
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::Le => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::Ge => ord != Ordering::Less,
+            _ => unreachable!("cmp op"),
+        }
+    };
+    // String comparisons are lexicographic; everything else numeric.
+    if let (Column::Utf8(a), Column::Utf8(b)) = (l, r) {
+        return Ok(Column::Bool(a.iter().zip(b).map(|(x, y)| decide(x.cmp(y))).collect()));
+    }
+    if let (Column::Bool(a), Column::Bool(b)) = (l, r) {
+        return Ok(Column::Bool(a.iter().zip(b).map(|(x, y)| decide(x.cmp(y))).collect()));
+    }
+    let a = numeric_view(l)?;
+    let b = numeric_view(r)?;
+    Ok(Column::Bool(
+        a.iter()
+            .zip(&b)
+            .map(|(x, y)| decide(x.partial_cmp(y).unwrap_or(Ordering::Equal)))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn table() -> Table {
+        let mut t = TableBuilder::new()
+            .column("a", DataType::Int64)
+            .column("b", DataType::Float64)
+            .column("s", DataType::Utf8)
+            .column("d", DataType::Date)
+            .build();
+        t.push_row(vec![1.into(), 2.0.into(), "x".into(), Value::Date(100)]).unwrap();
+        t.push_row(vec![5.into(), 3.0.into(), "y".into(), Value::Date(200)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let t = table();
+        assert_eq!(Expr::col("a").evaluate(&t).unwrap(), Column::Int64(vec![1, 5]));
+        assert_eq!(Expr::lit(7i64).evaluate(&t).unwrap(), Column::Int64(vec![7, 7]));
+        assert!(Expr::col("zz").evaluate(&t).is_err());
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integral() {
+        let t = table();
+        let e = Expr::col("a").add(Expr::lit(10i64)).mul(Expr::lit(2i64));
+        assert_eq!(e.evaluate(&t).unwrap(), Column::Int64(vec![22, 30]));
+        assert_eq!(e.output_type(&t).unwrap(), DataType::Int64);
+    }
+
+    #[test]
+    fn mixed_arithmetic_widens_to_float() {
+        let t = table();
+        let e = Expr::col("a").add(Expr::col("b"));
+        assert_eq!(e.evaluate(&t).unwrap(), Column::Float64(vec![3.0, 8.0]));
+        assert_eq!(e.output_type(&t).unwrap(), DataType::Float64);
+        // Int/Int division also widens.
+        let d = Expr::col("a").div(Expr::lit(2i64));
+        assert_eq!(d.evaluate(&t).unwrap(), Column::Float64(vec![0.5, 2.5]));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let t = table();
+        assert!(Expr::col("a").div(Expr::lit(0i64)).evaluate(&t).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = table();
+        assert_eq!(
+            Expr::col("a").gt(Expr::lit(2i64)).evaluate(&t).unwrap(),
+            Column::Bool(vec![false, true])
+        );
+        assert_eq!(
+            Expr::col("s").eq(Expr::lit("x")).evaluate(&t).unwrap(),
+            Column::Bool(vec![true, false])
+        );
+        assert_eq!(
+            Expr::col("d").le(Expr::lit(Value::Date(100))).evaluate(&t).unwrap(),
+            Column::Bool(vec![true, false])
+        );
+        // Cross-type numeric comparison works (int vs float).
+        assert_eq!(
+            Expr::col("a").ge(Expr::col("b")).evaluate(&t).unwrap(),
+            Column::Bool(vec![false, true])
+        );
+    }
+
+    #[test]
+    fn boolean_logic() {
+        let t = table();
+        let e = Expr::col("a")
+            .gt(Expr::lit(0i64))
+            .and(Expr::col("b").lt(Expr::lit(2.5f64)));
+        assert_eq!(e.evaluate(&t).unwrap(), Column::Bool(vec![true, false]));
+        let o = Expr::col("a").gt(Expr::lit(4i64)).or(Expr::col("b").lt(Expr::lit(2.5f64)));
+        assert_eq!(o.evaluate(&t).unwrap(), Column::Bool(vec![true, true]));
+        // AND on non-bool fails.
+        assert!(Expr::col("a").and(Expr::col("b")).evaluate(&t).is_err());
+        assert!(Expr::col("a").and(Expr::col("b")).output_type(&t).is_err());
+    }
+
+    #[test]
+    fn arithmetic_on_strings_fails() {
+        let t = table();
+        assert!(Expr::col("s").add(Expr::lit(1i64)).evaluate(&t).is_err());
+        assert!(Expr::col("s").add(Expr::lit(1i64)).output_type(&t).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_walks_tree() {
+        let e = Expr::col("a").add(Expr::col("b")).gt(Expr::lit(1i64));
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn output_type_of_comparison_is_bool() {
+        let t = table();
+        assert_eq!(Expr::col("s").eq(Expr::lit("x")).output_type(&t).unwrap(), DataType::Bool);
+    }
+}

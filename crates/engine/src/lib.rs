@@ -1,0 +1,71 @@
+//! # sc-engine — a mini columnar warehouse for S/C
+//!
+//! The S/C paper treats the DBMS as a black box that executes SQL and can
+//! read its inputs either from external storage or from an in-memory
+//! *Memory Catalog* (the paper's implementation drives Presto's `hive` and
+//! `memory` connectors). This crate is that black box, built from scratch:
+//!
+//! * a typed, columnar data model ([`Table`], [`Column`], [`Schema`]);
+//! * scalar expressions ([`expr::Expr`]) and relational operators
+//!   (filter / project / hash join / hash aggregate / sort / limit / union)
+//!   composed into a [`plan::LogicalPlan`];
+//! * a [`storage::DiskCatalog`] persisting tables in a self-describing
+//!   columnar file format, with an optional bandwidth/latency
+//!   [`storage::Throttle`] calibrated to the paper's disk;
+//! * a bounded [`storage::MemoryCatalog`] with peak-usage accounting;
+//! * a [`controller::Controller`] that performs an MV refresh run for a
+//!   given [`sc_core::Plan`]: flagged nodes are created directly in memory,
+//!   materialized to storage in the background (in parallel with downstream
+//!   work, §III-C), and released once all their consumers finish.
+//!
+//! ```
+//! use sc_engine::prelude::*;
+//!
+//! let mut t = TableBuilder::new()
+//!     .column("id", DataType::Int64)
+//!     .column("amount", DataType::Float64)
+//!     .build();
+//! t.push_row(vec![Value::Int64(1), Value::Float64(10.5)]).unwrap();
+//! t.push_row(vec![Value::Int64(2), Value::Float64(7.25)]).unwrap();
+//!
+//! let plan = LogicalPlan::scan("orders")
+//!     .filter(Expr::col("amount").gt(Expr::lit(8.0)))
+//!     .project(vec![(Expr::col("id"), "id".into())]);
+//! let mut tables = std::collections::HashMap::new();
+//! tables.insert("orders".to_string(), std::sync::Arc::new(t));
+//! let out = plan.execute(&tables).unwrap();
+//! assert_eq!(out.num_rows(), 1);
+//! ```
+
+pub mod column;
+pub mod controller;
+pub mod error;
+pub mod expr;
+pub mod exec;
+pub mod plan;
+pub mod schema;
+pub mod storage;
+pub mod table;
+pub mod types;
+
+pub use column::Column;
+pub use controller::{Controller, ControllerConfig, NodeMetrics, RunMetrics};
+pub use error::EngineError;
+pub use schema::{Field, Schema};
+pub use table::{Table, TableBuilder};
+pub use types::{DataType, Value};
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::column::Column;
+    pub use crate::controller::{Controller, ControllerConfig, RunMetrics};
+    pub use crate::expr::Expr;
+    pub use crate::plan::{AggExpr, JoinType, LogicalPlan};
+    pub use crate::schema::{Field, Schema};
+    pub use crate::storage::{DiskCatalog, MemoryCatalog, Throttle};
+    pub use crate::table::{Table, TableBuilder};
+    pub use crate::types::{DataType, Value};
+}

@@ -1,0 +1,313 @@
+//! Logical plans: the "SQL statement" carried by each node of an S/C
+//! workload. A plan is a tree of relational operators over named input
+//! tables; the controller resolves those names against the Memory Catalog
+//! first and external storage second, which is exactly the short-circuit
+//! the paper exploits.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::exec::{self, AggFunc, SortKey};
+use crate::expr::Expr;
+use crate::table::Table;
+use crate::{EngineError, Result};
+
+pub use crate::exec::JoinType;
+
+/// One aggregate output: `func(column) AS alias`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Input column.
+    pub column: String,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// Creates `func(column) AS alias`.
+    pub fn new(func: AggFunc, column: impl Into<String>, alias: impl Into<String>) -> Self {
+        AggExpr { func, column: column.into(), alias: alias.into() }
+    }
+}
+
+/// A tree of relational operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Read a named table from the catalogs.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Keep rows matching a predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Boolean predicate.
+        predicate: Expr,
+    },
+    /// Compute expressions into named output columns.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Hash join on key equality.
+    Join {
+        /// Probe side.
+        left: Box<LogicalPlan>,
+        /// Build side.
+        right: Box<LogicalPlan>,
+        /// `(left key, right key)` pairs.
+        on: Vec<(String, String)>,
+        /// Inner or left outer.
+        join_type: JoinType,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-by columns.
+        group_by: Vec<String>,
+        /// Aggregates.
+        aggs: Vec<AggExpr>,
+    },
+    /// Stable multi-key sort.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys.
+        keys: Vec<SortKey>,
+    },
+    /// First `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Row cap.
+        n: usize,
+    },
+    /// `UNION ALL` of two same-schema inputs.
+    Union {
+        /// First input.
+        left: Box<LogicalPlan>,
+        /// Second input.
+        right: Box<LogicalPlan>,
+    },
+}
+
+/// Anything that can resolve a table name to a table.
+pub trait TableSource {
+    /// Resolves `name`, or fails with [`EngineError::UnknownTable`].
+    fn table(&self, name: &str) -> Result<Arc<Table>>;
+}
+
+impl TableSource for HashMap<String, Arc<Table>> {
+    fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.get(name).cloned().ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+}
+
+impl LogicalPlan {
+    /// Scan of a named table.
+    pub fn scan(table: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Scan { table: table.into() }
+    }
+
+    /// Appends a filter.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter { input: Box::new(self), predicate }
+    }
+
+    /// Appends a projection.
+    pub fn project(self, exprs: Vec<(Expr, String)>) -> LogicalPlan {
+        LogicalPlan::Project { input: Box::new(self), exprs }
+    }
+
+    /// Appends an inner join with `right`.
+    pub fn join(self, right: LogicalPlan, on: Vec<(String, String)>) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+            join_type: JoinType::Inner,
+        }
+    }
+
+    /// Appends a left outer join with `right`.
+    pub fn left_join(self, right: LogicalPlan, on: Vec<(String, String)>) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+            join_type: JoinType::Left,
+        }
+    }
+
+    /// Appends an aggregation.
+    pub fn aggregate(self, group_by: Vec<String>, aggs: Vec<AggExpr>) -> LogicalPlan {
+        LogicalPlan::Aggregate { input: Box::new(self), group_by, aggs }
+    }
+
+    /// Appends a sort.
+    pub fn sort(self, keys: Vec<SortKey>) -> LogicalPlan {
+        LogicalPlan::Sort { input: Box::new(self), keys }
+    }
+
+    /// Appends a limit.
+    pub fn limit(self, n: usize) -> LogicalPlan {
+        LogicalPlan::Limit { input: Box::new(self), n }
+    }
+
+    /// Appends a union.
+    pub fn union(self, right: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::Union { left: Box::new(self), right: Box::new(right) }
+    }
+
+    /// Names of all tables this plan scans (the node's dependencies), in
+    /// first-reference order without duplicates.
+    pub fn input_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_inputs(&mut out);
+        out
+    }
+
+    fn collect_inputs(&self, out: &mut Vec<String>) {
+        match self {
+            LogicalPlan::Scan { table } => {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.collect_inputs(out),
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Union { left, right } => {
+                left.collect_inputs(out);
+                right.collect_inputs(out);
+            }
+        }
+    }
+
+    /// Executes the plan against `source`, materializing the result.
+    pub fn execute<S: TableSource + ?Sized>(&self, source: &S) -> Result<Table> {
+        match self {
+            LogicalPlan::Scan { table } => Ok(source.table(table)?.as_ref().clone()),
+            LogicalPlan::Filter { input, predicate } => {
+                exec::filter(&input.execute(source)?, predicate)
+            }
+            LogicalPlan::Project { input, exprs } => exec::project(&input.execute(source)?, exprs),
+            LogicalPlan::Join { left, right, on, join_type } => exec::hash_join(
+                &left.execute(source)?,
+                &right.execute(source)?,
+                on,
+                *join_type,
+            ),
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let triples: Vec<(AggFunc, String, String)> =
+                    aggs.iter().map(|a| (a.func, a.column.clone(), a.alias.clone())).collect();
+                exec::aggregate(&input.execute(source)?, group_by, &triples)
+            }
+            LogicalPlan::Sort { input, keys } => exec::sort_by(&input.execute(source)?, keys),
+            LogicalPlan::Limit { input, n } => exec::limit(&input.execute(source)?, *n),
+            LogicalPlan::Union { left, right } => {
+                exec::union_all(&left.execute(source)?, &right.execute(source)?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use crate::types::{DataType, Value};
+
+    fn source() -> HashMap<String, Arc<Table>> {
+        let mut orders = TableBuilder::new()
+            .column("id", DataType::Int64)
+            .column("cust", DataType::Int64)
+            .column("amount", DataType::Float64)
+            .build();
+        for (id, c, a) in [(1, 10, 5.0), (2, 11, 50.0), (3, 10, 25.0), (4, 12, 75.0)] {
+            orders
+                .push_row(vec![(id as i64).into(), (c as i64).into(), a.into()])
+                .unwrap();
+        }
+        let mut custs = TableBuilder::new()
+            .column("cust_id", DataType::Int64)
+            .column("region", DataType::Utf8)
+            .build();
+        for (c, r) in [(10, "east"), (11, "west"), (12, "east")] {
+            custs.push_row(vec![(c as i64).into(), r.into()]).unwrap();
+        }
+        let mut m = HashMap::new();
+        m.insert("orders".to_string(), Arc::new(orders));
+        m.insert("customers".to_string(), Arc::new(custs));
+        m
+    }
+
+    #[test]
+    fn end_to_end_spj_pipeline() {
+        // SELECT region, SUM(amount) AS rev FROM orders JOIN customers
+        // ON cust = cust_id WHERE amount > 10 GROUP BY region
+        // ORDER BY rev DESC
+        let plan = LogicalPlan::scan("orders")
+            .filter(Expr::col("amount").gt(Expr::lit(10.0f64)))
+            .join(LogicalPlan::scan("customers"), vec![("cust".into(), "cust_id".into())])
+            .aggregate(
+                vec!["region".into()],
+                vec![AggExpr::new(AggFunc::Sum, "amount", "rev")],
+            )
+            .sort(vec![SortKey::desc("rev")]);
+        let out = plan.execute(&source()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, 0), Value::Utf8("east".into()));
+        assert_eq!(out.value(0, 1), Value::Float64(100.0));
+        assert_eq!(out.value(1, 1), Value::Float64(50.0));
+    }
+
+    #[test]
+    fn input_tables_deduplicated_in_order() {
+        let plan = LogicalPlan::scan("a")
+            .join(LogicalPlan::scan("b"), vec![("x".into(), "x".into())])
+            .union(LogicalPlan::scan("a").filter(Expr::lit(true)));
+        assert_eq!(plan.input_tables(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn unknown_table_fails() {
+        let plan = LogicalPlan::scan("missing");
+        assert!(matches!(plan.execute(&source()), Err(EngineError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn limit_and_union() {
+        let plan = LogicalPlan::scan("orders").limit(1).union(LogicalPlan::scan("orders").limit(2));
+        assert_eq!(plan.execute(&source()).unwrap().num_rows(), 3);
+    }
+
+    #[test]
+    fn left_join_via_builder() {
+        let plan = LogicalPlan::scan("orders")
+            .left_join(
+                LogicalPlan::scan("customers").filter(Expr::col("region").eq(Expr::lit("east"))),
+                vec![("cust".into(), "cust_id".into())],
+            );
+        let out = plan.execute(&source()).unwrap();
+        assert_eq!(out.num_rows(), 4); // west order kept with empty region
+    }
+
+    #[test]
+    fn project_renames() {
+        let plan = LogicalPlan::scan("orders").project(vec![
+            (Expr::col("amount").mul(Expr::lit(2.0f64)), "double_amount".into()),
+        ]);
+        let out = plan.execute(&source()).unwrap();
+        assert_eq!(out.num_columns(), 1);
+        assert_eq!(out.value(0, 0), Value::Float64(10.0));
+    }
+}

@@ -1,0 +1,116 @@
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::DataType;
+use crate::{EngineError, Result};
+
+/// A named, typed column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered list of fields describing a table's columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields. Duplicate names are rejected.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(EngineError::TableExists(format!("duplicate column '{}'", f.name)));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Arc<Self> {
+        Arc::new(Schema { fields: Vec::new() })
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))
+    }
+
+    /// The field named `name`.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> =
+            self.fields.iter().map(|fl| format!("{}: {}", fl.name, fl.dtype)).collect();
+        write!(f, "({})", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("name", DataType::Utf8),
+        ])
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("name").unwrap(), 1);
+        assert_eq!(s.field("id").unwrap().dtype, DataType::Int64);
+        assert!(s.index_of("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let r = Schema::new(vec![
+            Field::new("x", DataType::Int64),
+            Field::new("x", DataType::Utf8),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::new(vec![Field::new("a", DataType::Bool)]).unwrap();
+        assert_eq!(s.to_string(), "(a: Bool)");
+        assert!(Schema::empty().is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! External storage: tables persisted as SCTB files in a directory (the
+//! paper uses a Hive metastore over NFS; any materialization location
+//! works, §III footnote 2).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use crate::storage::format;
+use crate::table::Table;
+use crate::{EngineError, Result};
+
+/// Bandwidth/latency pacing for reads and writes, used to emulate the
+/// paper's measured disk (519.8 MB/s read, 358.9 MB/s write, 175 µs
+/// latency) on hardware that is much faster.
+///
+/// Pacing sleeps so that the *total* elapsed time of an operation matches
+/// `latency + bytes / bandwidth`; if the real I/O was slower than the
+/// model, no extra delay is added.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throttle {
+    /// Modeled read bandwidth, bytes/second.
+    pub read_bps: f64,
+    /// Modeled write bandwidth, bytes/second.
+    pub write_bps: f64,
+    /// Fixed per-operation latency, seconds.
+    pub latency_s: f64,
+}
+
+impl Throttle {
+    /// The disk measured in the paper's experimental environment (§VI-A).
+    pub fn paper_disk() -> Self {
+        Throttle { read_bps: 519.8e6, write_bps: 358.9e6, latency_s: 175e-6 }
+    }
+
+    /// A fast throttle for tests: high bandwidth, zero latency.
+    pub fn fast() -> Self {
+        Throttle { read_bps: 64e9, write_bps: 64e9, latency_s: 0.0 }
+    }
+
+    fn pace(&self, bytes: u64, bps: f64, started: Instant) {
+        let target = Duration::from_secs_f64(self.latency_s + bytes as f64 / bps);
+        let elapsed = started.elapsed();
+        if target > elapsed {
+            std::thread::sleep(target - elapsed);
+        }
+    }
+}
+
+/// A directory of SCTB table files with optional I/O pacing.
+#[derive(Debug)]
+pub struct DiskCatalog {
+    dir: PathBuf,
+    throttle: Option<Throttle>,
+}
+
+impl DiskCatalog {
+    /// Opens (creating if needed) a catalog rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(DiskCatalog { dir: dir.as_ref().to_path_buf(), throttle: None })
+    }
+
+    /// Opens a catalog whose reads and writes are paced by `throttle`.
+    pub fn open_throttled(dir: impl AsRef<Path>, throttle: Throttle) -> Result<Self> {
+        let mut c = Self::open(dir)?;
+        c.throttle = Some(throttle);
+        Ok(c)
+    }
+
+    /// The directory backing this catalog.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        // Table names come from workload definitions; keep them path-safe.
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+            .collect();
+        self.dir.join(format!("{safe}.sctb"))
+    }
+
+    /// Whether a table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.path_of(name).exists()
+    }
+
+    /// Persists `table` under `name`, overwriting any previous version
+    /// (an MV refresh replaces the old contents). Returns bytes written.
+    pub fn write_table(&self, name: &str, table: &Table) -> Result<u64> {
+        let started = Instant::now();
+        let bytes = format::encode(table);
+        let len = bytes.len() as u64;
+        let tmp = self.path_of(name).with_extension("tmp");
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, self.path_of(name))?;
+        if let Some(t) = self.throttle {
+            t.pace(len, t.write_bps, started);
+        }
+        Ok(len)
+    }
+
+    /// Loads the table stored under `name`.
+    pub fn read_table(&self, name: &str) -> Result<Table> {
+        let started = Instant::now();
+        let path = self.path_of(name);
+        let raw = fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                EngineError::UnknownTable(name.to_string())
+            } else {
+                EngineError::Io(e)
+            }
+        })?;
+        let len = raw.len() as u64;
+        let table = format::decode(Bytes::from(raw))?;
+        if let Some(t) = self.throttle {
+            t.pace(len, t.read_bps, started);
+        }
+        Ok(table)
+    }
+
+    /// Size in bytes of the stored file, if present.
+    pub fn size_of(&self, name: &str) -> Result<u64> {
+        let meta = fs::metadata(self.path_of(name))
+            .map_err(|_| EngineError::UnknownTable(name.to_string()))?;
+        Ok(meta.len())
+    }
+
+    /// Deletes a stored table (no error if absent).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        match fs::remove_file(self.path_of(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Names of all stored tables (file stems), sorted.
+    pub fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "sctb") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    names.push(stem.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use crate::types::{DataType, Value};
+
+    fn sample(n: i64) -> Table {
+        let mut t = TableBuilder::new().column("x", DataType::Int64).build();
+        for i in 0..n {
+            t.push_row(vec![Value::Int64(i)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        let t = sample(100);
+        let written = cat.write_table("numbers", &t).unwrap();
+        assert!(written > 800);
+        assert!(cat.contains("numbers"));
+        assert_eq!(cat.read_table("numbers").unwrap(), t);
+        assert_eq!(cat.size_of("numbers").unwrap(), written);
+    }
+
+    #[test]
+    fn overwrite_replaces_contents() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("t", &sample(10)).unwrap();
+        cat.write_table("t", &sample(3)).unwrap();
+        assert_eq!(cat.read_table("t").unwrap().num_rows(), 3);
+    }
+
+    #[test]
+    fn missing_table_is_unknown() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        assert!(matches!(cat.read_table("nope"), Err(EngineError::UnknownTable(_))));
+        assert!(cat.size_of("nope").is_err());
+        assert!(!cat.contains("nope"));
+    }
+
+    #[test]
+    fn drop_is_idempotent() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("t", &sample(1)).unwrap();
+        cat.drop_table("t").unwrap();
+        cat.drop_table("t").unwrap();
+        assert!(!cat.contains("t"));
+    }
+
+    #[test]
+    fn list_sorted() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("bbb", &sample(1)).unwrap();
+        cat.write_table("aaa", &sample(1)).unwrap();
+        assert_eq!(cat.list().unwrap(), vec!["aaa".to_string(), "bbb".to_string()]);
+    }
+
+    #[test]
+    fn path_sanitization() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("../evil/name", &sample(1)).unwrap();
+        // File stays inside the catalog dir.
+        assert_eq!(cat.list().unwrap().len(), 1);
+        assert!(cat.read_table("../evil/name").is_ok());
+    }
+
+    #[test]
+    fn throttle_paces_io() {
+        let dir = tempfile::tempdir().unwrap();
+        // 1 MB/s with 10 ms latency: a ~8 KB write must take ≥ 10 ms.
+        let slow = Throttle { read_bps: 1e6, write_bps: 1e6, latency_s: 0.01 };
+        let cat = DiskCatalog::open_throttled(dir.path(), slow).unwrap();
+        let t = sample(1000); // ~8 KB
+        let started = Instant::now();
+        cat.write_table("t", &t).unwrap();
+        let elapsed = started.elapsed();
+        assert!(elapsed >= Duration::from_millis(10), "write not paced: {elapsed:?}");
+        let started = Instant::now();
+        cat.read_table("t").unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn paper_disk_constants() {
+        let t = Throttle::paper_disk();
+        assert!((t.read_bps - 519.8e6).abs() < 1.0);
+        assert!((t.write_bps - 358.9e6).abs() < 1.0);
+    }
+}

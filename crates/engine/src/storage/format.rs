@@ -1,0 +1,306 @@
+//! The on-disk table format (the role Parquet plays in the paper's
+//! implementation): a self-describing little-endian columnar layout.
+//!
+//! ```text
+//! [magic "SCTB"] [version u16] [ncols u16] [nrows u64]
+//! per column:  [name_len u16][name bytes][dtype u8]
+//! per column:  [payload_len u64][payload bytes]
+//! ```
+//!
+//! Fixed-width payloads are raw little-endian arrays; strings are
+//! `[len u32][bytes]` sequences; booleans are bit-packed.
+
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::column::Column;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::types::DataType;
+use crate::{EngineError, Result};
+
+const MAGIC: &[u8; 4] = b"SCTB";
+const VERSION: u16 = 1;
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Utf8 => 2,
+        DataType::Bool => 3,
+        DataType::Date => 4,
+    }
+}
+
+fn tag_dtype(t: u8) -> Result<DataType> {
+    Ok(match t {
+        0 => DataType::Int64,
+        1 => DataType::Float64,
+        2 => DataType::Utf8,
+        3 => DataType::Bool,
+        4 => DataType::Date,
+        other => return Err(EngineError::Corrupt(format!("unknown dtype tag {other}"))),
+    })
+}
+
+/// Serializes a table into the SCTB format.
+pub fn encode(table: &Table) -> Bytes {
+    let mut buf = BytesMut::with_capacity(table.byte_size() as usize + 256);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(table.num_columns() as u16);
+    buf.put_u64_le(table.num_rows() as u64);
+    for f in table.schema().fields() {
+        buf.put_u16_le(f.name.len() as u16);
+        buf.put_slice(f.name.as_bytes());
+        buf.put_u8(dtype_tag(f.dtype));
+    }
+    for col in table.columns() {
+        let payload = encode_column(col);
+        buf.put_u64_le(payload.len() as u64);
+        buf.put_slice(&payload);
+    }
+    buf.freeze()
+}
+
+fn encode_column(col: &Column) -> Vec<u8> {
+    match col {
+        Column::Int64(v) => {
+            let mut out = Vec::with_capacity(v.len() * 8);
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            out
+        }
+        Column::Float64(v) => {
+            let mut out = Vec::with_capacity(v.len() * 8);
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            out
+        }
+        Column::Date(v) => {
+            let mut out = Vec::with_capacity(v.len() * 4);
+            for x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            out
+        }
+        Column::Bool(v) => {
+            let mut out = vec![0u8; v.len().div_ceil(8)];
+            for (i, &b) in v.iter().enumerate() {
+                if b {
+                    out[i / 8] |= 1 << (i % 8);
+                }
+            }
+            out
+        }
+        Column::Utf8(v) => {
+            let mut out = Vec::new();
+            for s in v {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            out
+        }
+    }
+}
+
+/// Deserializes a table from SCTB bytes.
+pub fn decode(mut data: Bytes) -> Result<Table> {
+    let need = |data: &Bytes, n: usize| -> Result<()> {
+        if data.remaining() < n {
+            Err(EngineError::Corrupt("truncated file".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(&data, 4 + 2 + 2 + 8)?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(EngineError::Corrupt("bad magic".into()));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(EngineError::Corrupt(format!("unsupported version {version}")));
+    }
+    let ncols = data.get_u16_le() as usize;
+    let nrows = data.get_u64_le() as usize;
+
+    let mut fields = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        need(&data, 2)?;
+        let name_len = data.get_u16_le() as usize;
+        need(&data, name_len + 1)?;
+        let name_bytes = data.copy_to_bytes(name_len);
+        let name = String::from_utf8(name_bytes.to_vec())
+            .map_err(|_| EngineError::Corrupt("non-utf8 column name".into()))?;
+        let dtype = tag_dtype(data.get_u8())?;
+        fields.push(Field::new(name, dtype));
+    }
+
+    let mut columns = Vec::with_capacity(ncols);
+    for f in &fields {
+        need(&data, 8)?;
+        let payload_len = data.get_u64_le() as usize;
+        need(&data, payload_len)?;
+        let payload = data.copy_to_bytes(payload_len);
+        columns.push(decode_column(f.dtype, &payload, nrows)?);
+    }
+    Table::new(Arc::new(Schema::new(fields)?), columns)
+}
+
+fn decode_column(dtype: DataType, payload: &[u8], nrows: usize) -> Result<Column> {
+    let fixed = |width: usize| -> Result<()> {
+        if payload.len() != nrows * width {
+            Err(EngineError::Corrupt(format!(
+                "column payload {} != {} rows × {width}",
+                payload.len(),
+                nrows
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    Ok(match dtype {
+        DataType::Int64 => {
+            fixed(8)?;
+            Column::Int64(
+                payload.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).collect(),
+            )
+        }
+        DataType::Float64 => {
+            fixed(8)?;
+            Column::Float64(
+                payload.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect(),
+            )
+        }
+        DataType::Date => {
+            fixed(4)?;
+            Column::Date(
+                payload.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect(),
+            )
+        }
+        DataType::Bool => {
+            if payload.len() != nrows.div_ceil(8) {
+                return Err(EngineError::Corrupt("bool column size mismatch".into()));
+            }
+            Column::Bool((0..nrows).map(|i| payload[i / 8] >> (i % 8) & 1 == 1).collect())
+        }
+        DataType::Utf8 => {
+            let mut out = Vec::with_capacity(nrows);
+            let mut pos = 0usize;
+            for _ in 0..nrows {
+                if pos + 4 > payload.len() {
+                    return Err(EngineError::Corrupt("truncated string column".into()));
+                }
+                let len = u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap()) as usize;
+                pos += 4;
+                if pos + len > payload.len() {
+                    return Err(EngineError::Corrupt("truncated string value".into()));
+                }
+                let s = std::str::from_utf8(&payload[pos..pos + len])
+                    .map_err(|_| EngineError::Corrupt("non-utf8 string".into()))?;
+                out.push(s.to_string());
+                pos += len;
+            }
+            if pos != payload.len() {
+                return Err(EngineError::Corrupt("trailing bytes in string column".into()));
+            }
+            Column::Utf8(out)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+    use crate::types::Value;
+
+    fn full_table() -> Table {
+        let mut t = TableBuilder::new()
+            .column("i", DataType::Int64)
+            .column("f", DataType::Float64)
+            .column("s", DataType::Utf8)
+            .column("b", DataType::Bool)
+            .column("d", DataType::Date)
+            .build();
+        for i in 0..13i64 {
+            t.push_row(vec![
+                Value::Int64(i * 7 - 3),
+                Value::Float64(i as f64 * 0.5 - 1.0),
+                Value::Utf8(format!("row-{i}-αβ")),
+                Value::Bool(i % 3 == 0),
+                Value::Date(19000 + i as i32),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let t = full_table();
+        let bytes = encode(&t);
+        let back = decode(bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_table() {
+        let t = TableBuilder::new().column("x", DataType::Utf8).build();
+        let back = decode(encode(&t)).unwrap();
+        assert_eq!(back.num_rows(), 0);
+        assert_eq!(back.schema().field("x").unwrap().dtype, DataType::Utf8);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = encode(&full_table()).to_vec();
+        raw[0] = b'X';
+        assert!(matches!(decode(Bytes::from(raw)), Err(EngineError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut raw = encode(&full_table()).to_vec();
+        raw[4] = 99;
+        assert!(decode(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let raw = encode(&full_table()).to_vec();
+        // Chop at a spread of byte positions; all must fail cleanly, never
+        // panic.
+        for cut in [0, 3, 7, 10, 20, raw.len() / 2, raw.len() - 1] {
+            let r = decode(Bytes::from(raw[..cut].to_vec()));
+            assert!(r.is_err(), "cut at {cut} must error");
+        }
+    }
+
+    #[test]
+    fn bool_bitpacking_roundtrip() {
+        let mut t = TableBuilder::new().column("b", DataType::Bool).build();
+        for i in 0..17 {
+            t.push_row(vec![Value::Bool(i % 2 == 0)]).unwrap();
+        }
+        let back = decode(encode(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn encoded_size_is_near_data_size() {
+        let mut t = TableBuilder::new().column("i", DataType::Int64).build();
+        for i in 0..1000i64 {
+            t.push_row(vec![Value::Int64(i)]).unwrap();
+        }
+        let bytes = encode(&t);
+        // 8000 payload bytes + small header.
+        assert!(bytes.len() as u64 >= 8000);
+        assert!(bytes.len() < 8100);
+    }
+}

@@ -1,0 +1,12 @@
+//! Storage backends: a self-describing columnar file format
+//! ([`format`]), an external-storage catalog with optional I/O throttling
+//! ([`DiskCatalog`]), and the bounded in-memory [`MemoryCatalog`] at the
+//! heart of S/C.
+
+pub mod format;
+
+mod disk;
+mod memory;
+
+pub use disk::{DiskCatalog, Throttle};
+pub use memory::MemoryCatalog;

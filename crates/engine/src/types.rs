@@ -1,0 +1,156 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Column data types supported by the engine.
+///
+/// The set matches what the S/C workloads need: TPC-DS keys and measures
+/// (`Int64`, `Float64`), flags (`Bool`), dimension labels (`Utf8`) and
+/// calendar dates (`Date`, days since the Unix epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Boolean.
+    Bool,
+    /// Days since 1970-01-01.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "Int64",
+            DataType::Float64 => "Float64",
+            DataType::Utf8 => "Utf8",
+            DataType::Bool => "Bool",
+            DataType::Date => "Date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int64(i64),
+    /// 64-bit IEEE float.
+    Float64(f64),
+    /// UTF-8 string.
+    Utf8(String),
+    /// Boolean.
+    Bool(bool),
+    /// Days since 1970-01-01.
+    Date(i32),
+}
+
+impl Value {
+    /// The data type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int64(_) => DataType::Int64,
+            Value::Float64(_) => DataType::Float64,
+            Value::Utf8(_) => DataType::Utf8,
+            Value::Bool(_) => DataType::Bool,
+            Value::Date(_) => DataType::Date,
+        }
+    }
+
+    /// Interprets the value as `f64` for arithmetic (`Int64` and `Date`
+    /// widen; others fail).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float64(v) => Some(*v),
+            Value::Date(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{v}"),
+            Value::Utf8(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "d{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Utf8(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Utf8(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_types_roundtrip() {
+        assert_eq!(Value::Int64(3).data_type(), DataType::Int64);
+        assert_eq!(Value::Float64(1.0).data_type(), DataType::Float64);
+        assert_eq!(Value::Utf8("x".into()).data_type(), DataType::Utf8);
+        assert_eq!(Value::Bool(true).data_type(), DataType::Bool);
+        assert_eq!(Value::Date(19000).data_type(), DataType::Date);
+    }
+
+    #[test]
+    fn as_f64_widens_numerics() {
+        assert_eq!(Value::Int64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Date(10).as_f64(), Some(10.0));
+        assert_eq!(Value::Utf8("x".into()).as_f64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int64(5));
+        assert_eq!(Value::from(5.0f64), Value::Float64(5.0));
+        assert_eq!(Value::from("a"), Value::Utf8("a".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DataType::Int64.to_string(), "Int64");
+        assert_eq!(DataType::Date.to_string(), "Date");
+        assert_eq!(Value::Int64(7).to_string(), "7");
+        assert_eq!(Value::Date(7).to_string(), "d7");
+        assert_eq!(Value::Utf8("hi".into()).to_string(), "hi");
+    }
+}

@@ -1,0 +1,83 @@
+//! Cluster scaling model for the §VI-G experiments (Table V).
+//!
+//! Fitting Amdahl's law to the paper's published no-optimization runtimes
+//! (1528 s / 868 s / 656 s / 546 s / 487 s for 1–5 workers) gives a
+//! parallel fraction of ≈ 0.865: runtime(N) = serial + parallel / N with
+//! serial ≈ 208 s of 1528 s. The simulator realizes this by scaling
+//! per-node compute and I/O by the Amdahl factor while the per-node
+//! overhead stays fixed (coordination does not parallelize).
+
+use serde::{Deserialize, Serialize};
+
+use crate::simulator::SimConfig;
+
+/// Multi-worker scaling of a [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterModel {
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Fraction of per-node work that parallelizes across workers.
+    pub parallel_fraction: f64,
+}
+
+impl ClusterModel {
+    /// A cluster with the paper-fitted parallel fraction.
+    pub fn new(workers: usize) -> Self {
+        ClusterModel { workers: workers.max(1), parallel_fraction: 0.865 }
+    }
+
+    /// Amdahl speedup factor for this cluster: how many times faster one
+    /// node's work completes.
+    pub fn speedup_factor(&self) -> f64 {
+        let s = 1.0 - self.parallel_fraction;
+        let p = self.parallel_fraction;
+        1.0 / (s + p / self.workers as f64)
+    }
+
+    /// Applies the scaling to a single-node configuration.
+    pub fn apply(&self, base: &SimConfig) -> SimConfig {
+        let f = self.speedup_factor();
+        let mut cfg = base.clone();
+        cfg.compute_scale = base.compute_scale * f;
+        cfg.io_scale = base.io_scale * f;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_factor_matches_paper_ratios() {
+        // Paper Table V no-opt runtimes: 1528, 868, 656, 546, 487.
+        let paper = [1528.0, 868.0, 656.0, 546.0, 487.0];
+        for (i, &t) in paper.iter().enumerate() {
+            let m = ClusterModel::new(i + 1);
+            let predicted = paper[0] / m.speedup_factor();
+            let err = (predicted - t).abs() / t;
+            assert!(err < 0.05, "N={} predicted {predicted:.0} vs paper {t} ({err:.3})", i + 1);
+        }
+    }
+
+    #[test]
+    fn single_worker_is_identity() {
+        let m = ClusterModel::new(1);
+        assert!((m.speedup_factor() - 1.0).abs() < 1e-12);
+        let base = SimConfig::paper(1 << 30);
+        assert_eq!(m.apply(&base), base);
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        assert_eq!(ClusterModel::new(0).workers, 1);
+    }
+
+    #[test]
+    fn scaling_is_monotone_but_sublinear() {
+        let f2 = ClusterModel::new(2).speedup_factor();
+        let f5 = ClusterModel::new(5).speedup_factor();
+        assert!(f2 > 1.0 && f5 > f2);
+        assert!(f5 < 5.0);
+    }
+}

@@ -1,0 +1,428 @@
+use serde::{Deserialize, Serialize};
+
+use sc_core::{CostModel, Plan};
+
+
+use crate::report::{NodeTimeline, SimReport};
+use crate::workload::SimWorkload;
+
+/// Simulation parameters.
+///
+/// Bandwidths default to the paper's measured environment (§VI-A). The
+/// scaling knobs model the §VI-G cluster experiments
+/// (`compute_scale`/`io_scale`) and the §VI-D "Memory Catalog from query
+/// memory" variant (`compute_penalty`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// External-storage read bandwidth, bytes/s.
+    pub disk_read_bps: f64,
+    /// External-storage write bandwidth, bytes/s.
+    pub disk_write_bps: f64,
+    /// Memory Catalog bandwidth, bytes/s.
+    pub mem_bps: f64,
+    /// Fixed storage access latency, seconds.
+    pub disk_latency_s: f64,
+    /// Memory Catalog size `M`, bytes.
+    pub memory_budget: u64,
+    /// Node compute times are divided by this (cluster speedup).
+    pub compute_scale: f64,
+    /// Storage bandwidths are multiplied by this (cluster has more disks).
+    pub io_scale: f64,
+    /// Fixed serial overhead added per node (query launch, coordination);
+    /// does not shrink with cluster size.
+    pub per_node_overhead_s: f64,
+    /// Relative compute slowdown from shrinking DBMS query memory to make
+    /// room for the Memory Catalog (0.0 when using spare memory).
+    pub compute_penalty: f64,
+}
+
+impl SimConfig {
+    /// The paper's single-node environment with Memory Catalog `budget`.
+    pub fn paper(budget: u64) -> Self {
+        SimConfig {
+            disk_read_bps: 519.8e6,
+            disk_write_bps: 358.9e6,
+            mem_bps: 8.0 * (1u64 << 30) as f64,
+            disk_latency_s: 175e-6,
+            memory_budget: budget,
+            compute_scale: 1.0,
+            io_scale: 1.0,
+            per_node_overhead_s: 0.15,
+            compute_penalty: 0.0,
+        }
+    }
+
+    /// The cost model the optimizer should use under this configuration.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel {
+            disk_read_bps: self.disk_read_bps * self.io_scale,
+            disk_write_bps: self.disk_write_bps * self.io_scale,
+            mem_bps: self.mem_bps,
+            disk_latency_s: self.disk_latency_s,
+        }
+    }
+
+    fn disk_read_time(&self, bytes: u64) -> f64 {
+        self.disk_latency_s + bytes as f64 / (self.disk_read_bps * self.io_scale)
+    }
+
+    fn disk_write_time(&self, bytes: u64) -> f64 {
+        self.disk_latency_s + bytes as f64 / (self.disk_write_bps * self.io_scale)
+    }
+
+    fn mem_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.mem_bps
+    }
+
+    fn compute_time(&self, seconds: f64) -> f64 {
+        seconds * (1.0 + self.compute_penalty) / self.compute_scale
+    }
+}
+
+/// Deterministic single-lane refresh-run simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Simulates the sequential, nothing-flagged baseline ("No
+    /// optimization" in Figure 9) using a deterministic topological order.
+    pub fn run_unoptimized(&self, workload: &SimWorkload) -> sc_dag::Result<SimReport> {
+        let order = workload.graph.kahn_order();
+        self.run(workload, &Plan::unoptimized(order))
+    }
+
+    /// Simulates a refresh run under `plan`, reproducing the engine
+    /// controller's semantics (background materialization, release on
+    /// last-consumer + write-done, fallback under memory pressure).
+    pub fn run(&self, workload: &SimWorkload, plan: &Plan) -> sc_dag::Result<SimReport> {
+        let graph = &workload.graph;
+        let n = graph.len();
+        graph.validate_order(&plan.order)?;
+        let pos = graph.order_positions(&plan.order)?;
+        let cfg = &self.config;
+
+        let mut resident = vec![false; n]; // currently in Memory Catalog
+        let mut write_done = vec![f64::INFINITY; n];
+        let mut mem_used: u64 = 0;
+        let mut peak_mem: u64 = 0;
+        let mut writer_free_at = 0.0f64;
+        let mut now = 0.0f64;
+        let mut timelines = Vec::with_capacity(n);
+
+        // Release every resident node whose consumers have all executed
+        // (position < p). Per §III-C the entry is freed as soon as its
+        // dependents complete; the in-flight background write holds its own
+        // reference, so the catalog budget is released immediately.
+        let release_pass = |resident: &mut Vec<bool>,
+                            mem_used: &mut u64,
+                            _write_done: &[f64],
+                            p: usize,
+                            _time: f64| {
+            for u in graph.node_ids() {
+                if resident[u.index()]
+                    && graph.children(u).iter().all(|c| pos[c.index()] < p)
+                {
+                    resident[u.index()] = false;
+                    *mem_used -= graph.node(u).output_bytes;
+                }
+            }
+        };
+
+        for (p, &v) in plan.order.iter().enumerate() {
+            let node = graph.node(v);
+            now += cfg.per_node_overhead_s;
+            let start = now;
+            release_pass(&mut resident, &mut mem_used, &write_done, p, now);
+
+            // Read inputs: base tables always from storage; parent outputs
+            // from memory when resident.
+            let mut read_s = 0.0;
+            let mut disk_read_s = 0.0;
+            if node.base_read_bytes > 0 {
+                let t = cfg.disk_read_time(node.base_read_bytes);
+                read_s += t;
+                disk_read_s += t;
+            }
+            for &parent in graph.parents(v) {
+                let bytes = graph.node(parent).output_bytes;
+                if resident[parent.index()] {
+                    read_s += cfg.mem_time(bytes);
+                } else {
+                    let t = cfg.disk_read_time(bytes);
+                    read_s += t;
+                    disk_read_s += t;
+                }
+            }
+
+            let compute_s = cfg.compute_time(node.compute_s);
+            let mut available = start + read_s + compute_s;
+
+            let flagged = plan.flagged.contains(v);
+            let mut fell_back = false;
+            let mut write_s = 0.0;
+            let persisted;
+
+            // A childless flagged node has no consumers: it is created in
+            // memory only to background its write and never occupies the
+            // catalog (it is outside every Vi in the optimizer's model).
+            let occupies = graph.out_degree(v) > 0;
+            if flagged {
+                release_pass(&mut resident, &mut mem_used, &write_done, p, available);
+                if !occupies {
+                    available += cfg.mem_time(node.output_bytes);
+                    let wstart = available.max(writer_free_at);
+                    let done = wstart + cfg.disk_write_time(node.output_bytes);
+                    write_done[v.index()] = done;
+                    writer_free_at = done;
+                    persisted = done;
+                    now = available;
+                } else if mem_used + node.output_bytes <= cfg.memory_budget {
+                    // Creating in memory costs one memory write.
+                    available += cfg.mem_time(node.output_bytes);
+                    resident[v.index()] = true;
+                    mem_used += node.output_bytes;
+                    peak_mem = peak_mem.max(mem_used);
+                    let wstart = available.max(writer_free_at);
+                    let done = wstart + cfg.disk_write_time(node.output_bytes);
+                    write_done[v.index()] = done;
+                    writer_free_at = done;
+                    persisted = done;
+                    now = available;
+                } else {
+                    // Memory pressure: blocking write instead.
+                    fell_back = true;
+                    let wstart = available.max(writer_free_at);
+                    let done = wstart + cfg.disk_write_time(node.output_bytes);
+                    writer_free_at = done;
+                    write_done[v.index()] = done;
+                    write_s = done - available;
+                    persisted = done;
+                    now = done;
+                }
+            } else {
+                let wstart = available.max(writer_free_at);
+                let done = wstart + cfg.disk_write_time(node.output_bytes);
+                writer_free_at = done;
+                write_done[v.index()] = done;
+                write_s = done - available;
+                persisted = done;
+                now = done;
+            }
+
+            timelines.push(NodeTimeline {
+                name: node.name.clone(),
+                start_s: start,
+                read_s,
+                disk_read_s,
+                compute_s,
+                write_s,
+                available_s: available,
+                persisted_s: persisted,
+                flagged: flagged && !fell_back,
+                fell_back,
+            });
+        }
+
+        let total_s = now.max(writer_free_at);
+        Ok(SimReport { total_s, nodes: timelines, peak_memory_bytes: peak_mem })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::SimNode;
+    use sc_dag::NodeId;
+    use sc_core::FlagSet;
+
+    const GIB: u64 = 1 << 30;
+
+    /// Figure 4 workload: mv1 (8 GiB from 16 GiB of base data) feeds mv2
+    /// and mv3.
+    fn fig4() -> SimWorkload {
+        SimWorkload::from_parts(
+            [
+                SimNode::new("mv1", 5.0, 8 * GIB, 16 * GIB),
+                SimNode::new("mv2", 3.0, GIB, 0),
+                SimNode::new("mv3", 3.0, GIB, 0),
+            ],
+            [(0, 1), (0, 2)],
+        )
+        .unwrap()
+    }
+
+    fn plan(order: &[usize], flagged: &[usize], n: usize) -> Plan {
+        Plan {
+            order: order.iter().map(|&i| NodeId(i)).collect(),
+            flagged: FlagSet::from_nodes(n, flagged.iter().map(|&i| NodeId(i))),
+        }
+    }
+
+    #[test]
+    fn baseline_time_decomposes() {
+        let w = fig4();
+        let sim = Simulator::new(SimConfig::paper(10 * GIB));
+        let r = sim.run_unoptimized(&w).unwrap();
+        let cfg = sim.config();
+        let expected: f64 = 3.0 * cfg.per_node_overhead_s
+            + cfg.disk_read_time(16 * GIB)
+            + cfg.compute_time(5.0)
+            + cfg.disk_write_time(8 * GIB)
+            + 2.0 * (cfg.disk_read_time(8 * GIB) + cfg.compute_time(3.0) + cfg.disk_write_time(GIB));
+        assert!((r.total_s - expected).abs() < 1e-6, "got {}, want {}", r.total_s, expected);
+        assert_eq!(r.peak_memory_bytes, 0);
+        assert_eq!(r.fallbacks(), 0);
+    }
+
+    #[test]
+    fn flagging_hides_write_and_reads() {
+        let w = fig4();
+        let sim = Simulator::new(SimConfig::paper(10 * GIB));
+        let base = sim.run_unoptimized(&w).unwrap();
+        let sc = sim.run(&w, &plan(&[0, 1, 2], &[0], 3)).unwrap();
+        assert!(sc.total_s < base.total_s);
+        // mv1's write is backgrounded.
+        assert_eq!(sc.nodes[0].write_s, 0.0);
+        assert!(sc.nodes[0].flagged);
+        // Consumers read from memory: their disk read time is 0.
+        assert_eq!(sc.nodes[1].disk_read_s, 0.0);
+        assert_eq!(sc.nodes[2].disk_read_s, 0.0);
+        // Peak memory equals mv1's size.
+        assert_eq!(sc.peak_memory_bytes, 8 * GIB);
+        // Everything still persisted by the end.
+        assert!(sc.nodes.iter().all(|n| n.persisted_s <= sc.total_s + 1e-9));
+    }
+
+    #[test]
+    fn speedup_magnitude_matches_hand_computation() {
+        // Long downstream computes so the background write never blocks a
+        // later blocking write (no channel contention to reason about).
+        let w = SimWorkload::from_parts(
+            [
+                SimNode::new("mv1", 5.0, 8 * GIB, 16 * GIB),
+                SimNode::new("mv2", 30.0, GIB, 0),
+                SimNode::new("mv3", 30.0, GIB, 0),
+            ],
+            [(0, 1), (0, 2)],
+        )
+        .unwrap();
+        let cfg = SimConfig::paper(10 * GIB);
+        let sim = Simulator::new(cfg.clone());
+        let base = sim.run_unoptimized(&w).unwrap();
+        let sc = sim.run(&w, &plan(&[0, 1, 2], &[0], 3)).unwrap();
+        // Savings = write(8 GiB) hidden + 2 disk reads of 8 GiB replaced by
+        // memory reads, minus the cost of creating mv1 in memory.
+        let saving = cfg.disk_write_time(8 * GIB)
+            + 2.0 * (cfg.disk_read_time(8 * GIB) - cfg.mem_time(8 * GIB))
+            - cfg.mem_time(8 * GIB);
+        assert!(
+            ((base.total_s - sc.total_s) - saving).abs() < 1e-6,
+            "measured saving {} vs expected {}",
+            base.total_s - sc.total_s,
+            saving
+        );
+    }
+
+    #[test]
+    fn memory_pressure_falls_back() {
+        let w = fig4();
+        let sim = Simulator::new(SimConfig::paper(GIB)); // mv1 won't fit
+        let sc = sim.run(&w, &plan(&[0, 1, 2], &[0], 3)).unwrap();
+        assert_eq!(sc.fallbacks(), 1);
+        assert!(!sc.nodes[0].flagged);
+        assert!(sc.nodes[0].write_s > 0.0);
+        // Equivalent to baseline since nothing stayed in memory.
+        let base = sim.run_unoptimized(&w).unwrap();
+        assert!((sc.total_s - base.total_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_frees_budget_for_later_flags() {
+        // Chain a -> b -> c with budget for one intermediate at a time.
+        let w = SimWorkload::from_parts(
+            [
+                SimNode::new("a", 1.0, 4 * GIB, 8 * GIB),
+                SimNode::new("b", 1.0, 4 * GIB, 0),
+                SimNode::new("c", 1.0, GIB, 0),
+            ],
+            [(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let sim = Simulator::new(SimConfig::paper(4 * GIB));
+        let r = sim.run(&w, &plan(&[0, 1, 2], &[0, 1], 3)).unwrap();
+        // Both fit sequentially: a is released once b (its only consumer)
+        // has run and a's background write finished — before c needs room…
+        // b's creation happens *while* a is still resident, so b must fall
+        // back; a alone fits.
+        assert!(r.nodes[0].flagged);
+        assert!(r.nodes[1].fell_back);
+        assert_eq!(r.peak_memory_bytes, 4 * GIB);
+    }
+
+    #[test]
+    fn background_writes_queue_fifo() {
+        // Two flagged nodes in a row: the second's background write waits
+        // for the first's.
+        let w = SimWorkload::from_parts(
+            [
+                SimNode::new("a", 1.0, 4 * GIB, GIB),
+                SimNode::new("b", 1.0, 4 * GIB, GIB),
+                SimNode::new("consumer", 0.1, 1024, 0),
+            ],
+            [(0, 2), (1, 2)],
+        )
+        .unwrap();
+        let sim = Simulator::new(SimConfig::paper(16 * GIB));
+        let r = sim.run(&w, &plan(&[0, 1, 2], &[0, 1], 3)).unwrap();
+        let cfg = sim.config();
+        let w1_done = r.nodes[0].persisted_s;
+        let w2_done = r.nodes[1].persisted_s;
+        assert!(w2_done >= w1_done + cfg.disk_write_time(4 * GIB) - 1e-9);
+        // End-to-end is bounded by the write channel draining.
+        assert!((r.total_s - w2_done.max(r.nodes[2].persisted_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_scaling_shrinks_runtime() {
+        let w = fig4();
+        let mut cfg = SimConfig::paper(10 * GIB);
+        let t1 = Simulator::new(cfg.clone()).run_unoptimized(&w).unwrap().total_s;
+        cfg.compute_scale = 4.0;
+        cfg.io_scale = 4.0;
+        let t4 = Simulator::new(cfg).run_unoptimized(&w).unwrap().total_s;
+        assert!(t4 < t1 / 2.0, "4-way scaling must at least halve runtime");
+        // …but not by the full 4× because per-node overhead is serial.
+        assert!(t4 > t1 / 4.0);
+    }
+
+    #[test]
+    fn query_memory_penalty_slows_compute_only() {
+        let w = fig4();
+        let mut cfg = SimConfig::paper(10 * GIB);
+        let plain = Simulator::new(cfg.clone()).run(&w, &plan(&[0, 1, 2], &[0], 3)).unwrap();
+        cfg.compute_penalty = 0.1;
+        let taxed = Simulator::new(cfg).run(&w, &plan(&[0, 1, 2], &[0], 3)).unwrap();
+        assert!(taxed.total_s > plain.total_s);
+        assert!((taxed.total_compute_s() - plain.total_compute_s() * 1.1).abs() < 1e-9);
+        assert_eq!(taxed.total_disk_read_s(), plain.total_disk_read_s());
+    }
+
+    #[test]
+    fn invalid_order_rejected() {
+        let w = fig4();
+        let sim = Simulator::new(SimConfig::paper(GIB));
+        assert!(sim.run(&w, &plan(&[1, 0, 2], &[], 3)).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # sc-workload — workloads for evaluating S/C
+//!
+//! The paper evaluates S/C on five MV-refresh workloads built from TPC-DS
+//! queries (Table III) over regular and date-partitioned datasets at
+//! 10 GB–1 TB, plus a synthetic DAG generator for complex-workload scaling
+//! experiments (§VI-H). This crate reproduces all of that:
+//!
+//! * [`DatasetSpec`] — the dataset axis: scale factor and the
+//!   date-partitioned variant (TPC-DS vs TPC-DSp);
+//! * [`PaperWorkload`] — the five workloads (I/O 1–3, Compute 1–2) as
+//!   parametric [`sc_sim::SimWorkload`]s whose node counts match Table III
+//!   and whose baseline I/O fractions are calibrated to the published
+//!   ratios (51.5 / 59.0 / 46.6 / 0.9 / 28.3 %);
+//! * [`synth`] — the §VI-H workload generator: layered DAGs with
+//!   configurable size, height/width ratio, maximum out-degree and
+//!   per-stage node-count variance, with node operations drawn from a
+//!   Markov chain and sizes/scores derived from the operations;
+//! * [`tpcds`] — seeded generators for TPC-DS-style base tables small
+//!   enough to *actually execute* on `sc-engine`, and [`engine_mvs`] —
+//!   runnable MV workloads over them (used by the Figure 3 experiment,
+//!   the examples, and the cross-crate integration tests).
+
+pub mod dataset;
+pub mod engine_mvs;
+pub mod paper;
+pub mod synth;
+pub mod tpcds;
+
+pub use dataset::DatasetSpec;
+pub use paper::PaperWorkload;
+pub use synth::{GeneratorParams, SynthGenerator};

@@ -1,0 +1,411 @@
+//! The five evaluation workloads of Table III, reconstructed as parametric
+//! simulation workloads.
+//!
+//! The paper builds each workload by splitting a group of TPC-DS queries
+//! into select-project-join (SPJ) units — one MV per unit — and merging the
+//! graphs of queries that share intermediate nodes. The exact SPJ graphs
+//! are not published; what is published is, per workload, the query group,
+//! the node count, and a Polars-profiled I/O fraction:
+//!
+//! | Workload  | queries        | nodes | I/O ratio |
+//! |-----------|----------------|-------|-----------|
+//! | I/O 1     | 5, 77, 80      | 21    | 51.5 %    |
+//! | I/O 2     | 2, 59, 74, 75  | 19    | 59.0 %    |
+//! | I/O 3     | 44, 49         | 26    | 46.6 %    |
+//! | Compute 1 | 33, 56, 60, 61 | 21    | 0.9 %     |
+//! | Compute 2 | 14, 23         | 16    | 28.3 %    |
+//!
+//! Each workload template fixes a *baseline time composition* — the shares
+//! of base-table reads, intermediate writes, and compute in the
+//! unoptimized single-node run (intermediate reads take what the structure
+//! implies) — consistent with the speedups of Figures 9–11: the published
+//! magnitudes require intermediate I/O to dominate the I/O-heavy
+//! workloads, which matches the paper's own engine-level measurement that
+//! read/write took 85 % of compute-time-equivalents (§II-C) even though
+//! the coarser Polars estimates of Table III are lower. Intermediate sizes
+//! follow a small/large mixture: most MVs sit well under a 1.6 % Memory
+//! Catalog while a minority (early fact-table-sized intermediates) exceed
+//! it — the reason the date-partitioned datasets, whose intermediates
+//! shrink, leave S/C much more headroom (up to 5.08× in Figure 9b).
+//!
+//! Under date partitioning, base scans shrink 5× (one year partition of
+//! five) while intermediates shrink only ~2.5× (year-over-year MVs still
+//! span years); compute scales with bytes touched.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sc_sim::{SimConfig, SimNode, SimWorkload};
+
+use crate::dataset::{DatasetSpec, FactTable};
+
+/// One of the paper's five workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PaperWorkload {
+    /// "I/O 1": TPC-DS 5, 77, 80 — profit/returns reporting.
+    Io1,
+    /// "I/O 2": TPC-DS 2, 59, 74, 75 — sales-over-time comparisons.
+    Io2,
+    /// "I/O 3": TPC-DS 44, 49 — ranking and returns analysis.
+    Io3,
+    /// "Compute 1": TPC-DS 33, 56, 60, 61 — item-scoped aggregations.
+    Compute1,
+    /// "Compute 2": TPC-DS 14, 23 — cross-channel frequent-item analysis.
+    Compute2,
+}
+
+/// Structural parameters of one workload template.
+#[derive(Debug, Clone)]
+struct Shape {
+    name: &'static str,
+    queries: &'static [u32],
+    nodes: usize,
+    /// Table III's published I/O fraction (profiled with Python Polars).
+    polars_io_ratio: f64,
+    /// Share of baseline time spent scanning base (fact) tables.
+    base_frac: f64,
+    /// Share of baseline time spent writing intermediates.
+    write_frac: f64,
+    /// Share of baseline time spent in operators.
+    compute_frac: f64,
+    /// Fact tables scanned by the roots.
+    roots: &'static [FactTable],
+    /// Probability that an MV's output is "small" (well below a 1.6 %
+    /// Memory Catalog).
+    small_prob: f64,
+    /// Small-table size range, percent of the dataset.
+    small_pct: (f64, f64),
+    /// Large-table size range, percent of the dataset.
+    big_pct: (f64, f64),
+    seed: u64,
+}
+
+impl PaperWorkload {
+    /// All five workloads in the paper's order.
+    pub fn all() -> [PaperWorkload; 5] {
+        [
+            PaperWorkload::Io1,
+            PaperWorkload::Io2,
+            PaperWorkload::Io3,
+            PaperWorkload::Compute1,
+            PaperWorkload::Compute2,
+        ]
+    }
+
+    fn shape(&self) -> Shape {
+        use FactTable::*;
+        match self {
+            PaperWorkload::Io1 => Shape {
+                name: "I/O 1",
+                queries: &[5, 77, 80],
+                nodes: 21,
+                polars_io_ratio: 0.515,
+                base_frac: 0.17,
+                write_frac: 0.29,
+                compute_frac: 0.24,
+                roots: &[StoreSales, CatalogSales, WebSales],
+                small_prob: 0.97,
+                small_pct: (0.05, 0.9),
+                big_pct: (2.0, 3.0),
+                seed: 0x5c01,
+            },
+            PaperWorkload::Io2 => Shape {
+                name: "I/O 2",
+                queries: &[2, 59, 74, 75],
+                nodes: 19,
+                polars_io_ratio: 0.590,
+                base_frac: 0.14,
+                write_frac: 0.32,
+                compute_frac: 0.19,
+                roots: &[StoreSales, CatalogSales, WebSales, StoreSales],
+                small_prob: 1.0,
+                small_pct: (0.06, 1.0),
+                big_pct: (2.0, 3.0),
+                seed: 0x5c02,
+            },
+            PaperWorkload::Io3 => Shape {
+                name: "I/O 3",
+                queries: &[44, 49],
+                nodes: 26,
+                polars_io_ratio: 0.466,
+                base_frac: 0.20,
+                write_frac: 0.27,
+                compute_frac: 0.28,
+                roots: &[StoreSales, WebSales],
+                small_prob: 0.94,
+                small_pct: (0.04, 0.8),
+                big_pct: (1.8, 2.5),
+                seed: 0x5c03,
+            },
+            PaperWorkload::Compute1 => Shape {
+                name: "Compute 1",
+                queries: &[33, 56, 60, 61],
+                nodes: 21,
+                polars_io_ratio: 0.009,
+                base_frac: 0.06,
+                write_frac: 0.02,
+                compute_frac: 0.90,
+                roots: &[StoreSales, CatalogSales, WebSales],
+                small_prob: 1.0,
+                small_pct: (0.005, 0.05),
+                big_pct: (0.1, 0.2),
+                seed: 0x5c04,
+            },
+            PaperWorkload::Compute2 => Shape {
+                name: "Compute 2",
+                queries: &[14, 23],
+                nodes: 16,
+                polars_io_ratio: 0.283,
+                base_frac: 0.14,
+                write_frac: 0.14,
+                compute_frac: 0.58,
+                roots: &[StoreSales, CatalogSales],
+                small_prob: 0.95,
+                small_pct: (0.03, 0.7),
+                big_pct: (1.8, 2.5),
+                seed: 0x5c05,
+            },
+        }
+    }
+
+    /// Display name ("I/O 1", …).
+    pub fn name(&self) -> &'static str {
+        self.shape().name
+    }
+
+    /// The TPC-DS queries the workload was built from.
+    pub fn tpcds_queries(&self) -> &'static [u32] {
+        self.shape().queries
+    }
+
+    /// Node count from Table III.
+    pub fn node_count(&self) -> usize {
+        self.shape().nodes
+    }
+
+    /// Baseline I/O fraction from Table III (Polars estimate).
+    pub fn polars_io_ratio(&self) -> f64 {
+        self.shape().polars_io_ratio
+    }
+
+    /// The baseline compute share the simulation targets (flat dataset);
+    /// `1 - compute_share` is the effective engine-level I/O fraction.
+    pub fn compute_share(&self) -> f64 {
+        self.shape().compute_frac
+    }
+
+    /// Builds the workload for `dataset`.
+    pub fn build(&self, dataset: &DatasetSpec) -> SimWorkload {
+        let shape = self.shape();
+        let mut rng = StdRng::seed_from_u64(shape.seed);
+        let n = shape.nodes;
+        let n_roots = shape.roots.len();
+        debug_assert!(n_roots < n);
+        let data_bytes = dataset.scale_gb * crate::dataset::GB;
+        // Scans shrink 5x under partitioning; intermediates only ~2x.
+        let int_scale = if dataset.partitioned { 0.4 } else { 1.0 };
+
+        // --- structure + intermediate sizes (percent-of-dataset mixture).
+        let mut out_bytes: Vec<u64> = Vec::with_capacity(n);
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut parent_sets: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let pct = if rng.gen_bool(shape.small_prob) {
+                rng.gen_range(shape.small_pct.0..shape.small_pct.1)
+            } else {
+                rng.gen_range(shape.big_pct.0..shape.big_pct.1)
+            };
+            out_bytes.push((data_bytes * pct / 100.0 * int_scale).max(1024.0) as u64);
+            if i < n_roots {
+                parent_sets.push(Vec::new());
+                continue;
+            }
+            // 1-2 recent parents: merged SPJ pipelines are mostly chains
+            // with occasional branch joins.
+            let n_parents = if rng.gen_bool(0.35) && i >= 2 { 2 } else { 1 };
+            let mut parents: Vec<usize> = Vec::with_capacity(n_parents);
+            while parents.len() < n_parents {
+                let lo = i.saturating_sub(6);
+                let p = rng.gen_range(lo..i);
+                if !parents.contains(&p) {
+                    parents.push(p);
+                }
+            }
+            for &p in &parents {
+                edges.push((p, i));
+            }
+            parent_sets.push(parents);
+        }
+
+        // --- derive the run's time budget from the write share.
+        let cfg = SimConfig::paper(1); // bandwidths only
+        let write_s: f64 = out_bytes
+            .iter()
+            .map(|&b| cfg.disk_latency_s + b as f64 / cfg.disk_write_bps)
+            .sum();
+        let total_s = write_s / shape.write_frac;
+
+        // --- base reads sized to their share, split over the fact scans
+        // (partition pruning cuts them 5x, shifting the mix toward
+        // intermediate I/O exactly as in the paper's TPC-DSp runs).
+        let base_target_bytes = shape.base_frac * total_s * cfg.disk_read_bps;
+        let scan_weights: Vec<f64> =
+            shape.roots.iter().map(|&t| DatasetSpec::fact_fraction(t)).collect();
+        let scan_weight_sum: f64 = scan_weights.iter().sum();
+        let mut base_bytes = vec![0u64; n];
+        for (i, w) in scan_weights.iter().enumerate() {
+            let pruned = if dataset.partitioned { 0.2 } else { 1.0 };
+            base_bytes[i] = (base_target_bytes * w / scan_weight_sum * pruned) as u64;
+        }
+
+        // --- compute sized to its share, spread by bytes touched; under
+        // partitioning it scales down with the smaller data automatically.
+        let weights: Vec<f64> = (0..n)
+            .map(|i| {
+                let parent_in: u64 = parent_sets[i].iter().map(|&p| out_bytes[p]).sum();
+                (base_bytes[i] + parent_in + out_bytes[i]) as f64 + 1.0
+            })
+            .collect();
+        let weight_sum: f64 = weights.iter().sum();
+        let compute_total = shape.compute_frac * total_s * int_scale.max(0.2);
+
+        let nodes: Vec<SimNode> = (0..n)
+            .map(|i| {
+                let name = if i < n_roots {
+                    format!("{}_root{}", shape.name, i)
+                } else {
+                    format!("{}_mv{}", shape.name, i)
+                };
+                SimNode::new(
+                    name,
+                    compute_total * weights[i] / weight_sum,
+                    out_bytes[i],
+                    base_bytes[i],
+                )
+            })
+            .collect();
+        SimWorkload::from_parts(nodes, edges).expect("template edges are forward-only")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::ScOptimizer;
+    use sc_sim::Simulator;
+
+    #[test]
+    fn node_counts_match_table3() {
+        let expect = [21, 19, 26, 21, 16];
+        for (w, &n) in PaperWorkload::all().iter().zip(&expect) {
+            let built = w.build(&DatasetSpec::tpcds(100.0));
+            assert_eq!(built.len(), n, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn time_composition_is_calibrated() {
+        let ds = DatasetSpec::tpcds(100.0);
+        for w in PaperWorkload::all() {
+            let built = w.build(&ds);
+            let sim = Simulator::new(SimConfig::paper(1));
+            let r = sim.run_unoptimized(&built).unwrap();
+            let compute_share = r.total_compute_s() / r.total_s;
+            let target = w.compute_share();
+            assert!(
+                (compute_share - target).abs() < 0.08,
+                "{}: compute share {compute_share:.3} vs target {target:.3}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let ds = DatasetSpec::tpcds(100.0);
+        let a = PaperWorkload::Io1.build(&ds);
+        let b = PaperWorkload::Io1.build(&ds);
+        for (x, y) in a.graph.payloads().iter().zip(b.graph.payloads()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn partitioned_variant_shrinks_scans_more_than_intermediates() {
+        let flat = PaperWorkload::Io1.build(&DatasetSpec::tpcds(100.0));
+        let part = PaperWorkload::Io1.build(&DatasetSpec::tpcds_partitioned(100.0));
+        let flat_scan: u64 = flat.graph.payloads().iter().map(|nd| nd.base_read_bytes).sum();
+        let part_scan: u64 = part.graph.payloads().iter().map(|nd| nd.base_read_bytes).sum();
+        assert!(part_scan * 5 <= flat_scan + 5, "scans must shrink ~5x");
+        let ratio = flat.total_write_bytes() as f64 / part.total_write_bytes() as f64;
+        assert!((ratio - 2.5).abs() < 0.1, "intermediates must shrink ~2.5x, got {ratio:.2}");
+    }
+
+    #[test]
+    fn sc_speeds_up_io_workloads_at_paper_memory() {
+        let ds = DatasetSpec::tpcds(100.0);
+        let budget = ds.memory_budget(1.6);
+        for w in [PaperWorkload::Io1, PaperWorkload::Io2, PaperWorkload::Io3] {
+            let built = w.build(&ds);
+            let config = SimConfig::paper(budget);
+            let problem = built.problem(&config).unwrap();
+            let plan = ScOptimizer::default().optimize(&problem).unwrap();
+            let sim = Simulator::new(config);
+            let base = sim.run_unoptimized(&built).unwrap();
+            let sc = sim.run(&built, &plan).unwrap();
+            let speedup = base.total_s / sc.total_s;
+            assert!(
+                speedup > 1.2 && speedup < 3.5,
+                "{}: speedup {speedup:.2} out of the paper's flat range",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_speedup_exceeds_flat() {
+        let w = PaperWorkload::Io2;
+        let mut speedups = Vec::new();
+        for ds in [DatasetSpec::tpcds(100.0), DatasetSpec::tpcds_partitioned(100.0)] {
+            let budget = ds.memory_budget(if ds.partitioned { 0.8 } else { 1.6 });
+            let built = w.build(&ds);
+            let config = SimConfig::paper(budget);
+            let problem = built.problem(&config).unwrap();
+            let plan = ScOptimizer::default().optimize(&problem).unwrap();
+            let sim = Simulator::new(config);
+            let base = sim.run_unoptimized(&built).unwrap();
+            let sc = sim.run(&built, &plan).unwrap();
+            speedups.push(base.total_s / sc.total_s);
+        }
+        assert!(
+            speedups[1] > speedups[0] + 0.2,
+            "TPC-DSp speedup {:.2} must clearly exceed TPC-DS {:.2}",
+            speedups[1],
+            speedups[0]
+        );
+    }
+
+    #[test]
+    fn compute_workload_gains_little() {
+        let ds = DatasetSpec::tpcds(100.0);
+        let built = PaperWorkload::Compute1.build(&ds);
+        let config = SimConfig::paper(ds.memory_budget(1.6));
+        let problem = built.problem(&config).unwrap();
+        let plan = ScOptimizer::default().optimize(&problem).unwrap();
+        let sim = Simulator::new(config);
+        let base = sim.run_unoptimized(&built).unwrap();
+        let sc = sim.run(&built, &plan).unwrap();
+        let speedup = base.total_s / sc.total_s;
+        assert!((1.0..1.2).contains(&speedup), "Compute 1 speedup {speedup:.3}");
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        assert_eq!(PaperWorkload::Io1.tpcds_queries(), &[5, 77, 80]);
+        assert_eq!(PaperWorkload::Compute2.node_count(), 16);
+        assert_eq!(PaperWorkload::all().len(), 5);
+        assert!((PaperWorkload::Io2.polars_io_ratio() - 0.59).abs() < 1e-9);
+        assert!(PaperWorkload::Compute1.compute_share() > 0.8);
+    }
+}

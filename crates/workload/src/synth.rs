@@ -1,0 +1,410 @@
+//! The §VI-H synthetic workload generator.
+//!
+//! Two components, mirroring the paper:
+//!
+//! 1. a **DAG generator** producing stage-structured ("Spark-shaped")
+//!    dependency graphs parameterized by node count, height/width ratio,
+//!    maximum out-degree and per-stage node-count standard deviation;
+//! 2. a **Markov chain over relational operators** that assigns each node
+//!    an operation (JOIN, AGG, …), from which output sizes and compute
+//!    costs are derived. The transition probabilities are hardcoded from
+//!    an offline analysis of TPC-DS and Spider query structures (the paper
+//!    trains the chain on the same corpora); root sizes are sampled from
+//!    the 100 GB TPC-DS table size distribution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use sc_sim::{SimNode, SimWorkload};
+
+/// Relational operator kinds assigned by the Markov chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Base-table scan (roots only).
+    Scan,
+    /// Hash join.
+    Join,
+    /// Aggregation.
+    Agg,
+    /// Filter.
+    Filter,
+    /// Projection.
+    Project,
+    /// Union.
+    Union,
+}
+
+impl Op {
+    /// Output size as a fraction of combined input size (joins can grow).
+    fn size_factor(self) -> f64 {
+        match self {
+            Op::Scan => 1.0, // handled separately
+            Op::Join => 1.0,
+            Op::Agg => 0.08,
+            Op::Filter => 0.35,
+            Op::Project => 0.6,
+            Op::Union => 1.0,
+        }
+    }
+
+    /// Effective operator throughput, bytes/second, used to derive compute
+    /// time from bytes processed.
+    fn throughput_bps(self) -> f64 {
+        match self {
+            Op::Scan => 2.0e9,
+            Op::Join => 0.2e9,
+            Op::Agg => 0.3e9,
+            Op::Filter => 1.0e9,
+            Op::Project => 1.5e9,
+            Op::Union => 3.0e9,
+        }
+    }
+
+    /// Markov transition row: distribution of a child's operator given
+    /// this node's operator.
+    fn transitions(self) -> &'static [(Op, f64)] {
+        match self {
+            Op::Scan => &[(Op::Join, 0.45), (Op::Filter, 0.30), (Op::Agg, 0.15), (Op::Project, 0.10)],
+            Op::Join => &[(Op::Agg, 0.35), (Op::Join, 0.25), (Op::Filter, 0.20), (Op::Project, 0.20)],
+            Op::Filter => &[(Op::Join, 0.40), (Op::Agg, 0.30), (Op::Project, 0.20), (Op::Union, 0.10)],
+            Op::Agg => &[(Op::Join, 0.30), (Op::Project, 0.30), (Op::Union, 0.20), (Op::Agg, 0.20)],
+            Op::Project => &[(Op::Join, 0.35), (Op::Agg, 0.35), (Op::Union, 0.15), (Op::Filter, 0.15)],
+            Op::Union => &[(Op::Agg, 0.40), (Op::Join, 0.30), (Op::Project, 0.30)],
+        }
+    }
+
+    fn sample_child(self, rng: &mut StdRng) -> Op {
+        let row = self.transitions();
+        let mut x: f64 = rng.gen();
+        for &(op, p) in row {
+            if x < p {
+                return op;
+            }
+            x -= p;
+        }
+        row.last().expect("non-empty transition row").0
+    }
+}
+
+/// Table sizes (bytes) of the 100 GB TPC-DS dataset, used as the root-size
+/// sampling distribution (paper: "sizes of nodes with no parents are
+/// randomly sampled from table sizes in the 100GB TPC-DS dataset").
+pub const TPCDS_100GB_TABLE_BYTES: &[u64] = &[
+    37_000_000_000, // store_sales
+    28_000_000_000, // catalog_sales
+    14_000_000_000, // web_sales
+    4_900_000_000,  // inventory
+    3_200_000_000,  // store_returns
+    2_300_000_000,  // catalog_returns
+    1_100_000_000,  // web_returns
+    1_300_000_000,  // customer
+    800_000_000,    // customer_demographics
+    60_000_000,     // item
+    10_000_000,     // date_dim
+    5_000_000,      // store
+];
+
+/// Parameters of the synthetic generator (the axes of Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorParams {
+    /// Total node count (the paper sweeps 25–100).
+    pub nodes: usize,
+    /// DAG height divided by width (stages vs nodes-per-stage).
+    pub height_width_ratio: f64,
+    /// Maximum out-degree; each node's edge count is uniform in
+    /// `[0, max_outdegree]`.
+    pub max_outdegree: usize,
+    /// Standard deviation of per-stage node counts.
+    pub stage_stdev: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorParams {
+    /// The reference point of Figures 13/14: 100 nodes, ratio 1, max
+    /// out-degree 4, stage StDev 1.
+    fn default() -> Self {
+        GeneratorParams {
+            nodes: 100,
+            height_width_ratio: 1.0,
+            max_outdegree: 4,
+            stage_stdev: 1.0,
+            seed: 0x5c,
+        }
+    }
+}
+
+/// Deterministic synthetic workload generator.
+#[derive(Debug, Clone)]
+pub struct SynthGenerator {
+    params: GeneratorParams,
+}
+
+impl SynthGenerator {
+    /// Creates a generator.
+    pub fn new(params: GeneratorParams) -> Self {
+        SynthGenerator { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &GeneratorParams {
+        &self.params
+    }
+
+    /// Stage sizes: height/width follow the requested ratio, counts are
+    /// jittered by `stage_stdev` and adjusted to sum to `nodes`.
+    fn stage_sizes(&self, rng: &mut StdRng) -> Vec<usize> {
+        let n = self.params.nodes.max(2);
+        let ratio = self.params.height_width_ratio.max(0.01);
+        // height * width = n, height / width = ratio.
+        let width = (n as f64 / ratio).sqrt().round().max(1.0) as usize;
+        let height = n.div_ceil(width).max(2);
+
+        let mut sizes = Vec::with_capacity(height);
+        let mut remaining = n as i64;
+        for s in 0..height {
+            let stages_left = (height - s) as i64;
+            let c = if stages_left == 1 {
+                remaining // the last stage absorbs the remainder exactly
+            } else {
+                let mean = remaining as f64 / stages_left as f64;
+                let jitter = gaussian(rng) * self.params.stage_stdev;
+                let c = (mean + jitter).round() as i64;
+                c.clamp(1, remaining - (stages_left - 1)) // leave ≥1 per stage
+            };
+            sizes.push(c as usize);
+            remaining -= c;
+        }
+        debug_assert_eq!(sizes.iter().sum::<usize>(), n);
+        sizes
+    }
+
+    /// Generates one workload.
+    pub fn generate(&self) -> SimWorkload {
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let stages = self.stage_sizes(&mut rng);
+
+        // Node ids stage by stage.
+        let mut stage_nodes: Vec<Vec<usize>> = Vec::with_capacity(stages.len());
+        let mut next_id = 0usize;
+        for &count in &stages {
+            stage_nodes.push((next_id..next_id + count).collect());
+            next_id += count;
+        }
+        let n = next_id;
+
+        // Edges: each node fans out to `uniform[0, max_outdegree]` children
+        // in the next stage; orphans in stage s+1 get one parent each.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for s in 0..stage_nodes.len() - 1 {
+            let next = &stage_nodes[s + 1];
+            let mut has_parent = vec![false; next.len()];
+            for &u in &stage_nodes[s] {
+                let degree = rng.gen_range(0..=self.params.max_outdegree).min(next.len());
+                let mut picked: Vec<usize> = Vec::with_capacity(degree);
+                while picked.len() < degree {
+                    let c = rng.gen_range(0..next.len());
+                    if !picked.contains(&c) {
+                        picked.push(c);
+                    }
+                }
+                for c in picked {
+                    edges.push((u, next[c]));
+                    has_parent[c] = true;
+                }
+            }
+            for (c, &covered) in has_parent.iter().enumerate() {
+                if !covered {
+                    let u = stage_nodes[s][rng.gen_range(0..stage_nodes[s].len())];
+                    edges.push((u, next[c]));
+                }
+            }
+        }
+
+        // Assign operators by walking stages with the Markov chain, then
+        // derive sizes and compute from the ops.
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            parents[b].push(a);
+        }
+        let mut ops: Vec<Op> = vec![Op::Scan; n];
+        let mut out_bytes: Vec<u64> = vec![0; n];
+        let mut base_bytes: Vec<u64> = vec![0; n];
+        let mut compute: Vec<f64> = vec![0.0; n];
+        for stage in &stage_nodes {
+            for &v in stage {
+                if parents[v].is_empty() {
+                    ops[v] = Op::Scan;
+                    let table = TPCDS_100GB_TABLE_BYTES
+                        [rng.gen_range(0..TPCDS_100GB_TABLE_BYTES.len())];
+                    base_bytes[v] = table;
+                    let selectivity = rng.gen_range(0.02..0.3);
+                    out_bytes[v] = ((table as f64) * selectivity) as u64;
+                    compute[v] = table as f64 / Op::Scan.throughput_bps();
+                } else {
+                    let op = ops[parents[v][0]].sample_child(&mut rng);
+                    ops[v] = op;
+                    let input: u64 = parents[v].iter().map(|&p| out_bytes[p]).sum();
+                    // Joins are key-matched, so output size tracks the
+                    // larger side, not the sum; unions concatenate.
+                    let size_base = if op == Op::Union {
+                        input
+                    } else {
+                        parents[v].iter().map(|&p| out_bytes[p]).max().unwrap_or(0)
+                    };
+                    let factor = op.size_factor() * rng.gen_range(0.6..1.2);
+                    out_bytes[v] = ((size_base as f64 * factor) as u64).max(1024);
+                    compute[v] = input as f64 / op.throughput_bps();
+                }
+            }
+        }
+
+        let nodes_vec: Vec<SimNode> = (0..n)
+            .map(|v| {
+                SimNode::new(
+                    format!("{:?}{}", ops[v], v).to_lowercase(),
+                    compute[v],
+                    out_bytes[v],
+                    base_bytes[v],
+                )
+            })
+            .collect();
+        SimWorkload::from_parts(nodes_vec, edges).expect("stage edges are forward-only")
+    }
+}
+
+/// Standard normal sample (Box–Muller; avoids an extra dependency).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(params: GeneratorParams) -> SimWorkload {
+        SynthGenerator::new(params).generate()
+    }
+
+    #[test]
+    fn node_count_is_exact() {
+        for n in [10, 25, 50, 100] {
+            let w = gen(GeneratorParams { nodes: n, ..Default::default() });
+            assert_eq!(w.len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen(GeneratorParams::default());
+        let b = gen(GeneratorParams::default());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        for (x, y) in a.graph.payloads().iter().zip(b.graph.payloads()) {
+            assert_eq!(x, y);
+        }
+        let c = gen(GeneratorParams { seed: 999, ..Default::default() });
+        assert!(
+            a.graph.edge_count() != c.graph.edge_count()
+                || a.graph.payloads() != c.graph.payloads(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn height_width_ratio_is_respected() {
+        let tall = gen(GeneratorParams {
+            nodes: 64,
+            height_width_ratio: 4.0,
+            stage_stdev: 0.0,
+            ..Default::default()
+        });
+        let flat = gen(GeneratorParams {
+            nodes: 64,
+            height_width_ratio: 0.25,
+            stage_stdev: 0.0,
+            ..Default::default()
+        });
+        assert!(tall.graph.height() > flat.graph.height());
+        assert!(tall.graph.width() < flat.graph.width());
+    }
+
+    #[test]
+    fn every_non_root_has_a_parent_and_ops_are_consistent() {
+        let w = gen(GeneratorParams::default());
+        let roots = w.graph.roots();
+        for v in w.graph.node_ids() {
+            let node = w.graph.node(v);
+            if roots.contains(&v) {
+                assert!(node.base_read_bytes > 0, "roots read base tables");
+                assert!(node.name.starts_with("scan"));
+            } else {
+                assert_eq!(node.base_read_bytes, 0);
+                assert!(node.output_bytes >= 1024);
+            }
+        }
+    }
+
+    #[test]
+    fn outdegree_bounded() {
+        let p = GeneratorParams { max_outdegree: 2, ..Default::default() };
+        let w = gen(p);
+        // Generated fan-out edges are capped; orphan-fixing can add at
+        // most a handful beyond the cap.
+        for v in w.graph.node_ids() {
+            assert!(w.graph.out_degree(v) <= 2 + 3, "node {v} out-degree too high");
+        }
+    }
+
+    #[test]
+    fn stage_stdev_zero_gives_even_stages() {
+        let g = SynthGenerator::new(GeneratorParams {
+            nodes: 60,
+            height_width_ratio: 1.0,
+            stage_stdev: 0.0,
+            max_outdegree: 4,
+            seed: 1,
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let sizes = g.stage_sizes(&mut rng);
+        let (min, max) =
+            (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "even split expected, got {sizes:?}");
+    }
+
+    #[test]
+    fn sizes_shrink_down_aggregation_chains() {
+        // Aggregations must produce small outputs: total leaf bytes are a
+        // small fraction of total root bytes in expectation.
+        let w = gen(GeneratorParams { nodes: 80, seed: 3, ..Default::default() });
+        let roots: u64 =
+            w.graph.roots().iter().map(|&v| w.graph.node(v).output_bytes).sum();
+        let leaves: u64 =
+            w.graph.leaves().iter().map(|&v| w.graph.node(v).output_bytes).sum();
+        assert!(leaves < roots * 3, "leaf bytes {leaves} vs root bytes {roots}");
+    }
+
+    #[test]
+    fn markov_rows_sum_to_one() {
+        for op in [Op::Scan, Op::Join, Op::Agg, Op::Filter, Op::Project, Op::Union] {
+            let sum: f64 = op.transitions().iter().map(|&(_, p)| p).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{op:?} row sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn workload_is_usable_by_optimizer() {
+        use sc_core::ScOptimizer;
+        use sc_sim::{SimConfig, Simulator};
+        let w = gen(GeneratorParams { nodes: 40, seed: 7, ..Default::default() });
+        let config = SimConfig::paper(1_600_000_000);
+        let problem = w.problem(&config).unwrap();
+        let plan = ScOptimizer::default().optimize(&problem).unwrap();
+        let sim = Simulator::new(config);
+        let base = sim.run_unoptimized(&w).unwrap();
+        let sc = sim.run(&w, &plan).unwrap();
+        assert!(sc.total_s <= base.total_s + 1e-9);
+    }
+}

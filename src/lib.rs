@@ -1,0 +1,70 @@
+//! # sc — Short-Circuit (S/C): speeding up data materialization with bounded memory
+//!
+//! A from-scratch Rust reproduction of *"S/C: Speeding up Data
+//! Materialization with Bounded Memory"* (Li, Pi, Park — ICDE 2023).
+//!
+//! S/C refreshes a set of materialized views (MVs) with acyclic
+//! dependencies. It jointly optimizes the refresh order and a bounded
+//! in-memory **Memory Catalog** holding selected intermediate tables, so
+//! downstream MVs read hot inputs from memory while materialization to
+//! external storage proceeds in the background — cutting end-to-end
+//! refresh time without ever weakening durability (every MV is still
+//! persisted exactly as defined).
+//!
+//! The workspace crates, re-exported here:
+//!
+//! * [`core`](sc_core) — the S/C Opt optimizer (constraint sets, exact MKP
+//!   selection, MA-DFS scheduling, alternating optimization);
+//! * [`dag`](sc_dag) — the DAG substrate;
+//! * [`engine`](sc_engine) — a mini columnar warehouse: expressions,
+//!   operators, a columnar file format, disk/memory catalogs, and the
+//!   refresh controller;
+//! * [`sim`](sc_sim) — a discrete-event simulator for paper-scale
+//!   experiments (10 GB–1 TB, clusters, LRU baselines);
+//! * [`workload`](sc_workload) — TPC-DS-style data and the paper's
+//!   workloads, plus the §VI-H synthetic DAG generator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sc::ScSystem;
+//!
+//! let dir = tempfile::tempdir().unwrap();
+//! // 1. Open a system: external storage directory + memory budget.
+//! let mut sys = ScSystem::open(dir.path(), 4 << 20).unwrap();
+//!
+//! // 2. Ingest base data (here: the bundled TPC-DS-style generator).
+//! let data = sc::workload::tpcds::TinyTpcds::generate(0.2, 42);
+//! data.load_into(sys.disk()).unwrap();
+//!
+//! // 3. Register MV definitions (dependencies are inferred from scans).
+//! for mv in sc::workload::engine_mvs::sales_pipeline() {
+//!     sys.register_mv(mv);
+//! }
+//!
+//! // 4. First refresh profiles the workload; then optimize and re-run.
+//! let baseline = sys.baseline_refresh().unwrap();
+//! let plan = sys.optimize_from(&baseline).unwrap();
+//! let optimized = sys.refresh(&plan).unwrap();
+//! assert_eq!(optimized.nodes.len(), baseline.nodes.len());
+//! ```
+
+pub use sc_core as core;
+pub use sc_dag as dag;
+pub use sc_engine as engine;
+pub use sc_sim as sim;
+pub use sc_workload as workload;
+
+mod system;
+
+pub use system::{ScError, ScSystem};
+
+/// Commonly used items across the workspace.
+pub mod prelude {
+    pub use sc_core::prelude::*;
+    pub use sc_dag::{Dag, NodeId};
+    pub use sc_engine::controller::MvDefinition;
+    pub use sc_engine::prelude::*;
+    pub use sc_sim::{ClusterModel, SimConfig, SimNode, SimWorkload, Simulator};
+    pub use sc_workload::{DatasetSpec, GeneratorParams, PaperWorkload, SynthGenerator};
+}

@@ -1,0 +1,225 @@
+//! The high-level S/C system façade: catalogs + controller + optimizer in
+//! one object, mirroring Figure 5's architecture (Controller, Optimizer,
+//! Memory Catalog, DBMS).
+
+use std::fmt;
+use std::path::Path;
+
+use sc_core::{CostModel, OptError, Plan, ScOptimizer};
+use sc_dag::{Dag, DagError, NodeId};
+use sc_engine::controller::{Controller, MvDefinition, RunMetrics};
+use sc_engine::storage::{DiskCatalog, MemoryCatalog, Throttle};
+use sc_engine::EngineError;
+use sc_workload::engine_mvs::problem_from_metrics;
+
+/// Unified error for the façade.
+#[derive(Debug)]
+pub enum ScError {
+    /// Engine / storage / controller failure.
+    Engine(EngineError),
+    /// Optimizer failure.
+    Opt(OptError),
+    /// Graph construction failure.
+    Dag(DagError),
+    /// A registered MV name collides with an existing one.
+    DuplicateMv(String),
+}
+
+impl fmt::Display for ScError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScError::Engine(e) => write!(f, "engine: {e}"),
+            ScError::Opt(e) => write!(f, "optimizer: {e}"),
+            ScError::Dag(e) => write!(f, "dag: {e}"),
+            ScError::DuplicateMv(n) => write!(f, "duplicate MV '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for ScError {}
+
+impl From<EngineError> for ScError {
+    fn from(e: EngineError) -> Self {
+        ScError::Engine(e)
+    }
+}
+
+impl From<OptError> for ScError {
+    fn from(e: OptError) -> Self {
+        ScError::Opt(e)
+    }
+}
+
+impl From<DagError> for ScError {
+    fn from(e: DagError) -> Self {
+        ScError::Dag(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ScError>;
+
+/// The S/C system: a disk catalog (external storage), a bounded Memory
+/// Catalog, a set of registered MV definitions, and the optimizer.
+pub struct ScSystem {
+    disk: DiskCatalog,
+    memory: MemoryCatalog,
+    cost: CostModel,
+    mvs: Vec<MvDefinition>,
+}
+
+impl ScSystem {
+    /// Opens a system storing tables under `dir` with a Memory Catalog of
+    /// `memory_budget` bytes.
+    pub fn open(dir: impl AsRef<Path>, memory_budget: u64) -> Result<Self> {
+        Ok(ScSystem {
+            disk: DiskCatalog::open(dir)?,
+            memory: MemoryCatalog::new(memory_budget),
+            cost: CostModel::paper(),
+            mvs: Vec::new(),
+        })
+    }
+
+    /// Opens a system whose external storage is paced by `throttle`
+    /// (useful for demonstrating paper-like I/O ratios on fast hardware).
+    pub fn open_throttled(
+        dir: impl AsRef<Path>,
+        memory_budget: u64,
+        throttle: Throttle,
+    ) -> Result<Self> {
+        Ok(ScSystem {
+            disk: DiskCatalog::open_throttled(dir, throttle)?,
+            memory: MemoryCatalog::new(memory_budget),
+            cost: CostModel::paper(),
+            mvs: Vec::new(),
+        })
+    }
+
+    /// Overrides the cost model used for speedup-score estimation.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// External storage catalog (for ingesting base tables and inspecting
+    /// materialized MVs).
+    pub fn disk(&self) -> &DiskCatalog {
+        &self.disk
+    }
+
+    /// The Memory Catalog.
+    pub fn memory(&self) -> &MemoryCatalog {
+        &self.memory
+    }
+
+    /// Registered MV definitions, in registration order.
+    pub fn mvs(&self) -> &[MvDefinition] {
+        &self.mvs
+    }
+
+    /// Registers an MV definition. Dependencies on other MVs are inferred
+    /// from the tables its plan scans.
+    pub fn register_mv(&mut self, mv: MvDefinition) -> NodeId {
+        let id = NodeId(self.mvs.len());
+        self.mvs.push(mv);
+        id
+    }
+
+    /// The inferred dependency graph over registered MVs (payload = MV
+    /// name), i.e. the "workload specification" of §III-A.
+    pub fn dependency_graph(&self) -> Result<Dag<String>> {
+        let mut g = Dag::with_capacity(self.mvs.len());
+        for mv in &self.mvs {
+            g.add_node(mv.name.clone());
+        }
+        for (a, b) in Controller::dependencies(&self.mvs) {
+            g.add_edge(NodeId(a), NodeId(b))?;
+        }
+        Ok(g)
+    }
+
+    /// Refreshes all MVs in plain topological order with nothing flagged —
+    /// the unoptimized baseline, which doubles as the profiling run that
+    /// collects execution metadata for the optimizer.
+    pub fn baseline_refresh(&self) -> Result<RunMetrics> {
+        let order = self.dependency_graph()?.kahn_order();
+        self.refresh(&Plan::unoptimized(order))
+    }
+
+    /// Runs the optimizer on metadata from a previous refresh.
+    pub fn optimize_from(&self, metrics: &RunMetrics) -> Result<Plan> {
+        let problem =
+            problem_from_metrics(&self.mvs, metrics, &self.cost, self.memory.budget())?;
+        Ok(ScOptimizer::default().optimize(&problem)?)
+    }
+
+    /// Executes a refresh run under `plan`.
+    pub fn refresh(&self, plan: &Plan) -> Result<RunMetrics> {
+        Ok(Controller::new(&self.disk, &self.memory).refresh(&self.mvs, plan)?)
+    }
+
+    /// Profile-optimize-refresh in one call: runs the baseline, derives a
+    /// plan, executes it, and returns `(plan, baseline, optimized)`.
+    pub fn refresh_optimized(&self) -> Result<(Plan, RunMetrics, RunMetrics)> {
+        let baseline = self.baseline_refresh()?;
+        let plan = self.optimize_from(&baseline)?;
+        let optimized = self.refresh(&plan)?;
+        Ok((plan, baseline, optimized))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_workload::engine_mvs::sales_pipeline;
+    use sc_workload::tpcds::TinyTpcds;
+
+    fn system() -> (tempfile::TempDir, ScSystem) {
+        let dir = tempfile::tempdir().unwrap();
+        let mut sys = ScSystem::open(dir.path(), 8 << 20).unwrap();
+        TinyTpcds::generate(0.2, 42).load_into(sys.disk()).unwrap();
+        for mv in sales_pipeline() {
+            sys.register_mv(mv);
+        }
+        (dir, sys)
+    }
+
+    #[test]
+    fn end_to_end_profile_optimize_refresh() {
+        let (_dir, sys) = system();
+        let (plan, baseline, optimized) = sys.refresh_optimized().unwrap();
+        assert_eq!(baseline.nodes.len(), 9);
+        assert_eq!(optimized.nodes.len(), 9);
+        assert!(plan.flagged.count() > 0);
+        assert!(sys.memory().is_empty(), "memory catalog drained after run");
+        for mv in sys.mvs() {
+            assert!(sys.disk().contains(&mv.name));
+        }
+    }
+
+    #[test]
+    fn dependency_graph_shape() {
+        let (_dir, sys) = system();
+        let g = sys.dependency_graph().unwrap();
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.node(NodeId(0)), "enriched_sales");
+        assert_eq!(g.out_degree(NodeId(0)), 3);
+        assert!(g.is_topological_order(&g.kahn_order()));
+    }
+
+    #[test]
+    fn errors_are_wrapped() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut sys = ScSystem::open(dir.path(), 1 << 20).unwrap();
+        // No base tables ingested: refresh must fail with an engine error.
+        for mv in sales_pipeline() {
+            sys.register_mv(mv);
+        }
+        match sys.baseline_refresh() {
+            Err(ScError::Engine(EngineError::UnknownTable(_))) => {}
+            other => panic!("expected unknown table, got {other:?}"),
+        }
+        let msg = ScError::DuplicateMv("x".into()).to_string();
+        assert!(msg.contains("duplicate"));
+    }
+}

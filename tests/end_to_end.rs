@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the full profile → optimize → refresh
+//! loop on the real engine, correctness invariants of S/C plans, and the
+//! engine/simulator agreement on plan rankings.
+
+use sc::prelude::*;
+use sc::ScSystem;
+use sc_core::ScOptimizer;
+use sc_workload::engine_mvs::{problem_from_metrics, sales_pipeline};
+use sc_workload::tpcds::TinyTpcds;
+
+fn system_with_data(budget: u64, scale: f64) -> (tempfile::TempDir, ScSystem) {
+    let dir = tempfile::tempdir().unwrap();
+    let mut sys = ScSystem::open(dir.path(), budget).unwrap();
+    TinyTpcds::generate(scale, 42).load_into(sys.disk()).unwrap();
+    for mv in sales_pipeline() {
+        sys.register_mv(mv);
+    }
+    (dir, sys)
+}
+
+#[test]
+fn optimized_run_produces_byte_identical_mvs() {
+    let (_dir, sys) = system_with_data(8 << 20, 0.5);
+    let baseline = sys.baseline_refresh().unwrap();
+    let baseline_tables: Vec<_> =
+        sys.mvs().iter().map(|mv| sys.disk().read_table(&mv.name).unwrap()).collect();
+
+    let plan = sys.optimize_from(&baseline).unwrap();
+    assert!(plan.flagged.count() > 0, "expected some flagging at this budget");
+    let optimized = sys.refresh(&plan).unwrap();
+    assert_eq!(optimized.nodes.len(), sys.mvs().len());
+
+    for (mv, before) in sys.mvs().iter().zip(baseline_tables) {
+        let after = sys.disk().read_table(&mv.name).unwrap();
+        assert_eq!(before, after, "S/C must not change the contents of {}", mv.name);
+    }
+    assert!(sys.memory().is_empty(), "memory catalog must drain");
+}
+
+#[test]
+fn plans_respect_budget_and_dependencies() {
+    let (_dir, sys) = system_with_data(2 << 20, 0.5);
+    let baseline = sys.baseline_refresh().unwrap();
+    let problem = problem_from_metrics(
+        sys.mvs(),
+        &baseline,
+        &CostModel::paper(),
+        sys.memory().budget(),
+    )
+    .unwrap();
+    let plan = ScOptimizer::default().optimize(&problem).unwrap();
+    assert!(problem.graph().is_topological_order(&plan.order));
+    assert!(problem.is_feasible(&plan.order, &plan.flagged).unwrap());
+    let optimized = sys.refresh(&plan).unwrap();
+    assert!(
+        optimized.peak_memory_bytes <= sys.memory().budget(),
+        "runtime peak {} must stay within {}",
+        optimized.peak_memory_bytes,
+        sys.memory().budget()
+    );
+}
+
+#[test]
+fn flagged_hub_is_read_from_memory_by_all_consumers() {
+    let (_dir, sys) = system_with_data(32 << 20, 0.5);
+    let baseline = sys.baseline_refresh().unwrap();
+    let plan = sys.optimize_from(&baseline).unwrap();
+    // The enriched_sales hub (3 consumers, big output) must be flagged.
+    assert!(plan.flagged.contains(NodeId(0)), "hub must be flagged: {plan:?}");
+    let optimized = sys.refresh(&plan).unwrap();
+    let hub_consumers: Vec<_> = optimized
+        .nodes
+        .iter()
+        .filter(|n| ["rev_by_category", "rev_by_year", "premium_sales"].contains(&n.name.as_str()))
+        .collect();
+    assert_eq!(hub_consumers.len(), 3);
+    for c in hub_consumers {
+        assert!(c.memory_reads >= 1, "{} should read the hub from memory", c.name);
+    }
+}
+
+#[test]
+fn tiny_budget_degrades_gracefully_to_baseline_behavior() {
+    let (_dir, sys) = system_with_data(64, 0.3); // 64 bytes: nothing fits
+    let baseline = sys.baseline_refresh().unwrap();
+    let plan = sys.optimize_from(&baseline).unwrap();
+    assert_eq!(plan.flagged.count(), 0, "nothing can be flagged in 64 bytes");
+    let run = sys.refresh(&plan).unwrap();
+    assert_eq!(run.peak_memory_bytes, 0);
+    for mv in sys.mvs() {
+        assert!(sys.disk().contains(&mv.name));
+    }
+}
+
+#[test]
+fn simulator_and_engine_agree_on_plan_ranking() {
+    // Build a simulation twin of the engine pipeline from profiled
+    // metrics, then check both rank "S/C plan" above "no flags".
+    let dir = tempfile::tempdir().unwrap();
+    let throttle = Throttle { read_bps: 30e6, write_bps: 20e6, latency_s: 1e-3 };
+    let mut sys = ScSystem::open_throttled(dir.path(), 16 << 20, throttle).unwrap();
+    TinyTpcds::generate(1.0, 42).load_into(sys.disk()).unwrap();
+    for mv in sales_pipeline() {
+        sys.register_mv(mv);
+    }
+    let baseline = sys.baseline_refresh().unwrap();
+    let plan = sys.optimize_from(&baseline).unwrap();
+    let optimized = sys.refresh(&plan).unwrap();
+    let engine_speedup = baseline.total_s / optimized.total_s;
+
+    // Simulation twin: per-node compute + sizes from the profile.
+    let graph = sys.dependency_graph().unwrap();
+    let nodes: Vec<SimNode> = baseline
+        .nodes
+        .iter()
+        .map(|n| {
+            // Base reads: disk reads not explained by parent MVs.
+            SimNode::new(&n.name, n.compute_s, n.output_bytes, 0)
+        })
+        .collect();
+    let edges: Vec<(usize, usize)> =
+        graph.edges().map(|(a, b)| (a.index(), b.index())).collect();
+    let w = SimWorkload::from_parts(nodes, edges).unwrap();
+    let config = SimConfig {
+        disk_read_bps: 30e6,
+        disk_write_bps: 20e6,
+        mem_bps: 8.0 * (1u64 << 30) as f64,
+        disk_latency_s: 1e-3,
+        memory_budget: 16 << 20,
+        compute_scale: 1.0,
+        io_scale: 1.0,
+        per_node_overhead_s: 0.0,
+        compute_penalty: 0.0,
+    };
+    let sim = Simulator::new(config);
+    let sim_base = sim.run_unoptimized(&w).unwrap();
+    let sim_sc = sim.run(&w, &plan).unwrap();
+    let sim_speedup = sim_base.total_s / sim_sc.total_s;
+
+    assert!(engine_speedup > 1.0, "engine: S/C must win ({engine_speedup:.2})");
+    assert!(sim_speedup > 1.0, "sim: S/C must win ({sim_speedup:.2})");
+}
+
+#[test]
+fn repeated_refreshes_are_idempotent() {
+    let (_dir, sys) = system_with_data(8 << 20, 0.3);
+    let (plan, _, first) = sys.refresh_optimized().unwrap();
+    let second = sys.refresh(&plan).unwrap();
+    assert_eq!(first.nodes.len(), second.nodes.len());
+    for (a, b) in first.nodes.iter().zip(&second.nodes) {
+        assert_eq!(a.output_bytes, b.output_bytes, "{} changed between runs", a.name);
+        assert_eq!(a.rows, b.rows);
+    }
+}
