@@ -9,16 +9,22 @@ use sc_workload::{GeneratorParams, SynthGenerator};
 fn bench_sorts(c: &mut Criterion) {
     let mut g = c.benchmark_group("topo_sorts");
     for nodes in [100usize, 400, 1600] {
-        let w = SynthGenerator::new(GeneratorParams { nodes, ..Default::default() }).generate();
+        let w = SynthGenerator::new(GeneratorParams {
+            nodes,
+            ..Default::default()
+        })
+        .generate();
         g.bench_with_input(BenchmarkId::new("kahn", nodes), &nodes, |b, _| {
             b.iter(|| w.graph.kahn_order())
         });
         g.bench_with_input(BenchmarkId::new("dfs_postorder", nodes), &nodes, |b, _| {
             b.iter(|| w.graph.dfs_postorder_topo())
         });
-        g.bench_with_input(BenchmarkId::new("descendant_counts", nodes), &nodes, |b, _| {
-            b.iter(|| w.graph.descendant_counts())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("descendant_counts", nodes),
+            &nodes,
+            |b, _| b.iter(|| w.graph.descendant_counts()),
+        );
     }
     g.finish();
 }
@@ -28,7 +34,11 @@ fn bench_generation(c: &mut Criterion) {
     for nodes in [100usize, 400] {
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
             b.iter(|| {
-                SynthGenerator::new(GeneratorParams { nodes: n, ..Default::default() }).generate()
+                SynthGenerator::new(GeneratorParams {
+                    nodes: n,
+                    ..Default::default()
+                })
+                .generate()
             })
         });
     }
@@ -43,5 +53,10 @@ fn bench_problem_derivation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sorts, bench_generation, bench_problem_derivation);
+criterion_group!(
+    benches,
+    bench_sorts,
+    bench_generation,
+    bench_problem_derivation
+);
 criterion_main!(benches);

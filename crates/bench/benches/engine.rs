@@ -19,7 +19,8 @@ fn numbers(n: i64) -> Table {
         .column("v", DataType::Float64)
         .build();
     for i in 0..n {
-        t.push_row(vec![Value::Int64(i % 1000), Value::Float64(i as f64)]).expect("row");
+        t.push_row(vec![Value::Int64(i % 1000), Value::Float64(i as f64)])
+            .expect("row");
     }
     t
 }
@@ -29,7 +30,9 @@ fn bench_operators(c: &mut Criterion) {
     let mut g = c.benchmark_group("operators");
     g.throughput(Throughput::Elements(t.num_rows() as u64));
     let pred = Expr::col("v").gt(Expr::lit(50_000.0f64));
-    g.bench_function("filter_100k", |b| b.iter(|| exec::filter(&t, &pred).expect("filters")));
+    g.bench_function("filter_100k", |b| {
+        b.iter(|| exec::filter(&t, &pred).expect("filters"))
+    });
     g.bench_function("aggregate_100k", |b| {
         b.iter(|| {
             exec::aggregate(
@@ -61,14 +64,18 @@ fn bench_format(c: &mut Criterion) {
     let mut g = c.benchmark_group("columnar_format");
     g.throughput(Throughput::Bytes(bytes.len() as u64));
     g.bench_function("encode_100k", |b| b.iter(|| format::encode(&t)));
-    g.bench_function("decode_100k", |b| b.iter(|| format::decode(bytes.clone()).expect("decodes")));
+    g.bench_function("decode_100k", |b| {
+        b.iter(|| format::decode(bytes.clone()).expect("decodes"))
+    });
     g.finish();
 }
 
 fn bench_refresh(c: &mut Criterion) {
     let dir = tempfile::tempdir().expect("tempdir");
     let disk = DiskCatalog::open(dir.path()).expect("opens");
-    TinyTpcds::generate(0.5, 42).load_into(&disk).expect("ingests");
+    TinyTpcds::generate(0.5, 42)
+        .load_into(&disk)
+        .expect("ingests");
     let mem = MemoryCatalog::new(64 << 20);
     let mvs = sales_pipeline();
     let order: Vec<NodeId> = (0..mvs.len()).map(NodeId).collect();

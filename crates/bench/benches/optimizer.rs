@@ -13,10 +13,14 @@ use sc_sim::SimConfig;
 use sc_workload::{GeneratorParams, SynthGenerator};
 
 fn problem_of(nodes: usize, seed: u64) -> Problem {
-    SynthGenerator::new(GeneratorParams { nodes, seed, ..Default::default() })
-        .generate()
-        .problem(&SimConfig::paper(1_600_000_000))
-        .expect("valid problem")
+    SynthGenerator::new(GeneratorParams {
+        nodes,
+        seed,
+        ..Default::default()
+    })
+    .generate()
+    .problem(&SimConfig::paper(1_600_000_000))
+    .expect("valid problem")
 }
 
 fn bench_constraints(c: &mut Criterion) {

@@ -15,7 +15,9 @@ fn bench_paper_workloads(c: &mut Criterion) {
     let plan = sc_plan(&w, &config);
     let order = w.graph.kahn_order();
     let mut g = c.benchmark_group("sim_io2");
-    g.bench_function("baseline", |b| b.iter(|| sim.run_unoptimized(&w).expect("runs")));
+    g.bench_function("baseline", |b| {
+        b.iter(|| sim.run_unoptimized(&w).expect("runs"))
+    });
     g.bench_function("sc_plan", |b| b.iter(|| sim.run(&w, &plan).expect("runs")));
     g.bench_function("lru", |b| {
         b.iter(|| sim.run_lru(&w, &order, config.memory_budget).expect("runs"))
@@ -28,7 +30,11 @@ fn bench_synth_sizes(c: &mut Criterion) {
     let sim = Simulator::new(config.clone());
     let mut g = c.benchmark_group("sim_synth");
     for nodes in [25usize, 100, 400] {
-        let w = SynthGenerator::new(GeneratorParams { nodes, ..Default::default() }).generate();
+        let w = SynthGenerator::new(GeneratorParams {
+            nodes,
+            ..Default::default()
+        })
+        .generate();
         let plan = sc_core::Plan::unoptimized(w.graph.kahn_order());
         g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
             b.iter(|| sim.run(&w, &plan).expect("runs"))

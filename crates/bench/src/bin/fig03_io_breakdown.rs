@@ -21,12 +21,20 @@ fn main() {
 
     // --- real engine runs at laptop scales.
     println!("(a) real sc-engine runs, paper-throttled disk:");
-    print_header(&[("scale", 7), ("total s", 9), ("read %", 7), ("compute %", 9), ("write %", 8)]);
+    print_header(&[
+        ("scale", 7),
+        ("total s", 9),
+        ("read %", 7),
+        ("compute %", 9),
+        ("write %", 8),
+    ]);
     for scale in [0.5, 1.0, 2.0, 4.0] {
         let dir = tempfile::tempdir().expect("tempdir");
         let disk =
             DiskCatalog::open_throttled(dir.path(), Throttle::paper_disk()).expect("open catalog");
-        TinyTpcds::generate(scale, 42).load_into(&disk).expect("ingest");
+        TinyTpcds::generate(scale, 42)
+            .load_into(&disk)
+            .expect("ingest");
         let mem = MemoryCatalog::new(1); // unused: nothing flagged
         let mvs = vec![fact_join_mv()];
         let metrics = Controller::new(&disk, &mem)
@@ -49,8 +57,19 @@ fn main() {
     // nation in TPC-H terms) and writes a joined result of similar size;
     // compute is SF-proportional.
     println!("\n(b) cost-model projection (paper axis):");
-    print_header(&[("scale", 7), ("total s", 9), ("read %", 7), ("compute %", 9), ("write %", 8)]);
-    for (sf, label) in [(1.0f64, "1G"), (10.0, "10G"), (100.0, "100G"), (1000.0, "1000G")] {
+    print_header(&[
+        ("scale", 7),
+        ("total s", 9),
+        ("read %", 7),
+        ("compute %", 9),
+        ("write %", 8),
+    ]);
+    for (sf, label) in [
+        (1.0f64, "1G"),
+        (10.0, "10G"),
+        (100.0, "100G"),
+        (1000.0, "1000G"),
+    ] {
         let read_bytes = (0.46 * sf * 1e9) as u64;
         let out_bytes = (0.40 * sf * 1e9) as u64;
         // Compute grows slightly sublinearly in the paper (5.4 s at 1 GB is

@@ -11,21 +11,21 @@ use sc_core::{FlagSet, Plan, ScOptimizer};
 use sc_sim::{SimConfig, Simulator};
 use sc_workload::{DatasetSpec, PaperWorkload};
 
-fn selection_plan(
-    problem: &sc_core::Problem,
-    selector: &dyn NodeSelector,
-) -> Plan {
+fn selection_plan(problem: &sc_core::Problem, selector: &dyn NodeSelector) -> Plan {
     let order = TopologicalScheduler
         .order(problem, &FlagSet::none(problem.len()))
         .expect("topological order");
-    let flagged = selector.select(problem, &order).expect("feasible selection");
+    let flagged = selector
+        .select(problem, &order)
+        .expect("feasible selection");
     Plan { order, flagged }
 }
 
 fn main() {
-    for (dataset, mem_pct) in
-        [(DatasetSpec::tpcds(100.0), 1.6), (DatasetSpec::tpcds_partitioned(100.0), 0.8)]
-    {
+    for (dataset, mem_pct) in [
+        (DatasetSpec::tpcds(100.0), 1.6),
+        (DatasetSpec::tpcds_partitioned(100.0), 0.8),
+    ] {
         let budget = dataset.memory_budget(mem_pct);
         println!(
             "\nFigure 9{} — {} with {:.1} GB Memory Catalog (simulated seconds)\n",
@@ -53,7 +53,10 @@ fn main() {
             let base = sim.run_unoptimized(&built).expect("runs").total_s;
             let lru = sim.run_lru(&built, &order, budget).expect("runs").total_s;
             let rnd = sim
-                .run(&built, &selection_plan(&problem, &RandomSelector::default()))
+                .run(
+                    &built,
+                    &selection_plan(&problem, &RandomSelector::default()),
+                )
                 .expect("runs")
                 .total_s;
             let greedy = sim
@@ -64,7 +67,9 @@ fn main() {
                 .run(&built, &selection_plan(&problem, &RatioSelector))
                 .expect("runs")
                 .total_s;
-            let plan = ScOptimizer::default().optimize(&problem).expect("optimizable");
+            let plan = ScOptimizer::default()
+                .optimize(&problem)
+                .expect("optimizable");
             let sc = sim.run(&built, &plan).expect("runs").total_s;
 
             println!(

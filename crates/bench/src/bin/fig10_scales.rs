@@ -10,14 +10,29 @@ use sc_workload::DatasetSpec;
 fn main() {
     println!("Figure 10 — speedup vs dataset scale (Memory Catalog = 1.6% of data)\n");
     for partitioned in [false, true] {
-        println!("({}) TPC-DS{}:", if partitioned { 'b' } else { 'a' }, if partitioned { "p" } else { "" });
-        print_header(&[("scale GB", 9), ("no-opt s", 10), ("S/C s", 10), ("speedup", 8)]);
+        println!(
+            "({}) TPC-DS{}:",
+            if partitioned { 'b' } else { 'a' },
+            if partitioned { "p" } else { "" }
+        );
+        print_header(&[
+            ("scale GB", 9),
+            ("no-opt s", 10),
+            ("S/C s", 10),
+            ("speedup", 8),
+        ]);
         for scale in [10.0, 25.0, 50.0, 100.0, 1000.0] {
-            let ds = DatasetSpec { scale_gb: scale, partitioned };
+            let ds = DatasetSpec {
+                scale_gb: scale,
+                partitioned,
+            };
             let r = run_suite(&ds, &SimConfig::paper(ds.memory_budget(1.6)));
             println!(
                 "{:>9} | {:>10.1} | {:>10.1} | {:>7.2}x",
-                scale, r.baseline_s, r.sc_s, r.speedup()
+                scale,
+                r.baseline_s,
+                r.sc_s,
+                r.speedup()
             );
         }
         println!();

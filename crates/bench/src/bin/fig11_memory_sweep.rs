@@ -9,8 +9,16 @@ use sc_workload::DatasetSpec;
 
 fn main() {
     let dataset = DatasetSpec::tpcds_partitioned(100.0);
-    println!("Figure 11 — speedup vs Memory Catalog size ({})\n", dataset.label());
-    print_header(&[("mem %", 7), ("mem GB", 7), ("(a) spare", 10), ("(b) query mem", 13)]);
+    println!(
+        "Figure 11 — speedup vs Memory Catalog size ({})\n",
+        dataset.label()
+    );
+    print_header(&[
+        ("mem %", 7),
+        ("mem GB", 7),
+        ("(a) spare", 10),
+        ("(b) query mem", 13),
+    ]);
     for pct in [0.4, 0.8, 1.6, 3.2, 6.4] {
         let budget = dataset.memory_budget(pct);
         let spare = run_suite(&dataset, &SimConfig::paper(budget));

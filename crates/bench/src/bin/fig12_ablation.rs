@@ -8,9 +8,10 @@ use sc_sim::{SimConfig, Simulator};
 use sc_workload::{DatasetSpec, PaperWorkload};
 
 fn main() {
-    for (dataset, mem_pct) in
-        [(DatasetSpec::tpcds(100.0), 1.6), (DatasetSpec::tpcds_partitioned(100.0), 0.8)]
-    {
+    for (dataset, mem_pct) in [
+        (DatasetSpec::tpcds(100.0), 1.6),
+        (DatasetSpec::tpcds_partitioned(100.0), 0.8),
+    ] {
         println!(
             "\nFigure 12{} — {} with {:.1}% Memory Catalog (total of 5 workloads)\n",
             if dataset.partitioned { "b" } else { "a" },
@@ -19,7 +20,10 @@ fn main() {
         );
         let config = SimConfig::paper(dataset.memory_budget(mem_pct));
         let sim = Simulator::new(config.clone());
-        let workloads: Vec<_> = PaperWorkload::all().iter().map(|w| w.build(&dataset)).collect();
+        let workloads: Vec<_> = PaperWorkload::all()
+            .iter()
+            .map(|w| w.build(&dataset))
+            .collect();
 
         let no_opt: f64 = workloads
             .iter()
@@ -38,7 +42,12 @@ fn main() {
                     sim.run(w, &plan).expect("valid plan").total_s
                 })
                 .sum();
-            println!("{:>20} | {:>9.1} | {:>8.2}x", method.method_name(), total, no_opt / total);
+            println!(
+                "{:>20} | {:>9.1} | {:>8.2}x",
+                method.method_name(),
+                total,
+                no_opt / total
+            );
             if method.method_name() == "MKP + MA-DFS" {
                 ours = total;
             }

@@ -16,7 +16,10 @@ fn avg_saving(params: GeneratorParams, dags: usize, config: &SimConfig) -> f64 {
     for seed in 0..dags as u64 {
         let w = SynthGenerator::new(GeneratorParams { seed, ..params }).generate();
         let base = sim.run_unoptimized(&w).expect("valid workload").total_s;
-        let sc = sim.run(&w, &sc_plan(&w, config)).expect("valid plan").total_s;
+        let sc = sim
+            .run(&w, &sc_plan(&w, config))
+            .expect("valid plan")
+            .total_s;
         total += base - sc;
     }
     total / dags as f64
@@ -44,23 +47,51 @@ fn main() {
 
     sweep(
         "DAG size",
-        &[25usize, 50, 100]
-            .map(|n| (n.to_string(), GeneratorParams { nodes: n, ..reference })),
+        &[25usize, 50, 100].map(|n| {
+            (
+                n.to_string(),
+                GeneratorParams {
+                    nodes: n,
+                    ..reference
+                },
+            )
+        }),
     );
     sweep(
         "height/width ratio",
-        &[4.0, 2.0, 1.0, 0.5, 0.25]
-            .map(|r| (r.to_string(), GeneratorParams { height_width_ratio: r, ..reference })),
+        &[4.0, 2.0, 1.0, 0.5, 0.25].map(|r| {
+            (
+                r.to_string(),
+                GeneratorParams {
+                    height_width_ratio: r,
+                    ..reference
+                },
+            )
+        }),
     );
     sweep(
         "max outdegree",
-        &[1usize, 2, 3, 4, 5]
-            .map(|d| (d.to_string(), GeneratorParams { max_outdegree: d, ..reference })),
+        &[1usize, 2, 3, 4, 5].map(|d| {
+            (
+                d.to_string(),
+                GeneratorParams {
+                    max_outdegree: d,
+                    ..reference
+                },
+            )
+        }),
     );
     sweep(
         "stage count StDev",
-        &[0.0, 1.0, 2.0, 3.0, 4.0]
-            .map(|s| (s.to_string(), GeneratorParams { stage_stdev: s, ..reference })),
+        &[0.0, 1.0, 2.0, 3.0, 4.0].map(|s| {
+            (
+                s.to_string(),
+                GeneratorParams {
+                    stage_stdev: s,
+                    ..reference
+                },
+            )
+        }),
     );
 
     println!("paper: savings correlate with DAG size; 'thinner' DAGs (higher");

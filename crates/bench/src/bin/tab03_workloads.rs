@@ -22,8 +22,7 @@ fn main() {
         let r = sim.run_unoptimized(&built).expect("valid workload");
         let io = r.total_read_s() + r.total_write_s();
         let measured = io / (io + r.total_compute_s());
-        let queries: Vec<String> =
-            w.tpcds_queries().iter().map(|q| q.to_string()).collect();
+        let queries: Vec<String> = w.tpcds_queries().iter().map(|q| q.to_string()).collect();
         println!(
             "{:>10} | {:>16} | {:>7} | {:>9.1}% | {:>9.1}%",
             w.name(),

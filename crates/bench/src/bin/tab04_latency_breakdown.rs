@@ -15,7 +15,8 @@ fn suite_reports(dataset: &DatasetSpec, config: &SimConfig) -> Vec<SimReport> {
             if config.memory_budget <= 1 {
                 sim.run_unoptimized(&built).expect("valid workload")
             } else {
-                sim.run(&built, &sc_plan(&built, config)).expect("valid plan")
+                sim.run(&built, &sc_plan(&built, config))
+                    .expect("valid plan")
             }
         })
         .collect()
@@ -24,7 +25,10 @@ fn suite_reports(dataset: &DatasetSpec, config: &SimConfig) -> Vec<SimReport> {
 fn main() {
     println!("Table IV — latency breakdown vs Memory Catalog size (simulated s,\nsummed over the 5 workloads)\n");
     for partitioned in [false, true] {
-        let dataset = DatasetSpec { scale_gb: 100.0, partitioned };
+        let dataset = DatasetSpec {
+            scale_gb: 100.0,
+            partitioned,
+        };
         println!("{}:", dataset.label());
         print_header(&[
             ("metric", 10),
@@ -37,7 +41,11 @@ fn main() {
         ]);
         let mut rows: Vec<Vec<f64>> = vec![Vec::new(); 3]; // read, compute, query
         for budget_pct in [0.0, 0.4, 0.8, 1.6, 3.2, 6.4] {
-            let budget = if budget_pct == 0.0 { 1 } else { dataset.memory_budget(budget_pct) };
+            let budget = if budget_pct == 0.0 {
+                1
+            } else {
+                dataset.memory_budget(budget_pct)
+            };
             let reports = suite_reports(&dataset, &SimConfig::paper(budget));
             rows[0].push(reports.iter().map(|r| r.total_read_s()).sum());
             rows[1].push(reports.iter().map(|r| r.total_compute_s()).sum());

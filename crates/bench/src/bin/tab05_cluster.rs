@@ -9,14 +9,25 @@ use sc_workload::DatasetSpec;
 fn main() {
     let dataset = DatasetSpec::tpcds(100.0);
     let base_config = SimConfig::paper(dataset.memory_budget(1.6));
-    println!("Table V — cluster scaling ({}, 1.6% Memory Catalog)\n", dataset.label());
-    print_header(&[("workers", 8), ("no-opt s", 10), ("S/C s", 10), ("speedup", 8)]);
+    println!(
+        "Table V — cluster scaling ({}, 1.6% Memory Catalog)\n",
+        dataset.label()
+    );
+    print_header(&[
+        ("workers", 8),
+        ("no-opt s", 10),
+        ("S/C s", 10),
+        ("speedup", 8),
+    ]);
     for workers in 1..=5 {
         let config = ClusterModel::new(workers).apply(&base_config);
         let r = run_suite(&dataset, &config);
         println!(
             "{:>8} | {:>10.0} | {:>10.0} | {:>7.2}x",
-            workers, r.baseline_s, r.sc_s, r.speedup()
+            workers,
+            r.baseline_s,
+            r.sc_s,
+            r.speedup()
         );
     }
     println!("\npaper: 1528/868/656/546/487 s no-opt; speedup stays 1.60x-1.71x");

@@ -29,7 +29,10 @@ pub fn ablation_methods() -> Vec<AlternatingOptimizer> {
         AlternatingOptimizer::new(sel(RatioSelector), ord(MaDfsScheduler)),
         AlternatingOptimizer::new(
             sel(MkpSelector::default()),
-            ord(SaScheduler { iterations: 10_000, ..Default::default() }),
+            ord(SaScheduler {
+                iterations: 10_000,
+                ..Default::default()
+            }),
         ),
         AlternatingOptimizer::new(sel(MkpSelector::default()), ord(SeparatorScheduler)),
         AlternatingOptimizer::new(sel(MkpSelector::default()), ord(MaDfsScheduler)),
@@ -69,7 +72,9 @@ pub fn run_suite(dataset: &DatasetSpec, config: &SimConfig) -> SuiteResult {
 /// Full S/C plan (MKP + MA-DFS alternating optimization) for a workload.
 pub fn sc_plan(workload: &SimWorkload, config: &SimConfig) -> Plan {
     let problem = workload.problem(config).expect("valid problem");
-    ScOptimizer::default().optimize(&problem).expect("optimizable")
+    ScOptimizer::default()
+        .optimize(&problem)
+        .expect("optimizable")
 }
 
 /// Prints a header line plus an aligned separator for a simple console

@@ -71,7 +71,11 @@ pub struct AlternatingOptimizer {
 impl AlternatingOptimizer {
     /// Builds an optimizer from a node selector and an order scheduler.
     pub fn new(selector: Box<dyn NodeSelector>, scheduler: Box<dyn OrderScheduler>) -> Self {
-        AlternatingOptimizer { selector, scheduler, max_iterations: 50 }
+        AlternatingOptimizer {
+            selector,
+            scheduler,
+            max_iterations: 50,
+        }
     }
 
     /// Overrides the iteration cap (default 50).
@@ -135,7 +139,14 @@ impl AlternatingOptimizer {
             order = new_order;
         }
 
-        Ok(OptimizeOutcome { plan: Plan { order, flagged: flags }, convergence, trace })
+        Ok(OptimizeOutcome {
+            plan: Plan {
+                order,
+                flagged: flags,
+            },
+            convergence,
+            trace,
+        })
     }
 }
 
@@ -205,8 +216,15 @@ mod tests {
         let out = ScOptimizer::default().optimize_traced(&p).unwrap();
         assert!(!out.trace.is_empty());
         for w in out.trace.windows(2) {
-            assert!(w[1].score >= w[0].score - 1e-9, "score regressed: {:?}", out.trace);
-            assert!(w[1].flagged_size > w[0].flagged_size, "size must strictly grow");
+            assert!(
+                w[1].score >= w[0].score - 1e-9,
+                "score regressed: {:?}",
+                out.trace
+            );
+            assert!(
+                w[1].flagged_size > w[0].flagged_size,
+                "size must strictly grow"
+            );
         }
         for t in &out.trace {
             assert!(t.peak_memory <= p.budget());
@@ -217,7 +235,11 @@ mod tests {
     fn converges_quickly() {
         let p = fig7();
         let out = ScOptimizer::default().optimize_traced(&p).unwrap();
-        assert!(out.trace.len() < 10, "paper: <10 iterations, got {}", out.trace.len());
+        assert!(
+            out.trace.len() < 10,
+            "paper: <10 iterations, got {}",
+            out.trace.len()
+        );
         assert_ne!(out.convergence, Convergence::IterationCap);
     }
 
@@ -253,7 +275,10 @@ mod tests {
         let schedulers: Vec<Box<dyn OrderScheduler>> = vec![
             Box::new(MaDfsScheduler),
             Box::new(DfsScheduler::default()),
-            Box::new(SaScheduler { iterations: 500, ..Default::default() }),
+            Box::new(SaScheduler {
+                iterations: 500,
+                ..Default::default()
+            }),
             Box::new(SeparatorScheduler),
         ];
         for sch in schedulers {

@@ -120,17 +120,28 @@ impl ConstraintSets {
             }
         }
 
-        let excluded: Vec<NodeId> =
-            problem.graph().node_ids().filter(|v| is_excluded[v.index()]).collect();
-        let mkp_nodes: Vec<NodeId> =
-            problem.graph().node_ids().filter(|v| in_some_set[v.index()]).collect();
+        let excluded: Vec<NodeId> = problem
+            .graph()
+            .node_ids()
+            .filter(|v| is_excluded[v.index()])
+            .collect();
+        let mkp_nodes: Vec<NodeId> = problem
+            .graph()
+            .node_ids()
+            .filter(|v| in_some_set[v.index()])
+            .collect();
         let free_nodes: Vec<NodeId> = problem
             .graph()
             .node_ids()
             .filter(|v| !is_excluded[v.index()] && !in_some_set[v.index()])
             .collect();
 
-        Ok(ConstraintSets { sets, excluded, mkp_nodes, free_nodes })
+        Ok(ConstraintSets {
+            sets,
+            excluded,
+            mkp_nodes,
+            free_nodes,
+        })
     }
 
     /// Number of retained constraints `k`.

@@ -28,7 +28,10 @@ impl fmt::Display for OptError {
             }
             OptError::ZeroBudget => write!(f, "memory catalog budget is zero"),
             OptError::FlagSetMismatch { expected, got } => {
-                write!(f, "flag set length {got} does not match problem size {expected}")
+                write!(
+                    f,
+                    "flag set length {got} does not match problem size {expected}"
+                )
             }
             OptError::SolverExhausted => write!(f, "MKP solver exhausted without incumbent"),
         }
@@ -61,10 +64,18 @@ mod tests {
         assert!(e.to_string().contains("graph error"));
         assert!(e.source().is_some());
         assert!(OptError::ZeroBudget.source().is_none());
-        assert!(OptError::InvalidScore { node: NodeId(0), score: f64::NAN }
-            .to_string()
-            .contains("invalid"));
-        assert!(OptError::FlagSetMismatch { expected: 3, got: 2 }.to_string().contains('3'));
+        assert!(OptError::InvalidScore {
+            node: NodeId(0),
+            score: f64::NAN
+        }
+        .to_string()
+        .contains("invalid"));
+        assert!(OptError::FlagSetMismatch {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains('3'));
         assert!(OptError::SolverExhausted.to_string().contains("exhausted"));
     }
 }

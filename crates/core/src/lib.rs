@@ -58,15 +58,19 @@ pub mod mkp;
 pub mod order;
 pub mod plan;
 pub mod problem;
+pub mod replay;
 pub mod score;
 pub mod select;
 
-pub use alternating::{AlternatingOptimizer, Convergence, IterationTrace, OptimizeOutcome, ScOptimizer};
+pub use alternating::{
+    AlternatingOptimizer, Convergence, IterationTrace, OptimizeOutcome, ScOptimizer,
+};
 pub use constraints::ConstraintSets;
 pub use error::OptError;
 pub use memory::MemoryProfile;
 pub use plan::{FlagSet, Plan};
 pub use problem::{MvMeta, Problem};
+pub use replay::{run_ahead_window, AdmissionReplay};
 pub use score::CostModel;
 
 /// Convenience alias used throughout the crate.

@@ -45,26 +45,37 @@ impl MkpInstance {
         }
         assert_eq!(self.weights.len(), self.capacities.len());
         for &p in &self.profits {
-            assert!(p.is_finite() && p >= 0.0, "profits must be finite and non-negative");
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "profits must be finite and non-negative"
+            );
         }
     }
 
     /// Whether `selected` satisfies every constraint.
     pub fn is_feasible(&self, selected: &[bool]) -> bool {
-        self.weights.iter().zip(&self.capacities).all(|(row, &cap)| {
-            let used: u128 = row
-                .iter()
-                .zip(selected)
-                .filter(|(_, &s)| s)
-                .map(|(&w, _)| w as u128)
-                .sum();
-            used <= cap as u128
-        })
+        self.weights
+            .iter()
+            .zip(&self.capacities)
+            .all(|(row, &cap)| {
+                let used: u128 = row
+                    .iter()
+                    .zip(selected)
+                    .filter(|(_, &s)| s)
+                    .map(|(&w, _)| w as u128)
+                    .sum();
+                used <= cap as u128
+            })
     }
 
     /// Profit of a selection.
     pub fn profit_of(&self, selected: &[bool]) -> f64 {
-        self.profits.iter().zip(selected).filter(|(_, &s)| s).map(|(&p, _)| p).sum()
+        self.profits
+            .iter()
+            .zip(selected)
+            .filter(|(_, &s)| s)
+            .map(|(&p, _)| p)
+            .sum()
     }
 }
 
@@ -87,7 +98,11 @@ pub struct MkpConfig {
 
 impl Default for MkpConfig {
     fn default() -> Self {
-        MkpConfig { node_limit: 1_000_000, bound_constraints: 16, relative_gap: 0.0 }
+        MkpConfig {
+            node_limit: 1_000_000,
+            bound_constraints: 16,
+            relative_gap: 0.0,
+        }
     }
 }
 
@@ -111,13 +126,23 @@ pub fn solve(inst: &MkpInstance, config: &MkpConfig) -> MkpSolution {
     let l = inst.num_items();
     let k = inst.num_constraints();
     if l == 0 {
-        return MkpSolution { selected: vec![], profit: 0.0, optimal: true, nodes_explored: 0 };
+        return MkpSolution {
+            selected: vec![],
+            profit: 0.0,
+            optimal: true,
+            nodes_explored: 0,
+        };
     }
     if k == 0 {
         // Unconstrained: take everything with positive profit.
         let selected: Vec<bool> = inst.profits.iter().map(|&p| p > 0.0).collect();
         let profit = inst.profit_of(&selected);
-        return MkpSolution { selected, profit, optimal: true, nodes_explored: 0 };
+        return MkpSolution {
+            selected,
+            profit,
+            optimal: true,
+            nodes_explored: 0,
+        };
     }
 
     // Branch order: items grouped by the first constraint they touch
@@ -131,9 +156,8 @@ pub fn solve(inst: &MkpInstance, config: &MkpConfig) -> MkpSolution {
             .map(|c| inst.weights[c][j] as f64 / inst.capacities[c].max(1) as f64)
             .sum::<f64>()
     };
-    let first_constraint = |j: usize| -> usize {
-        (0..k).find(|&c| inst.weights[c][j] > 0).unwrap_or(k)
-    };
+    let first_constraint =
+        |j: usize| -> usize { (0..k).find(|&c| inst.weights[c][j] > 0).unwrap_or(k) };
     let mut order: Vec<usize> = (0..l).collect();
     order.sort_by(|&a, &b| {
         first_constraint(a).cmp(&first_constraint(b)).then_with(|| {
@@ -164,12 +188,21 @@ pub fn solve(inst: &MkpInstance, config: &MkpConfig) -> MkpSolution {
     }
 
     // Aggregate (surrogate-constraint) weights and the matching ratio order.
-    let agg_weights: Vec<f64> =
-        (0..l).map(|j| (0..k).map(|c| inst.weights[c][j] as f64).sum()).collect();
+    let agg_weights: Vec<f64> = (0..l)
+        .map(|j| (0..k).map(|c| inst.weights[c][j] as f64).sum())
+        .collect();
     let mut surrogate_order: Vec<usize> = (0..l).collect();
     surrogate_order.sort_by(|&a, &b| {
-        let ra = if agg_weights[a] > 0.0 { inst.profits[a] / agg_weights[a] } else { f64::INFINITY };
-        let rb = if agg_weights[b] > 0.0 { inst.profits[b] / agg_weights[b] } else { f64::INFINITY };
+        let ra = if agg_weights[a] > 0.0 {
+            inst.profits[a] / agg_weights[a]
+        } else {
+            f64::INFINITY
+        };
+        let rb = if agg_weights[b] > 0.0 {
+            inst.profits[b] / agg_weights[b]
+        } else {
+            f64::INFINITY
+        };
         rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
     });
 
@@ -252,7 +285,10 @@ fn greedy_incumbent(inst: &MkpInstance, order: &[usize]) -> Vec<bool> {
         if inst.profits[j] <= 0.0 {
             continue;
         }
-        let fits = residual.iter().zip(&inst.weights).all(|(&r, row)| row[j] <= r);
+        let fits = residual
+            .iter()
+            .zip(&inst.weights)
+            .all(|(&r, row)| row[j] <= r);
         if !fits {
             continue;
         }
@@ -490,7 +526,12 @@ pub fn brute_force(inst: &MkpInstance) -> MkpSolution {
             }
         }
     }
-    MkpSolution { selected: best, profit: best_profit, optimal: true, nodes_explored: 1 << l }
+    MkpSolution {
+        selected: best,
+        profit: best_profit,
+        optimal: true,
+        nodes_explored: 1 << l,
+    }
 }
 
 #[cfg(test)]
@@ -498,7 +539,11 @@ mod tests {
     use super::*;
 
     fn single(profits: Vec<f64>, weights: Vec<u64>, cap: u64) -> MkpInstance {
-        MkpInstance { profits, weights: vec![weights], capacities: vec![cap] }
+        MkpInstance {
+            profits,
+            weights: vec![weights],
+            capacities: vec![cap],
+        }
     }
 
     #[test]
@@ -569,7 +614,14 @@ mod tests {
     #[test]
     fn node_limit_returns_incumbent() {
         let inst = single(vec![60.0, 100.0, 120.0], vec![10, 20, 30], 50);
-        let sol = solve(&inst, &MkpConfig { node_limit: 1, bound_constraints: 8, relative_gap: 0.0 });
+        let sol = solve(
+            &inst,
+            &MkpConfig {
+                node_limit: 1,
+                bound_constraints: 8,
+                relative_gap: 0.0,
+            },
+        );
         assert!(!sol.optimal);
         assert!(inst.is_feasible(&sol.selected));
         // Warm start already finds something.
@@ -588,7 +640,11 @@ mod tests {
                 .map(|_| (0..l).map(|_| rng.gen_range(0..50)).collect())
                 .collect();
             let capacities: Vec<u64> = (0..k).map(|_| rng.gen_range(10..120)).collect();
-            let inst = MkpInstance { profits, weights, capacities };
+            let inst = MkpInstance {
+                profits,
+                weights,
+                capacities,
+            };
             let sol = solve(&inst, &MkpConfig::default());
             let bf = brute_force(&inst);
             assert!(
@@ -618,18 +674,29 @@ mod tests {
         for j in 0..l {
             // Each item hits 1-2 adjacent constraint sets.
             let start = rng.gen_range(0..k);
-            let end = (start + rng.gen_range(1..3)).min(k);
+            let end = (start + rng.gen_range(1..3usize)).min(k);
             for row in weights.iter_mut().take(end).skip(start) {
                 row[j] = sizes[j];
             }
         }
-        let inst = MkpInstance { profits, weights, capacities: vec![200; k] };
+        let inst = MkpInstance {
+            profits,
+            weights,
+            capacities: vec![200; k],
+        };
         let start = std::time::Instant::now();
         let sol = solve(&inst, &MkpConfig::default());
         assert!(inst.is_feasible(&sol.selected));
-        assert!(sol.optimal, "realistic instances must be solved to optimality");
+        assert!(
+            sol.optimal,
+            "realistic instances must be solved to optimality"
+        );
         assert!(sol.profit > 0.0);
-        assert!(start.elapsed().as_secs() < 20, "solver too slow: {:?}", start.elapsed());
+        assert!(
+            start.elapsed().as_secs() < 20,
+            "solver too slow: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]
@@ -644,13 +711,35 @@ mod tests {
         let profits: Vec<f64> = (0..l).map(|_| rng.gen_range(1..1000) as f64).collect();
         let weights: Vec<Vec<u64>> = (0..k)
             .map(|_| {
-                (0..l).map(|_| if rng.gen_bool(0.3) { rng.gen_range(1..100) } else { 0 }).collect()
+                (0..l)
+                    .map(|_| {
+                        if rng.gen_bool(0.3) {
+                            rng.gen_range(1..100)
+                        } else {
+                            0
+                        }
+                    })
+                    .collect()
             })
             .collect();
-        let inst = MkpInstance { profits, weights, capacities: vec![300; k] };
-        let sol = solve(&inst, &MkpConfig { node_limit: 100_000, bound_constraints: 8, relative_gap: 0.0 });
+        let inst = MkpInstance {
+            profits,
+            weights,
+            capacities: vec![300; k],
+        };
+        let sol = solve(
+            &inst,
+            &MkpConfig {
+                node_limit: 100_000,
+                bound_constraints: 8,
+                relative_gap: 0.0,
+            },
+        );
         assert!(inst.is_feasible(&sol.selected));
-        assert!(sol.nodes_explored <= 100_001, "limit must stop the search promptly");
+        assert!(
+            sol.nodes_explored <= 100_001,
+            "limit must stop the search promptly"
+        );
         let mut order: Vec<usize> = (0..l).collect();
         order.sort_by(|&a, &b| inst.profits[b].partial_cmp(&inst.profits[a]).unwrap());
         let greedy = greedy_incumbent(&inst, &order);

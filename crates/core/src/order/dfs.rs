@@ -38,8 +38,11 @@ impl OrderScheduler for MaDfsScheduler {
         let graph = problem.graph();
         let descendants = graph.descendant_counts();
         Ok(dfs_schedule(graph, |v| {
-            let resident =
-                if flagged.contains(v) && graph.out_degree(v) > 0 { problem.size(v) } else { 0 };
+            let resident = if flagged.contains(v) && graph.out_degree(v) > 0 {
+                problem.size(v)
+            } else {
+                0
+            };
             (resident, descendants[v.index()], problem.size(v))
         }))
     }
@@ -125,7 +128,10 @@ mod tests {
         let bad = ids(&[0, 2, 5, 6, 1, 4, 3]);
         assert!(p.graph().is_topological_order(&bad));
         let bad_avg = average_memory_usage(&p, &bad, &flags).unwrap();
-        assert!(ma_avg < bad_avg, "MA-DFS {ma_avg} must beat bad DFS {bad_avg}");
+        assert!(
+            ma_avg < bad_avg,
+            "MA-DFS {ma_avg} must beat bad DFS {bad_avg}"
+        );
         // v3 resident 5 executions under the bad order...
         let res = crate::memory::residency(&p, &bad).unwrap();
         assert_eq!(res[2], Some((1, 5)));
@@ -170,6 +176,8 @@ mod tests {
     fn rejects_mismatched_flag_set() {
         let (p, _) = fig8();
         assert!(MaDfsScheduler.order(&p, &FlagSet::none(2)).is_err());
-        assert!(DfsScheduler::default().order(&p, &FlagSet::none(2)).is_err());
+        assert!(DfsScheduler::default()
+            .order(&p, &FlagSet::none(2))
+            .is_err());
     }
 }

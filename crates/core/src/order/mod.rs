@@ -64,7 +64,12 @@ pub(crate) fn dfs_schedule<N, K: Ord>(
         // ready node.
         let mut candidates: Vec<NodeId> = Vec::new();
         while let Some(&top) = path.last() {
-            candidates.extend(dag.children(top).iter().copied().filter(|&c| builder.is_ready(c)));
+            candidates.extend(
+                dag.children(top)
+                    .iter()
+                    .copied()
+                    .filter(|&c| builder.is_ready(c)),
+            );
             if candidates.is_empty() {
                 path.pop();
             } else {

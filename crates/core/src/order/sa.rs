@@ -30,7 +30,11 @@ pub struct SaScheduler {
 
 impl Default for SaScheduler {
     fn default() -> Self {
-        SaScheduler { seed: 0x5c, iterations: 10_000, initial_temperature: 1.0 }
+        SaScheduler {
+            seed: 0x5c,
+            iterations: 10_000,
+            initial_temperature: 1.0,
+        }
     }
 }
 
@@ -146,8 +150,18 @@ mod tests {
     #[test]
     fn sa_is_seed_deterministic() {
         let (p, flags) = fig8();
-        let a = SaScheduler { seed: 3, ..Default::default() }.order(&p, &flags).unwrap();
-        let b = SaScheduler { seed: 3, ..Default::default() }.order(&p, &flags).unwrap();
+        let a = SaScheduler {
+            seed: 3,
+            ..Default::default()
+        }
+        .order(&p, &flags)
+        .unwrap();
+        let b = SaScheduler {
+            seed: 3,
+            ..Default::default()
+        }
+        .order(&p, &flags)
+        .unwrap();
         assert_eq!(a, b);
     }
 
@@ -171,7 +185,10 @@ mod tests {
         let pos = p.graph().order_positions(&order).unwrap();
         // Swapping a parent with its own child is never valid.
         for (a, b) in p.graph().edges() {
-            let (i, j) = (pos[a.index()].min(pos[b.index()]), pos[a.index()].max(pos[b.index()]));
+            let (i, j) = (
+                pos[a.index()].min(pos[b.index()]),
+                pos[a.index()].max(pos[b.index()]),
+            );
             assert!(!SaScheduler::swap_is_valid(&p, &order, &pos, i, j));
         }
     }

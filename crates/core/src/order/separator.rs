@@ -53,11 +53,17 @@ impl SeparatorScheduler {
         let mut picked = 0usize;
         let mut remaining_parents: Vec<usize> = vec![0; problem.len()];
         for &v in &sub {
-            remaining_parents[v.index()] =
-                graph.parents(v).iter().filter(|p| in_sub[p.index()]).count();
+            remaining_parents[v.index()] = graph
+                .parents(v)
+                .iter()
+                .filter(|p| in_sub[p.index()])
+                .count();
         }
-        let mut avail: Vec<NodeId> =
-            sub.iter().copied().filter(|v| remaining_parents[v.index()] == 0).collect();
+        let mut avail: Vec<NodeId> = sub
+            .iter()
+            .copied()
+            .filter(|v| remaining_parents[v.index()] == 0)
+            .collect();
         let mut a_nodes: Vec<NodeId> = Vec::with_capacity(target);
         while picked < target {
             let (idx, _) = avail
@@ -65,7 +71,10 @@ impl SeparatorScheduler {
                 .enumerate()
                 .min_by_key(|(_, &v)| {
                     let crossing = if flagged.contains(v)
-                        && graph.children(v).iter().any(|c| in_sub[c.index()] && !in_a[c.index()])
+                        && graph
+                            .children(v)
+                            .iter()
+                            .any(|c| in_sub[c.index()] && !in_a[c.index()])
                     {
                         problem.size(v)
                     } else {
@@ -143,7 +152,9 @@ mod tests {
         assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
 
         let single = Problem::from_arrays(&["x"], &[1], &[1.0], std::iter::empty(), 10).unwrap();
-        let order = SeparatorScheduler.order(&single, &FlagSet::none(1)).unwrap();
+        let order = SeparatorScheduler
+            .order(&single, &FlagSet::none(1))
+            .unwrap();
         assert_eq!(order, vec![NodeId(0)]);
     }
 

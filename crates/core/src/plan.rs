@@ -17,13 +17,17 @@ pub struct FlagSet {
 impl FlagSet {
     /// The empty flag set over `n` nodes (`U0 = ∅` in Algorithm 2).
     pub fn none(n: usize) -> Self {
-        FlagSet { flags: vec![false; n] }
+        FlagSet {
+            flags: vec![false; n],
+        }
     }
 
     /// Flag set with every node flagged (useful as an infeasible extreme in
     /// tests).
     pub fn all(n: usize) -> Self {
-        FlagSet { flags: vec![true; n] }
+        FlagSet {
+            flags: vec![true; n],
+        }
     }
 
     /// Builds from an explicit boolean vector.
@@ -87,14 +91,19 @@ impl FlagSet {
         if self.len() == problem.len() {
             Ok(())
         } else {
-            Err(OptError::FlagSetMismatch { expected: problem.len(), got: self.len() })
+            Err(OptError::FlagSetMismatch {
+                expected: problem.len(),
+                got: self.len(),
+            })
         }
     }
 }
 
 impl FromIterator<bool> for FlagSet {
     fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
-        FlagSet { flags: iter.into_iter().collect() }
+        FlagSet {
+            flags: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -113,7 +122,10 @@ impl Plan {
     /// unoptimized baseline the paper compares against.
     pub fn unoptimized(order: Vec<NodeId>) -> Self {
         let n = order.len();
-        Plan { order, flagged: FlagSet::none(n) }
+        Plan {
+            order,
+            flagged: FlagSet::none(n),
+        }
     }
 
     /// Total speedup score of this plan under `problem` — the S/C Opt
@@ -171,7 +183,10 @@ mod tests {
         assert!(FlagSet::none(1).check_len(&p).is_ok());
         assert!(matches!(
             FlagSet::none(2).check_len(&p),
-            Err(OptError::FlagSetMismatch { expected: 1, got: 2 })
+            Err(OptError::FlagSetMismatch {
+                expected: 1,
+                got: 2
+            })
         ));
     }
 
@@ -184,14 +199,8 @@ mod tests {
 
     #[test]
     fn objective_and_summary() {
-        let p = Problem::from_arrays(
-            &["a", "b"],
-            &[10, 20],
-            &[1.5, 2.5],
-            [(0usize, 1usize)],
-            100,
-        )
-        .unwrap();
+        let p = Problem::from_arrays(&["a", "b"], &[10, 20], &[1.5, 2.5], [(0usize, 1usize)], 100)
+            .unwrap();
         let plan = Plan {
             order: vec![NodeId(0), NodeId(1)],
             flagged: FlagSet::from_nodes(2, [NodeId(1)]),

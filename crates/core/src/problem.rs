@@ -21,7 +21,11 @@ pub struct MvMeta {
 impl MvMeta {
     /// Creates metadata for one MV update.
     pub fn new(name: impl Into<String>, size: u64, score: f64) -> Self {
-        MvMeta { name: name.into(), size, score }
+        MvMeta {
+            name: name.into(),
+            size,
+            score,
+        }
     }
 }
 
@@ -128,7 +132,11 @@ impl Problem {
     /// handing them to the ILP ("we round speedup scores to the nearest
     /// integer").
     pub fn rounded_scores(&self) -> Vec<f64> {
-        self.graph.payloads().iter().map(|m| m.score.round()).collect()
+        self.graph
+            .payloads()
+            .iter()
+            .map(|m| m.score.round())
+            .collect()
     }
 
     /// Total speedup score of a flag set — the S/C Opt objective.
@@ -185,21 +193,21 @@ mod tests {
     #[test]
     fn rejects_negative_or_nan_scores() {
         let g = Dag::from_parts([MvMeta::new("a", 1, -1.0)], std::iter::empty()).unwrap();
-        assert!(matches!(Problem::new(g, 10), Err(OptError::InvalidScore { .. })));
+        assert!(matches!(
+            Problem::new(g, 10),
+            Err(OptError::InvalidScore { .. })
+        ));
         let g = Dag::from_parts([MvMeta::new("a", 1, f64::NAN)], std::iter::empty()).unwrap();
-        assert!(matches!(Problem::new(g, 10), Err(OptError::InvalidScore { .. })));
+        assert!(matches!(
+            Problem::new(g, 10),
+            Err(OptError::InvalidScore { .. })
+        ));
     }
 
     #[test]
     fn rounded_scores_round_half_away() {
-        let p = Problem::from_arrays(
-            &["a", "b"],
-            &[1, 1],
-            &[1.5, 2.4],
-            std::iter::empty(),
-            10,
-        )
-        .unwrap();
+        let p = Problem::from_arrays(&["a", "b"], &[1, 1], &[1.5, 2.4], std::iter::empty(), 10)
+            .unwrap();
         assert_eq!(p.rounded_scores(), vec![2.0, 2.0]);
     }
 

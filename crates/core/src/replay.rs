@@ -1,0 +1,190 @@
+//! Deterministic replay of the sequential controller's Memory Catalog
+//! accounting, shared by the engine's multi-lane executor and the
+//! simulator's multi-lane model so their admit-or-fallback decisions can
+//! never drift apart.
+//!
+//! The sequential controller walks `plan.order`; at each flagged node with
+//! consumers it admits the output if it fits the remaining budget
+//! (otherwise the node falls back to a blocking write), and after each
+//! node it releases every parent whose consumers have all executed. This
+//! type replays exactly that bookkeeping — incrementally, so the engine
+//! can fix decisions as real output sizes arrive, while the simulator
+//! (which knows all sizes upfront) advances it in one call.
+
+use sc_dag::NodeId;
+
+use crate::plan::Plan;
+
+/// Incremental replayer for plan-order flag-admission decisions.
+#[derive(Debug, Clone)]
+pub struct AdmissionReplay {
+    budget: u64,
+    used: u64,
+    /// First plan position not yet replayed.
+    pos: usize,
+    resident: Vec<bool>,
+    remaining_children: Vec<usize>,
+    flagged_with_children: Vec<bool>,
+    /// `Some(admit)` once the node's position has been replayed; only
+    /// meaningful for flagged nodes with consumers.
+    decisions: Vec<Option<bool>>,
+}
+
+impl AdmissionReplay {
+    /// Builds a replayer for `plan` over a DAG given as per-node parent
+    /// lists (indices into the node set). `budget` is the Memory Catalog
+    /// size `M`.
+    pub fn new(plan: &Plan, parents: &[Vec<usize>], budget: u64) -> Self {
+        let n = parents.len();
+        let mut remaining_children = vec![0usize; n];
+        for ps in parents {
+            for &p in ps {
+                remaining_children[p] += 1;
+            }
+        }
+        let flagged_with_children = (0..n)
+            .map(|i| plan.flagged.contains(NodeId(i)) && remaining_children[i] > 0)
+            .collect();
+        AdmissionReplay {
+            budget,
+            used: 0,
+            pos: 0,
+            resident: vec![false; n],
+            remaining_children,
+            flagged_with_children,
+            decisions: vec![None; n],
+        }
+    }
+
+    /// Replays plan positions whose nodes have computed (`computed` and
+    /// `sizes` are indexed by node id; a computed node's size must be
+    /// final). Stops at the first uncomputed position. Safe to call
+    /// repeatedly as more nodes compute.
+    pub fn advance(
+        &mut self,
+        plan: &Plan,
+        parents: &[Vec<usize>],
+        computed: &[bool],
+        sizes: &[u64],
+    ) {
+        while self.pos < plan.order.len() {
+            let v = plan.order[self.pos].index();
+            if !computed[v] {
+                break;
+            }
+            if self.flagged_with_children[v] {
+                let fits = self.used + sizes[v] <= self.budget;
+                if fits {
+                    self.resident[v] = true;
+                    self.used += sizes[v];
+                }
+                self.decisions[v] = Some(fits);
+            }
+            // The node consumed its parents: release entries whose
+            // consumers have now all executed.
+            for &p in &parents[v] {
+                self.remaining_children[p] -= 1;
+                if self.remaining_children[p] == 0 && self.resident[p] {
+                    self.resident[p] = false;
+                    self.used -= sizes[p];
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// First plan position not yet replayed (the computed plan-order
+    /// prefix length).
+    pub fn prefix(&self) -> usize {
+        self.pos
+    }
+
+    /// The admit decision for node `i`, once its position has been
+    /// replayed. `Some(true)` = admit to the catalog, `Some(false)` =
+    /// fall back to a blocking write (the node is flagged but does not
+    /// fit), `None` = not yet decided (or the node is not a
+    /// flagged-with-consumers node).
+    pub fn decision(&self, i: usize) -> Option<bool> {
+        self.decisions[i]
+    }
+
+    /// Model bytes resident after the replayed prefix.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+}
+
+/// Bounded run-ahead window shared by the engine's multi-lane refresh
+/// executor and its simulator mirror: with `lanes` compute lanes, a node
+/// may only start once every node more than this many plan positions
+/// before it has computed. This caps the number of computed-but-
+/// unpublished outputs held outside the Memory Catalog's accounting while
+/// keeping all lanes busy.
+pub fn run_ahead_window(lanes: usize) -> usize {
+    (4 * lanes).max(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FlagSet;
+
+    /// base-less diamond: 0 -> {1, 2} -> 3, all flagged.
+    fn diamond_plan(n: usize, flagged: &[usize]) -> (Plan, Vec<Vec<usize>>) {
+        let order: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let plan = Plan {
+            order,
+            flagged: FlagSet::from_nodes(n, flagged.iter().map(|&i| NodeId(i))),
+        };
+        let parents = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        (plan, parents)
+    }
+
+    #[test]
+    fn admits_within_budget_and_releases_on_last_consumer() {
+        let (plan, parents) = diamond_plan(4, &[0, 1, 2]);
+        let sizes = vec![100, 60, 60, 10];
+        // Budget fits 0 and one of {1,2} at a time only after 0 releases.
+        let mut r = AdmissionReplay::new(&plan, &parents, 160);
+        r.advance(&plan, &parents, &[true; 4], &sizes);
+        assert_eq!(r.prefix(), 4);
+        assert_eq!(r.decision(0), Some(true));
+        // 1 computes while 0 still resident (released only after 2 runs):
+        // 100 + 60 = 160 fits exactly.
+        assert_eq!(r.decision(1), Some(true));
+        // 2 admits after... 0 still resident at 2's position (2 is 0's
+        // last consumer, released after 2 executes): 160 + 60 > 160.
+        assert_eq!(r.decision(2), Some(false));
+        // 3 is a leaf: no decision.
+        assert_eq!(r.decision(3), None);
+        // After 3 consumed 1 and 2, everything is released.
+        assert_eq!(r.used(), 0);
+    }
+
+    #[test]
+    fn incremental_advance_matches_upfront() {
+        let (plan, parents) = diamond_plan(4, &[0, 1, 2]);
+        let sizes = vec![100, 60, 60, 10];
+        let mut upfront = AdmissionReplay::new(&plan, &parents, 160);
+        upfront.advance(&plan, &parents, &[true; 4], &sizes);
+
+        let mut incremental = AdmissionReplay::new(&plan, &parents, 160);
+        let mut computed = vec![false; 4];
+        // Nodes compute out of order; decisions must still land the same.
+        for &done in &[2usize, 0, 3, 1] {
+            computed[done] = true;
+            incremental.advance(&plan, &parents, &computed, &sizes);
+        }
+        for i in 0..4 {
+            assert_eq!(incremental.decision(i), upfront.decision(i), "node {i}");
+        }
+        assert_eq!(incremental.prefix(), 4);
+    }
+
+    #[test]
+    fn window_floor_and_scaling() {
+        assert_eq!(run_ahead_window(1), 8);
+        assert_eq!(run_ahead_window(2), 8);
+        assert_eq!(run_ahead_window(4), 16);
+    }
+}

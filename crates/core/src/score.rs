@@ -90,13 +90,13 @@ impl CostModel {
 
     /// Annotates a dependency graph of `(name, output size)` pairs with
     /// speedup scores, producing an S/C Opt instance.
-    pub fn build_problem(
-        &self,
-        graph: &Dag<(String, u64)>,
-        budget: u64,
-    ) -> Result<Problem> {
+    pub fn build_problem(&self, graph: &Dag<(String, u64)>, budget: u64) -> Result<Problem> {
         let annotated = graph.map(|v, (name, size)| {
-            MvMeta::new(name.clone(), *size, self.speedup_score(*size, graph.out_degree(v)))
+            MvMeta::new(
+                name.clone(),
+                *size,
+                self.speedup_score(*size, graph.out_degree(v)),
+            )
         });
         Problem::new(annotated, budget)
     }

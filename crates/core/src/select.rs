@@ -59,9 +59,7 @@ impl IncrementalFlagger {
         }
         match self.res[v.index()] {
             None => true, // childless: released immediately, no co-residency
-            Some((s, e)) => {
-                self.usage[s..=e].iter().all(|&u| u + size <= self.budget)
-            }
+            Some((s, e)) => self.usage[s..=e].iter().all(|&u| u + size <= self.budget),
         }
     }
 
@@ -104,7 +102,12 @@ pub struct MkpSelector {
 
 impl Default for MkpSelector {
     fn default() -> Self {
-        MkpSelector { config: MkpConfig { node_limit: 100_000, ..Default::default() } }
+        MkpSelector {
+            config: MkpConfig {
+                node_limit: 100_000,
+                ..Default::default()
+            },
+        }
     }
 }
 
@@ -135,7 +138,11 @@ impl NodeSelector for MkpSelector {
             })
             .collect();
         let capacities = vec![problem.budget(); cs.sets.len()];
-        let inst = MkpInstance { profits, weights, capacities };
+        let inst = MkpInstance {
+            profits,
+            weights,
+            capacities,
+        };
         let sol = mkp::solve(&inst, &self.config);
         for (slot, &v) in sol.selected.iter().zip(&cs.mkp_nodes) {
             if *slot {
@@ -236,7 +243,10 @@ mod tests {
     }
 
     fn assert_feasible(p: &Problem, order: &[NodeId], f: &FlagSet) {
-        assert!(p.is_feasible(order, f).unwrap(), "selection must be feasible");
+        assert!(
+            p.is_feasible(order, f).unwrap(),
+            "selection must be feasible"
+        );
     }
 
     #[test]
@@ -311,18 +321,16 @@ mod tests {
 
     #[test]
     fn all_selectors_skip_zero_score_nodes() {
-        let p = Problem::from_arrays(
-            &["a", "b"],
-            &[10, 10],
-            &[0.0, 1.0],
-            [(0usize, 1usize)],
-            100,
-        )
-        .unwrap();
+        let p = Problem::from_arrays(&["a", "b"], &[10, 10], &[0.0, 1.0], [(0usize, 1usize)], 100)
+            .unwrap();
         let order = ids(&[0, 1]);
         for sel in selectors() {
             let f = sel.select(&p, &order).unwrap();
-            assert!(!f.contains(NodeId(0)), "{} flagged a zero-score node", sel.name());
+            assert!(
+                !f.contains(NodeId(0)),
+                "{} flagged a zero-score node",
+                sel.name()
+            );
         }
     }
 
@@ -339,7 +347,11 @@ mod tests {
         let order = ids(&[0, 1]);
         for sel in selectors() {
             let f = sel.select(&p, &order).unwrap();
-            assert!(!f.contains(NodeId(0)), "{} flagged an oversized node", sel.name());
+            assert!(
+                !f.contains(NodeId(0)),
+                "{} flagged an oversized node",
+                sel.name()
+            );
         }
     }
 

@@ -18,7 +18,11 @@ impl<N> Dag<N> {
         let mut stack = vec![start];
         seen[start.index()] = true;
         while let Some(v) = stack.pop() {
-            let next = if reverse { self.parents(v) } else { self.children(v) };
+            let next = if reverse {
+                self.parents(v)
+            } else {
+                self.children(v)
+            };
             for &w in next {
                 if !seen[w.index()] {
                     seen[w.index()] = true;
@@ -117,9 +121,15 @@ mod tests {
     #[test]
     fn descendants_and_ancestors() {
         let g = layered();
-        assert_eq!(g.descendants(NodeId(1)), vec![NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            g.descendants(NodeId(1)),
+            vec![NodeId(2), NodeId(3), NodeId(4)]
+        );
         assert_eq!(g.descendants(NodeId(4)), vec![]);
-        assert_eq!(g.ancestors(NodeId(4)), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            g.ancestors(NodeId(4)),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
         assert_eq!(g.ancestors(NodeId(0)), vec![]);
     }
 
@@ -134,8 +144,7 @@ mod tests {
     #[test]
     fn levels_use_longest_path() {
         // 0 -> 1 -> 2 and 0 -> 2: node 2 sits at level 2, not 1.
-        let g: Dag<()> =
-            Dag::from_parts([(), (), ()], [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let g: Dag<()> = Dag::from_parts([(), (), ()], [(0, 1), (1, 2), (0, 2)]).unwrap();
         assert_eq!(g.levels(), vec![0, 1, 2]);
     }
 

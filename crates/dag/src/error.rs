@@ -34,7 +34,10 @@ impl fmt::Display for DagError {
                 write!(f, "duplicate edge {from} -> {to}")
             }
             DagError::InvalidPermutation { expected, got } => {
-                write!(f, "invalid permutation: expected {expected} distinct ids, got {got}")
+                write!(
+                    f,
+                    "invalid permutation: expected {expected} distinct ids, got {got}"
+                )
             }
             DagError::NotTopological { from, to } => {
                 write!(f, "order violates dependency {from} -> {to}")
@@ -52,18 +55,33 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DagError::WouldCycle { from: NodeId(1), to: NodeId(2) };
+        let e = DagError::WouldCycle {
+            from: NodeId(1),
+            to: NodeId(2),
+        };
         assert!(e.to_string().contains("cycle"));
-        let e = DagError::NodeOutOfBounds { node: NodeId(9), len: 3 };
+        let e = DagError::NodeOutOfBounds {
+            node: NodeId(9),
+            len: 3,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('3'));
         let e = DagError::SelfLoop { node: NodeId(4) };
         assert!(e.to_string().contains("self loop"));
-        let e = DagError::DuplicateEdge { from: NodeId(0), to: NodeId(1) };
+        let e = DagError::DuplicateEdge {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
         assert!(e.to_string().contains("duplicate"));
-        let e = DagError::InvalidPermutation { expected: 5, got: 4 };
+        let e = DagError::InvalidPermutation {
+            expected: 5,
+            got: 4,
+        };
         assert!(e.to_string().contains("permutation"));
-        let e = DagError::NotTopological { from: NodeId(0), to: NodeId(1) };
+        let e = DagError::NotTopological {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
         assert!(e.to_string().contains("violates"));
     }
 }

@@ -56,7 +56,12 @@ impl<N> Default for Dag<N> {
 impl<N> Dag<N> {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Dag { nodes: Vec::new(), children: Vec::new(), parents: Vec::new(), edge_count: 0 }
+        Dag {
+            nodes: Vec::new(),
+            children: Vec::new(),
+            parents: Vec::new(),
+            edge_count: 0,
+        }
     }
 
     /// Creates an empty graph with room for `n` nodes.
@@ -183,17 +188,25 @@ impl<N> Dag<N> {
 
     /// Iterator over all edges as `(from, to)` pairs.
     pub fn edges(&self) -> EdgeIter<'_, N> {
-        EdgeIter { dag: self, from: 0, child: 0 }
+        EdgeIter {
+            dag: self,
+            from: 0,
+            child: 0,
+        }
     }
 
     /// Nodes with no parents (base-table readers in an MV workload).
     pub fn roots(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.parents[v.0].is_empty()).collect()
+        self.node_ids()
+            .filter(|&v| self.parents[v.0].is_empty())
+            .collect()
     }
 
     /// Nodes with no children (the final MVs nobody else consumes).
     pub fn leaves(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.children[v.0].is_empty()).collect()
+        self.node_ids()
+            .filter(|&v| self.children[v.0].is_empty())
+            .collect()
     }
 
     /// Whether `from` can reach `to` through directed edges.
@@ -237,7 +250,10 @@ impl<N> Dag<N> {
         if node.0 < self.nodes.len() {
             Ok(())
         } else {
-            Err(DagError::NodeOutOfBounds { node, len: self.nodes.len() })
+            Err(DagError::NodeOutOfBounds {
+                node,
+                len: self.nodes.len(),
+            })
         }
     }
 }
@@ -300,7 +316,10 @@ mod tests {
     #[test]
     fn rejects_self_loop() {
         let mut g = diamond();
-        assert_eq!(g.add_edge(NodeId(1), NodeId(1)), Err(DagError::SelfLoop { node: NodeId(1) }));
+        assert_eq!(
+            g.add_edge(NodeId(1), NodeId(1)),
+            Err(DagError::SelfLoop { node: NodeId(1) })
+        );
     }
 
     #[test]
@@ -308,7 +327,10 @@ mod tests {
         let mut g = diamond();
         assert_eq!(
             g.add_edge(NodeId(3), NodeId(0)),
-            Err(DagError::WouldCycle { from: NodeId(3), to: NodeId(0) })
+            Err(DagError::WouldCycle {
+                from: NodeId(3),
+                to: NodeId(0)
+            })
         );
         // Graph unchanged after the failed insert.
         assert_eq!(g.edge_count(), 4);
@@ -320,7 +342,10 @@ mod tests {
         let mut g = diamond();
         assert_eq!(
             g.add_edge(NodeId(0), NodeId(1)),
-            Err(DagError::DuplicateEdge { from: NodeId(0), to: NodeId(1) })
+            Err(DagError::DuplicateEdge {
+                from: NodeId(0),
+                to: NodeId(1)
+            })
         );
     }
 

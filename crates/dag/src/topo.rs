@@ -72,13 +72,19 @@ impl<N> Dag<N> {
     /// invalid.
     pub fn validate_order(&self, order: &[NodeId]) -> Result<()> {
         if order.len() != self.len() {
-            return Err(DagError::InvalidPermutation { expected: self.len(), got: order.len() });
+            return Err(DagError::InvalidPermutation {
+                expected: self.len(),
+                got: order.len(),
+            });
         }
         let mut pos = vec![usize::MAX; self.len()];
         for (i, &v) in order.iter().enumerate() {
             self.check_node(v)?;
             if pos[v.index()] != usize::MAX {
-                return Err(DagError::InvalidPermutation { expected: self.len(), got: order.len() });
+                return Err(DagError::InvalidPermutation {
+                    expected: self.len(),
+                    got: order.len(),
+                });
             }
             pos[v.index()] = i;
         }
@@ -159,7 +165,10 @@ impl<'a, N> TopoBuilder<'a, N> {
                 .copied()
                 .find(|p| !self.emitted[p.index()])
                 .expect("non-ready node must have a pending parent");
-            return Err(DagError::NotTopological { from: blocking, to: v });
+            return Err(DagError::NotTopological {
+                from: blocking,
+                to: v,
+            });
         }
         self.emitted[v.index()] = true;
         self.order.push(v);
@@ -185,7 +194,12 @@ impl<'a, N> TopoBuilder<'a, N> {
 
     /// Finishes the order; panics in debug builds if incomplete.
     pub fn finish(self) -> Vec<NodeId> {
-        debug_assert!(self.is_complete(), "order incomplete: {}/{}", self.order.len(), self.dag.len());
+        debug_assert!(
+            self.is_complete(),
+            "order incomplete: {}/{}",
+            self.order.len(),
+            self.dag.len()
+        );
         self.order
     }
 
@@ -242,17 +256,29 @@ mod tests {
     fn validate_order_rejects_duplicates() {
         let g = fig7();
         let order = vec![NodeId(0); 6];
-        assert!(matches!(g.validate_order(&order), Err(DagError::InvalidPermutation { .. })));
+        assert!(matches!(
+            g.validate_order(&order),
+            Err(DagError::InvalidPermutation { .. })
+        ));
     }
 
     #[test]
     fn validate_order_rejects_dependency_violation() {
         let g = fig7();
-        let order =
-            vec![NodeId(1), NodeId(0), NodeId(2), NodeId(3), NodeId(4), NodeId(5)];
+        let order = vec![
+            NodeId(1),
+            NodeId(0),
+            NodeId(2),
+            NodeId(3),
+            NodeId(4),
+            NodeId(5),
+        ];
         assert_eq!(
             g.validate_order(&order),
-            Err(DagError::NotTopological { from: NodeId(0), to: NodeId(1) })
+            Err(DagError::NotTopological {
+                from: NodeId(0),
+                to: NodeId(1)
+            })
         );
     }
 
@@ -283,7 +309,10 @@ mod tests {
         let mut b = TopoBuilder::new(&g);
         assert_eq!(
             b.emit(NodeId(1)),
-            Err(DagError::NotTopological { from: NodeId(0), to: NodeId(1) })
+            Err(DagError::NotTopological {
+                from: NodeId(0),
+                to: NodeId(1)
+            })
         );
     }
 
@@ -292,7 +321,10 @@ mod tests {
         let g = fig7();
         let mut b = TopoBuilder::new(&g);
         b.emit(NodeId(0)).unwrap();
-        assert!(matches!(b.emit(NodeId(0)), Err(DagError::InvalidPermutation { .. })));
+        assert!(matches!(
+            b.emit(NodeId(0)),
+            Err(DagError::InvalidPermutation { .. })
+        ));
     }
 
     #[test]

@@ -105,9 +105,7 @@ impl Column {
         match self {
             Column::Int64(v) => (v.len() * 8) as u64,
             Column::Float64(v) => (v.len() * 8) as u64,
-            Column::Utf8(v) => {
-                v.iter().map(|s| s.len() as u64 + 24).sum::<u64>()
-            }
+            Column::Utf8(v) => v.iter().map(|s| s.len() as u64 + 24).sum::<u64>(),
             Column::Bool(v) => v.len() as u64,
             Column::Date(v) => (v.len() * 4) as u64,
         }
@@ -117,7 +115,11 @@ impl Column {
     pub fn filter(&self, mask: &[bool]) -> Column {
         debug_assert_eq!(mask.len(), self.len());
         fn keep<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
-            v.iter().zip(mask).filter(|(_, &m)| m).map(|(x, _)| x.clone()).collect()
+            v.iter()
+                .zip(mask)
+                .filter(|(_, &m)| m)
+                .map(|(x, _)| x.clone())
+                .collect()
         }
         match self {
             Column::Int64(v) => Column::Int64(keep(v, mask)),
@@ -223,7 +225,10 @@ mod tests {
     #[test]
     fn filter_and_take() {
         let c = Column::Int64(vec![10, 20, 30, 40]);
-        assert_eq!(c.filter(&[true, false, true, false]), Column::Int64(vec![10, 30]));
+        assert_eq!(
+            c.filter(&[true, false, true, false]),
+            Column::Int64(vec![10, 30])
+        );
         assert_eq!(c.take(&[3, 0, 0]), Column::Int64(vec![40, 10, 10]));
         let s = Column::Utf8(vec!["a".into(), "b".into()]);
         assert_eq!(s.filter(&[false, true]), Column::Utf8(vec!["b".into()]));
@@ -256,7 +261,13 @@ mod tests {
 
     #[test]
     fn with_capacity_types() {
-        for dt in [DataType::Int64, DataType::Float64, DataType::Utf8, DataType::Bool, DataType::Date] {
+        for dt in [
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Utf8,
+            DataType::Bool,
+            DataType::Date,
+        ] {
             let c = Column::with_capacity(dt, 10);
             assert_eq!(c.data_type(), dt);
             assert!(c.is_empty());

@@ -5,7 +5,11 @@ use std::fmt;
 #[derive(Debug)]
 pub enum EngineError {
     /// A value or column had the wrong type for an operation.
-    TypeMismatch { expected: String, got: String, context: String },
+    TypeMismatch {
+        expected: String,
+        got: String,
+        context: String,
+    },
     /// A referenced column does not exist in the schema.
     UnknownColumn(String),
     /// A referenced table does not exist in any catalog.
@@ -17,7 +21,11 @@ pub enum EngineError {
     /// Division by zero or a similar arithmetic fault.
     Arithmetic(String),
     /// Creating a table in the Memory Catalog would exceed its budget.
-    MemoryBudgetExceeded { requested: u64, used: u64, budget: u64 },
+    MemoryBudgetExceeded {
+        requested: u64,
+        used: u64,
+        budget: u64,
+    },
     /// The on-disk file was not a valid table (corrupt or truncated).
     Corrupt(String),
     /// Underlying I/O failure.
@@ -86,15 +94,31 @@ mod tests {
             (EngineError::UnknownColumn("x".into()), "unknown column"),
             (EngineError::UnknownTable("t".into()), "unknown table"),
             (EngineError::TableExists("t".into()), "already exists"),
-            (EngineError::ArityMismatch { expected: 2, got: 3 }, "arity"),
+            (
+                EngineError::ArityMismatch {
+                    expected: 2,
+                    got: 3,
+                },
+                "arity",
+            ),
             (EngineError::Arithmetic("div by zero".into()), "arithmetic"),
             (
-                EngineError::MemoryBudgetExceeded { requested: 10, used: 5, budget: 8 },
+                EngineError::MemoryBudgetExceeded {
+                    requested: 10,
+                    used: 5,
+                    budget: 8,
+                },
                 "budget exceeded",
             ),
             (EngineError::Corrupt("bad magic".into()), "corrupt"),
-            (EngineError::InvalidPlan("cycle".into()), "invalid refresh plan"),
-            (EngineError::Materialize("disk full".into()), "materialization"),
+            (
+                EngineError::InvalidPlan("cycle".into()),
+                "invalid refresh plan",
+            ),
+            (
+                EngineError::Materialize("disk full".into()),
+                "materialization",
+            ),
         ];
         for (e, frag) in cases {
             assert!(e.to_string().contains(frag), "{e} missing '{frag}'");

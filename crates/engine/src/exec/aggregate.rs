@@ -59,7 +59,12 @@ struct AggState {
 
 impl AggState {
     fn new() -> Self {
-        AggState { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     fn update(&mut self, v: f64) {
@@ -81,10 +86,14 @@ pub fn aggregate(
     group_by: &[String],
     aggs: &[(AggFunc, String, String)],
 ) -> Result<Table> {
-    let key_cols: Vec<&Column> =
-        group_by.iter().map(|g| input.column_by_name(g)).collect::<Result<_>>()?;
-    let agg_cols: Vec<&Column> =
-        aggs.iter().map(|(_, c, _)| input.column_by_name(c)).collect::<Result<_>>()?;
+    let key_cols: Vec<&Column> = group_by
+        .iter()
+        .map(|g| input.column_by_name(g))
+        .collect::<Result<_>>()?;
+    let agg_cols: Vec<&Column> = aggs
+        .iter()
+        .map(|(_, c, _)| input.column_by_name(c))
+        .collect::<Result<_>>()?;
 
     // Validate output types up front.
     let mut fields: Vec<Field> = Vec::with_capacity(group_by.len() + aggs.len());
@@ -112,8 +121,10 @@ pub fn aggregate(
     }
 
     // Emit one row per group in first-seen order (deterministic output).
-    let mut columns: Vec<Column> =
-        fields.iter().map(|f| Column::with_capacity(f.dtype, groups.len())).collect();
+    let mut columns: Vec<Column> = fields
+        .iter()
+        .map(|f| Column::with_capacity(f.dtype, groups.len()))
+        .collect();
     for key in &group_order {
         let (first_row, states) = &groups[key];
         for (i, kc) in key_cols.iter().enumerate() {
@@ -160,7 +171,8 @@ mod tests {
             ("b", 4, 5.0),
             ("a", 5, 1.0),
         ] {
-            t.push_row(vec![s.into(), (q as i64).into(), p.into()]).unwrap();
+            t.push_row(vec![s.into(), (q as i64).into(), p.into()])
+                .unwrap();
         }
         t
     }
@@ -198,7 +210,9 @@ mod tests {
         .unwrap();
         assert_eq!(out.value(0, 1), Value::Float64(1.0));
         assert_eq!(out.value(0, 2), Value::Float64(30.0));
-        let Value::Float64(mean) = out.value(1, 3) else { panic!("avg must be float") };
+        let Value::Float64(mean) = out.value(1, 3) else {
+            panic!("avg must be float")
+        };
         assert!((mean - 12.5).abs() < 1e-12);
     }
 
@@ -221,8 +235,12 @@ mod tests {
         let r = aggregate(&sales(), &[], &[(AggFunc::Sum, "store".into(), "s".into())]);
         assert!(r.is_err());
         // Count of strings is fine.
-        let ok =
-            aggregate(&sales(), &[], &[(AggFunc::Count, "store".into(), "n".into())]).unwrap();
+        let ok = aggregate(
+            &sales(),
+            &[],
+            &[(AggFunc::Count, "store".into(), "n".into())],
+        )
+        .unwrap();
         assert_eq!(ok.value(0, 0), Value::Int64(5));
     }
 

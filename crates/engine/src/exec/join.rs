@@ -30,12 +30,18 @@ pub fn hash_join(
     join_type: JoinType,
 ) -> Result<Table> {
     if on.is_empty() {
-        return Err(EngineError::InvalidPlan("join requires at least one key".into()));
+        return Err(EngineError::InvalidPlan(
+            "join requires at least one key".into(),
+        ));
     }
-    let left_keys: Vec<&Column> =
-        on.iter().map(|(l, _)| left.column_by_name(l)).collect::<Result<_>>()?;
-    let right_keys: Vec<&Column> =
-        on.iter().map(|(_, r)| right.column_by_name(r)).collect::<Result<_>>()?;
+    let left_keys: Vec<&Column> = on
+        .iter()
+        .map(|(l, _)| left.column_by_name(l))
+        .collect::<Result<_>>()?;
+    let right_keys: Vec<&Column> = on
+        .iter()
+        .map(|(_, r)| right.column_by_name(r))
+        .collect::<Result<_>>()?;
 
     // Build side: right table.
     let mut build: HashMap<Vec<RowKey>, Vec<usize>> = HashMap::with_capacity(right.num_rows());
@@ -149,9 +155,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_rows(), 3); // order 103 has no customer
-        // Collision: right cust_id renamed.
+                                       // Collision: right cust_id renamed.
         assert!(out.schema().index_of("cust_id_r").is_ok());
-        assert_eq!(out.value(0, out.schema().index_of("name").unwrap()), Value::Utf8("alice".into()));
+        assert_eq!(
+            out.value(0, out.schema().index_of("name").unwrap()),
+            Value::Utf8("alice".into())
+        );
     }
 
     #[test]
@@ -204,7 +213,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.value(0, out.schema().index_of("v").unwrap()), Value::Int64(7));
+        assert_eq!(
+            out.value(0, out.schema().index_of("v").unwrap()),
+            Value::Int64(7)
+        );
     }
 
     #[test]
@@ -221,7 +233,9 @@ mod tests {
 
     #[test]
     fn empty_sides() {
-        let empty_right = TableBuilder::new().column("cust_id", DataType::Int64).build();
+        let empty_right = TableBuilder::new()
+            .column("cust_id", DataType::Int64)
+            .build();
         let out = hash_join(
             &orders(),
             &empty_right,

@@ -36,7 +36,8 @@ mod tests {
             .column("v", DataType::Float64)
             .build();
         for i in 0..10 {
-            t.push_row(vec![Value::Int64(i), Value::Float64(i as f64 * 1.5)]).unwrap();
+            t.push_row(vec![Value::Int64(i), Value::Float64(i as f64 * 1.5)])
+                .unwrap();
         }
         t
     }
@@ -64,13 +65,19 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_columns(), 2);
-        assert_eq!(out.schema().field("double_v").unwrap().dtype, DataType::Float64);
+        assert_eq!(
+            out.schema().field("double_v").unwrap().dtype,
+            DataType::Float64
+        );
         assert_eq!(out.value(2, 1), Value::Float64(6.0));
     }
 
     #[test]
     fn project_rejects_duplicate_names() {
-        let r = project(&t(), &[(Expr::col("k"), "x".into()), (Expr::col("v"), "x".into())]);
+        let r = project(
+            &t(),
+            &[(Expr::col("k"), "x".into()), (Expr::col("v"), "x".into())],
+        );
         assert!(r.is_err());
     }
 

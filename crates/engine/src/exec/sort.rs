@@ -16,12 +16,18 @@ pub struct SortKey {
 impl SortKey {
     /// Ascending key.
     pub fn asc(column: impl Into<String>) -> Self {
-        SortKey { column: column.into(), descending: false }
+        SortKey {
+            column: column.into(),
+            descending: false,
+        }
     }
 
     /// Descending key.
     pub fn desc(column: impl Into<String>) -> Self {
-        SortKey { column: column.into(), descending: true }
+        SortKey {
+            column: column.into(),
+            descending: true,
+        }
     }
 }
 
@@ -94,7 +100,12 @@ mod tests {
             .collect();
         assert_eq!(
             got,
-            vec![("a".into(), 3), ("a".into(), 1), ("b".into(), 2), ("b".into(), 1)]
+            vec![
+                ("a".into(), 3),
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("b".into(), 1)
+            ]
         );
     }
 
@@ -124,8 +135,10 @@ mod tests {
             .column("x", DataType::Float64)
             .column("d", DataType::Date)
             .build();
-        f.push_row(vec![Value::Float64(2.5), Value::Date(10)]).unwrap();
-        f.push_row(vec![Value::Float64(1.5), Value::Date(20)]).unwrap();
+        f.push_row(vec![Value::Float64(2.5), Value::Date(10)])
+            .unwrap();
+        f.push_row(vec![Value::Float64(1.5), Value::Date(20)])
+            .unwrap();
         let out = sort_by(&f, &[SortKey::asc("x")]).unwrap();
         assert_eq!(out.value(0, 1), Value::Date(20));
         let out = sort_by(&f, &[SortKey::desc("d")]).unwrap();

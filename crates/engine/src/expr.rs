@@ -65,7 +65,11 @@ impl Expr {
     }
 
     fn bin(self, op: BinOp, rhs: Expr) -> Expr {
-        Expr::Binary { left: Box::new(self), op, right: Box::new(rhs) }
+        Expr::Binary {
+            left: Box::new(self),
+            op,
+            right: Box::new(rhs),
+        }
     }
 
     /// `self + rhs`
@@ -165,8 +169,7 @@ impl Expr {
 
 fn binary_output_type(l: DataType, op: BinOp, r: DataType) -> Result<DataType> {
     use BinOp::*;
-    let numeric =
-        |t: DataType| matches!(t, DataType::Int64 | DataType::Float64 | DataType::Date);
+    let numeric = |t: DataType| matches!(t, DataType::Int64 | DataType::Float64 | DataType::Date);
     match op {
         Add | Sub | Mul | Div => {
             if !numeric(l) || !numeric(r) {
@@ -221,13 +224,19 @@ fn eval_arith(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
     if let (Column::Int64(a), Column::Int64(b)) = (l, r) {
         match op {
             BinOp::Add => {
-                return Ok(Column::Int64(a.iter().zip(b).map(|(x, y)| x.wrapping_add(*y)).collect()))
+                return Ok(Column::Int64(
+                    a.iter().zip(b).map(|(x, y)| x.wrapping_add(*y)).collect(),
+                ))
             }
             BinOp::Sub => {
-                return Ok(Column::Int64(a.iter().zip(b).map(|(x, y)| x.wrapping_sub(*y)).collect()))
+                return Ok(Column::Int64(
+                    a.iter().zip(b).map(|(x, y)| x.wrapping_sub(*y)).collect(),
+                ))
             }
             BinOp::Mul => {
-                return Ok(Column::Int64(a.iter().zip(b).map(|(x, y)| x.wrapping_mul(*y)).collect()))
+                return Ok(Column::Int64(
+                    a.iter().zip(b).map(|(x, y)| x.wrapping_mul(*y)).collect(),
+                ))
             }
             BinOp::Div => {}
             _ => unreachable!("eval_arith only receives arithmetic ops"),
@@ -283,10 +292,14 @@ fn eval_cmp(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
     };
     // String comparisons are lexicographic; everything else numeric.
     if let (Column::Utf8(a), Column::Utf8(b)) = (l, r) {
-        return Ok(Column::Bool(a.iter().zip(b).map(|(x, y)| decide(x.cmp(y))).collect()));
+        return Ok(Column::Bool(
+            a.iter().zip(b).map(|(x, y)| decide(x.cmp(y))).collect(),
+        ));
     }
     if let (Column::Bool(a), Column::Bool(b)) = (l, r) {
-        return Ok(Column::Bool(a.iter().zip(b).map(|(x, y)| decide(x.cmp(y))).collect()));
+        return Ok(Column::Bool(
+            a.iter().zip(b).map(|(x, y)| decide(x.cmp(y))).collect(),
+        ));
     }
     let a = numeric_view(l)?;
     let b = numeric_view(r)?;
@@ -310,16 +323,24 @@ mod tests {
             .column("s", DataType::Utf8)
             .column("d", DataType::Date)
             .build();
-        t.push_row(vec![1.into(), 2.0.into(), "x".into(), Value::Date(100)]).unwrap();
-        t.push_row(vec![5.into(), 3.0.into(), "y".into(), Value::Date(200)]).unwrap();
+        t.push_row(vec![1.into(), 2.0.into(), "x".into(), Value::Date(100)])
+            .unwrap();
+        t.push_row(vec![5.into(), 3.0.into(), "y".into(), Value::Date(200)])
+            .unwrap();
         t
     }
 
     #[test]
     fn column_and_literal() {
         let t = table();
-        assert_eq!(Expr::col("a").evaluate(&t).unwrap(), Column::Int64(vec![1, 5]));
-        assert_eq!(Expr::lit(7i64).evaluate(&t).unwrap(), Column::Int64(vec![7, 7]));
+        assert_eq!(
+            Expr::col("a").evaluate(&t).unwrap(),
+            Column::Int64(vec![1, 5])
+        );
+        assert_eq!(
+            Expr::lit(7i64).evaluate(&t).unwrap(),
+            Column::Int64(vec![7, 7])
+        );
         assert!(Expr::col("zz").evaluate(&t).is_err());
     }
 
@@ -360,7 +381,10 @@ mod tests {
             Column::Bool(vec![true, false])
         );
         assert_eq!(
-            Expr::col("d").le(Expr::lit(Value::Date(100))).evaluate(&t).unwrap(),
+            Expr::col("d")
+                .le(Expr::lit(Value::Date(100)))
+                .evaluate(&t)
+                .unwrap(),
             Column::Bool(vec![true, false])
         );
         // Cross-type numeric comparison works (int vs float).
@@ -377,7 +401,9 @@ mod tests {
             .gt(Expr::lit(0i64))
             .and(Expr::col("b").lt(Expr::lit(2.5f64)));
         assert_eq!(e.evaluate(&t).unwrap(), Column::Bool(vec![true, false]));
-        let o = Expr::col("a").gt(Expr::lit(4i64)).or(Expr::col("b").lt(Expr::lit(2.5f64)));
+        let o = Expr::col("a")
+            .gt(Expr::lit(4i64))
+            .or(Expr::col("b").lt(Expr::lit(2.5f64)));
         assert_eq!(o.evaluate(&t).unwrap(), Column::Bool(vec![true, true]));
         // AND on non-bool fails.
         assert!(Expr::col("a").and(Expr::col("b")).evaluate(&t).is_err());
@@ -402,6 +428,9 @@ mod tests {
     #[test]
     fn output_type_of_comparison_is_bool() {
         let t = table();
-        assert_eq!(Expr::col("s").eq(Expr::lit("x")).output_type(&t).unwrap(), DataType::Bool);
+        assert_eq!(
+            Expr::col("s").eq(Expr::lit("x")).output_type(&t).unwrap(),
+            DataType::Bool
+        );
     }
 }

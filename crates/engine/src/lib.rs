@@ -40,8 +40,8 @@
 pub mod column;
 pub mod controller;
 pub mod error;
-pub mod expr;
 pub mod exec;
+pub mod expr;
 pub mod plan;
 pub mod schema;
 pub mod storage;
@@ -49,7 +49,7 @@ pub mod table;
 pub mod types;
 
 pub use column::Column;
-pub use controller::{Controller, ControllerConfig, NodeMetrics, RunMetrics};
+pub use controller::{Controller, ControllerConfig, NodeMetrics, RefreshConfig, RunMetrics};
 pub use error::EngineError;
 pub use schema::{Field, Schema};
 pub use table::{Table, TableBuilder};
@@ -61,7 +61,7 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::column::Column;
-    pub use crate::controller::{Controller, ControllerConfig, RunMetrics};
+    pub use crate::controller::{Controller, ControllerConfig, RefreshConfig, RunMetrics};
     pub use crate::expr::Expr;
     pub use crate::plan::{AggExpr, JoinType, LogicalPlan};
     pub use crate::schema::{Field, Schema};

@@ -28,7 +28,11 @@ pub struct AggExpr {
 impl AggExpr {
     /// Creates `func(column) AS alias`.
     pub fn new(func: AggFunc, column: impl Into<String>, alias: impl Into<String>) -> Self {
-        AggExpr { func, column: column.into(), alias: alias.into() }
+        AggExpr {
+            func,
+            column: column.into(),
+            alias: alias.into(),
+        }
     }
 }
 
@@ -105,24 +109,34 @@ pub trait TableSource {
 
 impl TableSource for HashMap<String, Arc<Table>> {
     fn table(&self, name: &str) -> Result<Arc<Table>> {
-        self.get(name).cloned().ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+        self.get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
     }
 }
 
 impl LogicalPlan {
     /// Scan of a named table.
     pub fn scan(table: impl Into<String>) -> LogicalPlan {
-        LogicalPlan::Scan { table: table.into() }
+        LogicalPlan::Scan {
+            table: table.into(),
+        }
     }
 
     /// Appends a filter.
     pub fn filter(self, predicate: Expr) -> LogicalPlan {
-        LogicalPlan::Filter { input: Box::new(self), predicate }
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Appends a projection.
     pub fn project(self, exprs: Vec<(Expr, String)>) -> LogicalPlan {
-        LogicalPlan::Project { input: Box::new(self), exprs }
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs,
+        }
     }
 
     /// Appends an inner join with `right`.
@@ -147,22 +161,35 @@ impl LogicalPlan {
 
     /// Appends an aggregation.
     pub fn aggregate(self, group_by: Vec<String>, aggs: Vec<AggExpr>) -> LogicalPlan {
-        LogicalPlan::Aggregate { input: Box::new(self), group_by, aggs }
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
     }
 
     /// Appends a sort.
     pub fn sort(self, keys: Vec<SortKey>) -> LogicalPlan {
-        LogicalPlan::Sort { input: Box::new(self), keys }
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            keys,
+        }
     }
 
     /// Appends a limit.
     pub fn limit(self, n: usize) -> LogicalPlan {
-        LogicalPlan::Limit { input: Box::new(self), n }
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 
     /// Appends a union.
     pub fn union(self, right: LogicalPlan) -> LogicalPlan {
-        LogicalPlan::Union { left: Box::new(self), right: Box::new(right) }
+        LogicalPlan::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     /// Names of all tables this plan scans (the node's dependencies), in
@@ -200,15 +227,26 @@ impl LogicalPlan {
                 exec::filter(&input.execute(source)?, predicate)
             }
             LogicalPlan::Project { input, exprs } => exec::project(&input.execute(source)?, exprs),
-            LogicalPlan::Join { left, right, on, join_type } => exec::hash_join(
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                join_type,
+            } => exec::hash_join(
                 &left.execute(source)?,
                 &right.execute(source)?,
                 on,
                 *join_type,
             ),
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
-                let triples: Vec<(AggFunc, String, String)> =
-                    aggs.iter().map(|a| (a.func, a.column.clone(), a.alias.clone())).collect();
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let triples: Vec<(AggFunc, String, String)> = aggs
+                    .iter()
+                    .map(|a| (a.func, a.column.clone(), a.alias.clone()))
+                    .collect();
                 exec::aggregate(&input.execute(source)?, group_by, &triples)
             }
             LogicalPlan::Sort { input, keys } => exec::sort_by(&input.execute(source)?, keys),
@@ -257,7 +295,10 @@ mod tests {
         // ORDER BY rev DESC
         let plan = LogicalPlan::scan("orders")
             .filter(Expr::col("amount").gt(Expr::lit(10.0f64)))
-            .join(LogicalPlan::scan("customers"), vec![("cust".into(), "cust_id".into())])
+            .join(
+                LogicalPlan::scan("customers"),
+                vec![("cust".into(), "cust_id".into())],
+            )
             .aggregate(
                 vec!["region".into()],
                 vec![AggExpr::new(AggFunc::Sum, "amount", "rev")],
@@ -281,31 +322,36 @@ mod tests {
     #[test]
     fn unknown_table_fails() {
         let plan = LogicalPlan::scan("missing");
-        assert!(matches!(plan.execute(&source()), Err(EngineError::UnknownTable(_))));
+        assert!(matches!(
+            plan.execute(&source()),
+            Err(EngineError::UnknownTable(_))
+        ));
     }
 
     #[test]
     fn limit_and_union() {
-        let plan = LogicalPlan::scan("orders").limit(1).union(LogicalPlan::scan("orders").limit(2));
+        let plan = LogicalPlan::scan("orders")
+            .limit(1)
+            .union(LogicalPlan::scan("orders").limit(2));
         assert_eq!(plan.execute(&source()).unwrap().num_rows(), 3);
     }
 
     #[test]
     fn left_join_via_builder() {
-        let plan = LogicalPlan::scan("orders")
-            .left_join(
-                LogicalPlan::scan("customers").filter(Expr::col("region").eq(Expr::lit("east"))),
-                vec![("cust".into(), "cust_id".into())],
-            );
+        let plan = LogicalPlan::scan("orders").left_join(
+            LogicalPlan::scan("customers").filter(Expr::col("region").eq(Expr::lit("east"))),
+            vec![("cust".into(), "cust_id".into())],
+        );
         let out = plan.execute(&source()).unwrap();
         assert_eq!(out.num_rows(), 4); // west order kept with empty region
     }
 
     #[test]
     fn project_renames() {
-        let plan = LogicalPlan::scan("orders").project(vec![
-            (Expr::col("amount").mul(Expr::lit(2.0f64)), "double_amount".into()),
-        ]);
+        let plan = LogicalPlan::scan("orders").project(vec![(
+            Expr::col("amount").mul(Expr::lit(2.0f64)),
+            "double_amount".into(),
+        )]);
         let out = plan.execute(&source()).unwrap();
         assert_eq!(out.num_columns(), 1);
         assert_eq!(out.value(0, 0), Value::Float64(10.0));

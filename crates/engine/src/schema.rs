@@ -18,7 +18,10 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -33,7 +36,10 @@ impl Schema {
     pub fn new(fields: Vec<Field>) -> Result<Self> {
         for (i, f) in fields.iter().enumerate() {
             if fields[..i].iter().any(|g| g.name == f.name) {
-                return Err(EngineError::TableExists(format!("duplicate column '{}'", f.name)));
+                return Err(EngineError::TableExists(format!(
+                    "duplicate column '{}'",
+                    f.name
+                )));
             }
         }
         Ok(Schema { fields })
@@ -75,8 +81,11 @@ impl Schema {
 
 impl fmt::Display for Schema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let parts: Vec<String> =
-            self.fields.iter().map(|fl| format!("{}: {}", fl.name, fl.dtype)).collect();
+        let parts: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fl| format!("{}: {}", fl.name, fl.dtype))
+            .collect();
         write!(f, "({})", parts.join(", "))
     }
 }

@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use parking_lot::Mutex;
 
 use crate::storage::format;
 use crate::table::Table;
@@ -16,9 +17,14 @@ use crate::{EngineError, Result};
 /// paper's measured disk (519.8 MB/s read, 358.9 MB/s write, 175 µs
 /// latency) on hardware that is much faster.
 ///
-/// Pacing sleeps so that the *total* elapsed time of an operation matches
-/// `latency + bytes / bandwidth`; if the real I/O was slower than the
-/// model, no extra delay is added.
+/// Pacing models *one* storage device per catalog: a shared read channel
+/// and a shared write channel. Concurrent operations reserve back-to-back
+/// slots on their channel, so N parallel reads share `read_bps` instead of
+/// each getting the full bandwidth — multi-lane refresh timings therefore
+/// reflect genuine overlap (reads vs writes vs compute), not bandwidth
+/// multiplication. Each operation sleeps until its reserved slot ends
+/// (`latency + bytes / bandwidth` after the channel frees); if the real
+/// I/O was slower than the model, no extra delay is added.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Throttle {
     /// Modeled read bandwidth, bytes/second.
@@ -32,19 +38,53 @@ pub struct Throttle {
 impl Throttle {
     /// The disk measured in the paper's experimental environment (§VI-A).
     pub fn paper_disk() -> Self {
-        Throttle { read_bps: 519.8e6, write_bps: 358.9e6, latency_s: 175e-6 }
+        Throttle {
+            read_bps: 519.8e6,
+            write_bps: 358.9e6,
+            latency_s: 175e-6,
+        }
     }
 
     /// A fast throttle for tests: high bandwidth, zero latency.
     pub fn fast() -> Self {
-        Throttle { read_bps: 64e9, write_bps: 64e9, latency_s: 0.0 }
+        Throttle {
+            read_bps: 64e9,
+            write_bps: 64e9,
+            latency_s: 0.0,
+        }
+    }
+}
+
+/// Per-direction channel reservations backing [`Throttle`]'s shared-device
+/// model: the instant at which each channel next becomes free.
+#[derive(Debug)]
+struct Pacer {
+    read_free: Mutex<Instant>,
+    write_free: Mutex<Instant>,
+}
+
+impl Pacer {
+    fn new() -> Self {
+        let now = Instant::now();
+        Pacer {
+            read_free: Mutex::new(now),
+            write_free: Mutex::new(now),
+        }
     }
 
-    fn pace(&self, bytes: u64, bps: f64, started: Instant) {
-        let target = Duration::from_secs_f64(self.latency_s + bytes as f64 / bps);
-        let elapsed = started.elapsed();
-        if target > elapsed {
-            std::thread::sleep(target - elapsed);
+    /// Reserves a slot of `latency + bytes / bps` on `channel` starting no
+    /// earlier than `started`, then sleeps until the slot ends.
+    fn pace(channel: &Mutex<Instant>, started: Instant, bytes: u64, bps: f64, latency_s: f64) {
+        let duration = Duration::from_secs_f64(latency_s + bytes as f64 / bps);
+        let target = {
+            let mut free_at = channel.lock();
+            let begin = (*free_at).max(started);
+            *free_at = begin + duration;
+            *free_at
+        };
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
         }
     }
 }
@@ -54,13 +94,18 @@ impl Throttle {
 pub struct DiskCatalog {
     dir: PathBuf,
     throttle: Option<Throttle>,
+    pacer: Pacer,
 }
 
 impl DiskCatalog {
     /// Opens (creating if needed) a catalog rooted at `dir`.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         fs::create_dir_all(dir.as_ref())?;
-        Ok(DiskCatalog { dir: dir.as_ref().to_path_buf(), throttle: None })
+        Ok(DiskCatalog {
+            dir: dir.as_ref().to_path_buf(),
+            throttle: None,
+            pacer: Pacer::new(),
+        })
     }
 
     /// Opens a catalog whose reads and writes are paced by `throttle`.
@@ -79,7 +124,13 @@ impl DiskCatalog {
         // Table names come from workload definitions; keep them path-safe.
         let safe: String = name
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         self.dir.join(format!("{safe}.sctb"))
     }
@@ -99,7 +150,13 @@ impl DiskCatalog {
         fs::write(&tmp, &bytes)?;
         fs::rename(&tmp, self.path_of(name))?;
         if let Some(t) = self.throttle {
-            t.pace(len, t.write_bps, started);
+            Pacer::pace(
+                &self.pacer.write_free,
+                started,
+                len,
+                t.write_bps,
+                t.latency_s,
+            );
         }
         Ok(len)
     }
@@ -118,7 +175,7 @@ impl DiskCatalog {
         let len = raw.len() as u64;
         let table = format::decode(Bytes::from(raw))?;
         if let Some(t) = self.throttle {
-            t.pace(len, t.read_bps, started);
+            Pacer::pace(&self.pacer.read_free, started, len, t.read_bps, t.latency_s);
         }
         Ok(table)
     }
@@ -194,7 +251,10 @@ mod tests {
     fn missing_table_is_unknown() {
         let dir = tempfile::tempdir().unwrap();
         let cat = DiskCatalog::open(dir.path()).unwrap();
-        assert!(matches!(cat.read_table("nope"), Err(EngineError::UnknownTable(_))));
+        assert!(matches!(
+            cat.read_table("nope"),
+            Err(EngineError::UnknownTable(_))
+        ));
         assert!(cat.size_of("nope").is_err());
         assert!(!cat.contains("nope"));
     }
@@ -215,7 +275,10 @@ mod tests {
         let cat = DiskCatalog::open(dir.path()).unwrap();
         cat.write_table("bbb", &sample(1)).unwrap();
         cat.write_table("aaa", &sample(1)).unwrap();
-        assert_eq!(cat.list().unwrap(), vec!["aaa".to_string(), "bbb".to_string()]);
+        assert_eq!(
+            cat.list().unwrap(),
+            vec!["aaa".to_string(), "bbb".to_string()]
+        );
     }
 
     #[test]
@@ -232,13 +295,20 @@ mod tests {
     fn throttle_paces_io() {
         let dir = tempfile::tempdir().unwrap();
         // 1 MB/s with 10 ms latency: a ~8 KB write must take ≥ 10 ms.
-        let slow = Throttle { read_bps: 1e6, write_bps: 1e6, latency_s: 0.01 };
+        let slow = Throttle {
+            read_bps: 1e6,
+            write_bps: 1e6,
+            latency_s: 0.01,
+        };
         let cat = DiskCatalog::open_throttled(dir.path(), slow).unwrap();
         let t = sample(1000); // ~8 KB
         let started = Instant::now();
         cat.write_table("t", &t).unwrap();
         let elapsed = started.elapsed();
-        assert!(elapsed >= Duration::from_millis(10), "write not paced: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(10),
+            "write not paced: {elapsed:?}"
+        );
         let started = Instant::now();
         cat.read_table("t").unwrap();
         assert!(started.elapsed() >= Duration::from_millis(10));

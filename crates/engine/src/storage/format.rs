@@ -124,7 +124,9 @@ pub fn decode(mut data: Bytes) -> Result<Table> {
     }
     let version = data.get_u16_le();
     if version != VERSION {
-        return Err(EngineError::Corrupt(format!("unsupported version {version}")));
+        return Err(EngineError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
     let ncols = data.get_u16_le() as usize;
     let nrows = data.get_u64_le() as usize;
@@ -168,26 +170,39 @@ fn decode_column(dtype: DataType, payload: &[u8], nrows: usize) -> Result<Column
         DataType::Int64 => {
             fixed(8)?;
             Column::Int64(
-                payload.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).collect(),
+                payload
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
             )
         }
         DataType::Float64 => {
             fixed(8)?;
             Column::Float64(
-                payload.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect(),
+                payload
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
             )
         }
         DataType::Date => {
             fixed(4)?;
             Column::Date(
-                payload.chunks_exact(4).map(|c| i32::from_le_bytes(c.try_into().unwrap())).collect(),
+                payload
+                    .chunks_exact(4)
+                    .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
             )
         }
         DataType::Bool => {
             if payload.len() != nrows.div_ceil(8) {
                 return Err(EngineError::Corrupt("bool column size mismatch".into()));
             }
-            Column::Bool((0..nrows).map(|i| payload[i / 8] >> (i % 8) & 1 == 1).collect())
+            Column::Bool(
+                (0..nrows)
+                    .map(|i| payload[i / 8] >> (i % 8) & 1 == 1)
+                    .collect(),
+            )
         }
         DataType::Utf8 => {
             let mut out = Vec::with_capacity(nrows);
@@ -207,7 +222,9 @@ fn decode_column(dtype: DataType, payload: &[u8], nrows: usize) -> Result<Column
                 pos += len;
             }
             if pos != payload.len() {
-                return Err(EngineError::Corrupt("trailing bytes in string column".into()));
+                return Err(EngineError::Corrupt(
+                    "trailing bytes in string column".into(),
+                ));
             }
             Column::Utf8(out)
         }
@@ -261,7 +278,10 @@ mod tests {
     fn rejects_bad_magic() {
         let mut raw = encode(&full_table()).to_vec();
         raw[0] = b'X';
-        assert!(matches!(decode(Bytes::from(raw)), Err(EngineError::Corrupt(_))));
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(EngineError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct MemoryCatalog {
 impl MemoryCatalog {
     /// Creates a catalog with `budget` bytes of capacity.
     pub fn new(budget: u64) -> Self {
-        MemoryCatalog { budget, inner: Mutex::new(Inner::default()) }
+        MemoryCatalog {
+            budget,
+            inner: Mutex::new(Inner::default()),
+        }
     }
 
     /// The configured budget `M`.
@@ -159,7 +162,14 @@ mod tests {
         let cat = MemoryCatalog::new(100);
         cat.insert("a", table_of_size(10)).unwrap(); // 80 bytes
         let err = cat.insert("b", table_of_size(10)).unwrap_err();
-        assert!(matches!(err, EngineError::MemoryBudgetExceeded { requested: 80, used: 80, budget: 100 }));
+        assert!(matches!(
+            err,
+            EngineError::MemoryBudgetExceeded {
+                requested: 80,
+                used: 80,
+                budget: 100
+            }
+        ));
         // Freeing a makes room.
         cat.remove("a");
         cat.insert("b", table_of_size(10)).unwrap();
@@ -181,7 +191,10 @@ mod tests {
     fn duplicate_names_rejected() {
         let cat = MemoryCatalog::new(1000);
         cat.insert("t", table_of_size(1)).unwrap();
-        assert!(matches!(cat.insert("t", table_of_size(1)), Err(EngineError::TableExists(_))));
+        assert!(matches!(
+            cat.insert("t", table_of_size(1)),
+            Err(EngineError::TableExists(_))
+        ));
     }
 
     #[test]
@@ -213,9 +226,15 @@ mod tests {
                 std::thread::spawn(move || cat.insert(&format!("t{i}"), table_of_size(10)).is_ok())
             })
             .collect();
-        let successes =
-            handles.into_iter().map(|h| h.join().unwrap()).filter(|&ok| ok).count();
-        assert_eq!(successes, 10, "exactly the budget's worth of inserts succeed");
+        let successes = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&ok| ok)
+            .count();
+        assert_eq!(
+            successes, 10,
+            "exactly the budget's worth of inserts succeed"
+        );
         assert_eq!(cat.used(), 800);
         assert!(cat.peak() <= 800);
     }

@@ -19,7 +19,10 @@ impl Table {
     /// Creates a table from a schema and matching columns.
     pub fn new(schema: Arc<Schema>, columns: Vec<Column>) -> Result<Self> {
         if schema.len() != columns.len() {
-            return Err(EngineError::ArityMismatch { expected: schema.len(), got: columns.len() });
+            return Err(EngineError::ArityMismatch {
+                expected: schema.len(),
+                got: columns.len(),
+            });
         }
         let num_rows = columns.first().map(Column::len).unwrap_or(0);
         for (f, c) in schema.fields().iter().zip(&columns) {
@@ -31,16 +34,31 @@ impl Table {
                 });
             }
             if c.len() != num_rows {
-                return Err(EngineError::ArityMismatch { expected: num_rows, got: c.len() });
+                return Err(EngineError::ArityMismatch {
+                    expected: num_rows,
+                    got: c.len(),
+                });
             }
         }
-        Ok(Table { schema, columns, num_rows })
+        Ok(Table {
+            schema,
+            columns,
+            num_rows,
+        })
     }
 
     /// An empty table with the given schema.
     pub fn empty(schema: Arc<Schema>) -> Self {
-        let columns = schema.fields().iter().map(|f| Column::empty(f.dtype)).collect();
-        Table { schema, columns, num_rows: 0 }
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::empty(f.dtype))
+            .collect();
+        Table {
+            schema,
+            columns,
+            num_rows: 0,
+        }
     }
 
     /// The schema.
@@ -76,7 +94,10 @@ impl Table {
     /// Appends a row of values in schema order.
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
         if row.len() != self.columns.len() {
-            return Err(EngineError::ArityMismatch { expected: self.columns.len(), got: row.len() });
+            return Err(EngineError::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
         }
         // Validate all values first so a failed push cannot leave ragged
         // columns behind.
@@ -109,7 +130,10 @@ impl Table {
     /// A new table keeping only rows where `mask` is true.
     pub fn filter_rows(&self, mask: &[bool]) -> Result<Table> {
         if mask.len() != self.num_rows {
-            return Err(EngineError::ArityMismatch { expected: self.num_rows, got: mask.len() });
+            return Err(EngineError::ArityMismatch {
+                expected: self.num_rows,
+                got: mask.len(),
+            });
         }
         let columns: Vec<Column> = self.columns.iter().map(|c| c.filter(mask)).collect();
         Table::new(self.schema.clone(), columns)
@@ -118,7 +142,10 @@ impl Table {
     /// A new table with rows gathered by `indices` (duplicates allowed).
     pub fn take_rows(&self, indices: &[usize]) -> Result<Table> {
         if let Some(&bad) = indices.iter().find(|&&i| i >= self.num_rows) {
-            return Err(EngineError::ArityMismatch { expected: self.num_rows, got: bad });
+            return Err(EngineError::ArityMismatch {
+                expected: self.num_rows,
+                got: bad,
+            });
         }
         let columns: Vec<Column> = self.columns.iter().map(|c| c.take(indices)).collect();
         Table::new(self.schema.clone(), columns)
@@ -126,9 +153,9 @@ impl Table {
 
     /// Concatenates tables with identical schemas.
     pub fn concat(tables: &[&Table]) -> Result<Table> {
-        let first = tables.first().ok_or_else(|| {
-            EngineError::InvalidPlan("concat requires at least one table".into())
-        })?;
+        let first = tables
+            .first()
+            .ok_or_else(|| EngineError::InvalidPlan("concat requires at least one table".into()))?;
         let mut out = Table::empty(first.schema.clone());
         for t in tables {
             if t.schema != first.schema {
@@ -150,12 +177,26 @@ impl Table {
     /// debugging).
     pub fn pretty(&self, limit: usize) -> String {
         let mut s = String::new();
-        let names: Vec<&str> = self.schema.fields().iter().map(|f| f.name.as_str()).collect();
+        let names: Vec<&str> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
         let _ = writeln!(s, "| {} |", names.join(" | "));
-        let _ = writeln!(s, "|{}|", names.iter().map(|n| "-".repeat(n.len() + 2)).collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            names
+                .iter()
+                .map(|n| "-".repeat(n.len() + 2))
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in 0..self.num_rows.min(limit) {
-            let vals: Vec<String> =
-                (0..self.num_columns()).map(|c| self.value(row, c).to_string()).collect();
+            let vals: Vec<String> = (0..self.num_columns())
+                .map(|c| self.value(row, c).to_string())
+                .collect();
             let _ = writeln!(s, "| {} |", vals.join(" | "));
         }
         if self.num_rows > limit {
@@ -201,9 +242,12 @@ mod tests {
             .column("name", DataType::Utf8)
             .column("score", DataType::Float64)
             .build();
-        t.push_row(vec![1.into(), "alice".into(), 9.5.into()]).unwrap();
-        t.push_row(vec![2.into(), "bob".into(), 7.0.into()]).unwrap();
-        t.push_row(vec![3.into(), "carol".into(), 8.25.into()]).unwrap();
+        t.push_row(vec![1.into(), "alice".into(), 9.5.into()])
+            .unwrap();
+        t.push_row(vec![2.into(), "bob".into(), 7.0.into()])
+            .unwrap();
+        t.push_row(vec![3.into(), "carol".into(), 8.25.into()])
+            .unwrap();
         t
     }
 
@@ -232,8 +276,11 @@ mod tests {
     #[test]
     fn new_validates_schema_and_lengths() {
         let schema = Arc::new(
-            Schema::new(vec![Field::new("a", DataType::Int64), Field::new("b", DataType::Bool)])
-                .unwrap(),
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Bool),
+            ])
+            .unwrap(),
         );
         assert!(Table::new(schema.clone(), vec![Column::Int64(vec![1])]).is_err());
         assert!(Table::new(

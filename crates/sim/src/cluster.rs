@@ -23,7 +23,10 @@ pub struct ClusterModel {
 impl ClusterModel {
     /// A cluster with the paper-fitted parallel fraction.
     pub fn new(workers: usize) -> Self {
-        ClusterModel { workers: workers.max(1), parallel_fraction: 0.865 }
+        ClusterModel {
+            workers: workers.max(1),
+            parallel_fraction: 0.865,
+        }
     }
 
     /// Amdahl speedup factor for this cluster: how many times faster one
@@ -56,7 +59,11 @@ mod tests {
             let m = ClusterModel::new(i + 1);
             let predicted = paper[0] / m.speedup_factor();
             let err = (predicted - t).abs() / t;
-            assert!(err < 0.05, "N={} predicted {predicted:.0} vs paper {t} ({err:.3})", i + 1);
+            assert!(
+                err < 0.05,
+                "N={} predicted {predicted:.0} vs paper {t} ({err:.3})",
+                i + 1
+            );
         }
     }
 

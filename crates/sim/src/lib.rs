@@ -8,7 +8,8 @@
 //! simulates the exact controller semantics of `sc-engine`:
 //!
 //! * one compute lane executing nodes in plan order (the paper issues MV
-//!   statements sequentially);
+//!   statements sequentially), or — with [`SimConfig::with_lanes`] — a
+//!   discrete-event mirror of the engine's multi-lane executor;
 //! * a storage write channel shared by blocking and background
 //!   materializations (FIFO, bandwidth-limited);
 //! * flagged nodes created in memory, materialized in the background, and

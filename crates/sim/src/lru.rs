@@ -22,7 +22,11 @@ struct LruCache {
 
 impl LruCache {
     fn new(capacity: u64) -> Self {
-        LruCache { capacity, used: 0, entries: Vec::new() }
+        LruCache {
+            capacity,
+            used: 0,
+            entries: Vec::new(),
+        }
     }
 
     fn contains(&self, node: usize) -> bool {
@@ -102,8 +106,8 @@ impl Simulator {
             let compute_s = node.compute_s * (1.0 + cfg.compute_penalty) / cfg.compute_scale;
             let available = start + read_s + compute_s;
             // Blocking write; the fresh output enters the cache.
-            let write_s = cfg.disk_latency_s
-                + node.output_bytes as f64 / (cfg.disk_write_bps * cfg.io_scale);
+            let write_s =
+                cfg.disk_latency_s + node.output_bytes as f64 / (cfg.disk_write_bps * cfg.io_scale);
             cache.insert(v.index(), node.output_bytes);
             peak = peak.max(cache.peak_candidate());
             now = available + write_s;
@@ -121,7 +125,11 @@ impl Simulator {
                 fell_back: false,
             });
         }
-        Ok(SimReport { total_s: now, nodes: timelines, peak_memory_bytes: peak })
+        Ok(SimReport {
+            total_s: now,
+            nodes: timelines,
+            peak_memory_bytes: peak,
+        })
     }
 
     fn lru_disk_read(&self, bytes: u64) -> f64 {

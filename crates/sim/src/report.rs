@@ -92,7 +92,10 @@ mod tests {
         };
         let r = SimReport {
             total_s: 10.0,
-            nodes: vec![node(1.0, 0.5, 2.0, 3.0, false), node(0.5, 0.5, 1.0, 0.0, true)],
+            nodes: vec![
+                node(1.0, 0.5, 2.0, 3.0, false),
+                node(0.5, 0.5, 1.0, 0.0, true),
+            ],
             peak_memory_bytes: 42,
         };
         assert_eq!(r.total_read_s(), 1.5);

@@ -28,7 +28,12 @@ impl SimNode {
         output_bytes: u64,
         base_read_bytes: u64,
     ) -> Self {
-        SimNode { name: name.into(), compute_s, output_bytes, base_read_bytes }
+        SimNode {
+            name: name.into(),
+            compute_s,
+            output_bytes,
+            base_read_bytes,
+        }
     }
 }
 
@@ -45,7 +50,9 @@ impl SimWorkload {
         nodes: impl IntoIterator<Item = SimNode>,
         edges: impl IntoIterator<Item = (usize, usize)>,
     ) -> sc_dag::Result<Self> {
-        Ok(SimWorkload { graph: Dag::from_parts(nodes, edges)? })
+        Ok(SimWorkload {
+            graph: Dag::from_parts(nodes, edges)?,
+        })
     }
 
     /// Number of nodes.
@@ -80,8 +87,12 @@ impl SimWorkload {
             .node_ids()
             .map(|v| {
                 let n = self.graph.node(v);
-                let parent_bytes: u64 =
-                    self.graph.parents(v).iter().map(|&p| self.graph.node(p).output_bytes).sum();
+                let parent_bytes: u64 = self
+                    .graph
+                    .parents(v)
+                    .iter()
+                    .map(|&p| self.graph.node(p).output_bytes)
+                    .sum();
                 n.base_read_bytes + parent_bytes
             })
             .sum()

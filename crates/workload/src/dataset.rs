@@ -26,12 +26,18 @@ pub struct DatasetSpec {
 impl DatasetSpec {
     /// Regular TPC-DS at `scale_gb`.
     pub fn tpcds(scale_gb: f64) -> Self {
-        DatasetSpec { scale_gb, partitioned: false }
+        DatasetSpec {
+            scale_gb,
+            partitioned: false,
+        }
     }
 
     /// Date-partitioned TPC-DSp at `scale_gb`.
     pub fn tpcds_partitioned(scale_gb: f64) -> Self {
-        DatasetSpec { scale_gb, partitioned: true }
+        DatasetSpec {
+            scale_gb,
+            partitioned: true,
+        }
     }
 
     /// Total dataset size in bytes.
@@ -91,7 +97,11 @@ pub enum FactTable {
 impl FactTable {
     /// All fact tables.
     pub fn all() -> [FactTable; 3] {
-        [FactTable::StoreSales, FactTable::CatalogSales, FactTable::WebSales]
+        [
+            FactTable::StoreSales,
+            FactTable::CatalogSales,
+            FactTable::WebSales,
+        ]
     }
 }
 

@@ -11,9 +11,9 @@ use sc_core::{CostModel, MvMeta, Problem};
 use sc_dag::Dag;
 use sc_engine::controller::{Controller, MvDefinition, RunMetrics};
 use sc_engine::exec::AggFunc;
+use sc_engine::exec::SortKey;
 use sc_engine::expr::Expr;
 use sc_engine::plan::{AggExpr, LogicalPlan};
-use sc_engine::exec::SortKey;
 
 /// The Figure 3 microbenchmark: a multi-way join of a fact table with
 /// three dimensions, materialized as a single MV (the paper uses the
@@ -23,7 +23,10 @@ pub fn fact_join_mv() -> MvDefinition {
     MvDefinition::new(
         "fact_join",
         LogicalPlan::scan("store_sales")
-            .join(LogicalPlan::scan("item"), vec![("ss_item_sk".into(), "i_item_sk".into())])
+            .join(
+                LogicalPlan::scan("item"),
+                vec![("ss_item_sk".into(), "i_item_sk".into())],
+            )
             .join(
                 LogicalPlan::scan("customer"),
                 vec![("ss_customer_sk".into(), "c_customer_sk".into())],
@@ -49,7 +52,10 @@ pub fn sales_pipeline() -> Vec<MvDefinition> {
             "enriched_sales",
             LogicalPlan::scan("store_sales")
                 .filter(year_filter("ss_quantity"))
-                .join(LogicalPlan::scan("item"), vec![("ss_item_sk".into(), "i_item_sk".into())])
+                .join(
+                    LogicalPlan::scan("item"),
+                    vec![("ss_item_sk".into(), "i_item_sk".into())],
+                )
                 .join(
                     LogicalPlan::scan("date_dim"),
                     vec![("ss_sold_date_sk".into(), "d_date_sk".into())],
@@ -90,7 +96,11 @@ pub fn sales_pipeline() -> Vec<MvDefinition> {
                 )
                 .aggregate(
                     vec!["c_state".into()],
-                    vec![AggExpr::new(AggFunc::Sum, "ss_sales_price", "premium_revenue")],
+                    vec![AggExpr::new(
+                        AggFunc::Sum,
+                        "ss_sales_price",
+                        "premium_revenue",
+                    )],
                 ),
         ),
         // 5: catalog channel aggregate (independent branch).
@@ -98,7 +108,11 @@ pub fn sales_pipeline() -> Vec<MvDefinition> {
             "catalog_by_item",
             LogicalPlan::scan("catalog_sales").aggregate(
                 vec!["ss_item_sk".into()],
-                vec![AggExpr::new(AggFunc::Sum, "ss_sales_price", "catalog_revenue")],
+                vec![AggExpr::new(
+                    AggFunc::Sum,
+                    "ss_sales_price",
+                    "catalog_revenue",
+                )],
             ),
         ),
         // 6: web channel aggregate (independent branch).
@@ -172,8 +186,8 @@ mod tests {
     use super::*;
     use crate::tpcds::TinyTpcds;
     use sc_core::{Plan, ScOptimizer};
-    use sc_engine::storage::{DiskCatalog, MemoryCatalog};
     use sc_dag::NodeId;
+    use sc_engine::storage::{DiskCatalog, MemoryCatalog};
 
     fn setup() -> (tempfile::TempDir, DiskCatalog) {
         let dir = tempfile::tempdir().unwrap();
@@ -222,8 +236,10 @@ mod tests {
         let plan = ScOptimizer::default().optimize(&problem).unwrap();
         assert!(plan.flagged.count() > 0, "something must be worth flagging");
 
-        let baseline_tables: Vec<_> =
-            mvs.iter().map(|mv| disk.read_table(&mv.name).unwrap()).collect();
+        let baseline_tables: Vec<_> = mvs
+            .iter()
+            .map(|mv| disk.read_table(&mv.name).unwrap())
+            .collect();
         let optimized = controller.refresh(&mvs, &plan).unwrap();
         assert_eq!(optimized.nodes.len(), mvs.len());
         for (mv, before) in mvs.iter().zip(baseline_tables) {
@@ -239,10 +255,10 @@ mod tests {
         let mem = MemoryCatalog::new(64 << 20);
         let mvs = sales_pipeline();
         let order: Vec<NodeId> = (0..mvs.len()).map(NodeId).collect();
-        let metrics =
-            Controller::new(&disk, &mem).refresh(&mvs, &Plan::unoptimized(order)).unwrap();
-        let problem =
-            problem_from_metrics(&mvs, &metrics, &CostModel::paper(), 1 << 30).unwrap();
+        let metrics = Controller::new(&disk, &mem)
+            .refresh(&mvs, &Plan::unoptimized(order))
+            .unwrap();
+        let problem = problem_from_metrics(&mvs, &metrics, &CostModel::paper(), 1 << 30).unwrap();
         assert_eq!(problem.len(), mvs.len());
         // Node 0 (enriched_sales) is the hub: largest size, highest score.
         let sizes = problem.sizes();

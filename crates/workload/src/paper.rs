@@ -250,8 +250,11 @@ impl PaperWorkload {
         // (partition pruning cuts them 5x, shifting the mix toward
         // intermediate I/O exactly as in the paper's TPC-DSp runs).
         let base_target_bytes = shape.base_frac * total_s * cfg.disk_read_bps;
-        let scan_weights: Vec<f64> =
-            shape.roots.iter().map(|&t| DatasetSpec::fact_fraction(t)).collect();
+        let scan_weights: Vec<f64> = shape
+            .roots
+            .iter()
+            .map(|&t| DatasetSpec::fact_fraction(t))
+            .collect();
         let scan_weight_sum: f64 = scan_weights.iter().sum();
         let mut base_bytes = vec![0u64; n];
         for (i, w) in scan_weights.iter().enumerate() {
@@ -335,11 +338,24 @@ mod tests {
     fn partitioned_variant_shrinks_scans_more_than_intermediates() {
         let flat = PaperWorkload::Io1.build(&DatasetSpec::tpcds(100.0));
         let part = PaperWorkload::Io1.build(&DatasetSpec::tpcds_partitioned(100.0));
-        let flat_scan: u64 = flat.graph.payloads().iter().map(|nd| nd.base_read_bytes).sum();
-        let part_scan: u64 = part.graph.payloads().iter().map(|nd| nd.base_read_bytes).sum();
+        let flat_scan: u64 = flat
+            .graph
+            .payloads()
+            .iter()
+            .map(|nd| nd.base_read_bytes)
+            .sum();
+        let part_scan: u64 = part
+            .graph
+            .payloads()
+            .iter()
+            .map(|nd| nd.base_read_bytes)
+            .sum();
         assert!(part_scan * 5 <= flat_scan + 5, "scans must shrink ~5x");
         let ratio = flat.total_write_bytes() as f64 / part.total_write_bytes() as f64;
-        assert!((ratio - 2.5).abs() < 0.1, "intermediates must shrink ~2.5x, got {ratio:.2}");
+        assert!(
+            (ratio - 2.5).abs() < 0.1,
+            "intermediates must shrink ~2.5x, got {ratio:.2}"
+        );
     }
 
     #[test]
@@ -367,7 +383,10 @@ mod tests {
     fn partitioned_speedup_exceeds_flat() {
         let w = PaperWorkload::Io2;
         let mut speedups = Vec::new();
-        for ds in [DatasetSpec::tpcds(100.0), DatasetSpec::tpcds_partitioned(100.0)] {
+        for ds in [
+            DatasetSpec::tpcds(100.0),
+            DatasetSpec::tpcds_partitioned(100.0),
+        ] {
             let budget = ds.memory_budget(if ds.partitioned { 0.8 } else { 1.6 });
             let built = w.build(&ds);
             let config = SimConfig::paper(budget);
@@ -397,7 +416,10 @@ mod tests {
         let base = sim.run_unoptimized(&built).unwrap();
         let sc = sim.run(&built, &plan).unwrap();
         let speedup = base.total_s / sc.total_s;
-        assert!((1.0..1.2).contains(&speedup), "Compute 1 speedup {speedup:.3}");
+        assert!(
+            (1.0..1.2).contains(&speedup),
+            "Compute 1 speedup {speedup:.3}"
+        );
     }
 
     #[test]

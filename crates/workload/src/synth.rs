@@ -65,11 +65,36 @@ impl Op {
     /// this node's operator.
     fn transitions(self) -> &'static [(Op, f64)] {
         match self {
-            Op::Scan => &[(Op::Join, 0.45), (Op::Filter, 0.30), (Op::Agg, 0.15), (Op::Project, 0.10)],
-            Op::Join => &[(Op::Agg, 0.35), (Op::Join, 0.25), (Op::Filter, 0.20), (Op::Project, 0.20)],
-            Op::Filter => &[(Op::Join, 0.40), (Op::Agg, 0.30), (Op::Project, 0.20), (Op::Union, 0.10)],
-            Op::Agg => &[(Op::Join, 0.30), (Op::Project, 0.30), (Op::Union, 0.20), (Op::Agg, 0.20)],
-            Op::Project => &[(Op::Join, 0.35), (Op::Agg, 0.35), (Op::Union, 0.15), (Op::Filter, 0.15)],
+            Op::Scan => &[
+                (Op::Join, 0.45),
+                (Op::Filter, 0.30),
+                (Op::Agg, 0.15),
+                (Op::Project, 0.10),
+            ],
+            Op::Join => &[
+                (Op::Agg, 0.35),
+                (Op::Join, 0.25),
+                (Op::Filter, 0.20),
+                (Op::Project, 0.20),
+            ],
+            Op::Filter => &[
+                (Op::Join, 0.40),
+                (Op::Agg, 0.30),
+                (Op::Project, 0.20),
+                (Op::Union, 0.10),
+            ],
+            Op::Agg => &[
+                (Op::Join, 0.30),
+                (Op::Project, 0.30),
+                (Op::Union, 0.20),
+                (Op::Agg, 0.20),
+            ],
+            Op::Project => &[
+                (Op::Join, 0.35),
+                (Op::Agg, 0.35),
+                (Op::Union, 0.15),
+                (Op::Filter, 0.15),
+            ],
             Op::Union => &[(Op::Agg, 0.40), (Op::Join, 0.30), (Op::Project, 0.30)],
         }
     }
@@ -236,8 +261,8 @@ impl SynthGenerator {
             for &v in stage {
                 if parents[v].is_empty() {
                     ops[v] = Op::Scan;
-                    let table = TPCDS_100GB_TABLE_BYTES
-                        [rng.gen_range(0..TPCDS_100GB_TABLE_BYTES.len())];
+                    let table =
+                        TPCDS_100GB_TABLE_BYTES[rng.gen_range(0..TPCDS_100GB_TABLE_BYTES.len())];
                     base_bytes[v] = table;
                     let selectivity = rng.gen_range(0.02..0.3);
                     out_bytes[v] = ((table as f64) * selectivity) as u64;
@@ -292,7 +317,10 @@ mod tests {
     #[test]
     fn node_count_is_exact() {
         for n in [10, 25, 50, 100] {
-            let w = gen(GeneratorParams { nodes: n, ..Default::default() });
+            let w = gen(GeneratorParams {
+                nodes: n,
+                ..Default::default()
+            });
             assert_eq!(w.len(), n);
         }
     }
@@ -305,7 +333,10 @@ mod tests {
         for (x, y) in a.graph.payloads().iter().zip(b.graph.payloads()) {
             assert_eq!(x, y);
         }
-        let c = gen(GeneratorParams { seed: 999, ..Default::default() });
+        let c = gen(GeneratorParams {
+            seed: 999,
+            ..Default::default()
+        });
         assert!(
             a.graph.edge_count() != c.graph.edge_count()
                 || a.graph.payloads() != c.graph.payloads(),
@@ -349,12 +380,18 @@ mod tests {
 
     #[test]
     fn outdegree_bounded() {
-        let p = GeneratorParams { max_outdegree: 2, ..Default::default() };
+        let p = GeneratorParams {
+            max_outdegree: 2,
+            ..Default::default()
+        };
         let w = gen(p);
         // Generated fan-out edges are capped; orphan-fixing can add at
         // most a handful beyond the cap.
         for v in w.graph.node_ids() {
-            assert!(w.graph.out_degree(v) <= 2 + 3, "node {v} out-degree too high");
+            assert!(
+                w.graph.out_degree(v) <= 2 + 3,
+                "node {v} out-degree too high"
+            );
         }
     }
 
@@ -369,8 +406,7 @@ mod tests {
         });
         let mut rng = StdRng::seed_from_u64(1);
         let sizes = g.stage_sizes(&mut rng);
-        let (min, max) =
-            (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
         assert!(max - min <= 1, "even split expected, got {sizes:?}");
     }
 
@@ -378,17 +414,39 @@ mod tests {
     fn sizes_shrink_down_aggregation_chains() {
         // Aggregations must produce small outputs: total leaf bytes are a
         // small fraction of total root bytes in expectation.
-        let w = gen(GeneratorParams { nodes: 80, seed: 3, ..Default::default() });
-        let roots: u64 =
-            w.graph.roots().iter().map(|&v| w.graph.node(v).output_bytes).sum();
-        let leaves: u64 =
-            w.graph.leaves().iter().map(|&v| w.graph.node(v).output_bytes).sum();
-        assert!(leaves < roots * 3, "leaf bytes {leaves} vs root bytes {roots}");
+        let w = gen(GeneratorParams {
+            nodes: 80,
+            seed: 3,
+            ..Default::default()
+        });
+        let roots: u64 = w
+            .graph
+            .roots()
+            .iter()
+            .map(|&v| w.graph.node(v).output_bytes)
+            .sum();
+        let leaves: u64 = w
+            .graph
+            .leaves()
+            .iter()
+            .map(|&v| w.graph.node(v).output_bytes)
+            .sum();
+        assert!(
+            leaves < roots * 3,
+            "leaf bytes {leaves} vs root bytes {roots}"
+        );
     }
 
     #[test]
     fn markov_rows_sum_to_one() {
-        for op in [Op::Scan, Op::Join, Op::Agg, Op::Filter, Op::Project, Op::Union] {
+        for op in [
+            Op::Scan,
+            Op::Join,
+            Op::Agg,
+            Op::Filter,
+            Op::Project,
+            Op::Union,
+        ] {
             let sum: f64 = op.transitions().iter().map(|&(_, p)| p).sum();
             assert!((sum - 1.0).abs() < 1e-9, "{op:?} row sums to {sum}");
         }
@@ -398,7 +456,11 @@ mod tests {
     fn workload_is_usable_by_optimizer() {
         use sc_core::ScOptimizer;
         use sc_sim::{SimConfig, Simulator};
-        let w = gen(GeneratorParams { nodes: 40, seed: 7, ..Default::default() });
+        let w = gen(GeneratorParams {
+            nodes: 40,
+            seed: 7,
+            ..Default::default()
+        });
         let config = SimConfig::paper(1_600_000_000);
         let problem = w.problem(&config).unwrap();
         let plan = ScOptimizer::default().optimize(&problem).unwrap();

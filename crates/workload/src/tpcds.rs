@@ -40,7 +40,10 @@ impl TinyTpcds {
         let mut tables = HashMap::new();
         tables.insert("date_dim".to_string(), Arc::new(date_dim()));
         tables.insert("item".to_string(), Arc::new(item(n_items, &mut rng)));
-        tables.insert("customer".to_string(), Arc::new(customer(n_customers, &mut rng)));
+        tables.insert(
+            "customer".to_string(),
+            Arc::new(customer(n_customers, &mut rng)),
+        );
         tables.insert("store".to_string(), Arc::new(store(STORE_ROWS, &mut rng)));
         for (name, rows) in [
             ("store_sales", scale_rows(STORE_SALES_ROWS, scale)),
@@ -200,12 +203,21 @@ mod tests {
     #[test]
     fn generates_all_tables() {
         let ds = TinyTpcds::generate(1.0, 42);
-        for name in
-            ["date_dim", "item", "customer", "store", "store_sales", "catalog_sales", "web_sales"]
-        {
+        for name in [
+            "date_dim",
+            "item",
+            "customer",
+            "store",
+            "store_sales",
+            "catalog_sales",
+            "web_sales",
+        ] {
             assert!(ds.table(name).is_some(), "missing {name}");
         }
-        assert_eq!(ds.table("store_sales").unwrap().num_rows(), STORE_SALES_ROWS);
+        assert_eq!(
+            ds.table("store_sales").unwrap().num_rows(),
+            STORE_SALES_ROWS
+        );
         assert!(ds.total_bytes() > 100_000);
     }
 
@@ -213,8 +225,14 @@ mod tests {
     fn scale_changes_fact_rows() {
         let small = TinyTpcds::generate(0.5, 42);
         let big = TinyTpcds::generate(2.0, 42);
-        assert_eq!(small.table("store_sales").unwrap().num_rows(), STORE_SALES_ROWS / 2);
-        assert_eq!(big.table("store_sales").unwrap().num_rows(), STORE_SALES_ROWS * 2);
+        assert_eq!(
+            small.table("store_sales").unwrap().num_rows(),
+            STORE_SALES_ROWS / 2
+        );
+        assert_eq!(
+            big.table("store_sales").unwrap().num_rows(),
+            STORE_SALES_ROWS * 2
+        );
         // Dimensions grow with sqrt(scale).
         assert!(big.table("item").unwrap().num_rows() < ITEM_ROWS * 2);
     }
@@ -223,9 +241,15 @@ mod tests {
     fn deterministic_per_seed() {
         let a = TinyTpcds::generate(1.0, 7);
         let b = TinyTpcds::generate(1.0, 7);
-        assert_eq!(a.table("store_sales").unwrap(), b.table("store_sales").unwrap());
+        assert_eq!(
+            a.table("store_sales").unwrap(),
+            b.table("store_sales").unwrap()
+        );
         let c = TinyTpcds::generate(1.0, 8);
-        assert_ne!(a.table("store_sales").unwrap(), c.table("store_sales").unwrap());
+        assert_ne!(
+            a.table("store_sales").unwrap(),
+            c.table("store_sales").unwrap()
+        );
     }
 
     #[test]

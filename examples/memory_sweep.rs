@@ -15,7 +15,10 @@ fn main() {
     let percents = [0.4, 0.8, 1.6, 3.2, 6.4];
 
     println!("dataset: {}", dataset.label());
-    println!("{:>8} | {:>14} | {:>16}", "mem %", "spare memory", "query memory");
+    println!(
+        "{:>8} | {:>14} | {:>16}",
+        "mem %", "spare memory", "query memory"
+    );
     println!("{:->8}-+-{:->14}-+-{:->16}", "", "", "");
 
     for &pct in &percents {
@@ -35,7 +38,9 @@ fn main() {
             for w in PaperWorkload::all() {
                 let built = w.build(&dataset);
                 let problem = built.problem(&config).expect("valid workload");
-                let plan = ScOptimizer::default().optimize(&problem).expect("optimizable");
+                let plan = ScOptimizer::default()
+                    .optimize(&problem)
+                    .expect("optimizable");
                 base_total += sim.run_unoptimized(&built).expect("valid run").total_s;
                 sc_total += sim.run(&built, &plan).expect("valid run").total_s;
             }

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sys.register_mv(mv);
     }
     let graph = sys.dependency_graph()?;
-    println!("\ndependency graph ({} MVs, {} edges):", graph.len(), graph.edge_count());
+    println!(
+        "\ndependency graph ({} MVs, {} edges):",
+        graph.len(),
+        graph.edge_count()
+    );
     println!("{}", graph.to_dot(|_, name| name.clone()));
 
     // 1) Baseline refresh: topological order, everything written to disk
@@ -44,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2) Optimize: S/C picks the refresh order and which intermediates to
     //    keep (temporarily) in the Memory Catalog.
     let plan = sys.optimize_from(&baseline)?;
-    println!("\nS/C plan: {} of {} MVs flagged:", plan.flagged.count(), sys.mvs().len());
+    println!(
+        "\nS/C plan: {} of {} MVs flagged:",
+        plan.flagged.count(),
+        sys.mvs().len()
+    );
     for v in plan.flagged.iter() {
         println!("  - {}", sys.mvs()[v.index()].name);
     }
@@ -69,6 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for mv in sys.mvs() {
         assert!(sys.disk().contains(&mv.name));
     }
-    println!("\nall {} MVs persisted on storage — SLAs intact", sys.mvs().len());
+    println!(
+        "\nall {} MVs persisted on storage — SLAs intact",
+        sys.mvs().len()
+    );
     Ok(())
 }

@@ -14,7 +14,10 @@ fn print_run(label: &str, metrics: &sc::engine::RunMetrics) {
         "{:<18} | {:>8} | {:>8} | {:>8} | {:>9} | {:>5}",
         "mv", "read s", "cmpt s", "write s", "bytes", "flag"
     );
-    println!("{:-<18}-+-{:->8}-+-{:->8}-+-{:->8}-+-{:->9}-+-{:->5}", "", "", "", "", "", "");
+    println!(
+        "{:-<18}-+-{:->8}-+-{:->8}-+-{:->8}-+-{:->9}-+-{:->5}",
+        "", "", "", "", "", ""
+    );
     for n in &metrics.nodes {
         println!(
             "{:<18} | {:>8.3} | {:>8.3} | {:>8.3} | {:>9} | {:>5}",
@@ -32,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = tempfile::tempdir()?;
     // A slower-than-paper disk exaggerates the effect so the demo is quick
     // but the breakdown is legible.
-    let throttle = Throttle { read_bps: 40e6, write_bps: 25e6, latency_s: 1e-3 };
+    let throttle = Throttle {
+        read_bps: 40e6,
+        write_bps: 25e6,
+        latency_s: 1e-3,
+    };
     let mut sys = ScSystem::open_throttled(dir.path(), 16 << 20, throttle)?;
 
     sc::workload::tpcds::TinyTpcds::generate(2.0, 7).load_into(sys.disk())?;
@@ -44,15 +51,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_run("baseline (no optimization)", &baseline);
     print_run("S/C optimized", &optimized);
 
-    println!("\nplan: {}", plan.summary(&{
-        // Rebuild the problem only to print score/size totals.
-        sc::workload::engine_mvs::problem_from_metrics(
-            sys.mvs(),
-            &baseline,
-            &CostModel::paper(),
-            sys.memory().budget(),
-        )?
-    }));
+    println!(
+        "\nplan: {}",
+        plan.summary(&{
+            // Rebuild the problem only to print score/size totals.
+            sc::workload::engine_mvs::problem_from_metrics(
+                sys.mvs(),
+                &baseline,
+                &CostModel::paper(),
+                sys.memory().budget(),
+            )?
+        })
+    );
     println!(
         "speedup: {:.2}x (peak memory {} / {} bytes)",
         baseline.total_s / optimized.total_s,

@@ -9,8 +9,8 @@
 //! ```
 
 use sc::prelude::*;
-use sc_core::select::NodeSelector;
 use sc_core::order::OrderScheduler;
+use sc_core::select::NodeSelector;
 use sc_core::AlternatingOptimizer;
 
 fn methods() -> Vec<AlternatingOptimizer> {
@@ -26,7 +26,10 @@ fn methods() -> Vec<AlternatingOptimizer> {
         AlternatingOptimizer::new(sel(RatioSelector), ord(MaDfsScheduler)),
         AlternatingOptimizer::new(
             sel(MkpSelector::default()),
-            ord(SaScheduler { iterations: 2000, ..Default::default() }),
+            ord(SaScheduler {
+                iterations: 2000,
+                ..Default::default()
+            }),
         ),
         AlternatingOptimizer::new(sel(MkpSelector::default()), ord(SeparatorScheduler)),
         AlternatingOptimizer::new(sel(MkpSelector::default()), ord(MaDfsScheduler)),
@@ -40,13 +43,20 @@ fn main() {
     let n_dags = 25;
 
     println!("averaging over {n_dags} generated 60-node DAGs, budget 1.6 GB\n");
-    println!("{:<22} | {:>12} | {:>10}", "method", "avg time (s)", "speedup");
+    println!(
+        "{:<22} | {:>12} | {:>10}",
+        "method", "avg time (s)", "speedup"
+    );
     println!("{:-<22}-+-{:->12}-+-{:->10}", "", "", "");
 
     let workloads: Vec<SimWorkload> = (0..n_dags)
         .map(|seed| {
-            SynthGenerator::new(GeneratorParams { nodes: 60, seed, ..Default::default() })
-                .generate()
+            SynthGenerator::new(GeneratorParams {
+                nodes: 60,
+                seed,
+                ..Default::default()
+            })
+            .generate()
         })
         .collect();
     let base_avg: f64 = workloads
@@ -54,7 +64,10 @@ fn main() {
         .map(|w| sim.run_unoptimized(w).expect("valid workload").total_s)
         .sum::<f64>()
         / n_dags as f64;
-    println!("{:<22} | {:>12.1} | {:>9.2}x", "No optimization", base_avg, 1.0);
+    println!(
+        "{:<22} | {:>12.1} | {:>9.2}x",
+        "No optimization", base_avg, 1.0
+    );
 
     for method in methods() {
         let mut total = 0.0;
@@ -64,7 +77,12 @@ fn main() {
             total += sim.run(w, &plan).expect("valid run").total_s;
         }
         let avg = total / n_dags as f64;
-        println!("{:<22} | {:>12.1} | {:>9.2}x", method.method_name(), avg, base_avg / avg);
+        println!(
+            "{:<22} | {:>12.1} | {:>9.2}x",
+            method.method_name(),
+            avg,
+            base_avg / avg
+        );
     }
     println!("\n(the paper's Figure 12: MKP + MA-DFS saves an additional 3%-11%");
     println!(" of execution time over the ablated combinations)");

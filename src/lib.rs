@@ -18,7 +18,9 @@
 //! * [`dag`](sc_dag) — the DAG substrate;
 //! * [`engine`](sc_engine) — a mini columnar warehouse: expressions,
 //!   operators, a columnar file format, disk/memory catalogs, and the
-//!   refresh controller;
+//!   refresh controller (sequential, plus a multi-lane worker-pool
+//!   executor selected via [`sc_engine::RefreshConfig`] /
+//!   [`ScSystem::with_lanes`]);
 //! * [`sim`](sc_sim) — a discrete-event simulator for paper-scale
 //!   experiments (10 GB–1 TB, clusters, LRU baselines);
 //! * [`workload`](sc_workload) — TPC-DS-style data and the paper's

@@ -7,7 +7,7 @@ use std::path::Path;
 
 use sc_core::{CostModel, OptError, Plan, ScOptimizer};
 use sc_dag::{Dag, DagError, NodeId};
-use sc_engine::controller::{Controller, MvDefinition, RunMetrics};
+use sc_engine::controller::{Controller, MvDefinition, RefreshConfig, RunMetrics};
 use sc_engine::storage::{DiskCatalog, MemoryCatalog, Throttle};
 use sc_engine::EngineError;
 use sc_workload::engine_mvs::problem_from_metrics;
@@ -65,6 +65,7 @@ pub struct ScSystem {
     disk: DiskCatalog,
     memory: MemoryCatalog,
     cost: CostModel,
+    refresh: RefreshConfig,
     mvs: Vec<MvDefinition>,
 }
 
@@ -76,6 +77,7 @@ impl ScSystem {
             disk: DiskCatalog::open(dir)?,
             memory: MemoryCatalog::new(memory_budget),
             cost: CostModel::paper(),
+            refresh: RefreshConfig::default(),
             mvs: Vec::new(),
         })
     }
@@ -91,6 +93,7 @@ impl ScSystem {
             disk: DiskCatalog::open_throttled(dir, throttle)?,
             memory: MemoryCatalog::new(memory_budget),
             cost: CostModel::paper(),
+            refresh: RefreshConfig::default(),
             mvs: Vec::new(),
         })
     }
@@ -99,6 +102,24 @@ impl ScSystem {
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
         self
+    }
+
+    /// Overrides the refresh parallelism settings (how many compute lanes
+    /// execute DAG nodes). The default single lane reproduces the paper's
+    /// sequential controller.
+    pub fn with_refresh_config(mut self, refresh: RefreshConfig) -> Self {
+        self.refresh = refresh;
+        self
+    }
+
+    /// Shorthand for [`ScSystem::with_refresh_config`].
+    pub fn with_lanes(self, lanes: usize) -> Self {
+        self.with_refresh_config(RefreshConfig::with_lanes(lanes))
+    }
+
+    /// The refresh parallelism settings in effect.
+    pub fn refresh_config(&self) -> RefreshConfig {
+        self.refresh
     }
 
     /// External storage catalog (for ingesting base tables and inspecting
@@ -148,14 +169,15 @@ impl ScSystem {
 
     /// Runs the optimizer on metadata from a previous refresh.
     pub fn optimize_from(&self, metrics: &RunMetrics) -> Result<Plan> {
-        let problem =
-            problem_from_metrics(&self.mvs, metrics, &self.cost, self.memory.budget())?;
+        let problem = problem_from_metrics(&self.mvs, metrics, &self.cost, self.memory.budget())?;
         Ok(ScOptimizer::default().optimize(&problem)?)
     }
 
-    /// Executes a refresh run under `plan`.
+    /// Executes a refresh run under `plan` on the configured lanes.
     pub fn refresh(&self, plan: &Plan) -> Result<RunMetrics> {
-        Ok(Controller::new(&self.disk, &self.memory).refresh(&self.mvs, plan)?)
+        Ok(Controller::new(&self.disk, &self.memory)
+            .with_refresh_config(self.refresh)
+            .refresh(&self.mvs, plan)?)
     }
 
     /// Profile-optimize-refresh in one call: runs the baseline, derives a

@@ -11,7 +11,9 @@ use sc_workload::tpcds::TinyTpcds;
 fn system_with_data(budget: u64, scale: f64) -> (tempfile::TempDir, ScSystem) {
     let dir = tempfile::tempdir().unwrap();
     let mut sys = ScSystem::open(dir.path(), budget).unwrap();
-    TinyTpcds::generate(scale, 42).load_into(sys.disk()).unwrap();
+    TinyTpcds::generate(scale, 42)
+        .load_into(sys.disk())
+        .unwrap();
     for mv in sales_pipeline() {
         sys.register_mv(mv);
     }
@@ -22,17 +24,27 @@ fn system_with_data(budget: u64, scale: f64) -> (tempfile::TempDir, ScSystem) {
 fn optimized_run_produces_byte_identical_mvs() {
     let (_dir, sys) = system_with_data(8 << 20, 0.5);
     let baseline = sys.baseline_refresh().unwrap();
-    let baseline_tables: Vec<_> =
-        sys.mvs().iter().map(|mv| sys.disk().read_table(&mv.name).unwrap()).collect();
+    let baseline_tables: Vec<_> = sys
+        .mvs()
+        .iter()
+        .map(|mv| sys.disk().read_table(&mv.name).unwrap())
+        .collect();
 
     let plan = sys.optimize_from(&baseline).unwrap();
-    assert!(plan.flagged.count() > 0, "expected some flagging at this budget");
+    assert!(
+        plan.flagged.count() > 0,
+        "expected some flagging at this budget"
+    );
     let optimized = sys.refresh(&plan).unwrap();
     assert_eq!(optimized.nodes.len(), sys.mvs().len());
 
     for (mv, before) in sys.mvs().iter().zip(baseline_tables) {
         let after = sys.disk().read_table(&mv.name).unwrap();
-        assert_eq!(before, after, "S/C must not change the contents of {}", mv.name);
+        assert_eq!(
+            before, after,
+            "S/C must not change the contents of {}",
+            mv.name
+        );
     }
     assert!(sys.memory().is_empty(), "memory catalog must drain");
 }
@@ -66,7 +78,10 @@ fn flagged_hub_is_read_from_memory_by_all_consumers() {
     let baseline = sys.baseline_refresh().unwrap();
     let plan = sys.optimize_from(&baseline).unwrap();
     // The enriched_sales hub (3 consumers, big output) must be flagged.
-    assert!(plan.flagged.contains(NodeId(0)), "hub must be flagged: {plan:?}");
+    assert!(
+        plan.flagged.contains(NodeId(0)),
+        "hub must be flagged: {plan:?}"
+    );
     let optimized = sys.refresh(&plan).unwrap();
     let hub_consumers: Vec<_> = optimized
         .nodes
@@ -75,7 +90,11 @@ fn flagged_hub_is_read_from_memory_by_all_consumers() {
         .collect();
     assert_eq!(hub_consumers.len(), 3);
     for c in hub_consumers {
-        assert!(c.memory_reads >= 1, "{} should read the hub from memory", c.name);
+        assert!(
+            c.memory_reads >= 1,
+            "{} should read the hub from memory",
+            c.name
+        );
     }
 }
 
@@ -84,7 +103,11 @@ fn tiny_budget_degrades_gracefully_to_baseline_behavior() {
     let (_dir, sys) = system_with_data(64, 0.3); // 64 bytes: nothing fits
     let baseline = sys.baseline_refresh().unwrap();
     let plan = sys.optimize_from(&baseline).unwrap();
-    assert_eq!(plan.flagged.count(), 0, "nothing can be flagged in 64 bytes");
+    assert_eq!(
+        plan.flagged.count(),
+        0,
+        "nothing can be flagged in 64 bytes"
+    );
     let run = sys.refresh(&plan).unwrap();
     assert_eq!(run.peak_memory_bytes, 0);
     for mv in sys.mvs() {
@@ -97,7 +120,11 @@ fn simulator_and_engine_agree_on_plan_ranking() {
     // Build a simulation twin of the engine pipeline from profiled
     // metrics, then check both rank "S/C plan" above "no flags".
     let dir = tempfile::tempdir().unwrap();
-    let throttle = Throttle { read_bps: 30e6, write_bps: 20e6, latency_s: 1e-3 };
+    let throttle = Throttle {
+        read_bps: 30e6,
+        write_bps: 20e6,
+        latency_s: 1e-3,
+    };
     let mut sys = ScSystem::open_throttled(dir.path(), 16 << 20, throttle).unwrap();
     TinyTpcds::generate(1.0, 42).load_into(sys.disk()).unwrap();
     for mv in sales_pipeline() {
@@ -118,8 +145,7 @@ fn simulator_and_engine_agree_on_plan_ranking() {
             SimNode::new(&n.name, n.compute_s, n.output_bytes, 0)
         })
         .collect();
-    let edges: Vec<(usize, usize)> =
-        graph.edges().map(|(a, b)| (a.index(), b.index())).collect();
+    let edges: Vec<(usize, usize)> = graph.edges().map(|(a, b)| (a.index(), b.index())).collect();
     let w = SimWorkload::from_parts(nodes, edges).unwrap();
     let config = SimConfig {
         disk_read_bps: 30e6,
@@ -131,13 +157,17 @@ fn simulator_and_engine_agree_on_plan_ranking() {
         io_scale: 1.0,
         per_node_overhead_s: 0.0,
         compute_penalty: 0.0,
+        lanes: 1,
     };
     let sim = Simulator::new(config);
     let sim_base = sim.run_unoptimized(&w).unwrap();
     let sim_sc = sim.run(&w, &plan).unwrap();
     let sim_speedup = sim_base.total_s / sim_sc.total_s;
 
-    assert!(engine_speedup > 1.0, "engine: S/C must win ({engine_speedup:.2})");
+    assert!(
+        engine_speedup > 1.0,
+        "engine: S/C must win ({engine_speedup:.2})"
+    );
     assert!(sim_speedup > 1.0, "sim: S/C must win ({sim_speedup:.2})");
 }
 
@@ -148,7 +178,11 @@ fn repeated_refreshes_are_idempotent() {
     let second = sys.refresh(&plan).unwrap();
     assert_eq!(first.nodes.len(), second.nodes.len());
     for (a, b) in first.nodes.iter().zip(&second.nodes) {
-        assert_eq!(a.output_bytes, b.output_bytes, "{} changed between runs", a.name);
+        assert_eq!(
+            a.output_bytes, b.output_bytes,
+            "{} changed between runs",
+            a.name
+        );
         assert_eq!(a.rows, b.rows);
     }
 }

@@ -1,0 +1,283 @@
+//! Offline stub of `criterion`.
+//!
+//! Measures real wall time — warmup then a fixed sampling window — and
+//! prints mean/min per benchmark, but performs none of criterion's
+//! statistical analysis, HTML reporting, or baseline comparison. The API
+//! surface (groups, throughput, `bench_with_input`, the `criterion_group!`
+//! / `criterion_main!` macros) matches what the workspace's benches use,
+//! so swapping in the real crate later requires no source changes.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation, echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (the group provides the function name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives the timed closure.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding its output via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration: run until ~50 ms or 3 iterations.
+        let warmup_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_iters < 3 || warmup_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            calibration_iters += 1;
+            if calibration_iters >= 10_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / calibration_iters as u32;
+
+        // Measurement: `sample_size` timed iterations, capped to ~2 s.
+        let budget = Duration::from_secs(2);
+        let max_iters = if per_iter.is_zero() {
+            self.sample_size as u64
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, self.sample_size as u128)
+                as u64
+        };
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..max_iters {
+            let started = Instant::now();
+            black_box(routine());
+            let elapsed = started.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.result = Some(Sample {
+            mean: total / max_iters as u32,
+            min,
+            iters: max_iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(
+    full_name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(s) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  {:.0} elem/s", n as f64 / s.mean.as_secs_f64().max(1e-12))
+                }
+                Throughput::Bytes(n) => {
+                    format!(
+                        "  {:.1} MiB/s",
+                        n as f64 / s.mean.as_secs_f64().max(1e-12) / (1 << 20) as f64
+                    )
+                }
+            });
+            println!(
+                "bench {full_name:<48} mean {:>12}  min {:>12}  ({} iters){}",
+                fmt_duration(s.mean),
+                fmt_duration(s.min),
+                s.iters,
+                rate.unwrap_or_default()
+            );
+        }
+        None => println!("bench {full_name:<48} (no measurement: iter() never called)"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.default_sample_size, None, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the per-benchmark iteration target.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<D: fmt::Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (separator line, matching criterion's ritual).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(5);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(7)));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and their derives so
+//! workspace types keep their serialization-ready annotations while the
+//! build environment has no registry access. The traits are markers — no
+//! runtime serialization happens anywhere in the workspace today. Replace
+//! this stub with the real crates.io `serde` when network access exists.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

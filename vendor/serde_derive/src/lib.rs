@@ -1,0 +1,115 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The container this workspace builds in has no network access and no
+//! crates.io registry cache, so the real serde cannot be fetched. Nothing
+//! in the workspace currently serializes at runtime — the derives exist so
+//! types stay serialization-ready — therefore the derive macros here accept
+//! the same syntax (including `#[serde(...)]` helper attributes) and expand
+//! to marker-trait impls only. Swap this directory for the real crates.io
+//! dependency when the build environment gains registry access.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(impl_generics, ty_generics, name)` pieces from the item the
+/// derive is attached to, enough to emit `impl<...> Trait for Name<...>`.
+/// Handles the generics-free common case plus simple `<T, 'a>` parameter
+/// lists (no bounds are re-emitted; the marker traits need none).
+fn type_header(input: &TokenStream) -> Option<(String, String)> {
+    let mut iter = input.clone().into_iter().peekable();
+    // Skip attributes (`# [...]`) and visibility/keywords until the item
+    // keyword, then take the following identifier as the type name.
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    _ => return None,
+                };
+                // Collect a parameter list if one follows: `<...>`.
+                let mut params = Vec::new();
+                if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    iter.next();
+                    let mut depth = 1usize;
+                    let mut current = String::new();
+                    for tt in iter.by_ref() {
+                        match &tt {
+                            TokenTree::Punct(p) if p.as_char() == '<' => {
+                                depth += 1;
+                                current.push('<');
+                            }
+                            TokenTree::Punct(p) if p.as_char() == '>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                                current.push('>');
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                                params.push(std::mem::take(&mut current));
+                            }
+                            other => current.push_str(&other.to_string()),
+                        }
+                    }
+                    if !current.is_empty() {
+                        params.push(current);
+                    }
+                }
+                // Strip bounds/defaults: `T : Clone = X` -> `T`.
+                let names: Vec<String> = params
+                    .iter()
+                    .map(|p| p.split([':', '=']).next().unwrap_or("").trim().to_string())
+                    .filter(|p| !p.is_empty())
+                    .collect();
+                let generics = if names.is_empty() {
+                    String::new()
+                } else {
+                    format!("<{}>", names.join(","))
+                };
+                return Some((generics, name));
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let Some((generics, name)) = type_header(&input) else {
+        return TokenStream::new();
+    };
+    let params: Vec<&str> = generics
+        .strip_prefix('<')
+        .and_then(|g| g.strip_suffix('>'))
+        .map(|g| g.split(',').collect())
+        .unwrap_or_default();
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    impl_params.extend(params.iter().map(|p| p.to_string()));
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(","))
+    };
+    let trait_args = extra_lifetime
+        .map(|lt| format!("<{lt}>"))
+        .unwrap_or_default();
+    format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path}{trait_args} for {name}{generics} {{}}"
+    )
+    .parse()
+    .unwrap_or_default()
+}
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize", None)
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize", Some("'de_stub"))
+}

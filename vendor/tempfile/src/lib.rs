@@ -1,0 +1,76 @@
+//! Offline stub of `tempfile`: just [`tempdir`]/[`TempDir`], which is all
+//! the workspace's tests and examples use. Directories are created under
+//! the system temp dir with a process-unique, monotonic name and removed
+//! recursively on drop.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory that is deleted (recursively, best-effort) when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard without deleting the directory.
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a fresh directory under the system temp dir.
+pub fn tempdir() -> io::Result<TempDir> {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    loop {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(".sc-tmp-{}-{nanos}-{n}", std::process::id()));
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_use_drop() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        fs::write(path.join("f.txt"), b"hello").unwrap();
+        drop(dir);
+        assert!(!path.exists(), "directory must be removed on drop");
+    }
+
+    #[test]
+    fn distinct_paths() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
