@@ -1,0 +1,174 @@
+//! Criterion benchmark for the incremental (delta) refresh subsystem:
+//! full recomputation vs delta maintenance of the same MV pipeline at
+//! several delta fractions, over a throttled disk slow enough that the
+//! refresh strategy — not the host's NVMe — decides the timings.
+//!
+//! The pipeline has the shape incremental refresh targets: a filtered hub
+//! over the churning fact table, two mergeable aggregates consuming it,
+//! and two aggregates over untouched channels (skipped entirely by the
+//! delta path). Every measured iteration starts from the same snapshot:
+//! bases already updated (ingestion happens between refreshes in a real
+//! deployment), MVs one refresh behind.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sc_core::{Plan, RefreshMode};
+use sc_dag::NodeId;
+use sc_engine::controller::{Controller, MvDefinition, RefreshConfig};
+use sc_engine::exec::{AggFunc, TableDelta};
+use sc_engine::expr::Expr;
+use sc_engine::plan::{AggExpr, LogicalPlan};
+use sc_engine::storage::{DeltaStore, DiskCatalog, MemoryCatalog, Throttle};
+use sc_workload::tpcds::TinyTpcds;
+use sc_workload::updates::{generate_delta, UpdateStreamSpec};
+
+/// ~25 MB/s read, ~18 MB/s write (as in `refresh_lanes`).
+fn slow_disk(dir: &std::path::Path) -> DiskCatalog {
+    let slow = Throttle {
+        read_bps: 25e6,
+        write_bps: 18e6,
+        latency_s: 1e-3,
+    };
+    DiskCatalog::open_throttled(dir, slow).expect("opens")
+}
+
+/// Hub + two mergeable aggregates over the churning fact table, plus two
+/// aggregates over channels the update stream never touches.
+fn delta_pipeline() -> Vec<MvDefinition> {
+    vec![
+        MvDefinition::new(
+            "hot_sales",
+            LogicalPlan::scan("store_sales")
+                .filter(Expr::col("ss_sales_price").gt(Expr::lit(50.0f64))),
+        ),
+        MvDefinition::new(
+            "rev_by_item",
+            LogicalPlan::scan("hot_sales").aggregate(
+                vec!["ss_item_sk".into()],
+                vec![
+                    AggExpr::new(AggFunc::Sum, "ss_sales_price", "revenue"),
+                    AggExpr::new(AggFunc::Count, "ss_item_sk", "n"),
+                ],
+            ),
+        ),
+        MvDefinition::new(
+            "rev_by_store",
+            LogicalPlan::scan("hot_sales").aggregate(
+                vec!["ss_store_sk".into()],
+                vec![AggExpr::new(AggFunc::Sum, "ss_sales_price", "revenue")],
+            ),
+        ),
+        MvDefinition::new(
+            "catalog_by_item",
+            LogicalPlan::scan("catalog_sales").aggregate(
+                vec!["ss_item_sk".into()],
+                vec![AggExpr::new(AggFunc::Sum, "ss_sales_price", "catalog_rev")],
+            ),
+        ),
+        MvDefinition::new(
+            "web_by_item",
+            LogicalPlan::scan("web_sales").aggregate(
+                vec!["ss_item_sk".into()],
+                vec![AggExpr::new(AggFunc::Sum, "ss_sales_price", "web_rev")],
+            ),
+        ),
+    ]
+}
+
+/// Benchmark state: a throttled catalog whose bases are post-churn and
+/// whose MVs are one refresh behind, a file snapshot to restore between
+/// iterations, and the pending delta.
+struct DeltaBench {
+    _dir: tempfile::TempDir,
+    disk: DiskCatalog,
+    snapshot: std::path::PathBuf,
+    mvs: Vec<MvDefinition>,
+    plan: Plan,
+    delta: TableDelta,
+}
+
+impl DeltaBench {
+    fn prepare(fraction: f64) -> Self {
+        let dir = tempfile::tempdir().expect("tempdir");
+        let disk = slow_disk(dir.path());
+        TinyTpcds::generate(0.5, 42)
+            .load_into(&disk)
+            .expect("ingests");
+        let mvs = delta_pipeline();
+        let plan = Plan::unoptimized((0..mvs.len()).map(NodeId).collect());
+        let mem = MemoryCatalog::new(64 << 20);
+        Controller::new(&disk, &mem)
+            .refresh(&mvs, &plan)
+            .expect("baseline materialization");
+
+        // Churn the fact table and apply it to the stored base — in a real
+        // deployment ingestion lands between refreshes and is not part of
+        // either strategy's cost.
+        let sales = disk.read_table("store_sales").expect("reads");
+        let delta = generate_delta(&sales, &UpdateStreamSpec::inserts(fraction), 7);
+        disk.write_table("store_sales", &delta.apply(&sales).expect("applies"))
+            .expect("writes");
+
+        // Snapshot: bases post-churn, MVs pre-refresh.
+        let snapshot = dir.path().join("snapshot");
+        std::fs::create_dir_all(&snapshot).expect("mkdir");
+        for name in disk.list().expect("lists") {
+            let file = format!("{name}.sctb");
+            std::fs::copy(dir.path().join(&file), snapshot.join(&file)).expect("snapshots");
+        }
+        DeltaBench {
+            disk,
+            snapshot,
+            mvs,
+            plan,
+            delta,
+            _dir: dir,
+        }
+    }
+
+    /// Restores every table file from the snapshot (raw, unthrottled
+    /// copies — negligible next to the throttled refresh being measured).
+    fn restore(&self) {
+        for entry in std::fs::read_dir(&self.snapshot).expect("reads snapshot") {
+            let path = entry.expect("entry").path();
+            if path.extension().is_some_and(|e| e == "sctb") {
+                let name = path.file_name().expect("file name");
+                std::fs::copy(&path, self.disk.dir().join(name)).expect("restores");
+            }
+        }
+    }
+
+    fn refresh(&self, mode: RefreshMode) {
+        self.restore();
+        let store = DeltaStore::new();
+        store
+            .append("store_sales", self.delta.clone())
+            .expect("appends");
+        let mem = MemoryCatalog::new(64 << 20);
+        Controller::new(&self.disk, &mem)
+            .with_delta_store(&store)
+            .with_refresh_config(RefreshConfig::default().with_refresh_mode(mode))
+            .refresh(&self.mvs, &self.plan)
+            .expect("refreshes");
+    }
+}
+
+fn bench_refresh_delta(c: &mut Criterion) {
+    for fraction in [0.01f64, 0.05, 0.20] {
+        let bench = DeltaBench::prepare(fraction);
+        let mut g = c.benchmark_group(format!("refresh_delta_{}pct", (fraction * 100.0) as u32));
+        g.sample_size(10);
+        for (label, mode) in [
+            ("full", RefreshMode::AlwaysFull),
+            ("incremental", RefreshMode::AlwaysIncremental),
+        ] {
+            g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+                b.iter(|| bench.refresh(mode))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_refresh_delta);
+criterion_main!(benches);

@@ -1,3 +1,5 @@
+//! Optimizer errors.
+
 use std::fmt;
 
 use sc_dag::{DagError, NodeId};
@@ -8,11 +10,21 @@ pub enum OptError {
     /// The underlying graph operation failed.
     Dag(DagError),
     /// A speedup score was negative or not finite.
-    InvalidScore { node: NodeId, score: f64 },
+    InvalidScore {
+        /// The node carrying the bad score.
+        node: NodeId,
+        /// The offending score value.
+        score: f64,
+    },
     /// The Memory Catalog budget is zero; nothing can ever be flagged.
     ZeroBudget,
     /// A flag set has the wrong length for the problem.
-    FlagSetMismatch { expected: usize, got: usize },
+    FlagSetMismatch {
+        /// The problem's node count.
+        expected: usize,
+        /// The flag set's length.
+        got: usize,
+    },
     /// The MKP solver hit its node limit before proving optimality and no
     /// incumbent was found (cannot happen with a greedy warm start; kept for
     /// API completeness).

@@ -50,6 +50,8 @@
 //! assert!(problem.is_feasible(&plan.order, &plan.flagged).unwrap());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alternating;
 pub mod constraints;
 pub mod error;
@@ -70,7 +72,7 @@ pub use error::OptError;
 pub use memory::MemoryProfile;
 pub use plan::{FlagSet, Plan};
 pub use problem::{MvMeta, Problem};
-pub use replay::{run_ahead_window, AdmissionReplay};
+pub use replay::{run_ahead_window, AdmissionReplay, NodeMode, RefreshMode};
 pub use score::CostModel;
 
 /// Convenience alias used throughout the crate.

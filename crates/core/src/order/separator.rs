@@ -1,7 +1,7 @@
 //! Recursive graph-separator baseline for S/C Opt Order (§VI "Methods").
 //!
 //! A divide-and-conquer ordering in the spirit of Ravi et al. [70] and
-//! Rao-Richa [71]: the node set is recursively cut into a *prefix* half and
+//! Rao-Richa \[71\]: the node set is recursively cut into a *prefix* half and
 //! a *suffix* half (the prefix closed under ancestors, so the order stays
 //! topological), choosing the cut greedily to minimize the flagged size
 //! crossing it — flagged nodes whose consumers all land in the same half

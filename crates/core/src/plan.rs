@@ -1,3 +1,5 @@
+//! The optimizer's output language: flag sets and execution plans.
+
 use serde::{Deserialize, Serialize};
 
 use sc_dag::NodeId;

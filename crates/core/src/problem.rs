@@ -1,3 +1,6 @@
+//! Problem instances for S/C Opt: the annotated workload DAG plus the
+//! Memory Catalog budget.
+
 use serde::{Deserialize, Serialize};
 
 use sc_dag::{Dag, NodeId};

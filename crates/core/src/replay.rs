@@ -11,9 +11,47 @@
 //! can fix decisions as real output sizes arrive, while the simulator
 //! (which knows all sizes upfront) advances it in one call.
 
+use serde::{Deserialize, Serialize};
+
 use sc_dag::NodeId;
 
 use crate::plan::Plan;
+
+/// Policy for choosing between full recomputation and incremental (delta)
+/// maintenance of each MV during a refresh run.
+///
+/// The engine's controller and the simulator both consume this knob (via
+/// `RefreshConfig` and `SimConfig` respectively), so a policy choice can be
+/// evaluated analytically before it is deployed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefreshMode {
+    /// Choose per node: skip unchanged MVs, maintain incrementally when the
+    /// operators support it *and* the cost model predicts a win
+    /// ([`crate::CostModel::incremental_refresh_wins`]), recompute otherwise.
+    #[default]
+    Auto,
+    /// Recompute every MV from its (already-updated) inputs — the paper's
+    /// original behavior, and the baseline incremental refresh is judged
+    /// against.
+    AlwaysFull,
+    /// Maintain incrementally whenever the operators support it, regardless
+    /// of the cost model (unchanged MVs are still skipped). Useful for
+    /// benchmarking the incremental path itself.
+    AlwaysIncremental,
+}
+
+/// Per-node outcome of refresh-mode planning: how one MV will be brought
+/// up to date by the current refresh run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeMode {
+    /// Recompute the MV from its inputs and rewrite it.
+    Full,
+    /// Apply the propagated delta to the previous MV contents.
+    Incremental,
+    /// No pending delta reaches this MV: its stored contents are already
+    /// current and the node performs no work at all.
+    Skipped,
+}
 
 /// Incremental replayer for plan-order flag-admission decisions.
 #[derive(Debug, Clone)]

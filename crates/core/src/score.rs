@@ -88,6 +88,33 @@ impl CostModel {
         (num_children as f64 * read_saving + write_saving).max(0.0)
     }
 
+    /// Whether maintaining an MV incrementally is predicted to beat a full
+    /// recomputation, given `input_bytes` of (already-updated) inputs the
+    /// full path would re-read, `output_bytes` of current MV contents the
+    /// incremental path re-reads to apply the delta, and `delta_bytes` of
+    /// pending changes.
+    ///
+    /// Both paths rewrite the MV in full, so writes cancel; the decision is
+    /// read-side only: the full path scans every input from external
+    /// storage, while the incremental path reads the old MV plus
+    /// delta-sized change sets (charged once at storage speed for a
+    /// possible spilled delta file and once at memory speed for the
+    /// in-memory log). Compute is not modeled here — the delta operators'
+    /// work is proportional to `delta_bytes` and therefore dominated by
+    /// the terms already present.
+    pub fn incremental_refresh_wins(
+        &self,
+        input_bytes: u64,
+        output_bytes: u64,
+        delta_bytes: u64,
+    ) -> bool {
+        let full = self.disk_read_time(input_bytes);
+        let incremental = self.disk_read_time(output_bytes)
+            + self.disk_read_time(delta_bytes)
+            + self.mem_read_time(delta_bytes);
+        incremental < full
+    }
+
     /// Annotates a dependency graph of `(name, output size)` pairs with
     /// speedup scores, producing an S/C Opt instance.
     pub fn build_problem(&self, graph: &Dag<(String, u64)>, budget: u64) -> Result<Problem> {
@@ -140,6 +167,18 @@ mod tests {
             disk_latency_s: 0.0,
         };
         assert_eq!(m.speedup_score(GIB, 3), 0.0);
+    }
+
+    #[test]
+    fn incremental_wins_for_small_outputs_and_deltas() {
+        let m = CostModel::paper();
+        // Aggregate-shaped node: huge input, tiny MV, tiny delta.
+        assert!(m.incremental_refresh_wins(GIB, MIB, MIB / 10));
+        // Full-copy-shaped node: the old MV is as big as the input, so
+        // re-reading it buys nothing.
+        assert!(!m.incremental_refresh_wins(GIB, GIB, MIB));
+        // A delta as large as the input cannot win either.
+        assert!(!m.incremental_refresh_wins(GIB, MIB, 2 * GIB));
     }
 
     #[test]

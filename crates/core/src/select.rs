@@ -199,7 +199,7 @@ impl NodeSelector for RandomSelector {
     }
 }
 
-/// Baseline from Xin et al. [60]: prioritize nodes with the highest
+/// Baseline from Xin et al. \[60\]: prioritize nodes with the highest
 /// speedup-score-to-size ratio.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RatioSelector;

@@ -6,18 +6,46 @@ use crate::NodeId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DagError {
     /// A node id referenced a node that does not exist in the graph.
-    NodeOutOfBounds { node: NodeId, len: usize },
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
     /// An edge `from -> to` would have created a self loop.
-    SelfLoop { node: NodeId },
+    SelfLoop {
+        /// The node the edge would have looped on.
+        node: NodeId,
+    },
     /// An edge `from -> to` would have created a cycle.
-    WouldCycle { from: NodeId, to: NodeId },
+    WouldCycle {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
     /// The same edge was inserted twice.
-    DuplicateEdge { from: NodeId, to: NodeId },
+    DuplicateEdge {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
     /// A permutation handed to an order-sensitive API was not a valid
     /// permutation of the node set (wrong length or repeated ids).
-    InvalidPermutation { expected: usize, got: usize },
+    InvalidPermutation {
+        /// Expected number of distinct node ids.
+        expected: usize,
+        /// Number actually supplied.
+        got: usize,
+    },
     /// A permutation was a valid permutation but violated a dependency.
-    NotTopological { from: NodeId, to: NodeId },
+    NotTopological {
+        /// Dependency source (must run first).
+        from: NodeId,
+        /// Dependency target (scheduled too early).
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for DagError {

@@ -34,6 +34,8 @@
 //! assert_eq!(order[0], mv1);
 //! ```
 
+#![warn(missing_docs)]
+
 mod algo;
 mod dot;
 mod error;

@@ -37,11 +37,12 @@ use std::collections::HashMap;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
-use sc_core::Plan;
+use sc_core::{CostModel, FlagSet, NodeMode, Plan, RefreshMode};
 use sc_dag::NodeId;
 
-use crate::plan::{LogicalPlan, TableSource};
-use crate::storage::{DiskCatalog, MemoryCatalog};
+use crate::exec::TableDelta;
+use crate::plan::{DeltaSource, LogicalPlan, TableSource};
+use crate::storage::{DeltaStore, DiskCatalog, MemoryCatalog};
 use crate::table::Table;
 use crate::{EngineError, Result};
 
@@ -73,27 +74,46 @@ pub struct ControllerConfig {
     /// *estimated* sizes, so a small estimation error must not abort a
     /// refresh.
     pub fallback_on_memory_pressure: bool,
+    /// Cost model consulted by [`RefreshMode::Auto`] when deciding whether
+    /// a node is maintained incrementally or recomputed
+    /// ([`CostModel::incremental_refresh_wins`]).
+    pub cost_model: CostModel,
 }
 
 impl Default for ControllerConfig {
     fn default() -> Self {
         ControllerConfig {
             fallback_on_memory_pressure: true,
+            cost_model: CostModel::paper(),
         }
     }
 }
 
-/// Parallelism settings for a refresh run.
+/// Parallelism and maintenance settings for a refresh run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefreshConfig {
     /// Number of compute lanes (worker threads) executing DAG nodes.
     /// `1` reproduces the paper's sequential controller exactly.
     pub lanes: usize,
+    /// Bounded run-ahead window for the multi-lane executor: a node may
+    /// only start once every node more than this many plan positions ahead
+    /// of it has computed. `None` (default) derives the window from the
+    /// lane count via [`sc_core::run_ahead_window`]; operators can trade
+    /// transient out-of-catalog memory against lane utilization by setting
+    /// it explicitly.
+    pub run_ahead_window: Option<usize>,
+    /// Full-vs-incremental maintenance policy, effective only when a
+    /// [`DeltaStore`] is attached ([`Controller::with_delta_store`]).
+    pub refresh_mode: RefreshMode,
 }
 
 impl Default for RefreshConfig {
     fn default() -> Self {
-        RefreshConfig { lanes: 1 }
+        RefreshConfig {
+            lanes: 1,
+            run_ahead_window: None,
+            refresh_mode: RefreshMode::Auto,
+        }
     }
 }
 
@@ -102,7 +122,20 @@ impl RefreshConfig {
     pub fn with_lanes(lanes: usize) -> Self {
         RefreshConfig {
             lanes: lanes.max(1),
+            ..RefreshConfig::default()
         }
+    }
+
+    /// Overrides the multi-lane run-ahead window.
+    pub fn with_run_ahead_window(mut self, window: usize) -> Self {
+        self.run_ahead_window = Some(window);
+        self
+    }
+
+    /// Overrides the maintenance policy.
+    pub fn with_refresh_mode(mut self, mode: RefreshMode) -> Self {
+        self.refresh_mode = mode;
+        self
     }
 }
 
@@ -111,6 +144,11 @@ impl RefreshConfig {
 pub struct NodeMetrics {
     /// MV name.
     pub name: String,
+    /// How the node was brought up to date (full recompute, incremental
+    /// delta maintenance, or skipped because nothing changed).
+    pub mode: NodeMode,
+    /// Size of the node's propagated delta (0 under full recompute).
+    pub delta_bytes: u64,
     /// Seconds spent reading inputs from external storage.
     pub read_s: f64,
     /// Seconds spent in operators (total node time minus storage reads).
@@ -130,6 +168,27 @@ pub struct NodeMetrics {
     pub memory_reads: usize,
     /// How many inputs were read from external storage.
     pub disk_reads: usize,
+}
+
+impl NodeMetrics {
+    /// Metrics for a node the run skipped outright (no delta reached it):
+    /// no I/O, no compute, nothing flagged.
+    pub fn skipped(name: impl Into<String>) -> Self {
+        NodeMetrics {
+            name: name.into(),
+            mode: NodeMode::Skipped,
+            delta_bytes: 0,
+            read_s: 0.0,
+            compute_s: 0.0,
+            write_s: 0.0,
+            output_bytes: 0,
+            rows: 0,
+            flagged: false,
+            fell_back: false,
+            memory_reads: 0,
+            disk_reads: 0,
+        }
+    }
 }
 
 /// Outcome of a refresh run.
@@ -171,6 +230,45 @@ pub struct Controller<'a> {
     memory: &'a MemoryCatalog,
     config: ControllerConfig,
     refresh: RefreshConfig,
+    deltas: Option<&'a DeltaStore>,
+}
+
+/// Catalog/storage name under which a node's *output delta* travels (the
+/// `#` cannot appear in a scanned table name's path form, and spilled
+/// delta files are removed at the end of every run).
+fn delta_entry_name(mv: &str) -> String {
+    format!("{mv}#delta")
+}
+
+/// Per-run incremental-maintenance plan, fixed before execution so the
+/// sequential and multi-lane executors make identical choices.
+struct DeltaPlan {
+    /// How each node is brought up to date.
+    modes: Vec<NodeMode>,
+    /// Whether the node's output delta is computed (row-wise incremental).
+    publishes: Vec<bool>,
+    /// Flagged nodes whose Memory Catalog payload is their delta rather
+    /// than their full output (every consumer maintains incrementally, so
+    /// only delta-sized budget is reserved).
+    delta_payload: Vec<bool>,
+    /// Nodes that must spill their delta to a storage file because some
+    /// incremental consumer cannot read it from the catalog.
+    spill: Vec<bool>,
+    /// Effective flags: the plan's flags minus skipped nodes.
+    flagged: FlagSet,
+}
+
+impl DeltaPlan {
+    /// The all-full plan used when no delta log is attached.
+    fn full(plan: &Plan, n: usize) -> Self {
+        DeltaPlan {
+            modes: vec![NodeMode::Full; n],
+            publishes: vec![false; n],
+            delta_payload: vec![false; n],
+            spill: vec![false; n],
+            flagged: plan.flagged.clone(),
+        }
+    }
 }
 
 /// Table resolver that prefers the Memory Catalog and accounts read time.
@@ -219,11 +317,91 @@ impl TableSource for RunSource<'_> {
     }
 }
 
+/// Resolves input deltas for one node: base-table deltas come from the
+/// run's point-in-time snapshot of the delta log (so batches ingested
+/// mid-run are invisible to every node alike), parent-MV deltas from the
+/// parent's published `#delta` entry via the regular table source (Memory
+/// Catalog first, spilled storage file second) — so delta reads are
+/// delta-sized I/O on the same channels as everything else.
+struct RunDeltaSource<'a, 'b> {
+    pending: Option<&'b HashMap<String, TableDelta>>,
+    /// MV name -> node index for MVs in the current run.
+    index: &'b HashMap<&'b str, usize>,
+    source: &'b RunSource<'a>,
+}
+
+impl DeltaSource for RunDeltaSource<'_, '_> {
+    fn delta(&self, name: &str) -> Result<TableDelta> {
+        if self.index.contains_key(name) {
+            let encoded = self.source.table(&delta_entry_name(name))?;
+            return TableDelta::from_table(&encoded);
+        }
+        self.pending
+            .and_then(|m| m.get(name))
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(format!("{name} (pending delta)")))
+    }
+}
+
+/// Result of maintaining one node incrementally.
+struct IncrementalOutput {
+    /// The node's new contents (old contents + applied delta).
+    output: Table,
+    /// The node's output delta, for row-wise plans (aggregate merges do
+    /// not publish one).
+    delta: Option<TableDelta>,
+    /// Size of the propagated delta.
+    delta_bytes: u64,
+}
+
+/// Maintains `mv` incrementally: row-wise plans propagate the input delta
+/// and apply it to the stored contents; an aggregate root merges its
+/// input's delta into the stored result.
+fn execute_incremental(
+    mv: &MvDefinition,
+    source: &RunSource<'_>,
+    deltas: &RunDeltaSource<'_, '_>,
+) -> Result<IncrementalOutput> {
+    if let LogicalPlan::Aggregate {
+        input,
+        group_by,
+        aggs,
+    } = &mv.plan
+    {
+        let delta_in = input.execute_delta(deltas)?;
+        let current = source.table(&mv.name)?;
+        let triples: Vec<_> = aggs
+            .iter()
+            .map(|a| (a.func, a.column.clone(), a.alias.clone()))
+            .collect();
+        let output = crate::exec::merge_aggregate(&current, &delta_in, group_by, &triples)?;
+        return Ok(IncrementalOutput {
+            output,
+            delta: None,
+            delta_bytes: delta_in.byte_size(),
+        });
+    }
+    let delta_out = mv.plan.execute_delta(deltas)?;
+    let current = source.table(&mv.name)?;
+    let output = delta_out.apply(&current)?;
+    Ok(IncrementalOutput {
+        output,
+        delta_bytes: delta_out.byte_size(),
+        delta: Some(delta_out),
+    })
+}
+
 /// Input/output metrics captured by a worker while computing one node.
 struct ComputedNode {
     output: Arc<Table>,
+    /// Encoded output delta, when the node publishes one that the catalog
+    /// or a fallback spill may need.
+    delta_table: Option<Arc<Table>>,
+    delta_bytes: u64,
     read_s: f64,
     compute_s: f64,
+    /// Blocking delta-spill write performed during compute.
+    spill_write_s: f64,
     memory_reads: usize,
     disk_reads: usize,
 }
@@ -233,10 +411,13 @@ enum LaneTask {
     /// Execute the node's logical plan.
     Compute(usize),
     /// Blocking materialization of a computed output (unflagged nodes and
-    /// memory-pressure fallbacks).
+    /// memory-pressure fallbacks). `spill` carries an encoded delta that
+    /// must also land on storage (a delta-payload admission that fell
+    /// back, whose incremental consumers now read the spill).
     Write {
         idx: usize,
         output: Arc<Table>,
+        spill: Option<Arc<Table>>,
         fell_back: bool,
     },
 }
@@ -270,7 +451,16 @@ impl<'a> Controller<'a> {
             memory,
             config: ControllerConfig::default(),
             refresh: RefreshConfig::default(),
+            deltas: None,
         }
+    }
+
+    /// Attaches the pending delta log, enabling incremental maintenance
+    /// (per [`RefreshConfig::refresh_mode`]). A successful refresh consumes
+    /// the log.
+    pub fn with_delta_store(mut self, deltas: &'a DeltaStore) -> Self {
+        self.deltas = Some(deltas);
+        self
     }
 
     /// Overrides the configuration.
@@ -344,13 +534,144 @@ impl<'a> Controller<'a> {
         Ok(edges)
     }
 
+    /// Fixes every node's maintenance mode before execution (shared by the
+    /// sequential and multi-lane paths, so lane count cannot change what a
+    /// refresh computes).
+    ///
+    /// Walking `plan.order` (a topological order): a node can be
+    /// maintained incrementally only when the delta of *every* input is
+    /// known — base tables always are (the attached log), parent MVs only
+    /// when they are themselves skipped or publish a delta. A node all of
+    /// whose input deltas are empty is skipped outright. Otherwise the
+    /// operator tree must support the delta's shape
+    /// ([`LogicalPlan::incremental_support`]), the MV must already exist
+    /// on storage, and — under [`RefreshMode::Auto`] — the cost model must
+    /// predict a win over recomputation.
+    fn plan_deltas(
+        &self,
+        mvs: &[MvDefinition],
+        plan: &Plan,
+        edges: &[(usize, usize)],
+        snapshot: Option<&HashMap<String, TableDelta>>,
+        poisoned: bool,
+    ) -> DeltaPlan {
+        let n = mvs.len();
+        let mut dp = DeltaPlan::full(plan, n);
+        let index: HashMap<&str, usize> = mvs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.as_str(), i))
+            .collect();
+        let pending = match snapshot {
+            Some(p) if self.refresh.refresh_mode != RefreshMode::AlwaysFull => p,
+            _ => return dp,
+        };
+        // Estimated propagated delta bytes and delete-presence, per node.
+        let mut est_delta = vec![0u64; n];
+        let mut has_deletes = vec![false; n];
+        for &node in &plan.order {
+            let idx = node.index();
+            let mv = &mvs[idx];
+            if !self.disk.contains(&mv.name) {
+                continue; // first materialization is necessarily full
+            }
+            let mut known = true;
+            let mut nonempty = false;
+            let mut deletes = false;
+            let mut delta_bytes = 0u64;
+            let mut input_bytes = 0u64;
+            for input in mv.plan.input_tables() {
+                input_bytes += self.disk.size_of(&input).unwrap_or(0);
+                if let Some(&p) = index.get(input.as_str()) {
+                    match dp.modes[p] {
+                        NodeMode::Skipped => {}
+                        NodeMode::Incremental if dp.publishes[p] => {
+                            delta_bytes += est_delta[p];
+                            deletes |= has_deletes[p];
+                            nonempty = true;
+                        }
+                        _ => {
+                            known = false;
+                            break;
+                        }
+                    }
+                } else if let Some(d) = pending.get(&input) {
+                    if !d.is_empty() {
+                        delta_bytes += d.byte_size();
+                        deletes |= d.has_deletes();
+                        nonempty = true;
+                    }
+                }
+            }
+            if !known {
+                continue;
+            }
+            if !nonempty {
+                // Nothing reached the node: skipping is safe even after a
+                // failed run (its contents were never touched).
+                dp.modes[idx] = NodeMode::Skipped;
+                continue;
+            }
+            if poisoned {
+                // A failed earlier run may have baked these deltas into
+                // this MV already; only a full recompute is idempotent.
+                continue;
+            }
+            let support = mv.plan.incremental_support();
+            if !support.maintainable(deletes) {
+                continue;
+            }
+            let incremental = match self.refresh.refresh_mode {
+                RefreshMode::AlwaysIncremental => true,
+                RefreshMode::Auto => self.config.cost_model.incremental_refresh_wins(
+                    input_bytes,
+                    self.disk.size_of(&mv.name).unwrap_or(0),
+                    delta_bytes,
+                ),
+                RefreshMode::AlwaysFull => unreachable!("checked above"),
+            };
+            if incremental {
+                dp.modes[idx] = NodeMode::Incremental;
+                dp.publishes[idx] = support.publishes_delta();
+                est_delta[idx] = delta_bytes;
+                has_deletes[idx] = deletes;
+            }
+        }
+
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(i, j) in edges {
+            children[i].push(j);
+        }
+        dp.flagged = (0..n)
+            .map(|i| plan.flagged.contains(NodeId(i)) && dp.modes[i] != NodeMode::Skipped)
+            .collect();
+        for (i, kids) in children.iter().enumerate() {
+            let inc_children = kids
+                .iter()
+                .filter(|&&c| dp.modes[c] == NodeMode::Incremental)
+                .count();
+            dp.delta_payload[i] = dp.flagged.contains(NodeId(i))
+                && dp.publishes[i]
+                && !kids.is_empty()
+                && inc_children == kids.len();
+            dp.spill[i] = dp.publishes[i] && inc_children > 0 && !dp.delta_payload[i];
+        }
+        dp
+    }
+
     /// Performs the refresh run described by `plan` over `mvs`.
     pub fn refresh(&self, mvs: &[MvDefinition], plan: &Plan) -> Result<RunMetrics> {
         let edges = self.validate(mvs, plan)?;
+        // Work from a point-in-time snapshot of the delta log: every node
+        // sees the same pending batches even if ingestion continues while
+        // the run executes, and only the snapshotted prefix is consumed.
+        let snapshot = self.deltas.map(|s| s.snapshot());
+        let poisoned = self.deltas.map(|s| s.is_poisoned()).unwrap_or(false);
+        let dp = self.plan_deltas(mvs, plan, &edges, snapshot.as_ref(), poisoned);
         let result = if self.refresh.lanes <= 1 {
-            self.refresh_sequential(mvs, plan, &edges)
+            self.refresh_sequential(mvs, plan, &edges, &dp, snapshot.as_ref())
         } else {
-            self.refresh_parallel(mvs, plan, &edges)
+            self.refresh_parallel(mvs, plan, &edges, &dp, snapshot.as_ref())
         };
         if result.is_err() {
             // A failed run must not leave admitted entries behind: they
@@ -358,6 +679,26 @@ impl<'a> Controller<'a> {
             // subsequent refresh on this catalog pair.
             for mv in mvs {
                 self.memory.remove(&mv.name);
+                self.memory.remove(&delta_entry_name(&mv.name));
+            }
+        }
+        // Spilled delta files are transient, scoped to this run: a stale
+        // one would be mistaken for a parent delta by the next refresh.
+        for (i, mv) in mvs.iter().enumerate() {
+            if dp.publishes[i] {
+                let _ = self.disk.drop_table(&delta_entry_name(&mv.name));
+            }
+        }
+        if let Some(store) = self.deltas {
+            match (&result, &snapshot) {
+                // Every MV is now current: retire the consumed prefix.
+                (Ok(_), Some(snap)) => store.consume(snap),
+                // Some MVs may already hold applied deltas while the log
+                // still pends: force full recomputes until it drains.
+                (Err(_), Some(snap)) if snap.values().any(|d| !d.is_empty()) => {
+                    store.mark_poisoned()
+                }
+                _ => {}
             }
         }
         result
@@ -370,8 +711,15 @@ impl<'a> Controller<'a> {
         mvs: &[MvDefinition],
         plan: &Plan,
         edges: &[(usize, usize)],
+        dp: &DeltaPlan,
+        snapshot: Option<&HashMap<String, TableDelta>>,
     ) -> Result<RunMetrics> {
         let n = mvs.len();
+        let index: HashMap<&str, usize> = mvs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.as_str(), i))
+            .collect();
 
         // Remaining-consumer counts for release bookkeeping.
         let mut remaining_children = vec![0usize; n];
@@ -405,6 +753,9 @@ impl<'a> Controller<'a> {
             // Release state per node: children pending + write pending.
             let mut write_pending = vec![false; n];
             let mut resident = vec![false; n];
+            // Catalog entry held per resident node (a delta-payload node's
+            // entry is its published delta, not its table).
+            let mut catalog_names: Vec<String> = mvs.iter().map(|m| m.name.clone()).collect();
 
             let process_done = |timeout: Option<std::time::Duration>,
                                 write_pending: &mut Vec<bool>,
@@ -426,22 +777,75 @@ impl<'a> Controller<'a> {
                 Ok(true)
             };
 
+            // The executed node consumed its parents: release every entry
+            // whose consumers have now all run (§III-C).
+            let release_parents = |idx: usize,
+                                   remaining_children: &mut Vec<usize>,
+                                   resident: &mut Vec<bool>,
+                                   catalog_names: &[String]| {
+                for &(i, j) in edges {
+                    if j == idx {
+                        remaining_children[i] -= 1;
+                        if remaining_children[i] == 0 && resident[i] {
+                            self.memory.remove(&catalog_names[i]);
+                            resident[i] = false;
+                        }
+                    }
+                }
+            };
+
             for &node in &plan.order {
                 let idx = node.index();
                 let mv = &mvs[idx];
-                let source = RunSource::new(self.memory, self.disk);
 
+                if dp.modes[idx] == NodeMode::Skipped {
+                    // Nothing reaches this MV: its stored contents are
+                    // already current. It still counts as an executed
+                    // consumer for release bookkeeping below.
+                    metrics_nodes.push(NodeMetrics::skipped(&mv.name));
+                    release_parents(idx, &mut remaining_children, &mut resident, &catalog_names);
+                    while process_done(None, &mut write_pending, mvs)? {}
+                    continue;
+                }
+
+                let source = RunSource::new(self.memory, self.disk);
                 let node_started = Instant::now();
-                let output = Arc::new(mv.plan.execute(&source)?);
+                let (output, delta, delta_bytes) = if dp.modes[idx] == NodeMode::Incremental {
+                    let deltas = RunDeltaSource {
+                        pending: snapshot,
+                        index: &index,
+                        source: &source,
+                    };
+                    let inc = execute_incremental(mv, &source, &deltas)?;
+                    (Arc::new(inc.output), inc.delta, inc.delta_bytes)
+                } else {
+                    (Arc::new(mv.plan.execute(&source)?), None, 0)
+                };
                 let exec_elapsed = node_started.elapsed().as_secs_f64();
                 let read_s = source.read_s.get();
                 let compute_s = (exec_elapsed - read_s).max(0.0);
                 let output_bytes = output.byte_size();
                 let rows = output.num_rows();
 
-                let is_flagged = plan.flagged.contains(NodeId(idx));
+                // Encode the published delta once for spill and/or catalog.
+                let delta_table: Option<Arc<Table>> = match &delta {
+                    Some(d) if dp.spill[idx] || dp.delta_payload[idx] => {
+                        Some(Arc::new(d.to_table()?))
+                    }
+                    _ => None,
+                };
+                let is_flagged = dp.flagged.contains(NodeId(idx));
                 let mut write_s = 0.0;
                 let mut fell_back = false;
+
+                if dp.spill[idx] {
+                    let w = Instant::now();
+                    self.disk.write_table(
+                        &delta_entry_name(&mv.name),
+                        delta_table.as_ref().expect("spill implies published delta"),
+                    )?;
+                    write_s += w.elapsed().as_secs_f64();
+                }
 
                 if is_flagged && !has_children[idx] {
                     // No consumers: skip the catalog (it is outside every
@@ -451,9 +855,18 @@ impl<'a> Controller<'a> {
                         .send((idx, mv.name.clone(), output))
                         .map_err(|e| EngineError::Materialize(e.to_string()))?;
                 } else if is_flagged {
-                    match self.memory.insert(&mv.name, output.clone()) {
+                    let (entry_name, payload) = if dp.delta_payload[idx] {
+                        (
+                            delta_entry_name(&mv.name),
+                            Arc::clone(delta_table.as_ref().expect("delta payload published")),
+                        )
+                    } else {
+                        (mv.name.clone(), Arc::clone(&output))
+                    };
+                    match self.memory.insert(&entry_name, payload) {
                         Ok(()) => {
                             resident[idx] = true;
+                            catalog_names[idx] = entry_name;
                             write_pending[idx] = true;
                             work_tx
                                 .send((idx, mv.name.clone(), output))
@@ -464,19 +877,29 @@ impl<'a> Controller<'a> {
                         {
                             fell_back = true;
                             let w = Instant::now();
+                            if dp.delta_payload[idx] {
+                                // Incremental consumers now read the delta
+                                // from storage instead of the catalog.
+                                self.disk.write_table(
+                                    &delta_entry_name(&mv.name),
+                                    delta_table.as_ref().expect("delta payload published"),
+                                )?;
+                            }
                             self.disk.write_table(&mv.name, &output)?;
-                            write_s = w.elapsed().as_secs_f64();
+                            write_s += w.elapsed().as_secs_f64();
                         }
                         Err(e) => return Err(e),
                     }
                 } else {
                     let w = Instant::now();
                     self.disk.write_table(&mv.name, &output)?;
-                    write_s = w.elapsed().as_secs_f64();
+                    write_s += w.elapsed().as_secs_f64();
                 }
 
                 metrics_nodes.push(NodeMetrics {
                     name: mv.name.clone(),
+                    mode: dp.modes[idx],
+                    delta_bytes,
                     read_s,
                     compute_s,
                     write_s,
@@ -488,20 +911,10 @@ impl<'a> Controller<'a> {
                     disk_reads: source.disk_reads.get(),
                 });
 
-                // This node consumed its parents: update release counts.
-                // Per §III-C a flagged entry is freed as soon as all of its
-                // dependents complete; the materializer thread holds its own
-                // reference, so releasing the catalog budget is safe even
-                // while the background write is still in flight.
-                for &(i, j) in edges {
-                    if j == idx {
-                        remaining_children[i] -= 1;
-                        if remaining_children[i] == 0 && resident[i] {
-                            self.memory.remove(&mvs[i].name);
-                            resident[i] = false;
-                        }
-                    }
-                }
+                // The materializer thread holds its own reference, so
+                // releasing the catalog budget is safe even while the
+                // background write is still in flight.
+                release_parents(idx, &mut remaining_children, &mut resident, &catalog_names);
 
                 // Opportunistically drain materializer completions.
                 while process_done(None, &mut write_pending, mvs)? {}
@@ -525,7 +938,7 @@ impl<'a> Controller<'a> {
             // now — every node has executed).
             for (idx, r) in resident.iter().enumerate() {
                 if *r {
-                    self.memory.remove(&mvs[idx].name);
+                    self.memory.remove(&catalog_names[idx]);
                 }
             }
             Ok(())
@@ -536,6 +949,71 @@ impl<'a> Controller<'a> {
             nodes: metrics_nodes,
             peak_memory_bytes: self.memory.peak(),
             final_drain_s,
+        })
+    }
+
+    /// Computes one node for the multi-lane executor (worker-side): runs
+    /// the node's plan — full or incremental per the fixed delta plan —
+    /// and spills the published delta to storage when some incremental
+    /// consumer must read it from there. Skipped nodes return an empty
+    /// placeholder so the pool's readiness machinery stays uniform.
+    fn compute_node(
+        &self,
+        mvs: &[MvDefinition],
+        index: &HashMap<&str, usize>,
+        dp: &DeltaPlan,
+        snapshot: Option<&HashMap<String, TableDelta>>,
+        idx: usize,
+    ) -> Result<ComputedNode> {
+        if dp.modes[idx] == NodeMode::Skipped {
+            return Ok(ComputedNode {
+                output: Arc::new(Table::empty(crate::schema::Schema::empty())),
+                delta_table: None,
+                delta_bytes: 0,
+                read_s: 0.0,
+                compute_s: 0.0,
+                spill_write_s: 0.0,
+                memory_reads: 0,
+                disk_reads: 0,
+            });
+        }
+        let source = RunSource::new(self.memory, self.disk);
+        let started = Instant::now();
+        let (output, delta, delta_bytes) = if dp.modes[idx] == NodeMode::Incremental {
+            let deltas = RunDeltaSource {
+                pending: snapshot,
+                index,
+                source: &source,
+            };
+            let inc = execute_incremental(&mvs[idx], &source, &deltas)?;
+            (Arc::new(inc.output), inc.delta, inc.delta_bytes)
+        } else {
+            (Arc::new(mvs[idx].plan.execute(&source)?), None, 0)
+        };
+        let elapsed = started.elapsed().as_secs_f64();
+        let read_s = source.read_s.get();
+        let delta_table = match &delta {
+            Some(d) if dp.spill[idx] || dp.delta_payload[idx] => Some(Arc::new(d.to_table()?)),
+            _ => None,
+        };
+        let mut spill_write_s = 0.0;
+        if dp.spill[idx] {
+            let w = Instant::now();
+            self.disk.write_table(
+                &delta_entry_name(&mvs[idx].name),
+                delta_table.as_ref().expect("spill implies published delta"),
+            )?;
+            spill_write_s = w.elapsed().as_secs_f64();
+        }
+        Ok(ComputedNode {
+            output,
+            delta_table,
+            delta_bytes,
+            read_s,
+            compute_s: (elapsed - read_s).max(0.0),
+            spill_write_s,
+            memory_reads: source.memory_reads.get(),
+            disk_reads: source.disk_reads.get(),
         })
     }
 
@@ -562,12 +1040,30 @@ impl<'a> Controller<'a> {
         mvs: &[MvDefinition],
         plan: &Plan,
         edges: &[(usize, usize)],
+        dp: &DeltaPlan,
+        snapshot: Option<&HashMap<String, TableDelta>>,
     ) -> Result<RunMetrics> {
         let n = mvs.len();
         let lanes = self.refresh.lanes.min(n.max(1));
         // Transient (out-of-catalog) outputs are bounded by roughly this
         // many nodes beyond the computed plan-order prefix.
-        let window = sc_core::run_ahead_window(lanes);
+        let window = self
+            .refresh
+            .run_ahead_window
+            .unwrap_or_else(|| sc_core::run_ahead_window(lanes));
+        let index: HashMap<&str, usize> = mvs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.as_str(), i))
+            .collect();
+        // The executor works against the *effective* flags (skipped nodes
+        // never enter the catalog), in a plan the shared admission replayer
+        // can consume.
+        let eff_plan = Plan {
+            order: plan.order.clone(),
+            flagged: dp.flagged.clone(),
+        };
+        let plan = &eff_plan;
 
         let mut remaining_children = vec![0usize; n];
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -623,6 +1119,7 @@ impl<'a> Controller<'a> {
             for _ in 0..lanes {
                 let task_rx = Arc::clone(&task_rx);
                 let msg_tx = msg_tx.clone();
+                let index = &index;
                 scope.spawn(move || loop {
                     // Workers race for the receiver; holding the lock while
                     // blocked in recv is fine — the holder is handed the
@@ -633,33 +1130,26 @@ impl<'a> Controller<'a> {
                     };
                     let send = match task {
                         LaneTask::Compute(idx) => {
-                            let source = RunSource::new(self.memory, self.disk);
-                            let started = Instant::now();
-                            match mvs[idx].plan.execute(&source) {
-                                Ok(output) => {
-                                    let elapsed = started.elapsed().as_secs_f64();
-                                    let read_s = source.read_s.get();
-                                    LaneMsg::Computed {
-                                        idx,
-                                        node: ComputedNode {
-                                            output: Arc::new(output),
-                                            read_s,
-                                            compute_s: (elapsed - read_s).max(0.0),
-                                            memory_reads: source.memory_reads.get(),
-                                            disk_reads: source.disk_reads.get(),
-                                        },
-                                    }
-                                }
+                            match self.compute_node(mvs, index, dp, snapshot, idx) {
+                                Ok(node) => LaneMsg::Computed { idx, node },
                                 Err(error) => LaneMsg::ComputeFailed { error },
                             }
                         }
                         LaneTask::Write {
                             idx,
                             output,
+                            spill,
                             fell_back,
                         } => {
                             let w = Instant::now();
-                            let result = self.disk.write_table(&mvs[idx].name, &output);
+                            let result = spill
+                                .map(|d| {
+                                    self.disk
+                                        .write_table(&delta_entry_name(&mvs[idx].name), &d)
+                                        .map(|_| ())
+                                })
+                                .unwrap_or(Ok(()))
+                                .and_then(|()| self.disk.write_table(&mvs[idx].name, &output));
                             LaneMsg::Written {
                                 idx,
                                 write_s: w.elapsed().as_secs_f64(),
@@ -679,6 +1169,7 @@ impl<'a> Controller<'a> {
             drop(msg_tx);
 
             let mut resident = vec![false; n];
+            let mut catalog_names: Vec<String> = mvs.iter().map(|m| m.name.clone()).collect();
             let mut bg_pending = vec![false; n];
             let mut next_admit = 0usize;
             let mut awaiting_admission: HashMap<usize, ComputedNode> = HashMap::new();
@@ -742,26 +1233,54 @@ impl<'a> Controller<'a> {
                     LaneMsg::ComputeFailed { error } => return Err(error),
                     LaneMsg::Computed { idx, node } => {
                         computed[idx] = true;
-                        sizes[idx] = node.output.byte_size();
+                        // Catalog accounting sees the node's payload: its
+                        // delta when every consumer maintains
+                        // incrementally, its full output otherwise.
+                        sizes[idx] = if dp.delta_payload[idx] {
+                            node.delta_table
+                                .as_ref()
+                                .map(|d| d.byte_size())
+                                .unwrap_or(0)
+                        } else {
+                            node.output.byte_size()
+                        };
                         // This node consumed its parents: release any whose
                         // consumers have now all executed.
                         for &i in &parents[idx] {
                             remaining_children[i] -= 1;
                             if remaining_children[i] == 0 && resident[i] {
-                                self.memory.remove(&mvs[i].name);
+                                self.memory.remove(&catalog_names[i]);
                                 resident[i] = false;
                             }
                         }
                         let is_flagged = plan.flagged.contains(NodeId(idx));
-                        if is_flagged && !has_children[idx] {
+                        if dp.modes[idx] == NodeMode::Skipped {
+                            // Stored contents already current: nothing to
+                            // write or admit, publish immediately.
+                            metrics[idx] = Some(NodeMetrics::skipped(&mvs[idx].name));
+                            finalized += 1;
+                            publish(
+                                idx,
+                                &mut pending_parents,
+                                &mut held,
+                                replay.prefix(),
+                                &task_tx,
+                            )?;
+                        } else if is_flagged && !has_children[idx] {
                             // No consumers: bypass the catalog, background
                             // the write, and publish immediately.
                             bg_pending[idx] = true;
                             bg_tx
                                 .send((idx, mvs[idx].name.clone(), Arc::clone(&node.output)))
                                 .map_err(|e| EngineError::Materialize(e.to_string()))?;
-                            metrics[idx] =
-                                Some(node_metrics(&mvs[idx].name, &node, 0.0, true, false));
+                            metrics[idx] = Some(node_metrics(
+                                &mvs[idx].name,
+                                &node,
+                                dp.modes[idx],
+                                0.0,
+                                true,
+                                false,
+                            ));
                             finalized += 1;
                             publish(
                                 idx,
@@ -779,6 +1298,7 @@ impl<'a> Controller<'a> {
                                 .send(LaneTask::Write {
                                     idx,
                                     output,
+                                    spill: None,
                                     fell_back: false,
                                 })
                                 .map_err(|e| EngineError::Materialize(e.to_string()))?;
@@ -810,8 +1330,21 @@ impl<'a> Controller<'a> {
                                 // never above the model's at this point
                                 // (out-of-order completions only add
                                 // releases).
-                                self.memory
-                                    .insert(&mvs[cand].name, Arc::clone(&pending.output))?;
+                                let (entry_name, payload) = if dp.delta_payload[cand] {
+                                    (
+                                        delta_entry_name(&mvs[cand].name),
+                                        Arc::clone(
+                                            pending
+                                                .delta_table
+                                                .as_ref()
+                                                .expect("delta payload published"),
+                                        ),
+                                    )
+                                } else {
+                                    (mvs[cand].name.clone(), Arc::clone(&pending.output))
+                                };
+                                self.memory.insert(&entry_name, payload)?;
+                                catalog_names[cand] = entry_name;
                                 resident[cand] = true;
                                 bg_pending[cand] = true;
                                 bg_tx
@@ -821,8 +1354,14 @@ impl<'a> Controller<'a> {
                                         Arc::clone(&pending.output),
                                     ))
                                     .map_err(|e| EngineError::Materialize(e.to_string()))?;
-                                metrics[cand] =
-                                    Some(node_metrics(&mvs[cand].name, &pending, 0.0, true, false));
+                                metrics[cand] = Some(node_metrics(
+                                    &mvs[cand].name,
+                                    &pending,
+                                    dp.modes[cand],
+                                    0.0,
+                                    true,
+                                    false,
+                                ));
                                 finalized += 1;
                                 publish(
                                     cand,
@@ -833,6 +1372,13 @@ impl<'a> Controller<'a> {
                                 )?;
                             } else {
                                 let output = Arc::clone(&pending.output);
+                                // A fallen-back delta payload must reach
+                                // storage for its incremental consumers.
+                                let spill = if dp.delta_payload[cand] {
+                                    pending.delta_table.clone()
+                                } else {
+                                    None
+                                };
                                 // The Written handler finalizes from the
                                 // stash; put the entry back.
                                 awaiting_admission.insert(cand, pending);
@@ -840,6 +1386,7 @@ impl<'a> Controller<'a> {
                                     .send(LaneTask::Write {
                                         idx: cand,
                                         output,
+                                        spill,
                                         fell_back: true,
                                     })
                                     .map_err(|e| EngineError::Materialize(e.to_string()))?;
@@ -872,6 +1419,7 @@ impl<'a> Controller<'a> {
                         metrics[idx] = Some(node_metrics(
                             &mvs[idx].name,
                             &pending,
+                            dp.modes[idx],
                             write_s,
                             false,
                             fell_back,
@@ -900,7 +1448,7 @@ impl<'a> Controller<'a> {
             // Release any still-resident flagged nodes.
             for (idx, r) in resident.iter().enumerate() {
                 if *r {
-                    self.memory.remove(&mvs[idx].name);
+                    self.memory.remove(&catalog_names[idx]);
                 }
             }
             Ok(())
@@ -924,15 +1472,18 @@ impl<'a> Controller<'a> {
 fn node_metrics(
     name: &str,
     node: &ComputedNode,
+    mode: NodeMode,
     write_s: f64,
     flagged: bool,
     fell_back: bool,
 ) -> NodeMetrics {
     NodeMetrics {
         name: name.to_string(),
+        mode,
+        delta_bytes: node.delta_bytes,
         read_s: node.read_s,
         compute_s: node.compute_s,
-        write_s,
+        write_s: write_s + node.spill_write_s,
         output_bytes: node.output.byte_size(),
         rows: node.output.num_rows(),
         flagged,
@@ -1099,6 +1650,7 @@ mod tests {
         let plan = plan_for(&mvs, &[0]);
         let controller = Controller::new(&disk, &mem).with_config(ControllerConfig {
             fallback_on_memory_pressure: false,
+            ..ControllerConfig::default()
         });
         assert!(matches!(
             controller.refresh(&mvs, &plan),
@@ -1456,5 +2008,301 @@ mod tests {
         assert_eq!(RefreshConfig::default().lanes, 1);
         assert_eq!(RefreshConfig::with_lanes(0).lanes, 1);
         assert_eq!(RefreshConfig::with_lanes(8).lanes, 8);
+        assert_eq!(RefreshConfig::default().run_ahead_window, None);
+        assert_eq!(RefreshConfig::default().refresh_mode, RefreshMode::Auto);
+        let c = RefreshConfig::with_lanes(2)
+            .with_run_ahead_window(3)
+            .with_refresh_mode(RefreshMode::AlwaysIncremental);
+        assert_eq!(c.run_ahead_window, Some(3));
+        assert_eq!(c.refresh_mode, RefreshMode::AlwaysIncremental);
+    }
+
+    #[test]
+    fn explicit_run_ahead_window_is_honored() {
+        let (_dir, disk, mem) = setup(4 << 20);
+        let mvs = wide_workload();
+        let plan = plan_for(&mvs, &[]);
+        // A window of 0 serializes starts to the computed prefix; the run
+        // must still complete and produce every MV.
+        let m = Controller::new(&disk, &mem)
+            .with_refresh_config(RefreshConfig::with_lanes(3).with_run_ahead_window(0))
+            .refresh(&mvs, &plan)
+            .unwrap();
+        assert_eq!(m.nodes.len(), 5);
+        for mv in &mvs {
+            assert!(disk.contains(&mv.name));
+        }
+    }
+
+    /// Incremental-refresh workload: a filtered slice and an aggregate
+    /// over one base table, plus an untouched independent branch.
+    fn delta_workload() -> Vec<MvDefinition> {
+        vec![
+            MvDefinition::new(
+                "big_rows",
+                LogicalPlan::scan("base").filter(Expr::col("v").ge(Expr::lit(100.0f64))),
+            ),
+            MvDefinition::new(
+                "by_k",
+                LogicalPlan::scan("big_rows").aggregate(
+                    vec!["k".into()],
+                    vec![
+                        AggExpr::new(crate::exec::AggFunc::Sum, "v", "sum_v"),
+                        AggExpr::new(crate::exec::AggFunc::Count, "v", "n"),
+                    ],
+                ),
+            ),
+            MvDefinition::new(
+                "other_branch",
+                LogicalPlan::scan("side").filter(Expr::col("k").eq(Expr::lit(1i64))),
+            ),
+        ]
+    }
+
+    fn delta_rows(range: std::ops::Range<i64>) -> Table {
+        let mut t = TableBuilder::new()
+            .column("k", DataType::Int64)
+            .column("v", DataType::Float64)
+            .build();
+        for i in range {
+            t.push_row(vec![Value::Int64(i % 7), Value::Float64(i as f64)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn incremental_refresh_matches_full_and_skips_untouched() {
+        for lanes in [1usize, 4] {
+            let dir_a = tempfile::tempdir().unwrap();
+            let dir_b = tempfile::tempdir().unwrap();
+            let mvs = delta_workload();
+            let plan = plan_for(&mvs, &[0]);
+            let mut disks = Vec::new();
+            for dir in [&dir_a, &dir_b] {
+                let disk = DiskCatalog::open(dir.path()).unwrap();
+                disk.write_table("base", &delta_rows(0..400)).unwrap();
+                disk.write_table("side", &delta_rows(0..50)).unwrap();
+                let mem = MemoryCatalog::new(8 << 20);
+                Controller::new(&disk, &mem)
+                    .with_lanes(lanes)
+                    .refresh(&mvs, &plan)
+                    .unwrap();
+                disks.push((disk, mem));
+            }
+
+            // Same churn on both systems; one refreshes incrementally.
+            let full_store = DeltaStore::new();
+            let inc_store = DeltaStore::new();
+            for ((disk, _), store) in disks.iter().zip([&full_store, &inc_store]) {
+                crate::storage::ingest(
+                    disk,
+                    store,
+                    "base",
+                    crate::exec::TableDelta::insert_only(delta_rows(400..440)),
+                )
+                .unwrap();
+            }
+
+            let (disk_full, mem_full) = &disks[0];
+            let full = Controller::new(disk_full, mem_full)
+                .with_delta_store(&full_store)
+                .with_refresh_config(
+                    RefreshConfig::with_lanes(lanes).with_refresh_mode(RefreshMode::AlwaysFull),
+                )
+                .refresh(&mvs, &plan)
+                .unwrap();
+            let (disk_inc, mem_inc) = &disks[1];
+            let inc = Controller::new(disk_inc, mem_inc)
+                .with_delta_store(&inc_store)
+                .with_refresh_config(
+                    RefreshConfig::with_lanes(lanes)
+                        .with_refresh_mode(RefreshMode::AlwaysIncremental),
+                )
+                .refresh(&mvs, &plan)
+                .unwrap();
+
+            for mv in &mvs {
+                assert_eq!(
+                    disk_full.read_table(&mv.name).unwrap(),
+                    disk_inc.read_table(&mv.name).unwrap(),
+                    "lanes={lanes}: incremental must match full for {}",
+                    mv.name
+                );
+            }
+            assert!(full.nodes.iter().all(|n| n.mode == NodeMode::Full));
+            let by_name =
+                |m: &RunMetrics, n: &str| m.nodes.iter().find(|x| x.name == n).cloned().unwrap();
+            assert_eq!(
+                by_name(&inc, "big_rows").mode,
+                NodeMode::Incremental,
+                "lanes={lanes}"
+            );
+            assert_eq!(by_name(&inc, "by_k").mode, NodeMode::Incremental);
+            assert_eq!(
+                by_name(&inc, "other_branch").mode,
+                NodeMode::Skipped,
+                "untouched branch must be skipped"
+            );
+            assert!(by_name(&inc, "big_rows").delta_bytes > 0);
+            assert!(mem_inc.is_empty());
+            assert!(inc_store.is_empty(), "successful refresh consumes the log");
+            // Spilled delta files must not survive the run.
+            assert!(!disk_inc.contains(&delta_entry_name("big_rows")));
+        }
+    }
+
+    #[test]
+    fn delta_payload_reserves_delta_sized_flags() {
+        // big_rows is flagged and its only consumer (by_k) maintains
+        // incrementally: the catalog must hold the delta, not the table.
+        let dir = tempfile::tempdir().unwrap();
+        let disk = DiskCatalog::open(dir.path()).unwrap();
+        disk.write_table("base", &delta_rows(0..400)).unwrap();
+        disk.write_table("side", &delta_rows(0..50)).unwrap();
+        let mem = MemoryCatalog::new(8 << 20);
+        let mvs = delta_workload();
+        let plan = plan_for(&mvs, &[0]);
+        let c = Controller::new(&disk, &mem);
+        let probe = c.refresh(&mvs, &plan).unwrap();
+        let full_flag_peak = probe.peak_memory_bytes;
+        assert!(full_flag_peak > 0);
+
+        let store = DeltaStore::new();
+        crate::storage::ingest(
+            &disk,
+            &store,
+            "base",
+            crate::exec::TableDelta::insert_only(delta_rows(400..420)),
+        )
+        .unwrap();
+        let inc = Controller::new(&disk, &mem)
+            .with_delta_store(&store)
+            .with_refresh_config(
+                RefreshConfig::default().with_refresh_mode(RefreshMode::AlwaysIncremental),
+            )
+            .refresh(&mvs, &plan)
+            .unwrap();
+        assert!(
+            inc.nodes[0].flagged,
+            "delta payload still counts as flagged"
+        );
+        assert!(
+            inc.peak_memory_bytes < full_flag_peak / 4,
+            "delta-sized reservation ({}) must be far below the full table ({full_flag_peak})",
+            inc.peak_memory_bytes
+        );
+        assert!(mem.is_empty());
+    }
+
+    #[test]
+    fn failed_run_poisons_the_log_and_retry_recomputes_correctly() {
+        // An incremental node persists its applied delta, then a later
+        // node fails: the log must be poisoned so the retry recomputes
+        // from the (authoritative) bases instead of applying the delta a
+        // second time — incremental application is not idempotent.
+        let dir = tempfile::tempdir().unwrap();
+        let disk = DiskCatalog::open(dir.path()).unwrap();
+        disk.write_table("base", &delta_rows(0..400)).unwrap();
+        disk.write_table("side", &delta_rows(0..50)).unwrap();
+        let mem = MemoryCatalog::new(8 << 20);
+        let good = delta_workload();
+        let good_plan = plan_for(&good, &[]);
+        Controller::new(&disk, &mem)
+            .refresh(&good, &good_plan)
+            .unwrap();
+
+        let store = DeltaStore::new();
+        crate::storage::ingest(
+            &disk,
+            &store,
+            "base",
+            crate::exec::TableDelta::insert_only(delta_rows(400..430)),
+        )
+        .unwrap();
+
+        // A doomed run: the good nodes first, then one scanning a missing
+        // table.
+        let mut doomed = delta_workload();
+        doomed.push(MvDefinition::new("boom", LogicalPlan::scan("no_such")));
+        let doomed_plan = plan_for(&doomed, &[]);
+        let err = Controller::new(&disk, &mem)
+            .with_delta_store(&store)
+            .with_refresh_config(
+                RefreshConfig::default().with_refresh_mode(RefreshMode::AlwaysIncremental),
+            )
+            .refresh(&doomed, &doomed_plan);
+        assert!(matches!(err, Err(EngineError::UnknownTable(_))));
+        assert!(store.is_poisoned(), "failed run must poison the log");
+        assert!(!store.is_empty(), "failed run must keep the log");
+
+        // Retry on the good set: every delta-reached node recomputes in
+        // full; results match a system that never failed.
+        let retry = Controller::new(&disk, &mem)
+            .with_delta_store(&store)
+            .refresh(&good, &good_plan)
+            .unwrap();
+        assert!(retry.nodes.iter().all(|n| n.mode != NodeMode::Incremental));
+        assert!(store.is_empty() && !store.is_poisoned());
+
+        // Control rig: same base + same churn, one clean full refresh.
+        let dir2 = tempfile::tempdir().unwrap();
+        let disk2 = DiskCatalog::open(dir2.path()).unwrap();
+        disk2.write_table("base", &delta_rows(0..400)).unwrap();
+        disk2.write_table("side", &delta_rows(0..50)).unwrap();
+        let mem2 = MemoryCatalog::new(8 << 20);
+        Controller::new(&disk2, &mem2)
+            .refresh(&good, &good_plan)
+            .unwrap();
+        let base2 = disk2.read_table("base").unwrap();
+        let delta = crate::exec::TableDelta::insert_only(delta_rows(400..430));
+        disk2
+            .write_table("base", &delta.apply(&base2).unwrap())
+            .unwrap();
+        Controller::new(&disk2, &mem2)
+            .refresh(&good, &good_plan)
+            .unwrap();
+        for mv in &good {
+            assert_eq!(
+                disk.read_table(&mv.name).unwrap(),
+                disk2.read_table(&mv.name).unwrap(),
+                "recovered {} must match a never-failed system",
+                mv.name
+            );
+        }
+    }
+
+    #[test]
+    fn auto_mode_prefers_incremental_for_aggregates_only() {
+        // by_k (tiny aggregate over a big scan) should win; big_rows (MV
+        // nearly as large as its input) should recompute under Auto.
+        let dir = tempfile::tempdir().unwrap();
+        let disk = DiskCatalog::open(dir.path()).unwrap();
+        disk.write_table("base", &delta_rows(0..2000)).unwrap();
+        disk.write_table("side", &delta_rows(0..50)).unwrap();
+        let mem = MemoryCatalog::new(8 << 20);
+        let mvs = delta_workload();
+        let plan = plan_for(&mvs, &[]);
+        let c = Controller::new(&disk, &mem);
+        c.refresh(&mvs, &plan).unwrap();
+
+        let store = DeltaStore::new();
+        crate::storage::ingest(
+            &disk,
+            &store,
+            "base",
+            crate::exec::TableDelta::insert_only(delta_rows(2000..2040)),
+        )
+        .unwrap();
+        let auto = Controller::new(&disk, &mem)
+            .with_delta_store(&store)
+            .refresh(&mvs, &plan)
+            .unwrap();
+        assert_eq!(auto.nodes[0].mode, NodeMode::Full);
+        // big_rows recomputed in full -> its delta is unknown -> by_k
+        // cannot merge and recomputes too. The cost model's conservatism
+        // composes transitively.
+        assert_eq!(auto.nodes[1].mode, NodeMode::Full);
+        assert_eq!(auto.nodes[2].mode, NodeMode::Skipped);
     }
 }

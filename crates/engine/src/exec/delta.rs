@@ -1,0 +1,681 @@
+//! Delta relations and the delta-aware operators behind incremental MV
+//! maintenance.
+//!
+//! A [`TableDelta`] describes how a table changed as an ordered sequence of
+//! [`DeltaBatch`]es; each batch is a pair of row-sets over the table's
+//! schema — rows removed and rows added (an *update* contributes its old
+//! version to `deletes` and its new version to `inserts`). Batches apply in
+//! order, and within a batch deletions match rows present *before* the
+//! batch's inserts, by full-row equality, removing the first occurrence
+//! (multiset semantics).
+//!
+//! The operators here are built so that incremental maintenance is
+//! **byte-identical** to full recomputation, not merely multiset-equal:
+//!
+//! * [`delta_filter`] relies on full-row equality — every occurrence of a
+//!   deleted row passes or fails a predicate identically, so removing the
+//!   first matching occurrence from the MV removes exactly the row the
+//!   base lost;
+//! * [`delta_project`] is insert-only (a projection is lossy, so deletes
+//!   can no longer be positioned deterministically after it);
+//! * [`merge_aggregate`] *resumes* the hash aggregate's left-to-right
+//!   accumulator fold from the values stored in the MV, so Sum/Min/Max over
+//!   floats reproduce the exact same sequence of operations a full
+//!   recomputation would perform (`Avg` cannot be resumed from its stored
+//!   quotient and is not mergeable).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::column::{Column, RowKey};
+use crate::exec::{self, AggFunc};
+use crate::expr::Expr;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::types::{DataType, Value};
+use crate::{EngineError, Result};
+
+/// Marker column distinguishing deletes from inserts in the single-table
+/// encoding of a delta ([`TableDelta::to_table`]).
+pub const DELTA_DEL_COLUMN: &str = "__delta_del";
+/// Marker column recording each row's batch index in the single-table
+/// encoding of a delta.
+pub const DELTA_BATCH_COLUMN: &str = "__delta_batch";
+
+/// One generation of changes: rows removed and rows added, both with the
+/// underlying table's schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaBatch {
+    /// Rows removed (matched by full-row equality, first occurrence).
+    pub deletes: Table,
+    /// Rows appended (after the batch's deletions).
+    pub inserts: Table,
+}
+
+impl DeltaBatch {
+    /// An insert-only batch.
+    pub fn insert_only(inserts: Table) -> Self {
+        let deletes = Table::empty(inserts.schema().clone());
+        DeltaBatch { deletes, inserts }
+    }
+
+    /// Whether the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.deletes.num_rows() == 0 && self.inserts.num_rows() == 0
+    }
+
+    /// In-memory footprint of both row-sets.
+    pub fn byte_size(&self) -> u64 {
+        self.deletes.byte_size() + self.inserts.byte_size()
+    }
+}
+
+/// An ordered sequence of change batches against one table — the unit the
+/// delta log stores and the delta operators consume and produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDelta {
+    schema: Arc<Schema>,
+    batches: Vec<DeltaBatch>,
+}
+
+impl TableDelta {
+    /// An empty delta over `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        TableDelta {
+            schema,
+            batches: Vec::new(),
+        }
+    }
+
+    /// A delta holding one batch.
+    pub fn from_batch(batch: DeltaBatch) -> Result<Self> {
+        let mut d = TableDelta::empty(batch.inserts.schema().clone());
+        d.push_batch(batch)?;
+        Ok(d)
+    }
+
+    /// An insert-only single-batch delta.
+    pub fn insert_only(inserts: Table) -> Self {
+        TableDelta::from_batch(DeltaBatch::insert_only(inserts)).expect("schemas match trivially")
+    }
+
+    /// The schema every batch conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The batches in application order.
+    pub fn batches(&self) -> &[DeltaBatch] {
+        &self.batches
+    }
+
+    /// Appends a batch; fails if its schema differs from the delta's.
+    pub fn push_batch(&mut self, batch: DeltaBatch) -> Result<()> {
+        for t in [&batch.deletes, &batch.inserts] {
+            if **t.schema() != *self.schema {
+                return Err(EngineError::TypeMismatch {
+                    expected: self.schema.to_string(),
+                    got: t.schema().to_string(),
+                    context: "TableDelta::push_batch".into(),
+                });
+            }
+        }
+        if !batch.is_empty() {
+            self.batches.push(batch);
+        }
+        Ok(())
+    }
+
+    /// Appends every batch of `other` (log concatenation).
+    pub fn extend(&mut self, other: TableDelta) -> Result<()> {
+        for b in other.batches {
+            self.push_batch(b)?;
+        }
+        Ok(())
+    }
+
+    /// Drops the first `k` batches (used when a consumed log prefix is
+    /// retired while later-ingested batches survive).
+    pub fn discard_first(&mut self, k: usize) {
+        self.batches.drain(..k.min(self.batches.len()));
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.batches.iter().all(DeltaBatch::is_empty)
+    }
+
+    /// Whether any batch removes rows.
+    pub fn has_deletes(&self) -> bool {
+        self.batches.iter().any(|b| b.deletes.num_rows() > 0)
+    }
+
+    /// In-memory footprint across batches.
+    pub fn byte_size(&self) -> u64 {
+        self.batches.iter().map(DeltaBatch::byte_size).sum()
+    }
+
+    /// Total inserted rows across batches.
+    pub fn insert_rows(&self) -> usize {
+        self.batches.iter().map(|b| b.inserts.num_rows()).sum()
+    }
+
+    /// Total deleted rows across batches.
+    pub fn delete_rows(&self) -> usize {
+        self.batches.iter().map(|b| b.deletes.num_rows()).sum()
+    }
+
+    /// Applies the delta to `table`, batch by batch: each batch first
+    /// removes its `deletes` (full-row equality, first occurrence), then
+    /// appends its `inserts`.
+    pub fn apply(&self, table: &Table) -> Result<Table> {
+        let mut current = table.clone();
+        for batch in &self.batches {
+            current = apply_batch(&current, batch)?;
+        }
+        Ok(current)
+    }
+
+    /// Encodes the delta as one table: the original columns plus a
+    /// [`DELTA_BATCH_COLUMN`] (`Int64` batch index) and a
+    /// [`DELTA_DEL_COLUMN`] (`Bool`, true for deleted rows). This is how a
+    /// node's output delta travels through the Memory Catalog or a spilled
+    /// storage file using the existing table machinery.
+    pub fn to_table(&self) -> Result<Table> {
+        let mut fields: Vec<Field> = self.schema.fields().to_vec();
+        fields.push(Field::new(DELTA_BATCH_COLUMN, DataType::Int64));
+        fields.push(Field::new(DELTA_DEL_COLUMN, DataType::Bool));
+        let schema = Arc::new(Schema::new(fields)?);
+        let mut out = Table::empty(schema);
+        for (i, batch) in self.batches.iter().enumerate() {
+            for (part, is_del) in [(&batch.deletes, true), (&batch.inserts, false)] {
+                for row in 0..part.num_rows() {
+                    let mut values: Vec<Value> = (0..part.num_columns())
+                        .map(|c| part.value(row, c))
+                        .collect();
+                    values.push(Value::Int64(i as i64));
+                    values.push(Value::Bool(is_del));
+                    out.push_row(values)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a table produced by [`TableDelta::to_table`].
+    pub fn from_table(encoded: &Table) -> Result<TableDelta> {
+        let ncols = encoded.num_columns();
+        if ncols < 2 {
+            return Err(EngineError::InvalidPlan(
+                "encoded delta lacks marker columns".into(),
+            ));
+        }
+        let fields = encoded.schema().fields();
+        if fields[ncols - 2].name != DELTA_BATCH_COLUMN
+            || fields[ncols - 1].name != DELTA_DEL_COLUMN
+        {
+            return Err(EngineError::InvalidPlan(
+                "encoded delta lacks marker columns".into(),
+            ));
+        }
+        let schema = Arc::new(Schema::new(fields[..ncols - 2].to_vec())?);
+        let batch_col = encoded.column(ncols - 2);
+        let del_col = encoded.column(ncols - 1);
+        let n_batches = (0..encoded.num_rows())
+            .map(|r| match batch_col.value(r) {
+                Value::Int64(b) => b as usize + 1,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        // One pass: bucket every row into its batch's delete/insert side.
+        let mut parts: Vec<DeltaBatch> = (0..n_batches)
+            .map(|_| DeltaBatch {
+                deletes: Table::empty(schema.clone()),
+                inserts: Table::empty(schema.clone()),
+            })
+            .collect();
+        for row in 0..encoded.num_rows() {
+            let Value::Int64(b) = batch_col.value(row) else {
+                continue;
+            };
+            let values: Vec<Value> = (0..ncols - 2).map(|c| encoded.value(row, c)).collect();
+            match del_col.value(row) {
+                Value::Bool(true) => parts[b as usize].deletes.push_row(values)?,
+                _ => parts[b as usize].inserts.push_row(values)?,
+            }
+        }
+        let mut delta = TableDelta::empty(schema);
+        for part in parts {
+            delta.push_batch(part)?;
+        }
+        Ok(delta)
+    }
+}
+
+/// Applies one batch: remove `deletes` by full-row equality (first
+/// occurrence each), then append `inserts`.
+fn apply_batch(table: &Table, batch: &DeltaBatch) -> Result<Table> {
+    let mut current = if batch.deletes.num_rows() > 0 {
+        // Budget how many occurrences of each row-value to drop, then walk
+        // the table once keeping everything else.
+        let mut budget: HashMap<Vec<RowKey>, usize> = HashMap::new();
+        for row in 0..batch.deletes.num_rows() {
+            *budget.entry(row_key(&batch.deletes, row)).or_insert(0) += 1;
+        }
+        let mut keep = vec![true; table.num_rows()];
+        for (row, k) in keep.iter_mut().enumerate() {
+            if budget.is_empty() {
+                break;
+            }
+            if let Some(remaining) = budget.get_mut(&row_key(table, row)) {
+                *k = false;
+                *remaining -= 1;
+                if *remaining == 0 {
+                    budget.remove(&row_key(table, row));
+                }
+            }
+        }
+        table.filter_rows(&keep)?
+    } else {
+        table.clone()
+    };
+    if batch.inserts.num_rows() > 0 {
+        current = Table::concat(&[&current, &batch.inserts])?;
+    }
+    Ok(current)
+}
+
+/// The full-row key used for delete matching.
+fn row_key(table: &Table, row: usize) -> Vec<RowKey> {
+    (0..table.num_columns())
+        .map(|c| table.column(c).key(row))
+        .collect()
+}
+
+/// Propagates a delta through a filter: both row-sets of every batch pass
+/// through the predicate. Sound for deletes because the rows are full input
+/// rows — every occurrence of a deleted row evaluates the predicate
+/// identically.
+pub fn delta_filter(delta: &TableDelta, predicate: &Expr) -> Result<TableDelta> {
+    let mut out: Option<TableDelta> = None;
+    for batch in delta.batches() {
+        let filtered = DeltaBatch {
+            deletes: exec::filter(&batch.deletes, predicate)?,
+            inserts: exec::filter(&batch.inserts, predicate)?,
+        };
+        match &mut out {
+            Some(d) => d.push_batch(filtered)?,
+            None => out = Some(TableDelta::from_batch(filtered)?),
+        }
+    }
+    match out {
+        Some(d) => Ok(d),
+        // No batches: derive the output schema by filtering an empty input.
+        None => {
+            let empty = Table::empty(delta.schema().clone());
+            Ok(TableDelta::empty(
+                exec::filter(&empty, predicate)?.schema().clone(),
+            ))
+        }
+    }
+}
+
+/// Propagates an **insert-only** delta through a projection. A projection
+/// is lossy, so deletions can no longer be matched deterministically after
+/// it; callers must route deltas with deletes to a full recomputation.
+pub fn delta_project(delta: &TableDelta, exprs: &[(Expr, String)]) -> Result<TableDelta> {
+    if delta.has_deletes() {
+        return Err(EngineError::InvalidPlan(
+            "cannot propagate deletions through a projection".into(),
+        ));
+    }
+    let mut out: Option<TableDelta> = None;
+    for batch in delta.batches() {
+        let projected = DeltaBatch::insert_only(exec::project(&batch.inserts, exprs)?);
+        match &mut out {
+            Some(d) => d.push_batch(projected)?,
+            None => out = Some(TableDelta::from_batch(projected)?),
+        }
+    }
+    match out {
+        Some(d) => Ok(d),
+        None => {
+            let empty = Table::empty(delta.schema().clone());
+            Ok(TableDelta::empty(
+                exec::project(&empty, exprs)?.schema().clone(),
+            ))
+        }
+    }
+}
+
+/// Whether every aggregate in `aggs` can be merged incrementally from its
+/// stored output value. `Avg` stores only the quotient, so its running sum
+/// and count cannot be recovered.
+pub fn aggs_mergeable(aggs: &[(AggFunc, String, String)]) -> bool {
+    aggs.iter().all(|(f, _, _)| *f != AggFunc::Avg)
+}
+
+/// Merges an **insert-only** input delta into the stored result of a hash
+/// aggregation, reproducing [`exec::aggregate`] over the grown input
+/// byte-for-byte: existing groups resume their accumulator fold from the
+/// stored value (in place, preserving first-seen group order), and groups
+/// first seen in the delta are appended in delta order — exactly where a
+/// full recomputation would put them.
+pub fn merge_aggregate(
+    current: &Table,
+    delta: &TableDelta,
+    group_by: &[String],
+    aggs: &[(AggFunc, String, String)],
+) -> Result<Table> {
+    if delta.has_deletes() {
+        return Err(EngineError::InvalidPlan(
+            "cannot merge deletions into an aggregate".into(),
+        ));
+    }
+    if !aggs_mergeable(aggs) {
+        return Err(EngineError::InvalidPlan(
+            "Avg cannot be merged from its stored value".into(),
+        ));
+    }
+    if current.num_columns() != group_by.len() + aggs.len() {
+        return Err(EngineError::ArityMismatch {
+            expected: group_by.len() + aggs.len(),
+            got: current.num_columns(),
+        });
+    }
+
+    /// Accumulator resumed from (or started beyond) the stored output.
+    #[derive(Clone, Copy)]
+    struct Resumed {
+        acc: f64,
+        seen: bool,
+    }
+
+    // One accumulator per (group, aggregate): existing groups resume from
+    // the stored scalar, new groups start fresh.
+    let mut states: HashMap<Vec<RowKey>, Vec<Resumed>> = HashMap::new();
+    let mut existing_order: Vec<Vec<RowKey>> = Vec::with_capacity(current.num_rows());
+    for row in 0..current.num_rows() {
+        let key: Vec<RowKey> = (0..group_by.len())
+            .map(|c| current.column(c).key(row))
+            .collect();
+        let resumed: Vec<Resumed> = aggs
+            .iter()
+            .enumerate()
+            .map(|(j, _)| Resumed {
+                acc: current
+                    .value(row, group_by.len() + j)
+                    .as_f64()
+                    .unwrap_or(0.0),
+                seen: true,
+            })
+            .collect();
+        existing_order.push(key.clone());
+        states.insert(key, resumed);
+    }
+
+    // Fold the delta inserts, batch by batch, in row order — the same
+    // left-to-right order a full recomputation would see after the inserts
+    // landed at the end of the input.
+    let mut new_order: Vec<Vec<RowKey>> = Vec::new();
+    let mut new_key_rows: Vec<(usize, usize)> = Vec::new(); // (batch, row) of first sighting
+    for (b, batch) in delta.batches().iter().enumerate() {
+        let ins = &batch.inserts;
+        let key_cols: Vec<&Column> = group_by
+            .iter()
+            .map(|g| ins.column_by_name(g))
+            .collect::<Result<_>>()?;
+        let agg_cols: Vec<&Column> = aggs
+            .iter()
+            .map(|(_, c, _)| ins.column_by_name(c))
+            .collect::<Result<_>>()?;
+        for row in 0..ins.num_rows() {
+            let key: Vec<RowKey> = key_cols.iter().map(|c| c.key(row)).collect();
+            let entry = states.entry(key.clone()).or_insert_with(|| {
+                new_order.push(key);
+                new_key_rows.push((b, row));
+                vec![
+                    Resumed {
+                        acc: 0.0,
+                        seen: false
+                    };
+                    aggs.len()
+                ]
+            });
+            for ((state, col), (func, _, _)) in entry.iter_mut().zip(&agg_cols).zip(aggs) {
+                let v = col.value(row).as_f64().unwrap_or(0.0);
+                let acc = if state.seen {
+                    match func {
+                        AggFunc::Count => state.acc + 1.0,
+                        AggFunc::Sum => state.acc + v,
+                        AggFunc::Min => state.acc.min(v),
+                        AggFunc::Max => state.acc.max(v),
+                        AggFunc::Avg => unreachable!("rejected above"),
+                    }
+                } else {
+                    match func {
+                        AggFunc::Count => 1.0,
+                        _ => v,
+                    }
+                };
+                *state = Resumed { acc, seen: true };
+            }
+        }
+    }
+
+    // Existing groups in stored order (updated in place), then new groups
+    // in first-seen delta order.
+    let mut columns: Vec<Column> = current
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| Column::with_capacity(f.dtype, current.num_rows() + new_order.len()))
+        .collect();
+    let emit =
+        |columns: &mut Vec<Column>, key_values: Vec<Value>, resumed: &[Resumed]| -> Result<()> {
+            for (i, v) in key_values.into_iter().enumerate() {
+                columns[i].push(v)?;
+            }
+            for (j, state) in resumed.iter().enumerate() {
+                let out_idx = group_by.len() + j;
+                let value = match current.schema().fields()[out_idx].dtype {
+                    DataType::Int64 => Value::Int64(state.acc as i64),
+                    DataType::Float64 => Value::Float64(state.acc),
+                    DataType::Date => Value::Date(state.acc as i32),
+                    other => {
+                        return Err(EngineError::TypeMismatch {
+                            expected: "numeric".into(),
+                            got: other.to_string(),
+                            context: "merge_aggregate".into(),
+                        })
+                    }
+                };
+                columns[out_idx].push(value)?;
+            }
+            Ok(())
+        };
+    for (row, key) in existing_order.iter().enumerate() {
+        let resumed = &states[key];
+        let key_values: Vec<Value> = (0..group_by.len()).map(|c| current.value(row, c)).collect();
+        emit(&mut columns, key_values, resumed)?;
+    }
+    for (key, &(b, row)) in new_order.iter().zip(&new_key_rows) {
+        let resumed = &states[key];
+        let ins = &delta.batches()[b].inserts;
+        let key_values: Vec<Value> = group_by
+            .iter()
+            .map(|g| Ok(ins.column_by_name(g)?.value(row)))
+            .collect::<Result<_>>()?;
+        emit(&mut columns, key_values, resumed)?;
+    }
+    Table::new(current.schema().clone(), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn base(rows: &[(i64, f64)]) -> Table {
+        let mut t = TableBuilder::new()
+            .column("k", DataType::Int64)
+            .column("v", DataType::Float64)
+            .build();
+        for &(k, v) in rows {
+            t.push_row(vec![Value::Int64(k), Value::Float64(v)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn apply_removes_first_occurrence_and_appends() {
+        let t = base(&[(1, 1.0), (2, 2.0), (1, 1.0), (3, 3.0)]);
+        let delta = TableDelta::from_batch(DeltaBatch {
+            deletes: base(&[(1, 1.0)]),
+            inserts: base(&[(9, 9.0)]),
+        })
+        .unwrap();
+        let out = delta.apply(&t).unwrap();
+        assert_eq!(out, base(&[(2, 2.0), (1, 1.0), (3, 3.0), (9, 9.0)]));
+    }
+
+    #[test]
+    fn batches_apply_in_order() {
+        let t = base(&[(1, 1.0)]);
+        let mut delta = TableDelta::insert_only(base(&[(2, 2.0)]));
+        // Second batch deletes the row the first inserted.
+        delta
+            .push_batch(DeltaBatch {
+                deletes: base(&[(2, 2.0)]),
+                inserts: base(&[(3, 3.0)]),
+            })
+            .unwrap();
+        let out = delta.apply(&t).unwrap();
+        assert_eq!(out, base(&[(1, 1.0), (3, 3.0)]));
+        assert_eq!(delta.insert_rows(), 2);
+        assert_eq!(delta.delete_rows(), 1);
+        assert!(delta.has_deletes());
+    }
+
+    #[test]
+    fn missing_delete_is_a_no_op() {
+        let t = base(&[(1, 1.0)]);
+        let delta = TableDelta::from_batch(DeltaBatch {
+            deletes: base(&[(7, 7.0)]),
+            inserts: Table::empty(t.schema().clone()),
+        })
+        .unwrap();
+        assert_eq!(delta.apply(&t).unwrap(), t);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let other = TableBuilder::new().column("x", DataType::Bool).build();
+        let mut delta = TableDelta::empty(base(&[]).schema().clone());
+        assert!(delta.push_batch(DeltaBatch::insert_only(other)).is_err());
+    }
+
+    #[test]
+    fn table_encoding_roundtrips() {
+        let mut delta = TableDelta::from_batch(DeltaBatch {
+            deletes: base(&[(1, 1.0)]),
+            inserts: base(&[(2, 2.0), (3, 3.0)]),
+        })
+        .unwrap();
+        delta
+            .push_batch(DeltaBatch::insert_only(base(&[(4, 4.0)])))
+            .unwrap();
+        let encoded = delta.to_table().unwrap();
+        assert_eq!(encoded.num_rows(), 4);
+        let decoded = TableDelta::from_table(&encoded).unwrap();
+        assert_eq!(decoded, delta);
+        // A plain table is rejected.
+        assert!(TableDelta::from_table(&base(&[(1, 1.0)])).is_err());
+    }
+
+    #[test]
+    fn filter_commutes_with_apply() {
+        let pred = Expr::col("v").ge(Expr::lit(2.0f64));
+        let t = base(&[(1, 1.0), (2, 2.0), (3, 3.0), (2, 2.0)]);
+        let delta = TableDelta::from_batch(DeltaBatch {
+            deletes: base(&[(2, 2.0), (1, 1.0)]),
+            inserts: base(&[(5, 5.0), (0, 0.5)]),
+        })
+        .unwrap();
+        let full = exec::filter(&delta.apply(&t).unwrap(), &pred).unwrap();
+        let mv_old = exec::filter(&t, &pred).unwrap();
+        let incremental = delta_filter(&delta, &pred).unwrap().apply(&mv_old).unwrap();
+        assert_eq!(full, incremental);
+    }
+
+    #[test]
+    fn project_insert_only() {
+        let exprs = vec![(Expr::col("v").mul(Expr::lit(2.0f64)), "v2".to_string())];
+        let delta = TableDelta::insert_only(base(&[(1, 1.5)]));
+        let out = delta_project(&delta, &exprs).unwrap();
+        assert_eq!(out.insert_rows(), 1);
+        assert_eq!(out.batches()[0].inserts.value(0, 0), Value::Float64(3.0));
+
+        let with_del = TableDelta::from_batch(DeltaBatch {
+            deletes: base(&[(1, 1.5)]),
+            inserts: base(&[]),
+        })
+        .unwrap();
+        assert!(delta_project(&with_del, &exprs).is_err());
+    }
+
+    #[test]
+    fn merge_matches_full_aggregate_bitwise() {
+        let group_by = vec!["k".to_string()];
+        let aggs = vec![
+            (AggFunc::Sum, "v".to_string(), "s".to_string()),
+            (AggFunc::Count, "v".to_string(), "n".to_string()),
+            (AggFunc::Min, "v".to_string(), "lo".to_string()),
+            (AggFunc::Max, "v".to_string(), "hi".to_string()),
+        ];
+        let t = base(&[(1, 0.1), (2, 0.2), (1, 0.3)]);
+        let mut delta = TableDelta::insert_only(base(&[(2, 0.7), (3, 0.05)]));
+        delta
+            .push_batch(DeltaBatch::insert_only(base(&[(1, 0.11), (3, 4.0)])))
+            .unwrap();
+
+        let mv_old = exec::aggregate(&t, &group_by, &aggs).unwrap();
+        let merged = merge_aggregate(&mv_old, &delta, &group_by, &aggs).unwrap();
+        let full = exec::aggregate(&delta.apply(&t).unwrap(), &group_by, &aggs).unwrap();
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn merge_rejects_deletes_and_avg() {
+        let group_by = vec!["k".to_string()];
+        let t = base(&[(1, 1.0)]);
+        let sum = vec![(AggFunc::Sum, "v".to_string(), "s".to_string())];
+        let mv = exec::aggregate(&t, &group_by, &sum).unwrap();
+        let with_del = TableDelta::from_batch(DeltaBatch {
+            deletes: base(&[(1, 1.0)]),
+            inserts: base(&[]),
+        })
+        .unwrap();
+        assert!(merge_aggregate(&mv, &with_del, &group_by, &sum).is_err());
+
+        let avg = vec![(AggFunc::Avg, "v".to_string(), "m".to_string())];
+        let mv_avg = exec::aggregate(&t, &group_by, &avg).unwrap();
+        let ins = TableDelta::insert_only(base(&[(1, 2.0)]));
+        assert!(merge_aggregate(&mv_avg, &ins, &group_by, &avg).is_err());
+        assert!(!aggs_mergeable(&avg));
+        assert!(aggs_mergeable(&sum));
+    }
+
+    #[test]
+    fn global_aggregate_merges() {
+        let aggs = vec![(AggFunc::Sum, "v".to_string(), "s".to_string())];
+        let t = base(&[(1, 1.0), (2, 2.0)]);
+        let mv = exec::aggregate(&t, &[], &aggs).unwrap();
+        let delta = TableDelta::insert_only(base(&[(3, 3.5)]));
+        let merged = merge_aggregate(&mv, &delta, &[], &aggs).unwrap();
+        let full = exec::aggregate(&delta.apply(&t).unwrap(), &[], &aggs).unwrap();
+        assert_eq!(merged, full);
+    }
+}

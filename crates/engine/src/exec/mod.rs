@@ -3,11 +3,15 @@
 //! interpreter composes them.
 
 mod aggregate;
+pub mod delta;
 mod join;
 mod project;
 mod sort;
 
 pub use aggregate::{aggregate, AggFunc};
+pub use delta::{
+    aggs_mergeable, delta_filter, delta_project, merge_aggregate, DeltaBatch, TableDelta,
+};
 pub use join::{hash_join, JoinType};
 pub use project::{filter, project};
 pub use sort::{limit, sort_by, union_all, SortKey};

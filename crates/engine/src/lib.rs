@@ -13,10 +13,15 @@
 //!   columnar file format, with an optional bandwidth/latency
 //!   [`storage::Throttle`] calibrated to the paper's disk;
 //! * a bounded [`storage::MemoryCatalog`] with peak-usage accounting;
+//! * an append-only delta log ([`storage::DeltaStore`]) and delta-aware
+//!   operators ([`exec::delta`]) enabling *incremental* MV maintenance:
+//!   refreshes apply only what changed, byte-identical to recomputation;
 //! * a [`controller::Controller`] that performs an MV refresh run for a
 //!   given [`sc_core::Plan`]: flagged nodes are created directly in memory,
 //!   materialized to storage in the background (in parallel with downstream
-//!   work, §III-C), and released once all their consumers finish.
+//!   work, §III-C), and released once all their consumers finish; per node
+//!   it chooses full recompute vs delta maintenance vs skipping
+//!   ([`sc_core::RefreshMode`]).
 //!
 //! ```
 //! use sc_engine::prelude::*;
@@ -62,10 +67,11 @@ pub type Result<T> = std::result::Result<T, EngineError>;
 pub mod prelude {
     pub use crate::column::Column;
     pub use crate::controller::{Controller, ControllerConfig, RefreshConfig, RunMetrics};
+    pub use crate::exec::{DeltaBatch, TableDelta};
     pub use crate::expr::Expr;
     pub use crate::plan::{AggExpr, JoinType, LogicalPlan};
     pub use crate::schema::{Field, Schema};
-    pub use crate::storage::{DiskCatalog, MemoryCatalog, Throttle};
+    pub use crate::storage::{DeltaStore, DiskCatalog, MemoryCatalog, Throttle};
     pub use crate::table::{Table, TableBuilder};
     pub use crate::types::{DataType, Value};
 }

@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::exec::{self, AggFunc, SortKey};
+use crate::exec::{self, AggFunc, SortKey, TableDelta};
 use crate::expr::Expr;
 use crate::table::Table;
 use crate::{EngineError, Result};
@@ -107,8 +107,74 @@ pub trait TableSource {
     fn table(&self, name: &str) -> Result<Arc<Table>>;
 }
 
+/// Anything that can resolve a table name to its pending delta (the
+/// changes since the consuming MV's last refresh).
+pub trait DeltaSource {
+    /// Resolves `name`'s pending delta (empty when nothing changed), or
+    /// fails with [`EngineError::UnknownTable`].
+    fn delta(&self, name: &str) -> Result<TableDelta>;
+}
+
+/// What the incremental-maintenance subsystem can do with a plan, derived
+/// purely from its operator tree (see [`LogicalPlan::incremental_support`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementalSupport {
+    /// A Scan/Filter/Project chain: input deltas propagate row-wise via
+    /// [`LogicalPlan::execute_delta`], and the node publishes its own
+    /// output delta for downstream consumers. `projects` records whether a
+    /// projection is present — projections are lossy, so such chains only
+    /// support insert-only deltas.
+    RowWise {
+        /// Whether the chain contains a projection.
+        projects: bool,
+    },
+    /// A hash aggregation over a row-wise chain: the node's stored output
+    /// can absorb an insert-only input delta via
+    /// [`crate::exec::merge_aggregate`], but no output delta is published
+    /// (group updates are not representable as insert-only changes).
+    /// `mergeable` is false when an aggregate function (Avg) cannot resume
+    /// its accumulator from the stored value.
+    MergeAggregate {
+        /// Whether the chain below the aggregate contains a projection.
+        projects: bool,
+        /// Whether every aggregate function can be merged incrementally.
+        mergeable: bool,
+    },
+    /// Joins, unions, sorts, limits, or nested aggregates: always
+    /// recomputed in full.
+    Unsupported,
+}
+
+impl IncrementalSupport {
+    /// Whether a plan with this support can be maintained incrementally
+    /// given whether its input delta removes rows.
+    pub fn maintainable(self, has_deletes: bool) -> bool {
+        match self {
+            IncrementalSupport::RowWise { projects } => !has_deletes || !projects,
+            IncrementalSupport::MergeAggregate {
+                projects: _,
+                mergeable,
+            } => mergeable && !has_deletes,
+            IncrementalSupport::Unsupported => false,
+        }
+    }
+
+    /// Whether the node's own output delta is available to consumers.
+    pub fn publishes_delta(self) -> bool {
+        matches!(self, IncrementalSupport::RowWise { .. })
+    }
+}
+
 impl TableSource for HashMap<String, Arc<Table>> {
     fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+}
+
+impl DeltaSource for HashMap<String, TableDelta> {
+    fn delta(&self, name: &str) -> Result<TableDelta> {
         self.get(name)
             .cloned()
             .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
@@ -216,6 +282,56 @@ impl LogicalPlan {
                 left.collect_inputs(out);
                 right.collect_inputs(out);
             }
+        }
+    }
+
+    /// Classifies the plan for incremental maintenance (see
+    /// [`IncrementalSupport`]).
+    pub fn incremental_support(&self) -> IncrementalSupport {
+        fn row_wise(plan: &LogicalPlan) -> Option<bool> {
+            match plan {
+                LogicalPlan::Scan { .. } => Some(false),
+                LogicalPlan::Filter { input, .. } => row_wise(input),
+                LogicalPlan::Project { input, .. } => row_wise(input).map(|_| true),
+                _ => None,
+            }
+        }
+        if let LogicalPlan::Aggregate { input, aggs, .. } = self {
+            if let Some(projects) = row_wise(input) {
+                let triples: Vec<(AggFunc, String, String)> = aggs
+                    .iter()
+                    .map(|a| (a.func, a.column.clone(), a.alias.clone()))
+                    .collect();
+                return IncrementalSupport::MergeAggregate {
+                    projects,
+                    mergeable: exec::aggs_mergeable(&triples),
+                };
+            }
+            return IncrementalSupport::Unsupported;
+        }
+        match row_wise(self) {
+            Some(projects) => IncrementalSupport::RowWise { projects },
+            None => IncrementalSupport::Unsupported,
+        }
+    }
+
+    /// Propagates input deltas through a row-wise (Scan/Filter/Project)
+    /// plan, producing the output delta. Fails on operators outside that
+    /// fragment — callers must consult [`LogicalPlan::incremental_support`]
+    /// first. (An aggregate root is handled by the controller, which feeds
+    /// its *input*'s delta to [`crate::exec::merge_aggregate`].)
+    pub fn execute_delta<S: DeltaSource + ?Sized>(&self, source: &S) -> Result<TableDelta> {
+        match self {
+            LogicalPlan::Scan { table } => source.delta(table),
+            LogicalPlan::Filter { input, predicate } => {
+                exec::delta_filter(&input.execute_delta(source)?, predicate)
+            }
+            LogicalPlan::Project { input, exprs } => {
+                exec::delta_project(&input.execute_delta(source)?, exprs)
+            }
+            other => Err(EngineError::InvalidPlan(format!(
+                "operator is not delta-maintainable: {other:?}"
+            ))),
         }
     }
 
@@ -344,6 +460,89 @@ mod tests {
         );
         let out = plan.execute(&source()).unwrap();
         assert_eq!(out.num_rows(), 4); // west order kept with empty region
+    }
+
+    #[test]
+    fn incremental_support_classification() {
+        use crate::exec::AggFunc;
+        let scan = LogicalPlan::scan("t");
+        assert_eq!(
+            scan.incremental_support(),
+            IncrementalSupport::RowWise { projects: false }
+        );
+        let chain = LogicalPlan::scan("t")
+            .filter(Expr::lit(true))
+            .project(vec![(Expr::col("x"), "x".into())]);
+        assert_eq!(
+            chain.incremental_support(),
+            IncrementalSupport::RowWise { projects: true }
+        );
+        // Filter-only chains survive deletes; projections do not.
+        assert!(LogicalPlan::scan("t")
+            .filter(Expr::lit(true))
+            .incremental_support()
+            .maintainable(true));
+        assert!(!chain.incremental_support().maintainable(true));
+        assert!(chain.incremental_support().maintainable(false));
+
+        let agg = LogicalPlan::scan("t")
+            .aggregate(vec!["k".into()], vec![AggExpr::new(AggFunc::Sum, "v", "s")]);
+        assert_eq!(
+            agg.incremental_support(),
+            IncrementalSupport::MergeAggregate {
+                projects: false,
+                mergeable: true
+            }
+        );
+        assert!(agg.incremental_support().maintainable(false));
+        assert!(!agg.incremental_support().maintainable(true));
+        assert!(!agg.incremental_support().publishes_delta());
+
+        let avg = LogicalPlan::scan("t")
+            .aggregate(vec!["k".into()], vec![AggExpr::new(AggFunc::Avg, "v", "m")]);
+        assert!(!avg.incremental_support().maintainable(false));
+
+        let join = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![]);
+        assert_eq!(join.incremental_support(), IncrementalSupport::Unsupported);
+        // Aggregate over a join, or anything over an aggregate: unsupported.
+        let nested = LogicalPlan::scan("a")
+            .join(LogicalPlan::scan("b"), vec![])
+            .aggregate(vec![], vec![]);
+        assert_eq!(
+            nested.incremental_support(),
+            IncrementalSupport::Unsupported
+        );
+        assert_eq!(
+            agg.clone().filter(Expr::lit(true)).incremental_support(),
+            IncrementalSupport::Unsupported
+        );
+    }
+
+    #[test]
+    fn execute_delta_propagates_through_chain() {
+        let mut base = TableBuilder::new()
+            .column("k", DataType::Int64)
+            .column("v", DataType::Float64)
+            .build();
+        base.push_row(vec![1.into(), 10.0.into()]).unwrap();
+        base.push_row(vec![2.into(), 3.0.into()]).unwrap();
+        let delta = TableDelta::insert_only(base.clone());
+        let mut deltas = HashMap::new();
+        deltas.insert("t".to_string(), delta);
+
+        let plan = LogicalPlan::scan("t")
+            .filter(Expr::col("v").gt(Expr::lit(5.0f64)))
+            .project(vec![(Expr::col("k"), "k".into())]);
+        let out = plan.execute_delta(&deltas).unwrap();
+        assert_eq!(out.insert_rows(), 1);
+        assert_eq!(out.batches()[0].inserts.value(0, 0), Value::Int64(1));
+
+        // Unknown table and unsupported operators fail cleanly.
+        assert!(LogicalPlan::scan("missing").execute_delta(&deltas).is_err());
+        assert!(LogicalPlan::scan("t")
+            .union(LogicalPlan::scan("t"))
+            .execute_delta(&deltas)
+            .is_err());
     }
 
     #[test]

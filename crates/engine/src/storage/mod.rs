@@ -1,12 +1,15 @@
 //! Storage backends: a self-describing columnar file format
-//! ([`format`]), an external-storage catalog with optional I/O throttling
-//! ([`DiskCatalog`]), and the bounded in-memory [`MemoryCatalog`] at the
-//! heart of S/C.
+//! ([`mod@format`]), an external-storage catalog with optional I/O throttling
+//! ([`DiskCatalog`]), the bounded in-memory [`MemoryCatalog`] at the heart
+//! of S/C, and the append-only [`DeltaStore`] logging base-table changes
+//! between refresh runs.
 
 pub mod format;
 
+mod delta;
 mod disk;
 mod memory;
 
+pub use delta::{ingest, DeltaStore};
 pub use disk::{DiskCatalog, Throttle};
 pub use memory::MemoryCatalog;

@@ -1,0 +1,48 @@
+//! Simulation errors.
+
+use std::fmt;
+
+/// Failure of a simulated refresh run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The workload graph or execution order is invalid.
+    Dag(sc_dag::DagError),
+    /// A flagged node did not fit the Memory Catalog while
+    /// [`crate::SimConfig::fallback_on_memory_pressure`] is disabled
+    /// (mirrors the engine's strict-failure mode).
+    MemoryBudgetExceeded {
+        /// Bytes the admission needed.
+        requested: u64,
+        /// Modeled catalog usage at that point.
+        used: u64,
+        /// The configured budget `M`.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Dag(e) => write!(f, "dag: {e}"),
+            SimError::MemoryBudgetExceeded {
+                requested,
+                used,
+                budget,
+            } => write!(
+                f,
+                "memory catalog budget exceeded: requested {requested} B with {used}/{budget} B used"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<sc_dag::DagError> for SimError {
+    fn from(e: sc_dag::DagError) -> Self {
+        SimError::Dag(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimError>;

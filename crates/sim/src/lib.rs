@@ -45,12 +45,14 @@
 //! ```
 
 mod cluster;
+mod error;
 mod lru;
 mod report;
 mod simulator;
 mod workload;
 
 pub use cluster::ClusterModel;
+pub use error::{Result, SimError};
 pub use report::{NodeTimeline, SimReport};
 pub use simulator::{SimConfig, Simulator};
 pub use workload::{SimNode, SimWorkload};

@@ -70,7 +70,7 @@ impl Simulator {
         workload: &SimWorkload,
         order: &[NodeId],
         cache_bytes: u64,
-    ) -> sc_dag::Result<SimReport> {
+    ) -> crate::Result<SimReport> {
         let graph = &workload.graph;
         graph.validate_order(order)?;
         let cfg = self.config();
@@ -114,6 +114,7 @@ impl Simulator {
 
             timelines.push(NodeTimeline {
                 name: node.name.clone(),
+                mode: sc_core::NodeMode::Full,
                 start_s: start,
                 read_s,
                 disk_read_s,

@@ -1,10 +1,15 @@
 use serde::{Deserialize, Serialize};
 
+use sc_core::NodeMode;
+
 /// Simulated timeline of one node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeTimeline {
     /// Node name.
     pub name: String,
+    /// How the node was brought up to date (full recompute, incremental
+    /// delta maintenance, or skipped).
+    pub mode: NodeMode,
     /// Simulation time at which the node started executing.
     pub start_s: f64,
     /// Seconds spent reading inputs (disk + memory).
@@ -80,6 +85,7 @@ mod tests {
     fn aggregations() {
         let node = |read, disk, compute, write, fell_back| NodeTimeline {
             name: "n".into(),
+            mode: NodeMode::Full,
             start_s: 0.0,
             read_s: read,
             disk_read_s: disk,

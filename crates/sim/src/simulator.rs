@@ -1,7 +1,8 @@
 use serde::{Deserialize, Serialize};
 
-use sc_core::{CostModel, Plan};
+use sc_core::{CostModel, FlagSet, NodeMode, Plan, RefreshMode};
 
+use crate::error::{Result, SimError};
 use crate::report::{NodeTimeline, SimReport};
 use crate::workload::SimWorkload;
 
@@ -39,6 +40,19 @@ pub struct SimConfig {
     /// dependencies are readable and a lane is free, flag admission
     /// follows plan order).
     pub lanes: usize,
+    /// Multi-lane run-ahead window override; `None` derives it from the
+    /// lane count via [`sc_core::run_ahead_window`] (mirrors
+    /// `RefreshConfig::run_ahead_window` in the engine).
+    pub run_ahead_window: Option<usize>,
+    /// Mirror of the engine's `ControllerConfig::fallback_on_memory_pressure`:
+    /// when false, a flagged node that does not fit the Memory Catalog
+    /// fails the run ([`SimError::MemoryBudgetExceeded`]) instead of
+    /// falling back to a blocking write.
+    pub fallback_on_memory_pressure: bool,
+    /// Full-vs-incremental maintenance policy, consulted for nodes whose
+    /// [`crate::SimNode::delta_bytes`] annotation is set (mirrors
+    /// `RefreshConfig::refresh_mode` in the engine).
+    pub refresh_mode: RefreshMode,
 }
 
 impl SimConfig {
@@ -55,12 +69,33 @@ impl SimConfig {
             per_node_overhead_s: 0.15,
             compute_penalty: 0.0,
             lanes: 1,
+            run_ahead_window: None,
+            fallback_on_memory_pressure: true,
+            refresh_mode: RefreshMode::Auto,
         }
     }
 
     /// The same environment with `lanes` compute lanes.
     pub fn with_lanes(mut self, lanes: usize) -> Self {
         self.lanes = lanes.max(1);
+        self
+    }
+
+    /// Overrides the multi-lane run-ahead window.
+    pub fn with_run_ahead_window(mut self, window: usize) -> Self {
+        self.run_ahead_window = Some(window);
+        self
+    }
+
+    /// Overrides the memory-pressure fallback policy.
+    pub fn with_fallback_on_memory_pressure(mut self, fallback: bool) -> Self {
+        self.fallback_on_memory_pressure = fallback;
+        self
+    }
+
+    /// Overrides the maintenance policy.
+    pub fn with_refresh_mode(mut self, mode: RefreshMode) -> Self {
+        self.refresh_mode = mode;
         self
     }
 
@@ -91,6 +126,23 @@ impl SimConfig {
     }
 }
 
+/// Per-run incremental-maintenance plan, fixed before simulation (mirror
+/// of the engine controller's delta planning).
+struct SimDeltaPlan {
+    /// How each node is brought up to date.
+    modes: Vec<NodeMode>,
+    /// Memory Catalog payload per node if admitted: its delta size when
+    /// every consumer maintains incrementally, its output size otherwise.
+    payload: Vec<u64>,
+    /// Whether the node's catalog payload is its delta.
+    delta_payload: Vec<bool>,
+    /// Nodes whose delta is spilled to storage for consumers that cannot
+    /// read it from the catalog.
+    spill: Vec<bool>,
+    /// Effective flags: the plan's flags minus skipped nodes.
+    flagged: FlagSet,
+}
+
 /// Deterministic single-lane refresh-run simulator.
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -110,23 +162,111 @@ impl Simulator {
 
     /// Simulates the sequential, nothing-flagged baseline ("No
     /// optimization" in Figure 9) using a deterministic topological order.
-    pub fn run_unoptimized(&self, workload: &SimWorkload) -> sc_dag::Result<SimReport> {
+    pub fn run_unoptimized(&self, workload: &SimWorkload) -> Result<SimReport> {
         let order = workload.graph.kahn_order();
         self.run(workload, &Plan::unoptimized(order))
     }
 
     /// Simulates a refresh run under `plan`, reproducing the engine
     /// controller's semantics (background materialization, release on
-    /// last-consumer + write-done, fallback under memory pressure). With
-    /// `config.lanes > 1` the run mirrors the engine's multi-lane
-    /// executor instead of the paper's sequential one.
-    pub fn run(&self, workload: &SimWorkload, plan: &Plan) -> sc_dag::Result<SimReport> {
+    /// last-consumer + write-done, fallback under memory pressure,
+    /// full-vs-incremental maintenance per node). With `config.lanes > 1`
+    /// the run mirrors the engine's multi-lane executor instead of the
+    /// paper's sequential one.
+    pub fn run(&self, workload: &SimWorkload, plan: &Plan) -> Result<SimReport> {
         workload.graph.validate_order(&plan.order)?;
         let pos = workload.graph.order_positions(&plan.order)?;
+        let dp = self.plan_deltas(workload, plan);
         if self.config.lanes <= 1 {
-            self.run_single_lane(workload, plan, &pos)
+            self.run_single_lane(workload, plan, &pos, &dp)
         } else {
-            self.run_multi_lane(workload, plan, &pos)
+            self.run_multi_lane(workload, plan, &pos, &dp)
+        }
+    }
+
+    /// Fixes every node's maintenance mode before the run — the same
+    /// decision rule as the engine's controller: a node can be maintained
+    /// incrementally only when every parent's delta is known (the parent
+    /// is skipped, or incremental and publishing), is skipped when its
+    /// annotated delta is zero, and otherwise needs operator support plus
+    /// — under [`RefreshMode::Auto`] — a cost-model win.
+    fn plan_deltas(&self, workload: &SimWorkload, plan: &Plan) -> SimDeltaPlan {
+        let graph = &workload.graph;
+        let n = graph.len();
+        let cfg = &self.config;
+        let mut modes = vec![NodeMode::Full; n];
+        if cfg.refresh_mode != RefreshMode::AlwaysFull {
+            for &v in &plan.order {
+                let node = graph.node(v);
+                let Some(delta) = node.delta_bytes else {
+                    continue;
+                };
+                // Every parent's delta must be known: skipped, or
+                // incremental *and publishing* (merge-only parents absorb
+                // their delta but expose nothing to consume).
+                let known = graph.parents(v).iter().all(|&p| {
+                    modes[p.index()] == NodeMode::Skipped
+                        || (modes[p.index()] == NodeMode::Incremental
+                            && graph.node(p).delta_publishes)
+                });
+                if !known {
+                    continue;
+                }
+                if delta == 0 {
+                    modes[v.index()] = NodeMode::Skipped;
+                    continue;
+                }
+                if !node.delta_supported {
+                    continue;
+                }
+                let incremental = match cfg.refresh_mode {
+                    RefreshMode::AlwaysIncremental => true,
+                    RefreshMode::Auto => {
+                        let input: u64 = node.base_read_bytes
+                            + graph
+                                .parents(v)
+                                .iter()
+                                .map(|&p| graph.node(p).output_bytes)
+                                .sum::<u64>();
+                        cfg.cost_model()
+                            .incremental_refresh_wins(input, node.output_bytes, delta)
+                    }
+                    RefreshMode::AlwaysFull => unreachable!("checked above"),
+                };
+                if incremental {
+                    modes[v.index()] = NodeMode::Incremental;
+                }
+            }
+        }
+        let flagged: FlagSet = (0..n)
+            .map(|i| plan.flagged.contains(sc_dag::NodeId(i)) && modes[i] != NodeMode::Skipped)
+            .collect();
+        let mut delta_payload = vec![false; n];
+        let mut spill = vec![false; n];
+        let mut payload = vec![0u64; n];
+        for v in graph.node_ids() {
+            let i = v.index();
+            let children = graph.children(v);
+            let inc = children
+                .iter()
+                .filter(|&&c| modes[c.index()] == NodeMode::Incremental)
+                .count();
+            let publishes = modes[i] == NodeMode::Incremental && graph.node(v).delta_publishes;
+            delta_payload[i] =
+                flagged.contains(v) && publishes && !children.is_empty() && inc == children.len();
+            spill[i] = publishes && inc > 0 && !delta_payload[i];
+            payload[i] = if delta_payload[i] {
+                graph.node(v).delta_bytes.unwrap_or(0)
+            } else {
+                graph.node(v).output_bytes
+            };
+        }
+        SimDeltaPlan {
+            modes,
+            payload,
+            delta_payload,
+            spill,
+            flagged,
         }
     }
 
@@ -137,7 +277,8 @@ impl Simulator {
         workload: &SimWorkload,
         plan: &Plan,
         pos: &[usize],
-    ) -> sc_dag::Result<SimReport> {
+        dp: &SimDeltaPlan,
+    ) -> Result<SimReport> {
         let graph = &workload.graph;
         let n = graph.len();
         let cfg = &self.config;
@@ -162,43 +303,106 @@ impl Simulator {
             for u in graph.node_ids() {
                 if resident[u.index()] && graph.children(u).iter().all(|c| pos[c.index()] < p) {
                     resident[u.index()] = false;
-                    *mem_used -= graph.node(u).output_bytes;
+                    *mem_used -= dp.payload[u.index()];
                 }
             }
         };
 
         for (p, &v) in plan.order.iter().enumerate() {
             let node = graph.node(v);
+            let i = v.index();
+
+            if dp.modes[i] == NodeMode::Skipped {
+                // Stored contents already current: no statement is even
+                // issued. The node still counts as an executed consumer
+                // (later release passes see its position as done).
+                timelines.push(NodeTimeline {
+                    name: node.name.clone(),
+                    mode: NodeMode::Skipped,
+                    start_s: now,
+                    read_s: 0.0,
+                    disk_read_s: 0.0,
+                    compute_s: 0.0,
+                    write_s: 0.0,
+                    available_s: now,
+                    persisted_s: now,
+                    flagged: false,
+                    fell_back: false,
+                });
+                continue;
+            }
+
             now += cfg.per_node_overhead_s;
             let start = now;
             release_pass(&mut resident, &mut mem_used, &write_done, p, now);
 
-            // Read inputs: base tables always from storage; parent outputs
-            // from memory when resident.
+            let incremental = dp.modes[i] == NodeMode::Incremental;
+            let delta_bytes = node.delta_bytes.unwrap_or(0);
             let mut read_s = 0.0;
             let mut disk_read_s = 0.0;
-            if node.base_read_bytes > 0 {
-                let t = cfg.disk_read_time(node.base_read_bytes);
+            let compute_s = if incremental {
+                // Re-read own stored contents to apply the delta.
+                let t = cfg.disk_read_time(node.output_bytes);
                 read_s += t;
                 disk_read_s += t;
-            }
-            for &parent in graph.parents(v) {
-                let bytes = graph.node(parent).output_bytes;
-                if resident[parent.index()] {
-                    read_s += cfg.mem_time(bytes);
-                } else {
-                    let t = cfg.disk_read_time(bytes);
+                // Parent deltas: from the catalog when resident as a delta
+                // payload, from their spilled file otherwise. (The pending
+                // base-table delta itself is an in-memory log: free.)
+                for &parent in graph.parents(v) {
+                    let pi = parent.index();
+                    match dp.modes[pi] {
+                        NodeMode::Skipped => {}
+                        _ => {
+                            let bytes = graph.node(parent).delta_bytes.unwrap_or(0);
+                            if resident[pi] && dp.delta_payload[pi] {
+                                read_s += cfg.mem_time(bytes);
+                            } else {
+                                let t = cfg.disk_read_time(bytes);
+                                read_s += t;
+                                disk_read_s += t;
+                            }
+                        }
+                    }
+                }
+                // Operator work scales with the delta fraction.
+                let frac = (delta_bytes as f64 / (node.output_bytes.max(1)) as f64).min(1.0);
+                cfg.compute_time(node.compute_s) * frac
+            } else {
+                // Full recompute: base tables always from storage; parent
+                // outputs from memory when resident.
+                if node.base_read_bytes > 0 {
+                    let t = cfg.disk_read_time(node.base_read_bytes);
                     read_s += t;
                     disk_read_s += t;
                 }
+                for &parent in graph.parents(v) {
+                    let bytes = graph.node(parent).output_bytes;
+                    if resident[parent.index()] {
+                        read_s += cfg.mem_time(bytes);
+                    } else {
+                        let t = cfg.disk_read_time(bytes);
+                        read_s += t;
+                        disk_read_s += t;
+                    }
+                }
+                cfg.compute_time(node.compute_s)
+            };
+
+            let mut available = start + read_s + compute_s;
+            let mut write_s = 0.0;
+
+            // Spill the published delta for consumers that read it from
+            // storage: a blocking, delta-sized write on the shared channel.
+            if dp.spill[i] {
+                let wstart = available.max(writer_free_at);
+                let done = wstart + cfg.disk_write_time(delta_bytes);
+                writer_free_at = done;
+                write_s += done - available;
+                available = done;
             }
 
-            let compute_s = cfg.compute_time(node.compute_s);
-            let mut available = start + read_s + compute_s;
-
-            let flagged = plan.flagged.contains(v);
+            let flagged = dp.flagged.contains(v);
             let mut fell_back = false;
-            let mut write_s = 0.0;
             let persisted;
 
             // A childless flagged node has no consumers: it is created in
@@ -211,45 +415,59 @@ impl Simulator {
                     available += cfg.mem_time(node.output_bytes);
                     let wstart = available.max(writer_free_at);
                     let done = wstart + cfg.disk_write_time(node.output_bytes);
-                    write_done[v.index()] = done;
+                    write_done[i] = done;
                     writer_free_at = done;
                     persisted = done;
                     now = available;
-                } else if mem_used + node.output_bytes <= cfg.memory_budget {
-                    // Creating in memory costs one memory write.
-                    available += cfg.mem_time(node.output_bytes);
-                    resident[v.index()] = true;
-                    mem_used += node.output_bytes;
+                } else if mem_used + dp.payload[i] <= cfg.memory_budget {
+                    // Creating the payload in memory costs one memory
+                    // write (delta-sized for delta payloads).
+                    available += cfg.mem_time(dp.payload[i]);
+                    resident[i] = true;
+                    mem_used += dp.payload[i];
                     peak_mem = peak_mem.max(mem_used);
                     let wstart = available.max(writer_free_at);
                     let done = wstart + cfg.disk_write_time(node.output_bytes);
-                    write_done[v.index()] = done;
+                    write_done[i] = done;
                     writer_free_at = done;
                     persisted = done;
                     now = available;
-                } else {
-                    // Memory pressure: blocking write instead.
+                } else if cfg.fallback_on_memory_pressure {
+                    // Memory pressure: blocking write instead. A fallen-
+                    // back delta payload must reach storage too.
                     fell_back = true;
+                    let spill_s = if dp.delta_payload[i] {
+                        cfg.disk_write_time(delta_bytes)
+                    } else {
+                        0.0
+                    };
                     let wstart = available.max(writer_free_at);
-                    let done = wstart + cfg.disk_write_time(node.output_bytes);
+                    let done = wstart + spill_s + cfg.disk_write_time(node.output_bytes);
                     writer_free_at = done;
-                    write_done[v.index()] = done;
-                    write_s = done - available;
+                    write_done[i] = done;
+                    write_s += done - available;
                     persisted = done;
                     now = done;
+                } else {
+                    return Err(SimError::MemoryBudgetExceeded {
+                        requested: dp.payload[i],
+                        used: mem_used,
+                        budget: cfg.memory_budget,
+                    });
                 }
             } else {
                 let wstart = available.max(writer_free_at);
                 let done = wstart + cfg.disk_write_time(node.output_bytes);
                 writer_free_at = done;
-                write_done[v.index()] = done;
-                write_s = done - available;
+                write_done[i] = done;
+                write_s += done - available;
                 persisted = done;
                 now = done;
             }
 
             timelines.push(NodeTimeline {
                 name: node.name.clone(),
+                mode: dp.modes[i],
                 start_s: start,
                 read_s,
                 disk_read_s,
@@ -286,7 +504,8 @@ impl Simulator {
         workload: &SimWorkload,
         plan: &Plan,
         pos: &[usize],
-    ) -> sc_dag::Result<SimReport> {
+        dp: &SimDeltaPlan,
+    ) -> Result<SimReport> {
         use std::cmp::Reverse;
         use std::collections::{BTreeMap, BinaryHeap};
 
@@ -294,7 +513,9 @@ impl Simulator {
         let n = graph.len();
         let cfg = &self.config;
         let lanes = cfg.lanes.min(n.max(1));
-        let window = sc_core::run_ahead_window(lanes);
+        let window = cfg
+            .run_ahead_window
+            .unwrap_or_else(|| sc_core::run_ahead_window(lanes));
 
         /// Heap entries ordered by time then insertion sequence, so the
         /// simulation is fully deterministic.
@@ -356,9 +577,17 @@ impl Simulator {
             Write(usize),
         }
 
-        let flagged = |i: usize| plan.flagged.contains(sc_dag::NodeId(i));
+        let flagged = |i: usize| dp.flagged.contains(sc_dag::NodeId(i));
         let occupies = |i: usize| graph.out_degree(sc_dag::NodeId(i)) > 0;
         let size_of = |i: usize| graph.node(sc_dag::NodeId(i)).output_bytes;
+        let delta_of = |i: usize| graph.node(sc_dag::NodeId(i)).delta_bytes.unwrap_or(0);
+        // The executor works against the *effective* flags (skipped nodes
+        // never enter the catalog).
+        let eff_plan = Plan {
+            order: plan.order.clone(),
+            flagged: dp.flagged.clone(),
+        };
+        let plan = &eff_plan;
         let admission_order: Vec<usize> = plan
             .order
             .iter()
@@ -376,7 +605,9 @@ impl Simulator {
         // Deterministic replay of the single-lane accounting: fix every
         // flagged node's admit/fallback outcome in plan order upfront
         // (sizes are static in simulation). The replayer is the same type
-        // the engine's executor uses, so the two cannot drift apart.
+        // the engine's executor uses, so the two cannot drift apart. The
+        // accounted size is the node's catalog *payload* — delta-sized
+        // when every consumer maintains incrementally.
         let admit_decision: Vec<bool> = {
             let parents_of: Vec<Vec<usize>> = (0..n)
                 .map(|i| {
@@ -387,13 +618,25 @@ impl Simulator {
                         .collect()
                 })
                 .collect();
-            let sizes: Vec<u64> = (0..n).map(size_of).collect();
             let mut replay = sc_core::AdmissionReplay::new(plan, &parents_of, cfg.memory_budget);
-            replay.advance(plan, &parents_of, &vec![true; n], &sizes);
+            replay.advance(plan, &parents_of, &vec![true; n], &dp.payload);
             (0..n)
                 .map(|i| replay.decision(i).unwrap_or(false))
                 .collect()
         };
+        if !cfg.fallback_on_memory_pressure {
+            // Strict-failure mode: the first modeled fallback aborts the
+            // run, as in the engine.
+            for &cand in &admission_order {
+                if !admit_decision[cand] {
+                    return Err(SimError::MemoryBudgetExceeded {
+                        requested: dp.payload[cand],
+                        used: 0,
+                        budget: cfg.memory_budget,
+                    });
+                }
+            }
+        }
 
         let mut events: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -450,48 +693,99 @@ impl Simulator {
                             let v = sc_dag::NodeId(i);
                             let node = graph.node(v);
                             start_s[i] = $clock;
-                            let mut r = 0.0;
-                            let mut dr = 0.0;
-                            if node.base_read_bytes > 0 {
-                                let t = cfg.disk_read_time(node.base_read_bytes);
-                                r += t;
-                                dr += t;
-                            }
-                            for &parent in graph.parents(v) {
-                                let bytes = graph.node(parent).output_bytes;
-                                if resident[parent.index()] {
-                                    r += cfg.mem_time(bytes);
-                                } else {
-                                    let t = cfg.disk_read_time(bytes);
+                            if dp.modes[i] == NodeMode::Skipped {
+                                // No statement issued: complete instantly.
+                                push(&mut events, $clock, Event::ComputeEnd(i));
+                            } else {
+                                let incremental = dp.modes[i] == NodeMode::Incremental;
+                                let mut r = 0.0;
+                                let mut dr = 0.0;
+                                if incremental {
+                                    // Own stored contents, to apply the
+                                    // delta to.
+                                    let t = cfg.disk_read_time(node.output_bytes);
                                     r += t;
                                     dr += t;
+                                    for &parent in graph.parents(v) {
+                                        let pi = parent.index();
+                                        if dp.modes[pi] == NodeMode::Skipped {
+                                            continue;
+                                        }
+                                        let bytes = delta_of(pi);
+                                        if resident[pi] && dp.delta_payload[pi] {
+                                            r += cfg.mem_time(bytes);
+                                        } else {
+                                            let t = cfg.disk_read_time(bytes);
+                                            r += t;
+                                            dr += t;
+                                        }
+                                    }
+                                    let frac = (delta_of(i) as f64
+                                        / (node.output_bytes.max(1)) as f64)
+                                        .min(1.0);
+                                    compute_s[i] = cfg.compute_time(node.compute_s) * frac;
+                                } else {
+                                    if node.base_read_bytes > 0 {
+                                        let t = cfg.disk_read_time(node.base_read_bytes);
+                                        r += t;
+                                        dr += t;
+                                    }
+                                    for &parent in graph.parents(v) {
+                                        let bytes = graph.node(parent).output_bytes;
+                                        if resident[parent.index()] {
+                                            r += cfg.mem_time(bytes);
+                                        } else {
+                                            let t = cfg.disk_read_time(bytes);
+                                            r += t;
+                                            dr += t;
+                                        }
+                                    }
+                                    compute_s[i] = cfg.compute_time(node.compute_s);
                                 }
+                                read_s[i] = r;
+                                disk_read_s[i] = dr;
+                                // Disk reads reserve a slot on the shared
+                                // read channel (one device, as in the
+                                // engine's throttle); memory reads and
+                                // compute don't.
+                                let t0 = $clock + cfg.per_node_overhead_s;
+                                let read_end = if dr > 0.0 {
+                                    let rs = t0.max(read_free_at);
+                                    read_free_at = rs + dr;
+                                    rs + dr
+                                } else {
+                                    t0
+                                };
+                                let mut done = read_end + (r - dr) + compute_s[i];
+                                if dp.spill[i] {
+                                    // Published delta spilled to storage
+                                    // during compute (before the node
+                                    // becomes readable), on the shared
+                                    // write channel.
+                                    let wstart = done.max(bg_free_at);
+                                    let spill_done = wstart + cfg.disk_write_time(delta_of(i));
+                                    bg_free_at = spill_done;
+                                    write_s[i] += spill_done - done;
+                                    done = spill_done;
+                                }
+                                push(&mut events, done, Event::ComputeEnd(i));
                             }
-                            read_s[i] = r;
-                            disk_read_s[i] = dr;
-                            compute_s[i] = cfg.compute_time(node.compute_s);
-                            // Disk reads reserve a slot on the shared read
-                            // channel (one device, as in the engine's
-                            // throttle); memory reads and compute don't.
-                            let t0 = $clock + cfg.per_node_overhead_s;
-                            let read_end = if dr > 0.0 {
-                                let rs = t0.max(read_free_at);
-                                read_free_at = rs + dr;
-                                rs + dr
-                            } else {
-                                t0
-                            };
-                            let done = read_end + (r - dr) + compute_s[i];
-                            push(&mut events, done, Event::ComputeEnd(i));
                         }
                         Job::Write(i) => {
                             // Fallback write: occupies this lane AND the
                             // shared write channel, like the engine's
-                            // Write task hitting the throttled disk.
+                            // Write task hitting the throttled disk. A
+                            // fallen-back delta payload spills its delta
+                            // first.
+                            let spill = if dp.delta_payload[i] {
+                                cfg.disk_write_time(delta_of(i))
+                            } else {
+                                0.0
+                            };
                             let wstart = ($clock).max(bg_free_at);
-                            let done = wstart + cfg.disk_write_time(size_of(i));
+                            let done = wstart + spill + cfg.disk_write_time(size_of(i));
                             bg_free_at = done;
-                            write_s[i] = done - $clock;
+                            write_s[i] += done - $clock;
                             persisted_s[i] = done;
                             push(&mut events, done, Event::LaneWriteEnd(i));
                         }
@@ -512,7 +806,7 @@ impl Simulator {
                     }
                     if admit_decision[cand] {
                         resident[cand] = true;
-                        mem_used += size_of(cand);
+                        mem_used += dp.payload[cand];
                         peak_mem = peak_mem.max(mem_used);
                         let wstart = ($clock).max(bg_free_at);
                         let done = wstart + cfg.disk_write_time(size_of(cand));
@@ -548,11 +842,18 @@ impl Simulator {
                         remaining_children[p] -= 1;
                         if remaining_children[p] == 0 && resident[p] {
                             resident[p] = false;
-                            mem_used -= size_of(p);
+                            mem_used -= dp.payload[p];
                         }
                     }
                     let out = size_of(i);
-                    if flagged(i) && !occupies(i) {
+                    if dp.modes[i] == NodeMode::Skipped {
+                        // Already persisted from the previous run: free
+                        // the lane and let consumers proceed.
+                        available_s[i] = clock;
+                        persisted_s[i] = clock;
+                        push(&mut events, clock, Event::LaneFree);
+                        push(&mut events, clock, Event::Publish(i));
+                    } else if flagged(i) && !occupies(i) {
                         // Childless flagged node: created in memory only to
                         // background its write; never occupies the catalog.
                         let created = clock + cfg.mem_time(out);
@@ -564,9 +865,10 @@ impl Simulator {
                         push(&mut events, created, Event::LaneFree);
                         push(&mut events, created, Event::Publish(i));
                     } else if flagged(i) {
-                        // Create in memory on this lane, then wait for
-                        // plan-order admission.
-                        let created = clock + cfg.mem_time(out);
+                        // Create the catalog payload in memory on this
+                        // lane (delta-sized for delta payloads), then wait
+                        // for plan-order admission.
+                        let created = clock + cfg.mem_time(dp.payload[i]);
                         available_s[i] = created;
                         push(&mut events, created, Event::LaneFree);
                         push(&mut events, created, Event::AdmitReady(i));
@@ -577,7 +879,7 @@ impl Simulator {
                         let wstart = clock.max(bg_free_at);
                         let done = wstart + cfg.disk_write_time(out);
                         bg_free_at = done;
-                        write_s[i] = done - clock;
+                        write_s[i] += done - clock;
                         persisted_s[i] = done;
                         push(&mut events, done, Event::LaneFree);
                         push(&mut events, done, Event::Publish(i));
@@ -620,6 +922,7 @@ impl Simulator {
                 let i = v.index();
                 NodeTimeline {
                     name: graph.node(v).name.clone(),
+                    mode: dp.modes[i],
                     start_s: start_s[i],
                     read_s: read_s[i],
                     disk_read_s: disk_read_s[i],
@@ -930,6 +1233,191 @@ mod tests {
         assert_eq!(r.fallbacks(), 1);
         assert!(!r.nodes[0].flagged);
         assert!(r.peak_memory_bytes <= GIB);
+    }
+
+    /// Churn-annotated Figure 4: 5% delta on the hub propagating to one
+    /// consumer, nothing reaching the other.
+    fn churned_fig4() -> SimWorkload {
+        SimWorkload::from_parts(
+            [
+                SimNode::new("mv1", 5.0, 8 * GIB, 16 * GIB).with_delta(GIB / 4),
+                SimNode::new("mv2", 3.0, GIB, 0).with_delta(GIB / 32),
+                SimNode::new("mv3", 3.0, GIB, 0).with_delta(0),
+            ],
+            [(0, 1), (0, 2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn incremental_run_beats_full_and_skips_untouched() {
+        let w = churned_fig4();
+        let p = plan(&[0, 1, 2], &[], 3);
+        for lanes in [1usize, 3] {
+            let cfg = SimConfig::paper(10 * GIB).with_lanes(lanes);
+            let full = Simulator::new(cfg.clone().with_refresh_mode(RefreshMode::AlwaysFull))
+                .run(&w, &p)
+                .unwrap();
+            let inc = Simulator::new(cfg.with_refresh_mode(RefreshMode::AlwaysIncremental))
+                .run(&w, &p)
+                .unwrap();
+            assert!(
+                inc.total_s < full.total_s / 2.0,
+                "lanes={lanes}: incremental ({:.2}s) must crush full ({:.2}s)",
+                inc.total_s,
+                full.total_s
+            );
+            assert_eq!(inc.nodes[0].mode, NodeMode::Incremental);
+            assert_eq!(inc.nodes[1].mode, NodeMode::Incremental);
+            assert_eq!(inc.nodes[2].mode, NodeMode::Skipped, "lanes={lanes}");
+            assert_eq!(inc.nodes[2].read_s, 0.0);
+            assert!(full.nodes.iter().all(|n| n.mode == NodeMode::Full));
+        }
+    }
+
+    #[test]
+    fn auto_mode_uses_cost_model() {
+        // mv1's contents are half its input: re-reading them + the delta
+        // beats re-reading the input, so Auto goes incremental; a node
+        // whose output equals its input stays full.
+        let w = SimWorkload::from_parts(
+            [
+                SimNode::new("halved", 2.0, 4 * GIB, 8 * GIB).with_delta(GIB / 8),
+                SimNode::new("copy", 2.0, 8 * GIB, 8 * GIB).with_delta(GIB / 8),
+            ],
+            [],
+        )
+        .unwrap();
+        let r = Simulator::new(SimConfig::paper(GIB))
+            .run(&w, &plan(&[0, 1], &[], 2))
+            .unwrap();
+        assert_eq!(r.nodes[0].mode, NodeMode::Incremental);
+        assert_eq!(r.nodes[1].mode, NodeMode::Full);
+    }
+
+    #[test]
+    fn unsupported_nodes_and_their_consumers_stay_full() {
+        // A join-like node (full_only) breaks the delta chain for its
+        // consumer even though both are annotated.
+        let w = SimWorkload::from_parts(
+            [
+                SimNode::new("join", 2.0, GIB, 8 * GIB)
+                    .with_delta(GIB / 16)
+                    .full_only(),
+                SimNode::new("agg", 1.0, GIB / 64, 0).with_delta(GIB / 128),
+            ],
+            [(0, 1)],
+        )
+        .unwrap();
+        let r =
+            Simulator::new(SimConfig::paper(GIB).with_refresh_mode(RefreshMode::AlwaysIncremental))
+                .run(&w, &plan(&[0, 1], &[], 2))
+                .unwrap();
+        assert_eq!(r.nodes[0].mode, NodeMode::Full);
+        assert_eq!(r.nodes[1].mode, NodeMode::Full);
+    }
+
+    #[test]
+    fn merge_only_nodes_do_not_feed_consumers() {
+        // An aggregate-merge-shaped node maintains incrementally but
+        // publishes no delta: its annotated consumer must recompute, as in
+        // the engine.
+        let w = SimWorkload::from_parts(
+            [
+                SimNode::new("agg", 2.0, GIB / 64, 8 * GIB)
+                    .with_delta(GIB / 256)
+                    .merge_only(),
+                SimNode::new("child", 1.0, GIB / 128, 0).with_delta(GIB / 512),
+            ],
+            [(0, 1)],
+        )
+        .unwrap();
+        let r =
+            Simulator::new(SimConfig::paper(GIB).with_refresh_mode(RefreshMode::AlwaysIncremental))
+                .run(&w, &plan(&[0, 1], &[], 2))
+                .unwrap();
+        assert_eq!(r.nodes[0].mode, NodeMode::Incremental);
+        assert_eq!(r.nodes[1].mode, NodeMode::Full);
+    }
+
+    #[test]
+    fn delta_payload_reserves_delta_sized_memory() {
+        let w = churned_fig4();
+        // Flag the hub; its consumers both maintain incrementally… mv3 is
+        // skipped, so not *all* children are incremental? mv2 incremental,
+        // mv3 skipped -> mixed children keep the full payload. Give mv3
+        // churn too so both consume the delta.
+        let w2 = {
+            let mut nodes: Vec<SimNode> = w.graph.payloads().to_vec();
+            nodes[2] = SimNode::new("mv3", 3.0, GIB, 0).with_delta(GIB / 32);
+            SimWorkload::from_parts(nodes, [(0, 1), (0, 2)]).unwrap()
+        };
+        let p = plan(&[0, 1, 2], &[0], 3);
+        let cfg = SimConfig::paper(10 * GIB).with_refresh_mode(RefreshMode::AlwaysIncremental);
+        let r = Simulator::new(cfg.clone()).run(&w2, &p).unwrap();
+        assert!(r.nodes[0].flagged);
+        assert_eq!(
+            r.peak_memory_bytes,
+            GIB / 4,
+            "catalog holds the hub's delta, not its 8 GiB table"
+        );
+        // The full run must reserve the whole 8 GiB table instead.
+        let full = Simulator::new(cfg.with_refresh_mode(RefreshMode::AlwaysFull))
+            .run(&w2, &p)
+            .unwrap();
+        assert_eq!(full.peak_memory_bytes, 8 * GIB);
+        // Consumers pay only a delta-sized memory read on top of their own
+        // stored contents — far less than re-reading the 8 GiB hub.
+        assert!(r.nodes[1].read_s < cfg_read_time_check());
+    }
+
+    /// Disk-read time of the 8 GiB hub under the paper config — the read
+    /// an incremental consumer avoids.
+    fn cfg_read_time_check() -> f64 {
+        SimConfig::paper(GIB).disk_read_time(8 * GIB)
+    }
+
+    #[test]
+    fn strict_failure_mode_errors_instead_of_falling_back() {
+        let w = fig4();
+        let p = plan(&[0, 1, 2], &[0], 3);
+        for lanes in [1usize, 2] {
+            let cfg = SimConfig::paper(GIB) // mv1 won't fit
+                .with_lanes(lanes)
+                .with_fallback_on_memory_pressure(false);
+            match Simulator::new(cfg).run(&w, &p) {
+                Err(crate::SimError::MemoryBudgetExceeded {
+                    requested, budget, ..
+                }) => {
+                    assert_eq!(requested, 8 * GIB);
+                    assert_eq!(budget, GIB);
+                }
+                other => panic!("lanes={lanes}: expected budget error, got {other:?}"),
+            }
+            // Default still falls back.
+            let ok = Simulator::new(SimConfig::paper(GIB).with_lanes(lanes))
+                .run(&w, &p)
+                .unwrap();
+            assert_eq!(ok.fallbacks(), 1);
+        }
+    }
+
+    #[test]
+    fn run_ahead_window_is_configurable() {
+        let nodes: Vec<SimNode> = (0..6)
+            .map(|i| SimNode::new(format!("mv{i}"), 5.0, GIB, 2 * GIB))
+            .collect();
+        let w = SimWorkload::from_parts(nodes, []).unwrap();
+        let p = plan(&[0, 1, 2, 3, 4, 5], &[], 6);
+        let wide = Simulator::new(SimConfig::paper(GIB).with_lanes(4))
+            .run(&w, &p)
+            .unwrap();
+        // A zero window serializes starts to the computed prefix: strictly
+        // slower than the default window, but still completes.
+        let narrow = Simulator::new(SimConfig::paper(GIB).with_lanes(4).with_run_ahead_window(0))
+            .run(&w, &p)
+            .unwrap();
+        assert!(narrow.total_s > wide.total_s);
     }
 
     /// Flagging still helps under lanes: consumers read the hub from

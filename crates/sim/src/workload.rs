@@ -18,10 +18,24 @@ pub struct SimNode {
     /// candidate for the Memory Catalog). Parent MV outputs are read in
     /// addition to this.
     pub base_read_bytes: u64,
+    /// Size of the node's output delta under the churn scenario being
+    /// simulated. `None` disables delta tracking for this node (it is
+    /// always recomputed, the pre-incremental behavior); `Some(0)` means
+    /// nothing reaching the node changed, so it can be skipped.
+    pub delta_bytes: Option<u64>,
+    /// Whether the node's operators support incremental maintenance
+    /// (mirrors the engine's `LogicalPlan::incremental_support`). Only
+    /// consulted when `delta_bytes` is set.
+    pub delta_supported: bool,
+    /// Whether the node publishes an output delta its consumers can
+    /// maintain from. Row-wise chains publish; aggregate-merge nodes
+    /// absorb their input delta but publish nothing, so their consumers
+    /// recompute (mirror with [`SimNode::merge_only`]).
+    pub delta_publishes: bool,
 }
 
 impl SimNode {
-    /// Creates a node.
+    /// Creates a node (no delta tracking; see [`SimNode::with_delta`]).
     pub fn new(
         name: impl Into<String>,
         compute_s: f64,
@@ -33,7 +47,31 @@ impl SimNode {
             compute_s,
             output_bytes,
             base_read_bytes,
+            delta_bytes: None,
+            delta_supported: true,
+            delta_publishes: true,
         }
+    }
+
+    /// Annotates the node with its output-delta size for a churn scenario.
+    pub fn with_delta(mut self, delta_bytes: u64) -> Self {
+        self.delta_bytes = Some(delta_bytes);
+        self
+    }
+
+    /// Marks the node's operators as not delta-maintainable (joins,
+    /// sorts, …): it is recomputed in full whenever anything reaches it.
+    pub fn full_only(mut self) -> Self {
+        self.delta_supported = false;
+        self
+    }
+
+    /// Marks the node as maintaining incrementally without publishing a
+    /// delta (the engine's merge-aggregate shape): its consumers must
+    /// recompute.
+    pub fn merge_only(mut self) -> Self {
+        self.delta_publishes = false;
+        self
     }
 }
 

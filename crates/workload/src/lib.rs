@@ -18,14 +18,19 @@
 //! * [`tpcds`] — seeded generators for TPC-DS-style base tables small
 //!   enough to *actually execute* on `sc-engine`, and [`engine_mvs`] —
 //!   runnable MV workloads over them (used by the Figure 3 experiment,
-//!   the examples, and the cross-crate integration tests).
+//!   the examples, and the cross-crate integration tests);
+//! * [`updates`] — seeded update-stream generators: churn batches against
+//!   engine tables (feeding the delta log for incremental refresh) and
+//!   churn annotations for simulated workloads.
 
 pub mod dataset;
 pub mod engine_mvs;
 pub mod paper;
 pub mod synth;
 pub mod tpcds;
+pub mod updates;
 
 pub use dataset::DatasetSpec;
 pub use paper::PaperWorkload;
 pub use synth::{GeneratorParams, SynthGenerator};
+pub use updates::UpdateStreamSpec;

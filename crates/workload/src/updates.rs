@@ -1,0 +1,267 @@
+//! Seeded **update-stream generators**: churn against base tables (for the
+//! engine's delta log) and churn annotations for simulated workloads — so
+//! benchmarks and the simulator can exercise incremental refresh under
+//! realistic insert/update/delete mixes.
+//!
+//! Engine-side, a stream is a sequence of [`sc_engine::exec::TableDelta`]
+//! batches derived from a table's current contents: inserts clone existing
+//! rows with perturbed measures (foreign keys stay resolvable), updates
+//! pair an existing row's removal with a perturbed re-insert, deletes
+//! remove sampled rows. Sim-side, [`churned`] scales every node's
+//! `delta_bytes` annotation from a global delta fraction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sc_engine::exec::{DeltaBatch, TableDelta};
+use sc_engine::{Table, Value};
+use sc_sim::SimWorkload;
+
+/// Churn mix for one generated batch, as fractions of the table's current
+/// row count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStreamSpec {
+    /// Fraction of rows appended (cloned from existing rows with perturbed
+    /// numeric values, keeping join keys resolvable).
+    pub insert_fraction: f64,
+    /// Fraction of rows updated (delete old version + insert perturbed
+    /// version).
+    pub update_fraction: f64,
+    /// Fraction of rows deleted.
+    pub delete_fraction: f64,
+}
+
+impl UpdateStreamSpec {
+    /// Insert-only churn at `fraction` — the append-mostly shape of real
+    /// fact streams, and the only shape every delta operator supports.
+    pub fn inserts(fraction: f64) -> Self {
+        UpdateStreamSpec {
+            insert_fraction: fraction,
+            update_fraction: 0.0,
+            delete_fraction: 0.0,
+        }
+    }
+
+    /// A mixed stream with updates and deletes alongside inserts.
+    pub fn mixed(insert: f64, update: f64, delete: f64) -> Self {
+        UpdateStreamSpec {
+            insert_fraction: insert,
+            update_fraction: update,
+            delete_fraction: delete,
+        }
+    }
+}
+
+/// Generates one churn batch against `table`'s current contents,
+/// deterministic per `(spec, seed)`.
+pub fn generate_delta(table: &Table, spec: &UpdateStreamSpec, seed: u64) -> TableDelta {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = table.num_rows();
+    let schema = table.schema().clone();
+    let mut deletes = Table::empty(schema.clone());
+    let mut inserts = Table::empty(schema);
+    if n == 0 {
+        return TableDelta::from_batch(DeltaBatch { deletes, inserts }).expect("schemas match");
+    }
+
+    let count = |fraction: f64| ((n as f64 * fraction).round() as usize).min(n);
+    let row_values = |row: usize| -> Vec<Value> {
+        (0..table.num_columns())
+            .map(|c| table.value(row, c))
+            .collect()
+    };
+
+    // Deletes and updates sample disjoint rows so one batch never touches
+    // the same row twice.
+    let mut sampled = vec![false; n];
+    let mut sample = |rng: &mut StdRng, k: usize| -> Vec<usize> {
+        let mut rows = Vec::with_capacity(k);
+        let mut attempts = 0;
+        while rows.len() < k && attempts < 20 * k + 100 {
+            let r = rng.gen_range(0..n);
+            if !sampled[r] {
+                sampled[r] = true;
+                rows.push(r);
+            }
+            attempts += 1;
+        }
+        rows
+    };
+
+    for row in sample(&mut rng, count(spec.delete_fraction)) {
+        deletes.push_row(row_values(row)).expect("same schema");
+    }
+    for row in sample(&mut rng, count(spec.update_fraction)) {
+        deletes.push_row(row_values(row)).expect("same schema");
+        inserts
+            .push_row(perturb(row_values(row), &mut rng))
+            .expect("same schema");
+    }
+    for _ in 0..count(spec.insert_fraction) {
+        let row = rng.gen_range(0..n);
+        inserts
+            .push_row(perturb(row_values(row), &mut rng))
+            .expect("same schema");
+    }
+    TableDelta::from_batch(DeltaBatch { deletes, inserts }).expect("schemas match")
+}
+
+/// Perturbs a row's numeric measures (keys and strings are preserved, so
+/// foreign keys stay resolvable): floats are scaled, the last integer
+/// column is nudged.
+fn perturb(mut values: Vec<Value>, rng: &mut StdRng) -> Vec<Value> {
+    let last_int = values
+        .iter()
+        .rposition(|v| matches!(v, Value::Int64(_)))
+        .unwrap_or(usize::MAX);
+    for (i, v) in values.iter_mut().enumerate() {
+        match v {
+            Value::Float64(f) => *f = (*f * rng.gen_range(90..110) as f64 / 100.0).max(0.01),
+            Value::Int64(x) if i == last_int => *x = (*x + rng.gen_range(0..3i64)).max(1),
+            _ => {}
+        }
+    }
+    values
+}
+
+/// Rough in-memory size of one row of `table`, used to turn delta
+/// fractions into byte annotations.
+fn avg_row_bytes(table: &Table) -> u64 {
+    if table.num_rows() == 0 {
+        return 0;
+    }
+    table.byte_size() / table.num_rows() as u64
+}
+
+/// Returns the byte size a delta of `fraction` of `table` would have —
+/// handy for sizing Memory Catalog budgets in tests and benches.
+pub fn delta_fraction_bytes(table: &Table, fraction: f64) -> u64 {
+    (avg_row_bytes(table) as f64 * table.num_rows() as f64 * fraction) as u64
+}
+
+/// Annotates every node of a simulated workload with churn at a global
+/// `delta_fraction` of its output (seeded jitter of ±50% per node), for
+/// churn-heavy sim scenarios. Nodes keep their `delta_supported` flag.
+pub fn churned(workload: &SimWorkload, delta_fraction: f64, seed: u64) -> SimWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = workload.graph.map(|_, node| {
+        let jitter = rng.gen_range(50..150) as f64 / 100.0;
+        let delta = (node.output_bytes as f64 * delta_fraction * jitter) as u64;
+        let mut n = node.clone();
+        n.delta_bytes = Some(delta.min(node.output_bytes));
+        n
+    });
+    SimWorkload { graph }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcds::TinyTpcds;
+    use sc_core::RefreshMode;
+    use sc_sim::{SimConfig, SimNode, Simulator};
+
+    #[test]
+    fn insert_only_stream_is_seeded_and_sized() {
+        let ds = TinyTpcds::generate(0.3, 7);
+        let sales = ds.table("store_sales").unwrap();
+        let spec = UpdateStreamSpec::inserts(0.05);
+        let a = generate_delta(sales, &spec, 1);
+        let b = generate_delta(sales, &spec, 1);
+        let c = generate_delta(sales, &spec, 2);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(a, c, "different seed, different stream");
+        assert!(!a.has_deletes());
+        let expected = (sales.num_rows() as f64 * 0.05).round() as usize;
+        assert_eq!(a.insert_rows(), expected);
+    }
+
+    #[test]
+    fn mixed_stream_has_all_three_shapes() {
+        let ds = TinyTpcds::generate(0.3, 7);
+        let sales = ds.table("store_sales").unwrap();
+        let spec = UpdateStreamSpec::mixed(0.02, 0.03, 0.01);
+        let d = generate_delta(sales, &spec, 9);
+        assert!(d.has_deletes());
+        let n = sales.num_rows() as f64;
+        // updates contribute to both sides.
+        assert_eq!(
+            d.delete_rows(),
+            (n * 0.01).round() as usize + (n * 0.03).round() as usize
+        );
+        assert_eq!(
+            d.insert_rows(),
+            (n * 0.02).round() as usize + (n * 0.03).round() as usize
+        );
+        // Applying the delta keeps the row count consistent.
+        let applied = d.apply(sales).unwrap();
+        assert_eq!(
+            applied.num_rows(),
+            sales.num_rows() + d.insert_rows() - d.delete_rows()
+        );
+    }
+
+    #[test]
+    fn perturbation_preserves_keys() {
+        let ds = TinyTpcds::generate(0.2, 3);
+        let sales = ds.table("store_sales").unwrap();
+        let items = ds.table("item").unwrap().num_rows() as i64;
+        let d = generate_delta(sales, &UpdateStreamSpec::inserts(0.1), 4);
+        let ins = &d.batches()[0].inserts;
+        let col = ins.column_by_name("ss_item_sk").unwrap();
+        for r in 0..ins.num_rows() {
+            match col.value(r) {
+                Value::Int64(sk) => assert!(sk >= 0 && sk < items, "key stays resolvable"),
+                other => panic!("bad key {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_table_yields_empty_delta() {
+        let empty = sc_engine::TableBuilder::new()
+            .column("x", sc_engine::DataType::Int64)
+            .build();
+        let d = generate_delta(&empty, &UpdateStreamSpec::mixed(0.5, 0.5, 0.5), 1);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delta_fraction_bytes_scales() {
+        let ds = TinyTpcds::generate(0.3, 7);
+        let sales = ds.table("store_sales").unwrap();
+        let five = delta_fraction_bytes(sales, 0.05);
+        let ten = delta_fraction_bytes(sales, 0.10);
+        assert!(five > 0);
+        assert!(ten > five);
+        assert!(ten <= sales.byte_size());
+    }
+
+    #[test]
+    fn churned_sim_workload_runs_incrementally() {
+        const GIB: u64 = 1 << 30;
+        let w = SimWorkload::from_parts(
+            [
+                SimNode::new("hub", 5.0, 4 * GIB, 8 * GIB),
+                SimNode::new("agg", 2.0, GIB / 16, 0),
+            ],
+            [(0, 1)],
+        )
+        .unwrap();
+        let churny = churned(&w, 0.05, 11);
+        for v in churny.graph.node_ids() {
+            let n = churny.graph.node(v);
+            let d = n.delta_bytes.expect("annotated");
+            assert!(d > 0 && d <= n.output_bytes);
+        }
+        let plan = sc_core::Plan::unoptimized(churny.graph.kahn_order());
+        let cfg = SimConfig::paper(GIB);
+        let full = Simulator::new(cfg.clone().with_refresh_mode(RefreshMode::AlwaysFull))
+            .run(&churny, &plan)
+            .unwrap();
+        let inc = Simulator::new(cfg.with_refresh_mode(RefreshMode::AlwaysIncremental))
+            .run(&churny, &plan)
+            .unwrap();
+        assert!(inc.total_s < full.total_s);
+    }
+}

@@ -13,18 +13,20 @@
 //!
 //! The workspace crates, re-exported here:
 //!
-//! * [`core`](sc_core) — the S/C Opt optimizer (constraint sets, exact MKP
+//! * [`core`] — the S/C Opt optimizer (constraint sets, exact MKP
 //!   selection, MA-DFS scheduling, alternating optimization);
-//! * [`dag`](sc_dag) — the DAG substrate;
-//! * [`engine`](sc_engine) — a mini columnar warehouse: expressions,
-//!   operators, a columnar file format, disk/memory catalogs, and the
-//!   refresh controller (sequential, plus a multi-lane worker-pool
-//!   executor selected via [`sc_engine::RefreshConfig`] /
-//!   [`ScSystem::with_lanes`]);
-//! * [`sim`](sc_sim) — a discrete-event simulator for paper-scale
-//!   experiments (10 GB–1 TB, clusters, LRU baselines);
-//! * [`workload`](sc_workload) — TPC-DS-style data and the paper's
-//!   workloads, plus the §VI-H synthetic DAG generator.
+//! * [`dag`] — the DAG substrate;
+//! * [`engine`] — a mini columnar warehouse: expressions, operators, a
+//!   columnar file format, disk/memory catalogs, the append-only delta
+//!   log, and the refresh controller (sequential, plus a multi-lane
+//!   worker-pool executor selected via [`sc_engine::RefreshConfig`] /
+//!   [`ScSystem::with_lanes`]; per-node full, incremental, or skipped
+//!   maintenance via [`sc_core::RefreshMode`]);
+//! * [`sim`] — a discrete-event simulator for paper-scale experiments
+//!   (10 GB–1 TB, clusters, LRU baselines, churn scenarios);
+//! * [`workload`] — TPC-DS-style data and the paper's workloads, plus
+//!   the §VI-H synthetic DAG generator and seeded update streams
+//!   ([`sc_workload::updates`]).
 //!
 //! ## Quickstart
 //!

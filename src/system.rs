@@ -7,8 +7,11 @@ use std::path::Path;
 
 use sc_core::{CostModel, OptError, Plan, ScOptimizer};
 use sc_dag::{Dag, DagError, NodeId};
-use sc_engine::controller::{Controller, MvDefinition, RefreshConfig, RunMetrics};
-use sc_engine::storage::{DiskCatalog, MemoryCatalog, Throttle};
+use sc_engine::controller::{
+    Controller, ControllerConfig, MvDefinition, RefreshConfig, RunMetrics,
+};
+use sc_engine::exec::TableDelta;
+use sc_engine::storage::{self, DeltaStore, DiskCatalog, MemoryCatalog, Throttle};
 use sc_engine::EngineError;
 use sc_workload::engine_mvs::problem_from_metrics;
 
@@ -66,6 +69,7 @@ pub struct ScSystem {
     memory: MemoryCatalog,
     cost: CostModel,
     refresh: RefreshConfig,
+    deltas: DeltaStore,
     mvs: Vec<MvDefinition>,
 }
 
@@ -78,6 +82,7 @@ impl ScSystem {
             memory: MemoryCatalog::new(memory_budget),
             cost: CostModel::paper(),
             refresh: RefreshConfig::default(),
+            deltas: DeltaStore::new(),
             mvs: Vec::new(),
         })
     }
@@ -94,6 +99,7 @@ impl ScSystem {
             memory: MemoryCatalog::new(memory_budget),
             cost: CostModel::paper(),
             refresh: RefreshConfig::default(),
+            deltas: DeltaStore::new(),
             mvs: Vec::new(),
         })
     }
@@ -173,11 +179,39 @@ impl ScSystem {
         Ok(ScOptimizer::default().optimize(&problem)?)
     }
 
+    /// The pending delta log (changes ingested since the last refresh).
+    pub fn delta_store(&self) -> &DeltaStore {
+        &self.deltas
+    }
+
+    /// Ingests a change batch against base table `table`: the stored table
+    /// is updated immediately (the DBMS's data is always current) and the
+    /// change is logged so the next [`ScSystem::refresh`] can maintain
+    /// affected MVs incrementally instead of recomputing them.
+    pub fn ingest_delta(&self, table: &str, delta: TableDelta) -> Result<()> {
+        Ok(storage::ingest(&self.disk, &self.deltas, table, delta)?)
+    }
+
     /// Executes a refresh run under `plan` on the configured lanes.
+    ///
+    /// When deltas have been ingested since the last refresh, the
+    /// controller consults them (per [`RefreshConfig::refresh_mode`]):
+    /// untouched MVs are skipped and supported MVs absorb just their
+    /// delta. With an empty log the run recomputes everything, exactly as
+    /// before delta tracking existed — so profiling runs stay meaningful.
     pub fn refresh(&self, plan: &Plan) -> Result<RunMetrics> {
-        Ok(Controller::new(&self.disk, &self.memory)
-            .with_refresh_config(self.refresh)
-            .refresh(&self.mvs, plan)?)
+        // The system's cost model drives Auto full-vs-incremental
+        // decisions too, not just speedup scores.
+        let mut controller = Controller::new(&self.disk, &self.memory)
+            .with_config(ControllerConfig {
+                cost_model: self.cost.clone(),
+                ..ControllerConfig::default()
+            })
+            .with_refresh_config(self.refresh);
+        if !self.deltas.is_empty() {
+            controller = controller.with_delta_store(&self.deltas);
+        }
+        Ok(controller.refresh(&self.mvs, plan)?)
     }
 
     /// Profile-optimize-refresh in one call: runs the baseline, derives a
@@ -227,6 +261,39 @@ mod tests {
         assert_eq!(g.node(NodeId(0)), "enriched_sales");
         assert_eq!(g.out_degree(NodeId(0)), 3);
         assert!(g.is_topological_order(&g.kahn_order()));
+    }
+
+    #[test]
+    fn ingest_then_refresh_consumes_the_delta_log() {
+        let (_dir, sys) = system();
+        let (plan, _, _) = sys.refresh_optimized().unwrap();
+
+        // Churn one fact table: duplicate a slice of existing rows.
+        let sales = sys.disk().read_table("store_sales").unwrap();
+        let sample = sales.take_rows(&(0..25).collect::<Vec<_>>()).unwrap();
+        sys.ingest_delta("store_sales", TableDelta::insert_only(sample))
+            .unwrap();
+        assert!(!sys.delta_store().is_empty());
+
+        let m = sys.refresh(&plan).unwrap();
+        assert!(sys.delta_store().is_empty(), "refresh consumes the log");
+        // The catalog/web branch saw no churn and must be skipped.
+        let skipped: Vec<&str> = m
+            .nodes
+            .iter()
+            .filter(|n| n.mode == sc_core::NodeMode::Skipped)
+            .map(|n| n.name.as_str())
+            .collect();
+        assert!(skipped.contains(&"catalog_by_item"));
+        assert!(skipped.contains(&"web_by_item"));
+        assert!(sys.memory().is_empty());
+
+        // With the log drained, the next refresh recomputes as before.
+        let again = sys.refresh(&plan).unwrap();
+        assert!(again
+            .nodes
+            .iter()
+            .all(|n| n.mode == sc_core::NodeMode::Full));
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! Cross-crate tests for the incremental (delta) refresh subsystem.
+//!
+//! The load-bearing property is *byte-identity*: across seeded update
+//! streams — insert-only and mixed insert/update/delete — an incremental
+//! refresh must leave every MV's stored `.sctb` file byte-for-byte equal
+//! to what a from-scratch recomputation produces, on one lane and on
+//! four. The second property is *delta-sized admission*: a flagged node
+//! whose consumers all maintain incrementally reserves only its delta in
+//! the Memory Catalog, so flags survive budgets that could never hold the
+//! full table.
+
+use sc_core::FlagSet;
+use sc_core::{NodeMode, Plan, RefreshMode};
+use sc_dag::NodeId;
+use sc_engine::controller::{Controller, MvDefinition, RefreshConfig};
+use sc_engine::exec::AggFunc;
+use sc_engine::expr::Expr;
+use sc_engine::plan::{AggExpr, LogicalPlan};
+use sc_engine::storage::{self, DeltaStore, DiskCatalog, MemoryCatalog};
+use sc_workload::tpcds::TinyTpcds;
+use sc_workload::updates::{generate_delta, UpdateStreamSpec};
+
+/// A workload mixing every maintenance shape over the TinyTpcds tables:
+/// row-wise filter chains (delete-safe), a chained filter over an MV, two
+/// mergeable aggregates, a join (never incremental), and an independent
+/// branch that skips when only `store_sales` churns.
+fn mixed_workload() -> Vec<MvDefinition> {
+    vec![
+        // 0: delete-safe filter chain over the churning fact table.
+        MvDefinition::new(
+            "hot_sales",
+            LogicalPlan::scan("store_sales")
+                .filter(Expr::col("ss_sales_price").gt(Expr::lit(100.0f64))),
+        ),
+        // 1: mergeable aggregate over the MV above.
+        MvDefinition::new(
+            "sales_by_item",
+            LogicalPlan::scan("hot_sales").aggregate(
+                vec!["ss_item_sk".into()],
+                vec![
+                    AggExpr::new(AggFunc::Sum, "ss_sales_price", "revenue"),
+                    AggExpr::new(AggFunc::Count, "ss_item_sk", "n"),
+                    AggExpr::new(AggFunc::Max, "ss_sales_price", "top_price"),
+                ],
+            ),
+        ),
+        // 2: second-level filter chain (consumes hot_sales' delta).
+        MvDefinition::new(
+            "bulk_hot_sales",
+            LogicalPlan::scan("hot_sales").filter(Expr::col("ss_quantity").gt(Expr::lit(50i64))),
+        ),
+        // 3: join — always recomputed in full.
+        MvDefinition::new(
+            "hot_enriched",
+            LogicalPlan::scan("hot_sales").join(
+                LogicalPlan::scan("item"),
+                vec![("ss_item_sk".into(), "i_item_sk".into())],
+            ),
+        ),
+        // 4: independent branch over a table that never churns here.
+        MvDefinition::new(
+            "web_by_item",
+            LogicalPlan::scan("web_sales").aggregate(
+                vec!["ss_item_sk".into()],
+                vec![AggExpr::new(AggFunc::Sum, "ss_sales_price", "web_revenue")],
+            ),
+        ),
+    ]
+}
+
+fn plan_for(mvs: &[MvDefinition], flagged: &[usize]) -> Plan {
+    Plan {
+        order: (0..mvs.len()).map(NodeId).collect(),
+        flagged: FlagSet::from_nodes(mvs.len(), flagged.iter().map(|&i| NodeId(i))),
+    }
+}
+
+struct Rig {
+    _dir: tempfile::TempDir,
+    disk: DiskCatalog,
+    mem: MemoryCatalog,
+    store: DeltaStore,
+}
+
+fn rig(budget: u64) -> Rig {
+    let dir = tempfile::tempdir().unwrap();
+    let disk = DiskCatalog::open(dir.path()).unwrap();
+    TinyTpcds::generate(0.4, 42).load_into(&disk).unwrap();
+    Rig {
+        _dir: dir,
+        disk,
+        mem: MemoryCatalog::new(budget),
+        store: DeltaStore::new(),
+    }
+}
+
+fn refresh(
+    r: &Rig,
+    mvs: &[MvDefinition],
+    plan: &Plan,
+    lanes: usize,
+    mode: RefreshMode,
+) -> sc_engine::RunMetrics {
+    Controller::new(&r.disk, &r.mem)
+        .with_delta_store(&r.store)
+        .with_refresh_config(RefreshConfig::with_lanes(lanes).with_refresh_mode(mode))
+        .refresh(mvs, plan)
+        .unwrap()
+}
+
+/// Raw stored file bytes of every MV.
+fn mv_file_bytes(r: &Rig, mvs: &[MvDefinition]) -> Vec<(String, Vec<u8>)> {
+    mvs.iter()
+        .map(|mv| {
+            let path = r.disk.dir().join(format!("{}.sctb", mv.name));
+            (mv.name.clone(), std::fs::read(path).unwrap())
+        })
+        .collect()
+}
+
+/// Three seeded churn rounds — insert-only, then mixed with updates and
+/// deletes — refreshed incrementally on one rig and fully on another:
+/// every MV file must stay byte-identical, on 1 lane and on 4.
+#[test]
+fn incremental_refresh_is_byte_identical_across_update_streams() {
+    for lanes in [1usize, 4] {
+        let mvs = mixed_workload();
+        let plan = plan_for(&mvs, &[0]);
+        let full = rig(32 << 20);
+        let inc = rig(32 << 20);
+        refresh(&full, &mvs, &plan, lanes, RefreshMode::AlwaysFull);
+        refresh(&inc, &mvs, &plan, lanes, RefreshMode::AlwaysFull);
+
+        let rounds = [
+            UpdateStreamSpec::inserts(0.05),
+            UpdateStreamSpec::mixed(0.03, 0.02, 0.01),
+            UpdateStreamSpec::inserts(0.08),
+        ];
+        for (round, spec) in rounds.iter().enumerate() {
+            // Identical churn lands on both rigs (bases were identical, so
+            // the seeded stream is too).
+            for r in [&full, &inc] {
+                let sales = r.disk.read_table("store_sales").unwrap();
+                let delta = generate_delta(&sales, spec, round as u64 + 99);
+                storage::ingest(&r.disk, &r.store, "store_sales", delta).unwrap();
+            }
+            let fm = refresh(&full, &mvs, &plan, lanes, RefreshMode::AlwaysFull);
+            let im = refresh(&inc, &mvs, &plan, lanes, RefreshMode::AlwaysIncremental);
+
+            assert_eq!(
+                mv_file_bytes(&full, &mvs),
+                mv_file_bytes(&inc, &mvs),
+                "round {round}, lanes {lanes}: stored MV files must be byte-identical"
+            );
+            assert!(full.mem.is_empty() && inc.mem.is_empty());
+            assert!(fm.nodes.iter().all(|n| n.mode == NodeMode::Full));
+            let mode_of = |m: &sc_engine::RunMetrics, name: &str| {
+                m.nodes.iter().find(|n| n.name == name).unwrap().mode
+            };
+            // The join recomputes every round; the untouched branch skips;
+            // the aggregate merges whenever its input delta is insert-only
+            // (round 1 carries deletes, which aggregates cannot merge).
+            assert_eq!(mode_of(&im, "hot_enriched"), NodeMode::Full);
+            assert_eq!(mode_of(&im, "web_by_item"), NodeMode::Skipped);
+            if round != 1 {
+                assert_eq!(
+                    mode_of(&im, "sales_by_item"),
+                    NodeMode::Incremental,
+                    "round {round}, lanes {lanes}"
+                );
+            }
+        }
+    }
+}
+
+/// Under `AlwaysIncremental` with deletes in the stream, delete-safe
+/// filter chains still maintain incrementally while aggregates and
+/// projections recompute — and results stay byte-identical.
+#[test]
+fn deletes_propagate_through_filter_chains_only() {
+    let mvs = mixed_workload();
+    let plan = plan_for(&mvs, &[]);
+    let full = rig(32 << 20);
+    let inc = rig(32 << 20);
+    refresh(&full, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+    refresh(&inc, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+
+    let spec = UpdateStreamSpec::mixed(0.0, 0.0, 0.05); // pure deletes
+    for r in [&full, &inc] {
+        let sales = r.disk.read_table("store_sales").unwrap();
+        storage::ingest(
+            &r.disk,
+            &r.store,
+            "store_sales",
+            generate_delta(&sales, &spec, 5),
+        )
+        .unwrap();
+    }
+    refresh(&full, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+    let im = refresh(&inc, &mvs, &plan, 1, RefreshMode::AlwaysIncremental);
+    assert_eq!(mv_file_bytes(&full, &mvs), mv_file_bytes(&inc, &mvs));
+
+    let mode_of = |name: &str| im.nodes.iter().find(|n| n.name == name).unwrap().mode;
+    assert_eq!(mode_of("hot_sales"), NodeMode::Incremental);
+    assert_eq!(mode_of("bulk_hot_sales"), NodeMode::Incremental);
+    assert_eq!(
+        mode_of("sales_by_item"),
+        NodeMode::Full,
+        "aggregates cannot merge deletions"
+    );
+}
+
+/// Delta-sized admission: with a budget that could never hold the flagged
+/// hub's table, the incremental run still admits the flag (its payload is
+/// the delta), while a full refresh under the same budget falls back.
+#[test]
+fn delta_payload_admission_fits_where_full_tables_cannot() {
+    let mvs: Vec<MvDefinition> = mixed_workload()
+        .into_iter()
+        .filter(|mv| mv.name != "hot_enriched") // keep every consumer incremental
+        .collect();
+    let probe_rig = rig(1 << 30);
+    let probe_plan = plan_for(&mvs, &[0]);
+    let probe = refresh(&probe_rig, &mvs, &probe_plan, 1, RefreshMode::AlwaysFull);
+    let hub_bytes = probe.nodes[0].output_bytes;
+
+    // Budget: a tenth of the hub — no full-table flag can ever fit.
+    let budget = hub_bytes / 10;
+    let r = rig(budget);
+    let plan = plan_for(&mvs, &[0]);
+    refresh(&r, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+
+    let sales = r.disk.read_table("store_sales").unwrap();
+    let delta = generate_delta(&sales, &UpdateStreamSpec::inserts(0.02), 3);
+    storage::ingest(&r.disk, &r.store, "store_sales", delta).unwrap();
+
+    for lanes in [1usize, 4] {
+        // Re-ingest for the second lane round (the first refresh consumed
+        // the log).
+        if r.store.is_empty() {
+            let sales = r.disk.read_table("store_sales").unwrap();
+            let delta = generate_delta(&sales, &UpdateStreamSpec::inserts(0.02), 4);
+            storage::ingest(&r.disk, &r.store, "store_sales", delta).unwrap();
+        }
+        let im = refresh(&r, &mvs, &plan, lanes, RefreshMode::AlwaysIncremental);
+        let hub = &im.nodes[0];
+        assert_eq!(hub.mode, NodeMode::Incremental);
+        assert!(
+            hub.flagged && !hub.fell_back,
+            "lanes {lanes}: delta-sized payload must be admitted"
+        );
+        assert!(hub.delta_bytes > 0);
+        assert!(im.peak_memory_bytes <= budget, "budget is never exceeded");
+        assert!(r.mem.is_empty());
+    }
+
+    // The same flag under a full refresh cannot fit and falls back.
+    let sales = r.disk.read_table("store_sales").unwrap();
+    storage::ingest(
+        &r.disk,
+        &r.store,
+        "store_sales",
+        generate_delta(&sales, &UpdateStreamSpec::inserts(0.02), 5),
+    )
+    .unwrap();
+    let fm = refresh(&r, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+    assert!(fm.nodes[0].fell_back, "full table cannot fit the budget");
+}

@@ -158,6 +158,9 @@ fn simulator_and_engine_agree_on_plan_ranking() {
         per_node_overhead_s: 0.0,
         compute_penalty: 0.0,
         lanes: 1,
+        run_ahead_window: None,
+        fallback_on_memory_pressure: true,
+        refresh_mode: sc_core::RefreshMode::Auto,
     };
     let sim = Simulator::new(config);
     let sim_base = sim.run_unoptimized(&w).unwrap();
