@@ -91,25 +91,30 @@ impl CostModel {
     /// Whether maintaining an MV incrementally is predicted to beat a full
     /// recomputation, given `input_bytes` of (already-updated) inputs the
     /// full path would re-read, `output_bytes` of current MV contents the
-    /// incremental path re-reads to apply the delta, and `delta_bytes` of
-    /// pending changes.
+    /// incremental path re-reads to apply the delta, `delta_bytes` of
+    /// pending changes, and `static_bytes` of inputs the incremental path
+    /// *still* reads in full (the build sides of a delta-join: the
+    /// unchanged tables probed by the propagated delta; 0 for pure
+    /// row-wise chains and aggregate merges).
     ///
     /// Both paths rewrite the MV in full, so writes cancel; the decision is
     /// read-side only: the full path scans every input from external
-    /// storage, while the incremental path reads the old MV plus
-    /// delta-sized change sets (charged once at storage speed for a
-    /// possible spilled delta file and once at memory speed for the
-    /// in-memory log). Compute is not modeled here — the delta operators'
-    /// work is proportional to `delta_bytes` and therefore dominated by
-    /// the terms already present.
+    /// storage, while the incremental path reads the old MV, the static
+    /// build sides, plus delta-sized change sets (charged once at storage
+    /// speed for a possible spilled delta file and once at memory speed
+    /// for the in-memory log). Compute is not modeled here — the delta
+    /// operators' work is proportional to `delta_bytes` and therefore
+    /// dominated by the terms already present.
     pub fn incremental_refresh_wins(
         &self,
         input_bytes: u64,
         output_bytes: u64,
         delta_bytes: u64,
+        static_bytes: u64,
     ) -> bool {
         let full = self.disk_read_time(input_bytes);
         let incremental = self.disk_read_time(output_bytes)
+            + self.disk_read_time(static_bytes)
             + self.disk_read_time(delta_bytes)
             + self.mem_read_time(delta_bytes);
         incremental < full
@@ -173,12 +178,17 @@ mod tests {
     fn incremental_wins_for_small_outputs_and_deltas() {
         let m = CostModel::paper();
         // Aggregate-shaped node: huge input, tiny MV, tiny delta.
-        assert!(m.incremental_refresh_wins(GIB, MIB, MIB / 10));
+        assert!(m.incremental_refresh_wins(GIB, MIB, MIB / 10, 0));
         // Full-copy-shaped node: the old MV is as big as the input, so
         // re-reading it buys nothing.
-        assert!(!m.incremental_refresh_wins(GIB, GIB, MIB));
+        assert!(!m.incremental_refresh_wins(GIB, GIB, MIB, 0));
         // A delta as large as the input cannot win either.
-        assert!(!m.incremental_refresh_wins(GIB, MIB, 2 * GIB));
+        assert!(!m.incremental_refresh_wins(GIB, MIB, 2 * GIB, 0));
+        // Join-hub-shaped node: a small static dimension the delta still
+        // probes barely dents the win over re-scanning the huge fact side…
+        assert!(m.incremental_refresh_wins(GIB, 64 * MIB, MIB, 32 * MIB));
+        // …but a build side as large as the whole input erases it.
+        assert!(!m.incremental_refresh_wins(GIB, 64 * MIB, MIB, GIB));
     }
 
     #[test]

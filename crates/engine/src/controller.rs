@@ -240,6 +240,11 @@ fn delta_entry_name(mv: &str) -> String {
     format!("{mv}#delta")
 }
 
+/// Batches a run's point-in-time snapshot holds for `table`.
+fn snapshot_batches(snapshot: &HashMap<String, TableDelta>, table: &str) -> usize {
+    snapshot.get(table).map_or(0, |d| d.batches().len())
+}
+
 /// Per-run incremental-maintenance plan, fixed before execution so the
 /// sequential and multi-lane executors make identical choices.
 struct DeltaPlan {
@@ -354,9 +359,10 @@ struct IncrementalOutput {
     delta_bytes: u64,
 }
 
-/// Maintains `mv` incrementally: row-wise plans propagate the input delta
-/// and apply it to the stored contents; an aggregate root merges its
-/// input's delta into the stored result.
+/// Maintains `mv` incrementally: delta-spine plans propagate the input
+/// delta (probing any join's unchanged build side, read in full via
+/// `source`) and apply it to the stored contents; an aggregate root merges
+/// its input's delta into the stored result.
 fn execute_incremental(
     mv: &MvDefinition,
     source: &RunSource<'_>,
@@ -368,7 +374,7 @@ fn execute_incremental(
         aggs,
     } = &mv.plan
     {
-        let delta_in = input.execute_delta(deltas)?;
+        let delta_in = input.execute_delta(deltas, source)?;
         let current = source.table(&mv.name)?;
         let triples: Vec<_> = aggs
             .iter()
@@ -381,7 +387,7 @@ fn execute_incremental(
             delta_bytes: delta_in.byte_size(),
         });
     }
-    let delta_out = mv.plan.execute_delta(deltas)?;
+    let delta_out = mv.plan.execute_delta(deltas, source)?;
     let current = source.table(&mv.name)?;
     let output = delta_out.apply(&current)?;
     Ok(IncrementalOutput {
@@ -544,9 +550,14 @@ impl<'a> Controller<'a> {
     /// when they are themselves skipped or publish a delta. A node all of
     /// whose input deltas are empty is skipped outright. Otherwise the
     /// operator tree must support the delta's shape
-    /// ([`LogicalPlan::incremental_support`]), the MV must already exist
-    /// on storage, and — under [`RefreshMode::Auto`] — the cost model must
-    /// predict a win over recomputation.
+    /// ([`LogicalPlan::incremental_support`]), every static build-side
+    /// table of a join spine must be *unchanged* — its stored contents are
+    /// the pre-image the delta-join probes, so both pre-images stay
+    /// readable until the node runs (the spine's via the pending log /
+    /// published parent deltas, the build's as its untouched table) — the
+    /// MV must already exist on storage, and — under [`RefreshMode::Auto`]
+    /// — the cost model must predict a win over recomputation (charging
+    /// the incremental path for the full build-side reads it still pays).
     fn plan_deltas(
         &self,
         mvs: &[MvDefinition],
@@ -575,17 +586,29 @@ impl<'a> Controller<'a> {
             if !self.disk.contains(&mv.name) {
                 continue; // first materialization is necessarily full
             }
+            let support = mv.plan.incremental_support();
+            let statics = support.static_tables();
             let mut known = true;
             let mut nonempty = false;
             let mut deletes = false;
+            // A changed join build side cannot be delta-joined (its new
+            // pairs would interleave into existing match groups): the node
+            // must recompute, even though every input delta is known.
+            let mut static_churn = false;
             let mut delta_bytes = 0u64;
             let mut input_bytes = 0u64;
+            let mut static_bytes = 0u64;
             for input in mv.plan.input_tables() {
-                input_bytes += self.disk.size_of(&input).unwrap_or(0);
+                let size = self.disk.size_of(&input).unwrap_or(0);
+                input_bytes += size;
+                let is_static = statics.contains(&input);
+                if is_static {
+                    static_bytes += size;
+                }
                 if let Some(&p) = index.get(input.as_str()) {
                     match dp.modes[p] {
                         NodeMode::Skipped => {}
-                        NodeMode::Incremental if dp.publishes[p] => {
+                        NodeMode::Incremental if dp.publishes[p] && !is_static => {
                             delta_bytes += est_delta[p];
                             deletes |= has_deletes[p];
                             nonempty = true;
@@ -597,8 +620,12 @@ impl<'a> Controller<'a> {
                     }
                 } else if let Some(d) = pending.get(&input) {
                     if !d.is_empty() {
-                        delta_bytes += d.byte_size();
-                        deletes |= d.has_deletes();
+                        if is_static {
+                            static_churn = true;
+                        } else {
+                            delta_bytes += d.byte_size();
+                            deletes |= d.has_deletes();
+                        }
                         nonempty = true;
                     }
                 }
@@ -617,8 +644,7 @@ impl<'a> Controller<'a> {
                 // this MV already; only a full recompute is idempotent.
                 continue;
             }
-            let support = mv.plan.incremental_support();
-            if !support.maintainable(deletes) {
+            if static_churn || !support.maintainable(deletes) {
                 continue;
             }
             let incremental = match self.refresh.refresh_mode {
@@ -627,13 +653,27 @@ impl<'a> Controller<'a> {
                     input_bytes,
                     self.disk.size_of(&mv.name).unwrap_or(0),
                     delta_bytes,
+                    static_bytes,
                 ),
                 RefreshMode::AlwaysFull => unreachable!("checked above"),
             };
             if incremental {
                 dp.modes[idx] = NodeMode::Incremental;
                 dp.publishes[idx] = support.publishes_delta();
-                est_delta[idx] = delta_bytes;
+                // A join fans the spine delta out against its build sides
+                // (non-empty `static_bytes` implies a join on the spine):
+                // estimate the published delta with the node's observed
+                // per-byte amplification — stored output over spine input —
+                // so downstream Auto decisions cost delta reads at the
+                // right magnitude instead of the pre-join size.
+                est_delta[idx] = if static_bytes > 0 {
+                    let spine_bytes = (input_bytes - static_bytes).max(1);
+                    let ratio =
+                        self.disk.size_of(&mv.name).unwrap_or(0) as f64 / spine_bytes as f64;
+                    (delta_bytes as f64 * ratio.max(1.0)) as u64
+                } else {
+                    delta_bytes
+                };
                 has_deletes[idx] = deletes;
             }
         }
@@ -691,17 +731,71 @@ impl<'a> Controller<'a> {
         }
         if let Some(store) = self.deltas {
             match (&result, &snapshot) {
-                // Every MV is now current: retire the consumed prefix.
-                (Ok(_), Some(snap)) => store.consume(snap),
+                // Every MV is now current: retire the consumed prefix. But
+                // executions read *live* bases — a batch ingested after the
+                // snapshot may already be baked into an MV this run
+                // recomputed in full (or probed through a delta-join's
+                // build side), and it still pends; applying it again next
+                // run would double-count it, so poison the log and let the
+                // next run recompute the delta-reached MVs instead.
+                (Ok(_), Some(snap)) => {
+                    let contaminated = self.concurrent_ingest_contaminates(mvs, &dp, snap, store);
+                    store.consume(snap);
+                    if contaminated {
+                        store.mark_poisoned();
+                    }
+                }
                 // Some MVs may already hold applied deltas while the log
-                // still pends: force full recomputes until it drains.
-                (Err(_), Some(snap)) if snap.values().any(|d| !d.is_empty()) => {
+                // still pends: force full recomputes until it drains. A
+                // failed run is also conservatively poisoned when batches
+                // arrived mid-run (unknown which nodes executed first).
+                (Err(_), Some(snap))
+                    if snap.values().any(|d| !d.is_empty())
+                        || store
+                            .tables()
+                            .iter()
+                            .any(|t| store.pending_batches(t) > snapshot_batches(snap, t)) =>
+                {
                     store.mark_poisoned()
                 }
                 _ => {}
             }
         }
         result
+    }
+
+    /// Whether a batch ingested *during* the run (after its snapshot)
+    /// could already be baked into an MV this run wrote: nodes executed
+    /// in full read every input from live storage, and delta-joined nodes
+    /// read their static build-side tables from live storage. (Skipped
+    /// nodes read nothing; other incremental reads come from the
+    /// snapshot, published parent deltas, or the node's own stored
+    /// contents — none of which a concurrent ingest touches.)
+    fn concurrent_ingest_contaminates(
+        &self,
+        mvs: &[MvDefinition],
+        dp: &DeltaPlan,
+        snapshot: &HashMap<String, TableDelta>,
+        store: &DeltaStore,
+    ) -> bool {
+        let grown: Vec<String> = store
+            .tables()
+            .into_iter()
+            .filter(|t| store.pending_batches(t) > snapshot_batches(snapshot, t))
+            .collect();
+        if grown.is_empty() {
+            return false;
+        }
+        mvs.iter().enumerate().any(|(i, mv)| match dp.modes[i] {
+            NodeMode::Full => mv.plan.input_tables().iter().any(|t| grown.contains(t)),
+            NodeMode::Incremental => mv
+                .plan
+                .incremental_support()
+                .static_tables()
+                .iter()
+                .any(|t| grown.contains(t)),
+            NodeMode::Skipped => false,
+        })
     }
 
     /// The paper's controller: one compute lane walking `plan.order`, plus

@@ -18,6 +18,10 @@
 //!   base lost;
 //! * [`delta_project`] is insert-only (a projection is lossy, so deletes
 //!   can no longer be positioned deterministically after it);
+//! * [`delta_join`] is insert-only and requires a static build side: probe
+//!   appends map to output appends because the hash join streams the probe
+//!   in row order, while build-side churn would interleave new pairs into
+//!   existing match groups;
 //! * [`merge_aggregate`] *resumes* the hash aggregate's left-to-right
 //!   accumulator fold from the values stored in the MV, so Sum/Min/Max over
 //!   floats reproduce the exact same sequence of operations a full
@@ -349,6 +353,58 @@ pub fn delta_project(delta: &TableDelta, exprs: &[(Expr, String)]) -> Result<Tab
     }
 }
 
+/// Propagates an **insert-only** probe-side delta through a keyed inner
+/// hash join against a **static** build side — the binary delta-join rule
+/// `Δ(L ⋈ R) = ΔL ⋈ R_old  ∪  L_old ⋈ ΔR  ∪  ΔL ⋈ ΔR` specialized to
+/// `ΔR = ∅`, where the last two terms vanish and `R_old = R` (the build
+/// side's stored table *is* its pre-image because it has not churned).
+///
+/// This is the one join shape that preserves byte-identity with full
+/// recomputation: [`hash_join`](exec::hash_join) probes left rows in
+/// order, so rows appended to the probe side contribute output rows
+/// appended after every existing left row's matches — exactly where
+/// [`TableDelta::apply`] puts the propagated inserts. A churned build
+/// side instead *interleaves* new pairs into existing probe rows' match
+/// groups, which no append-only delta can reproduce; callers route that
+/// case (and deltas carrying deletes, whose group removal is ambiguous
+/// after the fan-out) to a full recomputation.
+pub fn delta_join(
+    delta: &TableDelta,
+    build: &Table,
+    on: &[(String, String)],
+) -> Result<TableDelta> {
+    if delta.has_deletes() {
+        return Err(EngineError::InvalidPlan(
+            "cannot propagate deletions through a join".into(),
+        ));
+    }
+    let mut out: Option<TableDelta> = None;
+    for batch in delta.batches() {
+        let joined = DeltaBatch::insert_only(exec::hash_join(
+            &batch.inserts,
+            build,
+            on,
+            exec::JoinType::Inner,
+        )?);
+        match &mut out {
+            Some(d) => d.push_batch(joined)?,
+            None => out = Some(TableDelta::from_batch(joined)?),
+        }
+    }
+    match out {
+        Some(d) => Ok(d),
+        // No batches: derive the output schema by joining an empty probe.
+        None => {
+            let empty = Table::empty(delta.schema().clone());
+            Ok(TableDelta::empty(
+                exec::hash_join(&empty, build, on, exec::JoinType::Inner)?
+                    .schema()
+                    .clone(),
+            ))
+        }
+    }
+}
+
 /// Whether every aggregate in `aggs` can be merged incrementally from its
 /// stored output value. `Avg` stores only the quotient, so its running sum
 /// and count cannot be recovered.
@@ -624,6 +680,64 @@ mod tests {
         })
         .unwrap();
         assert!(delta_project(&with_del, &exprs).is_err());
+    }
+
+    /// Dimension table keyed by `k`.
+    fn dim(rows: &[(i64, &str)]) -> Table {
+        let mut t = TableBuilder::new()
+            .column("dk", DataType::Int64)
+            .column("label", DataType::Utf8)
+            .build();
+        for &(k, s) in rows {
+            t.push_row(vec![Value::Int64(k), Value::Utf8(s.into())])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn delta_join_matches_full_join_bytewise() {
+        let on = vec![("k".to_string(), "dk".to_string())];
+        let probe = base(&[(1, 1.0), (2, 2.0), (1, 1.5)]);
+        let build = dim(&[(1, "a"), (2, "b"), (1, "a2")]); // fan-out on k=1
+        let mut delta = TableDelta::insert_only(base(&[(2, 9.0), (3, 3.0)]));
+        delta
+            .push_batch(DeltaBatch::insert_only(base(&[(1, 7.0)])))
+            .unwrap();
+
+        let mv_old = exec::hash_join(&probe, &build, &on, exec::JoinType::Inner).unwrap();
+        let out = delta_join(&delta, &build, &on).unwrap();
+        let incremental = out.apply(&mv_old).unwrap();
+        let full = exec::hash_join(
+            &delta.apply(&probe).unwrap(),
+            &build,
+            &on,
+            exec::JoinType::Inner,
+        )
+        .unwrap();
+        assert_eq!(incremental, full);
+        // The delta keeps its batch structure (one output batch per input
+        // batch) so downstream operators replay it in order.
+        assert_eq!(out.batches().len(), 2);
+    }
+
+    #[test]
+    fn delta_join_rejects_deletes_and_derives_empty_schema() {
+        let on = vec![("k".to_string(), "dk".to_string())];
+        let build = dim(&[(1, "a")]);
+        let with_del = TableDelta::from_batch(DeltaBatch {
+            deletes: base(&[(1, 1.0)]),
+            inserts: base(&[]),
+        })
+        .unwrap();
+        assert!(delta_join(&with_del, &build, &on).is_err());
+
+        let empty = TableDelta::empty(base(&[]).schema().clone());
+        let out = delta_join(&empty, &build, &on).unwrap();
+        assert!(out.is_empty());
+        // Schema is the join's output schema, not the probe's.
+        assert_eq!(out.schema().fields().len(), 4);
+        assert_eq!(out.schema().fields()[3].name, "label");
     }
 
     #[test]

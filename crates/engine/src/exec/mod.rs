@@ -10,7 +10,8 @@ mod sort;
 
 pub use aggregate::{aggregate, AggFunc};
 pub use delta::{
-    aggs_mergeable, delta_filter, delta_project, merge_aggregate, DeltaBatch, TableDelta,
+    aggs_mergeable, delta_filter, delta_join, delta_project, merge_aggregate, DeltaBatch,
+    TableDelta,
 };
 pub use join::{hash_join, JoinType};
 pub use project::{filter, project};

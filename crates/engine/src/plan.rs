@@ -117,51 +117,83 @@ pub trait DeltaSource {
 
 /// What the incremental-maintenance subsystem can do with a plan, derived
 /// purely from its operator tree (see [`LogicalPlan::incremental_support`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The maintainable shapes are **delta spines**: a chain of
+/// Scan/Filter/Project operators descending through the *probe* (left)
+/// side of keyed inner joins, whose build (right) subtrees hang off as
+/// *static* inputs. The spine's single bottom scan is the only input whose
+/// delta propagates; every table scanned by a build subtree is recorded in
+/// `static_tables` and must be **unchanged** for the run — a churned build
+/// side interleaves new join pairs into existing probe rows' match groups,
+/// which no append-only output delta can reproduce byte-identically (see
+/// [`crate::exec::delta_join`]), so the node recomputes instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IncrementalSupport {
-    /// A Scan/Filter/Project chain: input deltas propagate row-wise via
+    /// A delta spine (Scan/Filter/Project, optionally through inner
+    /// joins): input deltas propagate row-wise via
     /// [`LogicalPlan::execute_delta`], and the node publishes its own
-    /// output delta for downstream consumers. `projects` records whether a
-    /// projection is present — projections are lossy, so such chains only
-    /// support insert-only deltas.
+    /// output delta for downstream consumers. `projects`/`joins` record
+    /// whether those lossy/fan-out operators are present — either one
+    /// restricts the chain to insert-only deltas.
     RowWise {
-        /// Whether the chain contains a projection.
+        /// Whether the spine contains a projection.
         projects: bool,
+        /// Whether the spine contains a keyed inner join.
+        joins: bool,
+        /// Tables scanned by join build subtrees; their deltas must be
+        /// empty for the node to maintain incrementally.
+        static_tables: Vec<String>,
     },
-    /// A hash aggregation over a row-wise chain: the node's stored output
+    /// A hash aggregation over a delta spine: the node's stored output
     /// can absorb an insert-only input delta via
     /// [`crate::exec::merge_aggregate`], but no output delta is published
     /// (group updates are not representable as insert-only changes).
     /// `mergeable` is false when an aggregate function (Avg) cannot resume
     /// its accumulator from the stored value.
     MergeAggregate {
-        /// Whether the chain below the aggregate contains a projection.
+        /// Whether the spine below the aggregate contains a projection.
         projects: bool,
+        /// Whether the spine below the aggregate contains an inner join.
+        joins: bool,
         /// Whether every aggregate function can be merged incrementally.
         mergeable: bool,
+        /// Tables scanned by join build subtrees below the aggregate.
+        static_tables: Vec<String>,
     },
-    /// Joins, unions, sorts, limits, or nested aggregates: always
-    /// recomputed in full.
+    /// Non-inner or unkeyed joins, unions, sorts, limits, or nested
+    /// aggregates: always recomputed in full.
     Unsupported,
 }
 
 impl IncrementalSupport {
     /// Whether a plan with this support can be maintained incrementally
-    /// given whether its input delta removes rows.
-    pub fn maintainable(self, has_deletes: bool) -> bool {
+    /// given whether its input delta removes rows. (Callers must
+    /// separately check that every [`IncrementalSupport::static_tables`]
+    /// entry is unchanged.)
+    pub fn maintainable(&self, has_deletes: bool) -> bool {
         match self {
-            IncrementalSupport::RowWise { projects } => !has_deletes || !projects,
-            IncrementalSupport::MergeAggregate {
-                projects: _,
-                mergeable,
-            } => mergeable && !has_deletes,
+            IncrementalSupport::RowWise {
+                projects, joins, ..
+            } => !has_deletes || (!*projects && !*joins),
+            IncrementalSupport::MergeAggregate { mergeable, .. } => *mergeable && !has_deletes,
             IncrementalSupport::Unsupported => false,
         }
     }
 
     /// Whether the node's own output delta is available to consumers.
-    pub fn publishes_delta(self) -> bool {
+    pub fn publishes_delta(&self) -> bool {
         matches!(self, IncrementalSupport::RowWise { .. })
+    }
+
+    /// Tables the incremental path reads in full and therefore requires to
+    /// be unchanged: the build sides of every join on the spine. Empty for
+    /// join-free shapes and for [`IncrementalSupport::Unsupported`].
+    pub fn static_tables(&self) -> &[String] {
+        match self {
+            IncrementalSupport::RowWise { static_tables, .. }
+            | IncrementalSupport::MergeAggregate { static_tables, .. } => static_tables,
+            IncrementalSupport::Unsupported => &[],
+        }
     }
 }
 
@@ -288,46 +320,87 @@ impl LogicalPlan {
     /// Classifies the plan for incremental maintenance (see
     /// [`IncrementalSupport`]).
     pub fn incremental_support(&self) -> IncrementalSupport {
-        fn row_wise(plan: &LogicalPlan) -> Option<bool> {
+        /// Walks a candidate delta spine, returning
+        /// `(projects, joins, static_tables)` when the shape is supported.
+        fn spine(plan: &LogicalPlan) -> Option<(bool, bool, Vec<String>)> {
             match plan {
-                LogicalPlan::Scan { .. } => Some(false),
-                LogicalPlan::Filter { input, .. } => row_wise(input),
-                LogicalPlan::Project { input, .. } => row_wise(input).map(|_| true),
+                LogicalPlan::Scan { .. } => Some((false, false, Vec::new())),
+                LogicalPlan::Filter { input, .. } => spine(input),
+                LogicalPlan::Project { input, .. } => {
+                    spine(input).map(|(_, joins, statics)| (true, joins, statics))
+                }
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    on,
+                    join_type,
+                } if *join_type == JoinType::Inner && !on.is_empty() => {
+                    let (projects, _, mut statics) = spine(left)?;
+                    for table in right.input_tables() {
+                        if !statics.contains(&table) {
+                            statics.push(table);
+                        }
+                    }
+                    Some((projects, true, statics))
+                }
                 _ => None,
             }
         }
         if let LogicalPlan::Aggregate { input, aggs, .. } = self {
-            if let Some(projects) = row_wise(input) {
+            if let Some((projects, joins, static_tables)) = spine(input) {
                 let triples: Vec<(AggFunc, String, String)> = aggs
                     .iter()
                     .map(|a| (a.func, a.column.clone(), a.alias.clone()))
                     .collect();
                 return IncrementalSupport::MergeAggregate {
                     projects,
+                    joins,
                     mergeable: exec::aggs_mergeable(&triples),
+                    static_tables,
                 };
             }
             return IncrementalSupport::Unsupported;
         }
-        match row_wise(self) {
-            Some(projects) => IncrementalSupport::RowWise { projects },
+        match spine(self) {
+            Some((projects, joins, static_tables)) => IncrementalSupport::RowWise {
+                projects,
+                joins,
+                static_tables,
+            },
             None => IncrementalSupport::Unsupported,
         }
     }
 
-    /// Propagates input deltas through a row-wise (Scan/Filter/Project)
-    /// plan, producing the output delta. Fails on operators outside that
-    /// fragment — callers must consult [`LogicalPlan::incremental_support`]
+    /// Propagates input deltas down the delta spine (Scan/Filter/Project,
+    /// through the probe side of keyed inner joins), producing the output
+    /// delta. A join's build side is executed in full against `tables` —
+    /// it must be unchanged, so its stored contents *are* its pre-image
+    /// (see [`crate::exec::delta_join`]). Fails on operators outside the
+    /// spine — callers must consult [`LogicalPlan::incremental_support`]
     /// first. (An aggregate root is handled by the controller, which feeds
     /// its *input*'s delta to [`crate::exec::merge_aggregate`].)
-    pub fn execute_delta<S: DeltaSource + ?Sized>(&self, source: &S) -> Result<TableDelta> {
+    pub fn execute_delta<D, T>(&self, deltas: &D, tables: &T) -> Result<TableDelta>
+    where
+        D: DeltaSource + ?Sized,
+        T: TableSource + ?Sized,
+    {
         match self {
-            LogicalPlan::Scan { table } => source.delta(table),
+            LogicalPlan::Scan { table } => deltas.delta(table),
             LogicalPlan::Filter { input, predicate } => {
-                exec::delta_filter(&input.execute_delta(source)?, predicate)
+                exec::delta_filter(&input.execute_delta(deltas, tables)?, predicate)
             }
             LogicalPlan::Project { input, exprs } => {
-                exec::delta_project(&input.execute_delta(source)?, exprs)
+                exec::delta_project(&input.execute_delta(deltas, tables)?, exprs)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                join_type: JoinType::Inner,
+            } if !on.is_empty() => {
+                let probe_delta = left.execute_delta(deltas, tables)?;
+                let build = right.execute(tables)?;
+                exec::delta_join(&probe_delta, &build, on)
             }
             other => Err(EngineError::InvalidPlan(format!(
                 "operator is not delta-maintainable: {other:?}"
@@ -468,14 +541,22 @@ mod tests {
         let scan = LogicalPlan::scan("t");
         assert_eq!(
             scan.incremental_support(),
-            IncrementalSupport::RowWise { projects: false }
+            IncrementalSupport::RowWise {
+                projects: false,
+                joins: false,
+                static_tables: vec![]
+            }
         );
         let chain = LogicalPlan::scan("t")
             .filter(Expr::lit(true))
             .project(vec![(Expr::col("x"), "x".into())]);
         assert_eq!(
             chain.incremental_support(),
-            IncrementalSupport::RowWise { projects: true }
+            IncrementalSupport::RowWise {
+                projects: true,
+                joins: false,
+                static_tables: vec![]
+            }
         );
         // Filter-only chains survive deletes; projections do not.
         assert!(LogicalPlan::scan("t")
@@ -491,7 +572,9 @@ mod tests {
             agg.incremental_support(),
             IncrementalSupport::MergeAggregate {
                 projects: false,
-                mergeable: true
+                joins: false,
+                mergeable: true,
+                static_tables: vec![]
             }
         );
         assert!(agg.incremental_support().maintainable(false));
@@ -502,20 +585,76 @@ mod tests {
             .aggregate(vec!["k".into()], vec![AggExpr::new(AggFunc::Avg, "v", "m")]);
         assert!(!avg.incremental_support().maintainable(false));
 
+        // Unkeyed, and non-inner, joins stay unsupported.
         let join = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![]);
         assert_eq!(join.incremental_support(), IncrementalSupport::Unsupported);
-        // Aggregate over a join, or anything over an aggregate: unsupported.
-        let nested = LogicalPlan::scan("a")
-            .join(LogicalPlan::scan("b"), vec![])
-            .aggregate(vec![], vec![]);
-        assert_eq!(
-            nested.incremental_support(),
-            IncrementalSupport::Unsupported
-        );
+        let left = LogicalPlan::scan("a")
+            .left_join(LogicalPlan::scan("b"), vec![("x".into(), "x".into())]);
+        assert_eq!(left.incremental_support(), IncrementalSupport::Unsupported);
+        // Anything over an aggregate: unsupported.
         assert_eq!(
             agg.clone().filter(Expr::lit(true)).incremental_support(),
             IncrementalSupport::Unsupported
         );
+    }
+
+    #[test]
+    fn incremental_support_classifies_join_spines() {
+        use crate::exec::AggFunc;
+        // The enriched_sales shape: filtered fact joined to two dimensions.
+        let hub = LogicalPlan::scan("fact")
+            .filter(Expr::lit(true))
+            .join(LogicalPlan::scan("dim_a"), vec![("k".into(), "ka".into())])
+            .join(
+                LogicalPlan::scan("dim_b").filter(Expr::lit(true)),
+                vec![("k".into(), "kb".into())],
+            );
+        let support = hub.incremental_support();
+        assert_eq!(
+            support,
+            IncrementalSupport::RowWise {
+                projects: false,
+                joins: true,
+                static_tables: vec!["dim_a".into(), "dim_b".into()]
+            }
+        );
+        // Join spines publish deltas but are insert-only.
+        assert!(support.publishes_delta());
+        assert!(support.maintainable(false));
+        assert!(!support.maintainable(true));
+        assert_eq!(support.static_tables(), ["dim_a", "dim_b"]);
+
+        // An aggregate over a join spine merges; build tables carry over.
+        let agg = hub
+            .clone()
+            .aggregate(vec!["g".into()], vec![AggExpr::new(AggFunc::Sum, "v", "s")]);
+        assert_eq!(
+            agg.incremental_support(),
+            IncrementalSupport::MergeAggregate {
+                projects: false,
+                joins: true,
+                mergeable: true,
+                static_tables: vec!["dim_a".into(), "dim_b".into()]
+            }
+        );
+        // An aggregate anywhere on the build side is fine (it is static);
+        // an aggregate on the spine is not.
+        let agg_build = LogicalPlan::scan("fact").join(
+            LogicalPlan::scan("dim_a").aggregate(vec!["ka".into()], vec![]),
+            vec![("k".into(), "ka".into())],
+        );
+        assert!(matches!(
+            agg_build.incremental_support(),
+            IncrementalSupport::RowWise { joins: true, .. }
+        ));
+        let agg_spine = LogicalPlan::scan("fact")
+            .aggregate(vec!["k".into()], vec![])
+            .join(LogicalPlan::scan("dim_a"), vec![("k".into(), "ka".into())]);
+        assert_eq!(
+            agg_spine.incremental_support(),
+            IncrementalSupport::Unsupported
+        );
+        assert!(IncrementalSupport::Unsupported.static_tables().is_empty());
     }
 
     #[test]
@@ -529,20 +668,77 @@ mod tests {
         let delta = TableDelta::insert_only(base.clone());
         let mut deltas = HashMap::new();
         deltas.insert("t".to_string(), delta);
+        let tables: HashMap<String, Arc<Table>> = HashMap::new();
 
         let plan = LogicalPlan::scan("t")
             .filter(Expr::col("v").gt(Expr::lit(5.0f64)))
             .project(vec![(Expr::col("k"), "k".into())]);
-        let out = plan.execute_delta(&deltas).unwrap();
+        let out = plan.execute_delta(&deltas, &tables).unwrap();
         assert_eq!(out.insert_rows(), 1);
         assert_eq!(out.batches()[0].inserts.value(0, 0), Value::Int64(1));
 
         // Unknown table and unsupported operators fail cleanly.
-        assert!(LogicalPlan::scan("missing").execute_delta(&deltas).is_err());
+        assert!(LogicalPlan::scan("missing")
+            .execute_delta(&deltas, &tables)
+            .is_err());
         assert!(LogicalPlan::scan("t")
             .union(LogicalPlan::scan("t"))
-            .execute_delta(&deltas)
+            .execute_delta(&deltas, &tables)
             .is_err());
+    }
+
+    #[test]
+    fn execute_delta_through_join_spine_matches_full() {
+        // Churn only the probe-side table of orders ⋈ customers; the
+        // propagated delta applied to the old MV must equal recomputation.
+        let tables = source();
+        let plan = LogicalPlan::scan("orders")
+            .filter(Expr::col("amount").gt(Expr::lit(10.0f64)))
+            .join(
+                LogicalPlan::scan("customers"),
+                vec![("cust".into(), "cust_id".into())],
+            );
+        let mv_old = plan.execute(&tables).unwrap();
+
+        let mut growth = TableBuilder::new()
+            .column("id", DataType::Int64)
+            .column("cust", DataType::Int64)
+            .column("amount", DataType::Float64)
+            .build();
+        growth
+            .push_row(vec![5.into(), 10.into(), 60.0.into()])
+            .unwrap();
+        growth
+            .push_row(vec![6.into(), 99.into(), 70.0.into()]) // no customer
+            .unwrap();
+        let delta = TableDelta::insert_only(growth);
+        let mut deltas = HashMap::new();
+        deltas.insert("orders".to_string(), delta.clone());
+
+        let out = plan.execute_delta(&deltas, &tables).unwrap();
+        let incremental = out.apply(&mv_old).unwrap();
+
+        let mut grown = tables.clone();
+        let orders_new = delta.apply(&tables["orders"]).unwrap();
+        grown.insert("orders".to_string(), Arc::new(orders_new));
+        assert_eq!(incremental, plan.execute(&grown).unwrap());
+
+        // Deletes cannot cross the join.
+        let mut del = TableBuilder::new()
+            .column("id", DataType::Int64)
+            .column("cust", DataType::Int64)
+            .column("amount", DataType::Float64)
+            .build();
+        del.push_row(vec![2.into(), 11.into(), 50.0.into()])
+            .unwrap();
+        let with_del = TableDelta::from_batch(crate::exec::DeltaBatch {
+            deletes: del,
+            inserts: Table::empty(delta.schema().clone()),
+        })
+        .unwrap();
+        let mut deltas = HashMap::new();
+        deltas.insert("orders".to_string(), with_del);
+        assert!(plan.execute_delta(&deltas, &tables).is_err());
     }
 
     #[test]

@@ -67,6 +67,19 @@ impl DeltaStore {
         self.inner.lock().pending.get(table).cloned()
     }
 
+    /// Number of pending batches logged against `table` (0 when none) —
+    /// cheaper than cloning via [`DeltaStore::pending`], and what the
+    /// controller compares against its snapshot to detect batches that
+    /// arrived *during* a refresh run.
+    pub fn pending_batches(&self, table: &str) -> usize {
+        self.inner
+            .lock()
+            .pending
+            .get(table)
+            .map(|d| d.batches().len())
+            .unwrap_or(0)
+    }
+
     /// Pending bytes logged against `table` (0 when none).
     pub fn pending_bytes(&self, table: &str) -> u64 {
         self.inner

@@ -187,9 +187,11 @@ impl Simulator {
     /// Fixes every node's maintenance mode before the run — the same
     /// decision rule as the engine's controller: a node can be maintained
     /// incrementally only when every parent's delta is known (the parent
-    /// is skipped, or incremental and publishing), is skipped when its
-    /// annotated delta is zero, and otherwise needs operator support plus
-    /// — under [`RefreshMode::Auto`] — a cost-model win.
+    /// is skipped, or incremental and publishing — build-side parents of a
+    /// delta-join spine must be *skipped*, since a changed build side
+    /// forces a recompute), is skipped when its annotated delta is zero,
+    /// and otherwise needs operator support plus — under
+    /// [`RefreshMode::Auto`] — a cost-model win.
     fn plan_deltas(&self, workload: &SimWorkload, plan: &Plan) -> SimDeltaPlan {
         let graph = &workload.graph;
         let n = graph.len();
@@ -203,11 +205,16 @@ impl Simulator {
                 };
                 // Every parent's delta must be known: skipped, or
                 // incremental *and publishing* (merge-only parents absorb
-                // their delta but expose nothing to consume).
+                // their delta but expose nothing to consume). A parent on
+                // the build side of a join spine must be skipped outright.
                 let known = graph.parents(v).iter().all(|&p| {
-                    modes[p.index()] == NodeMode::Skipped
-                        || (modes[p.index()] == NodeMode::Incremental
-                            && graph.node(p).delta_publishes)
+                    let parent = graph.node(p);
+                    if node.build_inputs.contains(&parent.name) {
+                        modes[p.index()] == NodeMode::Skipped
+                    } else {
+                        modes[p.index()] == NodeMode::Skipped
+                            || (modes[p.index()] == NodeMode::Incremental && parent.delta_publishes)
+                    }
                 });
                 if !known {
                     continue;
@@ -228,8 +235,12 @@ impl Simulator {
                                 .iter()
                                 .map(|&p| graph.node(p).output_bytes)
                                 .sum::<u64>();
-                        cfg.cost_model()
-                            .incremental_refresh_wins(input, node.output_bytes, delta)
+                        cfg.cost_model().incremental_refresh_wins(
+                            input,
+                            node.output_bytes,
+                            delta,
+                            node.build_read_bytes,
+                        )
                     }
                     RefreshMode::AlwaysFull => unreachable!("checked above"),
                 };
@@ -345,6 +356,13 @@ impl Simulator {
                 let t = cfg.disk_read_time(node.output_bytes);
                 read_s += t;
                 disk_read_s += t;
+                // Static build sides of a join spine: the propagated delta
+                // probes them, so the incremental path reads them in full.
+                if node.build_read_bytes > 0 {
+                    let t = cfg.disk_read_time(node.build_read_bytes);
+                    read_s += t;
+                    disk_read_s += t;
+                }
                 // Parent deltas: from the catalog when resident as a delta
                 // payload, from their spilled file otherwise. (The pending
                 // base-table delta itself is an in-memory log: free.)
@@ -706,6 +724,12 @@ impl Simulator {
                                     let t = cfg.disk_read_time(node.output_bytes);
                                     r += t;
                                     dr += t;
+                                    // Static build sides the delta probes.
+                                    if node.build_read_bytes > 0 {
+                                        let t = cfg.disk_read_time(node.build_read_bytes);
+                                        r += t;
+                                        dr += t;
+                                    }
                                     for &parent in graph.parents(v) {
                                         let pi = parent.index();
                                         if dp.modes[pi] == NodeMode::Skipped {
@@ -1338,6 +1362,71 @@ mod tests {
                 .unwrap();
         assert_eq!(r.nodes[0].mode, NodeMode::Incremental);
         assert_eq!(r.nodes[1].mode, NodeMode::Full);
+    }
+
+    /// A join-hub node maintains incrementally only while its build-side
+    /// parent is skipped: a changed build side forces a recompute (mirror
+    /// of the engine's static-table rule).
+    #[test]
+    fn delta_join_spine_requires_skipped_build_parents() {
+        let make = |dim_delta: u64| {
+            SimWorkload::from_parts(
+                [
+                    SimNode::new("dim", 1.0, GIB / 8, GIB / 4).with_delta(dim_delta),
+                    SimNode::new("fact_hub", 5.0, 4 * GIB, 8 * GIB)
+                        .with_delta(GIB / 8)
+                        .with_build_side(["dim"], GIB / 8),
+                ],
+                [(0, 1)],
+            )
+            .unwrap()
+        };
+        let p = plan(&[0, 1], &[], 2);
+        let cfg = SimConfig::paper(GIB).with_refresh_mode(RefreshMode::AlwaysIncremental);
+        for lanes in [1usize, 2] {
+            let sim = Simulator::new(cfg.clone().with_lanes(lanes));
+            let quiet = sim.run(&make(0), &p).unwrap();
+            assert_eq!(quiet.nodes[0].mode, NodeMode::Skipped, "lanes={lanes}");
+            assert_eq!(quiet.nodes[1].mode, NodeMode::Incremental);
+            let churned_dim = sim.run(&make(GIB / 64), &p).unwrap();
+            assert_eq!(churned_dim.nodes[0].mode, NodeMode::Incremental);
+            assert_eq!(
+                churned_dim.nodes[1].mode,
+                NodeMode::Full,
+                "lanes={lanes}: a changed build side forces a recompute"
+            );
+            // The delta-joining hub pays its build-side read on top of its
+            // own stored contents.
+            let hub = &quiet.nodes[1];
+            let expected = cfg.disk_read_time(4 * GIB) + cfg.disk_read_time(GIB / 8);
+            assert!(
+                (hub.disk_read_s - expected).abs() < 1e-9,
+                "lanes={lanes}: got {}, want {expected}",
+                hub.disk_read_s
+            );
+        }
+    }
+
+    /// Under `Auto` the build-side read is charged against the delta-join
+    /// win: a small dimension keeps incremental worthwhile, a build side
+    /// as large as the whole input erases it.
+    #[test]
+    fn auto_mode_charges_build_side_reads() {
+        let hub = |build_bytes: u64| {
+            SimWorkload::from_parts(
+                [SimNode::new("hub", 5.0, GIB / 2, 8 * GIB)
+                    .with_delta(GIB / 64)
+                    .with_build_side(Vec::<String>::new(), build_bytes)],
+                [],
+            )
+            .unwrap()
+        };
+        let p = plan(&[0], &[], 1);
+        let sim = Simulator::new(SimConfig::paper(GIB));
+        let small = sim.run(&hub(GIB / 8), &p).unwrap();
+        assert_eq!(small.nodes[0].mode, NodeMode::Incremental);
+        let huge = sim.run(&hub(8 * GIB), &p).unwrap();
+        assert_eq!(huge.nodes[0].mode, NodeMode::Full);
     }
 
     #[test]

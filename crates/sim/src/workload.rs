@@ -32,6 +32,19 @@ pub struct SimNode {
     /// absorb their input delta but publish nothing, so their consumers
     /// recompute (mirror with [`SimNode::merge_only`]).
     pub delta_publishes: bool,
+    /// Names of parent nodes feeding the *build* side of a delta-join
+    /// spine (mirrors the engine's `IncrementalSupport::static_tables`):
+    /// the node can maintain incrementally only while these parents are
+    /// Skipped — a changed build side interleaves new join pairs into
+    /// existing match groups, which no append-only delta reproduces, so
+    /// the engine recomputes. Empty for join-free nodes.
+    pub build_inputs: Vec<String>,
+    /// Bytes of build-side inputs (dimension tables and static parents)
+    /// the incremental path still reads in full to probe the propagated
+    /// delta. A subset of the node's total input bytes; 0 for join-free
+    /// nodes. Charged as disk read time on the incremental path and fed
+    /// to `CostModel::incremental_refresh_wins` under `Auto`.
+    pub build_read_bytes: u64,
 }
 
 impl SimNode {
@@ -50,12 +63,29 @@ impl SimNode {
             delta_bytes: None,
             delta_supported: true,
             delta_publishes: true,
+            build_inputs: Vec::new(),
+            build_read_bytes: 0,
         }
     }
 
     /// Annotates the node with its output-delta size for a churn scenario.
     pub fn with_delta(mut self, delta_bytes: u64) -> Self {
         self.delta_bytes = Some(delta_bytes);
+        self
+    }
+
+    /// Marks the node as a delta-join spine reading `read_bytes` of static
+    /// build-side inputs, with `parents` naming any build-side *parent
+    /// nodes* (base-table build inputs contribute bytes only — their
+    /// staleness is folded into the node's own `delta_supported` flag by
+    /// whoever builds the scenario).
+    pub fn with_build_side(
+        mut self,
+        parents: impl IntoIterator<Item = impl Into<String>>,
+        read_bytes: u64,
+    ) -> Self {
+        self.build_inputs = parents.into_iter().map(Into::into).collect();
+        self.build_read_bytes = read_bytes;
         self
     }
 

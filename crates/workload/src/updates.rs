@@ -10,12 +10,16 @@
 //! remove sampled rows. Sim-side, [`churned`] scales every node's
 //! `delta_bytes` annotation from a global delta fraction.
 
+use std::collections::HashMap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use sc_engine::controller::{Controller, MvDefinition, RunMetrics};
 use sc_engine::exec::{DeltaBatch, TableDelta};
+use sc_engine::storage::{ingest, DeltaStore, DiskCatalog};
 use sc_engine::{Table, Value};
-use sc_sim::SimWorkload;
+use sc_sim::{SimNode, SimWorkload};
 
 /// Churn mix for one generated batch, as fractions of the table's current
 /// row count.
@@ -139,6 +143,160 @@ pub fn delta_fraction_bytes(table: &Table, fraction: f64) -> u64 {
     (avg_row_bytes(table) as f64 * table.num_rows() as f64 * fraction) as u64
 }
 
+/// The join-hub churn scenario: seeded insert-only streams against the
+/// *fact* (probe-side) tables of a join-hub pipeline while every
+/// dimension (build-side) table stays untouched — exactly the shape the
+/// delta-join rule maintains incrementally and byte-identically.
+#[derive(Debug, Clone)]
+pub struct JoinHubChurn {
+    /// Fact tables receiving insert-only churn each round.
+    pub fact_tables: Vec<String>,
+    /// Fraction of each fact table's current rows appended per round.
+    pub insert_fraction: f64,
+}
+
+impl JoinHubChurn {
+    /// A scenario churning `fact_tables` by `insert_fraction` per round.
+    pub fn new(
+        fact_tables: impl IntoIterator<Item = impl Into<String>>,
+        insert_fraction: f64,
+    ) -> Self {
+        JoinHubChurn {
+            fact_tables: fact_tables.into_iter().map(Into::into).collect(),
+            insert_fraction,
+        }
+    }
+
+    /// The `sales_pipeline` scenario: `store_sales` churns, the `item` /
+    /// `date_dim` / `customer` dimensions stay static.
+    pub fn store_sales(insert_fraction: f64) -> Self {
+        JoinHubChurn::new(["store_sales"], insert_fraction)
+    }
+
+    /// Generates one seeded churn round against every fact table's
+    /// *current* stored contents and ingests it (base updated + delta
+    /// logged). Streams are deterministic per `(self, stored state, seed)`,
+    /// so two catalogs holding identical bases receive identical churn.
+    pub fn ingest_round(
+        &self,
+        disk: &DiskCatalog,
+        store: &DeltaStore,
+        seed: u64,
+    ) -> sc_engine::Result<()> {
+        let spec = UpdateStreamSpec::inserts(self.insert_fraction);
+        for (i, table) in self.fact_tables.iter().enumerate() {
+            let base = disk.read_table(table)?;
+            let delta = generate_delta(&base, &spec, seed.wrapping_add(i as u64));
+            ingest(disk, store, table, delta)?;
+        }
+        Ok(())
+    }
+}
+
+/// One churned base table in a scenario handed to [`mirror_workload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnedBase {
+    /// Pending delta bytes logged against the table.
+    pub delta_bytes: u64,
+    /// Whether the pending stream removes rows.
+    pub has_deletes: bool,
+}
+
+/// Mirrors an engine MV workload into an annotated [`SimWorkload`] for a
+/// churn scenario, so the simulator predicts the same per-node refresh
+/// decisions (skip / incremental / full) as the engine's mode planner.
+///
+/// `metrics` must come from a **full** refresh of `mvs` (every node
+/// executed, so output sizes and compute times are real); `churned` maps
+/// each churned base table to its pending delta. Per node, the mirror
+/// derives: reachability of churn (unreached nodes annotate `Some(0)` and
+/// skip), an input-delta-sized estimate, operator support and publication
+/// from [`sc_engine::plan::LogicalPlan::incremental_support`], and the
+/// delta-join build side (static tables become [`SimNode::build_inputs`] /
+/// `build_read_bytes`; a *churned* static base table marks the node
+/// full-only, exactly as the engine recomputes it). Delete-carrying churn
+/// is folded into `delta_supported` via the same shape rules the engine
+/// applies (`maintainable`), which matches the engine whenever churn
+/// reaches the node through publishing parents — the only way modes can
+/// line up anyway.
+pub fn mirror_workload(
+    mvs: &[MvDefinition],
+    metrics: &RunMetrics,
+    disk: &DiskCatalog,
+    churned: &HashMap<String, ChurnedBase>,
+) -> sc_dag::Result<SimWorkload> {
+    let index: HashMap<&str, usize> = mvs
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.name.as_str(), i))
+        .collect();
+    let by_name: HashMap<&str, &sc_engine::NodeMetrics> =
+        metrics.nodes.iter().map(|n| (n.name.as_str(), n)).collect();
+    let edges = Controller::dependencies(mvs);
+
+    // Propagate churn reachability + an input-delta-sized estimate in
+    // registration order (MVs only reference earlier MVs).
+    let mut delta_est = vec![0u64; mvs.len()];
+    let mut deletes_reach = vec![false; mvs.len()];
+    let mut nodes = Vec::with_capacity(mvs.len());
+    for (i, mv) in mvs.iter().enumerate() {
+        let support = mv.plan.incremental_support();
+        let statics = support.static_tables();
+        let mut est = 0u64;
+        let mut deletes = false;
+        let mut static_churn = false;
+        let mut base_read = 0u64;
+        let mut build_read = 0u64;
+        let mut build_parents: Vec<String> = Vec::new();
+        for input in mv.plan.input_tables() {
+            let is_static = statics.contains(&input);
+            if is_static {
+                build_read += disk.size_of(&input).unwrap_or(0);
+            }
+            if let Some(&p) = index.get(input.as_str()) {
+                if is_static {
+                    build_parents.push(input.clone());
+                    if delta_est[p] > 0 {
+                        static_churn = true;
+                    }
+                } else {
+                    est += delta_est[p];
+                    deletes |= deletes_reach[p];
+                }
+            } else {
+                base_read += disk.size_of(&input).unwrap_or(0);
+                if let Some(c) = churned.get(&input) {
+                    if c.delta_bytes > 0 {
+                        if is_static {
+                            static_churn = true;
+                        } else {
+                            est += c.delta_bytes;
+                            deletes |= c.has_deletes;
+                        }
+                    }
+                }
+            }
+        }
+        delta_est[i] = est + if static_churn { 1 } else { 0 };
+        deletes_reach[i] = deletes;
+
+        let m = by_name
+            .get(mv.name.as_str())
+            .unwrap_or_else(|| panic!("no metrics for MV '{}'", mv.name));
+        let mut node = SimNode::new(mv.name.clone(), m.compute_s, m.output_bytes, base_read)
+            .with_delta(delta_est[i])
+            .with_build_side(build_parents, build_read);
+        if static_churn || !support.maintainable(deletes) {
+            node = node.full_only();
+        }
+        if !support.publishes_delta() {
+            node = node.merge_only();
+        }
+        nodes.push(node);
+    }
+    SimWorkload::from_parts(nodes, edges)
+}
+
 /// Annotates every node of a simulated workload with churn at a global
 /// `delta_fraction` of its output (seeded jitter of ±50% per node), for
 /// churn-heavy sim scenarios. Nodes keep their `delta_supported` flag.
@@ -235,6 +393,102 @@ mod tests {
         assert!(five > 0);
         assert!(ten > five);
         assert!(ten <= sales.byte_size());
+    }
+
+    #[test]
+    fn join_hub_churn_is_deterministic_across_rigs() {
+        let mk = || {
+            let dir = tempfile::tempdir().unwrap();
+            let disk = sc_engine::storage::DiskCatalog::open(dir.path()).unwrap();
+            TinyTpcds::generate(0.3, 7).load_into(&disk).unwrap();
+            (dir, disk, DeltaStore::new())
+        };
+        let (_d1, disk1, store1) = mk();
+        let (_d2, disk2, store2) = mk();
+        let churn = JoinHubChurn::store_sales(0.05);
+        for round in 0..2u64 {
+            churn.ingest_round(&disk1, &store1, round).unwrap();
+            churn.ingest_round(&disk2, &store2, round).unwrap();
+        }
+        assert_eq!(
+            store1.pending("store_sales").unwrap(),
+            store2.pending("store_sales").unwrap()
+        );
+        assert_eq!(store1.pending("store_sales").unwrap().batches().len(), 2);
+        assert!(!store1.pending("store_sales").unwrap().has_deletes());
+        assert_eq!(
+            disk1.read_table("store_sales").unwrap(),
+            disk2.read_table("store_sales").unwrap()
+        );
+        // Dimensions stay untouched.
+        assert!(store1.pending("item").is_none());
+    }
+
+    #[test]
+    fn mirror_workload_annotates_join_hub_shapes() {
+        use crate::engine_mvs::sales_pipeline;
+        use sc_core::Plan;
+        use sc_dag::NodeId;
+        use sc_engine::controller::Controller;
+        use sc_engine::storage::MemoryCatalog;
+
+        let dir = tempfile::tempdir().unwrap();
+        let disk = sc_engine::storage::DiskCatalog::open(dir.path()).unwrap();
+        TinyTpcds::generate(0.3, 7).load_into(&disk).unwrap();
+        let mvs = sales_pipeline();
+        let mem = MemoryCatalog::new(64 << 20);
+        let plan = Plan::unoptimized((0..mvs.len()).map(NodeId).collect());
+        let metrics = Controller::new(&disk, &mem).refresh(&mvs, &plan).unwrap();
+
+        let mut churned = HashMap::new();
+        churned.insert(
+            "store_sales".to_string(),
+            ChurnedBase {
+                delta_bytes: 4096,
+                has_deletes: false,
+            },
+        );
+        let w = mirror_workload(&mvs, &metrics, &disk, &churned).unwrap();
+        let node = |name: &str| {
+            w.graph
+                .node_ids()
+                .map(|v| w.graph.node(v))
+                .find(|n| n.name == name)
+                .unwrap()
+                .clone()
+        };
+        // The join hub: churn reaches it, dimensions are its static build
+        // side (base tables, so bytes only — no build parents).
+        let hub = node("enriched_sales");
+        assert_eq!(hub.delta_bytes, Some(4096));
+        assert!(hub.delta_supported && hub.delta_publishes);
+        assert!(hub.build_inputs.is_empty());
+        assert!(hub.build_read_bytes > 0);
+        // Aggregates over the hub merge without publishing.
+        let agg = node("rev_by_category");
+        assert!(agg.delta_supported && !agg.delta_publishes);
+        // The untouched channels annotate zero delta (skip candidates).
+        assert_eq!(node("web_by_item").delta_bytes, Some(0));
+        // The union report is full-only.
+        assert!(!node("cross_channel").delta_supported);
+        // A churned *dimension* instead marks the hub full-only.
+        let mut churned_dim = HashMap::new();
+        churned_dim.insert(
+            "item".to_string(),
+            ChurnedBase {
+                delta_bytes: 1024,
+                has_deletes: false,
+            },
+        );
+        let w2 = mirror_workload(&mvs, &metrics, &disk, &churned_dim).unwrap();
+        let hub2 = w2
+            .graph
+            .node_ids()
+            .map(|v| w2.graph.node(v))
+            .find(|n| n.name == "enriched_sales")
+            .unwrap();
+        assert!(!hub2.delta_supported);
+        assert!(hub2.delta_bytes.unwrap() > 0, "churn still reaches the hub");
     }
 
     #[test]

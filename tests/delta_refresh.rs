@@ -17,13 +17,15 @@ use sc_engine::exec::AggFunc;
 use sc_engine::expr::Expr;
 use sc_engine::plan::{AggExpr, LogicalPlan};
 use sc_engine::storage::{self, DeltaStore, DiskCatalog, MemoryCatalog};
+use sc_workload::engine_mvs::sales_pipeline;
 use sc_workload::tpcds::TinyTpcds;
-use sc_workload::updates::{generate_delta, UpdateStreamSpec};
+use sc_workload::updates::{generate_delta, JoinHubChurn, UpdateStreamSpec};
 
 /// A workload mixing every maintenance shape over the TinyTpcds tables:
 /// row-wise filter chains (delete-safe), a chained filter over an MV, two
-/// mergeable aggregates, a join (never incremental), and an independent
-/// branch that skips when only `store_sales` churns.
+/// mergeable aggregates, a join hub (incremental under insert-only churn
+/// of its probe side, full otherwise), and an independent branch that
+/// skips when only `store_sales` churns.
 fn mixed_workload() -> Vec<MvDefinition> {
     vec![
         // 0: delete-safe filter chain over the churning fact table.
@@ -49,7 +51,8 @@ fn mixed_workload() -> Vec<MvDefinition> {
             "bulk_hot_sales",
             LogicalPlan::scan("hot_sales").filter(Expr::col("ss_quantity").gt(Expr::lit(50i64))),
         ),
-        // 3: join — always recomputed in full.
+        // 3: join hub — delta-joins insert-only probe churn against the
+        // static item dimension, recomputes when the stream has deletes.
         MvDefinition::new(
             "hot_enriched",
             LogicalPlan::scan("hot_sales").join(
@@ -157,18 +160,25 @@ fn incremental_refresh_is_byte_identical_across_update_streams() {
             let mode_of = |m: &sc_engine::RunMetrics, name: &str| {
                 m.nodes.iter().find(|n| n.name == name).unwrap().mode
             };
-            // The join recomputes every round; the untouched branch skips;
-            // the aggregate merges whenever its input delta is insert-only
-            // (round 1 carries deletes, which aggregates cannot merge).
-            assert_eq!(mode_of(&im, "hot_enriched"), NodeMode::Full);
+            // The untouched branch skips; the join hub delta-joins and the
+            // aggregate merges whenever the stream is insert-only (round 1
+            // carries deletes, which neither joins nor aggregates absorb).
             assert_eq!(mode_of(&im, "web_by_item"), NodeMode::Skipped);
-            if round != 1 {
-                assert_eq!(
-                    mode_of(&im, "sales_by_item"),
-                    NodeMode::Incremental,
-                    "round {round}, lanes {lanes}"
-                );
-            }
+            let expect = if round == 1 {
+                NodeMode::Full
+            } else {
+                NodeMode::Incremental
+            };
+            assert_eq!(
+                mode_of(&im, "hot_enriched"),
+                expect,
+                "round {round}, lanes {lanes}"
+            );
+            assert_eq!(
+                mode_of(&im, "sales_by_item"),
+                expect,
+                "round {round}, lanes {lanes}"
+            );
         }
     }
 }
@@ -207,6 +217,11 @@ fn deletes_propagate_through_filter_chains_only() {
         mode_of("sales_by_item"),
         NodeMode::Full,
         "aggregates cannot merge deletions"
+    );
+    assert_eq!(
+        mode_of("hot_enriched"),
+        NodeMode::Full,
+        "joins cannot propagate deletions"
     );
 }
 
@@ -265,4 +280,417 @@ fn delta_payload_admission_fits_where_full_tables_cannot() {
     .unwrap();
     let fm = refresh(&r, &mvs, &plan, 1, RefreshMode::AlwaysFull);
     assert!(fm.nodes[0].fell_back, "full table cannot fit the budget");
+}
+
+/// The acceptance-criterion scenario: the `enriched_sales` join hub (fact
+/// ⋈ item ⋈ date_dim with three consumers, plus the premium_by_state
+/// join+aggregate) is maintained incrementally under seeded insert-only
+/// fact churn, byte-identical to full recomputation, on 1 and 4 lanes.
+#[test]
+fn join_hub_pipeline_maintained_incrementally_and_byte_identical() {
+    for lanes in [1usize, 4] {
+        let mvs = sales_pipeline();
+        let plan = plan_for(&mvs, &[0]); // flag the hub
+        let full = rig(64 << 20);
+        let inc = rig(64 << 20);
+        refresh(&full, &mvs, &plan, lanes, RefreshMode::AlwaysFull);
+        refresh(&inc, &mvs, &plan, lanes, RefreshMode::AlwaysFull);
+
+        let churn = JoinHubChurn::store_sales(0.04);
+        for round in 0..2u64 {
+            churn.ingest_round(&full.disk, &full.store, round).unwrap();
+            churn.ingest_round(&inc.disk, &inc.store, round).unwrap();
+            refresh(&full, &mvs, &plan, lanes, RefreshMode::AlwaysFull);
+            let im = refresh(&inc, &mvs, &plan, lanes, RefreshMode::AlwaysIncremental);
+
+            assert_eq!(
+                mv_file_bytes(&full, &mvs),
+                mv_file_bytes(&inc, &mvs),
+                "round {round}, lanes {lanes}: join-hub pipeline must stay byte-identical"
+            );
+            let node = |name: &str| im.nodes.iter().find(|n| n.name == name).unwrap();
+            // The join hub delta-joins its fact churn against the static
+            // dimensions, and every consumer maintains from its delta.
+            assert_eq!(node("enriched_sales").mode, NodeMode::Incremental);
+            assert!(node("enriched_sales").delta_bytes > 0);
+            assert_eq!(node("rev_by_category").mode, NodeMode::Incremental);
+            assert_eq!(node("rev_by_year").mode, NodeMode::Incremental);
+            assert_eq!(node("premium_sales").mode, NodeMode::Incremental);
+            // join + aggregate over a published delta, customer static.
+            assert_eq!(node("premium_by_state").mode, NodeMode::Incremental);
+            // Channels the churn never touches skip outright.
+            for skipped in [
+                "catalog_by_item",
+                "web_by_item",
+                "cross_channel",
+                "top_items",
+            ] {
+                assert_eq!(node(skipped).mode, NodeMode::Skipped, "{skipped}");
+            }
+            assert!(inc.mem.is_empty() && inc.store.is_empty());
+        }
+    }
+}
+
+/// Churning a *dimension* (build side) forces the hub — and transitively
+/// its consumers — back to full recomputation: the delta-join boundary.
+/// Results stay byte-identical either way.
+#[test]
+fn build_side_churn_falls_back_to_full_recompute() {
+    let mvs = sales_pipeline();
+    let plan = plan_for(&mvs, &[]);
+    let full = rig(64 << 20);
+    let inc = rig(64 << 20);
+    refresh(&full, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+    refresh(&inc, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+
+    // item feeds enriched_sales' build side.
+    let churn = JoinHubChurn::new(["item"], 0.05);
+    churn.ingest_round(&full.disk, &full.store, 9).unwrap();
+    churn.ingest_round(&inc.disk, &inc.store, 9).unwrap();
+    refresh(&full, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+    let im = refresh(&inc, &mvs, &plan, 1, RefreshMode::AlwaysIncremental);
+    assert_eq!(mv_file_bytes(&full, &mvs), mv_file_bytes(&inc, &mvs));
+
+    let node = |name: &str| im.nodes.iter().find(|n| n.name == name).unwrap();
+    assert_eq!(
+        node("enriched_sales").mode,
+        NodeMode::Full,
+        "changed build side cannot be delta-joined"
+    );
+    // Its consumers lose their parent delta and recompute too.
+    assert_eq!(node("rev_by_category").mode, NodeMode::Full);
+    assert_eq!(node("premium_sales").mode, NodeMode::Full);
+    // Untouched channels still skip.
+    assert_eq!(node("web_by_item").mode, NodeMode::Skipped);
+}
+
+/// Failure path shipped untested by PR 2: an unflagged parent that
+/// publishes a delta must spill it to a transient storage file, and its
+/// incremental consumers read it back from disk (off-catalog). The spill
+/// is removed at the end of the run.
+#[test]
+fn spilled_delta_is_read_back_when_consumer_is_off_catalog() {
+    let mvs = mixed_workload();
+    let plan = plan_for(&mvs, &[]); // nothing flagged: no catalog payloads
+    let full = rig(32 << 20);
+    let inc = rig(32 << 20);
+    refresh(&full, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+    refresh(&inc, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+
+    let spec = UpdateStreamSpec::inserts(0.05);
+    for r in [&full, &inc] {
+        let sales = r.disk.read_table("store_sales").unwrap();
+        storage::ingest(
+            &r.disk,
+            &r.store,
+            "store_sales",
+            generate_delta(&sales, &spec, 17),
+        )
+        .unwrap();
+    }
+    refresh(&full, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+    let im = refresh(&inc, &mvs, &plan, 1, RefreshMode::AlwaysIncremental);
+    assert_eq!(mv_file_bytes(&full, &mvs), mv_file_bytes(&inc, &mvs));
+
+    let node = |name: &str| im.nodes.iter().find(|n| n.name == name).unwrap();
+    assert_eq!(node("hot_sales").mode, NodeMode::Incremental);
+    assert!(!node("hot_sales").flagged);
+    // Consumers maintained incrementally and read two tables from disk:
+    // their own stored contents plus the parent's spilled #delta file.
+    for consumer in ["bulk_hot_sales", "hot_enriched", "sales_by_item"] {
+        let n = node(consumer);
+        assert_eq!(n.mode, NodeMode::Incremental, "{consumer}");
+        assert!(
+            n.disk_reads >= 2,
+            "{consumer} must read its contents and the spilled delta from storage, got {}",
+            n.disk_reads
+        );
+        assert_eq!(
+            n.memory_reads, 0,
+            "{consumer} reads nothing from the catalog"
+        );
+    }
+    // The spill is transient: gone once the run ends.
+    assert!(!inc.disk.contains("hot_sales#delta"));
+    assert!(inc.mem.is_empty());
+}
+
+/// A batch ingested *while* a refresh runs may already be baked into the
+/// MVs that run recomputed in full (executions read live bases); the
+/// controller must detect this and poison the log so the next run
+/// recomputes instead of applying the batch a second time. Whatever the
+/// interleaving, the system must converge to a clean control.
+#[test]
+fn concurrent_ingest_during_refresh_never_double_applies() {
+    use sc_engine::storage::Throttle;
+
+    // Slow the victim's disk so the refresh run leaves a wide window for
+    // the concurrent ingest to land mid-run — and order the workload so a
+    // slow warm-up node delays the store_sales reader past that window,
+    // making the late node *bake in* the concurrently ingested batch.
+    let dir = tempfile::tempdir().unwrap();
+    let slow = Throttle {
+        read_bps: 1e6,
+        write_bps: 4e6,
+        latency_s: 1e-3,
+    };
+    let disk = DiskCatalog::open_throttled(dir.path(), slow).unwrap();
+    TinyTpcds::generate(0.4, 42).load_into(&disk).unwrap();
+    let mem = MemoryCatalog::new(32 << 20);
+    let store = DeltaStore::new();
+    let mvs = vec![
+        // ~100 KB of throttled reads (~100 ms) before anything else runs.
+        MvDefinition::new(
+            "warm",
+            LogicalPlan::scan("catalog_sales").union(LogicalPlan::scan("web_sales")),
+        ),
+        // Reads store_sales only after `warm` finishes.
+        MvDefinition::new(
+            "late_sales",
+            LogicalPlan::scan("store_sales")
+                .filter(Expr::col("ss_sales_price").gt(Expr::lit(100.0f64))),
+        ),
+        MvDefinition::new(
+            "late_by_item",
+            LogicalPlan::scan("late_sales").aggregate(
+                vec!["ss_item_sk".into()],
+                vec![AggExpr::new(AggFunc::Sum, "ss_sales_price", "revenue")],
+            ),
+        ),
+    ];
+    let plan = plan_for(&mvs, &[]);
+    Controller::new(&disk, &mem).refresh(&mvs, &plan).unwrap();
+
+    // Δ1 pends normally; Δ2 is ingested from another thread while the
+    // refresh consuming Δ1 is in flight. Ingestion goes through an
+    // unthrottled handle on the same directory (the throttle models the
+    // refresh's device budget; a real ingest path has its own), so Δ2
+    // lands squarely inside `warm`'s paced read — before `late_sales`
+    // reads the base. Bases are untouched by refresh runs, so both
+    // streams are deterministic regardless of timing.
+    let fast = DiskCatalog::open(dir.path()).unwrap();
+    let sales = fast.read_table("store_sales").unwrap();
+    storage::ingest(
+        &fast,
+        &store,
+        "store_sales",
+        generate_delta(&sales, &UpdateStreamSpec::inserts(0.04), 21),
+    )
+    .unwrap();
+    std::thread::scope(|scope| {
+        let refresh_thread = scope.spawn(|| {
+            Controller::new(&disk, &mem)
+                .with_delta_store(&store)
+                .with_refresh_config(
+                    RefreshConfig::with_lanes(1).with_refresh_mode(RefreshMode::AlwaysFull),
+                )
+                .refresh(&mvs, &plan)
+                .unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let sales = fast.read_table("store_sales").unwrap();
+        storage::ingest(
+            &fast,
+            &store,
+            "store_sales",
+            generate_delta(&sales, &UpdateStreamSpec::inserts(0.03), 22),
+        )
+        .unwrap();
+        refresh_thread.join().unwrap();
+    });
+    // If Δ2 landed mid-run it is already in the recomputed MVs and the
+    // log must be poisoned; either way the retry must not double-apply.
+    if store.is_poisoned() {
+        let retry = Controller::new(&disk, &mem)
+            .with_delta_store(&store)
+            .with_refresh_config(
+                RefreshConfig::with_lanes(1).with_refresh_mode(RefreshMode::AlwaysIncremental),
+            )
+            .refresh(&mvs, &plan)
+            .unwrap();
+        assert!(
+            retry.nodes.iter().all(|n| n.mode != NodeMode::Incremental),
+            "poisoned log must force full recomputes"
+        );
+    } else {
+        Controller::new(&disk, &mem)
+            .with_delta_store(&store)
+            .with_refresh_config(
+                RefreshConfig::with_lanes(1).with_refresh_mode(RefreshMode::AlwaysIncremental),
+            )
+            .refresh(&mvs, &plan)
+            .unwrap();
+    }
+    assert!(store.is_empty() && !store.is_poisoned());
+
+    // Control: same bases, same two streams, refreshed serially with no
+    // concurrency. The victim must converge to exactly this state.
+    let control = rig(32 << 20);
+    Controller::new(&control.disk, &control.mem)
+        .refresh(&mvs, &plan)
+        .unwrap();
+    for seed in [21u64, 22] {
+        let sales = control.disk.read_table("store_sales").unwrap();
+        let frac = if seed == 21 { 0.04 } else { 0.03 };
+        storage::ingest(
+            &control.disk,
+            &control.store,
+            "store_sales",
+            generate_delta(&sales, &UpdateStreamSpec::inserts(frac), seed),
+        )
+        .unwrap();
+        refresh(&control, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+    }
+    for mv in &mvs {
+        assert_eq!(
+            disk.read_table(&mv.name).unwrap(),
+            control.disk.read_table(&mv.name).unwrap(),
+            "{} must converge to the serial control",
+            mv.name
+        );
+    }
+}
+
+/// Failure path shipped untested by PR 2: every unsupported shape under
+/// `RefreshMode::AlwaysIncremental` must *fall back* to recomputation —
+/// never error — and stay byte-identical, even when the stream carries
+/// updates and deletes.
+#[test]
+fn unsupported_shapes_fall_back_rather_than_error() {
+    let mvs = vec![
+        // Left joins never delta-join.
+        MvDefinition::new(
+            "left_enriched",
+            LogicalPlan::scan("store_sales").left_join(
+                LogicalPlan::scan("item"),
+                vec![("ss_item_sk".into(), "i_item_sk".into())],
+            ),
+        ),
+        // Unions, sorts and limits always recompute.
+        MvDefinition::new(
+            "both_channels",
+            LogicalPlan::scan("catalog_sales").union(LogicalPlan::scan("web_sales")),
+        ),
+        MvDefinition::new(
+            "top_sales",
+            LogicalPlan::scan("store_sales")
+                .sort(vec![sc_engine::exec::SortKey::desc("ss_sales_price")])
+                .limit(50),
+        ),
+        // Avg cannot resume from its stored quotient.
+        MvDefinition::new(
+            "avg_by_item",
+            LogicalPlan::scan("store_sales").aggregate(
+                vec!["ss_item_sk".into()],
+                vec![AggExpr::new(AggFunc::Avg, "ss_sales_price", "mean_price")],
+            ),
+        ),
+        // Aggregate-over-aggregate: nested, unsupported.
+        MvDefinition::new(
+            "avg_rollup",
+            LogicalPlan::scan("avg_by_item").aggregate(
+                vec![],
+                vec![AggExpr::new(AggFunc::Max, "mean_price", "max_mean")],
+            ),
+        ),
+    ];
+    let plan = plan_for(&mvs, &[0]);
+    let full = rig(32 << 20);
+    let inc = rig(32 << 20);
+    refresh(&full, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+    refresh(&inc, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+
+    for (round, spec) in [
+        UpdateStreamSpec::inserts(0.05),
+        UpdateStreamSpec::mixed(0.02, 0.03, 0.02),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for r in [&full, &inc] {
+            for table in ["store_sales", "catalog_sales"] {
+                let base = r.disk.read_table(table).unwrap();
+                storage::ingest(&r.disk, &r.store, table, generate_delta(&base, spec, 31)).unwrap();
+            }
+        }
+        refresh(&full, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+        // Must not error: unsupported shapes recompute.
+        let im = refresh(&inc, &mvs, &plan, 1, RefreshMode::AlwaysIncremental);
+        assert_eq!(
+            mv_file_bytes(&full, &mvs),
+            mv_file_bytes(&inc, &mvs),
+            "round {round}"
+        );
+        assert!(
+            im.nodes
+                .iter()
+                .all(|n| n.mode == NodeMode::Full || n.mode == NodeMode::Skipped),
+            "round {round}: every touched shape recomputes"
+        );
+        assert!(im.nodes.iter().any(|n| n.mode == NodeMode::Full));
+    }
+}
+
+/// Failure path shipped untested by PR 2 at the pipeline level: a refresh
+/// that fails *after* join-hub deltas were applied poisons the log; the
+/// retry recomputes every delta-reached MV from the authoritative bases
+/// instead of double-applying, matching a system that never failed.
+#[test]
+fn poisoned_log_retry_recomputes_join_hub_instead_of_double_applying() {
+    let good = sales_pipeline();
+    let good_plan = plan_for(&good, &[]);
+    let victim = rig(64 << 20);
+    let control = rig(64 << 20);
+    refresh(&victim, &good, &good_plan, 1, RefreshMode::AlwaysFull);
+    refresh(&control, &good, &good_plan, 1, RefreshMode::AlwaysFull);
+
+    let churn = JoinHubChurn::store_sales(0.03);
+    churn.ingest_round(&victim.disk, &victim.store, 5).unwrap();
+    churn
+        .ingest_round(&control.disk, &control.store, 5)
+        .unwrap();
+
+    // Doomed run on the victim: the hub and its consumers maintain
+    // incrementally (their applied deltas are persisted), then a final MV
+    // scans a missing table and aborts the run.
+    let mut doomed = sales_pipeline();
+    doomed.push(MvDefinition::new("boom", LogicalPlan::scan("no_such")));
+    let doomed_plan = plan_for(&doomed, &[]);
+    let err = Controller::new(&victim.disk, &victim.mem)
+        .with_delta_store(&victim.store)
+        .with_refresh_config(
+            RefreshConfig::with_lanes(1).with_refresh_mode(RefreshMode::AlwaysIncremental),
+        )
+        .refresh(&doomed, &doomed_plan);
+    assert!(err.is_err());
+    assert!(victim.store.is_poisoned(), "failed run must poison the log");
+
+    // Retry on the good set: no node may apply the delta a second time.
+    let retry = refresh(
+        &victim,
+        &good,
+        &good_plan,
+        1,
+        RefreshMode::AlwaysIncremental,
+    );
+    assert!(
+        retry.nodes.iter().all(|n| n.mode != NodeMode::Incremental),
+        "poisoned log forces full recomputes"
+    );
+    assert!(!victim.store.is_poisoned() && victim.store.is_empty());
+
+    // The control rig refreshes once, cleanly.
+    refresh(
+        &control,
+        &good,
+        &good_plan,
+        1,
+        RefreshMode::AlwaysIncremental,
+    );
+    assert_eq!(
+        mv_file_bytes(&victim, &good),
+        mv_file_bytes(&control, &good),
+        "recovered pipeline must match a system that never failed"
+    );
 }

@@ -1,0 +1,138 @@
+//! Cross-check: on a shared seeded workload, the simulator's predicted
+//! per-node refresh decisions (skip / incremental / full) must match the
+//! engine's `NodeMode` plan **exactly** — including the delta-join rule
+//! (a churned build side forces a recompute) and its transitive effects.
+//!
+//! The sim workload is derived mechanically from the engine MVs via
+//! `sc_workload::updates::mirror_workload`, so this test pins the whole
+//! bridge: engine support classification → sim annotations → both mode
+//! planners. Parity is checked under `AlwaysIncremental` (and trivially
+//! `AlwaysFull`); `Auto` is excluded because the two sides feed the shared
+//! cost model different byte measurements (stored file sizes vs in-memory
+//! sizes), which is a calibration difference, not a decision-rule one.
+
+use std::collections::HashMap;
+
+use sc_core::{NodeMode, Plan, RefreshMode};
+use sc_dag::NodeId;
+use sc_engine::controller::{Controller, MvDefinition, RefreshConfig};
+use sc_engine::storage::{DeltaStore, DiskCatalog, MemoryCatalog};
+use sc_sim::{SimConfig, Simulator};
+use sc_workload::engine_mvs::sales_pipeline;
+use sc_workload::tpcds::TinyTpcds;
+use sc_workload::updates::{mirror_workload, ChurnedBase, JoinHubChurn};
+
+struct Rig {
+    _dir: tempfile::TempDir,
+    disk: DiskCatalog,
+    mem: MemoryCatalog,
+    store: DeltaStore,
+    mvs: Vec<MvDefinition>,
+    plan: Plan,
+    baseline: sc_engine::RunMetrics,
+}
+
+fn rig() -> Rig {
+    let dir = tempfile::tempdir().unwrap();
+    let disk = DiskCatalog::open(dir.path()).unwrap();
+    TinyTpcds::generate(0.4, 42).load_into(&disk).unwrap();
+    let mvs = sales_pipeline();
+    let mem = MemoryCatalog::new(64 << 20);
+    let plan = Plan::unoptimized((0..mvs.len()).map(NodeId).collect());
+    let baseline = Controller::new(&disk, &mem).refresh(&mvs, &plan).unwrap();
+    Rig {
+        _dir: dir,
+        disk,
+        mem,
+        store: DeltaStore::new(),
+        mvs,
+        plan,
+        baseline,
+    }
+}
+
+/// Pending log -> the `ChurnedBase` map the mirror consumes.
+fn churn_map(store: &DeltaStore) -> HashMap<String, ChurnedBase> {
+    store
+        .tables()
+        .into_iter()
+        .map(|t| {
+            let d = store.pending(&t).unwrap();
+            (
+                t,
+                ChurnedBase {
+                    delta_bytes: d.byte_size(),
+                    has_deletes: d.has_deletes(),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Runs the engine refresh and the mirrored simulation under `mode`,
+/// asserts the per-node modes agree name by name, and returns the
+/// engine's modes so scenarios can assert they were not vacuous.
+fn assert_parity(r: &Rig, mode: RefreshMode, scenario: &str) -> HashMap<String, NodeMode> {
+    let mirrored = mirror_workload(&r.mvs, &r.baseline, &r.disk, &churn_map(&r.store)).unwrap();
+    let sim_report = Simulator::new(SimConfig::paper(64 << 20).with_refresh_mode(mode))
+        .run(&mirrored, &r.plan)
+        .unwrap();
+    let engine = Controller::new(&r.disk, &r.mem)
+        .with_delta_store(&r.store)
+        .with_refresh_config(RefreshConfig::with_lanes(1).with_refresh_mode(mode))
+        .refresh(&r.mvs, &r.plan)
+        .unwrap();
+    let sim_modes: HashMap<&str, NodeMode> = sim_report
+        .nodes
+        .iter()
+        .map(|n| (n.name.as_str(), n.mode))
+        .collect();
+    for n in &engine.nodes {
+        assert_eq!(
+            sim_modes[n.name.as_str()],
+            n.mode,
+            "{scenario}: sim and engine disagree on {}",
+            n.name
+        );
+    }
+    engine
+        .nodes
+        .iter()
+        .map(|n| (n.name.clone(), n.mode))
+        .collect()
+}
+
+#[test]
+fn sim_predicts_engine_node_modes_exactly() {
+    // Scenario 1: fact churn — the delta-join sweet spot. The hub and all
+    // its consumers maintain incrementally, untouched channels skip.
+    let r = rig();
+    JoinHubChurn::store_sales(0.04)
+        .ingest_round(&r.disk, &r.store, 3)
+        .unwrap();
+    let m = assert_parity(&r, RefreshMode::AlwaysIncremental, "fact churn");
+    assert_eq!(m["enriched_sales"], NodeMode::Incremental);
+    assert_eq!(m["premium_by_state"], NodeMode::Incremental);
+    assert_eq!(m["web_by_item"], NodeMode::Skipped);
+
+    // Scenario 2: dimension churn — the build side of the hub changed, so
+    // the hub and everything downstream of it recomputes.
+    JoinHubChurn::new(["item"], 0.05)
+        .ingest_round(&r.disk, &r.store, 4)
+        .unwrap();
+    let m = assert_parity(&r, RefreshMode::AlwaysIncremental, "dimension churn");
+    assert_eq!(m["enriched_sales"], NodeMode::Full);
+    assert_eq!(m["rev_by_year"], NodeMode::Full);
+    assert_eq!(m["web_by_item"], NodeMode::Skipped);
+
+    // Scenario 3: both at once, under AlwaysFull — the trivial baseline.
+    JoinHubChurn::new(["store_sales", "item"], 0.03)
+        .ingest_round(&r.disk, &r.store, 5)
+        .unwrap();
+    assert_parity(&r, RefreshMode::AlwaysFull, "always full");
+
+    // Scenario 4: an empty log — everything skips in both models… the
+    // engine skips, the sim mirrors Some(0) annotations.
+    assert!(r.store.is_empty());
+    assert_parity(&r, RefreshMode::AlwaysIncremental, "quiet log");
+}

@@ -6,9 +6,18 @@
 //! surface (groups, throughput, `bench_with_input`, the `criterion_group!`
 //! / `criterion_main!` macros) matches what the workspace's benches use,
 //! so swapping in the real crate later requires no source changes.
+//!
+//! Like the real crate, `--test` on the command line (as in
+//! `cargo bench -- --test`) runs every benchmark body exactly once without
+//! measuring — the CI smoke mode that keeps benches from silently rotting.
 
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Whether the harness was invoked in `--test` smoke mode.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
 
 /// Prevents the optimizer from discarding a benchmarked value.
 pub fn black_box<T>(value: T) -> T {
@@ -68,6 +77,18 @@ struct Sample {
 impl Bencher {
     /// Times `routine`, discarding its output via [`black_box`].
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if test_mode() {
+            // Smoke mode: execute once, measure nothing.
+            let started = Instant::now();
+            black_box(routine());
+            let elapsed = started.elapsed();
+            self.result = Some(Sample {
+                mean: elapsed,
+                min: elapsed,
+                iters: 1,
+            });
+            return;
+        }
         // Warmup + calibration: run until ~50 ms or 3 iterations.
         let warmup_start = Instant::now();
         let mut calibration_iters = 0u64;
