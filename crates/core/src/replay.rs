@@ -53,6 +53,67 @@ pub enum NodeMode {
     Skipped,
 }
 
+/// Why refresh-mode planning settled on a node's [`NodeMode`] — the
+/// machine-readable half of a refresh report's `explain()` rendering.
+///
+/// The engine's controller records one reason per node while fixing the
+/// run's delta plan, so callers can see not just *what* the run did
+/// (recompute / apply delta / skip) but *why* the cheaper options were
+/// unavailable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModeReason {
+    /// No delta log was attached, or the run's policy is
+    /// [`RefreshMode::AlwaysFull`]: every node recomputes by policy.
+    FullPolicy,
+    /// The MV does not exist on storage yet, so its first materialization
+    /// is necessarily a full computation.
+    FirstMaterialization,
+    /// A previous refresh failed (or a mid-run ingest contaminated a
+    /// recomputed MV), so the delta log is poisoned: only a full recompute
+    /// is idempotent.
+    PoisonedLog,
+    /// Some input's delta is unknown — a parent MV recomputed in full
+    /// without publishing a delta — so the node cannot maintain
+    /// incrementally and recomputes.
+    ParentRecomputed,
+    /// A static (join build-side) input churned; its new rows would
+    /// interleave into existing match groups, which no append-only delta
+    /// reproduces, so the node recomputes.
+    StaticChurn,
+    /// The operator tree cannot maintain the delta's shape (unsupported
+    /// operator, or a delete-carrying delta over delete-blind operators).
+    UnsupportedShape,
+    /// The cost model predicted recomputing is cheaper than the
+    /// incremental path ([`crate::CostModel::incremental_refresh_wins`]).
+    CostModel,
+    /// No pending change reaches the node: its stored contents are
+    /// already current, so it performs no work.
+    NoChurn,
+    /// The propagated delta was applied to the stored contents.
+    DeltaApplied,
+}
+
+impl ModeReason {
+    /// One-line human rendering used by refresh reports.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ModeReason::FullPolicy => "full recompute (policy: no delta log or AlwaysFull)",
+            ModeReason::FirstMaterialization => "full recompute (first materialization)",
+            ModeReason::PoisonedLog => "full recompute (delta log poisoned by a failed run)",
+            ModeReason::ParentRecomputed => {
+                "full recompute (a parent recomputed, so its delta is unknown)"
+            }
+            ModeReason::StaticChurn => "full recompute (a join build side churned)",
+            ModeReason::UnsupportedShape => {
+                "full recompute (operators cannot maintain this delta shape)"
+            }
+            ModeReason::CostModel => "full recompute (cost model: cheaper than the delta path)",
+            ModeReason::NoChurn => "skipped (no pending change reaches it)",
+            ModeReason::DeltaApplied => "incremental (applied the propagated delta)",
+        }
+    }
+}
+
 /// Incremental replayer for plan-order flag-admission decisions.
 #[derive(Debug, Clone)]
 pub struct AdmissionReplay {

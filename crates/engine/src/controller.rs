@@ -37,7 +37,7 @@ use std::collections::HashMap;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
-use sc_core::{CostModel, FlagSet, NodeMode, Plan, RefreshMode};
+use sc_core::{CostModel, FlagSet, ModeReason, NodeMode, Plan, RefreshMode};
 use sc_dag::NodeId;
 
 use crate::exec::TableDelta;
@@ -147,6 +147,8 @@ pub struct NodeMetrics {
     /// How the node was brought up to date (full recompute, incremental
     /// delta maintenance, or skipped because nothing changed).
     pub mode: NodeMode,
+    /// Why mode planning settled on [`NodeMetrics::mode`] for this node.
+    pub reason: ModeReason,
     /// Size of the node's propagated delta (0 under full recompute).
     pub delta_bytes: u64,
     /// Seconds spent reading inputs from external storage.
@@ -177,6 +179,7 @@ impl NodeMetrics {
         NodeMetrics {
             name: name.into(),
             mode: NodeMode::Skipped,
+            reason: ModeReason::NoChurn,
             delta_bytes: 0,
             read_s: 0.0,
             compute_s: 0.0,
@@ -250,6 +253,8 @@ fn snapshot_batches(snapshot: &HashMap<String, TableDelta>, table: &str) -> usiz
 struct DeltaPlan {
     /// How each node is brought up to date.
     modes: Vec<NodeMode>,
+    /// Why each node ended up in its mode (surfaced in refresh reports).
+    reasons: Vec<ModeReason>,
     /// Whether the node's output delta is computed (row-wise incremental).
     publishes: Vec<bool>,
     /// Flagged nodes whose Memory Catalog payload is their delta rather
@@ -268,6 +273,7 @@ impl DeltaPlan {
     fn full(plan: &Plan, n: usize) -> Self {
         DeltaPlan {
             modes: vec![NodeMode::Full; n],
+            reasons: vec![ModeReason::FullPolicy; n],
             publishes: vec![false; n],
             delta_payload: vec![false; n],
             spill: vec![false; n],
@@ -577,6 +583,15 @@ impl<'a> Controller<'a> {
             Some(p) if self.refresh.refresh_mode != RefreshMode::AlwaysFull => p,
             _ => return dp,
         };
+        if pending.values().all(|d| d.is_empty()) {
+            // An empty log is "no delta tracking", not "skip everything":
+            // the run recomputes every MV exactly as before the log
+            // existed (so profiling runs stay meaningful), while the
+            // snapshot machinery stays active — a batch ingested *during*
+            // this run is detected as contamination and poisons the log
+            // instead of being double-applied next refresh.
+            return dp;
+        }
         // Estimated propagated delta bytes and delete-presence, per node.
         let mut est_delta = vec![0u64; n];
         let mut has_deletes = vec![false; n];
@@ -584,7 +599,9 @@ impl<'a> Controller<'a> {
             let idx = node.index();
             let mv = &mvs[idx];
             if !self.disk.contains(&mv.name) {
-                continue; // first materialization is necessarily full
+                // First materialization is necessarily full.
+                dp.reasons[idx] = ModeReason::FirstMaterialization;
+                continue;
             }
             let support = mv.plan.incremental_support();
             let statics = support.static_tables();
@@ -631,20 +648,28 @@ impl<'a> Controller<'a> {
                 }
             }
             if !known {
+                dp.reasons[idx] = ModeReason::ParentRecomputed;
                 continue;
             }
             if !nonempty {
                 // Nothing reached the node: skipping is safe even after a
                 // failed run (its contents were never touched).
                 dp.modes[idx] = NodeMode::Skipped;
+                dp.reasons[idx] = ModeReason::NoChurn;
                 continue;
             }
             if poisoned {
                 // A failed earlier run may have baked these deltas into
                 // this MV already; only a full recompute is idempotent.
+                dp.reasons[idx] = ModeReason::PoisonedLog;
                 continue;
             }
-            if static_churn || !support.maintainable(deletes) {
+            if static_churn {
+                dp.reasons[idx] = ModeReason::StaticChurn;
+                continue;
+            }
+            if !support.maintainable(deletes) {
+                dp.reasons[idx] = ModeReason::UnsupportedShape;
                 continue;
             }
             let incremental = match self.refresh.refresh_mode {
@@ -659,6 +684,7 @@ impl<'a> Controller<'a> {
             };
             if incremental {
                 dp.modes[idx] = NodeMode::Incremental;
+                dp.reasons[idx] = ModeReason::DeltaApplied;
                 dp.publishes[idx] = support.publishes_delta();
                 // A join fans the spine delta out against its build sides
                 // (non-empty `static_bytes` implies a join on the spine):
@@ -675,6 +701,9 @@ impl<'a> Controller<'a> {
                     delta_bytes
                 };
                 has_deletes[idx] = deletes;
+            } else {
+                // Only Auto can say no here: the cost model lost.
+                dp.reasons[idx] = ModeReason::CostModel;
             }
         }
 
@@ -993,6 +1022,7 @@ impl<'a> Controller<'a> {
                 metrics_nodes.push(NodeMetrics {
                     name: mv.name.clone(),
                     mode: dp.modes[idx],
+                    reason: dp.reasons[idx],
                     delta_bytes,
                     read_s,
                     compute_s,
@@ -1371,6 +1401,7 @@ impl<'a> Controller<'a> {
                                 &mvs[idx].name,
                                 &node,
                                 dp.modes[idx],
+                                dp.reasons[idx],
                                 0.0,
                                 true,
                                 false,
@@ -1452,6 +1483,7 @@ impl<'a> Controller<'a> {
                                     &mvs[cand].name,
                                     &pending,
                                     dp.modes[cand],
+                                    dp.reasons[cand],
                                     0.0,
                                     true,
                                     false,
@@ -1514,6 +1546,7 @@ impl<'a> Controller<'a> {
                             &mvs[idx].name,
                             &pending,
                             dp.modes[idx],
+                            dp.reasons[idx],
                             write_s,
                             false,
                             fell_back,
@@ -1567,6 +1600,7 @@ fn node_metrics(
     name: &str,
     node: &ComputedNode,
     mode: NodeMode,
+    reason: ModeReason,
     write_s: f64,
     flagged: bool,
     fell_back: bool,
@@ -1574,6 +1608,7 @@ fn node_metrics(
     NodeMetrics {
         name: name.to_string(),
         mode,
+        reason,
         delta_bytes: node.delta_bytes,
         read_s: node.read_s,
         compute_s: node.compute_s,
@@ -2244,6 +2279,32 @@ mod tests {
             // Spilled delta files must not survive the run.
             assert!(!disk_inc.contains(&delta_entry_name("big_rows")));
         }
+    }
+
+    #[test]
+    fn empty_delta_log_recomputes_instead_of_skipping() {
+        // An attached-but-empty log means "no delta tracking", not "skip
+        // everything": profiling runs must observe real work, and the
+        // active snapshot still catches batches ingested mid-run.
+        let (_dir, disk, mem) = setup(1 << 20);
+        let mvs = fig4_workload();
+        let plan = plan_for(&mvs, &[]);
+        Controller::new(&disk, &mem).refresh(&mvs, &plan).unwrap();
+
+        let store = DeltaStore::new();
+        let m = Controller::new(&disk, &mem)
+            .with_delta_store(&store)
+            .refresh(&mvs, &plan)
+            .unwrap();
+        assert!(
+            m.nodes.iter().all(|n| n.mode == NodeMode::Full),
+            "empty log must recompute, not skip: {:?}",
+            m.nodes
+                .iter()
+                .map(|n| (&n.name, n.mode))
+                .collect::<Vec<_>>()
+        );
+        assert!(!store.is_poisoned(), "no mid-run ingest, no poison");
     }
 
     #[test]

@@ -6,8 +6,11 @@ use std::fmt;
 pub enum EngineError {
     /// A value or column had the wrong type for an operation.
     TypeMismatch {
+        /// Type the operation required.
         expected: String,
+        /// Type actually found.
         got: String,
+        /// Operation or column being evaluated.
         context: String,
     },
     /// A referenced column does not exist in the schema.
@@ -17,13 +20,21 @@ pub enum EngineError {
     /// A table already exists where a new one was to be created.
     TableExists(String),
     /// Row or column arity did not match the schema.
-    ArityMismatch { expected: usize, got: usize },
+    ArityMismatch {
+        /// Arity the schema requires.
+        expected: usize,
+        /// Arity actually supplied.
+        got: usize,
+    },
     /// Division by zero or a similar arithmetic fault.
     Arithmetic(String),
     /// Creating a table in the Memory Catalog would exceed its budget.
     MemoryBudgetExceeded {
+        /// Bytes the insert asked for.
         requested: u64,
+        /// Bytes already resident.
         used: u64,
+        /// The catalog's configured budget `M`.
         budget: u64,
     },
     /// The on-disk file was not a valid table (corrupt or truncated).

@@ -42,15 +42,22 @@
 //! assert_eq!(out.num_rows(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
+/// Typed columnar vectors backing [`Table`].
 pub mod column;
 pub mod controller;
+/// The crate-wide [`EngineError`] type.
 pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod plan;
+/// Table schemas: named, typed fields.
 pub mod schema;
 pub mod storage;
+/// The columnar [`Table`] and its builder.
 pub mod table;
+/// Scalar [`DataType`]s and [`Value`]s.
 pub mod types;
 
 pub use column::Column;

@@ -44,6 +44,8 @@
 //! assert!(optimized.total_s < baseline.total_s);
 //! ```
 
+#![warn(missing_docs)]
+
 mod cluster;
 mod error;
 mod lru;

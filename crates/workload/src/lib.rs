@@ -21,16 +21,23 @@
 //!   the examples, and the cross-crate integration tests);
 //! * [`updates`] — seeded update-stream generators: churn batches against
 //!   engine tables (feeding the delta log for incremental refresh) and
-//!   churn annotations for simulated workloads.
+//!   churn annotations for simulated workloads;
+//! * [`scenario`] — unified [`ScenarioSpec`]s (tables + MV DAG + churn
+//!   schedule + config) consumed by both the engine and the simulator,
+//!   so engine/sim parity holds by construction rather than by test.
+
+#![warn(missing_docs)]
 
 pub mod dataset;
 pub mod engine_mvs;
 pub mod paper;
+pub mod scenario;
 pub mod synth;
 pub mod tpcds;
 pub mod updates;
 
 pub use dataset::DatasetSpec;
 pub use paper::PaperWorkload;
+pub use scenario::{ChurnRound, ScenarioConfig, ScenarioSpec, TableSpec};
 pub use synth::{GeneratorParams, SynthGenerator};
 pub use updates::UpdateStreamSpec;

@@ -1,0 +1,373 @@
+//! Unified **scenario specifications**: one value describing base tables,
+//! the MV DAG, a churn schedule, and the engine/sim configuration — the
+//! single source of truth from which both the real engine (`sc`'s
+//! `ScSession::from_spec`) and the simulator construct their rigs.
+//!
+//! Before this module, engine/sim parity was held only by tests: `sc-sim`
+//! re-declared lane counts, refresh modes, budgets, and per-node churn
+//! annotations by hand, and any drift between the two declarations showed
+//! up as a confusing test failure rather than a type error. A
+//! [`ScenarioSpec`] makes the parity hold *by construction*: the engine
+//! side loads the spec's tables and registers its MV definitions, and the
+//! sim side derives its [`sc_sim::SimConfig`] and (after a profiling run)
+//! its annotated [`sc_sim::SimWorkload`] from the very same value.
+
+use sc_core::RefreshMode;
+use sc_engine::controller::{MvDefinition, RefreshConfig, RunMetrics};
+use sc_engine::storage::{DeltaStore, DiskCatalog, Throttle};
+use sc_sim::{SimConfig, SimWorkload};
+
+use crate::tpcds::TinyTpcds;
+use crate::updates::{generate_delta, mirror_workload, pending_churn, UpdateStreamSpec};
+
+/// How a scenario's base tables are produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TableSpec {
+    /// The bundled TPC-DS-style generator ([`TinyTpcds::generate`]).
+    TinyTpcds {
+        /// Scale factor (1.0 ≈ a few MB of base data).
+        scale: f64,
+        /// Generator seed; equal seeds produce byte-identical tables.
+        seed: u64,
+    },
+}
+
+impl TableSpec {
+    /// Generates the tables and writes them into `disk` (the "data
+    /// ingestion" step preceding the first refresh).
+    pub fn load_into(&self, disk: &DiskCatalog) -> sc_engine::Result<()> {
+        match *self {
+            TableSpec::TinyTpcds { scale, seed } => {
+                TinyTpcds::generate(scale, seed).load_into(disk)
+            }
+        }
+    }
+}
+
+/// One round of a scenario's churn schedule: a seeded update stream
+/// against a set of base tables.
+///
+/// Rounds are deterministic per `(round, stored state)`: generating a
+/// round against two catalogs holding identical bases yields identical
+/// deltas, which is what lets a concurrent rig and a sequential reference
+/// rig ingest "the same" churn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnRound {
+    /// Base tables receiving the stream this round.
+    pub tables: Vec<String>,
+    /// Insert/update/delete mix, as fractions of each table's current
+    /// rows.
+    pub stream: UpdateStreamSpec,
+    /// Stream seed (offset per table so tables don't see clone streams).
+    pub seed: u64,
+}
+
+impl ChurnRound {
+    /// An insert-only round against `tables` at `fraction` of current
+    /// rows — the append-mostly shape of real fact streams.
+    pub fn inserts(
+        tables: impl IntoIterator<Item = impl Into<String>>,
+        fraction: f64,
+        seed: u64,
+    ) -> Self {
+        ChurnRound {
+            tables: tables.into_iter().map(Into::into).collect(),
+            stream: UpdateStreamSpec::inserts(fraction),
+            seed,
+        }
+    }
+
+    /// Generates this round's delta per table from the table's *current*
+    /// stored contents and ingests it (base updated + delta logged).
+    pub fn ingest_into(&self, disk: &DiskCatalog, store: &DeltaStore) -> sc_engine::Result<()> {
+        for (i, table) in self.tables.iter().enumerate() {
+            let base = disk.read_table(table)?;
+            let delta = generate_delta(&base, &self.stream, self.seed.wrapping_add(i as u64));
+            sc_engine::storage::ingest(disk, store, table, delta)?;
+        }
+        Ok(())
+    }
+}
+
+/// The configuration half of a scenario, shared verbatim by the engine
+/// (as a [`RefreshConfig`] plus catalog budget/throttle) and the
+/// simulator (as a [`SimConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Memory Catalog budget `M`, bytes.
+    pub memory_budget: u64,
+    /// Compute lanes executing DAG nodes (1 = the paper's sequential
+    /// controller).
+    pub lanes: usize,
+    /// Multi-lane run-ahead window override (`None` derives it from the
+    /// lane count).
+    pub run_ahead_window: Option<usize>,
+    /// Full-vs-incremental maintenance policy.
+    pub refresh_mode: RefreshMode,
+    /// Optional storage pacing for the engine side; when set, the sim's
+    /// disk bandwidths are taken from it too, so both sides model the
+    /// same device.
+    pub throttle: Option<Throttle>,
+}
+
+impl ScenarioConfig {
+    /// Sequential, Auto-mode configuration with `memory_budget` bytes and
+    /// unthrottled storage.
+    pub fn new(memory_budget: u64) -> Self {
+        ScenarioConfig {
+            memory_budget,
+            lanes: 1,
+            run_ahead_window: None,
+            refresh_mode: RefreshMode::Auto,
+            throttle: None,
+        }
+    }
+}
+
+/// A complete scenario: base tables, the MV DAG, a churn schedule, and
+/// one shared configuration.
+///
+/// Consumers:
+///
+/// * the engine — `ScSession::from_spec` in the `sc` crate opens a
+///   session, loads [`ScenarioSpec::tables`], registers
+///   [`ScenarioSpec::mvs`], and applies the config;
+/// * churn — [`ScenarioSpec::ingest_round`] replays the schedule against
+///   the session's catalogs;
+/// * the simulator — [`ScenarioSpec::sim_config`] and
+///   [`ScenarioSpec::mirror`] derive the simulation rig from the same
+///   value, so `tests/sim_engine_parity.rs` cannot drift.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario label (reports and error messages).
+    pub name: String,
+    /// How base tables are produced.
+    pub tables: TableSpec,
+    /// The MV DAG, in registration order (dependencies are inferred from
+    /// each plan's scans, exactly as `ScSession::register_mv` does).
+    pub mvs: Vec<MvDefinition>,
+    /// Churn schedule; rounds are applied explicitly via
+    /// [`ScenarioSpec::ingest_round`], interleaved with refreshes however
+    /// the experiment demands.
+    pub churn: Vec<ChurnRound>,
+    /// Shared engine/sim configuration.
+    pub config: ScenarioConfig,
+}
+
+impl ScenarioSpec {
+    /// A scenario over generated TPC-DS-style tables with an empty churn
+    /// schedule and a sequential Auto-mode config.
+    pub fn new(
+        name: impl Into<String>,
+        tables: TableSpec,
+        mvs: Vec<MvDefinition>,
+        memory_budget: u64,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            tables,
+            mvs,
+            churn: Vec::new(),
+            config: ScenarioConfig::new(memory_budget),
+        }
+    }
+
+    /// The `sales_pipeline` workload over TinyTpcds at `scale` — the
+    /// nine-MV join-hub pipeline used across the examples and
+    /// integration tests.
+    pub fn sales_pipeline(scale: f64, seed: u64, memory_budget: u64) -> Self {
+        ScenarioSpec::new(
+            "sales_pipeline",
+            TableSpec::TinyTpcds { scale, seed },
+            crate::engine_mvs::sales_pipeline(),
+            memory_budget,
+        )
+    }
+
+    /// Appends a churn round to the schedule.
+    pub fn with_churn(mut self, round: ChurnRound) -> Self {
+        self.churn.push(round);
+        self
+    }
+
+    /// Overrides the lane count.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.config.lanes = lanes.max(1);
+        self
+    }
+
+    /// Overrides the maintenance policy.
+    pub fn with_refresh_mode(mut self, mode: RefreshMode) -> Self {
+        self.config.refresh_mode = mode;
+        self
+    }
+
+    /// Paces the engine's storage (and the sim's modeled disk) with
+    /// `throttle`.
+    pub fn with_throttle(mut self, throttle: Throttle) -> Self {
+        self.config.throttle = Some(throttle);
+        self
+    }
+
+    /// The engine-side refresh configuration this spec describes.
+    pub fn refresh_config(&self) -> RefreshConfig {
+        let mut rc = RefreshConfig::with_lanes(self.config.lanes)
+            .with_refresh_mode(self.config.refresh_mode);
+        if let Some(w) = self.config.run_ahead_window {
+            rc = rc.with_run_ahead_window(w);
+        }
+        rc
+    }
+
+    /// The sim-side configuration this spec describes: same budget,
+    /// lanes, window, and refresh mode; disk bandwidths from the spec's
+    /// throttle when one is set (both sides then model the same device),
+    /// the paper's measured disk otherwise.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::paper(self.config.memory_budget).with_lanes(self.config.lanes);
+        if let Some(w) = self.config.run_ahead_window {
+            cfg = cfg.with_run_ahead_window(w);
+        }
+        cfg = cfg.with_refresh_mode(self.config.refresh_mode);
+        if let Some(t) = self.config.throttle {
+            cfg.disk_read_bps = t.read_bps;
+            cfg.disk_write_bps = t.write_bps;
+            cfg.disk_latency_s = t.latency_s;
+        }
+        cfg
+    }
+
+    /// Generates the base tables into `disk`.
+    pub fn load_tables(&self, disk: &DiskCatalog) -> sc_engine::Result<()> {
+        self.tables.load_into(disk)
+    }
+
+    /// Applies churn round `round` (0-based index into
+    /// [`ScenarioSpec::churn`]) against the catalogs.
+    pub fn ingest_round(
+        &self,
+        round: usize,
+        disk: &DiskCatalog,
+        store: &DeltaStore,
+    ) -> sc_engine::Result<()> {
+        let r = self.churn.get(round).ok_or_else(|| {
+            sc_engine::EngineError::InvalidPlan(format!(
+                "scenario '{}' has {} churn rounds, round {round} requested",
+                self.name,
+                self.churn.len()
+            ))
+        })?;
+        r.ingest_into(disk, store)
+    }
+
+    /// Mirrors this scenario's engine state into an annotated
+    /// [`SimWorkload`]: `metrics` must come from a full profiling refresh
+    /// of the spec's MVs on `disk`, and `store` holds the pending churn
+    /// the next refresh will see. Combined with
+    /// [`ScenarioSpec::sim_config`], this is the entire simulator rig —
+    /// derived, not re-declared.
+    pub fn mirror(
+        &self,
+        disk: &DiskCatalog,
+        metrics: &RunMetrics,
+        store: &DeltaStore,
+    ) -> sc_dag::Result<SimWorkload> {
+        let churn = pending_churn(store);
+        let w = mirror_workload(&self.mvs, metrics, disk, &churn)?;
+        if churn.is_empty() {
+            // An empty log means the session runs without delta tracking
+            // (everything recomputes, so profiling runs stay meaningful);
+            // strip the `Some(0)` skip annotations to predict the same.
+            return Ok(SimWorkload {
+                graph: w.graph.map(|_, n| {
+                    let mut n = n.clone();
+                    n.delta_bytes = None;
+                    n
+                }),
+            });
+        }
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::Plan;
+    use sc_dag::NodeId;
+    use sc_engine::controller::Controller;
+    use sc_engine::storage::MemoryCatalog;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::sales_pipeline(0.2, 42, 8 << 20).with_churn(ChurnRound::inserts(
+            ["store_sales"],
+            0.05,
+            3,
+        ))
+    }
+
+    #[test]
+    fn loads_tables_and_replays_churn() {
+        let s = spec();
+        let dir = tempfile::tempdir().unwrap();
+        let disk = DiskCatalog::open(dir.path()).unwrap();
+        s.load_tables(&disk).unwrap();
+        assert!(disk.contains("store_sales"));
+        let before = disk.read_table("store_sales").unwrap().num_rows();
+
+        let store = DeltaStore::new();
+        s.ingest_round(0, &disk, &store).unwrap();
+        assert!(!store.is_empty());
+        let after = disk.read_table("store_sales").unwrap().num_rows();
+        assert_eq!(after, before + (before as f64 * 0.05).round() as usize);
+        // Out-of-range rounds error instead of silently doing nothing.
+        assert!(s.ingest_round(1, &disk, &store).is_err());
+    }
+
+    #[test]
+    fn configs_are_derived_not_redeclared() {
+        let s = spec()
+            .with_lanes(4)
+            .with_refresh_mode(RefreshMode::AlwaysIncremental)
+            .with_throttle(Throttle {
+                read_bps: 1e6,
+                write_bps: 2e6,
+                latency_s: 0.5,
+            });
+        let rc = s.refresh_config();
+        assert_eq!(rc.lanes, 4);
+        assert_eq!(rc.refresh_mode, RefreshMode::AlwaysIncremental);
+        let sim = s.sim_config();
+        assert_eq!(sim.lanes, 4);
+        assert_eq!(sim.refresh_mode, RefreshMode::AlwaysIncremental);
+        assert_eq!(sim.memory_budget, 8 << 20);
+        assert_eq!(sim.disk_read_bps, 1e6);
+        assert_eq!(sim.disk_write_bps, 2e6);
+        assert_eq!(sim.disk_latency_s, 0.5);
+    }
+
+    #[test]
+    fn mirror_matches_manual_mirror() {
+        let s = spec();
+        let dir = tempfile::tempdir().unwrap();
+        let disk = DiskCatalog::open(dir.path()).unwrap();
+        s.load_tables(&disk).unwrap();
+        let mem = MemoryCatalog::new(8 << 20);
+        let plan = Plan::unoptimized((0..s.mvs.len()).map(NodeId).collect());
+        let metrics = Controller::new(&disk, &mem).refresh(&s.mvs, &plan).unwrap();
+        let store = DeltaStore::new();
+        s.ingest_round(0, &disk, &store).unwrap();
+
+        let w = s.mirror(&disk, &metrics, &store).unwrap();
+        assert_eq!(w.len(), s.mvs.len());
+        let manual = mirror_workload(&s.mvs, &metrics, &disk, &pending_churn(&store)).unwrap();
+        for (a, b) in w
+            .graph
+            .node_ids()
+            .map(|v| w.graph.node(v))
+            .zip(manual.graph.node_ids().map(|v| manual.graph.node(v)))
+        {
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -202,6 +202,26 @@ pub struct ChurnedBase {
     pub has_deletes: bool,
 }
 
+/// Reads a delta log's pending state into the churn map
+/// [`mirror_workload`] consumes: one [`ChurnedBase`] per table with
+/// logged batches.
+pub fn pending_churn(store: &DeltaStore) -> HashMap<String, ChurnedBase> {
+    store
+        .tables()
+        .into_iter()
+        .filter_map(|t| {
+            let d = store.pending(&t)?;
+            Some((
+                t,
+                ChurnedBase {
+                    delta_bytes: d.byte_size(),
+                    has_deletes: d.has_deletes(),
+                },
+            ))
+        })
+        .collect()
+}
+
 /// Mirrors an engine MV workload into an annotated [`SimWorkload`] for a
 /// churn scenario, so the simulator predicts the same per-node refresh
 /// decisions (skip / incremental / full) as the engine's mode planner.

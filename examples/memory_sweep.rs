@@ -6,6 +6,10 @@
 //! ```sh
 //! cargo run --release --example memory_sweep
 //! ```
+//!
+//! This experiment is simulator-only (paper-scale data); for engine+sim
+//! rigs driven from one shared value, see `sc_workload::ScenarioSpec`
+//! and `ScSession::from_spec` in the `quickstart` example's docs.
 
 use sc::prelude::*;
 use sc_core::ScOptimizer;

@@ -1,20 +1,31 @@
-//! Quickstart: register a pipeline of dependent MVs, profile it, let S/C
-//! plan the refresh, and compare the two runs.
+//! Quickstart: build a session, register a pipeline of dependent MVs, and
+//! let the session manage the plan — the first refresh profiles, later
+//! refreshes reuse the cached optimized plan, and `explain()` shows why
+//! each node was flagged, skipped, or maintained incrementally.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
+use std::sync::Arc;
+
 use sc::prelude::*;
-use sc::ScSystem;
+use sc::ScSession;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = tempfile::tempdir()?;
 
-    // A system = external storage directory + bounded Memory Catalog.
-    // Throttle storage to the disk measured in the paper (519.8 MB/s read,
-    // 358.9 MB/s write) so the I/O-vs-compute balance is realistic.
-    let mut sys = ScSystem::open_throttled(dir.path(), 8 << 20, Throttle::paper_disk())?;
+    // One typed config for the whole session: storage, memory budget,
+    // throttle (the disk measured in the paper, so the I/O-vs-compute
+    // balance is realistic), lanes, refresh mode. The session is
+    // Arc-shareable: ingestion can run concurrently with a refresh.
+    let sys = Arc::new(
+        ScSession::builder()
+            .storage_dir(dir.path())
+            .memory_budget(8 << 20)
+            .throttle(Throttle::paper_disk())
+            .build()?,
+    );
 
     // Ingest TPC-DS-style base tables.
     let data = sc::workload::tpcds::TinyTpcds::generate(1.0, 42);
@@ -22,9 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ingested {} bytes of base tables", data.total_bytes());
 
     // Register the MV pipeline (Figure 4-style: one expensive enriched
-    // fact table feeding several cheap aggregates).
+    // fact table feeding several cheap aggregates). Name collisions are
+    // rejected, so `?` matters here.
     for mv in sc::workload::engine_mvs::sales_pipeline() {
-        sys.register_mv(mv);
+        sys.register_mv(mv)?;
     }
     let graph = sys.dependency_graph()?;
     println!(
@@ -34,52 +46,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", graph.to_dot(|_, name| name.clone()));
 
-    // 1) Baseline refresh: topological order, everything written to disk
-    //    synchronously. This run doubles as the profiling run.
-    let baseline = sys.baseline_refresh()?;
+    // 1) First refresh = profiling run: unoptimized topological order,
+    //    metrics observed, optimized plan derived and cached.
+    let profile = sys.refresh()?;
     println!(
-        "baseline: {:.3}s (read {:.3}s, compute {:.3}s, blocking write {:.3}s)",
-        baseline.total_s,
-        baseline.total_read_s(),
-        baseline.total_compute_s(),
-        baseline.total_write_s()
+        "profiling refresh: {:.3}s (plan cached: {})",
+        profile.total_s(),
+        sys.has_cached_plan()
     );
 
-    // 2) Optimize: S/C picks the refresh order and which intermediates to
-    //    keep (temporarily) in the Memory Catalog.
-    let plan = sys.optimize_from(&baseline)?;
+    // 2) Second refresh executes the cached S/C plan: flagged hubs are
+    //    created in the Memory Catalog and materialized in the background.
+    let optimized = sys.refresh()?;
+    println!("\n{}", optimized.explain());
     println!(
-        "\nS/C plan: {} of {} MVs flagged:",
-        plan.flagged.count(),
-        sys.mvs().len()
+        "speedup over the profiling run: {:.2}x",
+        profile.total_s() / optimized.total_s()
     );
-    for v in plan.flagged.iter() {
-        println!("  - {}", sys.mvs()[v.index()].name);
-    }
 
-    // 3) Optimized refresh.
-    let optimized = sys.refresh(&plan)?;
-    println!(
-        "\noptimized: {:.3}s (read {:.3}s, compute {:.3}s, blocking write {:.3}s)",
-        optimized.total_s,
-        optimized.total_read_s(),
-        optimized.total_compute_s(),
-        optimized.total_write_s()
-    );
-    println!(
-        "peak memory catalog usage: {} / {} bytes",
-        optimized.peak_memory_bytes,
-        sys.memory().budget()
-    );
-    println!("speedup: {:.2}x", baseline.total_s / optimized.total_s);
+    // 3) Ingest churn against one fact table from another thread while a
+    //    third refresh runs — the session is a long-lived service, not a
+    //    batch job. The refresh works from a point-in-time snapshot of
+    //    the delta log, so the concurrent batch is never half-applied.
+    let churn = {
+        let sales = sys.disk().read_table("store_sales")?;
+        sales.take_rows(&(0..50).collect::<Vec<_>>())?
+    };
+    let ingester = {
+        let sys = Arc::clone(&sys);
+        std::thread::spawn(move || sys.ingest_delta("store_sales", TableDelta::insert_only(churn)))
+    };
+    let report = sys.refresh()?;
+    ingester.join().expect("ingester thread")?;
+    println!("refresh concurrent with ingestion:\n{}", report.explain());
+
+    // 4) Drain whatever the concurrent ingest left pending: affected MVs
+    //    absorb their delta (or recompute), untouched branches skip.
+    let drained = sys.refresh()?;
+    println!("draining refresh:\n{}", drained.explain());
 
     // Every MV is fully materialized either way.
     for mv in sys.mvs() {
         assert!(sys.disk().contains(&mv.name));
     }
     println!(
-        "\nall {} MVs persisted on storage — SLAs intact",
-        sys.mvs().len()
+        "all {} MVs persisted on storage — SLAs intact",
+        sys.mv_count()
     );
     Ok(())
 }

@@ -40,11 +40,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         write_bps: 25e6,
         latency_s: 1e-3,
     };
-    let mut sys = ScSystem::open_throttled(dir.path(), 16 << 20, throttle)?;
+    let sys = ScSystem::builder()
+        .storage_dir(dir.path())
+        .memory_budget(16 << 20)
+        .throttle(throttle)
+        .build()?;
 
     sc::workload::tpcds::TinyTpcds::generate(2.0, 7).load_into(sys.disk())?;
     for mv in sc::workload::engine_mvs::sales_pipeline() {
-        sys.register_mv(mv);
+        sys.register_mv(mv)?;
     }
 
     let (plan, baseline, optimized) = sys.refresh_optimized()?;
@@ -56,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.summary(&{
             // Rebuild the problem only to print score/size totals.
             sc::workload::engine_mvs::problem_from_metrics(
-                sys.mvs(),
+                &sys.mvs(),
                 &baseline,
                 &CostModel::paper(),
                 sys.memory().budget(),

@@ -7,6 +7,10 @@
 //! ```sh
 //! cargo run --release --example synthetic_scheduler
 //! ```
+//!
+//! Simulator-only (synthetic paper-scale DAGs have no engine tables to
+//! execute); engine-backed workloads are driven through `ScSession` —
+//! see the `quickstart` and `sales_pipeline` examples.
 
 use sc::prelude::*;
 use sc_core::order::OrderScheduler;

@@ -20,38 +20,60 @@
 //!   columnar file format, disk/memory catalogs, the append-only delta
 //!   log, and the refresh controller (sequential, plus a multi-lane
 //!   worker-pool executor selected via [`sc_engine::RefreshConfig`] /
-//!   [`ScSystem::with_lanes`]; per-node full, incremental, or skipped
+//!   [`ScSessionBuilder::lanes`]; per-node full, incremental, or skipped
 //!   maintenance via [`sc_core::RefreshMode`]);
 //! * [`sim`] — a discrete-event simulator for paper-scale experiments
 //!   (10 GB–1 TB, clusters, LRU baselines, churn scenarios);
 //! * [`workload`] — TPC-DS-style data and the paper's workloads, plus
-//!   the §VI-H synthetic DAG generator and seeded update streams
-//!   ([`sc_workload::updates`]).
+//!   the §VI-H synthetic DAG generator, seeded update streams
+//!   ([`sc_workload::updates`]), and unified engine/sim scenario specs
+//!   ([`sc_workload::ScenarioSpec`], consumed by
+//!   [`ScSession::from_spec`]).
+//!
+//! The crate's own façade is [`ScSession`] (long-lived, `Arc`-shareable,
+//! plan-managing; `ScSystem` remains as an alias for the pre-redesign
+//! name) plus the [`RefreshReport`] a managed refresh returns.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use sc::ScSystem;
+//! use std::sync::Arc;
+//! use sc::ScSession;
 //!
 //! let dir = tempfile::tempdir().unwrap();
-//! // 1. Open a system: external storage directory + memory budget.
-//! let mut sys = ScSystem::open(dir.path(), 4 << 20).unwrap();
+//! // 1. Build a session: one typed config for storage, memory budget,
+//! //    throttle, lanes, and refresh mode. Sessions are Arc-shareable.
+//! let sys = Arc::new(
+//!     ScSession::builder()
+//!         .storage_dir(dir.path())
+//!         .memory_budget(4 << 20)
+//!         .build()
+//!         .unwrap(),
+//! );
 //!
 //! // 2. Ingest base data (here: the bundled TPC-DS-style generator).
 //! let data = sc::workload::tpcds::TinyTpcds::generate(0.2, 42);
 //! data.load_into(sys.disk()).unwrap();
 //!
-//! // 3. Register MV definitions (dependencies are inferred from scans).
+//! // 3. Register MV definitions (dependencies are inferred from scans;
+//! //    name collisions are rejected).
 //! for mv in sc::workload::engine_mvs::sales_pipeline() {
-//!     sys.register_mv(mv);
+//!     sys.register_mv(mv).unwrap();
 //! }
 //!
-//! // 4. First refresh profiles the workload; then optimize and re-run.
-//! let baseline = sys.baseline_refresh().unwrap();
-//! let plan = sys.optimize_from(&baseline).unwrap();
-//! let optimized = sys.refresh(&plan).unwrap();
-//! assert_eq!(optimized.nodes.len(), baseline.nodes.len());
+//! // 4. The session manages the plan: the first refresh profiles the
+//! //    workload and caches an optimized plan, later refreshes reuse it.
+//! let profile = sys.refresh().unwrap();
+//! assert!(profile.profiled);
+//! let optimized = sys.refresh().unwrap();
+//! assert!(!optimized.profiled);
+//! assert_eq!(optimized.nodes().len(), profile.nodes().len());
+//! println!("{}", optimized.explain()); // why each node was flagged/skipped
 //! ```
+//!
+//! The paper's explicit three-call flow is still available when you want
+//! to hold the plan yourself: [`ScSession::baseline_refresh`] →
+//! [`ScSession::optimize_from`] → [`ScSession::refresh_with_plan`].
 
 pub use sc_core as core;
 pub use sc_dag as dag;
@@ -59,9 +81,11 @@ pub use sc_engine as engine;
 pub use sc_sim as sim;
 pub use sc_workload as workload;
 
+mod report;
 mod system;
 
-pub use system::{ScError, ScSystem};
+pub use report::RefreshReport;
+pub use system::{ScError, ScSession, ScSessionBuilder, ScSystem};
 
 /// Commonly used items across the workspace.
 pub mod prelude {
@@ -70,5 +94,9 @@ pub mod prelude {
     pub use sc_engine::controller::MvDefinition;
     pub use sc_engine::prelude::*;
     pub use sc_sim::{ClusterModel, SimConfig, SimNode, SimWorkload, Simulator};
-    pub use sc_workload::{DatasetSpec, GeneratorParams, PaperWorkload, SynthGenerator};
+    pub use sc_workload::{
+        ChurnRound, DatasetSpec, GeneratorParams, PaperWorkload, ScenarioSpec, SynthGenerator,
+    };
+
+    pub use crate::{RefreshReport, ScSession, ScSessionBuilder};
 }

@@ -1,0 +1,164 @@
+//! Structured refresh reports: what a managed [`crate::ScSession::refresh`]
+//! run did per node, and a human-readable `explain()` of *why*.
+
+use sc_core::{NodeMode, Plan};
+use sc_engine::controller::{NodeMetrics, RunMetrics};
+
+/// Outcome of one managed refresh run ([`crate::ScSession::refresh`]).
+///
+/// Wraps the engine's raw [`RunMetrics`] (per-node [`NodeMode`],
+/// read/compute/write breakdowns, peak Memory Catalog usage) together with
+/// the plan that was executed and whether this run was a profiling run.
+/// [`RefreshReport::explain`] renders the whole thing — including the
+/// [`sc_core::ModeReason`] mode planning recorded for every node — as a table.
+#[derive(Debug, Clone)]
+pub struct RefreshReport {
+    /// The engine's per-node and end-to-end measurements.
+    pub metrics: RunMetrics,
+    /// The plan the run executed (the cached optimized plan, or the
+    /// unoptimized topological order on a profiling run).
+    pub plan: Plan,
+    /// Whether this run (re)profiled the workload: the session had no
+    /// valid cached plan, so it executed the unoptimized order, derived a
+    /// fresh optimized plan from the observed metrics, and cached it for
+    /// the next refresh.
+    pub profiled: bool,
+}
+
+impl RefreshReport {
+    /// End-to-end wall time of the run, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.metrics.total_s
+    }
+
+    /// Per-node breakdowns in plan order.
+    pub fn nodes(&self) -> &[NodeMetrics] {
+        &self.metrics.nodes
+    }
+
+    /// The metrics row for `mv`, if the session refreshed it.
+    pub fn node(&self, mv: &str) -> Option<&NodeMetrics> {
+        self.metrics.nodes.iter().find(|n| n.name == mv)
+    }
+
+    /// How `mv` was brought up to date, if the session refreshed it.
+    pub fn mode(&self, mv: &str) -> Option<NodeMode> {
+        self.node(mv).map(|n| n.mode)
+    }
+
+    /// Renders the run as a table: one row per node with its mode, its
+    /// Memory Catalog placement, the delta/read/compute/write breakdown,
+    /// and the [`sc_core::ModeReason`] explaining why the node was
+    /// flagged/skipped/incremental — followed by run totals.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "refresh of {} MVs ({}): {:.3}s end-to-end, peak memory {} bytes\n",
+            self.metrics.nodes.len(),
+            if self.profiled {
+                "profiling run, plan cached for next refresh"
+            } else {
+                "cached plan"
+            },
+            self.metrics.total_s,
+            self.metrics.peak_memory_bytes,
+        ));
+        out.push_str(&format!(
+            "{:<20} {:<12} {:<6} {:>10} {:>8} {:>8} {:>8}  why\n",
+            "mv", "mode", "where", "delta B", "read s", "cmpt s", "write s"
+        ));
+        for n in &self.metrics.nodes {
+            let mode = match n.mode {
+                NodeMode::Full => "full",
+                NodeMode::Incremental => "incremental",
+                NodeMode::Skipped => "skipped",
+            };
+            let placement = if n.fell_back {
+                "disk*" // flagged, but fell back under memory pressure
+            } else if n.flagged {
+                "mem"
+            } else if n.mode == NodeMode::Skipped {
+                "-"
+            } else {
+                "disk"
+            };
+            out.push_str(&format!(
+                "{:<20} {:<12} {:<6} {:>10} {:>8.3} {:>8.3} {:>8.3}  {}\n",
+                n.name,
+                mode,
+                placement,
+                n.delta_bytes,
+                n.read_s,
+                n.compute_s,
+                n.write_s,
+                n.reason.describe(),
+            ));
+        }
+        if self.metrics.nodes.iter().any(|n| n.fell_back) {
+            out.push_str("(* flagged for the Memory Catalog but fell back to a blocking disk write under memory pressure)\n");
+        }
+        out.push_str(&format!(
+            "totals: read {:.3}s, compute {:.3}s, blocking write {:.3}s, final drain {:.3}s\n",
+            self.metrics.total_read_s(),
+            self.metrics.total_compute_s(),
+            self.metrics.total_write_s(),
+            self.metrics.final_drain_s,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_core::{FlagSet, ModeReason};
+
+    fn metrics_row(name: &str, mode: NodeMode, reason: ModeReason, flagged: bool) -> NodeMetrics {
+        NodeMetrics {
+            name: name.into(),
+            mode,
+            reason,
+            delta_bytes: 42,
+            read_s: 0.1,
+            compute_s: 0.2,
+            write_s: 0.3,
+            output_bytes: 1024,
+            rows: 10,
+            flagged,
+            fell_back: false,
+            memory_reads: 0,
+            disk_reads: 1,
+        }
+    }
+
+    #[test]
+    fn explain_renders_every_node_with_its_reason() {
+        let report = RefreshReport {
+            metrics: RunMetrics {
+                total_s: 1.5,
+                nodes: vec![
+                    metrics_row("hub", NodeMode::Incremental, ModeReason::DeltaApplied, true),
+                    metrics_row("agg", NodeMode::Full, ModeReason::CostModel, false),
+                    NodeMetrics::skipped("quiet"),
+                ],
+                peak_memory_bytes: 2048,
+                final_drain_s: 0.0,
+            },
+            plan: Plan {
+                order: (0..3).map(sc_dag::NodeId).collect(),
+                flagged: FlagSet::none(3),
+            },
+            profiled: true,
+        };
+        let text = report.explain();
+        assert!(text.contains("profiling run"));
+        assert!(text.contains("hub"));
+        assert!(text.contains("applied the propagated delta"));
+        assert!(text.contains("cost model"));
+        assert!(text.contains("no pending change reaches it"));
+        assert!(text.contains("peak memory 2048"));
+        assert_eq!(report.mode("quiet"), Some(NodeMode::Skipped));
+        assert_eq!(report.mode("missing"), None);
+        assert_eq!(report.total_s(), 1.5);
+    }
+}

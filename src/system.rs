@@ -1,11 +1,31 @@
-//! The high-level S/C system façade: catalogs + controller + optimizer in
-//! one object, mirroring Figure 5's architecture (Controller, Optimizer,
-//! Memory Catalog, DBMS).
+//! The high-level S/C session: catalogs + controller + optimizer in one
+//! long-lived, `Arc`-shareable object, mirroring Figure 5's architecture
+//! (Controller, Optimizer, Memory Catalog, DBMS).
+//!
+//! The paper's system is a *service* living inside a DBMS, not a batch
+//! job: base tables keep changing while refreshes run, and the optimizer's
+//! plan is an internal detail callers never touch. [`ScSession`] models
+//! that shape. It is built once via [`ScSessionBuilder`] (one typed config
+//! for storage, throttle, memory budget, cost model, lanes, and refresh
+//! mode), shared behind an `Arc` (every method takes `&self`;
+//! [`ScSession::ingest_delta`] is safe to call concurrently with a running
+//! refresh thanks to the delta log's point-in-time snapshot semantics),
+//! and refreshed with the plan-managing [`ScSession::refresh`]: the first
+//! call profiles the workload and caches an optimized [`Plan`]; later
+//! calls reuse it until MV registration or observed size drift invalidates
+//! the cache.
+//!
+//! The paper's explicit three-call flow ([`ScSession::baseline_refresh`] →
+//! [`ScSession::optimize_from`] → [`ScSession::refresh_with_plan`])
+//! remains available for callers that want to hold the plan themselves.
 
 use std::fmt;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use sc_core::{CostModel, OptError, Plan, ScOptimizer};
+use parking_lot::{Mutex, RwLock};
+
+use sc_core::{CostModel, NodeMode, OptError, Plan, ScOptimizer};
 use sc_dag::{Dag, DagError, NodeId};
 use sc_engine::controller::{
     Controller, ControllerConfig, MvDefinition, RefreshConfig, RunMetrics,
@@ -14,6 +34,9 @@ use sc_engine::exec::TableDelta;
 use sc_engine::storage::{self, DeltaStore, DiskCatalog, MemoryCatalog, Throttle};
 use sc_engine::EngineError;
 use sc_workload::engine_mvs::problem_from_metrics;
+use sc_workload::ScenarioSpec;
+
+use crate::report::RefreshReport;
 
 /// Unified error for the façade.
 #[derive(Debug)]
@@ -26,6 +49,8 @@ pub enum ScError {
     Dag(DagError),
     /// A registered MV name collides with an existing one.
     DuplicateMv(String),
+    /// The builder was not given a storage directory.
+    MissingStorageDir,
 }
 
 impl fmt::Display for ScError {
@@ -35,6 +60,9 @@ impl fmt::Display for ScError {
             ScError::Opt(e) => write!(f, "optimizer: {e}"),
             ScError::Dag(e) => write!(f, "dag: {e}"),
             ScError::DuplicateMv(n) => write!(f, "duplicate MV '{n}'"),
+            ScError::MissingStorageDir => {
+                write!(f, "ScSessionBuilder::storage_dir was never called")
+            }
         }
     }
 }
@@ -62,65 +90,239 @@ impl From<DagError> for ScError {
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, ScError>;
 
-/// The S/C system: a disk catalog (external storage), a bounded Memory
-/// Catalog, a set of registered MV definitions, and the optimizer.
-pub struct ScSystem {
+/// The pre-refactor name of [`ScSession`], kept so existing callers (and
+/// the paper-flavored reading of "the S/C system") keep compiling. The
+/// two names are interchangeable.
+pub type ScSystem = ScSession;
+
+/// Typed configuration for an [`ScSession`], built with
+/// [`ScSession::builder`].
+///
+/// Defaults: 64 MiB Memory Catalog, unthrottled storage, the paper's cost
+/// model, one compute lane, [`sc_core::RefreshMode::Auto`] maintenance,
+/// and a 50% plan-invalidation drift threshold. Only the storage
+/// directory is mandatory.
+#[derive(Debug, Clone)]
+pub struct ScSessionBuilder {
+    dir: Option<PathBuf>,
+    memory_budget: u64,
+    throttle: Option<Throttle>,
+    cost: CostModel,
+    refresh: RefreshConfig,
+    drift_threshold: f64,
+}
+
+impl Default for ScSessionBuilder {
+    fn default() -> Self {
+        ScSessionBuilder {
+            dir: None,
+            memory_budget: 64 << 20,
+            throttle: None,
+            cost: CostModel::paper(),
+            refresh: RefreshConfig::default(),
+            drift_threshold: 0.5,
+        }
+    }
+}
+
+impl ScSessionBuilder {
+    /// Directory for external storage (base tables and materialized MVs).
+    /// Mandatory.
+    pub fn storage_dir(mut self, dir: impl AsRef<Path>) -> Self {
+        self.dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// Memory Catalog budget `M`, bytes.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Paces external storage at `throttle` (useful for demonstrating
+    /// paper-like I/O ratios on fast hardware).
+    pub fn throttle(mut self, throttle: Throttle) -> Self {
+        self.throttle = Some(throttle);
+        self
+    }
+
+    /// Cost model for speedup-score estimation and `Auto`
+    /// full-vs-incremental decisions.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Refresh parallelism and maintenance settings.
+    pub fn refresh_config(mut self, refresh: RefreshConfig) -> Self {
+        self.refresh = refresh;
+        self
+    }
+
+    /// Number of compute lanes (shorthand for a [`RefreshConfig`] field).
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.refresh.lanes = lanes.max(1);
+        self
+    }
+
+    /// Multi-lane run-ahead window (shorthand for a [`RefreshConfig`]
+    /// field).
+    pub fn run_ahead_window(mut self, window: usize) -> Self {
+        self.refresh.run_ahead_window = Some(window);
+        self
+    }
+
+    /// Full-vs-incremental maintenance policy (shorthand for a
+    /// [`RefreshConfig`] field).
+    pub fn refresh_mode(mut self, mode: sc_core::RefreshMode) -> Self {
+        self.refresh.refresh_mode = mode;
+        self
+    }
+
+    /// Relative output-size drift that invalidates the cached plan: after
+    /// a refresh on the cached plan, any node whose observed output size
+    /// left `profiled * (1 ± threshold)` triggers a re-profile on the
+    /// next [`ScSession::refresh`]. The profile's flag choices are only
+    /// as good as its size estimates, so drifted sizes mean a stale plan.
+    pub fn size_drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold.max(0.0);
+        self
+    }
+
+    /// Opens the session.
+    pub fn build(self) -> Result<ScSession> {
+        let dir = self.dir.ok_or(ScError::MissingStorageDir)?;
+        let disk = match self.throttle {
+            Some(t) => DiskCatalog::open_throttled(dir, t)?,
+            None => DiskCatalog::open(dir)?,
+        };
+        Ok(ScSession {
+            disk,
+            memory: MemoryCatalog::new(self.memory_budget),
+            cost: self.cost,
+            refresh: self.refresh,
+            deltas: DeltaStore::new(),
+            mvs: RwLock::new(Vec::new()),
+            epoch: AtomicU64::new(0),
+            planner: Mutex::new(Planner { cached: None }),
+            drift_threshold: self.drift_threshold,
+        })
+    }
+}
+
+/// The optimized plan a session holds between refreshes, plus what it
+/// needs to know when to throw it away.
+struct CachedPlan {
+    plan: Plan,
+    /// MV-registry epoch the plan was derived under; a registration bumps
+    /// the session epoch, orphaning the plan.
+    epoch: u64,
+    /// In-memory output sizes observed by the profiling run, by MV index
+    /// (`None` for nodes it skipped) — the baseline the drift check
+    /// compares later runs against.
+    profiled_sizes: Vec<Option<u64>>,
+}
+
+/// Plan-lifecycle state. The mutex around it doubles as the refresh run
+/// lock: concurrent [`ScSession::refresh`] calls serialize (the Memory
+/// Catalog accounting models one run at a time), while ingestion and
+/// reads proceed concurrently.
+struct Planner {
+    cached: Option<CachedPlan>,
+}
+
+/// The S/C session: a disk catalog (external storage), a bounded Memory
+/// Catalog, a delta log, the registered MV definitions, and a managed
+/// optimizer plan — all behind interior mutability, so the session can be
+/// shared across threads as an `Arc<ScSession>`.
+pub struct ScSession {
     disk: DiskCatalog,
     memory: MemoryCatalog,
     cost: CostModel,
     refresh: RefreshConfig,
     deltas: DeltaStore,
-    mvs: Vec<MvDefinition>,
+    mvs: RwLock<Vec<MvDefinition>>,
+    /// Bumped on every registration; cached plans record the epoch they
+    /// were derived under and die when it moves.
+    epoch: AtomicU64,
+    planner: Mutex<Planner>,
+    drift_threshold: f64,
 }
 
-impl ScSystem {
-    /// Opens a system storing tables under `dir` with a Memory Catalog of
-    /// `memory_budget` bytes.
-    pub fn open(dir: impl AsRef<Path>, memory_budget: u64) -> Result<Self> {
-        Ok(ScSystem {
-            disk: DiskCatalog::open(dir)?,
-            memory: MemoryCatalog::new(memory_budget),
-            cost: CostModel::paper(),
-            refresh: RefreshConfig::default(),
-            deltas: DeltaStore::new(),
-            mvs: Vec::new(),
-        })
+impl ScSession {
+    /// Starts building a session. See [`ScSessionBuilder`] for the knobs
+    /// and their defaults.
+    pub fn builder() -> ScSessionBuilder {
+        ScSessionBuilder::default()
     }
 
-    /// Opens a system whose external storage is paced by `throttle`
-    /// (useful for demonstrating paper-like I/O ratios on fast hardware).
+    /// Opens a session storing tables under `dir` with a Memory Catalog
+    /// of `memory_budget` bytes (builder shorthand kept from the original
+    /// API).
+    pub fn open(dir: impl AsRef<Path>, memory_budget: u64) -> Result<Self> {
+        ScSession::builder()
+            .storage_dir(dir)
+            .memory_budget(memory_budget)
+            .build()
+    }
+
+    /// Opens a session whose external storage is paced by `throttle`
+    /// (builder shorthand kept from the original API).
     pub fn open_throttled(
         dir: impl AsRef<Path>,
         memory_budget: u64,
         throttle: Throttle,
     ) -> Result<Self> {
-        Ok(ScSystem {
-            disk: DiskCatalog::open_throttled(dir, throttle)?,
-            memory: MemoryCatalog::new(memory_budget),
-            cost: CostModel::paper(),
-            refresh: RefreshConfig::default(),
-            deltas: DeltaStore::new(),
-            mvs: Vec::new(),
-        })
+        ScSession::builder()
+            .storage_dir(dir)
+            .memory_budget(memory_budget)
+            .throttle(throttle)
+            .build()
     }
 
-    /// Overrides the cost model used for speedup-score estimation.
+    /// Opens a session from a [`ScenarioSpec`]: storage under `dir`, the
+    /// spec's budget/lanes/mode/throttle applied, its base tables loaded,
+    /// and its MV DAG registered. The same spec value drives the
+    /// simulator ([`ScenarioSpec::sim_config`] /
+    /// [`ScenarioSpec::mirror`]), so an engine rig and its simulation
+    /// twin cannot drift apart.
+    pub fn from_spec(dir: impl AsRef<Path>, spec: &ScenarioSpec) -> Result<Self> {
+        let mut builder = ScSession::builder()
+            .storage_dir(dir)
+            .memory_budget(spec.config.memory_budget)
+            .refresh_config(spec.refresh_config());
+        if let Some(t) = spec.config.throttle {
+            builder = builder.throttle(t);
+        }
+        let session = builder.build()?;
+        spec.load_tables(session.disk())?;
+        for mv in &spec.mvs {
+            session.register_mv(mv.clone())?;
+        }
+        Ok(session)
+    }
+
+    /// Overrides the cost model used for speedup-score estimation
+    /// (pre-`Arc` configuration; prefer [`ScSessionBuilder::cost_model`]).
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
         self
     }
 
-    /// Overrides the refresh parallelism settings (how many compute lanes
-    /// execute DAG nodes). The default single lane reproduces the paper's
-    /// sequential controller.
+    /// Overrides the refresh parallelism settings (pre-`Arc`
+    /// configuration; prefer [`ScSessionBuilder::refresh_config`]).
     pub fn with_refresh_config(mut self, refresh: RefreshConfig) -> Self {
         self.refresh = refresh;
         self
     }
 
-    /// Shorthand for [`ScSystem::with_refresh_config`].
+    /// Shorthand for [`ScSession::with_refresh_config`].
     pub fn with_lanes(self, lanes: usize) -> Self {
-        self.with_refresh_config(RefreshConfig::with_lanes(lanes))
+        let refresh = RefreshConfig {
+            lanes: lanes.max(1),
+            ..self.refresh
+        };
+        self.with_refresh_config(refresh)
     }
 
     /// The refresh parallelism settings in effect.
@@ -139,27 +341,54 @@ impl ScSystem {
         &self.memory
     }
 
-    /// Registered MV definitions, in registration order.
-    pub fn mvs(&self) -> &[MvDefinition] {
-        &self.mvs
+    /// A snapshot of the registered MV definitions, in registration
+    /// order.
+    pub fn mvs(&self) -> Vec<MvDefinition> {
+        self.mvs.read().clone()
     }
 
-    /// Registers an MV definition. Dependencies on other MVs are inferred
-    /// from the tables its plan scans.
-    pub fn register_mv(&mut self, mv: MvDefinition) -> NodeId {
-        let id = NodeId(self.mvs.len());
-        self.mvs.push(mv);
-        id
+    /// Number of registered MVs.
+    pub fn mv_count(&self) -> usize {
+        self.mvs.read().len()
+    }
+
+    /// Registers an MV definition and returns its node id. Dependencies
+    /// on other MVs are inferred from the tables its plan scans.
+    ///
+    /// Fails with [`ScError::DuplicateMv`] when the name is already
+    /// registered — two MVs materializing to the same storage name would
+    /// silently overwrite each other. Registration invalidates any cached
+    /// plan (the next [`ScSession::refresh`] re-profiles).
+    pub fn register_mv(&self, mv: MvDefinition) -> Result<NodeId> {
+        let mut mvs = self.mvs.write();
+        if mvs.iter().any(|m| m.name == mv.name) {
+            return Err(ScError::DuplicateMv(mv.name));
+        }
+        let id = NodeId(mvs.len());
+        mvs.push(mv);
+        // Bumped while the write lock is still held. A refreshing thread
+        // reads the epoch *before* taking its registry snapshot, so a
+        // snapshot missing this MV always pairs with the pre-bump epoch —
+        // any plan cached from it is invalidated by the bump. (The other
+        // interleaving — epoch read before the bump, snapshot after —
+        // merely caches a plan that covers the MV under a stale epoch and
+        // re-profiles once, which is conservative, not incorrect.)
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(id)
     }
 
     /// The inferred dependency graph over registered MVs (payload = MV
     /// name), i.e. the "workload specification" of §III-A.
     pub fn dependency_graph(&self) -> Result<Dag<String>> {
-        let mut g = Dag::with_capacity(self.mvs.len());
-        for mv in &self.mvs {
+        Self::graph_of(&self.mvs.read())
+    }
+
+    fn graph_of(mvs: &[MvDefinition]) -> Result<Dag<String>> {
+        let mut g = Dag::with_capacity(mvs.len());
+        for mv in mvs {
             g.add_node(mv.name.clone());
         }
-        for (a, b) in Controller::dependencies(&self.mvs) {
+        for (a, b) in Controller::dependencies(mvs) {
             g.add_edge(NodeId(a), NodeId(b))?;
         }
         Ok(g)
@@ -169,13 +398,15 @@ impl ScSystem {
     /// the unoptimized baseline, which doubles as the profiling run that
     /// collects execution metadata for the optimizer.
     pub fn baseline_refresh(&self) -> Result<RunMetrics> {
-        let order = self.dependency_graph()?.kahn_order();
-        self.refresh(&Plan::unoptimized(order))
+        let mvs = self.mvs();
+        let order = Self::graph_of(&mvs)?.kahn_order();
+        self.run_plan(&mvs, &Plan::unoptimized(order))
     }
 
     /// Runs the optimizer on metadata from a previous refresh.
     pub fn optimize_from(&self, metrics: &RunMetrics) -> Result<Plan> {
-        let problem = problem_from_metrics(&self.mvs, metrics, &self.cost, self.memory.budget())?;
+        let mvs = self.mvs();
+        let problem = problem_from_metrics(&mvs, metrics, &self.cost, self.memory.budget())?;
         Ok(ScOptimizer::default().optimize(&problem)?)
     }
 
@@ -186,41 +417,195 @@ impl ScSystem {
 
     /// Ingests a change batch against base table `table`: the stored table
     /// is updated immediately (the DBMS's data is always current) and the
-    /// change is logged so the next [`ScSystem::refresh`] can maintain
-    /// affected MVs incrementally instead of recomputing them.
+    /// change is logged so the next refresh can maintain affected MVs
+    /// incrementally instead of recomputing them.
+    ///
+    /// Safe to call while a refresh is running: the refresh works from a
+    /// point-in-time snapshot of the log, so a batch ingested mid-run is
+    /// never split across nodes or lost — it pends for the next refresh
+    /// (and if the running refresh may already have baked it into a
+    /// recomputed MV, the log is poisoned so that refresh recomputes the
+    /// affected MVs instead of double-applying).
     pub fn ingest_delta(&self, table: &str, delta: TableDelta) -> Result<()> {
         Ok(storage::ingest(&self.disk, &self.deltas, table, delta)?)
     }
 
-    /// Executes a refresh run under `plan` on the configured lanes.
+    /// Executes one refresh run of `mvs` under `plan`.
+    fn run_plan(&self, mvs: &[MvDefinition], plan: &Plan) -> Result<RunMetrics> {
+        // The session's cost model drives Auto full-vs-incremental
+        // decisions too, not just speedup scores.
+        // The store is attached even when the log is currently empty: the
+        // controller treats an empty snapshot as "no delta tracking"
+        // (every MV recomputes), and keeping the snapshot machinery active
+        // means a batch ingested *during* this run is detected and
+        // poisons the log instead of being double-applied next refresh.
+        let controller = Controller::new(&self.disk, &self.memory)
+            .with_config(ControllerConfig {
+                cost_model: self.cost.clone(),
+                ..ControllerConfig::default()
+            })
+            .with_refresh_config(self.refresh)
+            .with_delta_store(&self.deltas);
+        Ok(controller.refresh(mvs, plan)?)
+    }
+
+    /// Executes a refresh run under an explicitly-held `plan` (the
+    /// original three-call flow; managed sessions use
+    /// [`ScSession::refresh`] instead).
     ///
     /// When deltas have been ingested since the last refresh, the
     /// controller consults them (per [`RefreshConfig::refresh_mode`]):
     /// untouched MVs are skipped and supported MVs absorb just their
     /// delta. With an empty log the run recomputes everything, exactly as
     /// before delta tracking existed — so profiling runs stay meaningful.
-    pub fn refresh(&self, plan: &Plan) -> Result<RunMetrics> {
-        // The system's cost model drives Auto full-vs-incremental
-        // decisions too, not just speedup scores.
-        let mut controller = Controller::new(&self.disk, &self.memory)
-            .with_config(ControllerConfig {
-                cost_model: self.cost.clone(),
-                ..ControllerConfig::default()
-            })
-            .with_refresh_config(self.refresh);
-        if !self.deltas.is_empty() {
-            controller = controller.with_delta_store(&self.deltas);
-        }
-        Ok(controller.refresh(&self.mvs, plan)?)
+    pub fn refresh_with_plan(&self, plan: &Plan) -> Result<RunMetrics> {
+        self.run_plan(&self.mvs(), plan)
     }
 
     /// Profile-optimize-refresh in one call: runs the baseline, derives a
     /// plan, executes it, and returns `(plan, baseline, optimized)`.
+    ///
+    /// This re-profiles on *every* call; long-lived sessions should use
+    /// [`ScSession::refresh`], which caches the optimized plan across
+    /// calls.
     pub fn refresh_optimized(&self) -> Result<(Plan, RunMetrics, RunMetrics)> {
         let baseline = self.baseline_refresh()?;
         let plan = self.optimize_from(&baseline)?;
-        let optimized = self.refresh(&plan)?;
+        let optimized = self.refresh_with_plan(&plan)?;
         Ok((plan, baseline, optimized))
+    }
+
+    /// Brings every registered MV up to date, managing the optimizer plan
+    /// internally.
+    ///
+    /// The first call (and any call after the cached plan is invalidated)
+    /// is a **profiling run**: it refreshes in unoptimized topological
+    /// order, derives an optimized plan from the observed metrics, and
+    /// caches it. Subsequent calls execute the cached plan directly — no
+    /// per-call re-profiling, unlike [`ScSession::refresh_optimized`].
+    ///
+    /// The cache is invalidated by (a) [`ScSession::register_mv`] — the
+    /// plan no longer covers the workload — or (b) observed output-size
+    /// drift beyond the builder's
+    /// [`ScSessionBuilder::size_drift_threshold`], since the plan's flag
+    /// choices were derived from the profiled sizes.
+    ///
+    /// Concurrent `refresh` calls serialize; [`ScSession::ingest_delta`]
+    /// stays concurrent. Returns a [`RefreshReport`] whose
+    /// [`RefreshReport::explain`] renders why each node was
+    /// flagged/skipped/incremental.
+    pub fn refresh(&self) -> Result<RefreshReport> {
+        let mut planner = self.planner.lock();
+        // Epoch *before* the registry snapshot: a registration landing
+        // between the two loads makes the snapshot a superset of the
+        // epoch's registry, so the cached plan is (conservatively)
+        // invalidated next refresh instead of silently missing an MV.
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        let mvs = self.mvs();
+
+        let cached_plan = planner
+            .cached
+            .as_ref()
+            .filter(|c| c.epoch == epoch)
+            .map(|c| c.plan.clone());
+        match cached_plan {
+            None => {
+                // Profiling run: unoptimized order, everything observed.
+                let order = Self::graph_of(&mvs)?.kahn_order();
+                let plan = Plan::unoptimized(order);
+                let metrics = self.run_plan(&mvs, &plan)?;
+                // The profile may have skipped untouched nodes (pending
+                // churn elsewhere): their observed size is 0, which would
+                // starve them of flags forever. Optimize from their stored
+                // file size instead — the right order of magnitude, unlike
+                // zero.
+                let optimized = {
+                    let mut profile = metrics.clone();
+                    for n in &mut profile.nodes {
+                        if n.mode == NodeMode::Skipped {
+                            n.output_bytes = self.disk.size_of(&n.name).unwrap_or(0);
+                        }
+                    }
+                    let problem =
+                        problem_from_metrics(&mvs, &profile, &self.cost, self.memory.budget())?;
+                    ScOptimizer::default().optimize(&problem)?
+                };
+                planner.cached = Some(CachedPlan {
+                    plan: optimized,
+                    epoch,
+                    profiled_sizes: self.profiled_sizes(&mvs, &metrics),
+                });
+                Ok(RefreshReport {
+                    metrics,
+                    plan,
+                    profiled: true,
+                })
+            }
+            Some(plan) => {
+                let metrics = self.run_plan(&mvs, &plan)?;
+                if self.sizes_drifted(&mvs, &metrics, &planner) {
+                    // Stale profile: the next refresh re-profiles.
+                    planner.cached = None;
+                }
+                Ok(RefreshReport {
+                    metrics,
+                    plan,
+                    profiled: false,
+                })
+            }
+        }
+    }
+
+    /// Whether a managed plan is currently cached (false right after
+    /// construction, registration, or a drift invalidation).
+    pub fn has_cached_plan(&self) -> bool {
+        let planner = self.planner.lock();
+        planner
+            .cached
+            .as_ref()
+            .is_some_and(|c| c.epoch == self.epoch.load(Ordering::SeqCst))
+    }
+
+    /// Per-MV in-memory output sizes the profiling run observed. `None`
+    /// for nodes the run skipped: they have no comparable baseline (their
+    /// stored *file* size is on a different scale than in-memory bytes),
+    /// so the drift check leaves them alone until a later re-profile.
+    fn profiled_sizes(&self, mvs: &[MvDefinition], metrics: &RunMetrics) -> Vec<Option<u64>> {
+        mvs.iter()
+            .map(|mv| {
+                metrics
+                    .nodes
+                    .iter()
+                    .find(|n| n.name == mv.name && n.mode != NodeMode::Skipped)
+                    .map(|n| n.output_bytes)
+            })
+            .collect()
+    }
+
+    /// Whether any node's observed output size left the profiled
+    /// tolerance band. Nodes without a baseline pass (skipped during the
+    /// profile), as do nodes skipped this run (no output produced).
+    fn sizes_drifted(&self, mvs: &[MvDefinition], metrics: &RunMetrics, planner: &Planner) -> bool {
+        let Some(cached) = planner.cached.as_ref() else {
+            return false;
+        };
+        let t = self.drift_threshold;
+        mvs.iter().zip(&cached.profiled_sizes).any(|(mv, &prof)| {
+            let observed = metrics
+                .nodes
+                .iter()
+                .find(|n| n.name == mv.name && n.mode != NodeMode::Skipped)
+                .map(|n| n.output_bytes);
+            match (observed, prof) {
+                (None, _) | (_, None) => false,
+                (Some(obs), Some(0)) => obs > 0,
+                (Some(obs), Some(prof)) => {
+                    let lo = prof as f64 * (1.0 - t);
+                    let hi = prof as f64 * (1.0 + t);
+                    (obs as f64) < lo || (obs as f64) > hi
+                }
+            }
+        })
     }
 }
 
@@ -230,19 +615,19 @@ mod tests {
     use sc_workload::engine_mvs::sales_pipeline;
     use sc_workload::tpcds::TinyTpcds;
 
-    fn system() -> (tempfile::TempDir, ScSystem) {
+    fn session() -> (tempfile::TempDir, ScSession) {
         let dir = tempfile::tempdir().unwrap();
-        let mut sys = ScSystem::open(dir.path(), 8 << 20).unwrap();
+        let sys = ScSession::open(dir.path(), 8 << 20).unwrap();
         TinyTpcds::generate(0.2, 42).load_into(sys.disk()).unwrap();
         for mv in sales_pipeline() {
-            sys.register_mv(mv);
+            sys.register_mv(mv).unwrap();
         }
         (dir, sys)
     }
 
     #[test]
     fn end_to_end_profile_optimize_refresh() {
-        let (_dir, sys) = system();
+        let (_dir, sys) = session();
         let (plan, baseline, optimized) = sys.refresh_optimized().unwrap();
         assert_eq!(baseline.nodes.len(), 9);
         assert_eq!(optimized.nodes.len(), 9);
@@ -254,8 +639,59 @@ mod tests {
     }
 
     #[test]
+    fn managed_refresh_profiles_once_then_reuses_the_plan() {
+        let (_dir, sys) = session();
+        assert!(!sys.has_cached_plan());
+        let first = sys.refresh().unwrap();
+        assert!(first.profiled, "first refresh must profile");
+        assert_eq!(first.plan.flagged.count(), 0, "profiling run is baseline");
+        assert!(sys.has_cached_plan());
+
+        let second = sys.refresh().unwrap();
+        assert!(!second.profiled, "second refresh reuses the cached plan");
+        assert!(
+            second.plan.flagged.count() > 0,
+            "cached plan is the optimized one"
+        );
+        let explain = second.explain();
+        assert!(
+            explain.contains("cached plan"),
+            "explain says so: {explain}"
+        );
+
+        // Registration invalidates: the next refresh re-profiles.
+        sys.register_mv(MvDefinition::new(
+            "extra",
+            sc_engine::plan::LogicalPlan::scan("enriched_sales"),
+        ))
+        .unwrap();
+        assert!(!sys.has_cached_plan());
+        let third = sys.refresh().unwrap();
+        assert!(third.profiled);
+        assert_eq!(third.metrics.nodes.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_mv_registration_is_rejected() {
+        let (_dir, sys) = session();
+        let err = sys
+            .register_mv(MvDefinition::new(
+                "enriched_sales",
+                sc_engine::plan::LogicalPlan::scan("store_sales"),
+            ))
+            .unwrap_err();
+        match err {
+            ScError::DuplicateMv(name) => assert_eq!(name, "enriched_sales"),
+            other => panic!("expected DuplicateMv, got {other:?}"),
+        }
+        // The registry is untouched: still 9 MVs, original plan intact.
+        assert_eq!(sys.mv_count(), 9);
+        assert_eq!(sys.mvs()[0].name, "enriched_sales");
+    }
+
+    #[test]
     fn dependency_graph_shape() {
-        let (_dir, sys) = system();
+        let (_dir, sys) = session();
         let g = sys.dependency_graph().unwrap();
         assert_eq!(g.len(), 9);
         assert_eq!(g.node(NodeId(0)), "enriched_sales");
@@ -265,7 +701,7 @@ mod tests {
 
     #[test]
     fn ingest_then_refresh_consumes_the_delta_log() {
-        let (_dir, sys) = system();
+        let (_dir, sys) = session();
         let (plan, _, _) = sys.refresh_optimized().unwrap();
 
         // Churn one fact table: duplicate a slice of existing rows.
@@ -275,7 +711,7 @@ mod tests {
             .unwrap();
         assert!(!sys.delta_store().is_empty());
 
-        let m = sys.refresh(&plan).unwrap();
+        let m = sys.refresh_with_plan(&plan).unwrap();
         assert!(sys.delta_store().is_empty(), "refresh consumes the log");
         // The catalog/web branch saw no churn and must be skipped.
         let skipped: Vec<&str> = m
@@ -289,7 +725,7 @@ mod tests {
         assert!(sys.memory().is_empty());
 
         // With the log drained, the next refresh recomputes as before.
-        let again = sys.refresh(&plan).unwrap();
+        let again = sys.refresh_with_plan(&plan).unwrap();
         assert!(again
             .nodes
             .iter()
@@ -299,10 +735,10 @@ mod tests {
     #[test]
     fn errors_are_wrapped() {
         let dir = tempfile::tempdir().unwrap();
-        let mut sys = ScSystem::open(dir.path(), 1 << 20).unwrap();
+        let sys = ScSession::open(dir.path(), 1 << 20).unwrap();
         // No base tables ingested: refresh must fail with an engine error.
         for mv in sales_pipeline() {
-            sys.register_mv(mv);
+            sys.register_mv(mv).unwrap();
         }
         match sys.baseline_refresh() {
             Err(ScError::Engine(EngineError::UnknownTable(_))) => {}
@@ -310,5 +746,16 @@ mod tests {
         }
         let msg = ScError::DuplicateMv("x".into()).to_string();
         assert!(msg.contains("duplicate"));
+        match ScSession::builder().build() {
+            Err(ScError::MissingStorageDir) => {}
+            Err(other) => panic!("expected MissingStorageDir, got {other:?}"),
+            Ok(_) => panic!("expected MissingStorageDir, got a session"),
+        }
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_shareable<T: Send + Sync>() {}
+        assert_shareable::<ScSession>();
     }
 }

@@ -10,12 +10,12 @@ use sc_workload::tpcds::TinyTpcds;
 
 fn system_with_data(budget: u64, scale: f64) -> (tempfile::TempDir, ScSystem) {
     let dir = tempfile::tempdir().unwrap();
-    let mut sys = ScSystem::open(dir.path(), budget).unwrap();
+    let sys = ScSystem::open(dir.path(), budget).unwrap();
     TinyTpcds::generate(scale, 42)
         .load_into(sys.disk())
         .unwrap();
     for mv in sales_pipeline() {
-        sys.register_mv(mv);
+        sys.register_mv(mv).unwrap();
     }
     (dir, sys)
 }
@@ -35,7 +35,7 @@ fn optimized_run_produces_byte_identical_mvs() {
         plan.flagged.count() > 0,
         "expected some flagging at this budget"
     );
-    let optimized = sys.refresh(&plan).unwrap();
+    let optimized = sys.refresh_with_plan(&plan).unwrap();
     assert_eq!(optimized.nodes.len(), sys.mvs().len());
 
     for (mv, before) in sys.mvs().iter().zip(baseline_tables) {
@@ -54,7 +54,7 @@ fn plans_respect_budget_and_dependencies() {
     let (_dir, sys) = system_with_data(2 << 20, 0.5);
     let baseline = sys.baseline_refresh().unwrap();
     let problem = problem_from_metrics(
-        sys.mvs(),
+        &sys.mvs(),
         &baseline,
         &CostModel::paper(),
         sys.memory().budget(),
@@ -63,7 +63,7 @@ fn plans_respect_budget_and_dependencies() {
     let plan = ScOptimizer::default().optimize(&problem).unwrap();
     assert!(problem.graph().is_topological_order(&plan.order));
     assert!(problem.is_feasible(&plan.order, &plan.flagged).unwrap());
-    let optimized = sys.refresh(&plan).unwrap();
+    let optimized = sys.refresh_with_plan(&plan).unwrap();
     assert!(
         optimized.peak_memory_bytes <= sys.memory().budget(),
         "runtime peak {} must stay within {}",
@@ -82,7 +82,7 @@ fn flagged_hub_is_read_from_memory_by_all_consumers() {
         plan.flagged.contains(NodeId(0)),
         "hub must be flagged: {plan:?}"
     );
-    let optimized = sys.refresh(&plan).unwrap();
+    let optimized = sys.refresh_with_plan(&plan).unwrap();
     let hub_consumers: Vec<_> = optimized
         .nodes
         .iter()
@@ -108,7 +108,7 @@ fn tiny_budget_degrades_gracefully_to_baseline_behavior() {
         0,
         "nothing can be flagged in 64 bytes"
     );
-    let run = sys.refresh(&plan).unwrap();
+    let run = sys.refresh_with_plan(&plan).unwrap();
     assert_eq!(run.peak_memory_bytes, 0);
     for mv in sys.mvs() {
         assert!(sys.disk().contains(&mv.name));
@@ -125,14 +125,14 @@ fn simulator_and_engine_agree_on_plan_ranking() {
         write_bps: 20e6,
         latency_s: 1e-3,
     };
-    let mut sys = ScSystem::open_throttled(dir.path(), 16 << 20, throttle).unwrap();
+    let sys = ScSystem::open_throttled(dir.path(), 16 << 20, throttle).unwrap();
     TinyTpcds::generate(1.0, 42).load_into(sys.disk()).unwrap();
     for mv in sales_pipeline() {
-        sys.register_mv(mv);
+        sys.register_mv(mv).unwrap();
     }
     let baseline = sys.baseline_refresh().unwrap();
     let plan = sys.optimize_from(&baseline).unwrap();
-    let optimized = sys.refresh(&plan).unwrap();
+    let optimized = sys.refresh_with_plan(&plan).unwrap();
     let engine_speedup = baseline.total_s / optimized.total_s;
 
     // Simulation twin: per-node compute + sizes from the profile.
@@ -178,7 +178,7 @@ fn simulator_and_engine_agree_on_plan_ranking() {
 fn repeated_refreshes_are_idempotent() {
     let (_dir, sys) = system_with_data(8 << 20, 0.3);
     let (plan, _, first) = sys.refresh_optimized().unwrap();
-    let second = sys.refresh(&plan).unwrap();
+    let second = sys.refresh_with_plan(&plan).unwrap();
     assert_eq!(first.nodes.len(), second.nodes.len());
     for (a, b) in first.nodes.iter().zip(&second.nodes) {
         assert_eq!(

@@ -12,14 +12,17 @@ use sc_workload::tpcds::TinyTpcds;
 
 fn system_with_data(budget: u64, scale: f64, lanes: usize) -> (tempfile::TempDir, ScSystem) {
     let dir = tempfile::tempdir().unwrap();
-    let mut sys = ScSystem::open(dir.path(), budget)
-        .unwrap()
-        .with_lanes(lanes);
+    let sys = ScSystem::builder()
+        .storage_dir(dir.path())
+        .memory_budget(budget)
+        .lanes(lanes)
+        .build()
+        .unwrap();
     TinyTpcds::generate(scale, 42)
         .load_into(sys.disk())
         .unwrap();
     for mv in sales_pipeline() {
-        sys.register_mv(mv);
+        sys.register_mv(mv).unwrap();
     }
     (dir, sys)
 }
@@ -113,7 +116,7 @@ fn same_seed_yields_identical_plans_and_node_sets() {
     assert_eq!(node_set(&base_a), node_set(&base_b));
     assert_eq!(node_set(&opt_a), node_set(&opt_b));
     // And across a re-refresh of the same plan.
-    let again = sys_a.refresh(&plan_a).unwrap();
+    let again = sys_a.refresh_with_plan(&plan_a).unwrap();
     assert_eq!(node_set(&again), node_set(&opt_a));
 }
 

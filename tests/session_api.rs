@@ -1,0 +1,256 @@
+//! Cross-crate tests for the session façade: builder defaults, the
+//! managed plan lifecycle (caching, registration and drift
+//! invalidation), and the delta log's point-in-time snapshot semantics
+//! when ingestion races a running refresh.
+
+use std::sync::Arc;
+
+use sc::{ScSession, ScSystem};
+use sc_engine::exec::TableDelta;
+use sc_engine::storage::Throttle;
+use sc_workload::engine_mvs::sales_pipeline;
+use sc_workload::tpcds::TinyTpcds;
+
+fn load_and_register(sys: &ScSession) {
+    TinyTpcds::generate(0.3, 42).load_into(sys.disk()).unwrap();
+    for mv in sales_pipeline() {
+        sys.register_mv(mv).unwrap();
+    }
+}
+
+/// The stored `.sctb` file bytes of every registered MV, by name.
+fn mv_file_bytes(sys: &ScSession) -> Vec<(String, Vec<u8>)> {
+    sys.mvs()
+        .iter()
+        .map(|mv| {
+            let path = sys.disk().dir().join(format!("{}.sctb", mv.name));
+            (mv.name.clone(), std::fs::read(path).unwrap())
+        })
+        .collect()
+}
+
+/// A builder with no overrides behaves byte-identically to the historical
+/// `ScSystem::open` with the documented default budget: same config, same
+/// derived plan, same MV bytes.
+#[test]
+fn builder_defaults_match_open() {
+    let dir_a = tempfile::tempdir().unwrap();
+    let via_builder = ScSession::builder()
+        .storage_dir(dir_a.path())
+        .build()
+        .unwrap();
+    let dir_b = tempfile::tempdir().unwrap();
+    // `ScSystem` is the pre-redesign name; 64 MiB is the builder default.
+    let via_open = ScSystem::open(dir_b.path(), 64 << 20).unwrap();
+
+    assert_eq!(via_builder.memory().budget(), via_open.memory().budget());
+    assert_eq!(via_builder.refresh_config(), via_open.refresh_config());
+
+    load_and_register(&via_builder);
+    load_and_register(&via_open);
+    let (plan_a, _, _) = via_builder.refresh_optimized().unwrap();
+    let (plan_b, _, _) = via_open.refresh_optimized().unwrap();
+    assert_eq!(plan_a, plan_b, "same defaults must derive the same plan");
+    for ((name_a, bytes_a), (name_b, bytes_b)) in mv_file_bytes(&via_builder)
+        .into_iter()
+        .zip(mv_file_bytes(&via_open))
+    {
+        assert_eq!(name_a, name_b);
+        assert_eq!(
+            bytes_a, bytes_b,
+            "MV '{name_a}' differs across constructors"
+        );
+    }
+}
+
+/// A batch ingested *while* a refresh is executing is never half-applied:
+/// the run works from a point-in-time snapshot of the delta log, so the
+/// mid-run batch either pends for the next refresh or (when the running
+/// refresh recomputed an MV that already absorbed it via its live base
+/// read) poisons the log so the next refresh recomputes. Either way, one
+/// draining refresh later the MVs are exactly what a full recompute of
+/// the final bases produces.
+#[test]
+fn ingest_during_slow_refresh_preserves_snapshot_semantics() {
+    let dir = tempfile::tempdir().unwrap();
+    // Slow writes stretch the refresh so the mid-run ingest lands inside
+    // the window reliably.
+    let sys = Arc::new(
+        ScSession::builder()
+            .storage_dir(dir.path())
+            .memory_budget(64 << 20)
+            .throttle(Throttle {
+                read_bps: 200e6,
+                write_bps: 15e6,
+                latency_s: 1e-4,
+            })
+            .build()
+            .unwrap(),
+    );
+    load_and_register(&sys);
+    sys.refresh().unwrap(); // profile + materialize everything
+
+    let churn = {
+        let sales = sys.disk().read_table("store_sales").unwrap();
+        sales.take_rows(&(0..40).collect::<Vec<_>>()).unwrap()
+    };
+
+    let refresher = {
+        let sys = Arc::clone(&sys);
+        std::thread::spawn(move || sys.refresh().unwrap())
+    };
+    // Land the ingest inside the refresh window.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    sys.ingest_delta("store_sales", TableDelta::insert_only(churn))
+        .unwrap();
+    let mid_run = refresher.join().unwrap();
+    assert_eq!(mid_run.nodes().len(), 9);
+
+    // The mid-run batch was not silently swallowed by the in-flight run:
+    // it still pends (possibly with the log poisoned for safety).
+    assert!(
+        !sys.delta_store().is_empty() || sys.delta_store().is_poisoned(),
+        "a mid-run ingest must survive the running refresh"
+    );
+
+    // Drain, then verify against a forced full recompute of the same
+    // (final) bases: applying the delta exactly once is what recompute
+    // reproduces.
+    for _ in 0..3 {
+        if sys.delta_store().is_empty() && !sys.delta_store().is_poisoned() {
+            break;
+        }
+        sys.refresh().unwrap();
+    }
+    assert!(sys.delta_store().is_empty());
+    let after_drain = mv_file_bytes(&sys);
+    sys.refresh().unwrap(); // empty log -> full recompute of every MV
+    let recomputed = mv_file_bytes(&sys);
+    assert_eq!(
+        after_drain, recomputed,
+        "drained MVs must equal a clean recompute of the final bases"
+    );
+}
+
+/// Output-size drift beyond the configured threshold invalidates the
+/// cached plan; the next refresh re-profiles.
+#[test]
+fn size_drift_invalidates_the_cached_plan() {
+    let dir = tempfile::tempdir().unwrap();
+    // Threshold 0: any size change counts as drift.
+    let sys = ScSession::builder()
+        .storage_dir(dir.path())
+        .memory_budget(8 << 20)
+        .size_drift_threshold(0.0)
+        .build()
+        .unwrap();
+    load_and_register(&sys);
+
+    assert!(sys.refresh().unwrap().profiled);
+    assert!(
+        !sys.refresh().unwrap().profiled,
+        "stable sizes: plan reused"
+    );
+    assert!(sys.has_cached_plan());
+
+    // Grow the fact table by 20%: every downstream MV's output drifts.
+    let sales = sys.disk().read_table("store_sales").unwrap();
+    let n = sales.num_rows() / 5;
+    let grow = sales.take_rows(&(0..n).collect::<Vec<_>>()).unwrap();
+    sys.ingest_delta("store_sales", TableDelta::insert_only(grow))
+        .unwrap();
+
+    let drifted = sys.refresh().unwrap();
+    assert!(!drifted.profiled, "this run still used the cached plan");
+    assert!(
+        !sys.has_cached_plan(),
+        "observed drift must invalidate the cache"
+    );
+    assert!(
+        sys.refresh().unwrap().profiled,
+        "and the next run re-profiles"
+    );
+}
+
+/// A profiling run that skips untouched branches (pending churn
+/// elsewhere) must not starve those branches of flags: the optimizer
+/// sees their stored size, not zero. And a skip-profile must not cause
+/// spurious drift re-profiles on the following steady refreshes.
+#[test]
+fn profiling_with_pending_churn_still_flags_quiet_branches() {
+    let dir = tempfile::tempdir().unwrap();
+    let sys = ScSession::builder()
+        .storage_dir(dir.path())
+        .memory_budget(32 << 20)
+        .build()
+        .unwrap();
+    load_and_register(&sys);
+    sys.refresh().unwrap(); // materialize everything
+
+    // Invalidate the plan, then churn only the fact branch: the next
+    // profile skips the untouched catalog/web branch.
+    sys.register_mv(sc_engine::controller::MvDefinition::new(
+        "premium_copy",
+        sc_engine::plan::LogicalPlan::scan("premium_sales"),
+    ))
+    .unwrap();
+    let sales = sys.disk().read_table("store_sales").unwrap();
+    let grow = sales.take_rows(&(0..40).collect::<Vec<_>>()).unwrap();
+    sys.ingest_delta("store_sales", TableDelta::insert_only(grow))
+        .unwrap();
+
+    let reprofile = sys.refresh().unwrap();
+    assert!(reprofile.profiled);
+    assert_eq!(
+        reprofile.mode("web_by_item"),
+        Some(sc_core::NodeMode::Skipped),
+        "untouched branch must be skipped by the churn-aware profile"
+    );
+
+    // The cached plan still flags the skipped hub: at this budget every
+    // consumer-feeding node fits, and its stored size (not zero) is what
+    // the optimizer weighed.
+    let optimized = sys.refresh().unwrap();
+    assert!(!optimized.profiled);
+    let web_idx = sys
+        .mvs()
+        .iter()
+        .position(|mv| mv.name == "web_by_item")
+        .unwrap();
+    assert!(
+        optimized.plan.flagged.contains(sc_dag::NodeId(web_idx)),
+        "quiet branch must still be flag-worthy: {:?}",
+        optimized.plan
+    );
+    // Steady state: no spurious drift invalidation from the mixed
+    // profile (executed nodes have real baselines, skipped ones none).
+    assert!(!sys.refresh().unwrap().profiled);
+    assert!(sys.has_cached_plan());
+}
+
+/// The managed lifecycle and the explicit three-call flow produce the
+/// same optimized outcome on the same data.
+#[test]
+fn managed_refresh_matches_explicit_flow() {
+    let dir_a = tempfile::tempdir().unwrap();
+    let managed = ScSession::open(dir_a.path(), 8 << 20).unwrap();
+    let dir_b = tempfile::tempdir().unwrap();
+    let explicit = ScSession::open(dir_b.path(), 8 << 20).unwrap();
+    load_and_register(&managed);
+    load_and_register(&explicit);
+
+    managed.refresh().unwrap();
+    let report = managed.refresh().unwrap();
+
+    let baseline = explicit.baseline_refresh().unwrap();
+    let plan = explicit.optimize_from(&baseline).unwrap();
+    let metrics = explicit.refresh_with_plan(&plan).unwrap();
+
+    assert_eq!(report.plan, plan, "same profile must cache the same plan");
+    assert_eq!(report.nodes().len(), metrics.nodes.len());
+    for (a, b) in report.nodes().iter().zip(&metrics.nodes) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.flagged, b.flagged);
+        assert_eq!(a.output_bytes, b.output_bytes);
+    }
+}

@@ -1,87 +1,65 @@
-//! Cross-check: on a shared seeded workload, the simulator's predicted
+//! Cross-check: on a shared [`ScenarioSpec`], the simulator's predicted
 //! per-node refresh decisions (skip / incremental / full) must match the
 //! engine's `NodeMode` plan **exactly** — including the delta-join rule
 //! (a churned build side forces a recompute) and its transitive effects.
 //!
-//! The sim workload is derived mechanically from the engine MVs via
-//! `sc_workload::updates::mirror_workload`, so this test pins the whole
-//! bridge: engine support classification → sim annotations → both mode
-//! planners. Parity is checked under `AlwaysIncremental` (and trivially
-//! `AlwaysFull`); `Auto` is excluded because the two sides feed the shared
-//! cost model different byte measurements (stored file sizes vs in-memory
-//! sizes), which is a calibration difference, not a decision-rule one.
+//! Both rigs are constructed from *one spec value*: the engine via
+//! [`ScSession::from_spec`] (tables loaded, MVs registered, config
+//! applied), the simulator via [`ScenarioSpec::sim_config`] and
+//! [`ScenarioSpec::mirror`]. Nothing is re-declared by hand, so this test
+//! pins the whole bridge: engine support classification → derived sim
+//! annotations → both mode planners. Parity is checked under
+//! `AlwaysIncremental` (and trivially `AlwaysFull`); `Auto` is excluded
+//! because the two sides feed the shared cost model different byte
+//! measurements (stored file sizes vs in-memory sizes), which is a
+//! calibration difference, not a decision-rule one.
+//!
+//! The file also holds the concurrency acceptance test: `ingest_delta`
+//! racing `session.refresh()` on an `Arc<ScSession>` must leave the
+//! system byte-identical to a rig that ingested the same batches
+//! sequentially.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use sc::ScSession;
 use sc_core::{NodeMode, Plan, RefreshMode};
 use sc_dag::NodeId;
-use sc_engine::controller::{Controller, MvDefinition, RefreshConfig};
-use sc_engine::storage::{DeltaStore, DiskCatalog, MemoryCatalog};
-use sc_sim::{SimConfig, Simulator};
-use sc_workload::engine_mvs::sales_pipeline;
-use sc_workload::tpcds::TinyTpcds;
-use sc_workload::updates::{mirror_workload, ChurnedBase, JoinHubChurn};
+use sc_engine::exec::TableDelta;
+use sc_sim::Simulator;
+use sc_workload::updates::{generate_delta, UpdateStreamSpec};
+use sc_workload::{ChurnRound, ScenarioSpec};
 
-struct Rig {
-    _dir: tempfile::TempDir,
-    disk: DiskCatalog,
-    mem: MemoryCatalog,
-    store: DeltaStore,
-    mvs: Vec<MvDefinition>,
-    plan: Plan,
-    baseline: sc_engine::RunMetrics,
+/// The shared scenario skeleton: the nine-MV sales pipeline over seeded
+/// TinyTpcds tables. Churn rounds and the refresh mode vary per scenario.
+fn base_spec(mode: RefreshMode) -> ScenarioSpec {
+    ScenarioSpec::sales_pipeline(0.4, 42, 64 << 20).with_refresh_mode(mode)
 }
 
-fn rig() -> Rig {
+/// Builds the engine session and the simulator **from `spec` alone**,
+/// applies the spec's whole churn schedule, runs both sides, asserts the
+/// per-node modes agree name by name, and returns the engine's modes so
+/// scenarios can assert they were not vacuous.
+fn assert_parity(spec: &ScenarioSpec, scenario: &str) -> HashMap<String, NodeMode> {
     let dir = tempfile::tempdir().unwrap();
-    let disk = DiskCatalog::open(dir.path()).unwrap();
-    TinyTpcds::generate(0.4, 42).load_into(&disk).unwrap();
-    let mvs = sales_pipeline();
-    let mem = MemoryCatalog::new(64 << 20);
-    let plan = Plan::unoptimized((0..mvs.len()).map(NodeId).collect());
-    let baseline = Controller::new(&disk, &mem).refresh(&mvs, &plan).unwrap();
-    Rig {
-        _dir: dir,
-        disk,
-        mem,
-        store: DeltaStore::new(),
-        mvs,
-        plan,
-        baseline,
+    let session = ScSession::from_spec(dir.path(), spec).unwrap();
+    // Profiling refresh: every node executes, so mirrored compute times
+    // and output sizes are real.
+    let baseline = session.baseline_refresh().unwrap();
+    for round in 0..spec.churn.len() {
+        spec.ingest_round(round, session.disk(), session.delta_store())
+            .unwrap();
     }
-}
 
-/// Pending log -> the `ChurnedBase` map the mirror consumes.
-fn churn_map(store: &DeltaStore) -> HashMap<String, ChurnedBase> {
-    store
-        .tables()
-        .into_iter()
-        .map(|t| {
-            let d = store.pending(&t).unwrap();
-            (
-                t,
-                ChurnedBase {
-                    delta_bytes: d.byte_size(),
-                    has_deletes: d.has_deletes(),
-                },
-            )
-        })
-        .collect()
-}
+    let plan = Plan::unoptimized((0..spec.mvs.len()).map(NodeId).collect());
+    let mirrored = spec
+        .mirror(session.disk(), &baseline, session.delta_store())
+        .unwrap();
+    let sim_report = Simulator::new(spec.sim_config())
+        .run(&mirrored, &plan)
+        .unwrap();
+    let engine = session.refresh_with_plan(&plan).unwrap();
 
-/// Runs the engine refresh and the mirrored simulation under `mode`,
-/// asserts the per-node modes agree name by name, and returns the
-/// engine's modes so scenarios can assert they were not vacuous.
-fn assert_parity(r: &Rig, mode: RefreshMode, scenario: &str) -> HashMap<String, NodeMode> {
-    let mirrored = mirror_workload(&r.mvs, &r.baseline, &r.disk, &churn_map(&r.store)).unwrap();
-    let sim_report = Simulator::new(SimConfig::paper(64 << 20).with_refresh_mode(mode))
-        .run(&mirrored, &r.plan)
-        .unwrap();
-    let engine = Controller::new(&r.disk, &r.mem)
-        .with_delta_store(&r.store)
-        .with_refresh_config(RefreshConfig::with_lanes(1).with_refresh_mode(mode))
-        .refresh(&r.mvs, &r.plan)
-        .unwrap();
     let sim_modes: HashMap<&str, NodeMode> = sim_report
         .nodes
         .iter()
@@ -106,33 +84,139 @@ fn assert_parity(r: &Rig, mode: RefreshMode, scenario: &str) -> HashMap<String, 
 fn sim_predicts_engine_node_modes_exactly() {
     // Scenario 1: fact churn — the delta-join sweet spot. The hub and all
     // its consumers maintain incrementally, untouched channels skip.
-    let r = rig();
-    JoinHubChurn::store_sales(0.04)
-        .ingest_round(&r.disk, &r.store, 3)
-        .unwrap();
-    let m = assert_parity(&r, RefreshMode::AlwaysIncremental, "fact churn");
+    let spec = base_spec(RefreshMode::AlwaysIncremental).with_churn(ChurnRound::inserts(
+        ["store_sales"],
+        0.04,
+        3,
+    ));
+    let m = assert_parity(&spec, "fact churn");
     assert_eq!(m["enriched_sales"], NodeMode::Incremental);
     assert_eq!(m["premium_by_state"], NodeMode::Incremental);
     assert_eq!(m["web_by_item"], NodeMode::Skipped);
 
     // Scenario 2: dimension churn — the build side of the hub changed, so
     // the hub and everything downstream of it recomputes.
-    JoinHubChurn::new(["item"], 0.05)
-        .ingest_round(&r.disk, &r.store, 4)
-        .unwrap();
-    let m = assert_parity(&r, RefreshMode::AlwaysIncremental, "dimension churn");
+    let spec = base_spec(RefreshMode::AlwaysIncremental).with_churn(ChurnRound::inserts(
+        ["item"],
+        0.05,
+        4,
+    ));
+    let m = assert_parity(&spec, "dimension churn");
     assert_eq!(m["enriched_sales"], NodeMode::Full);
     assert_eq!(m["rev_by_year"], NodeMode::Full);
     assert_eq!(m["web_by_item"], NodeMode::Skipped);
 
-    // Scenario 3: both at once, under AlwaysFull — the trivial baseline.
-    JoinHubChurn::new(["store_sales", "item"], 0.03)
-        .ingest_round(&r.disk, &r.store, 5)
-        .unwrap();
-    assert_parity(&r, RefreshMode::AlwaysFull, "always full");
+    // Scenario 3: both at once over two rounds, under AlwaysFull — the
+    // trivial baseline.
+    let spec = base_spec(RefreshMode::AlwaysFull)
+        .with_churn(ChurnRound::inserts(["store_sales", "item"], 0.03, 5))
+        .with_churn(ChurnRound::inserts(["store_sales"], 0.02, 6));
+    let m = assert_parity(&spec, "always full");
+    assert!(m.values().all(|&mode| mode == NodeMode::Full));
 
-    // Scenario 4: an empty log — everything skips in both models… the
-    // engine skips, the sim mirrors Some(0) annotations.
-    assert!(r.store.is_empty());
-    assert_parity(&r, RefreshMode::AlwaysIncremental, "quiet log");
+    // Scenario 4: an empty churn schedule — with nothing logged, the
+    // session refreshes without delta tracking (everything recomputes, so
+    // profiling runs stay meaningful) and the mirror predicts the same.
+    let spec = base_spec(RefreshMode::AlwaysIncremental);
+    let m = assert_parity(&spec, "quiet log");
+    assert!(m.values().all(|&mode| mode == NodeMode::Full));
+}
+
+/// The stored `.sctb` file bytes of every table in the catalog, by name
+/// (base tables and MVs alike).
+fn catalog_bytes(session: &ScSession) -> Vec<(String, Vec<u8>)> {
+    session
+        .disk()
+        .list()
+        .unwrap()
+        .into_iter()
+        .map(|name| {
+            let path = session.disk().dir().join(format!("{name}.sctb"));
+            (name, std::fs::read(path).unwrap())
+        })
+        .collect()
+}
+
+/// Acceptance: `ingest_delta` racing `session.refresh()` on an
+/// `Arc<ScSession>` — no data races (the session is `Sync`; this test
+/// runs under the race detector the standard library's `thread` sanity
+/// affords), no lost or double-applied batches, and final state
+/// byte-identical to a sequential rig.
+///
+/// Both rigs are built from the same [`ScenarioSpec`] and ingest the
+/// *same* pre-generated insert-only batches (derived from the identical
+/// initial `store_sales` contents), so after every log is drained their
+/// catalogs must agree byte for byte: refreshes work from point-in-time
+/// log snapshots, so a batch landing mid-run is either invisible to that
+/// run (pending for the next) or detected as contamination and replayed
+/// via a full recompute — never half-applied.
+#[test]
+fn concurrent_ingest_during_refresh_matches_sequential() {
+    let spec = ScenarioSpec::sales_pipeline(0.3, 42, 64 << 20);
+
+    let dir_c = tempfile::tempdir().unwrap();
+    let concurrent = Arc::new(ScSession::from_spec(dir_c.path(), &spec).unwrap());
+    let dir_s = tempfile::tempdir().unwrap();
+    let sequential = ScSession::from_spec(dir_s.path(), &spec).unwrap();
+
+    // First refresh materializes every MV (and caches a plan) on both.
+    concurrent.refresh().unwrap();
+    sequential.refresh().unwrap();
+
+    // Pre-generate all batches from the identical initial fact table, so
+    // both rigs ingest the same bytes in the same order (insert-only
+    // batches commute with each other's application to the base).
+    let initial = concurrent.disk().read_table("store_sales").unwrap();
+    let batches: Vec<TableDelta> = (0..6)
+        .map(|seed| generate_delta(&initial, &UpdateStreamSpec::inserts(0.02), seed))
+        .collect();
+
+    // Concurrent rig: one thread streams the batches in while the main
+    // thread keeps refreshing.
+    let ingester = {
+        let session = Arc::clone(&concurrent);
+        let batches = batches.clone();
+        std::thread::spawn(move || {
+            for b in batches {
+                session.ingest_delta("store_sales", b).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        })
+    };
+    while !ingester.is_finished() {
+        concurrent.refresh().unwrap();
+    }
+    ingester.join().unwrap();
+    // Drain whatever is still pending (a contaminated run poisons the log
+    // and the next refresh recomputes; bounded, not open-ended).
+    for _ in 0..4 {
+        if concurrent.delta_store().is_empty() && !concurrent.delta_store().is_poisoned() {
+            break;
+        }
+        concurrent.refresh().unwrap();
+    }
+    assert!(concurrent.delta_store().is_empty(), "log must drain");
+    assert!(!concurrent.delta_store().is_poisoned());
+
+    // Sequential reference: same batches, no concurrency.
+    for b in batches {
+        sequential.ingest_delta("store_sales", b).unwrap();
+    }
+    sequential.refresh().unwrap();
+    assert!(sequential.delta_store().is_empty());
+
+    // Byte-level equality of the full catalogs: all 7 base tables and
+    // all 9 MVs.
+    let a = catalog_bytes(&concurrent);
+    let b = catalog_bytes(&sequential);
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), 16, "7 base tables + 9 MVs");
+    for ((name_a, bytes_a), (name_b, bytes_b)) in a.into_iter().zip(b) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(
+            bytes_a, bytes_b,
+            "'{name_a}' diverged between the concurrent and sequential rigs"
+        );
+    }
+    assert!(concurrent.memory().is_empty());
 }
