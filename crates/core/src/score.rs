@@ -90,33 +90,70 @@ impl CostModel {
 
     /// Whether maintaining an MV incrementally is predicted to beat a full
     /// recomputation, given `input_bytes` of (already-updated) inputs the
-    /// full path would re-read, `output_bytes` of current MV contents the
-    /// incremental path re-reads to apply the delta, `delta_bytes` of
-    /// pending changes, and `static_bytes` of inputs the incremental path
-    /// *still* reads in full (the build sides of a delta-join: the
-    /// unchanged tables probed by the propagated delta; 0 for pure
-    /// row-wise chains and aggregate merges).
+    /// full path would re-read, `output_bytes` of current MV contents,
+    /// `delta_bytes` of pending changes, `static_bytes` of inputs the
+    /// incremental path *still* reads in full (the build sides of a
+    /// delta-join: the unchanged tables probed by the propagated delta; 0
+    /// for pure row-wise chains and aggregate merges), and — when the
+    /// delta can be **appended** as a segment (an insert-only,
+    /// delta-publishing shape on segmented storage) — `append_bytes`,
+    /// the estimated size of the *output* delta the append would
+    /// persist. A join spine fans its input delta out against the build
+    /// sides, so the output delta can be much larger than `delta_bytes`;
+    /// callers must pass the amplified estimate, not the input size.
+    /// `None` means the rewrite path (deletes in the stream, or an
+    /// aggregate merge).
     ///
-    /// Both paths rewrite the MV in full, so writes cancel; the decision is
-    /// read-side only: the full path scans every input from external
-    /// storage, while the incremental path reads the old MV, the static
-    /// build sides, plus delta-sized change sets (charged once at storage
-    /// speed for a possible spilled delta file and once at memory speed
-    /// for the in-memory log). Compute is not modeled here — the delta
-    /// operators' work is proportional to `delta_bytes` and therefore
-    /// dominated by the terms already present.
+    /// Reads: the full path scans every input from external storage; the
+    /// incremental path reads the static build sides plus delta-sized
+    /// change sets (charged once at storage speed for a possible spilled
+    /// delta file and once at memory speed for the in-memory log), and —
+    /// only on the rewrite path — the old MV contents it applies the
+    /// delta to.
+    ///
+    /// Writes: the full path rewrites the MV (`output_bytes`); an
+    /// appendable incremental refresh writes an `append_bytes`-sized
+    /// segment, while a non-appendable one re-reads and rewrites the MV
+    /// too. This write term is what lets `Auto`
+    /// pick delta maintenance for wide join hubs whose contents out-size
+    /// their churning input: the avoided O(MV) read *and* write both
+    /// scale with MV size, the delta terms do not.
+    ///
+    /// Compute is not modeled here — the delta operators' work is
+    /// proportional to `delta_bytes` and therefore dominated by the terms
+    /// already present.
     pub fn incremental_refresh_wins(
         &self,
         input_bytes: u64,
         output_bytes: u64,
         delta_bytes: u64,
         static_bytes: u64,
+        append_bytes: Option<u64>,
     ) -> bool {
-        let full = self.disk_read_time(input_bytes);
-        let incremental = self.disk_read_time(output_bytes)
-            + self.disk_read_time(static_bytes)
-            + self.disk_read_time(delta_bytes)
-            + self.mem_read_time(delta_bytes);
+        // Zero-byte accesses never happen (a join-free spine reads no
+        // static table), so they must not be charged the fixed latency —
+        // at small scales those phantom latencies would drown the real
+        // byte terms and flip latency-bound decisions.
+        let rd = |bytes: u64| {
+            if bytes == 0 {
+                0.0
+            } else {
+                self.disk_read_time(bytes)
+            }
+        };
+        let wr = |bytes: u64| {
+            if bytes == 0 {
+                0.0
+            } else {
+                self.disk_write_time(bytes)
+            }
+        };
+        let full = rd(input_bytes) + wr(output_bytes);
+        let mut incremental = rd(static_bytes) + rd(delta_bytes) + self.mem_read_time(delta_bytes);
+        incremental += match append_bytes {
+            Some(out_delta) => wr(out_delta),
+            None => rd(output_bytes) + wr(output_bytes),
+        };
         incremental < full
     }
 
@@ -177,18 +214,41 @@ mod tests {
     #[test]
     fn incremental_wins_for_small_outputs_and_deltas() {
         let m = CostModel::paper();
-        // Aggregate-shaped node: huge input, tiny MV, tiny delta.
-        assert!(m.incremental_refresh_wins(GIB, MIB, MIB / 10, 0));
-        // Full-copy-shaped node: the old MV is as big as the input, so
-        // re-reading it buys nothing.
-        assert!(!m.incremental_refresh_wins(GIB, GIB, MIB, 0));
-        // A delta as large as the input cannot win either.
-        assert!(!m.incremental_refresh_wins(GIB, MIB, 2 * GIB, 0));
+        // Aggregate-shaped node: huge input, tiny MV, tiny delta (merge
+        // path: not appendable).
+        assert!(m.incremental_refresh_wins(GIB, MIB, MIB / 10, 0, None));
+        // Full-copy-shaped node on the rewrite path: the old MV is as big
+        // as the input, so re-reading and rewriting it buys nothing.
+        assert!(!m.incremental_refresh_wins(GIB, GIB, MIB, 0, None));
+        // A delta as large as the input cannot win either way.
+        assert!(!m.incremental_refresh_wins(GIB, MIB, 2 * GIB, 0, None));
+        assert!(!m.incremental_refresh_wins(GIB, MIB, 2 * GIB, 0, Some(2 * GIB)));
         // Join-hub-shaped node: a small static dimension the delta still
         // probes barely dents the win over re-scanning the huge fact side…
-        assert!(m.incremental_refresh_wins(GIB, 64 * MIB, MIB, 32 * MIB));
+        assert!(m.incremental_refresh_wins(GIB, 64 * MIB, MIB, 32 * MIB, None));
         // …but a build side as large as the whole input erases it.
-        assert!(!m.incremental_refresh_wins(GIB, 64 * MIB, MIB, GIB));
+        assert!(!m.incremental_refresh_wins(GIB, 64 * MIB, MIB, GIB, None));
+    }
+
+    #[test]
+    fn append_write_term_flips_wide_hub_decisions() {
+        let m = CostModel::paper();
+        // The ROADMAP gap: a wide hub MV whose contents out-size its
+        // churning input. The rewrite path loses (O(MV) read + write)…
+        assert!(!m.incremental_refresh_wins(GIB, 2 * GIB, MIB, 64 * MIB, None));
+        // …but the append path skips the old-MV read and writes a
+        // delta-sized segment, so the same node now wins under Auto —
+        // even priced at a 4x join-fan-out-amplified output delta.
+        assert!(m.incremental_refresh_wins(GIB, 2 * GIB, MIB, 64 * MIB, Some(4 * MIB)));
+        // The append win grows with MV size at fixed delta: once it wins,
+        // a larger MV only widens the avoided-write gap.
+        assert!(m.incremental_refresh_wins(GIB, 8 * GIB, MIB, 64 * MIB, Some(4 * MIB)));
+        // An output delta amplified to the size of the MV itself erases
+        // the append advantage…
+        assert!(!m.incremental_refresh_wins(GIB, 2 * GIB, MIB, 64 * MIB, Some(3 * GIB)));
+        // …as do static build sides out-weighing the full path's whole
+        // read+write bill.
+        assert!(!m.incremental_refresh_wins(GIB, MIB, MIB, 4 * GIB, Some(MIB)));
     }
 
     #[test]

@@ -151,6 +151,16 @@ pub struct NodeMetrics {
     pub reason: ModeReason,
     /// Size of the node's propagated delta (0 under full recompute).
     pub delta_bytes: u64,
+    /// Bytes persisted by the append path: the encoded delta-sized
+    /// segment an insert-only incremental refresh appends instead of
+    /// rewriting the MV. 0 when the node rewrote (full or
+    /// delta-rewrite/merge) or was skipped.
+    pub appended_bytes: u64,
+    /// Number of storage segments backing the MV after the run (1 =
+    /// canonical single-segment form; grows by one per appended delta
+    /// until a recompute or [`crate::storage::DiskCatalog::compact`]
+    /// collapses it).
+    pub segments: usize,
     /// Seconds spent reading inputs from external storage.
     pub read_s: f64,
     /// Seconds spent in operators (total node time minus storage reads).
@@ -181,6 +191,8 @@ impl NodeMetrics {
             mode: NodeMode::Skipped,
             reason: ModeReason::NoChurn,
             delta_bytes: 0,
+            appended_bytes: 0,
+            segments: 0,
             read_s: 0.0,
             compute_s: 0.0,
             write_s: 0.0,
@@ -264,6 +276,17 @@ struct DeltaPlan {
     /// Nodes that must spill their delta to a storage file because some
     /// incremental consumer cannot read it from the catalog.
     spill: Vec<bool>,
+    /// Nodes persisted by *appending* their delta's insert rows as a new
+    /// storage segment instead of rewriting the MV: insert-only row-wise
+    /// shapes whose full output is never needed in the Memory Catalog
+    /// (unflagged, flagged-without-consumers, or flagged with a
+    /// delta-sized payload). The append path reads O(delta + build
+    /// sides) and writes O(delta) — the incremental win finally scales
+    /// with MV size.
+    append: Vec<bool>,
+    /// Segment counts of the stored MVs before the run (0 when absent),
+    /// captured at planning time for the metrics' segment accounting.
+    pre_segments: Vec<usize>,
     /// Effective flags: the plan's flags minus skipped nodes.
     flagged: FlagSet,
 }
@@ -277,6 +300,8 @@ impl DeltaPlan {
             publishes: vec![false; n],
             delta_payload: vec![false; n],
             spill: vec![false; n],
+            append: vec![false; n],
+            pre_segments: vec![0; n],
             flagged: plan.flagged.clone(),
         }
     }
@@ -356,7 +381,9 @@ impl DeltaSource for RunDeltaSource<'_, '_> {
 
 /// Result of maintaining one node incrementally.
 struct IncrementalOutput {
-    /// The node's new contents (old contents + applied delta).
+    /// The node's new contents (old contents + applied delta) — or, on
+    /// the append path, just the rows to append as a new segment (the
+    /// caller knows which via its own `DeltaPlan::append` entry).
     output: Table,
     /// The node's output delta, for row-wise plans (aggregate merges do
     /// not publish one).
@@ -368,12 +395,25 @@ struct IncrementalOutput {
 /// Maintains `mv` incrementally: delta-spine plans propagate the input
 /// delta (probing any join's unchanged build side, read in full via
 /// `source`) and apply it to the stored contents; an aggregate root merges
-/// its input's delta into the stored result.
+/// its input's delta into the stored result. With `append` set (an
+/// insert-only row-wise shape), the stored contents are **not read at
+/// all**: the propagated delta's insert rows become a new storage segment,
+/// making the whole node O(delta + build sides) instead of O(MV).
 fn execute_incremental(
     mv: &MvDefinition,
     source: &RunSource<'_>,
     deltas: &RunDeltaSource<'_, '_>,
+    append: bool,
 ) -> Result<IncrementalOutput> {
+    if append {
+        let delta_out = mv.plan.execute_delta(deltas, source)?;
+        let output = delta_out.insert_rows_table()?;
+        return Ok(IncrementalOutput {
+            output,
+            delta_bytes: delta_out.byte_size(),
+            delta: Some(delta_out),
+        });
+    }
     if let LogicalPlan::Aggregate {
         input,
         group_by,
@@ -405,7 +445,18 @@ fn execute_incremental(
 
 /// Input/output metrics captured by a worker while computing one node.
 struct ComputedNode {
+    /// Full output — or, on the append path, just the rows to append.
     output: Arc<Table>,
+    /// Whether `output` is an append segment (see `DeltaPlan::append`).
+    append: bool,
+    /// Stored-output size for metrics: the in-memory output size, or (on
+    /// the append path, where the full output is never materialized) the
+    /// stored bytes after the append commits.
+    output_bytes: u64,
+    /// Output row count on the same basis as `output_bytes`.
+    rows: usize,
+    /// Encoded appended-segment bytes (0 off the append path).
+    appended_bytes: u64,
     /// Encoded output delta, when the node publishes one that the catalog
     /// or a fallback spill may need.
     delta_table: Option<Arc<Table>>,
@@ -425,12 +476,15 @@ enum LaneTask {
     /// Blocking materialization of a computed output (unflagged nodes and
     /// memory-pressure fallbacks). `spill` carries an encoded delta that
     /// must also land on storage (a delta-payload admission that fell
-    /// back, whose incremental consumers now read the spill).
+    /// back, whose incremental consumers now read the spill). With
+    /// `append`, the output is a delta segment appended to the stored MV
+    /// instead of replacing it.
     Write {
         idx: usize,
         output: Arc<Table>,
         spill: Option<Arc<Table>>,
         fell_back: bool,
+        append: bool,
     },
 }
 
@@ -574,6 +628,9 @@ impl<'a> Controller<'a> {
     ) -> DeltaPlan {
         let n = mvs.len();
         let mut dp = DeltaPlan::full(plan, n);
+        for (i, mv) in mvs.iter().enumerate() {
+            dp.pre_segments[i] = self.disk.segment_count(&mv.name).unwrap_or(0);
+        }
         let index: HashMap<&str, usize> = mvs
             .iter()
             .enumerate()
@@ -672,13 +729,34 @@ impl<'a> Controller<'a> {
                 dp.reasons[idx] = ModeReason::UnsupportedShape;
                 continue;
             }
+            let mv_bytes = self.disk.size_of(&mv.name).unwrap_or(0);
+            // A join fans the spine delta out against its build sides
+            // (non-empty `static_bytes` implies a join on the spine):
+            // estimate the node's *output* delta with its observed
+            // per-byte amplification — stored output over spine input —
+            // so both this node's append write term and downstream Auto
+            // decisions are costed at the right magnitude instead of the
+            // pre-join size.
+            let est_out = if static_bytes > 0 {
+                let spine_bytes = (input_bytes - static_bytes).max(1);
+                let ratio = mv_bytes as f64 / spine_bytes as f64;
+                (delta_bytes as f64 * ratio.max(1.0)) as u64
+            } else {
+                delta_bytes
+            };
             let incremental = match self.refresh.refresh_mode {
                 RefreshMode::AlwaysIncremental => true,
+                // The append hint is optimistic about flag placement (a
+                // flagged full-payload node later falls back to the
+                // rewrite path), but deletes and shape are exact, and
+                // the append is priced at the amplified output delta it
+                // would actually persist.
                 RefreshMode::Auto => self.config.cost_model.incremental_refresh_wins(
                     input_bytes,
-                    self.disk.size_of(&mv.name).unwrap_or(0),
+                    mv_bytes,
                     delta_bytes,
                     static_bytes,
+                    (support.publishes_delta() && !deletes).then_some(est_out),
                 ),
                 RefreshMode::AlwaysFull => unreachable!("checked above"),
             };
@@ -686,20 +764,7 @@ impl<'a> Controller<'a> {
                 dp.modes[idx] = NodeMode::Incremental;
                 dp.reasons[idx] = ModeReason::DeltaApplied;
                 dp.publishes[idx] = support.publishes_delta();
-                // A join fans the spine delta out against its build sides
-                // (non-empty `static_bytes` implies a join on the spine):
-                // estimate the published delta with the node's observed
-                // per-byte amplification — stored output over spine input —
-                // so downstream Auto decisions cost delta reads at the
-                // right magnitude instead of the pre-join size.
-                est_delta[idx] = if static_bytes > 0 {
-                    let spine_bytes = (input_bytes - static_bytes).max(1);
-                    let ratio =
-                        self.disk.size_of(&mv.name).unwrap_or(0) as f64 / spine_bytes as f64;
-                    (delta_bytes as f64 * ratio.max(1.0)) as u64
-                } else {
-                    delta_bytes
-                };
+                est_delta[idx] = est_out;
                 has_deletes[idx] = deletes;
             } else {
                 // Only Auto can say no here: the cost model lost.
@@ -724,6 +789,19 @@ impl<'a> Controller<'a> {
                 && !kids.is_empty()
                 && inc_children == kids.len();
             dp.spill[i] = dp.publishes[i] && inc_children > 0 && !dp.delta_payload[i];
+        }
+        for i in 0..n {
+            // Append-path persistence: the node's insert-only output delta
+            // lands as a new segment and the full output is never
+            // materialized — which requires that no consumer expects the
+            // full table in the Memory Catalog (a flagged node with a
+            // recomputing child keeps the rewrite path).
+            dp.append[i] = dp.modes[i] == NodeMode::Incremental
+                && dp.publishes[i]
+                && !has_deletes[i]
+                && !(dp.flagged.contains(NodeId(i))
+                    && !children[i].is_empty()
+                    && !dp.delta_payload[i]);
         }
         dp
     }
@@ -827,6 +905,29 @@ impl<'a> Controller<'a> {
         })
     }
 
+    /// Output metrics for one computed node: the in-memory output size —
+    /// or, on the append path (where the full output is never
+    /// materialized), the stored size after the append commits: the
+    /// pre-run stored size plus the encoded segment. Called at compute
+    /// time, before the node's own write, so the pre-run manifest is
+    /// still current.
+    fn stored_output_metrics(&self, name: &str, output: &Table, append: bool) -> (u64, usize, u64) {
+        if !append {
+            return (output.byte_size(), output.num_rows(), 0);
+        }
+        let pre_bytes = self.disk.size_of(name).unwrap_or(0);
+        let pre_rows = self.disk.row_count(name).unwrap_or(0) as usize;
+        if output.num_rows() == 0 {
+            return (pre_bytes, pre_rows, 0);
+        }
+        let seg_bytes = crate::storage::format::encoded_size(output);
+        (
+            pre_bytes + seg_bytes,
+            pre_rows + output.num_rows(),
+            seg_bytes,
+        )
+    }
+
     /// The paper's controller: one compute lane walking `plan.order`, plus
     /// the background materializer thread for flagged nodes.
     fn refresh_sequential(
@@ -857,16 +958,16 @@ impl<'a> Controller<'a> {
         let mut metrics_nodes: Vec<NodeMetrics> = Vec::with_capacity(n);
         let mut final_drain_s = 0.0f64;
 
-        // Background materializer: receives (node index, name, table),
-        // persists it, reports completion.
-        let (work_tx, work_rx) = mpsc::channel::<(usize, String, Arc<Table>)>();
+        // Background materializer: receives (node index, name, table,
+        // append?), persists it, reports completion.
+        let (work_tx, work_rx) = mpsc::channel::<(usize, String, Arc<Table>, bool)>();
         let (done_tx, done_rx) = mpsc::channel::<(usize, Result<u64>)>();
 
         std::thread::scope(|scope| -> Result<()> {
             let disk = self.disk;
             scope.spawn(move || {
-                for (idx, name, table) in work_rx {
-                    let result = disk.write_table(&name, &table);
+                for (idx, name, table, append) in work_rx {
+                    let result = disk.persist_table(&name, &table, append);
                     // The run ends before the channel closes, so a send
                     // failure can only happen on early abort; ignore it.
                     let _ = done_tx.send((idx, result));
@@ -925,7 +1026,9 @@ impl<'a> Controller<'a> {
                     // Nothing reaches this MV: its stored contents are
                     // already current. It still counts as an executed
                     // consumer for release bookkeeping below.
-                    metrics_nodes.push(NodeMetrics::skipped(&mv.name));
+                    let mut skipped = NodeMetrics::skipped(&mv.name);
+                    skipped.segments = dp.pre_segments[idx];
+                    metrics_nodes.push(skipped);
                     release_parents(idx, &mut remaining_children, &mut resident, &catalog_names);
                     while process_done(None, &mut write_pending, mvs)? {}
                     continue;
@@ -939,7 +1042,7 @@ impl<'a> Controller<'a> {
                         index: &index,
                         source: &source,
                     };
-                    let inc = execute_incremental(mv, &source, &deltas)?;
+                    let inc = execute_incremental(mv, &source, &deltas, dp.append[idx])?;
                     (Arc::new(inc.output), inc.delta, inc.delta_bytes)
                 } else {
                     (Arc::new(mv.plan.execute(&source)?), None, 0)
@@ -947,8 +1050,14 @@ impl<'a> Controller<'a> {
                 let exec_elapsed = node_started.elapsed().as_secs_f64();
                 let read_s = source.read_s.get();
                 let compute_s = (exec_elapsed - read_s).max(0.0);
-                let output_bytes = output.byte_size();
-                let rows = output.num_rows();
+                let is_append = dp.append[idx];
+                let (output_bytes, rows, appended_bytes) =
+                    self.stored_output_metrics(&mv.name, &output, is_append);
+                let segments = if is_append {
+                    dp.pre_segments[idx] + usize::from(appended_bytes > 0)
+                } else {
+                    1
+                };
 
                 // Encode the published delta once for spill and/or catalog.
                 let delta_table: Option<Arc<Table>> = match &delta {
@@ -975,7 +1084,7 @@ impl<'a> Controller<'a> {
                     // Vi), just background the write.
                     write_pending[idx] = true;
                     work_tx
-                        .send((idx, mv.name.clone(), output))
+                        .send((idx, mv.name.clone(), output, is_append))
                         .map_err(|e| EngineError::Materialize(e.to_string()))?;
                 } else if is_flagged {
                     let (entry_name, payload) = if dp.delta_payload[idx] {
@@ -992,7 +1101,7 @@ impl<'a> Controller<'a> {
                             catalog_names[idx] = entry_name;
                             write_pending[idx] = true;
                             work_tx
-                                .send((idx, mv.name.clone(), output))
+                                .send((idx, mv.name.clone(), output, is_append))
                                 .map_err(|e| EngineError::Materialize(e.to_string()))?;
                         }
                         Err(EngineError::MemoryBudgetExceeded { .. })
@@ -1008,14 +1117,14 @@ impl<'a> Controller<'a> {
                                     delta_table.as_ref().expect("delta payload published"),
                                 )?;
                             }
-                            self.disk.write_table(&mv.name, &output)?;
+                            self.disk.persist_table(&mv.name, &output, is_append)?;
                             write_s += w.elapsed().as_secs_f64();
                         }
                         Err(e) => return Err(e),
                     }
                 } else {
                     let w = Instant::now();
-                    self.disk.write_table(&mv.name, &output)?;
+                    self.disk.persist_table(&mv.name, &output, is_append)?;
                     write_s += w.elapsed().as_secs_f64();
                 }
 
@@ -1024,6 +1133,8 @@ impl<'a> Controller<'a> {
                     mode: dp.modes[idx],
                     reason: dp.reasons[idx],
                     delta_bytes,
+                    appended_bytes,
+                    segments,
                     read_s,
                     compute_s,
                     write_s,
@@ -1092,6 +1203,10 @@ impl<'a> Controller<'a> {
         if dp.modes[idx] == NodeMode::Skipped {
             return Ok(ComputedNode {
                 output: Arc::new(Table::empty(crate::schema::Schema::empty())),
+                append: false,
+                output_bytes: 0,
+                rows: 0,
+                appended_bytes: 0,
                 delta_table: None,
                 delta_bytes: 0,
                 read_s: 0.0,
@@ -1109,7 +1224,7 @@ impl<'a> Controller<'a> {
                 index,
                 source: &source,
             };
-            let inc = execute_incremental(&mvs[idx], &source, &deltas)?;
+            let inc = execute_incremental(&mvs[idx], &source, &deltas, dp.append[idx])?;
             (Arc::new(inc.output), inc.delta, inc.delta_bytes)
         } else {
             (Arc::new(mvs[idx].plan.execute(&source)?), None, 0)
@@ -1129,8 +1244,14 @@ impl<'a> Controller<'a> {
             )?;
             spill_write_s = w.elapsed().as_secs_f64();
         }
+        let (output_bytes, rows, appended_bytes) =
+            self.stored_output_metrics(&mvs[idx].name, &output, dp.append[idx]);
         Ok(ComputedNode {
             output,
+            append: dp.append[idx],
+            output_bytes,
+            rows,
+            appended_bytes,
             delta_table,
             delta_bytes,
             read_s,
@@ -1227,14 +1348,14 @@ impl<'a> Controller<'a> {
             let (task_tx, task_rx) = mpsc::channel::<LaneTask>();
             let task_rx = Arc::new(Mutex::new(task_rx));
             let (msg_tx, msg_rx) = mpsc::channel::<LaneMsg>();
-            let (bg_tx, bg_rx) = mpsc::channel::<(usize, String, Arc<Table>)>();
+            let (bg_tx, bg_rx) = mpsc::channel::<(usize, String, Arc<Table>, bool)>();
 
             {
                 let msg_tx = msg_tx.clone();
                 let disk = self.disk;
                 scope.spawn(move || {
-                    for (idx, name, table) in bg_rx {
-                        let result = disk.write_table(&name, &table);
+                    for (idx, name, table, append) in bg_rx {
+                        let result = disk.persist_table(&name, &table, append);
                         let _ = msg_tx.send(LaneMsg::BgWritten { idx, result });
                     }
                 });
@@ -1264,6 +1385,7 @@ impl<'a> Controller<'a> {
                             output,
                             spill,
                             fell_back,
+                            append,
                         } => {
                             let w = Instant::now();
                             let result = spill
@@ -1273,7 +1395,9 @@ impl<'a> Controller<'a> {
                                         .map(|_| ())
                                 })
                                 .unwrap_or(Ok(()))
-                                .and_then(|()| self.disk.write_table(&mvs[idx].name, &output));
+                                .and_then(|()| {
+                                    self.disk.persist_table(&mvs[idx].name, &output, append)
+                                });
                             LaneMsg::Written {
                                 idx,
                                 write_s: w.elapsed().as_secs_f64(),
@@ -1381,7 +1505,9 @@ impl<'a> Controller<'a> {
                         if dp.modes[idx] == NodeMode::Skipped {
                             // Stored contents already current: nothing to
                             // write or admit, publish immediately.
-                            metrics[idx] = Some(NodeMetrics::skipped(&mvs[idx].name));
+                            let mut skipped = NodeMetrics::skipped(&mvs[idx].name);
+                            skipped.segments = dp.pre_segments[idx];
+                            metrics[idx] = Some(skipped);
                             finalized += 1;
                             publish(
                                 idx,
@@ -1395,13 +1521,18 @@ impl<'a> Controller<'a> {
                             // the write, and publish immediately.
                             bg_pending[idx] = true;
                             bg_tx
-                                .send((idx, mvs[idx].name.clone(), Arc::clone(&node.output)))
+                                .send((
+                                    idx,
+                                    mvs[idx].name.clone(),
+                                    Arc::clone(&node.output),
+                                    node.append,
+                                ))
                                 .map_err(|e| EngineError::Materialize(e.to_string()))?;
                             metrics[idx] = Some(node_metrics(
                                 &mvs[idx].name,
                                 &node,
-                                dp.modes[idx],
-                                dp.reasons[idx],
+                                dp,
+                                idx,
                                 0.0,
                                 true,
                                 false,
@@ -1418,6 +1549,7 @@ impl<'a> Controller<'a> {
                             awaiting_admission.insert(idx, node);
                         } else {
                             let output = Arc::clone(&node.output);
+                            let append = node.append;
                             awaiting_admission.insert(idx, node);
                             task_tx
                                 .send(LaneTask::Write {
@@ -1425,6 +1557,7 @@ impl<'a> Controller<'a> {
                                     output,
                                     spill: None,
                                     fell_back: false,
+                                    append,
                                 })
                                 .map_err(|e| EngineError::Materialize(e.to_string()))?;
                         }
@@ -1477,13 +1610,14 @@ impl<'a> Controller<'a> {
                                         cand,
                                         mvs[cand].name.clone(),
                                         Arc::clone(&pending.output),
+                                        pending.append,
                                     ))
                                     .map_err(|e| EngineError::Materialize(e.to_string()))?;
                                 metrics[cand] = Some(node_metrics(
                                     &mvs[cand].name,
                                     &pending,
-                                    dp.modes[cand],
-                                    dp.reasons[cand],
+                                    dp,
+                                    cand,
                                     0.0,
                                     true,
                                     false,
@@ -1498,6 +1632,7 @@ impl<'a> Controller<'a> {
                                 )?;
                             } else {
                                 let output = Arc::clone(&pending.output);
+                                let append = pending.append;
                                 // A fallen-back delta payload must reach
                                 // storage for its incremental consumers.
                                 let spill = if dp.delta_payload[cand] {
@@ -1514,6 +1649,7 @@ impl<'a> Controller<'a> {
                                         output,
                                         spill,
                                         fell_back: true,
+                                        append,
                                     })
                                     .map_err(|e| EngineError::Materialize(e.to_string()))?;
                             }
@@ -1545,8 +1681,8 @@ impl<'a> Controller<'a> {
                         metrics[idx] = Some(node_metrics(
                             &mvs[idx].name,
                             &pending,
-                            dp.modes[idx],
-                            dp.reasons[idx],
+                            dp,
+                            idx,
                             write_s,
                             false,
                             fell_back,
@@ -1599,22 +1735,28 @@ impl<'a> Controller<'a> {
 fn node_metrics(
     name: &str,
     node: &ComputedNode,
-    mode: NodeMode,
-    reason: ModeReason,
+    dp: &DeltaPlan,
+    idx: usize,
     write_s: f64,
     flagged: bool,
     fell_back: bool,
 ) -> NodeMetrics {
     NodeMetrics {
         name: name.to_string(),
-        mode,
-        reason,
+        mode: dp.modes[idx],
+        reason: dp.reasons[idx],
         delta_bytes: node.delta_bytes,
+        appended_bytes: node.appended_bytes,
+        segments: if node.append {
+            dp.pre_segments[idx] + usize::from(node.appended_bytes > 0)
+        } else {
+            1
+        },
         read_s: node.read_s,
         compute_s: node.compute_s,
         write_s: write_s + node.spill_write_s,
-        output_bytes: node.output.byte_size(),
-        rows: node.output.num_rows(),
+        output_bytes: node.output_bytes,
+        rows: node.rows,
         flagged,
         fell_back,
         memory_reads: node.memory_reads,
@@ -2428,9 +2570,12 @@ mod tests {
     }
 
     #[test]
-    fn auto_mode_prefers_incremental_for_aggregates_only() {
-        // by_k (tiny aggregate over a big scan) should win; big_rows (MV
-        // nearly as large as its input) should recompute under Auto.
+    fn auto_mode_appends_insert_only_chains_and_merges_aggregates() {
+        // Insert-only churn: big_rows (MV nearly as large as its input)
+        // used to lose under Auto because the incremental path re-read and
+        // rewrote the whole MV; with segmented storage it appends a
+        // delta-sized segment instead, so Auto now picks it — and by_k
+        // merges the published delta.
         let dir = tempfile::tempdir().unwrap();
         let disk = DiskCatalog::open(dir.path()).unwrap();
         disk.write_table("base", &delta_rows(0..2000)).unwrap();
@@ -2453,11 +2598,52 @@ mod tests {
             .with_delta_store(&store)
             .refresh(&mvs, &plan)
             .unwrap();
-        assert_eq!(auto.nodes[0].mode, NodeMode::Full);
-        // big_rows recomputed in full -> its delta is unknown -> by_k
-        // cannot merge and recomputes too. The cost model's conservatism
-        // composes transitively.
+        assert_eq!(auto.nodes[0].mode, NodeMode::Incremental);
+        assert!(
+            auto.nodes[0].appended_bytes > 0,
+            "big_rows persists via the append path"
+        );
+        assert_eq!(auto.nodes[0].segments, 2, "one appended segment");
+        // by_k's 7-group output is so small that the merge path's three
+        // paced storage accesses (delta spill, own contents, rewrite)
+        // cost more than one recompute — Auto stays conservative there.
         assert_eq!(auto.nodes[1].mode, NodeMode::Full);
+        assert_eq!(auto.nodes[1].reason, ModeReason::CostModel);
         assert_eq!(auto.nodes[2].mode, NodeMode::Skipped);
+        assert_eq!(disk.segment_count("big_rows").unwrap(), 2);
+
+        // Delete-carrying churn: the filter chain stays maintainable but
+        // loses its append path, and re-reading + rewriting an MV almost
+        // as large as its input loses under Auto — the rewrite-path
+        // conservatism is preserved, and it composes transitively to
+        // by_k.
+        let mut deletes = crate::table::TableBuilder::new()
+            .column("k", DataType::Int64)
+            .column("v", DataType::Float64)
+            .build();
+        deletes
+            .push_row(vec![Value::Int64(3), Value::Float64(3.0)])
+            .unwrap();
+        crate::storage::ingest(
+            &disk,
+            &store,
+            "base",
+            crate::exec::TableDelta::from_batch(crate::exec::DeltaBatch {
+                deletes,
+                inserts: delta_rows(0..0),
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        let auto = Controller::new(&disk, &mem)
+            .with_delta_store(&store)
+            .refresh(&mvs, &plan)
+            .unwrap();
+        assert_eq!(auto.nodes[0].mode, NodeMode::Full);
+        assert_eq!(auto.nodes[1].mode, NodeMode::Full);
+        assert_eq!(
+            auto.nodes[0].segments, 1,
+            "the recompute collapses big_rows back to canonical form"
+        );
     }
 }

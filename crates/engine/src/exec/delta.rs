@@ -169,6 +169,23 @@ impl TableDelta {
         self.batches.iter().map(|b| b.deletes.num_rows()).sum()
     }
 
+    /// The delta's inserted rows as one table, in batch order — the
+    /// segment an insert-only refresh appends to storage instead of
+    /// rewriting the MV. Fails if any batch removes rows (applying a
+    /// delete cannot be expressed as an append).
+    pub fn insert_rows_table(&self) -> Result<Table> {
+        if self.has_deletes() {
+            return Err(EngineError::InvalidPlan(
+                "a delta with deletes cannot be applied as an append".into(),
+            ));
+        }
+        let parts: Vec<&Table> = self.batches.iter().map(|b| &b.inserts).collect();
+        if parts.is_empty() {
+            return Ok(Table::empty(self.schema.clone()));
+        }
+        Table::concat(&parts)
+    }
+
     /// Applies the delta to `table`, batch by batch: each batch first
     /// removes its `deletes` (full-row equality, first occurrence), then
     /// appends its `inserts`.

@@ -1,15 +1,50 @@
-//! External storage: tables persisted as SCTB files in a directory (the
-//! paper uses a Hive metastore over NFS; any materialization location
-//! works, §III footnote 2).
+//! External storage: tables persisted as **segmented SCTB** files in a
+//! directory (the paper uses a Hive metastore over NFS; any
+//! materialization location works, §III footnote 2).
+//!
+//! ## Segmented layout
+//!
+//! A table `name` is stored as a small manifest (`<name>.sctb`, see
+//! [`format::Manifest`]) plus ordered row-segment files
+//! (`<name>.<id>.seg`), each a complete self-describing SCTB table. The
+//! table's contents are the row-concatenation of its segments in manifest
+//! order. This is what lets an insert-only incremental refresh *append* a
+//! delta-sized segment ([`DiskCatalog::append_table`]) instead of
+//! rewriting the whole MV — the write cost becomes O(delta), not O(MV).
+//!
+//! ## Append / commit / compact protocol
+//!
+//! * The **manifest rename is the commit point**. An append writes the new
+//!   segment file first (via tmp + rename) and only then commits a
+//!   manifest referencing it; a crash between the two leaves an orphan
+//!   segment that no manifest references — the prior version stays fully
+//!   readable and the orphan is pruned by the next rewrite/compact.
+//! * Reads verify every referenced segment against its manifest-recorded
+//!   byte length and FNV-1a checksum, so torn or truncated segment files
+//!   fail with [`EngineError::Corrupt`] instead of being silently read.
+//! * [`DiskCatalog::write_table`] (a full rewrite, e.g. an MV recompute)
+//!   and [`DiskCatalog::compact`] both produce the **canonical
+//!   single-segment form**: exactly one segment with id 0 plus its
+//!   manifest. Encoding is deterministic, so two catalogs holding
+//!   equal-row tables in canonical form are byte-identical file for file —
+//!   the equality contract the differential test suites pin: *row*
+//!   identity after every refresh round, *byte* identity after
+//!   `compact()`. A rewrite reuses segment id 0 but first moves the
+//!   committed bytes to a `.seg.old` backup that readers fall back to,
+//!   so a crash at *any* point of the rewrite protocol leaves either
+//!   the old or the new version fully readable. (A reader on another
+//!   handle racing a swap can still catch a manifest/segment pair from
+//!   two committed states; [`DiskCatalog::read_table`] retries a failed
+//!   verification whenever the manifest changed under it.)
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use crate::storage::format;
+use crate::storage::format::{self, Manifest, SegmentMeta};
 use crate::table::Table;
 use crate::{EngineError, Result};
 
@@ -89,12 +124,23 @@ impl Pacer {
     }
 }
 
-/// A directory of SCTB table files with optional I/O pacing.
+/// A directory of segmented SCTB tables with optional I/O pacing.
+///
+/// Catalog operations are atomic **within one instance**: an internal
+/// read/write lock scopes the filesystem work (never the throttle
+/// pacing, so reads and writes still overlap on their separate modeled
+/// channels), which is what makes `ingest_delta` rewriting a base table
+/// safe against refresh lanes reading it through the same catalog.
+/// Readers additionally retry verification failures whose manifest
+/// changed under them, covering writers on *other* handles to the same
+/// directory.
 #[derive(Debug)]
 pub struct DiskCatalog {
     dir: PathBuf,
     throttle: Option<Throttle>,
     pacer: Pacer,
+    /// Guards the filesystem portion of every operation (see above).
+    io: RwLock<()>,
 }
 
 impl DiskCatalog {
@@ -105,6 +151,7 @@ impl DiskCatalog {
             dir: dir.as_ref().to_path_buf(),
             throttle: None,
             pacer: Pacer::new(),
+            io: RwLock::new(()),
         })
     }
 
@@ -120,10 +167,11 @@ impl DiskCatalog {
         &self.dir
     }
 
-    fn path_of(&self, name: &str) -> PathBuf {
-        // Table names come from workload definitions; keep them path-safe.
-        let safe: String = name
-            .chars()
+    /// Table names come from workload definitions; keep them path-safe.
+    /// Safe names never contain `.`, so `<safe>.<id>.seg` parses
+    /// unambiguously.
+    fn safe_name(name: &str) -> String {
+        name.chars()
             .map(|c| {
                 if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
                     c
@@ -131,24 +179,183 @@ impl DiskCatalog {
                     '_'
                 }
             })
-            .collect();
+            .collect()
+    }
+
+    fn manifest_path(&self, safe: &str) -> PathBuf {
         self.dir.join(format!("{safe}.sctb"))
     }
 
-    /// Whether a table exists.
-    pub fn contains(&self, name: &str) -> bool {
-        self.path_of(name).exists()
+    fn segment_path(&self, safe: &str, id: u64) -> PathBuf {
+        self.dir.join(format!("{safe}.{id}.seg"))
     }
 
-    /// Persists `table` under `name`, overwriting any previous version
-    /// (an MV refresh replaces the old contents). Returns bytes written.
+    /// Reads and decodes `name`'s manifest, returning it with the raw
+    /// manifest bytes (whose length is part of the table's stored size,
+    /// and which `read_table` compares across retry attempts).
+    fn load_manifest(&self, name: &str) -> Result<(Manifest, Vec<u8>)> {
+        let safe = Self::safe_name(name);
+        let raw = fs::read(self.manifest_path(&safe)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                EngineError::UnknownTable(name.to_string())
+            } else {
+                EngineError::Io(e)
+            }
+        })?;
+        Ok((format::decode_manifest(Bytes::from(raw.clone()))?, raw))
+    }
+
+    /// Atomically commits `manifest` (tmp + rename); returns its byte
+    /// length.
+    fn commit_manifest(&self, safe: &str, manifest: &Manifest) -> Result<u64> {
+        let bytes = format::encode_manifest(manifest);
+        let path = self.manifest_path(safe);
+        let tmp = path.with_extension("sctb.tmp");
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &path)?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Verifies raw segment bytes against the manifest entry and decodes
+    /// them.
+    fn verify_segment(name: &str, seg: &SegmentMeta, raw: Vec<u8>) -> Result<Table> {
+        if raw.len() as u64 != seg.bytes {
+            return Err(EngineError::Corrupt(format!(
+                "{name}: segment {} is {} bytes, manifest records {}",
+                seg.id,
+                raw.len(),
+                seg.bytes
+            )));
+        }
+        if format::fnv1a64(&raw) != seg.checksum {
+            return Err(EngineError::Corrupt(format!(
+                "{name}: segment {} fails its checksum",
+                seg.id
+            )));
+        }
+        let table = format::decode(Bytes::from(raw))?;
+        if table.num_rows() as u64 != seg.rows {
+            // Catches manifest corruption the byte checks cannot (the
+            // rows field is metadata, not part of the segment payload).
+            return Err(EngineError::Corrupt(format!(
+                "{name}: segment {} holds {} rows, manifest records {}",
+                seg.id,
+                table.num_rows(),
+                seg.rows
+            )));
+        }
+        Ok(table)
+    }
+
+    /// Reads one segment file, verifying it against the manifest entry.
+    /// On a verification failure (or a missing file), the `.seg.old`
+    /// backup a crashed rewrite may have left behind is tried against
+    /// the *same* manifest entry — the crash-recovery half of
+    /// [`DiskCatalog::rewrite_locked`]'s protocol. The original error
+    /// surfaces if the backup is absent or fails verification too.
+    fn read_segment(&self, name: &str, safe: &str, seg: &SegmentMeta) -> Result<Table> {
+        let path = self.segment_path(safe, seg.id);
+        let primary = match fs::read(&path) {
+            Ok(raw) => Self::verify_segment(name, seg, raw),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(EngineError::Corrupt(
+                format!("{name}: segment {} missing", seg.id),
+            )),
+            Err(e) => return Err(e.into()),
+        };
+        match primary {
+            Ok(table) => Ok(table),
+            Err(err) => match fs::read(path.with_extension("seg.old")) {
+                Ok(raw) => Self::verify_segment(name, seg, raw).map_err(|_| err),
+                Err(_) => Err(err),
+            },
+        }
+    }
+
+    /// Removes every segment file of `safe` whose id is not in `keep`,
+    /// plus any `.seg.old` rewrite backup (stale canonical-rewrite
+    /// leftovers and crash orphans; backups are only meaningful until
+    /// the next manifest commit, which every caller has just performed).
+    fn prune_segments(&self, safe: &str, keep: &[u64]) -> Result<()> {
+        let prefix = format!("{safe}.");
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(file) = path.file_name().and_then(|f| f.to_str()) else {
+                continue;
+            };
+            let Some(rest) = file.strip_prefix(&prefix) else {
+                continue;
+            };
+            if let Some(middle) = rest.strip_suffix(".seg") {
+                if let Ok(id) = middle.parse::<u64>() {
+                    if !keep.contains(&id) {
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            } else if rest
+                .strip_suffix(".seg.old")
+                .is_some_and(|middle| middle.parse::<u64>().is_ok())
+            {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether a table exists (has a committed manifest).
+    pub fn contains(&self, name: &str) -> bool {
+        self.manifest_path(&Self::safe_name(name)).exists()
+    }
+
+    /// The filesystem half of a canonical rewrite (callers hold the
+    /// write half of [`DiskCatalog::io`]). Returns bytes written.
+    ///
+    /// Crash-safe despite reusing segment id 0: the committed bytes are
+    /// first moved to a `.seg.old` backup, which [`read_segment`]'s
+    /// fallback serves for as long as the committed manifest still
+    /// describes them — so dying before the new segment lands, or
+    /// between it and the manifest commit, leaves the *old* version
+    /// readable, and dying after the commit leaves the *new* one. The
+    /// backup is deleted once the new manifest is durable.
+    fn rewrite_locked(&self, safe: &str, table: &Table) -> Result<u64> {
+        let payload = format::encode(table);
+        let seg = SegmentMeta {
+            id: 0,
+            rows: table.num_rows() as u64,
+            bytes: payload.len() as u64,
+            checksum: format::fnv1a64(&payload),
+        };
+        let seg_path = self.segment_path(safe, 0);
+        let backup = seg_path.with_extension("seg.old");
+        match fs::rename(&seg_path, &backup) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let tmp = seg_path.with_extension("seg.tmp");
+        fs::write(&tmp, &payload)?;
+        fs::rename(&tmp, &seg_path)?;
+        let manifest_len = self.commit_manifest(
+            safe,
+            &Manifest {
+                segments: vec![seg],
+            },
+        )?;
+        let _ = fs::remove_file(&backup);
+        self.prune_segments(safe, &[0])?;
+        Ok(payload.len() as u64 + manifest_len)
+    }
+
+    /// Persists `table` under `name` in the canonical single-segment form,
+    /// replacing any previous version and pruning stale segments (an MV
+    /// recompute replaces the old contents). Returns bytes written
+    /// (segment plus manifest).
     pub fn write_table(&self, name: &str, table: &Table) -> Result<u64> {
         let started = Instant::now();
-        let bytes = format::encode(table);
-        let len = bytes.len() as u64;
-        let tmp = self.path_of(name).with_extension("tmp");
-        fs::write(&tmp, &bytes)?;
-        fs::rename(&tmp, self.path_of(name))?;
+        let safe = Self::safe_name(name);
+        let len = {
+            let _io = self.io.write();
+            self.rewrite_locked(&safe, table)?
+        };
         if let Some(t) = self.throttle {
             Pacer::pace(
                 &self.pacer.write_free,
@@ -161,42 +368,229 @@ impl DiskCatalog {
         Ok(len)
     }
 
-    /// Loads the table stored under `name`.
+    /// Appends `rows` to `name` as a new committed segment — the
+    /// O(delta)-write path an insert-only incremental refresh takes
+    /// instead of rewriting the MV. The table must already exist; a
+    /// zero-row append is a no-op. Returns bytes written (segment plus the
+    /// rewritten manifest).
+    ///
+    /// The segment file is fully written (tmp + rename) *before* the
+    /// manifest commit references it, so a crash mid-append leaves the
+    /// prior version readable and the new segment invisible.
+    pub fn append_table(&self, name: &str, rows: &Table) -> Result<u64> {
+        if rows.num_rows() == 0 {
+            return Ok(0);
+        }
+        let started = Instant::now();
+        let safe = Self::safe_name(name);
+        let len = {
+            let _io = self.io.write();
+            let (mut manifest, _) = self.load_manifest(name)?;
+            let payload = format::encode(rows);
+            let id = manifest.next_id();
+            let seg_path = self.segment_path(&safe, id);
+            let tmp = seg_path.with_extension("seg.tmp");
+            fs::write(&tmp, &payload)?;
+            fs::rename(&tmp, &seg_path)?;
+            manifest.segments.push(SegmentMeta {
+                id,
+                rows: rows.num_rows() as u64,
+                bytes: payload.len() as u64,
+                checksum: format::fnv1a64(&payload),
+            });
+            let manifest_len = self.commit_manifest(&safe, &manifest)?;
+            payload.len() as u64 + manifest_len
+        };
+        if let Some(t) = self.throttle {
+            Pacer::pace(
+                &self.pacer.write_free,
+                started,
+                len,
+                t.write_bps,
+                t.latency_s,
+            );
+        }
+        Ok(len)
+    }
+
+    /// Persists `table` under `name` by the requested path: `append`
+    /// commits it as a new delta-sized segment
+    /// ([`DiskCatalog::append_table`]), otherwise it replaces the stored
+    /// contents canonically ([`DiskCatalog::write_table`]). The single
+    /// dispatch point for the controller's sequential, multi-lane, and
+    /// background-materializer write paths.
+    pub fn persist_table(&self, name: &str, table: &Table, append: bool) -> Result<u64> {
+        if append {
+            self.append_table(name, table)
+        } else {
+            self.write_table(name, table)
+        }
+    }
+
+    /// Collapses `name` back to the canonical single-segment form,
+    /// pruning the replaced segments. A no-op (returning 0) when the table
+    /// is already canonical; otherwise returns bytes written.
+    pub fn compact(&self, name: &str) -> Result<u64> {
+        let started = Instant::now();
+        let safe = Self::safe_name(name);
+        let (read_bytes, written) = {
+            let _io = self.io.write();
+            let (manifest, raw) = self.load_manifest(name)?;
+            if manifest.segments.len() == 1 && manifest.segments[0].id == 0 {
+                return Ok(0);
+            }
+            let table = self.read_segments(name, &safe, &manifest)?;
+            let written = self.rewrite_locked(&safe, &table)?;
+            (raw.len() as u64 + manifest.total_bytes(), written)
+        };
+        if let Some(t) = self.throttle {
+            Pacer::pace(
+                &self.pacer.read_free,
+                started,
+                read_bytes,
+                t.read_bps,
+                t.latency_s,
+            );
+            Pacer::pace(
+                &self.pacer.write_free,
+                started,
+                written,
+                t.write_bps,
+                t.latency_s,
+            );
+        }
+        Ok(written)
+    }
+
+    /// Reads and verifies every segment of `manifest`, concatenated in
+    /// manifest order.
+    fn read_segments(&self, name: &str, safe: &str, manifest: &Manifest) -> Result<Table> {
+        let mut parts = Vec::with_capacity(manifest.segments.len());
+        for seg in &manifest.segments {
+            parts.push(self.read_segment(name, safe, seg)?);
+        }
+        match parts.len() {
+            1 => Ok(parts.pop().expect("one part")),
+            _ => Table::concat(&parts.iter().collect::<Vec<_>>()),
+        }
+    }
+
+    /// Loads the table stored under `name`: its segments, verified and
+    /// concatenated in manifest order.
+    ///
+    /// Within one catalog instance, the internal I/O lock makes reads
+    /// atomic against writers outright. Against writers on *other*
+    /// handles to the same directory, a rewrite swaps segment contents
+    /// before its manifest commit lands, so one attempt can catch a
+    /// manifest/segment pair from two committed states and fail
+    /// verification; the two cases are told apart across attempts — a
+    /// manifest that changed since the failed attempt means a concurrent
+    /// writer (retry against the new manifest), a stable one means the
+    /// corruption is real and surfaces as [`EngineError::Corrupt`].
     pub fn read_table(&self, name: &str) -> Result<Table> {
         let started = Instant::now();
-        let path = self.path_of(name);
-        let raw = fs::read(&path).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::NotFound {
-                EngineError::UnknownTable(name.to_string())
-            } else {
-                EngineError::Io(e)
+        let safe = Self::safe_name(name);
+        let mut retries = 32u32;
+        let (table, total_bytes) = loop {
+            let (attempt, manifest_raw) = {
+                let _io = self.io.read();
+                let (manifest, raw) = self.load_manifest(name)?;
+                let attempt = self
+                    .read_segments(name, &safe, &manifest)
+                    .map(|t| (t, raw.len() as u64 + manifest.total_bytes()));
+                (attempt, raw)
+            };
+            match attempt {
+                Ok(done) => break done,
+                Err(err @ EngineError::Corrupt(_)) if retries > 0 => {
+                    retries -= 1;
+                    let changed = |raw: &[u8]| {
+                        fs::read(self.manifest_path(&safe))
+                            .map(|now| now != raw)
+                            .unwrap_or(true)
+                    };
+                    if changed(&manifest_raw) {
+                        // A cross-handle writer committed: back off
+                        // briefly so a hot writer cannot starve the
+                        // reader through every retry, then try the new
+                        // manifest.
+                        std::thread::sleep(Duration::from_micros(100));
+                        continue;
+                    }
+                    // Possibly mid-commit (segment swapped, manifest not
+                    // yet renamed): give the writer a beat, then decide.
+                    std::thread::sleep(Duration::from_micros(500));
+                    if changed(&manifest_raw) {
+                        continue;
+                    }
+                    // Stable manifest: genuine corruption.
+                    return Err(err);
+                }
+                Err(e) => return Err(e),
             }
-        })?;
-        let len = raw.len() as u64;
-        let table = format::decode(Bytes::from(raw))?;
+        };
         if let Some(t) = self.throttle {
-            Pacer::pace(&self.pacer.read_free, started, len, t.read_bps, t.latency_s);
+            Pacer::pace(
+                &self.pacer.read_free,
+                started,
+                total_bytes,
+                t.read_bps,
+                t.latency_s,
+            );
         }
         Ok(table)
     }
 
-    /// Size in bytes of the stored file, if present.
+    /// Size in bytes of the stored table (manifest plus all segments), if
+    /// present.
     pub fn size_of(&self, name: &str) -> Result<u64> {
-        let meta = fs::metadata(self.path_of(name))
-            .map_err(|_| EngineError::UnknownTable(name.to_string()))?;
-        Ok(meta.len())
+        let (manifest, raw) = self.load_manifest(name)?;
+        Ok(raw.len() as u64 + manifest.total_bytes())
     }
 
-    /// Deletes a stored table (no error if absent).
-    pub fn drop_table(&self, name: &str) -> Result<()> {
-        match fs::remove_file(self.path_of(name)) {
-            Ok(()) => Ok(()),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(e.into()),
+    /// Number of committed segments backing `name` (1 = canonical form).
+    pub fn segment_count(&self, name: &str) -> Result<usize> {
+        Ok(self.load_manifest(name)?.0.segments.len())
+    }
+
+    /// Total stored rows of `name`, from the manifest alone (no segment
+    /// reads).
+    pub fn row_count(&self, name: &str) -> Result<u64> {
+        Ok(self.load_manifest(name)?.0.total_rows())
+    }
+
+    /// The raw stored bytes of every file backing `name` — the manifest
+    /// first, then each segment in manifest order — keyed by file name.
+    /// This is what the differential suites compare for the
+    /// byte-identity-after-compact contract.
+    pub fn stored_file_bytes(&self, name: &str) -> Result<Vec<(String, Vec<u8>)>> {
+        let safe = Self::safe_name(name);
+        let _io = self.io.read();
+        let (manifest, _) = self.load_manifest(name)?;
+        let mut out = vec![(format!("{safe}.sctb"), fs::read(self.manifest_path(&safe))?)];
+        for seg in &manifest.segments {
+            out.push((
+                format!("{safe}.{}.seg", seg.id),
+                fs::read(self.segment_path(&safe, seg.id))?,
+            ));
         }
+        Ok(out)
     }
 
-    /// Names of all stored tables (file stems), sorted.
+    /// Deletes a stored table — manifest and every segment file, including
+    /// crash orphans (no error if absent).
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let safe = Self::safe_name(name);
+        let _io = self.io.write();
+        match fs::remove_file(self.manifest_path(&safe)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.prune_segments(&safe, &[])
+    }
+
+    /// Names of all stored tables (manifest file stems), sorted.
     pub fn list(&self) -> Result<Vec<String>> {
         let mut names = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
@@ -218,9 +612,9 @@ mod tests {
     use crate::table::TableBuilder;
     use crate::types::{DataType, Value};
 
-    fn sample(n: i64) -> Table {
+    fn sample(range: std::ops::Range<i64>) -> Table {
         let mut t = TableBuilder::new().column("x", DataType::Int64).build();
-        for i in 0..n {
+        for i in range {
             t.push_row(vec![Value::Int64(i)]).unwrap();
         }
         t
@@ -230,21 +624,126 @@ mod tests {
     fn write_read_roundtrip() {
         let dir = tempfile::tempdir().unwrap();
         let cat = DiskCatalog::open(dir.path()).unwrap();
-        let t = sample(100);
+        let t = sample(0..100);
         let written = cat.write_table("numbers", &t).unwrap();
         assert!(written > 800);
         assert!(cat.contains("numbers"));
         assert_eq!(cat.read_table("numbers").unwrap(), t);
         assert_eq!(cat.size_of("numbers").unwrap(), written);
+        assert_eq!(cat.segment_count("numbers").unwrap(), 1);
+        assert_eq!(cat.row_count("numbers").unwrap(), 100);
     }
 
     #[test]
     fn overwrite_replaces_contents() {
         let dir = tempfile::tempdir().unwrap();
         let cat = DiskCatalog::open(dir.path()).unwrap();
-        cat.write_table("t", &sample(10)).unwrap();
-        cat.write_table("t", &sample(3)).unwrap();
+        cat.write_table("t", &sample(0..10)).unwrap();
+        cat.write_table("t", &sample(0..3)).unwrap();
         assert_eq!(cat.read_table("t").unwrap().num_rows(), 3);
+        assert_eq!(cat.segment_count("t").unwrap(), 1);
+    }
+
+    #[test]
+    fn append_accumulates_segments_in_order() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("t", &sample(0..10)).unwrap();
+        let w1 = cat.append_table("t", &sample(10..15)).unwrap();
+        assert!(w1 > 0);
+        let w2 = cat.append_table("t", &sample(15..17)).unwrap();
+        assert!(w2 > 0);
+        assert_eq!(cat.segment_count("t").unwrap(), 3);
+        assert_eq!(cat.row_count("t").unwrap(), 17);
+        assert_eq!(cat.read_table("t").unwrap(), sample(0..17));
+        // Zero-row appends are no-ops.
+        assert_eq!(cat.append_table("t", &sample(0..0)).unwrap(), 0);
+        assert_eq!(cat.segment_count("t").unwrap(), 3);
+        // Appending to a missing table is an error, not a create.
+        assert!(matches!(
+            cat.append_table("nope", &sample(0..1)),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn append_writes_delta_sized_bytes() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("t", &sample(0..10_000)).unwrap();
+        let full = cat.size_of("t").unwrap();
+        let appended = cat.append_table("t", &sample(10_000..10_010)).unwrap();
+        assert!(
+            appended * 20 < full,
+            "append ({appended} B) must be delta-sized, not MV-sized ({full} B)"
+        );
+    }
+
+    #[test]
+    fn compact_restores_canonical_bytes() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        // Rig A: rewrite in one shot. Rig B: seed + two appends + compact.
+        cat.write_table("a", &sample(0..17)).unwrap();
+        cat.write_table("b", &sample(0..10)).unwrap();
+        cat.append_table("b", &sample(10..15)).unwrap();
+        cat.append_table("b", &sample(15..17)).unwrap();
+        assert!(cat.compact("b").unwrap() > 0);
+        assert_eq!(cat.segment_count("b").unwrap(), 1);
+        let a = cat.stored_file_bytes("a").unwrap();
+        let b = cat.stored_file_bytes("b").unwrap();
+        assert_eq!(a.len(), 2, "manifest + one segment");
+        for ((_, bytes_a), (_, bytes_b)) in a.iter().zip(&b) {
+            assert_eq!(bytes_a, bytes_b, "compacted form must be canonical");
+        }
+        // Compacting a canonical table is a no-op.
+        assert_eq!(cat.compact("b").unwrap(), 0);
+        // The replaced segment files are pruned.
+        assert!(!dir.path().join("b.1.seg").exists());
+        assert!(!dir.path().join("b.2.seg").exists());
+    }
+
+    #[test]
+    fn torn_and_truncated_segments_are_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("t", &sample(0..50)).unwrap();
+        let seg = dir.path().join("t.0.seg");
+        let good = fs::read(&seg).unwrap();
+        // Truncated: length mismatch vs the manifest.
+        fs::write(&seg, &good[..good.len() - 3]).unwrap();
+        assert!(matches!(cat.read_table("t"), Err(EngineError::Corrupt(_))));
+        // Torn: same length, one flipped byte — the checksum bites.
+        let mut torn = good.clone();
+        let mid = torn.len() / 2;
+        torn[mid] ^= 0xFF;
+        fs::write(&seg, &torn).unwrap();
+        assert!(matches!(cat.read_table("t"), Err(EngineError::Corrupt(_))));
+        // Missing segment file with a committed manifest is corruption.
+        fs::remove_file(&seg).unwrap();
+        assert!(matches!(cat.read_table("t"), Err(EngineError::Corrupt(_))));
+        // Restoring the bytes restores the table.
+        fs::write(&seg, &good).unwrap();
+        assert_eq!(cat.read_table("t").unwrap(), sample(0..50));
+    }
+
+    #[test]
+    fn uncommitted_segment_is_invisible() {
+        // A crash between segment write and manifest commit: the segment
+        // file exists, the manifest does not reference it.
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("t", &sample(0..20)).unwrap();
+        let manifest_before = fs::read(dir.path().join("t.sctb")).unwrap();
+        cat.append_table("t", &sample(20..30)).unwrap();
+        // "Crash": roll the manifest back; the appended segment is now an
+        // orphan.
+        fs::write(dir.path().join("t.sctb"), &manifest_before).unwrap();
+        assert_eq!(cat.read_table("t").unwrap(), sample(0..20));
+        assert_eq!(cat.row_count("t").unwrap(), 20);
+        // The next rewrite prunes the orphan.
+        cat.write_table("t", &sample(0..20)).unwrap();
+        assert!(!dir.path().join("t.1.seg").exists());
     }
 
     #[test]
@@ -256,25 +755,31 @@ mod tests {
             Err(EngineError::UnknownTable(_))
         ));
         assert!(cat.size_of("nope").is_err());
+        assert!(cat.segment_count("nope").is_err());
         assert!(!cat.contains("nope"));
     }
 
     #[test]
-    fn drop_is_idempotent() {
+    fn drop_is_idempotent_and_removes_segments() {
         let dir = tempfile::tempdir().unwrap();
         let cat = DiskCatalog::open(dir.path()).unwrap();
-        cat.write_table("t", &sample(1)).unwrap();
+        cat.write_table("t", &sample(0..5)).unwrap();
+        cat.append_table("t", &sample(5..7)).unwrap();
         cat.drop_table("t").unwrap();
         cat.drop_table("t").unwrap();
         assert!(!cat.contains("t"));
+        assert!(!dir.path().join("t.0.seg").exists());
+        assert!(!dir.path().join("t.1.seg").exists());
     }
 
     #[test]
     fn list_sorted() {
         let dir = tempfile::tempdir().unwrap();
         let cat = DiskCatalog::open(dir.path()).unwrap();
-        cat.write_table("bbb", &sample(1)).unwrap();
-        cat.write_table("aaa", &sample(1)).unwrap();
+        cat.write_table("bbb", &sample(0..1)).unwrap();
+        cat.write_table("aaa", &sample(0..1)).unwrap();
+        cat.append_table("aaa", &sample(1..2)).unwrap();
+        // Segment files never show up as tables.
         assert_eq!(
             cat.list().unwrap(),
             vec!["aaa".to_string(), "bbb".to_string()]
@@ -285,10 +790,23 @@ mod tests {
     fn path_sanitization() {
         let dir = tempfile::tempdir().unwrap();
         let cat = DiskCatalog::open(dir.path()).unwrap();
-        cat.write_table("../evil/name", &sample(1)).unwrap();
-        // File stays inside the catalog dir.
+        cat.write_table("../evil/name", &sample(0..1)).unwrap();
+        // Files stay inside the catalog dir.
         assert_eq!(cat.list().unwrap().len(), 1);
         assert!(cat.read_table("../evil/name").is_ok());
+    }
+
+    #[test]
+    fn similarly_named_tables_do_not_cross_prune() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("t", &sample(0..5)).unwrap();
+        cat.append_table("t", &sample(5..8)).unwrap();
+        cat.write_table("t2", &sample(0..3)).unwrap();
+        // Rewriting t2 must not prune t's segments.
+        cat.write_table("t2", &sample(0..4)).unwrap();
+        assert_eq!(cat.segment_count("t").unwrap(), 2);
+        assert_eq!(cat.read_table("t").unwrap(), sample(0..8));
     }
 
     #[test]
@@ -301,7 +819,7 @@ mod tests {
             latency_s: 0.01,
         };
         let cat = DiskCatalog::open_throttled(dir.path(), slow).unwrap();
-        let t = sample(1000); // ~8 KB
+        let t = sample(0..1000); // ~8 KB
         let started = Instant::now();
         cat.write_table("t", &t).unwrap();
         let elapsed = started.elapsed();
@@ -312,6 +830,96 @@ mod tests {
         let started = Instant::now();
         cat.read_table("t").unwrap();
         assert!(started.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn append_pacing_is_delta_sized() {
+        let dir = tempfile::tempdir().unwrap();
+        // 1 MB/s, no latency: an 80 KB rewrite costs ~80 ms, a ~100-row
+        // (800 B) append must finish an order of magnitude faster.
+        let slow = Throttle {
+            read_bps: 64e9,
+            write_bps: 1e6,
+            latency_s: 0.0,
+        };
+        let cat = DiskCatalog::open_throttled(dir.path(), slow).unwrap();
+        cat.write_table("t", &sample(0..10_000)).unwrap();
+        let started = Instant::now();
+        cat.append_table("t", &sample(10_000..10_100)).unwrap();
+        let append_elapsed = started.elapsed();
+        let started = Instant::now();
+        cat.write_table("t", &cat.read_table("t").unwrap()).unwrap();
+        let rewrite_elapsed = started.elapsed();
+        assert!(
+            append_elapsed * 10 < rewrite_elapsed,
+            "append ({append_elapsed:?}) must be paced as O(delta), rewrite took {rewrite_elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn rewrite_crash_windows_keep_a_readable_version() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        let v_old = sample(0..20);
+        let v_new = sample(100..150);
+        cat.write_table("t", &v_old).unwrap();
+        let seg = dir.path().join("t.0.seg");
+        let backup = dir.path().join("t.0.seg.old");
+        let manifest_path = dir.path().join("t.sctb");
+        let old_seg_bytes = fs::read(&seg).unwrap();
+        let old_manifest = fs::read(&manifest_path).unwrap();
+        cat.write_table("t", &v_new).unwrap();
+        assert!(!backup.exists(), "a completed rewrite removes its backup");
+
+        // Crash window 2: new segment landed, manifest commit lost — the
+        // old manifest plus the backup must serve the old version.
+        fs::write(&manifest_path, &old_manifest).unwrap();
+        fs::write(&backup, &old_seg_bytes).unwrap();
+        assert_eq!(cat.read_table("t").unwrap(), v_old);
+
+        // Crash window 1: old segment already moved to the backup, new
+        // segment never written.
+        fs::remove_file(&seg).unwrap();
+        assert_eq!(cat.read_table("t").unwrap(), v_old);
+
+        // Recovery: the next rewrite restores normal service and cleans
+        // the backup up.
+        cat.write_table("t", &v_new).unwrap();
+        assert_eq!(cat.read_table("t").unwrap(), v_new);
+        assert!(!backup.exists());
+    }
+
+    #[test]
+    fn concurrent_reads_survive_rewrites() {
+        // A reader racing in-place canonical rewrites (the ingest-vs-
+        // refresh pattern) must never see a spurious Corrupt, and every
+        // successful read must be one of the committed versions. The
+        // writer runs on its OWN handle over the same directory, so the
+        // internal I/O lock cannot serialize the race away — this
+        // exercises the cross-handle machinery for real: the `.seg.old`
+        // fallback during a swap and the manifest-changed read retry.
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        let writer_cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("t", &sample(0..100)).unwrap();
+        let versions: Vec<Table> = (0..8).map(|v| sample(v..v + 100)).collect();
+        std::thread::scope(|scope| {
+            let writer_versions = versions.clone();
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    for v in &writer_versions {
+                        writer_cat.write_table("t", v).unwrap();
+                    }
+                }
+            });
+            for _ in 0..300 {
+                let got = cat.read_table("t").unwrap();
+                assert!(
+                    got == sample(0..100) || versions.contains(&got),
+                    "read returned a never-committed state"
+                );
+            }
+        });
     }
 
     #[test]

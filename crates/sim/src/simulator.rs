@@ -139,6 +139,14 @@ struct SimDeltaPlan {
     /// Nodes whose delta is spilled to storage for consumers that cannot
     /// read it from the catalog.
     spill: Vec<bool>,
+    /// Nodes persisted by appending a delta-sized segment instead of
+    /// rewriting the MV (mirror of the engine's append path): the
+    /// incremental run then skips the own-contents re-read and its write
+    /// event is delta-sized.
+    append: Vec<bool>,
+    /// Bytes each node's persistence writes: `delta_bytes` on the append
+    /// path, `output_bytes` otherwise.
+    write_bytes: Vec<u64>,
     /// Effective flags: the plan's flags minus skipped nodes.
     flagged: FlagSet,
 }
@@ -240,6 +248,9 @@ impl Simulator {
                             node.output_bytes,
                             delta,
                             node.build_read_bytes,
+                            // The sim's delta annotation IS the node's
+                            // output delta, the size an append persists.
+                            node.delta_appendable.then_some(delta),
                         )
                     }
                     RefreshMode::AlwaysFull => unreachable!("checked above"),
@@ -272,11 +283,30 @@ impl Simulator {
                 graph.node(v).output_bytes
             };
         }
+        let mut append = vec![false; n];
+        let mut write_bytes = vec![0u64; n];
+        for v in graph.node_ids() {
+            let i = v.index();
+            let node = graph.node(v);
+            // Mirror of the engine's append rule: insert-only row-wise
+            // shapes whose full output is never needed in the catalog.
+            append[i] = modes[i] == NodeMode::Incremental
+                && node.delta_publishes
+                && node.delta_appendable
+                && !(flagged.contains(v) && !graph.children(v).is_empty() && !delta_payload[i]);
+            write_bytes[i] = if append[i] {
+                node.delta_bytes.unwrap_or(0)
+            } else {
+                node.output_bytes
+            };
+        }
         SimDeltaPlan {
             modes,
             payload,
             delta_payload,
             spill,
+            append,
+            write_bytes,
             flagged,
         }
     }
@@ -352,10 +382,13 @@ impl Simulator {
             let mut read_s = 0.0;
             let mut disk_read_s = 0.0;
             let compute_s = if incremental {
-                // Re-read own stored contents to apply the delta.
-                let t = cfg.disk_read_time(node.output_bytes);
-                read_s += t;
-                disk_read_s += t;
+                // Re-read own stored contents to apply the delta — unless
+                // the append path skips straight to a delta-sized segment.
+                if !dp.append[i] {
+                    let t = cfg.disk_read_time(node.output_bytes);
+                    read_s += t;
+                    disk_read_s += t;
+                }
                 // Static build sides of a join spine: the propagated delta
                 // probes them, so the incremental path reads them in full.
                 if node.build_read_bytes > 0 {
@@ -430,9 +463,9 @@ impl Simulator {
             if flagged {
                 release_pass(&mut resident, &mut mem_used, &write_done, p, available);
                 if !occupies {
-                    available += cfg.mem_time(node.output_bytes);
+                    available += cfg.mem_time(dp.write_bytes[i]);
                     let wstart = available.max(writer_free_at);
-                    let done = wstart + cfg.disk_write_time(node.output_bytes);
+                    let done = wstart + cfg.disk_write_time(dp.write_bytes[i]);
                     write_done[i] = done;
                     writer_free_at = done;
                     persisted = done;
@@ -445,7 +478,7 @@ impl Simulator {
                     mem_used += dp.payload[i];
                     peak_mem = peak_mem.max(mem_used);
                     let wstart = available.max(writer_free_at);
-                    let done = wstart + cfg.disk_write_time(node.output_bytes);
+                    let done = wstart + cfg.disk_write_time(dp.write_bytes[i]);
                     write_done[i] = done;
                     writer_free_at = done;
                     persisted = done;
@@ -460,7 +493,7 @@ impl Simulator {
                         0.0
                     };
                     let wstart = available.max(writer_free_at);
-                    let done = wstart + spill_s + cfg.disk_write_time(node.output_bytes);
+                    let done = wstart + spill_s + cfg.disk_write_time(dp.write_bytes[i]);
                     writer_free_at = done;
                     write_done[i] = done;
                     write_s += done - available;
@@ -475,7 +508,7 @@ impl Simulator {
                 }
             } else {
                 let wstart = available.max(writer_free_at);
-                let done = wstart + cfg.disk_write_time(node.output_bytes);
+                let done = wstart + cfg.disk_write_time(dp.write_bytes[i]);
                 writer_free_at = done;
                 write_done[i] = done;
                 write_s += done - available;
@@ -597,7 +630,6 @@ impl Simulator {
 
         let flagged = |i: usize| dp.flagged.contains(sc_dag::NodeId(i));
         let occupies = |i: usize| graph.out_degree(sc_dag::NodeId(i)) > 0;
-        let size_of = |i: usize| graph.node(sc_dag::NodeId(i)).output_bytes;
         let delta_of = |i: usize| graph.node(sc_dag::NodeId(i)).delta_bytes.unwrap_or(0);
         // The executor works against the *effective* flags (skipped nodes
         // never enter the catalog).
@@ -720,10 +752,13 @@ impl Simulator {
                                 let mut dr = 0.0;
                                 if incremental {
                                     // Own stored contents, to apply the
-                                    // delta to.
-                                    let t = cfg.disk_read_time(node.output_bytes);
-                                    r += t;
-                                    dr += t;
+                                    // delta to (skipped on the append
+                                    // path).
+                                    if !dp.append[i] {
+                                        let t = cfg.disk_read_time(node.output_bytes);
+                                        r += t;
+                                        dr += t;
+                                    }
                                     // Static build sides the delta probes.
                                     if node.build_read_bytes > 0 {
                                         let t = cfg.disk_read_time(node.build_read_bytes);
@@ -807,7 +842,7 @@ impl Simulator {
                                 0.0
                             };
                             let wstart = ($clock).max(bg_free_at);
-                            let done = wstart + spill + cfg.disk_write_time(size_of(i));
+                            let done = wstart + spill + cfg.disk_write_time(dp.write_bytes[i]);
                             bg_free_at = done;
                             write_s[i] += done - $clock;
                             persisted_s[i] = done;
@@ -833,7 +868,7 @@ impl Simulator {
                         mem_used += dp.payload[cand];
                         peak_mem = peak_mem.max(mem_used);
                         let wstart = ($clock).max(bg_free_at);
-                        let done = wstart + cfg.disk_write_time(size_of(cand));
+                        let done = wstart + cfg.disk_write_time(dp.write_bytes[cand]);
                         bg_free_at = done;
                         persisted_s[cand] = done;
                         push(&mut events, $clock, Event::Publish(cand));
@@ -869,7 +904,6 @@ impl Simulator {
                             mem_used -= dp.payload[p];
                         }
                     }
-                    let out = size_of(i);
                     if dp.modes[i] == NodeMode::Skipped {
                         // Already persisted from the previous run: free
                         // the lane and let consumers proceed.
@@ -880,10 +914,10 @@ impl Simulator {
                     } else if flagged(i) && !occupies(i) {
                         // Childless flagged node: created in memory only to
                         // background its write; never occupies the catalog.
-                        let created = clock + cfg.mem_time(out);
+                        let created = clock + cfg.mem_time(dp.write_bytes[i]);
                         available_s[i] = created;
                         let wstart = created.max(bg_free_at);
-                        let done = wstart + cfg.disk_write_time(out);
+                        let done = wstart + cfg.disk_write_time(dp.write_bytes[i]);
                         bg_free_at = done;
                         persisted_s[i] = done;
                         push(&mut events, created, Event::LaneFree);
@@ -901,7 +935,7 @@ impl Simulator {
                         // write channel (one storage device).
                         available_s[i] = clock;
                         let wstart = clock.max(bg_free_at);
-                        let done = wstart + cfg.disk_write_time(out);
+                        let done = wstart + cfg.disk_write_time(dp.write_bytes[i]);
                         bg_free_at = done;
                         write_s[i] += done - clock;
                         persisted_s[i] = done;

@@ -45,6 +45,13 @@ pub struct SimNode {
     /// nodes. Charged as disk read time on the incremental path and fed
     /// to `CostModel::incremental_refresh_wins` under `Auto`.
     pub build_read_bytes: u64,
+    /// Whether the node's delta can be persisted as an **appended
+    /// segment** on the engine's segmented storage (an insert-only,
+    /// delta-publishing shape): the incremental path then skips the
+    /// own-contents re-read and writes `delta_bytes` instead of
+    /// `output_bytes`. Mirrors `publishes ∧ ¬deletes` in the engine's
+    /// delta planner; fed to the cost model under `Auto`.
+    pub delta_appendable: bool,
 }
 
 impl SimNode {
@@ -65,12 +72,20 @@ impl SimNode {
             delta_publishes: true,
             build_inputs: Vec::new(),
             build_read_bytes: 0,
+            delta_appendable: false,
         }
     }
 
     /// Annotates the node with its output-delta size for a churn scenario.
     pub fn with_delta(mut self, delta_bytes: u64) -> Self {
         self.delta_bytes = Some(delta_bytes);
+        self
+    }
+
+    /// Marks the node's delta as appendable on segmented storage (an
+    /// insert-only, delta-publishing shape).
+    pub fn appendable(mut self) -> Self {
+        self.delta_appendable = true;
         self
     }
 

@@ -108,6 +108,12 @@ pub struct ScenarioConfig {
     /// disk bandwidths are taken from it too, so both sides model the
     /// same device.
     pub throttle: Option<Throttle>,
+    /// Compact every MV back to canonical single-segment form after every
+    /// N-th churn round (`None` = never): experiments poll
+    /// [`ScenarioSpec::compact_due`] after each round they refresh, so
+    /// the same spec can exercise both fragmented (append-path segments
+    /// accumulating) and compacted storage states.
+    pub compact_every: Option<usize>,
 }
 
 impl ScenarioConfig {
@@ -120,6 +126,7 @@ impl ScenarioConfig {
             run_ahead_window: None,
             refresh_mode: RefreshMode::Auto,
             throttle: None,
+            compact_every: None,
         }
     }
 }
@@ -207,6 +214,22 @@ impl ScenarioSpec {
     pub fn with_throttle(mut self, throttle: Throttle) -> Self {
         self.config.throttle = Some(throttle);
         self
+    }
+
+    /// Compacts every MV after each `rounds`-th churn round (see
+    /// [`ScenarioConfig::compact_every`]).
+    pub fn with_compact_every(mut self, rounds: usize) -> Self {
+        self.config.compact_every = Some(rounds.max(1));
+        self
+    }
+
+    /// Whether the schedule calls for a compaction after (0-based) churn
+    /// round `round` was refreshed.
+    pub fn compact_due(&self, round: usize) -> bool {
+        match self.config.compact_every {
+            Some(n) => (round + 1).is_multiple_of(n),
+            None => false,
+        }
     }
 
     /// The engine-side refresh configuration this spec describes.
@@ -322,6 +345,20 @@ mod tests {
         assert_eq!(after, before + (before as f64 * 0.05).round() as usize);
         // Out-of-range rounds error instead of silently doing nothing.
         assert!(s.ingest_round(1, &disk, &store).is_err());
+    }
+
+    #[test]
+    fn compact_schedule_is_derived_from_the_toggle() {
+        let s = spec();
+        assert!(!s.compact_due(0) && !s.compact_due(1));
+        let s = s.with_compact_every(2);
+        assert!(!s.compact_due(0));
+        assert!(s.compact_due(1));
+        assert!(!s.compact_due(2));
+        assert!(s.compact_due(3));
+        // A zero interval clamps to 1 (compact after every round).
+        let every = spec().with_compact_every(0);
+        assert!(every.compact_due(0) && every.compact_due(1));
     }
 
     #[test]

@@ -312,6 +312,11 @@ pub fn mirror_workload(
         if !support.publishes_delta() {
             node = node.merge_only();
         }
+        if support.publishes_delta() && !deletes {
+            // Insert-only churn through a delta-publishing shape lands as
+            // an appended segment — mirror of the engine's append rule.
+            node = node.appendable();
+        }
         nodes.push(node);
     }
     SimWorkload::from_parts(nodes, edges)

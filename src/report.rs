@@ -64,8 +64,8 @@ impl RefreshReport {
             self.metrics.peak_memory_bytes,
         ));
         out.push_str(&format!(
-            "{:<20} {:<12} {:<6} {:>10} {:>8} {:>8} {:>8}  why\n",
-            "mv", "mode", "where", "delta B", "read s", "cmpt s", "write s"
+            "{:<20} {:<12} {:<6} {:>10} {:>10} {:>4} {:>8} {:>8} {:>8}  why\n",
+            "mv", "mode", "where", "delta B", "app B", "segs", "read s", "cmpt s", "write s"
         ));
         for n in &self.metrics.nodes {
             let mode = match n.mode {
@@ -83,15 +83,23 @@ impl RefreshReport {
                 "disk"
             };
             out.push_str(&format!(
-                "{:<20} {:<12} {:<6} {:>10} {:>8.3} {:>8.3} {:>8.3}  {}\n",
+                "{:<20} {:<12} {:<6} {:>10} {:>10} {:>4} {:>8.3} {:>8.3} {:>8.3}  {}\n",
                 n.name,
                 mode,
                 placement,
                 n.delta_bytes,
+                n.appended_bytes,
+                n.segments,
                 n.read_s,
                 n.compute_s,
                 n.write_s,
                 n.reason.describe(),
+            ));
+        }
+        let appended: u64 = self.metrics.nodes.iter().map(|n| n.appended_bytes).sum();
+        if appended > 0 {
+            out.push_str(&format!(
+                "({appended} B persisted by appending delta-sized segments instead of rewriting MVs)\n"
             ));
         }
         if self.metrics.nodes.iter().any(|n| n.fell_back) {
@@ -119,6 +127,8 @@ mod tests {
             mode,
             reason,
             delta_bytes: 42,
+            appended_bytes: if mode == NodeMode::Incremental { 42 } else { 0 },
+            segments: if mode == NodeMode::Incremental { 3 } else { 1 },
             read_s: 0.1,
             compute_s: 0.2,
             write_s: 0.3,
@@ -157,6 +167,10 @@ mod tests {
         assert!(text.contains("cost model"));
         assert!(text.contains("no pending change reaches it"));
         assert!(text.contains("peak memory 2048"));
+        assert!(
+            text.contains("42 B persisted by appending"),
+            "append totals surface: {text}"
+        );
         assert_eq!(report.mode("quiet"), Some(NodeMode::Skipped));
         assert_eq!(report.mode("missing"), None);
         assert_eq!(report.total_s(), 1.5);

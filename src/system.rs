@@ -415,6 +415,31 @@ impl ScSession {
         &self.deltas
     }
 
+    /// Collapses every registered MV back to the canonical single-segment
+    /// storage form (base tables are rewritten canonically at ingest time
+    /// and never fragment). Insert-only incremental refreshes *append*
+    /// delta-sized segments, so a long-running session's MVs accumulate
+    /// segments until a recompute — or this call — compacts them; after
+    /// compaction the stored files are byte-identical to what a full
+    /// recomputation of the same rows would produce. Returns total bytes
+    /// rewritten (0 for already-canonical MVs).
+    pub fn compact_mvs(&self) -> Result<u64> {
+        // Holding the planner mutex — the refresh-run lock — serializes
+        // compaction with any concurrent `refresh`: a compact racing a
+        // refresh's committed append could otherwise rewrite the MV from
+        // a pre-append read and silently drop the delta the (already
+        // consumed) log just applied. Ingestion stays concurrent: it
+        // touches base tables only, never MVs.
+        let _run_lock = self.planner.lock();
+        let mut total = 0;
+        for mv in self.mvs() {
+            if self.disk.contains(&mv.name) {
+                total += self.disk.compact(&mv.name)?;
+            }
+        }
+        Ok(total)
+    }
+
     /// Ingests a change batch against base table `table`: the stored table
     /// is updated immediately (the DBMS's data is always current) and the
     /// change is logged so the next refresh can maintain affected MVs
@@ -567,24 +592,28 @@ impl ScSession {
     }
 
     /// Per-MV in-memory output sizes the profiling run observed. `None`
-    /// for nodes the run skipped: they have no comparable baseline (their
-    /// stored *file* size is on a different scale than in-memory bytes),
-    /// so the drift check leaves them alone until a later re-profile.
+    /// for nodes the run did not recompute in full: skipped nodes produce
+    /// no output, and incremental nodes report storage-scale sizes (an
+    /// append-path node never materializes its full output at all) — in
+    /// both cases the number is on a different scale than in-memory
+    /// bytes, so the drift check leaves those nodes alone until a later
+    /// re-profile.
     fn profiled_sizes(&self, mvs: &[MvDefinition], metrics: &RunMetrics) -> Vec<Option<u64>> {
         mvs.iter()
             .map(|mv| {
                 metrics
                     .nodes
                     .iter()
-                    .find(|n| n.name == mv.name && n.mode != NodeMode::Skipped)
+                    .find(|n| n.name == mv.name && n.mode == NodeMode::Full)
                     .map(|n| n.output_bytes)
             })
             .collect()
     }
 
     /// Whether any node's observed output size left the profiled
-    /// tolerance band. Nodes without a baseline pass (skipped during the
-    /// profile), as do nodes skipped this run (no output produced).
+    /// tolerance band. Nodes without a baseline pass, as do nodes not
+    /// recomputed in full this run (incremental nodes change by O(delta)
+    /// per round and report storage-scale sizes — no comparable signal).
     fn sizes_drifted(&self, mvs: &[MvDefinition], metrics: &RunMetrics, planner: &Planner) -> bool {
         let Some(cached) = planner.cached.as_ref() else {
             return false;
@@ -594,7 +623,7 @@ impl ScSession {
             let observed = metrics
                 .nodes
                 .iter()
-                .find(|n| n.name == mv.name && n.mode != NodeMode::Skipped)
+                .find(|n| n.name == mv.name && n.mode == NodeMode::Full)
                 .map(|n| n.output_bytes);
             match (observed, prof) {
                 (None, _) | (_, None) => false,

@@ -1,16 +1,21 @@
 //! Cross-crate tests for the incremental (delta) refresh subsystem.
 //!
-//! The load-bearing property is *byte-identity*: across seeded update
-//! streams — insert-only and mixed insert/update/delete — an incremental
-//! refresh must leave every MV's stored `.sctb` file byte-for-byte equal
-//! to what a from-scratch recomputation produces, on one lane and on
-//! four. The second property is *delta-sized admission*: a flagged node
-//! whose consumers all maintain incrementally reserves only its delta in
-//! the Memory Catalog, so flags survive budgets that could never hold the
-//! full table.
+//! The load-bearing property is the segmented-storage **equality
+//! contract**: across seeded update streams — insert-only and mixed
+//! insert/update/delete — an incremental refresh must leave every MV
+//! *row-identical* to what a from-scratch recomputation produces after
+//! every round (insert-only rounds append delta-sized segments, so the
+//! file layout legitimately differs), and *byte-identical* file for file
+//! once `compact()` collapses the segments back to the canonical
+//! single-segment form — on one lane and on four. The second property is
+//! *delta-sized admission*: a flagged node whose consumers all maintain
+//! incrementally reserves only its delta in the Memory Catalog, so flags
+//! survive budgets that could never hold the full table. The third is
+//! *O(delta) persistence*: append-path nodes report delta-sized
+//! `appended_bytes` where a full refresh rewrites the whole MV.
 
 use sc_core::FlagSet;
-use sc_core::{NodeMode, Plan, RefreshMode};
+use sc_core::{ModeReason, NodeMode, Plan, RefreshMode};
 use sc_dag::NodeId;
 use sc_engine::controller::{Controller, MvDefinition, RefreshConfig};
 use sc_engine::exec::AggFunc;
@@ -111,14 +116,28 @@ fn refresh(
         .unwrap()
 }
 
-/// Raw stored file bytes of every MV.
-fn mv_file_bytes(r: &Rig, mvs: &[MvDefinition]) -> Vec<(String, Vec<u8>)> {
+/// Stored files (name, bytes) backing one table.
+type StoredFiles = Vec<(String, Vec<u8>)>;
+
+/// Raw stored bytes of every file (manifest + segments) backing every MV.
+fn mv_file_bytes(r: &Rig, mvs: &[MvDefinition]) -> Vec<(String, StoredFiles)> {
     mvs.iter()
-        .map(|mv| {
-            let path = r.disk.dir().join(format!("{}.sctb", mv.name));
-            (mv.name.clone(), std::fs::read(path).unwrap())
-        })
+        .map(|mv| (mv.name.clone(), r.disk.stored_file_bytes(&mv.name).unwrap()))
         .collect()
+}
+
+/// Logical stored contents of every MV (layout-independent).
+fn mv_tables(r: &Rig, mvs: &[MvDefinition]) -> Vec<(String, sc_engine::Table)> {
+    mvs.iter()
+        .map(|mv| (mv.name.clone(), r.disk.read_table(&mv.name).unwrap()))
+        .collect()
+}
+
+/// Compacts every MV back to the canonical single-segment form.
+fn compact_all(r: &Rig, mvs: &[MvDefinition]) {
+    for mv in mvs {
+        r.disk.compact(&mv.name).unwrap();
+    }
 }
 
 /// Three seeded churn rounds — insert-only, then mixed with updates and
@@ -151,9 +170,9 @@ fn incremental_refresh_is_byte_identical_across_update_streams() {
             let im = refresh(&inc, &mvs, &plan, lanes, RefreshMode::AlwaysIncremental);
 
             assert_eq!(
-                mv_file_bytes(&full, &mvs),
-                mv_file_bytes(&inc, &mvs),
-                "round {round}, lanes {lanes}: stored MV files must be byte-identical"
+                mv_tables(&full, &mvs),
+                mv_tables(&inc, &mvs),
+                "round {round}, lanes {lanes}: stored MVs must be row-identical"
             );
             assert!(full.mem.is_empty() && inc.mem.is_empty());
             assert!(fm.nodes.iter().all(|n| n.mode == NodeMode::Full));
@@ -179,7 +198,36 @@ fn incremental_refresh_is_byte_identical_across_update_streams() {
                 expect,
                 "round {round}, lanes {lanes}"
             );
+            // Insert-only rounds persist hot_sales via the append path —
+            // a delta-sized segment, not an MV rewrite; the mixed round's
+            // deletes force the canonical rewrite.
+            let hot = im.nodes.iter().find(|n| n.name == "hot_sales").unwrap();
+            if round == 1 {
+                assert_eq!(hot.appended_bytes, 0, "lanes {lanes}");
+                assert_eq!(hot.segments, 1, "lanes {lanes}");
+            } else {
+                assert!(hot.appended_bytes > 0, "round {round}, lanes {lanes}");
+                assert!(
+                    hot.appended_bytes < hot.output_bytes / 4,
+                    "round {round}, lanes {lanes}: append must be O(delta), \
+                     wrote {} of a {}-byte MV",
+                    hot.appended_bytes,
+                    hot.output_bytes
+                );
+                assert!(hot.segments > 1, "round {round}, lanes {lanes}");
+            }
         }
+        // The equality contract's second half: after compacting the
+        // fragmented rig back to canonical form, every file is
+        // byte-identical to the always-full reference.
+        assert!(inc.disk.segment_count("hot_sales").unwrap() > 1);
+        compact_all(&inc, &mvs);
+        assert_eq!(inc.disk.segment_count("hot_sales").unwrap(), 1);
+        assert_eq!(
+            mv_file_bytes(&full, &mvs),
+            mv_file_bytes(&inc, &mvs),
+            "lanes {lanes}: compacted files must be byte-identical to the reference"
+        );
     }
 }
 
@@ -304,9 +352,9 @@ fn join_hub_pipeline_maintained_incrementally_and_byte_identical() {
             let im = refresh(&inc, &mvs, &plan, lanes, RefreshMode::AlwaysIncremental);
 
             assert_eq!(
-                mv_file_bytes(&full, &mvs),
-                mv_file_bytes(&inc, &mvs),
-                "round {round}, lanes {lanes}: join-hub pipeline must stay byte-identical"
+                mv_tables(&full, &mvs),
+                mv_tables(&inc, &mvs),
+                "round {round}, lanes {lanes}: join-hub pipeline must stay row-identical"
             );
             let node = |name: &str| im.nodes.iter().find(|n| n.name == name).unwrap();
             // The join hub delta-joins its fact churn against the static
@@ -328,8 +376,63 @@ fn join_hub_pipeline_maintained_incrementally_and_byte_identical() {
                 assert_eq!(node(skipped).mode, NodeMode::Skipped, "{skipped}");
             }
             assert!(inc.mem.is_empty() && inc.store.is_empty());
+            // The hub's fan-out delta lands as an appended segment.
+            assert!(node("enriched_sales").appended_bytes > 0);
+            assert_eq!(
+                node("enriched_sales").segments as u64,
+                round + 2,
+                "one more segment per insert-only round"
+            );
         }
+        compact_all(&inc, &mvs);
+        assert_eq!(
+            mv_file_bytes(&full, &mvs),
+            mv_file_bytes(&inc, &mvs),
+            "lanes {lanes}: compacted join-hub files must be byte-identical"
+        );
     }
+}
+
+/// ROADMAP regression closed by the segmented layout's write term: a
+/// wide join-hub MV (its contents out-size its churning fact input) used
+/// to need `AlwaysIncremental` — the read-side-only cost model saw the
+/// O(MV) re-read + rewrite and always recomputed. With the append path
+/// the incremental refresh reads O(delta + dimensions) and writes
+/// O(delta), so plain `Auto` now picks it.
+#[test]
+fn auto_picks_delta_join_for_wide_hub() {
+    let mvs = sales_pipeline();
+    let plan = plan_for(&mvs, &[0]);
+    let r = rig(64 << 20);
+    refresh(&r, &mvs, &plan, 1, RefreshMode::AlwaysFull);
+    // The gap's defining shape: hub contents out-size the fact input.
+    assert!(
+        r.disk.size_of("enriched_sales").unwrap() > r.disk.size_of("store_sales").unwrap(),
+        "scenario must reproduce the wide-hub shape"
+    );
+
+    let churn = JoinHubChurn::store_sales(0.04);
+    churn.ingest_round(&r.disk, &r.store, 1).unwrap();
+    let auto = refresh(&r, &mvs, &plan, 1, RefreshMode::Auto);
+    let node = |name: &str| auto.nodes.iter().find(|n| n.name == name).unwrap();
+    let hub = node("enriched_sales");
+    assert_eq!(
+        hub.mode,
+        NodeMode::Incremental,
+        "Auto must now pick delta-join for the wide hub, got {:?} ({})",
+        hub.mode,
+        hub.reason.describe()
+    );
+    assert_eq!(hub.reason, ModeReason::DeltaApplied);
+    assert!(hub.appended_bytes > 0, "the hub persists via an append");
+    assert!(
+        hub.appended_bytes < hub.output_bytes / 5,
+        "append is O(delta): wrote {} of a {}-byte MV",
+        hub.appended_bytes,
+        hub.output_bytes
+    );
+    assert_eq!(node("web_by_item").mode, NodeMode::Skipped);
+    assert!(r.store.is_empty() && r.mem.is_empty());
 }
 
 /// Churning a *dimension* (build side) forces the hub — and transitively
@@ -391,19 +494,21 @@ fn spilled_delta_is_read_back_when_consumer_is_off_catalog() {
     }
     refresh(&full, &mvs, &plan, 1, RefreshMode::AlwaysFull);
     let im = refresh(&inc, &mvs, &plan, 1, RefreshMode::AlwaysIncremental);
-    assert_eq!(mv_file_bytes(&full, &mvs), mv_file_bytes(&inc, &mvs));
+    assert_eq!(mv_tables(&full, &mvs), mv_tables(&inc, &mvs));
 
     let node = |name: &str| im.nodes.iter().find(|n| n.name == name).unwrap();
     assert_eq!(node("hot_sales").mode, NodeMode::Incremental);
     assert!(!node("hot_sales").flagged);
-    // Consumers maintained incrementally and read two tables from disk:
-    // their own stored contents plus the parent's spilled #delta file.
+    // Consumers maintained incrementally off-catalog. Append-path
+    // consumers (bulk_hot_sales, hot_enriched) read only the spilled
+    // #delta (plus join build sides) — never their own stored contents;
+    // the merge aggregate still re-reads its contents to rewrite them.
     for consumer in ["bulk_hot_sales", "hot_enriched", "sales_by_item"] {
         let n = node(consumer);
         assert_eq!(n.mode, NodeMode::Incremental, "{consumer}");
         assert!(
-            n.disk_reads >= 2,
-            "{consumer} must read its contents and the spilled delta from storage, got {}",
+            n.disk_reads >= 1,
+            "{consumer} must read the spilled delta from storage, got {}",
             n.disk_reads
         );
         assert_eq!(
@@ -411,6 +516,13 @@ fn spilled_delta_is_read_back_when_consumer_is_off_catalog() {
             "{consumer} reads nothing from the catalog"
         );
     }
+    assert!(
+        node("sales_by_item").disk_reads >= 2,
+        "merge re-reads contents"
+    );
+    assert!(node("bulk_hot_sales").appended_bytes > 0);
+    compact_all(&inc, &mvs);
+    assert_eq!(mv_file_bytes(&full, &mvs), mv_file_bytes(&inc, &mvs));
     // The spill is transient: gone once the run ends.
     assert!(!inc.disk.contains("hot_sales#delta"));
     assert!(inc.mem.is_empty());
@@ -665,6 +777,9 @@ fn poisoned_log_retry_recomputes_join_hub_instead_of_double_applying() {
         .refresh(&doomed, &doomed_plan);
     assert!(err.is_err());
     assert!(victim.store.is_poisoned(), "failed run must poison the log");
+    // The hub's committed append survives the failure (appends are
+    // atomic at the manifest commit), leaving it fragmented…
+    assert!(victim.disk.segment_count("enriched_sales").unwrap() > 1);
 
     // Retry on the good set: no node may apply the delta a second time.
     let retry = refresh(
@@ -679,8 +794,10 @@ fn poisoned_log_retry_recomputes_join_hub_instead_of_double_applying() {
         "poisoned log forces full recomputes"
     );
     assert!(!victim.store.is_poisoned() && victim.store.is_empty());
+    // …and the full recompute collapses it back to canonical form.
+    assert_eq!(victim.disk.segment_count("enriched_sales").unwrap(), 1);
 
-    // The control rig refreshes once, cleanly.
+    // The control rig refreshes once, cleanly (appending), then compacts.
     refresh(
         &control,
         &good,
@@ -689,8 +806,15 @@ fn poisoned_log_retry_recomputes_join_hub_instead_of_double_applying() {
         RefreshMode::AlwaysIncremental,
     );
     assert_eq!(
+        mv_tables(&victim, &good),
+        mv_tables(&control, &good),
+        "recovered pipeline must be row-identical to a system that never failed"
+    );
+    compact_all(&victim, &good);
+    compact_all(&control, &good);
+    assert_eq!(
         mv_file_bytes(&victim, &good),
         mv_file_bytes(&control, &good),
-        "recovered pipeline must match a system that never failed"
+        "compacted recovered pipeline must match a system that never failed"
     );
 }

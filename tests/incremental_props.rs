@@ -1,14 +1,19 @@
 //! Property-based **incremental-vs-full differential harness**.
 //!
-//! The correctness bar for incremental maintenance is *byte-identity with
-//! full recomputation*. This suite holds that bar over randomized inputs:
-//! each case generates a random MV DAG (scan / filter / project / keyed
-//! inner join / aggregate / union / sort+limit over 2–5 base tables) and a
-//! seeded schedule of insert / update / delete streams, then drives three
-//! rigs through the same churn — one refreshing `AlwaysFull` (the
-//! reference), two refreshing `AlwaysIncremental` on 1 and 4 lanes — and
-//! asserts every MV's stored `.sctb` file is byte-for-byte identical
-//! across all three after every round.
+//! The correctness bar for incremental maintenance on segmented storage
+//! is the **equality contract**: *row-identity with full recomputation
+//! after every round* (append-path rounds legitimately fragment the file
+//! layout) and *byte-identity of every stored file after `compact()`*.
+//! This suite holds that bar over randomized inputs: each case generates
+//! a random MV DAG (scan / filter / project / keyed inner join /
+//! aggregate / union / sort+limit over 2–5 base tables) and a seeded
+//! schedule of insert / update / delete streams, then drives three rigs
+//! through the same churn — one refreshing `AlwaysFull` (the reference),
+//! two refreshing `AlwaysIncremental` on 1 and 4 lanes. After every round
+//! the incremental rigs must be row-identical to the reference and
+//! byte-identical to *each other* (identical operation histories must
+//! produce identical segment layouts, fragmented or not); after a final
+//! compaction every file must be byte-identical across all three.
 //!
 //! Because the DAGs include shapes on *both* sides of the support
 //! boundary (delta-joins with static build sides, self-joins whose build
@@ -221,14 +226,17 @@ fn refresh(r: &Rig, case: &Case, plan: &Plan, lanes: usize, mode: RefreshMode) -
         .unwrap()
 }
 
-fn mv_file(r: &Rig, name: &str) -> Vec<u8> {
-    std::fs::read(r.disk.dir().join(format!("{name}.sctb"))).unwrap()
+/// All stored files (manifest + segments) backing one MV.
+fn mv_files(r: &Rig, name: &str) -> Vec<(String, Vec<u8>)> {
+    r.disk.stored_file_bytes(name).unwrap()
 }
 
 // The differential property: after every churn round, incremental
-// maintenance (1 and 4 lanes) leaves every MV file byte-identical to the
-// always-full reference, drains the Memory Catalog, consumes the delta
-// log, and leaves no spilled `#delta` files behind.
+// maintenance (1 and 4 lanes) leaves every MV row-identical to the
+// always-full reference and byte-identical across lane counts, drains
+// the Memory Catalog, consumes the delta log, and leaves no spilled
+// `#delta` files behind; after compaction, every stored file is
+// byte-identical to the reference.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -263,18 +271,27 @@ proptest! {
             let m4 = refresh(&inc4, &case, &plan, 4, RefreshMode::AlwaysIncremental);
 
             for mv in &case.mvs {
-                let want = mv_file(&reference, &mv.name);
+                let want = reference.disk.read_table(&mv.name).unwrap();
                 prop_assert_eq!(
                     &want,
-                    &mv_file(&inc1, &mv.name),
+                    &inc1.disk.read_table(&mv.name).unwrap(),
                     "seed {} round {round}: 1-lane incremental diverged on {}",
                     seed,
                     mv.name
                 );
                 prop_assert_eq!(
                     &want,
-                    &mv_file(&inc4, &mv.name),
+                    &inc4.disk.read_table(&mv.name).unwrap(),
                     "seed {} round {round}: 4-lane incremental diverged on {}",
+                    seed,
+                    mv.name
+                );
+                // Identical operation histories must produce identical
+                // segment layouts, appended or not — lane count included.
+                prop_assert_eq!(
+                    &mv_files(&inc1, &mv.name),
+                    &mv_files(&inc4, &mv.name),
+                    "seed {} round {round}: lane count changed {}'s stored files",
                     seed,
                     mv.name
                 );
@@ -291,6 +308,28 @@ proptest! {
                 prop_assert!(r.mem.is_empty(), "catalog drains every run");
                 prop_assert!(r.store.is_empty(), "successful refresh consumes the log");
             }
+        }
+        // The contract's second half: compaction restores the canonical
+        // single-segment form, byte-identical to the reference.
+        for mv in &case.mvs {
+            inc1.disk.compact(&mv.name).unwrap();
+            inc4.disk.compact(&mv.name).unwrap();
+            prop_assert_eq!(inc1.disk.segment_count(&mv.name).unwrap(), 1);
+            let want = mv_files(&reference, &mv.name);
+            prop_assert_eq!(
+                &want,
+                &mv_files(&inc1, &mv.name),
+                "seed {}: compacted {} diverged from the reference",
+                seed,
+                mv.name
+            );
+            prop_assert_eq!(
+                &want,
+                &mv_files(&inc4, &mv.name),
+                "seed {}: compacted {} (4 lanes) diverged from the reference",
+                seed,
+                mv.name
+            );
         }
     }
 }

@@ -27,13 +27,18 @@ fn system_with_data(budget: u64, scale: f64, lanes: usize) -> (tempfile::TempDir
     (dir, sys)
 }
 
-/// The stored `.sctb` file bytes of every registered MV, by name.
-fn mv_file_bytes(sys: &ScSystem) -> Vec<(String, Vec<u8>)> {
+/// Stored files (name, bytes) backing one table.
+type StoredFiles = Vec<(String, Vec<u8>)>;
+
+/// The stored file bytes (manifest + segments) of every registered MV.
+fn mv_file_bytes(sys: &ScSystem) -> Vec<(String, StoredFiles)> {
     sys.mvs()
         .iter()
         .map(|mv| {
-            let path = sys.disk().dir().join(format!("{}.sctb", mv.name));
-            (mv.name.clone(), std::fs::read(path).unwrap())
+            (
+                mv.name.clone(),
+                sys.disk().stored_file_bytes(&mv.name).unwrap(),
+            )
         })
         .collect()
 }

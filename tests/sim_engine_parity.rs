@@ -80,6 +80,70 @@ fn assert_parity(spec: &ScenarioSpec, scenario: &str) -> HashMap<String, NodeMod
         .collect()
 }
 
+/// Satellite of the segmented-storage PR: the sim/engine mode parity must
+/// hold whether the engine's MVs are *fragmented* (append-path segments
+/// accumulated across rounds) or *compacted* back to canonical form —
+/// driven by the spec's [`sc_workload::ScenarioSpec::with_compact_every`]
+/// toggle, so both storage states ride the same scenario value.
+#[test]
+fn parity_holds_on_fragmented_and_compacted_state() {
+    for compact_every in [None, Some(1usize)] {
+        let mut spec = base_spec(RefreshMode::AlwaysIncremental)
+            .with_churn(ChurnRound::inserts(["store_sales"], 0.03, 11))
+            .with_churn(ChurnRound::inserts(["store_sales"], 0.02, 12));
+        if let Some(n) = compact_every {
+            spec = spec.with_compact_every(n);
+        }
+        let dir = tempfile::tempdir().unwrap();
+        let session = ScSession::from_spec(dir.path(), &spec).unwrap();
+        let baseline = session.baseline_refresh().unwrap();
+        let plan = Plan::unoptimized((0..spec.mvs.len()).map(NodeId).collect());
+
+        // Round 0 is ingested and refreshed up front, leaving the hub
+        // either fragmented (append landed) or compacted per the toggle.
+        spec.ingest_round(0, session.disk(), session.delta_store())
+            .unwrap();
+        session.refresh_with_plan(&plan).unwrap();
+        if spec.compact_due(0) {
+            session.compact_mvs().unwrap();
+            assert_eq!(session.disk().segment_count("enriched_sales").unwrap(), 1);
+        } else {
+            assert!(
+                session.disk().segment_count("enriched_sales").unwrap() > 1,
+                "insert-only refresh must fragment the hub"
+            );
+        }
+
+        // Round 1 pends; sim and engine must agree on every node's mode
+        // regardless of the storage state round 0 left behind.
+        spec.ingest_round(1, session.disk(), session.delta_store())
+            .unwrap();
+        let mirrored = spec
+            .mirror(session.disk(), &baseline, session.delta_store())
+            .unwrap();
+        let sim_report = Simulator::new(spec.sim_config())
+            .run(&mirrored, &plan)
+            .unwrap();
+        let engine = session.refresh_with_plan(&plan).unwrap();
+        let sim_modes: HashMap<&str, NodeMode> = sim_report
+            .nodes
+            .iter()
+            .map(|n| (n.name.as_str(), n.mode))
+            .collect();
+        for n in &engine.nodes {
+            assert_eq!(
+                sim_modes[n.name.as_str()],
+                n.mode,
+                "compact_every={compact_every:?}: sim and engine disagree on {}",
+                n.name
+            );
+        }
+        let mode = |name: &str| engine.nodes.iter().find(|n| n.name == name).unwrap().mode;
+        assert_eq!(mode("enriched_sales"), NodeMode::Incremental);
+        assert_eq!(mode("web_by_item"), NodeMode::Skipped);
+    }
+}
+
 #[test]
 fn sim_predicts_engine_node_modes_exactly() {
     // Scenario 1: fact churn — the delta-join sweet spot. The hub and all
@@ -122,17 +186,20 @@ fn sim_predicts_engine_node_modes_exactly() {
     assert!(m.values().all(|&mode| mode == NodeMode::Full));
 }
 
-/// The stored `.sctb` file bytes of every table in the catalog, by name
-/// (base tables and MVs alike).
-fn catalog_bytes(session: &ScSession) -> Vec<(String, Vec<u8>)> {
+/// Stored files (name, bytes) backing one table.
+type StoredFiles = Vec<(String, Vec<u8>)>;
+
+/// The stored file bytes (manifest + segments) of every table in the
+/// catalog, by name (base tables and MVs alike).
+fn catalog_bytes(session: &ScSession) -> Vec<(String, StoredFiles)> {
     session
         .disk()
         .list()
         .unwrap()
         .into_iter()
         .map(|name| {
-            let path = session.disk().dir().join(format!("{name}.sctb"));
-            (name, std::fs::read(path).unwrap())
+            let files = session.disk().stored_file_bytes(&name).unwrap();
+            (name, files)
         })
         .collect()
 }
@@ -206,7 +273,11 @@ fn concurrent_ingest_during_refresh_matches_sequential() {
     assert!(sequential.delta_store().is_empty());
 
     // Byte-level equality of the full catalogs: all 7 base tables and
-    // all 9 MVs.
+    // all 9 MVs. The two rigs interleaved refreshes differently, so their
+    // append-path segment layouts may differ — the equality contract
+    // compares the canonical form, so compact both first.
+    concurrent.compact_mvs().unwrap();
+    sequential.compact_mvs().unwrap();
     let a = catalog_bytes(&concurrent);
     let b = catalog_bytes(&sequential);
     assert_eq!(a.len(), b.len());
