@@ -73,7 +73,7 @@ pub use memory::MemoryProfile;
 pub use plan::{FlagSet, Plan};
 pub use problem::{MvMeta, Problem};
 pub use replay::{run_ahead_window, AdmissionReplay, ModeReason, NodeMode, RefreshMode};
-pub use score::CostModel;
+pub use score::{CostModel, ObservedNodeCost};
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, OptError>;

@@ -28,6 +28,50 @@ pub const MIB: u64 = 1 << 20;
 /// Bytes per gibibyte.
 pub const GIB: u64 = 1 << 30;
 
+/// Runtime-observed per-node cost summary, distilled from persisted
+/// refresh observations (the engine's observation sidecar) or a
+/// simulator annotation mirroring it.
+///
+/// The static [`CostModel`] is a pure I/O model — it admits in its own
+/// docs that compute is not modeled. This summary carries the terms real
+/// runs expose: per-byte compute throughput under full recomputation and
+/// under incremental maintenance, the measured write rate of the node's
+/// materialization, and the observed output-delta amplification of its
+/// append path. Every field is optional: a summary only contributes the
+/// terms it has actually seen, and decisions fall back to the static
+/// estimates for the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObservedNodeCost {
+    /// Compute seconds per *output* byte measured on representative
+    /// full recomputations. Output bytes (not input) because that is the
+    /// one size every observation records on the same storage scale the
+    /// planner prices with; for a stable shape the ratio is a constant of
+    /// the operator tree either way.
+    pub full_compute_s_per_byte: Option<f64>,
+    /// Compute seconds per output-delta byte measured on representative
+    /// incremental refreshes. `None` falls back to the full-path rate
+    /// (the delta operators do proportionally less of the same work).
+    pub inc_compute_s_per_byte: Option<f64>,
+    /// Blocking-write seconds per byte actually persisted, from runs
+    /// whose write landed on the critical path.
+    pub write_s_per_byte: Option<f64>,
+    /// Observed output-delta / input-delta amplification from append-path
+    /// refreshes — the measured replacement for the stored-size /
+    /// spine-size ratio the planner otherwise guesses with.
+    pub output_delta_ratio: Option<f64>,
+    /// Representative observations backing the summary.
+    pub samples: usize,
+}
+
+impl ObservedNodeCost {
+    /// Whether the summary carries any compute signal at all; without
+    /// one the adaptive decision is identical to the static one, so
+    /// callers may skip the observed path entirely.
+    pub fn has_compute(&self) -> bool {
+        self.full_compute_s_per_byte.is_some() || self.inc_compute_s_per_byte.is_some()
+    }
+}
+
 /// A linear I/O cost model: `time(bytes) = latency + bytes / bandwidth`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
@@ -83,9 +127,7 @@ impl CostModel {
     /// The paper's speedup score `ti` for a node of output size `size` with
     /// `num_children` downstream consumers.
     pub fn speedup_score(&self, size: u64, num_children: usize) -> f64 {
-        let read_saving = self.disk_read_time(size) - self.mem_read_time(size);
-        let write_saving = self.disk_write_time(size) - self.mem_write_time(size);
-        (num_children as f64 * read_saving + write_saving).max(0.0)
+        self.speedup_score_observed(size, num_children, None)
     }
 
     /// Whether maintaining an MV incrementally is predicted to beat a full
@@ -130,6 +172,34 @@ impl CostModel {
         static_bytes: u64,
         append_bytes: Option<u64>,
     ) -> bool {
+        self.incremental_refresh_wins_observed(
+            input_bytes,
+            output_bytes,
+            delta_bytes,
+            static_bytes,
+            append_bytes,
+            None,
+        )
+    }
+
+    /// [`CostModel::incremental_refresh_wins`] with a runtime-feedback
+    /// layer: when `observed` carries a compute-throughput sample for
+    /// this node shape, both sides of the comparison gain the compute
+    /// term the static model cannot see — the full path is charged the
+    /// observed per-byte rate over its whole output, the incremental
+    /// path only over its output delta. Without a sample the decision is
+    /// bit-for-bit the static one, so a missing / corrupt / not-yet-warm
+    /// observation sidecar can never flip a decision the wrong way — it
+    /// merely leaves today's estimate in place.
+    pub fn incremental_refresh_wins_observed(
+        &self,
+        input_bytes: u64,
+        output_bytes: u64,
+        delta_bytes: u64,
+        static_bytes: u64,
+        append_bytes: Option<u64>,
+        observed: Option<&ObservedNodeCost>,
+    ) -> bool {
         // Zero-byte accesses never happen (a join-free spine reads no
         // static table), so they must not be charged the fixed latency —
         // at small scales those phantom latencies would drown the real
@@ -148,23 +218,69 @@ impl CostModel {
                 self.disk_write_time(bytes)
             }
         };
-        let full = rd(input_bytes) + wr(output_bytes);
+        let mut full = rd(input_bytes) + wr(output_bytes);
         let mut incremental = rd(static_bytes) + rd(delta_bytes) + self.mem_read_time(delta_bytes);
         incremental += match append_bytes {
             Some(out_delta) => wr(out_delta),
             None => rd(output_bytes) + wr(output_bytes),
         };
+        if let Some(obs) = observed.filter(|o| o.has_compute()) {
+            let full_rate = obs.full_compute_s_per_byte;
+            // Incremental operators do proportionally less of the same
+            // per-row work, so the full-path rate is the honest fallback
+            // until an incremental run has been measured.
+            let inc_rate = obs.inc_compute_s_per_byte.or(full_rate);
+            full += full_rate.unwrap_or(0.0) * output_bytes as f64;
+            let out_delta = append_bytes.unwrap_or(delta_bytes);
+            incremental += inc_rate.unwrap_or(0.0) * out_delta as f64;
+        }
         incremental < full
+    }
+
+    /// [`CostModel::speedup_score`] with runtime feedback: when
+    /// `observed` carries a measured write rate for this node shape, the
+    /// "create `vi` off the critical path" saving is priced at the rate
+    /// the node's materializations have actually achieved instead of the
+    /// model's global write bandwidth. (The per-consumer read saving
+    /// stays modeled: a consumer's observed read time covers *all* its
+    /// inputs and cannot be attributed to one parent.) Without a sample
+    /// the score is exactly the static one.
+    pub fn speedup_score_observed(
+        &self,
+        size: u64,
+        num_children: usize,
+        observed: Option<&ObservedNodeCost>,
+    ) -> f64 {
+        let disk_write = match observed.and_then(|o| o.write_s_per_byte) {
+            Some(rate) => rate * size as f64,
+            None => self.disk_write_time(size),
+        };
+        let read_saving = self.disk_read_time(size) - self.mem_read_time(size);
+        let write_saving = disk_write - self.mem_write_time(size);
+        (num_children as f64 * read_saving + write_saving).max(0.0)
     }
 
     /// Annotates a dependency graph of `(name, output size)` pairs with
     /// speedup scores, producing an S/C Opt instance.
     pub fn build_problem(&self, graph: &Dag<(String, u64)>, budget: u64) -> Result<Problem> {
+        self.build_problem_observed(graph, budget, |_| None)
+    }
+
+    /// [`CostModel::build_problem`] with runtime feedback: `observed`
+    /// resolves a node name to its [`ObservedNodeCost`] summary (when a
+    /// shape fingerprint matched); matched nodes are scored with
+    /// [`CostModel::speedup_score_observed`].
+    pub fn build_problem_observed(
+        &self,
+        graph: &Dag<(String, u64)>,
+        budget: u64,
+        observed: impl Fn(&str) -> Option<ObservedNodeCost>,
+    ) -> Result<Problem> {
         let annotated = graph.map(|v, (name, size)| {
             MvMeta::new(
                 name.clone(),
                 *size,
-                self.speedup_score(*size, graph.out_degree(v)),
+                self.speedup_score_observed(*size, graph.out_degree(v), observed(name).as_ref()),
             )
         });
         Problem::new(annotated, budget)
@@ -249,6 +365,83 @@ mod tests {
         // …as do static build sides out-weighing the full path's whole
         // read+write bill.
         assert!(!m.incremental_refresh_wins(GIB, MIB, MIB, 4 * GIB, Some(MIB)));
+    }
+
+    /// A summary with only the given full-path compute rate.
+    fn full_rate(rate: f64) -> ObservedNodeCost {
+        ObservedNodeCost {
+            full_compute_s_per_byte: Some(rate),
+            inc_compute_s_per_byte: None,
+            write_s_per_byte: None,
+            output_delta_ratio: None,
+            samples: 1,
+        }
+    }
+
+    #[test]
+    fn observed_compute_flips_latency_bound_merge_decisions() {
+        let m = CostModel::paper();
+        // The compute-bound blind spot: a wide aggregate whose output is
+        // as large as its input over small files. The merge path re-reads
+        // and rewrites the MV, so on I/O alone recomputation looks
+        // cheaper (one access fewer)…
+        let (input, output, delta) = (MIB, MIB, 16 * 1024);
+        assert!(!m.incremental_refresh_wins(input, output, delta, 0, None));
+        // …and an empty summary changes nothing, bit for bit.
+        let cold = ObservedNodeCost {
+            full_compute_s_per_byte: None,
+            inc_compute_s_per_byte: None,
+            write_s_per_byte: None,
+            output_delta_ratio: None,
+            samples: 0,
+        };
+        assert!(!m.incremental_refresh_wins_observed(input, output, delta, 0, None, Some(&cold)));
+        // A measured full recomputation at 50 ms/MiB dwarfs the phantom
+        // I/O edge: the delta path only pays that rate over its delta.
+        let obs = full_rate(0.05 / MIB as f64);
+        assert!(m.incremental_refresh_wins_observed(input, output, delta, 0, None, Some(&obs)));
+        // The observed layer is symmetric: a *cheap* measured compute
+        // leaves the static I/O decision in charge.
+        let tiny = full_rate(1e-12);
+        assert!(!m.incremental_refresh_wins_observed(input, output, delta, 0, None, Some(&tiny)));
+    }
+
+    #[test]
+    fn observed_incremental_rate_overrides_the_full_fallback() {
+        let m = CostModel::paper();
+        let (input, output, delta) = (MIB, MIB, 16 * 1024);
+        // A measured incremental rate *worse* than the full-path rate
+        // (a merge that rebuilds the whole group table) can veto the win
+        // the full-rate fallback would have granted.
+        let mut obs = full_rate(0.05 / MIB as f64);
+        obs.inc_compute_s_per_byte = Some(100.0 * 0.05 / MIB as f64);
+        assert!(!m.incremental_refresh_wins_observed(input, output, delta, 0, None, Some(&obs)));
+    }
+
+    #[test]
+    fn observed_write_rate_reprices_the_flag_score() {
+        let m = CostModel::paper();
+        // Without a sample the observed score is exactly the static one.
+        assert_eq!(
+            m.speedup_score_observed(GIB, 2, None),
+            m.speedup_score(GIB, 2)
+        );
+        // A node whose materialization runs at half the modeled bandwidth
+        // is worth *more* off the critical path…
+        let slow = ObservedNodeCost {
+            full_compute_s_per_byte: None,
+            inc_compute_s_per_byte: None,
+            write_s_per_byte: Some(2.0 / m.disk_write_bps),
+            output_delta_ratio: None,
+            samples: 3,
+        };
+        assert!(m.speedup_score_observed(GIB, 2, Some(&slow)) > m.speedup_score(GIB, 2));
+        // …and a degenerate fast one still clamps at zero.
+        let fast = ObservedNodeCost {
+            write_s_per_byte: Some(0.0),
+            ..slow
+        };
+        assert!(m.speedup_score_observed(0, 0, Some(&fast)) >= 0.0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ use sc_dag::NodeId;
 
 use crate::exec::TableDelta;
 use crate::plan::{DeltaSource, LogicalPlan, TableSource};
-use crate::storage::{DeltaStore, DiskCatalog, MemoryCatalog};
+use crate::storage::{DeltaStore, DiskCatalog, MemoryCatalog, Observation, ObservationStore};
 use crate::table::Table;
 use crate::{EngineError, Result};
 
@@ -139,6 +139,19 @@ impl RefreshConfig {
     }
 }
 
+/// Where a node's maintenance-mode decision got its cost numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostProvenance {
+    /// The mode was forced — by policy, shape, or catalog state — without
+    /// comparing costs at all.
+    Policy,
+    /// [`RefreshMode::Auto`] compared the static size-based estimates.
+    Estimated,
+    /// [`RefreshMode::Auto`] consulted persisted runtime observations for
+    /// this node's identity ([`ObservationStore::summary`]).
+    Observed,
+}
+
 /// Timing breakdown for one executed node.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeMetrics {
@@ -180,6 +193,8 @@ pub struct NodeMetrics {
     pub memory_reads: usize,
     /// How many inputs were read from external storage.
     pub disk_reads: usize,
+    /// Whether the mode decision was forced, estimated, or observed.
+    pub cost: CostProvenance,
 }
 
 impl NodeMetrics {
@@ -202,6 +217,7 @@ impl NodeMetrics {
             fell_back: false,
             memory_reads: 0,
             disk_reads: 0,
+            cost: CostProvenance::Policy,
         }
     }
 }
@@ -246,6 +262,7 @@ pub struct Controller<'a> {
     config: ControllerConfig,
     refresh: RefreshConfig,
     deltas: Option<&'a DeltaStore>,
+    observations: Option<&'a ObservationStore>,
 }
 
 /// Catalog/storage name under which a node's *output delta* travels (the
@@ -287,6 +304,8 @@ struct DeltaPlan {
     /// Segment counts of the stored MVs before the run (0 when absent),
     /// captured at planning time for the metrics' segment accounting.
     pre_segments: Vec<usize>,
+    /// Where each node's mode decision got its cost numbers.
+    cost: Vec<CostProvenance>,
     /// Effective flags: the plan's flags minus skipped nodes.
     flagged: FlagSet,
 }
@@ -302,6 +321,7 @@ impl DeltaPlan {
             spill: vec![false; n],
             append: vec![false; n],
             pre_segments: vec![0; n],
+            cost: vec![CostProvenance::Policy; n],
             flagged: plan.flagged.clone(),
         }
     }
@@ -518,6 +538,7 @@ impl<'a> Controller<'a> {
             config: ControllerConfig::default(),
             refresh: RefreshConfig::default(),
             deltas: None,
+            observations: None,
         }
     }
 
@@ -526,6 +547,19 @@ impl<'a> Controller<'a> {
     /// the log.
     pub fn with_delta_store(mut self, deltas: &'a DeltaStore) -> Self {
         self.deltas = Some(deltas);
+        self
+    }
+
+    /// Attaches a runtime-observation store: [`RefreshMode::Auto`]
+    /// decisions consult its per-identity summaries (falling back to the
+    /// static estimates on a fingerprint miss), and every *successful*
+    /// refresh appends the run's representative node metrics to it. A
+    /// failed run records nothing — its numbers would poison the feedback
+    /// map — and neither do fallback-mode nodes (poisoned-log or
+    /// unsupported-shape full recomputes), whose costs do not represent
+    /// the node's steady-state behavior.
+    pub fn with_observations(mut self, observations: &'a ObservationStore) -> Self {
+        self.observations = Some(observations);
         self
     }
 
@@ -686,6 +720,14 @@ impl<'a> Controller<'a> {
                             delta_bytes += est_delta[p];
                             deletes |= has_deletes[p];
                             nonempty = true;
+                            // The parent maintains incrementally, so by the
+                            // time this node runs its stored contents have
+                            // *grown* by the applied delta — the full path
+                            // would re-read the post-update size, not the
+                            // pre-run one `size_of` just returned. Pricing
+                            // the stale size understates the full path and
+                            // can flip a child's Auto decision to Full.
+                            input_bytes += est_delta[p];
                         }
                         _ => {
                             known = false;
@@ -730,14 +772,26 @@ impl<'a> Controller<'a> {
                 continue;
             }
             let mv_bytes = self.disk.size_of(&mv.name).unwrap_or(0);
-            // A join fans the spine delta out against its build sides
-            // (non-empty `static_bytes` implies a join on the spine):
-            // estimate the node's *output* delta with its observed
-            // per-byte amplification — stored output over spine input —
-            // so both this node's append write term and downstream Auto
+            // Runtime feedback: summaries from past runs of this exact
+            // node identity (name + plan-shape fingerprint) refine both
+            // the output-delta estimate and the Auto cost comparison.
+            let observed = self
+                .observations
+                .filter(|_| self.refresh.refresh_mode == RefreshMode::Auto)
+                .and_then(|o| o.summary(&mv.name, mv.plan.fingerprint()));
+            // Estimate the node's *output* delta. Best source: the
+            // observed output/input delta ratio from past incremental
+            // runs of this shape. Otherwise, a join fans the spine delta
+            // out against its build sides (non-empty `static_bytes`
+            // implies a join on the spine): estimate with the stored
+            // per-byte amplification — output over spine input — so both
+            // this node's append write term and downstream Auto
             // decisions are costed at the right magnitude instead of the
             // pre-join size.
-            let est_out = if static_bytes > 0 {
+            let est_out = if let Some(ratio) = observed.as_ref().and_then(|o| o.output_delta_ratio)
+            {
+                (delta_bytes as f64 * ratio).max(1.0) as u64
+            } else if static_bytes > 0 {
                 let spine_bytes = (input_bytes - static_bytes).max(1);
                 let ratio = mv_bytes as f64 / spine_bytes as f64;
                 (delta_bytes as f64 * ratio.max(1.0)) as u64
@@ -751,13 +805,21 @@ impl<'a> Controller<'a> {
                 // rewrite path), but deletes and shape are exact, and
                 // the append is priced at the amplified output delta it
                 // would actually persist.
-                RefreshMode::Auto => self.config.cost_model.incremental_refresh_wins(
-                    input_bytes,
-                    mv_bytes,
-                    delta_bytes,
-                    static_bytes,
-                    (support.publishes_delta() && !deletes).then_some(est_out),
-                ),
+                RefreshMode::Auto => {
+                    dp.cost[idx] = if observed.is_some() {
+                        CostProvenance::Observed
+                    } else {
+                        CostProvenance::Estimated
+                    };
+                    self.config.cost_model.incremental_refresh_wins_observed(
+                        input_bytes,
+                        mv_bytes,
+                        delta_bytes,
+                        static_bytes,
+                        (support.publishes_delta() && !deletes).then_some(est_out),
+                        observed.as_ref(),
+                    )
+                }
                 RefreshMode::AlwaysFull => unreachable!("checked above"),
             };
             if incremental {
@@ -868,7 +930,56 @@ impl<'a> Controller<'a> {
                 _ => {}
             }
         }
+        // Feedback commit point: only a run that reached here with Ok —
+        // catalogs written, delta log consumed — may teach the adaptive
+        // layer. A doomed run (or the poisoned-log retry recomputing
+        // after one) records nothing, so the sidecar stays byte-identical
+        // to a never-failed history.
+        if let (Ok(run), Some(obs)) = (&result, self.observations) {
+            self.record_observations(mvs, run, obs);
+        }
         result
+    }
+
+    /// Appends the run's *representative* node metrics to the observation
+    /// store. Non-representative nodes are excluded: skipped nodes did no
+    /// work, fallen-back flagged nodes paid an unplanned blocking write,
+    /// and full recomputes forced by a poisoned log or an unsupported
+    /// delta shape say nothing about how the node behaves when the
+    /// planner actually gets to choose.
+    fn record_observations(&self, mvs: &[MvDefinition], run: &RunMetrics, obs: &ObservationStore) {
+        let fingerprints: HashMap<&str, u64> = mvs
+            .iter()
+            .map(|m| (m.name.as_str(), m.plan.fingerprint()))
+            .collect();
+        for node in &run.nodes {
+            if node.mode == NodeMode::Skipped
+                || node.fell_back
+                || matches!(
+                    node.reason,
+                    ModeReason::PoisonedLog | ModeReason::UnsupportedShape
+                )
+            {
+                continue;
+            }
+            let Some(&fp) = fingerprints.get(node.name.as_str()) else {
+                continue;
+            };
+            obs.record(
+                &node.name,
+                fp,
+                Observation {
+                    full: node.mode == NodeMode::Full,
+                    rows: node.rows as u64,
+                    delta_bytes: node.delta_bytes,
+                    appended_bytes: node.appended_bytes,
+                    output_bytes: node.output_bytes,
+                    read_s: node.read_s,
+                    compute_s: node.compute_s,
+                    write_s: node.write_s,
+                },
+            );
+        }
     }
 
     /// Whether a batch ingested *during* the run (after its snapshot)
@@ -1144,6 +1255,7 @@ impl<'a> Controller<'a> {
                     fell_back,
                     memory_reads: source.memory_reads.get(),
                     disk_reads: source.disk_reads.get(),
+                    cost: dp.cost[idx],
                 });
 
                 // The materializer thread holds its own reference, so
@@ -1761,6 +1873,7 @@ fn node_metrics(
         fell_back,
         memory_reads: node.memory_reads,
         disk_reads: node.disk_reads,
+        cost: dp.cost[idx],
     }
 }
 

@@ -61,7 +61,9 @@ pub mod table;
 pub mod types;
 
 pub use column::Column;
-pub use controller::{Controller, ControllerConfig, NodeMetrics, RefreshConfig, RunMetrics};
+pub use controller::{
+    Controller, ControllerConfig, CostProvenance, NodeMetrics, RefreshConfig, RunMetrics,
+};
 pub use error::EngineError;
 pub use schema::{Field, Schema};
 pub use table::{Table, TableBuilder};
@@ -78,7 +80,7 @@ pub mod prelude {
     pub use crate::expr::Expr;
     pub use crate::plan::{AggExpr, JoinType, LogicalPlan};
     pub use crate::schema::{Field, Schema};
-    pub use crate::storage::{DeltaStore, DiskCatalog, MemoryCatalog, Throttle};
+    pub use crate::storage::{DeltaStore, DiskCatalog, MemoryCatalog, ObservationStore, Throttle};
     pub use crate::table::{Table, TableBuilder};
     pub use crate::types::{DataType, Value};
 }

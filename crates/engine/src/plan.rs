@@ -214,6 +214,15 @@ impl DeltaSource for HashMap<String, TableDelta> {
 }
 
 impl LogicalPlan {
+    /// A stable hash of the plan *shape* — operators, expressions, table
+    /// names — used to key persisted runtime observations. Re-registering
+    /// an MV under the same name with a different DAG yields a different
+    /// fingerprint, so it starts cold instead of inheriting observations
+    /// measured for another shape.
+    pub fn fingerprint(&self) -> u64 {
+        crate::storage::format::fnv1a64(format!("{self:?}").as_bytes())
+    }
+
     /// Scan of a named table.
     pub fn scan(table: impl Into<String>) -> LogicalPlan {
         LogicalPlan::Scan {

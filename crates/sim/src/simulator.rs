@@ -237,13 +237,27 @@ impl Simulator {
                 let incremental = match cfg.refresh_mode {
                     RefreshMode::AlwaysIncremental => true,
                     RefreshMode::Auto => {
+                        // Mirror of the engine's input pricing: an
+                        // incremental publishing parent has grown by its
+                        // applied delta by the time this node runs, so
+                        // the full path re-reads the post-update size.
                         let input: u64 = node.base_read_bytes
                             + graph
                                 .parents(v)
                                 .iter()
-                                .map(|&p| graph.node(p).output_bytes)
+                                .map(|&p| {
+                                    let parent = graph.node(p);
+                                    let grown = if modes[p.index()] == NodeMode::Incremental
+                                        && parent.delta_publishes
+                                    {
+                                        parent.delta_bytes.unwrap_or(0)
+                                    } else {
+                                        0
+                                    };
+                                    parent.output_bytes + grown
+                                })
                                 .sum::<u64>();
-                        cfg.cost_model().incremental_refresh_wins(
+                        cfg.cost_model().incremental_refresh_wins_observed(
                             input,
                             node.output_bytes,
                             delta,
@@ -251,6 +265,7 @@ impl Simulator {
                             // The sim's delta annotation IS the node's
                             // output delta, the size an append persists.
                             node.delta_appendable.then_some(delta),
+                            node.observed_cost.as_ref(),
                         )
                     }
                     RefreshMode::AlwaysFull => unreachable!("checked above"),

@@ -52,6 +52,13 @@ pub struct SimNode {
     /// `output_bytes`. Mirrors `publishes ∧ ¬deletes` in the engine's
     /// delta planner; fed to the cost model under `Auto`.
     pub delta_appendable: bool,
+    /// Observed runtime-cost summary for this node's identity, mirroring
+    /// the engine's observation sidecar (`ObservationStore::summary` on a
+    /// fingerprint match). When set, `Auto` decisions consult it via
+    /// [`sc_core::CostModel::incremental_refresh_wins_observed`] exactly
+    /// as the engine does; `None` falls back to the static size-based
+    /// estimates.
+    pub observed_cost: Option<sc_core::ObservedNodeCost>,
 }
 
 impl SimNode {
@@ -73,6 +80,7 @@ impl SimNode {
             build_inputs: Vec::new(),
             build_read_bytes: 0,
             delta_appendable: false,
+            observed_cost: None,
         }
     }
 
@@ -116,6 +124,13 @@ impl SimNode {
     /// recompute.
     pub fn merge_only(mut self) -> Self {
         self.delta_publishes = false;
+        self
+    }
+
+    /// Attaches an observed runtime-cost summary (see
+    /// [`SimNode::observed_cost`]).
+    pub fn with_observed_cost(mut self, observed: sc_core::ObservedNodeCost) -> Self {
+        self.observed_cost = Some(observed);
         self
     }
 }

@@ -12,9 +12,11 @@
 //! sim side derives its [`sc_sim::SimConfig`] and (after a profiling run)
 //! its annotated [`sc_sim::SimWorkload`] from the very same value.
 
+use std::collections::HashMap;
+
 use sc_core::RefreshMode;
 use sc_engine::controller::{MvDefinition, RefreshConfig, RunMetrics};
-use sc_engine::storage::{DeltaStore, DiskCatalog, Throttle};
+use sc_engine::storage::{DeltaStore, DiskCatalog, ObservationStore, Throttle};
 use sc_sim::{SimConfig, SimWorkload};
 
 use crate::tpcds::TinyTpcds;
@@ -114,6 +116,11 @@ pub struct ScenarioConfig {
     /// the same spec can exercise both fragmented (append-path segments
     /// accumulating) and compacted storage states.
     pub compact_every: Option<usize>,
+    /// Whether the engine side persists runtime observations and lets
+    /// `Auto` consult them (the `observations.scst` sidecar). On by
+    /// default; differential experiments pinning exact decisions turn it
+    /// off so measured timings cannot shift a mode choice mid-suite.
+    pub runtime_feedback: bool,
 }
 
 impl ScenarioConfig {
@@ -127,6 +134,7 @@ impl ScenarioConfig {
             refresh_mode: RefreshMode::Auto,
             throttle: None,
             compact_every: None,
+            runtime_feedback: true,
         }
     }
 }
@@ -223,6 +231,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Toggles runtime feedback (see
+    /// [`ScenarioConfig::runtime_feedback`]).
+    pub fn with_runtime_feedback(mut self, enabled: bool) -> Self {
+        self.config.runtime_feedback = enabled;
+        self
+    }
+
     /// Whether the schedule calls for a compaction after (0-based) churn
     /// round `round` was refreshed.
     pub fn compact_due(&self, round: usize) -> bool {
@@ -310,6 +325,37 @@ impl ScenarioSpec {
             });
         }
         Ok(w)
+    }
+
+    /// [`ScenarioSpec::mirror`] with runtime feedback: each mirrored node
+    /// additionally carries `observations`' summary for its identity (MV
+    /// name + plan-shape fingerprint), so the sim's `Auto` decisions
+    /// consult the same observed costs the engine's controller does — the
+    /// adaptive layer stays in parity by construction. Identities without
+    /// observations mirror as `None` (static estimates), exactly like the
+    /// engine's fingerprint-miss fallback.
+    pub fn mirror_observed(
+        &self,
+        disk: &DiskCatalog,
+        metrics: &RunMetrics,
+        store: &DeltaStore,
+        observations: &ObservationStore,
+    ) -> sc_dag::Result<SimWorkload> {
+        let w = self.mirror(disk, metrics, store)?;
+        let fingerprints: HashMap<&str, u64> = self
+            .mvs
+            .iter()
+            .map(|m| (m.name.as_str(), m.plan.fingerprint()))
+            .collect();
+        Ok(SimWorkload {
+            graph: w.graph.map(|_, n| {
+                let mut n = n.clone();
+                n.observed_cost = fingerprints
+                    .get(n.name.as_str())
+                    .and_then(|&fp| observations.summary(&n.name, fp));
+                n
+            }),
+        })
     }
 }
 

@@ -2,7 +2,7 @@
 //! run did per node, and a human-readable `explain()` of *why*.
 
 use sc_core::{NodeMode, Plan};
-use sc_engine::controller::{NodeMetrics, RunMetrics};
+use sc_engine::controller::{CostProvenance, NodeMetrics, RunMetrics};
 
 /// Outcome of one managed refresh run ([`crate::ScSession::refresh`]).
 ///
@@ -64,8 +64,8 @@ impl RefreshReport {
             self.metrics.peak_memory_bytes,
         ));
         out.push_str(&format!(
-            "{:<20} {:<12} {:<6} {:>10} {:>10} {:>4} {:>8} {:>8} {:>8}  why\n",
-            "mv", "mode", "where", "delta B", "app B", "segs", "read s", "cmpt s", "write s"
+            "{:<20} {:<12} {:<6} {:>10} {:>10} {:>4} {:>8} {:>8} {:>8} {:>4}  why\n",
+            "mv", "mode", "where", "delta B", "app B", "segs", "read s", "cmpt s", "write s", "obs"
         ));
         for n in &self.metrics.nodes {
             let mode = match n.mode {
@@ -82,8 +82,16 @@ impl RefreshReport {
             } else {
                 "disk"
             };
+            // Cost provenance: whether the mode decision priced with
+            // persisted runtime observations, static estimates, or was
+            // forced without comparing costs at all.
+            let obs = match n.cost {
+                CostProvenance::Policy => "-",
+                CostProvenance::Estimated => "est",
+                CostProvenance::Observed => "obs",
+            };
             out.push_str(&format!(
-                "{:<20} {:<12} {:<6} {:>10} {:>10} {:>4} {:>8.3} {:>8.3} {:>8.3}  {}\n",
+                "{:<20} {:<12} {:<6} {:>10} {:>10} {:>4} {:>8.3} {:>8.3} {:>8.3} {:>4}  {}\n",
                 n.name,
                 mode,
                 placement,
@@ -93,6 +101,7 @@ impl RefreshReport {
                 n.read_s,
                 n.compute_s,
                 n.write_s,
+                obs,
                 n.reason.describe(),
             ));
         }
@@ -138,6 +147,11 @@ mod tests {
             fell_back: false,
             memory_reads: 0,
             disk_reads: 1,
+            cost: if mode == NodeMode::Skipped {
+                CostProvenance::Policy
+            } else {
+                CostProvenance::Estimated
+            },
         }
     }
 

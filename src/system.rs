@@ -31,7 +31,9 @@ use sc_engine::controller::{
     Controller, ControllerConfig, MvDefinition, RefreshConfig, RunMetrics,
 };
 use sc_engine::exec::TableDelta;
-use sc_engine::storage::{self, DeltaStore, DiskCatalog, MemoryCatalog, Throttle};
+use sc_engine::storage::{
+    self, DeltaStore, DiskCatalog, MemoryCatalog, ObservationStore, Throttle, SIDECAR_FILE,
+};
 use sc_engine::EngineError;
 use sc_workload::engine_mvs::problem_from_metrics;
 use sc_workload::ScenarioSpec;
@@ -100,8 +102,9 @@ pub type ScSystem = ScSession;
 ///
 /// Defaults: 64 MiB Memory Catalog, unthrottled storage, the paper's cost
 /// model, one compute lane, [`sc_core::RefreshMode::Auto`] maintenance,
-/// and a 50% plan-invalidation drift threshold. Only the storage
-/// directory is mandatory.
+/// a 50% plan-invalidation drift threshold, and runtime feedback enabled
+/// (the `observations.scst` sidecar). Only the storage directory is
+/// mandatory.
 #[derive(Debug, Clone)]
 pub struct ScSessionBuilder {
     dir: Option<PathBuf>,
@@ -110,6 +113,7 @@ pub struct ScSessionBuilder {
     cost: CostModel,
     refresh: RefreshConfig,
     drift_threshold: f64,
+    runtime_feedback: bool,
 }
 
 impl Default for ScSessionBuilder {
@@ -121,6 +125,7 @@ impl Default for ScSessionBuilder {
             cost: CostModel::paper(),
             refresh: RefreshConfig::default(),
             drift_threshold: 0.5,
+            runtime_feedback: true,
         }
     }
 }
@@ -189,6 +194,16 @@ impl ScSessionBuilder {
         self
     }
 
+    /// Whether the session persists runtime observations
+    /// (`observations.scst` next to the catalog) and lets
+    /// [`sc_core::RefreshMode::Auto`] consult them (default: on). Turn
+    /// off for deterministic tests whose pinned decisions must not shift
+    /// with measured timings.
+    pub fn runtime_feedback(mut self, enabled: bool) -> Self {
+        self.runtime_feedback = enabled;
+        self
+    }
+
     /// Opens the session.
     pub fn build(self) -> Result<ScSession> {
         let dir = self.dir.ok_or(ScError::MissingStorageDir)?;
@@ -196,6 +211,12 @@ impl ScSessionBuilder {
             Some(t) => DiskCatalog::open_throttled(dir, t)?,
             None => DiskCatalog::open(dir)?,
         };
+        // A corrupt or missing sidecar silently starts empty: observations
+        // are advisory and get rebuilt by subsequent runs.
+        let observations = self.runtime_feedback.then(|| {
+            let path = disk.dir().join(SIDECAR_FILE);
+            (ObservationStore::load(&path), path)
+        });
         Ok(ScSession {
             disk,
             memory: MemoryCatalog::new(self.memory_budget),
@@ -206,6 +227,7 @@ impl ScSessionBuilder {
             epoch: AtomicU64::new(0),
             planner: Mutex::new(Planner { cached: None }),
             drift_threshold: self.drift_threshold,
+            observations,
         })
     }
 }
@@ -217,9 +239,12 @@ struct CachedPlan {
     /// MV-registry epoch the plan was derived under; a registration bumps
     /// the session epoch, orphaning the plan.
     epoch: u64,
-    /// In-memory output sizes observed by the profiling run, by MV index
-    /// (`None` for nodes it skipped) — the baseline the drift check
-    /// compares later runs against.
+    /// *Stored* sizes of every MV right after the profiling run, by MV
+    /// index (`None` for MVs not on storage) — the baseline the drift
+    /// check compares later runs against. Storage scale deliberately:
+    /// full rewrites, delta merges, and the append path all land on the
+    /// same scale there, so a long streak of append rounds growing an MV
+    /// counts toward drift just like a recompute would.
     profiled_sizes: Vec<Option<u64>>,
 }
 
@@ -247,6 +272,9 @@ pub struct ScSession {
     epoch: AtomicU64,
     planner: Mutex<Planner>,
     drift_threshold: f64,
+    /// Runtime-feedback sidecar (store + its on-disk path), present when
+    /// the builder left [`ScSessionBuilder::runtime_feedback`] on.
+    observations: Option<(ObservationStore, PathBuf)>,
 }
 
 impl ScSession {
@@ -290,7 +318,8 @@ impl ScSession {
         let mut builder = ScSession::builder()
             .storage_dir(dir)
             .memory_budget(spec.config.memory_budget)
-            .refresh_config(spec.refresh_config());
+            .refresh_config(spec.refresh_config())
+            .runtime_feedback(spec.config.runtime_feedback);
         if let Some(t) = spec.config.throttle {
             builder = builder.throttle(t);
         }
@@ -464,14 +493,25 @@ impl ScSession {
         // (every MV recomputes), and keeping the snapshot machinery active
         // means a batch ingested *during* this run is detected and
         // poisons the log instead of being double-applied next refresh.
-        let controller = Controller::new(&self.disk, &self.memory)
+        let mut controller = Controller::new(&self.disk, &self.memory)
             .with_config(ControllerConfig {
                 cost_model: self.cost.clone(),
                 ..ControllerConfig::default()
             })
             .with_refresh_config(self.refresh)
             .with_delta_store(&self.deltas);
-        Ok(controller.refresh(mvs, plan)?)
+        if let Some((store, _)) = &self.observations {
+            controller = controller.with_observations(store);
+        }
+        let metrics = controller.refresh(mvs, plan)?;
+        // The controller records into the store only on success, so this
+        // persists exactly the representative observations of committed
+        // runs. A failed save is swallowed: the sidecar is advisory, and
+        // losing it only costs a warm-up run.
+        if let Some((store, path)) = &self.observations {
+            let _ = store.save(path);
+        }
+        Ok(metrics)
     }
 
     /// Executes a refresh run under an explicitly-held `plan` (the
@@ -558,7 +598,7 @@ impl ScSession {
                 planner.cached = Some(CachedPlan {
                     plan: optimized,
                     epoch,
-                    profiled_sizes: self.profiled_sizes(&mvs, &metrics),
+                    profiled_sizes: self.stored_sizes(&mvs),
                 });
                 Ok(RefreshReport {
                     metrics,
@@ -568,7 +608,7 @@ impl ScSession {
             }
             Some(plan) => {
                 let metrics = self.run_plan(&mvs, &plan)?;
-                if self.sizes_drifted(&mvs, &metrics, &planner) {
+                if self.sizes_drifted(&mvs, &planner) {
                     // Stale profile: the next refresh re-profiles.
                     planner.cached = None;
                 }
@@ -591,41 +631,31 @@ impl ScSession {
             .is_some_and(|c| c.epoch == self.epoch.load(Ordering::SeqCst))
     }
 
-    /// Per-MV in-memory output sizes the profiling run observed. `None`
-    /// for nodes the run did not recompute in full: skipped nodes produce
-    /// no output, and incremental nodes report storage-scale sizes (an
-    /// append-path node never materializes its full output at all) — in
-    /// both cases the number is on a different scale than in-memory
-    /// bytes, so the drift check leaves those nodes alone until a later
-    /// re-profile.
-    fn profiled_sizes(&self, mvs: &[MvDefinition], metrics: &RunMetrics) -> Vec<Option<u64>> {
+    /// Per-MV *stored* sizes, captured right after a run while the
+    /// planner lock is held. Storage scale gives every maintenance mode —
+    /// full rewrite, delta merge, append — a comparable number, unlike
+    /// the in-memory output sizes a run reports only for Full nodes
+    /// (which let append streaks grow an MV unboundedly without ever
+    /// registering as drift). `None` for MVs not on storage.
+    fn stored_sizes(&self, mvs: &[MvDefinition]) -> Vec<Option<u64>> {
         mvs.iter()
-            .map(|mv| {
-                metrics
-                    .nodes
-                    .iter()
-                    .find(|n| n.name == mv.name && n.mode == NodeMode::Full)
-                    .map(|n| n.output_bytes)
-            })
+            .map(|mv| self.disk.size_of(&mv.name).ok())
             .collect()
     }
 
-    /// Whether any node's observed output size left the profiled
-    /// tolerance band. Nodes without a baseline pass, as do nodes not
-    /// recomputed in full this run (incremental nodes change by O(delta)
-    /// per round and report storage-scale sizes — no comparable signal).
-    fn sizes_drifted(&self, mvs: &[MvDefinition], metrics: &RunMetrics, planner: &Planner) -> bool {
+    /// Whether any MV's stored size left the profiled tolerance band.
+    /// MVs without a baseline pass (they were absent at profile time —
+    /// registration already invalidates via the epoch).
+    fn sizes_drifted(&self, mvs: &[MvDefinition], planner: &Planner) -> bool {
         let Some(cached) = planner.cached.as_ref() else {
             return false;
         };
         let t = self.drift_threshold;
-        mvs.iter().zip(&cached.profiled_sizes).any(|(mv, &prof)| {
-            let observed = metrics
-                .nodes
-                .iter()
-                .find(|n| n.name == mv.name && n.mode == NodeMode::Full)
-                .map(|n| n.output_bytes);
-            match (observed, prof) {
+        let stored = self.stored_sizes(mvs);
+        stored
+            .iter()
+            .zip(&cached.profiled_sizes)
+            .any(|(&obs, &prof)| match (obs, prof) {
                 (None, _) | (_, None) => false,
                 (Some(obs), Some(0)) => obs > 0,
                 (Some(obs), Some(prof)) => {
@@ -633,8 +663,7 @@ impl ScSession {
                     let hi = prof as f64 * (1.0 + t);
                     (obs as f64) < lo || (obs as f64) > hi
                 }
-            }
-        })
+            })
     }
 }
 

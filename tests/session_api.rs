@@ -141,15 +141,20 @@ fn ingest_during_slow_refresh_preserves_snapshot_semantics() {
 }
 
 /// Output-size drift beyond the configured threshold invalidates the
-/// cached plan; the next refresh re-profiles.
+/// cached plan; the next refresh re-profiles. The baseline is *stored*
+/// sizes, so every maintenance mode is on one scale: a small append stays
+/// within the band, large growth trips it whether it arrived via rewrite
+/// or (see `steady_appends_eventually_trigger_reprofile`) via appends.
 #[test]
 fn size_drift_invalidates_the_cached_plan() {
     let dir = tempfile::tempdir().unwrap();
-    // Threshold 0: any size change counts as drift.
+    // 15%: comfortably above one small append round (~0.6% growth),
+    // comfortably below the 20% growth batch at the end.
     let sys = ScSession::builder()
         .storage_dir(dir.path())
         .memory_budget(8 << 20)
-        .size_drift_threshold(0.0)
+        .size_drift_threshold(0.15)
+        .runtime_feedback(false)
         .build()
         .unwrap();
     load_and_register(&sys);
@@ -161,9 +166,9 @@ fn size_drift_invalidates_the_cached_plan() {
     );
     assert!(sys.has_cached_plan());
 
-    // An insert-only batch is absorbed by the append path (O(delta)
-    // maintenance, no full outputs observed) — deliberately NOT a drift
-    // signal, so steady append rounds never thrash the plan cache.
+    // A small insert-only batch is absorbed by the append path; its
+    // stored-size growth is well inside the tolerance band, so steady
+    // trickle rounds don't thrash the plan cache.
     let sales = sys.disk().read_table("store_sales").unwrap();
     let small = sales.take_rows(&(0..10).collect::<Vec<_>>()).unwrap();
     sys.ingest_delta("store_sales", TableDelta::insert_only(small))
@@ -171,7 +176,7 @@ fn size_drift_invalidates_the_cached_plan() {
     sys.refresh().unwrap();
     assert!(
         sys.has_cached_plan(),
-        "append-path rounds must not invalidate the cache"
+        "an in-band append round must not invalidate the cache"
     );
 
     // Grow the fact table by 20% with a delete in the stream: the join
