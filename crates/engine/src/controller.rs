@@ -453,6 +453,19 @@ fn execute_incremental(
             delta_bytes: delta_in.byte_size(),
         });
     }
+    if let LogicalPlan::Distinct { input } = &mv.plan {
+        // Like the aggregate merge: absorb the spine's delta into the
+        // stored output without publishing one (whether a delta row
+        // survives the dedup is unknowable to consumers).
+        let delta_in = input.execute_delta(deltas, source)?;
+        let current = source.table(&mv.name)?;
+        let output = crate::exec::merge_distinct(&current, &delta_in)?;
+        return Ok(IncrementalOutput {
+            output,
+            delta: None,
+            delta_bytes: delta_in.byte_size(),
+        });
+    }
     let delta_out = mv.plan.execute_delta(deltas, source)?;
     let current = source.table(&mv.name)?;
     let output = delta_out.apply(&current)?;

@@ -28,7 +28,7 @@
 //!   recomputation would perform (`Avg` cannot be resumed from its stored
 //!   quotient and is not mergeable).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::column::{Column, RowKey};
@@ -370,25 +370,31 @@ pub fn delta_project(delta: &TableDelta, exprs: &[(Expr, String)]) -> Result<Tab
     }
 }
 
-/// Propagates an **insert-only** probe-side delta through a keyed inner
-/// hash join against a **static** build side — the binary delta-join rule
+/// Propagates an **insert-only** probe-side delta through a keyed hash
+/// join against a **static** build side — the binary delta-join rule
 /// `Δ(L ⋈ R) = ΔL ⋈ R_old  ∪  L_old ⋈ ΔR  ∪  ΔL ⋈ ΔR` specialized to
 /// `ΔR = ∅`, where the last two terms vanish and `R_old = R` (the build
 /// side's stored table *is* its pre-image because it has not churned).
 ///
-/// This is the one join shape that preserves byte-identity with full
+/// This is the join *orientation* that preserves byte-identity with full
 /// recomputation: [`hash_join`](exec::hash_join) probes left rows in
 /// order, so rows appended to the probe side contribute output rows
 /// appended after every existing left row's matches — exactly where
-/// [`TableDelta::apply`] puts the propagated inserts. A churned build
-/// side instead *interleaves* new pairs into existing probe rows' match
-/// groups, which no append-only delta can reproduce; callers route that
-/// case (and deltas carrying deletes, whose group removal is ambiguous
-/// after the fan-out) to a full recomputation.
+/// [`TableDelta::apply`] puts the propagated inserts. The rule holds for
+/// **left outer** joins too: an unmatched appended probe row emits its
+/// null-filled row in the same appended position a full recompute would
+/// put it, and a static build side means no existing row's matched/
+/// unmatched status can flip. A churned build side instead *interleaves*
+/// new pairs into existing probe rows' match groups (and under a left
+/// join can retroactively replace a null-filled row), which no
+/// append-only delta can reproduce; callers route that case (and deltas
+/// carrying deletes, whose group removal is ambiguous after the fan-out)
+/// to a full recomputation.
 pub fn delta_join(
     delta: &TableDelta,
     build: &Table,
     on: &[(String, String)],
+    join_type: exec::JoinType,
 ) -> Result<TableDelta> {
     if delta.has_deletes() {
         return Err(EngineError::InvalidPlan(
@@ -397,12 +403,8 @@ pub fn delta_join(
     }
     let mut out: Option<TableDelta> = None;
     for batch in delta.batches() {
-        let joined = DeltaBatch::insert_only(exec::hash_join(
-            &batch.inserts,
-            build,
-            on,
-            exec::JoinType::Inner,
-        )?);
+        let joined =
+            DeltaBatch::insert_only(exec::hash_join(&batch.inserts, build, on, join_type)?);
         match &mut out {
             Some(d) => d.push_batch(joined)?,
             None => out = Some(TableDelta::from_batch(joined)?),
@@ -414,7 +416,7 @@ pub fn delta_join(
         None => {
             let empty = Table::empty(delta.schema().clone());
             Ok(TableDelta::empty(
-                exec::hash_join(&empty, build, on, exec::JoinType::Inner)?
+                exec::hash_join(&empty, build, on, join_type)?
                     .schema()
                     .clone(),
             ))
@@ -585,6 +587,46 @@ pub fn merge_aggregate(
     Table::new(current.schema().clone(), columns)
 }
 
+/// Merges an **insert-only** input delta into the stored result of a
+/// [`exec::distinct`], reproducing a full recomputation over the grown
+/// input byte-for-byte: `distinct` keeps each row's *first occurrence* in
+/// input order, so every value already present in the stored output stays
+/// exactly where it is, and values first seen in the delta are appended in
+/// delta order — the same positions a from-scratch dedup of the appended
+/// input would assign them. Like [`merge_aggregate`], the merge consumes
+/// the input delta without publishing an output delta (a delta row may or
+/// may not survive the dedup, so consumers recompute). Deletes are
+/// rejected: the stored output holds no multiplicity, so removing one
+/// input occurrence cannot decide whether its distinct row survives.
+pub fn merge_distinct(current: &Table, delta: &TableDelta) -> Result<Table> {
+    if delta.has_deletes() {
+        return Err(EngineError::InvalidPlan(
+            "cannot merge deletions into a distinct".into(),
+        ));
+    }
+    let mut seen: HashSet<Vec<RowKey>> = HashSet::with_capacity(current.num_rows());
+    for row in 0..current.num_rows() {
+        seen.insert(row_key(current, row));
+    }
+    let mut out = current.clone();
+    for batch in delta.batches() {
+        let ins = &batch.inserts;
+        if **ins.schema() != **current.schema() {
+            return Err(EngineError::TypeMismatch {
+                expected: current.schema().to_string(),
+                got: ins.schema().to_string(),
+                context: "merge_distinct".into(),
+            });
+        }
+        for row in 0..ins.num_rows() {
+            if seen.insert(row_key(ins, row)) {
+                out.push_row((0..ins.num_columns()).map(|c| ins.value(row, c)).collect())?;
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -723,7 +765,7 @@ mod tests {
             .unwrap();
 
         let mv_old = exec::hash_join(&probe, &build, &on, exec::JoinType::Inner).unwrap();
-        let out = delta_join(&delta, &build, &on).unwrap();
+        let out = delta_join(&delta, &build, &on, exec::JoinType::Inner).unwrap();
         let incremental = out.apply(&mv_old).unwrap();
         let full = exec::hash_join(
             &delta.apply(&probe).unwrap(),
@@ -739,6 +781,59 @@ mod tests {
     }
 
     #[test]
+    fn left_delta_join_matches_full_left_join_bytewise() {
+        let on = vec![("k".to_string(), "dk".to_string())];
+        let probe = base(&[(1, 1.0), (9, 9.0)]); // k=9 has no dimension row
+        let build = dim(&[(1, "a"), (2, "b")]);
+        // Delta mixes matched, unmatched, and fan-out-free rows.
+        let mut delta = TableDelta::insert_only(base(&[(2, 2.0), (7, 7.0)]));
+        delta
+            .push_batch(DeltaBatch::insert_only(base(&[(1, 1.5)])))
+            .unwrap();
+
+        let mv_old = exec::hash_join(&probe, &build, &on, exec::JoinType::Left).unwrap();
+        let out = delta_join(&delta, &build, &on, exec::JoinType::Left).unwrap();
+        let incremental = out.apply(&mv_old).unwrap();
+        let full = exec::hash_join(
+            &delta.apply(&probe).unwrap(),
+            &build,
+            &on,
+            exec::JoinType::Left,
+        )
+        .unwrap();
+        assert_eq!(incremental, full);
+        // Unmatched delta rows survive with null fills, like the full run.
+        assert_eq!(incremental.num_rows(), 5);
+    }
+
+    #[test]
+    fn merge_distinct_matches_full_distinct_bytewise() {
+        let t = base(&[(1, 1.0), (2, 2.0), (1, 1.0)]);
+        // Delta repeats stored rows, repeats itself, and adds new rows.
+        let mut delta = TableDelta::insert_only(base(&[(2, 2.0), (3, 3.0), (3, 3.0)]));
+        delta
+            .push_batch(DeltaBatch::insert_only(base(&[(1, 9.0), (3, 3.0)])))
+            .unwrap();
+
+        let mv_old = exec::distinct(&t).unwrap();
+        let merged = merge_distinct(&mv_old, &delta).unwrap();
+        let full = exec::distinct(&delta.apply(&t).unwrap()).unwrap();
+        assert_eq!(merged, full);
+        assert_eq!(merged.num_rows(), 4); // (1,1) (2,2) (3,3) (1,9)
+
+        // Deletes are rejected: no multiplicity is stored.
+        let with_del = TableDelta::from_batch(DeltaBatch {
+            deletes: base(&[(1, 1.0)]),
+            inserts: base(&[]),
+        })
+        .unwrap();
+        assert!(merge_distinct(&mv_old, &with_del).is_err());
+        // Schema drift is rejected, not silently zipped.
+        let other = dim(&[(1, "a")]);
+        assert!(merge_distinct(&other, &delta).is_err());
+    }
+
+    #[test]
     fn delta_join_rejects_deletes_and_derives_empty_schema() {
         let on = vec![("k".to_string(), "dk".to_string())];
         let build = dim(&[(1, "a")]);
@@ -747,10 +842,10 @@ mod tests {
             inserts: base(&[]),
         })
         .unwrap();
-        assert!(delta_join(&with_del, &build, &on).is_err());
+        assert!(delta_join(&with_del, &build, &on, exec::JoinType::Inner).is_err());
 
         let empty = TableDelta::empty(base(&[]).schema().clone());
-        let out = delta_join(&empty, &build, &on).unwrap();
+        let out = delta_join(&empty, &build, &on, exec::JoinType::Inner).unwrap();
         assert!(out.is_empty());
         // Schema is the join's output schema, not the probe's.
         assert_eq!(out.schema().fields().len(), 4);

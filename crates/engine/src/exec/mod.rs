@@ -10,9 +10,9 @@ mod sort;
 
 pub use aggregate::{aggregate, AggFunc};
 pub use delta::{
-    aggs_mergeable, delta_filter, delta_join, delta_project, merge_aggregate, DeltaBatch,
-    TableDelta,
+    aggs_mergeable, delta_filter, delta_join, delta_project, merge_aggregate, merge_distinct,
+    DeltaBatch, TableDelta,
 };
 pub use join::{hash_join, JoinType};
 pub use project::{filter, project};
-pub use sort::{limit, sort_by, union_all, SortKey};
+pub use sort::{distinct, limit, sort_by, top_k, union_all, SortKey};

@@ -1,6 +1,7 @@
 use std::cmp::Ordering;
+use std::collections::HashSet;
 
-use crate::column::Column;
+use crate::column::{Column, RowKey};
 use crate::table::Table;
 use crate::Result;
 
@@ -67,6 +68,33 @@ pub fn limit(input: &Table, n: usize) -> Result<Table> {
     input.take_rows(&take)
 }
 
+/// Keeps each distinct row's **first occurrence**, in input order (SQL
+/// `SELECT DISTINCT *`). First-occurrence order is what makes the
+/// operator's stored output mergeable: appending rows to the input can
+/// only append new values after the existing ones (see
+/// [`super::merge_distinct`]).
+pub fn distinct(input: &Table) -> Result<Table> {
+    let mut seen: HashSet<Vec<RowKey>> = HashSet::with_capacity(input.num_rows());
+    let mut take = Vec::new();
+    for row in 0..input.num_rows() {
+        let key: Vec<RowKey> = (0..input.num_columns())
+            .map(|c| input.column(c).key(row))
+            .collect();
+        if seen.insert(key) {
+            take.push(row);
+        }
+    }
+    input.take_rows(&take)
+}
+
+/// The first `n` rows under a stable multi-key sort — `ORDER BY … LIMIT n`
+/// fused into one operator. Appending input rows can *reorder the entire
+/// prefix*, so top-k has no append-only delta rule; the planner routes it
+/// to the `UnsupportedShape` full-recompute fallback.
+pub fn top_k(input: &Table, keys: &[SortKey], n: usize) -> Result<Table> {
+    limit(&sort_by(input, keys)?, n)
+}
+
 /// Concatenates two tables with identical schemas (SQL `UNION ALL`).
 pub fn union_all(a: &Table, b: &Table) -> Result<Table> {
     Table::concat(&[a, b])
@@ -127,6 +155,37 @@ mod tests {
         assert_eq!(u.num_rows(), 8);
         let other = TableBuilder::new().column("x", DataType::Bool).build();
         assert!(union_all(&t(), &other).is_err());
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrence_in_order() {
+        let mut t = TableBuilder::new()
+            .column("g", DataType::Utf8)
+            .column("v", DataType::Int64)
+            .build();
+        for (g, v) in [("b", 1), ("a", 3), ("b", 1), ("a", 3), ("a", 1)] {
+            t.push_row(vec![g.into(), (v as i64).into()]).unwrap();
+        }
+        let out = distinct(&t).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.value(0, 0), Value::Utf8("b".into()));
+        assert_eq!(out.value(1, 0), Value::Utf8("a".into()));
+        assert_eq!(out.value(2, 1), Value::Int64(1));
+        // Already-distinct input is the identity.
+        assert_eq!(distinct(&out).unwrap(), out);
+    }
+
+    #[test]
+    fn top_k_is_sort_then_limit() {
+        let out = top_k(&t(), &[SortKey::desc("v")], 2).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, 1), Value::Int64(3));
+        assert_eq!(out.value(1, 1), Value::Int64(2));
+        assert_eq!(
+            top_k(&t(), &[SortKey::desc("v")], 2).unwrap(),
+            limit(&sort_by(&t(), &[SortKey::desc("v")]).unwrap(), 2).unwrap()
+        );
+        assert!(top_k(&t(), &[SortKey::asc("zz")], 2).is_err());
     }
 
     #[test]

@@ -78,12 +78,29 @@ pub enum LogicalPlan {
         /// Aggregates.
         aggs: Vec<AggExpr>,
     },
+    /// First occurrence of each distinct row, in input order.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
     /// Stable multi-key sort.
     Sort {
         /// Input plan.
         input: Box<LogicalPlan>,
         /// Sort keys.
         keys: Vec<SortKey>,
+    },
+    /// First `n` rows under a stable multi-key sort (`ORDER BY … LIMIT n`
+    /// fused). Appended input rows can reorder the whole prefix, so the
+    /// operator has no delta rule and always takes the
+    /// [`IncrementalSupport::Unsupported`] full-recompute fallback.
+    TopK {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys.
+        keys: Vec<SortKey>,
+        /// Row cap.
+        n: usize,
     },
     /// First `n` rows.
     Limit {
@@ -120,8 +137,8 @@ pub trait DeltaSource {
 ///
 /// The maintainable shapes are **delta spines**: a chain of
 /// Scan/Filter/Project operators descending through the *probe* (left)
-/// side of keyed inner joins, whose build (right) subtrees hang off as
-/// *static* inputs. The spine's single bottom scan is the only input whose
+/// side of keyed joins — inner or left outer — whose build (right)
+/// subtrees hang off as *static* inputs. The spine's single bottom scan is the only input whose
 /// delta propagates; every table scanned by a build subtree is recorded in
 /// `static_tables` and must be **unchanged** for the run — a churned build
 /// side interleaves new join pairs into existing probe rows' match groups,
@@ -129,7 +146,7 @@ pub trait DeltaSource {
 /// [`crate::exec::delta_join`]), so the node recomputes instead.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IncrementalSupport {
-    /// A delta spine (Scan/Filter/Project, optionally through inner
+    /// A delta spine (Scan/Filter/Project, optionally through keyed
     /// joins): input deltas propagate row-wise via
     /// [`LogicalPlan::execute_delta`], and the node publishes its own
     /// output delta for downstream consumers. `projects`/`joins` record
@@ -138,7 +155,7 @@ pub enum IncrementalSupport {
     RowWise {
         /// Whether the spine contains a projection.
         projects: bool,
-        /// Whether the spine contains a keyed inner join.
+        /// Whether the spine contains a keyed join.
         joins: bool,
         /// Tables scanned by join build subtrees; their deltas must be
         /// empty for the node to maintain incrementally.
@@ -160,8 +177,23 @@ pub enum IncrementalSupport {
         /// Tables scanned by join build subtrees below the aggregate.
         static_tables: Vec<String>,
     },
-    /// Non-inner or unkeyed joins, unions, sorts, limits, or nested
-    /// aggregates: always recomputed in full.
+    /// A distinct over a delta spine: the stored output absorbs an
+    /// insert-only input delta via [`crate::exec::merge_distinct`]
+    /// (first-occurrence order means existing rows never move and new
+    /// values append). Like [`IncrementalSupport::MergeAggregate`], no
+    /// output delta is published — whether a delta row survives the dedup
+    /// is unknowable downstream — and deletes force a recompute (the
+    /// stored output carries no multiplicity).
+    DistinctMerge {
+        /// Whether the spine below the distinct contains a projection.
+        projects: bool,
+        /// Whether the spine below the distinct contains a keyed join.
+        joins: bool,
+        /// Tables scanned by join build subtrees below the distinct.
+        static_tables: Vec<String>,
+    },
+    /// Unkeyed joins, unions, sorts, limits, top-k, or nested
+    /// aggregates/distincts: always recomputed in full.
     Unsupported,
 }
 
@@ -176,6 +208,7 @@ impl IncrementalSupport {
                 projects, joins, ..
             } => !has_deletes || (!*projects && !*joins),
             IncrementalSupport::MergeAggregate { mergeable, .. } => *mergeable && !has_deletes,
+            IncrementalSupport::DistinctMerge { .. } => !has_deletes,
             IncrementalSupport::Unsupported => false,
         }
     }
@@ -191,7 +224,8 @@ impl IncrementalSupport {
     pub fn static_tables(&self) -> &[String] {
         match self {
             IncrementalSupport::RowWise { static_tables, .. }
-            | IncrementalSupport::MergeAggregate { static_tables, .. } => static_tables,
+            | IncrementalSupport::MergeAggregate { static_tables, .. }
+            | IncrementalSupport::DistinctMerge { static_tables, .. } => static_tables,
             IncrementalSupport::Unsupported => &[],
         }
     }
@@ -275,11 +309,27 @@ impl LogicalPlan {
         }
     }
 
+    /// Appends a distinct.
+    pub fn distinct(self) -> LogicalPlan {
+        LogicalPlan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
     /// Appends a sort.
     pub fn sort(self, keys: Vec<SortKey>) -> LogicalPlan {
         LogicalPlan::Sort {
             input: Box::new(self),
             keys,
+        }
+    }
+
+    /// Appends a fused `ORDER BY … LIMIT n` (top-k).
+    pub fn top_k(self, keys: Vec<SortKey>, n: usize) -> LogicalPlan {
+        LogicalPlan::TopK {
+            input: Box::new(self),
+            keys,
+            n,
         }
     }
 
@@ -317,7 +367,9 @@ impl LogicalPlan {
             LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Distinct { input }
             | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::TopK { input, .. }
             | LogicalPlan::Limit { input, .. } => input.collect_inputs(out),
             LogicalPlan::Join { left, right, .. } | LogicalPlan::Union { left, right } => {
                 left.collect_inputs(out);
@@ -338,12 +390,14 @@ impl LogicalPlan {
                 LogicalPlan::Project { input, .. } => {
                     spine(input).map(|(_, joins, statics)| (true, joins, statics))
                 }
+                // Both keyed join types admit the delta rule: an
+                // insert-only probe delta against a static build side
+                // appends its (matched or, for Left, null-filled) output
+                // rows exactly where a full recompute would (see
+                // [`crate::exec::delta_join`]).
                 LogicalPlan::Join {
-                    left,
-                    right,
-                    on,
-                    join_type,
-                } if *join_type == JoinType::Inner && !on.is_empty() => {
+                    left, right, on, ..
+                } if !on.is_empty() => {
                     let (projects, _, mut statics) = spine(left)?;
                     for table in right.input_tables() {
                         if !statics.contains(&table) {
@@ -370,6 +424,16 @@ impl LogicalPlan {
             }
             return IncrementalSupport::Unsupported;
         }
+        if let LogicalPlan::Distinct { input } = self {
+            if let Some((projects, joins, static_tables)) = spine(input) {
+                return IncrementalSupport::DistinctMerge {
+                    projects,
+                    joins,
+                    static_tables,
+                };
+            }
+            return IncrementalSupport::Unsupported;
+        }
         match spine(self) {
             Some((projects, joins, static_tables)) => IncrementalSupport::RowWise {
                 projects,
@@ -381,8 +445,8 @@ impl LogicalPlan {
     }
 
     /// Propagates input deltas down the delta spine (Scan/Filter/Project,
-    /// through the probe side of keyed inner joins), producing the output
-    /// delta. A join's build side is executed in full against `tables` —
+    /// through the probe side of keyed inner or left outer joins),
+    /// producing the output delta. A join's build side is executed in full against `tables` —
     /// it must be unchanged, so its stored contents *are* its pre-image
     /// (see [`crate::exec::delta_join`]). Fails on operators outside the
     /// spine — callers must consult [`LogicalPlan::incremental_support`]
@@ -405,11 +469,11 @@ impl LogicalPlan {
                 left,
                 right,
                 on,
-                join_type: JoinType::Inner,
+                join_type,
             } if !on.is_empty() => {
                 let probe_delta = left.execute_delta(deltas, tables)?;
                 let build = right.execute(tables)?;
-                exec::delta_join(&probe_delta, &build, on)
+                exec::delta_join(&probe_delta, &build, on, *join_type)
             }
             other => Err(EngineError::InvalidPlan(format!(
                 "operator is not delta-maintainable: {other:?}"
@@ -447,7 +511,9 @@ impl LogicalPlan {
                     .collect();
                 exec::aggregate(&input.execute(source)?, group_by, &triples)
             }
+            LogicalPlan::Distinct { input } => exec::distinct(&input.execute(source)?),
             LogicalPlan::Sort { input, keys } => exec::sort_by(&input.execute(source)?, keys),
+            LogicalPlan::TopK { input, keys, n } => exec::top_k(&input.execute(source)?, keys, *n),
             LogicalPlan::Limit { input, n } => exec::limit(&input.execute(source)?, *n),
             LogicalPlan::Union { left, right } => {
                 exec::union_all(&left.execute(source)?, &right.execute(source)?)
@@ -594,15 +660,45 @@ mod tests {
             .aggregate(vec!["k".into()], vec![AggExpr::new(AggFunc::Avg, "v", "m")]);
         assert!(!avg.incremental_support().maintainable(false));
 
-        // Unkeyed, and non-inner, joins stay unsupported.
+        // Unkeyed joins stay unsupported; keyed left outer joins ride the
+        // same insert-only delta rule as inner ones.
         let join = LogicalPlan::scan("a").join(LogicalPlan::scan("b"), vec![]);
         assert_eq!(join.incremental_support(), IncrementalSupport::Unsupported);
         let left = LogicalPlan::scan("a")
             .left_join(LogicalPlan::scan("b"), vec![("x".into(), "x".into())]);
-        assert_eq!(left.incremental_support(), IncrementalSupport::Unsupported);
+        assert_eq!(
+            left.incremental_support(),
+            IncrementalSupport::RowWise {
+                projects: false,
+                joins: true,
+                static_tables: vec!["b".into()]
+            }
+        );
         // Anything over an aggregate: unsupported.
         assert_eq!(
             agg.clone().filter(Expr::lit(true)).incremental_support(),
+            IncrementalSupport::Unsupported
+        );
+
+        // Distinct over a spine merges without publishing; top-k and
+        // distinct-over-aggregate fall to the Unsupported full-recompute
+        // path.
+        let dis = LogicalPlan::scan("t").filter(Expr::lit(true)).distinct();
+        assert_eq!(
+            dis.incremental_support(),
+            IncrementalSupport::DistinctMerge {
+                projects: false,
+                joins: false,
+                static_tables: vec![]
+            }
+        );
+        assert!(dis.incremental_support().maintainable(false));
+        assert!(!dis.incremental_support().maintainable(true));
+        assert!(!dis.incremental_support().publishes_delta());
+        let topk = LogicalPlan::scan("t").top_k(vec![SortKey::desc("v")], 5);
+        assert_eq!(topk.incremental_support(), IncrementalSupport::Unsupported);
+        assert_eq!(
+            agg.clone().distinct().incremental_support(),
             IncrementalSupport::Unsupported
         );
     }
@@ -748,6 +844,59 @@ mod tests {
         let mut deltas = HashMap::new();
         deltas.insert("orders".to_string(), with_del);
         assert!(plan.execute_delta(&deltas, &tables).is_err());
+    }
+
+    #[test]
+    fn distinct_and_top_k_execute() {
+        let dis = LogicalPlan::scan("orders")
+            .project(vec![(Expr::col("cust"), "cust".into())])
+            .distinct();
+        let out = dis.execute(&source()).unwrap();
+        assert_eq!(out.num_rows(), 3); // customers 10, 11, 12
+        assert_eq!(out.value(0, 0), Value::Int64(10));
+
+        let topk = LogicalPlan::scan("orders").top_k(vec![SortKey::desc("amount")], 2);
+        let out = topk.execute(&source()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.value(0, 2), Value::Float64(75.0));
+        // Top-k has no delta rule: the spine interpreter rejects it.
+        let deltas: HashMap<String, TableDelta> = HashMap::new();
+        assert!(topk.execute_delta(&deltas, &source()).is_err());
+    }
+
+    #[test]
+    fn execute_delta_through_left_join_spine_matches_full() {
+        let tables = source();
+        let plan = LogicalPlan::scan("orders").left_join(
+            LogicalPlan::scan("customers").filter(Expr::col("region").eq(Expr::lit("east"))),
+            vec![("cust".into(), "cust_id".into())],
+        );
+        let mv_old = plan.execute(&tables).unwrap();
+
+        let mut growth = TableBuilder::new()
+            .column("id", DataType::Int64)
+            .column("cust", DataType::Int64)
+            .column("amount", DataType::Float64)
+            .build();
+        growth
+            .push_row(vec![5.into(), 11.into(), 60.0.into()]) // west: null-filled
+            .unwrap();
+        growth
+            .push_row(vec![6.into(), 12.into(), 70.0.into()]) // east: matched
+            .unwrap();
+        let delta = TableDelta::insert_only(growth);
+        let mut deltas = HashMap::new();
+        deltas.insert("orders".to_string(), delta.clone());
+
+        let incremental = plan
+            .execute_delta(&deltas, &tables)
+            .unwrap()
+            .apply(&mv_old)
+            .unwrap();
+        let mut grown = tables.clone();
+        let orders_new = delta.apply(&tables["orders"]).unwrap();
+        grown.insert("orders".to_string(), Arc::new(orders_new));
+        assert_eq!(incremental, plan.execute(&grown).unwrap());
     }
 
     #[test]

@@ -199,6 +199,19 @@ impl ObservationStore {
         self.inner.lock().len()
     }
 
+    /// Distinct MV names with at least one observation, sorted. A sidecar
+    /// loaded against the wrong workload surfaces here: callers mapping
+    /// observations onto a spec can reject names the spec never declared
+    /// instead of silently annotating nothing.
+    pub fn names(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut names: Vec<String> = inner.keys().map(|(n, _)| n.clone()).collect();
+        // Keys are sorted (BTreeMap, name-major), so duplicates from
+        // multiple fingerprints under one name are consecutive.
+        names.dedup();
+        names
+    }
+
     /// Whether the store holds no observations at all.
     pub fn is_empty(&self) -> bool {
         self.inner.lock().is_empty()

@@ -24,20 +24,31 @@
 //!   churn annotations for simulated workloads;
 //! * [`scenario`] — unified [`ScenarioSpec`]s (tables + MV DAG + churn
 //!   schedule + config) consumed by both the engine and the simulator,
-//!   so engine/sim parity holds by construction rather than by test.
+//!   so engine/sim parity holds by construction rather than by test;
+//! * [`corpus`] — the file-based `.scn` scenario format: parse a text
+//!   case (tables, MV pipelines, churn, expected refresh decisions) into
+//!   a [`ScenarioSpec`] with typed, line-anchored errors, feeding the
+//!   committed differential corpus under `tests/corpus/`;
+//! * [`tpch_shaped`] — a deterministic TPC-H-shaped star/snowflake
+//!   generator with Zipf-skewed fact keys, plus the generated half of
+//!   the corpus.
 
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod dataset;
 pub mod engine_mvs;
 pub mod paper;
 pub mod scenario;
 pub mod synth;
 pub mod tpcds;
+pub mod tpch_shaped;
 pub mod updates;
 
+pub use corpus::{CorpusCase, Expectation, ScenarioError};
 pub use dataset::DatasetSpec;
 pub use paper::PaperWorkload;
-pub use scenario::{ChurnRound, ScenarioConfig, ScenarioSpec, TableSpec};
+pub use scenario::{ChurnRound, InlineTable, ScenarioConfig, ScenarioSpec, TableSpec};
 pub use synth::{GeneratorParams, SynthGenerator};
+pub use tpch_shaped::TpchSpec;
 pub use updates::UpdateStreamSpec;

@@ -12,18 +12,50 @@
 //! sim side derives its [`sc_sim::SimConfig`] and (after a profiling run)
 //! its annotated [`sc_sim::SimWorkload`] from the very same value.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use sc_core::RefreshMode;
 use sc_engine::controller::{MvDefinition, RefreshConfig, RunMetrics};
 use sc_engine::storage::{DeltaStore, DiskCatalog, ObservationStore, Throttle};
+use sc_engine::{DataType, Table, TableBuilder, Value};
 use sc_sim::{SimConfig, SimWorkload};
 
+use crate::corpus::ScenarioError;
 use crate::tpcds::TinyTpcds;
+use crate::tpch_shaped::TpchSpec;
 use crate::updates::{generate_delta, mirror_workload, pending_churn, UpdateStreamSpec};
 
+/// A literal base table spelled out row by row — the corpus's tool for
+/// pinning exact byte-level behavior (a specific join-null fill, a
+/// duplicate that `distinct` must collapse) where a generated dataset
+/// would bury the interesting rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InlineTable {
+    /// Table name.
+    pub name: String,
+    /// Columns as `(name, type)` pairs, in order.
+    pub columns: Vec<(String, DataType)>,
+    /// Row values, one `Vec` per row, matching `columns`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl InlineTable {
+    /// Materializes the literal rows into a [`Table`].
+    pub fn build(&self) -> sc_engine::Result<Table> {
+        let mut b = TableBuilder::new();
+        for (name, dtype) in &self.columns {
+            b = b.column(name, *dtype);
+        }
+        let mut t = b.build();
+        for row in &self.rows {
+            t.push_row(row.clone())?;
+        }
+        Ok(t)
+    }
+}
+
 /// How a scenario's base tables are produced.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TableSpec {
     /// The bundled TPC-DS-style generator ([`TinyTpcds::generate`]).
     TinyTpcds {
@@ -32,16 +64,50 @@ pub enum TableSpec {
         /// Generator seed; equal seeds produce byte-identical tables.
         seed: u64,
     },
+    /// The TPC-H-shaped star/snowflake generator
+    /// ([`TpchSpec::generate`]), with Zipf-skewed fact keys.
+    TpchShaped(TpchSpec),
+    /// Literal tables spelled out in the scenario itself.
+    Inline(Vec<InlineTable>),
 }
 
 impl TableSpec {
     /// Generates the tables and writes them into `disk` (the "data
     /// ingestion" step preceding the first refresh).
     pub fn load_into(&self, disk: &DiskCatalog) -> sc_engine::Result<()> {
-        match *self {
+        match self {
             TableSpec::TinyTpcds { scale, seed } => {
-                TinyTpcds::generate(scale, seed).load_into(disk)
+                TinyTpcds::generate(*scale, *seed).load_into(disk)
             }
+            TableSpec::TpchShaped(spec) => spec.load_into(disk),
+            TableSpec::Inline(tables) => {
+                for t in tables {
+                    disk.write_table(&t.name, &t.build()?)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Names of every table this spec produces (sorted for the generator
+    /// variants, declaration order for inline tables) — what scenario
+    /// validation resolves MV and churn references against.
+    pub fn table_names(&self) -> Vec<String> {
+        match self {
+            TableSpec::TinyTpcds { .. } => [
+                "catalog_sales",
+                "customer",
+                "date_dim",
+                "item",
+                "store",
+                "store_sales",
+                "web_sales",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            TableSpec::TpchShaped(spec) => spec.table_names(),
+            TableSpec::Inline(tables) => tables.iter().map(|t| t.name.clone()).collect(),
         }
     }
 }
@@ -309,7 +375,7 @@ impl ScenarioSpec {
         disk: &DiskCatalog,
         metrics: &RunMetrics,
         store: &DeltaStore,
-    ) -> sc_dag::Result<SimWorkload> {
+    ) -> Result<SimWorkload, ScenarioError> {
         let churn = pending_churn(store);
         let w = mirror_workload(&self.mvs, metrics, disk, &churn)?;
         if churn.is_empty() {
@@ -334,13 +400,29 @@ impl ScenarioSpec {
     /// adaptive layer stays in parity by construction. Identities without
     /// observations mirror as `None` (static estimates), exactly like the
     /// engine's fingerprint-miss fallback.
+    ///
+    /// A sidecar naming an MV this spec does not declare is rejected with
+    /// [`ScenarioError::StaleObservation`]: it was recorded against a
+    /// different (or older) workload, and silently annotating nothing
+    /// would let a mismatched sidecar pass for an empty one.
     pub fn mirror_observed(
         &self,
         disk: &DiskCatalog,
         metrics: &RunMetrics,
         store: &DeltaStore,
         observations: &ObservationStore,
-    ) -> sc_dag::Result<SimWorkload> {
+    ) -> Result<SimWorkload, ScenarioError> {
+        let known: HashSet<&str> = self.mvs.iter().map(|m| m.name.as_str()).collect();
+        if let Some(unknown) = observations
+            .names()
+            .into_iter()
+            .find(|n| !known.contains(n.as_str()))
+        {
+            return Err(ScenarioError::StaleObservation {
+                scenario: self.name.clone(),
+                mv: unknown,
+            });
+        }
         let w = self.mirror(disk, metrics, store)?;
         let fingerprints: HashMap<&str, u64> = self
             .mvs
@@ -427,6 +509,68 @@ mod tests {
         assert_eq!(sim.disk_read_bps, 1e6);
         assert_eq!(sim.disk_write_bps, 2e6);
         assert_eq!(sim.disk_latency_s, 0.5);
+    }
+
+    #[test]
+    fn table_names_cover_every_variant() {
+        assert!(spec()
+            .tables
+            .table_names()
+            .contains(&"store_sales".to_string()));
+        let tpch = TableSpec::TpchShaped(crate::tpch_shaped::TpchSpec::default());
+        assert!(tpch.table_names().contains(&"lineitem".to_string()));
+        let inline = TableSpec::Inline(vec![InlineTable {
+            name: "t".into(),
+            columns: vec![("a".into(), sc_engine::DataType::Int64)],
+            rows: vec![vec![sc_engine::Value::Int64(1)]],
+        }]);
+        assert_eq!(inline.table_names(), vec!["t".to_string()]);
+        // Inline tables round-trip through storage.
+        let dir = tempfile::tempdir().unwrap();
+        let disk = DiskCatalog::open(dir.path()).unwrap();
+        inline.load_into(&disk).unwrap();
+        assert_eq!(disk.read_table("t").unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn mirror_observed_rejects_a_stale_sidecar() {
+        let s = spec();
+        let dir = tempfile::tempdir().unwrap();
+        let disk = DiskCatalog::open(dir.path()).unwrap();
+        s.load_tables(&disk).unwrap();
+        let mem = MemoryCatalog::new(8 << 20);
+        let plan = Plan::unoptimized((0..s.mvs.len()).map(NodeId).collect());
+        let metrics = Controller::new(&disk, &mem).refresh(&s.mvs, &plan).unwrap();
+        let store = DeltaStore::new();
+
+        // A sidecar recorded against some other workload: its node names
+        // don't exist in this spec, so mirroring must refuse it.
+        let stale = ObservationStore::new();
+        stale.record(
+            "mv_from_another_life",
+            7,
+            sc_engine::storage::Observation {
+                full: true,
+                rows: 10,
+                delta_bytes: 0,
+                appended_bytes: 0,
+                output_bytes: 100,
+                read_s: 0.1,
+                compute_s: 0.1,
+                write_s: 0.1,
+            },
+        );
+        match s.mirror_observed(&disk, &metrics, &store, &stale) {
+            Err(crate::corpus::ScenarioError::StaleObservation { scenario, mv }) => {
+                assert_eq!(scenario, "sales_pipeline");
+                assert_eq!(mv, "mv_from_another_life");
+            }
+            other => panic!("expected StaleObservation, got {other:?}"),
+        }
+        // An empty sidecar (and one naming only spec MVs) is fine.
+        assert!(s
+            .mirror_observed(&disk, &metrics, &store, &ObservationStore::new())
+            .is_ok());
     }
 
     #[test]

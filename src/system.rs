@@ -53,6 +53,9 @@ pub enum ScError {
     DuplicateMv(String),
     /// The builder was not given a storage directory.
     MissingStorageDir,
+    /// Scenario-corpus failure: a malformed or inconsistent `.scn` case,
+    /// or a stale observation sidecar rejected while mirroring.
+    Scenario(sc_workload::ScenarioError),
 }
 
 impl fmt::Display for ScError {
@@ -65,6 +68,7 @@ impl fmt::Display for ScError {
             ScError::MissingStorageDir => {
                 write!(f, "ScSessionBuilder::storage_dir was never called")
             }
+            ScError::Scenario(e) => write!(f, "scenario: {e}"),
         }
     }
 }
@@ -86,6 +90,12 @@ impl From<OptError> for ScError {
 impl From<DagError> for ScError {
     fn from(e: DagError) -> Self {
         ScError::Dag(e)
+    }
+}
+
+impl From<sc_workload::ScenarioError> for ScError {
+    fn from(e: sc_workload::ScenarioError) -> Self {
+        ScError::Scenario(e)
     }
 }
 

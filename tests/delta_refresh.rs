@@ -671,13 +671,11 @@ fn concurrent_ingest_during_refresh_never_double_applies() {
 #[test]
 fn unsupported_shapes_fall_back_rather_than_error() {
     let mvs = vec![
-        // Left joins never delta-join.
+        // Top-k never delta-maintains: appended rows reorder the prefix.
         MvDefinition::new(
-            "left_enriched",
-            LogicalPlan::scan("store_sales").left_join(
-                LogicalPlan::scan("item"),
-                vec![("ss_item_sk".into(), "i_item_sk".into())],
-            ),
+            "top_priced",
+            LogicalPlan::scan("store_sales")
+                .top_k(vec![sc_engine::exec::SortKey::desc("ss_sales_price")], 40),
         ),
         // Unions, sorts and limits always recompute.
         MvDefinition::new(
