@@ -236,6 +236,9 @@ pub struct RunMetrics {
     /// Seconds spent at the end of the run waiting for the background
     /// materializer to drain.
     pub final_drain_s: f64,
+    /// Retained-file deletes that failed during this run's epoch GC —
+    /// observable GC debt (see `DiskCatalog::gc_failed_deletes`).
+    pub gc_failed_deletes: u64,
 }
 
 impl RunMetrics {
@@ -884,13 +887,14 @@ impl<'a> Controller<'a> {
     /// Performs the refresh run described by `plan` over `mvs`.
     pub fn refresh(&self, mvs: &[MvDefinition], plan: &Plan) -> Result<RunMetrics> {
         let edges = self.validate(mvs, plan)?;
+        let gc_debt_before = self.disk.gc_failed_deletes();
         // Work from a point-in-time snapshot of the delta log: every node
         // sees the same pending batches even if ingestion continues while
         // the run executes, and only the snapshotted prefix is consumed.
         let snapshot = self.deltas.map(|s| s.snapshot());
         let poisoned = self.deltas.map(|s| s.is_poisoned()).unwrap_or(false);
         let dp = self.plan_deltas(mvs, plan, &edges, snapshot.as_ref(), poisoned);
-        let result = if self.refresh.lanes <= 1 {
+        let mut result = if self.refresh.lanes <= 1 {
             self.refresh_sequential(mvs, plan, &edges, &dp, snapshot.as_ref())
         } else {
             self.refresh_parallel(mvs, plan, &edges, &dp, snapshot.as_ref())
@@ -910,6 +914,9 @@ impl<'a> Controller<'a> {
             if dp.publishes[i] {
                 let _ = self.disk.drop_table(&delta_entry_name(&mv.name));
             }
+        }
+        if let Ok(run) = &mut result {
+            run.gc_failed_deletes = self.disk.gc_failed_deletes() - gc_debt_before;
         }
         if let Some(store) = self.deltas {
             match (&result, &snapshot) {
@@ -1309,6 +1316,7 @@ impl<'a> Controller<'a> {
             nodes: metrics_nodes,
             peak_memory_bytes: self.memory.peak(),
             final_drain_s,
+            gc_failed_deletes: 0,
         })
     }
 
@@ -1852,6 +1860,7 @@ impl<'a> Controller<'a> {
             nodes,
             peak_memory_bytes: self.memory.peak(),
             final_drain_s,
+            gc_failed_deletes: 0,
         })
     }
 }

@@ -39,6 +39,24 @@ pub enum EngineError {
     },
     /// The on-disk file was not a valid table (corrupt or truncated).
     Corrupt(String),
+    /// A cross-handle reader exhausted its retry budget while a hot
+    /// writer kept committing under it — not data corruption. Pinned
+    /// (snapshot) reads never hit this; it is only reachable on the
+    /// live, unpinned path against a writer on *another* catalog handle.
+    ReadContention {
+        /// Table being read.
+        table: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// Two distinct table names sanitize to the same on-disk file stem;
+    /// letting both through would silently alias their stored state.
+    NameCollision {
+        /// The name whose write/registration was rejected.
+        name: String,
+        /// The previously seen name occupying the same file stem.
+        existing: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// An invalid refresh plan (wrong node count, non-topological order…).
@@ -65,6 +83,14 @@ impl fmt::Display for EngineError {
                 "memory catalog budget exceeded: requested {requested} B with {used}/{budget} B used"
             ),
             EngineError::Corrupt(m) => write!(f, "corrupt table file: {m}"),
+            EngineError::ReadContention { table, attempts } => write!(
+                f,
+                "read of '{table}' gave up after {attempts} attempts under concurrent rewrites"
+            ),
+            EngineError::NameCollision { name, existing } => write!(
+                f,
+                "table name '{name}' collides with '{existing}' on disk (same sanitized file stem)"
+            ),
             EngineError::Io(e) => write!(f, "io error: {e}"),
             EngineError::InvalidPlan(m) => write!(f, "invalid refresh plan: {m}"),
             EngineError::Materialize(m) => write!(f, "materialization failed: {m}"),
@@ -122,6 +148,20 @@ mod tests {
                 "budget exceeded",
             ),
             (EngineError::Corrupt("bad magic".into()), "corrupt"),
+            (
+                EngineError::ReadContention {
+                    table: "t".into(),
+                    attempts: 5,
+                },
+                "5 attempts",
+            ),
+            (
+                EngineError::NameCollision {
+                    name: "mv.a".into(),
+                    existing: "mv_a".into(),
+                },
+                "collides",
+            ),
             (
                 EngineError::InvalidPlan("cycle".into()),
                 "invalid refresh plan",

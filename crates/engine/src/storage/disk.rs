@@ -29,16 +29,37 @@
 //!   equal-row tables in canonical form are byte-identical file for file —
 //!   the equality contract the differential test suites pin: *row*
 //!   identity after every refresh round, *byte* identity after
-//!   `compact()`. A rewrite reuses segment id 0 but first moves the
-//!   committed bytes to a `.seg.old` backup that readers fall back to,
-//!   so a crash at *any* point of the rewrite protocol leaves either
-//!   the old or the new version fully readable. (A reader on another
-//!   handle racing a swap can still catch a manifest/segment pair from
-//!   two committed states; [`DiskCatalog::read_table`] retries a failed
-//!   verification whenever the manifest changed under it.)
+//!   `compact()`. Retention never perturbs this: epochs appear only in
+//!   *retained*-file names, never in live file names or manifest bytes.
+//!
+//! ## Snapshot reads & epoch GC
+//!
+//! Every commit (rewrite, append, compact, drop) advances a per-catalog
+//! **manifest epoch**. [`DiskCatalog::pin`] returns an [`EpochPin`] that
+//! pins the current epoch: reads through the pin resolve each table to
+//! the file versions committed at pin time, byte for byte, while
+//! writers keep committing. A commit that replaces files moves them
+//! into the retained namespace (`<file>~<epoch>`, see
+//! [`format::retained_name`]) instead of deleting them; epoch-based GC
+//! deletes a retained file only once the oldest live pin is at or past
+//! its supersede epoch (immediately, when nothing is pinned). The
+//! rename into the retained namespace doubles as the rewrite protocol's
+//! crash safety: at any crash point either the live or the retained
+//! bytes verify against the live manifest, and the read path falls back
+//! to retained copies by checksum.
+//!
+//! Pins are a per-instance contract, like the internal I/O lock. A
+//! reader racing a writer on *another* handle to the same directory
+//! gets best-effort semantics instead: verification failures retry
+//! while the manifest keeps changing under them, and a reader that
+//! exhausts its retry budget under a hot cross-handle writer fails with
+//! the typed [`EngineError::ReadContention`] rather than a misleading
+//! corruption report.
 
+use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -141,17 +162,69 @@ pub struct DiskCatalog {
     pacer: Pacer,
     /// Guards the filesystem portion of every operation (see above).
     io: RwLock<()>,
+    /// The last committed manifest epoch (commits advance it under the
+    /// write half of `io`; [`DiskCatalog::pin`] samples it under the
+    /// read half, so a pin never lands mid-commit).
+    epoch: AtomicU64,
+    /// Live pin refcounts by pinned epoch; the smallest key bounds what
+    /// epoch GC may delete.
+    pins: Mutex<BTreeMap<u64, usize>>,
+    /// Superseded files this instance moved into the retained namespace
+    /// and has not yet garbage-collected.
+    retained: Mutex<Vec<Retained>>,
+    /// Creation epoch per table stem (tables created by this instance):
+    /// a pin older than a table's creation must not see it.
+    born: Mutex<HashMap<String, u64>>,
+    /// Sanitized stem -> the original table name that claimed it; a
+    /// second distinct name mapping to a claimed stem is a
+    /// [`EngineError::NameCollision`] instead of silent aliasing.
+    names: Mutex<HashMap<String, String>>,
+    /// Retained-file deletes that failed (GC debt that would otherwise
+    /// accumulate invisibly).
+    gc_failed: AtomicU64,
+    /// Max verification-failure retries an unpinned read spends on a
+    /// manifest that keeps changing under it before failing with
+    /// [`EngineError::ReadContention`].
+    read_retry_cap: u32,
 }
+
+/// A superseded file retained for pinned readers: which live file it
+/// shadows and the commit epoch that replaced it.
+#[derive(Debug, Clone)]
+struct Retained {
+    file: String,
+    epoch: u64,
+}
+
+const DEFAULT_READ_RETRY_CAP: u32 = 32;
 
 impl DiskCatalog {
     /// Opens (creating if needed) a catalog rooted at `dir`.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         fs::create_dir_all(dir.as_ref())?;
+        // Start the epoch counter above any retained suffix already on
+        // disk (debris a crashed process left behind), so this
+        // instance's retained names never collide with leftovers.
+        let mut max_epoch = 0;
+        for entry in fs::read_dir(dir.as_ref())? {
+            if let Some(file) = entry?.path().file_name().and_then(|f| f.to_str()) {
+                if let Some((_, e)) = format::parse_retained(file) {
+                    max_epoch = max_epoch.max(e);
+                }
+            }
+        }
         Ok(DiskCatalog {
             dir: dir.as_ref().to_path_buf(),
             throttle: None,
             pacer: Pacer::new(),
             io: RwLock::new(()),
+            epoch: AtomicU64::new(max_epoch),
+            pins: Mutex::new(BTreeMap::new()),
+            retained: Mutex::new(Vec::new()),
+            born: Mutex::new(HashMap::new()),
+            names: Mutex::new(HashMap::new()),
+            gc_failed: AtomicU64::new(0),
+            read_retry_cap: DEFAULT_READ_RETRY_CAP,
         })
     }
 
@@ -162,9 +235,24 @@ impl DiskCatalog {
         Ok(c)
     }
 
+    /// Overrides the unpinned-read retry budget (see
+    /// [`EngineError::ReadContention`]); mainly for tests that need the
+    /// cap reached deterministically.
+    pub fn with_read_retry_cap(mut self, cap: u32) -> Self {
+        self.read_retry_cap = cap;
+        self
+    }
+
     /// The directory backing this catalog.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The file stem `name` materializes under (path-safe sanitization),
+    /// exposed so callers registering logical names can detect stem
+    /// collisions up front (see [`EngineError::NameCollision`]).
+    pub fn file_stem(name: &str) -> String {
+        Self::safe_name(name)
     }
 
     /// Table names come from workload definitions; keep them path-safe.
@@ -182,12 +270,39 @@ impl DiskCatalog {
             .collect()
     }
 
+    fn manifest_file(safe: &str) -> String {
+        format!("{safe}.sctb")
+    }
+
+    fn segment_file(safe: &str, id: u64) -> String {
+        format!("{safe}.{id}.seg")
+    }
+
     fn manifest_path(&self, safe: &str) -> PathBuf {
-        self.dir.join(format!("{safe}.sctb"))
+        self.dir.join(Self::manifest_file(safe))
     }
 
     fn segment_path(&self, safe: &str, id: u64) -> PathBuf {
-        self.dir.join(format!("{safe}.{id}.seg"))
+        self.dir.join(Self::segment_file(safe, id))
+    }
+
+    /// Records `name` as the owner of its sanitized stem `safe`, failing
+    /// with [`EngineError::NameCollision`] when a *different* name
+    /// already claimed it — two distinct logical names must never alias
+    /// one set of files. Called on every write path.
+    fn claim_name(&self, safe: &str, name: &str) -> Result<()> {
+        let mut names = self.names.lock();
+        match names.get(safe) {
+            Some(existing) if existing != name => Err(EngineError::NameCollision {
+                name: name.to_string(),
+                existing: existing.clone(),
+            }),
+            Some(_) => Ok(()),
+            None => {
+                names.insert(safe.to_string(), name.to_string());
+                Ok(())
+            }
+        }
     }
 
     /// Reads and decodes `name`'s manifest, returning it with the raw
@@ -214,6 +329,167 @@ impl DiskCatalog {
         fs::write(&tmp, &bytes)?;
         fs::rename(&tmp, &path)?;
         Ok(bytes.len() as u64)
+    }
+
+    // ---- epoch pins, retention, and epoch GC ----
+
+    /// Pins the current manifest epoch and returns the reader handle.
+    /// Every read through the pin resolves to the file versions
+    /// committed at pin time; the files it needs are retained on disk
+    /// until the pin (and every older one) drops.
+    pub fn pin(&self) -> EpochPin<'_> {
+        let _io = self.io.read();
+        let epoch = self.epoch.load(Ordering::SeqCst);
+        *self.pins.lock().entry(epoch).or_insert(0) += 1;
+        EpochPin {
+            catalog: self,
+            epoch,
+        }
+    }
+
+    /// The oldest pinned epoch (`u64::MAX` when nothing is pinned) —
+    /// the GC horizon: a retained file is deletable iff its supersede
+    /// epoch is at or below this.
+    fn min_pin(&self) -> u64 {
+        self.pins.lock().keys().next().copied().unwrap_or(u64::MAX)
+    }
+
+    fn unpin(&self, epoch: u64) {
+        let _io = self.io.write();
+        {
+            let mut pins = self.pins.lock();
+            if let Some(n) = pins.get_mut(&epoch) {
+                *n -= 1;
+                if *n == 0 {
+                    pins.remove(&epoch);
+                }
+            }
+        }
+        self.gc_retained_locked(None);
+    }
+
+    /// Deletes retained files no pin can still need (supersede epoch at
+    /// or below the GC horizon). With `table` set, additionally sweeps
+    /// on-disk retained debris of that table this instance never
+    /// created (a crashed process's leftovers) — safe exactly when the
+    /// table has just been committed, which is when callers pass it.
+    /// Failed deletes are counted ([`DiskCatalog::gc_failed_deletes`]),
+    /// never silently dropped.
+    fn gc_retained_locked(&self, table: Option<&str>) {
+        let horizon = self.min_pin();
+        {
+            let mut retained = self.retained.lock();
+            retained.retain(|r| {
+                if r.epoch > horizon {
+                    return true;
+                }
+                self.remove_counted(&self.dir.join(format::retained_name(&r.file, r.epoch)));
+                false
+            });
+        }
+        let Some(safe) = table else { return };
+        let prefix = format!("{safe}.");
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(file) = path.file_name().and_then(|f| f.to_str()) else {
+                continue;
+            };
+            let Some((base, e)) = format::parse_retained(file) else {
+                continue;
+            };
+            let Some(rest) = base.strip_prefix(&prefix) else {
+                continue;
+            };
+            let is_table_file = rest == "sctb"
+                || rest
+                    .strip_suffix(".seg")
+                    .is_some_and(|m| m.parse::<u64>().is_ok());
+            if is_table_file && e <= horizon {
+                self.remove_counted(&path);
+            }
+        }
+    }
+
+    /// Removes a file whose absence is fine but whose *failed* removal
+    /// is GC debt worth surfacing.
+    fn remove_counted(&self, path: &Path) {
+        match fs::remove_file(path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(_) => {
+                self.gc_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Retained-file (or orphan-prune) deletes that have failed on this
+    /// instance — epoch-GC debt that would otherwise accumulate
+    /// invisibly. Surfaced per refresh run via
+    /// `RunMetrics::gc_failed_deletes`.
+    pub fn gc_failed_deletes(&self) -> u64 {
+        self.gc_failed.load(Ordering::Relaxed)
+    }
+
+    /// Number of retained (superseded) files currently on disk — 0 once
+    /// every pin has dropped and GC has run. Exposed for tests and
+    /// operational checks.
+    pub fn retained_file_count(&self) -> Result<usize> {
+        let mut n = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            if let Some(file) = entry?.path().file_name().and_then(|f| f.to_str()) {
+                if format::parse_retained(file).is_some() {
+                    n += 1;
+                }
+            }
+        }
+        Ok(n)
+    }
+
+    /// Copies the committed manifest bytes into the retained namespace
+    /// at epoch `c` — needed only while pins are live, since the
+    /// manifest swap itself is atomic (callers hold the io write lock).
+    fn retain_manifest_locked(&self, safe: &str, raw: &[u8], c: u64) -> Result<()> {
+        if self.pins.lock().is_empty() {
+            return Ok(());
+        }
+        let file = Self::manifest_file(safe);
+        fs::write(self.dir.join(format::retained_name(&file, c)), raw)?;
+        self.retained.lock().push(Retained { file, epoch: c });
+        Ok(())
+    }
+
+    /// Moves the committed version described by `manifest` into the
+    /// retained namespace at epoch `c`: the manifest bytes by copy (when
+    /// pins are live), every segment file by rename — so the old bytes
+    /// exist on disk throughout the commit that replaces them,
+    /// regardless of pins (this rename is also the rewrite protocol's
+    /// crash-window safety; see the module docs).
+    fn retain_version_locked(
+        &self,
+        safe: &str,
+        manifest: &Manifest,
+        raw: &[u8],
+        c: u64,
+    ) -> Result<()> {
+        self.retain_manifest_locked(safe, raw, c)?;
+        for seg in &manifest.segments {
+            let file = Self::segment_file(safe, seg.id);
+            match fs::rename(
+                self.dir.join(&file),
+                self.dir.join(format::retained_name(&file, c)),
+            ) {
+                Ok(()) => self.retained.lock().push(Retained { file, epoch: c }),
+                // Already missing (an earlier crash window): nothing to
+                // retain; readers of the old version fall back to any
+                // retained copy that verifies.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
     }
 
     /// Verifies raw segment bytes against the manifest entry and decodes
@@ -247,34 +523,144 @@ impl DiskCatalog {
         Ok(table)
     }
 
-    /// Reads one segment file, verifying it against the manifest entry.
-    /// On a verification failure (or a missing file), the `.seg.old`
-    /// backup a crashed rewrite may have left behind is tried against
-    /// the *same* manifest entry — the crash-recovery half of
-    /// [`DiskCatalog::rewrite_locked`]'s protocol. The original error
-    /// surfaces if the backup is absent or fails verification too.
-    fn read_segment(&self, name: &str, safe: &str, seg: &SegmentMeta) -> Result<Table> {
-        let path = self.segment_path(safe, seg.id);
-        let primary = match fs::read(&path) {
-            Ok(raw) => Self::verify_segment(name, seg, raw),
+    /// Resolves the on-disk path serving `file` for a reader pinned at
+    /// `pin`: the oldest retained copy superseding the pinned version,
+    /// else the live file. Unpinned readers always get the live file.
+    fn path_at(&self, file: &str, pin: Option<u64>) -> PathBuf {
+        if let Some(e) = pin {
+            if let Some(s) = self
+                .retained
+                .lock()
+                .iter()
+                .filter(|r| r.file == file && r.epoch > e)
+                .map(|r| r.epoch)
+                .min()
+            {
+                return self.dir.join(format::retained_name(file, s));
+            }
+        }
+        self.dir.join(file)
+    }
+
+    /// Loads `name`'s manifest as of `pin` (`None` = the live version),
+    /// returning it with its raw bytes. The pinned resolution: the
+    /// oldest retained manifest copy superseding the pin, else the live
+    /// manifest — unless the table was created after the pin, which
+    /// must stay invisible ([`EngineError::UnknownTable`]).
+    fn manifest_at(&self, name: &str, safe: &str, pin: Option<u64>) -> Result<(Manifest, Vec<u8>)> {
+        if let Some(e) = pin {
+            let file = Self::manifest_file(safe);
+            let born = self.born.lock().get(safe).copied().unwrap_or(0);
+            let candidate = self
+                .retained
+                .lock()
+                .iter()
+                .filter(|r| r.file == file && r.epoch > e)
+                .map(|r| r.epoch)
+                .min();
+            match candidate {
+                // A retained copy from *before* the table's (re)creation
+                // belongs to the incarnation the pin saw; one from after
+                // it holds post-pin state and must not resurface.
+                Some(s) if born <= e || s <= born => {
+                    let raw = fs::read(self.dir.join(format::retained_name(&file, s)))?;
+                    return Ok((format::decode_manifest(Bytes::from(raw.clone()))?, raw));
+                }
+                _ if born > e => {
+                    return Err(EngineError::UnknownTable(name.to_string()));
+                }
+                _ => {}
+            }
+        }
+        self.load_manifest(name)
+    }
+
+    /// Raw bytes of one segment as of `pin`, verified (length +
+    /// checksum) against the manifest entry. On a primary failure,
+    /// every on-disk retained copy of the segment file is tried against
+    /// the same entry — checksums make acceptance exact. This is the
+    /// crash-recovery and cross-handle-race fallback that replaced the
+    /// old `.seg.old` backup scheme.
+    fn read_segment_bytes_at(
+        &self,
+        name: &str,
+        safe: &str,
+        seg: &SegmentMeta,
+        pin: Option<u64>,
+    ) -> Result<Vec<u8>> {
+        let file = Self::segment_file(safe, seg.id);
+        let check = |raw: Vec<u8>| -> Result<Vec<u8>> {
+            if raw.len() as u64 != seg.bytes {
+                return Err(EngineError::Corrupt(format!(
+                    "{name}: segment {} is {} bytes, manifest records {}",
+                    seg.id,
+                    raw.len(),
+                    seg.bytes
+                )));
+            }
+            if format::fnv1a64(&raw) != seg.checksum {
+                return Err(EngineError::Corrupt(format!(
+                    "{name}: segment {} fails its checksum",
+                    seg.id
+                )));
+            }
+            Ok(raw)
+        };
+        let primary = match fs::read(self.path_at(&file, pin)) {
+            Ok(raw) => check(raw),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(EngineError::Corrupt(
                 format!("{name}: segment {} missing", seg.id),
             )),
             Err(e) => return Err(e.into()),
         };
         match primary {
-            Ok(table) => Ok(table),
-            Err(err) => match fs::read(path.with_extension("seg.old")) {
-                Ok(raw) => Self::verify_segment(name, seg, raw).map_err(|_| err),
-                Err(_) => Err(err),
-            },
+            Ok(raw) => Ok(raw),
+            Err(err) => self
+                .retained_candidates(&file)
+                .into_iter()
+                .find_map(|path| check(fs::read(path).ok()?).ok())
+                .ok_or(err),
         }
     }
 
-    /// Removes every segment file of `safe` whose id is not in `keep`,
-    /// plus any `.seg.old` rewrite backup (stale canonical-rewrite
-    /// leftovers and crash orphans; backups are only meaningful until
-    /// the next manifest commit, which every caller has just performed).
+    /// All on-disk retained copies of `file` — this instance's and any
+    /// crashed process's — oldest supersession first.
+    fn retained_candidates(&self, file: &str) -> Vec<PathBuf> {
+        let mut out: Vec<(u64, PathBuf)> = Vec::new();
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                let Some(f) = path.file_name().and_then(|f| f.to_str()) else {
+                    continue;
+                };
+                if let Some((base, e)) = format::parse_retained(f) {
+                    if base == file {
+                        out.push((e, path));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Reads one segment as of `pin`, verified and decoded.
+    fn read_segment_at(
+        &self,
+        name: &str,
+        safe: &str,
+        seg: &SegmentMeta,
+        pin: Option<u64>,
+    ) -> Result<Table> {
+        let raw = self.read_segment_bytes_at(name, safe, seg, pin)?;
+        Self::verify_segment(name, seg, raw)
+    }
+
+    /// Removes every segment file of `safe` whose id is not in `keep`
+    /// (crash orphans and stale leftovers; callers have just committed
+    /// a manifest, so anything unreferenced is dead). Retained-namespace
+    /// files are untouched — epoch GC owns those. Failed removals are
+    /// counted, not swallowed.
     fn prune_segments(&self, safe: &str, keep: &[u64]) -> Result<()> {
         let prefix = format!("{safe}.");
         for entry in fs::read_dir(&self.dir)? {
@@ -288,14 +674,9 @@ impl DiskCatalog {
             if let Some(middle) = rest.strip_suffix(".seg") {
                 if let Ok(id) = middle.parse::<u64>() {
                     if !keep.contains(&id) {
-                        let _ = fs::remove_file(&path);
+                        self.remove_counted(&path);
                     }
                 }
-            } else if rest
-                .strip_suffix(".seg.old")
-                .is_some_and(|middle| middle.parse::<u64>().is_ok())
-            {
-                let _ = fs::remove_file(&path);
             }
         }
         Ok(())
@@ -309,14 +690,33 @@ impl DiskCatalog {
     /// The filesystem half of a canonical rewrite (callers hold the
     /// write half of [`DiskCatalog::io`]). Returns bytes written.
     ///
-    /// Crash-safe despite reusing segment id 0: the committed bytes are
-    /// first moved to a `.seg.old` backup, which [`read_segment`]'s
-    /// fallback serves for as long as the committed manifest still
-    /// describes them — so dying before the new segment lands, or
-    /// between it and the manifest commit, leaves the *old* version
-    /// readable, and dying after the commit leaves the *new* one. The
-    /// backup is deleted once the new manifest is durable.
-    fn rewrite_locked(&self, safe: &str, table: &Table) -> Result<u64> {
+    /// Commit protocol, crash-safe at every step:
+    /// 1. the committed version moves into the retained namespace
+    ///    (`<file>~<epoch>`): segment files by rename, the manifest by
+    ///    copy when pins are live — so the old bytes exist on disk
+    ///    throughout;
+    /// 2. the new canonical segment 0 lands via tmp + rename;
+    /// 3. the manifest commit (tmp + rename) flips readers to the new
+    ///    version atomically;
+    /// 4. epoch GC deletes whatever no pin still needs (immediately,
+    ///    when nothing is pinned).
+    ///
+    /// Dying before step 3 leaves the old version readable: the live
+    /// manifest still describes the retained segment bytes, which the
+    /// read path falls back to by checksum. Dying after step 3 leaves
+    /// the new version live, plus retained debris the next commit of
+    /// this table sweeps.
+    fn rewrite_locked(&self, name: &str, safe: &str, table: &Table) -> Result<u64> {
+        let c = self.epoch.load(Ordering::SeqCst) + 1;
+        match self.load_manifest(name) {
+            Ok((old, raw)) => self.retain_version_locked(safe, &old, &raw, c)?,
+            // No committed version to retain (creation, or a corrupt
+            // manifest being rewritten over — the recovery path).
+            Err(EngineError::UnknownTable(_)) | Err(EngineError::Corrupt(_)) => {
+                self.born.lock().insert(safe.to_string(), c);
+            }
+            Err(e) => return Err(e),
+        }
         let payload = format::encode(table);
         let seg = SegmentMeta {
             id: 0,
@@ -325,12 +725,6 @@ impl DiskCatalog {
             checksum: format::fnv1a64(&payload),
         };
         let seg_path = self.segment_path(safe, 0);
-        let backup = seg_path.with_extension("seg.old");
-        match fs::rename(&seg_path, &backup) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
-        }
         let tmp = seg_path.with_extension("seg.tmp");
         fs::write(&tmp, &payload)?;
         fs::rename(&tmp, &seg_path)?;
@@ -340,7 +734,8 @@ impl DiskCatalog {
                 segments: vec![seg],
             },
         )?;
-        let _ = fs::remove_file(&backup);
+        self.epoch.store(c, Ordering::SeqCst);
+        self.gc_retained_locked(Some(safe));
         self.prune_segments(safe, &[0])?;
         Ok(payload.len() as u64 + manifest_len)
     }
@@ -354,7 +749,8 @@ impl DiskCatalog {
         let safe = Self::safe_name(name);
         let len = {
             let _io = self.io.write();
-            self.rewrite_locked(&safe, table)?
+            self.claim_name(&safe, name)?;
+            self.rewrite_locked(name, &safe, table)?
         };
         if let Some(t) = self.throttle {
             Pacer::pace(
@@ -385,7 +781,13 @@ impl DiskCatalog {
         let safe = Self::safe_name(name);
         let len = {
             let _io = self.io.write();
-            let (mut manifest, _) = self.load_manifest(name)?;
+            self.claim_name(&safe, name)?;
+            let (mut manifest, raw) = self.load_manifest(name)?;
+            // An append leaves every committed segment in place; only
+            // the manifest is superseded, so only it needs retaining
+            // (and only while pins are live — the swap is atomic).
+            let c = self.epoch.load(Ordering::SeqCst) + 1;
+            self.retain_manifest_locked(&safe, &raw, c)?;
             let payload = format::encode(rows);
             let id = manifest.next_id();
             let seg_path = self.segment_path(&safe, id);
@@ -399,6 +801,8 @@ impl DiskCatalog {
                 checksum: format::fnv1a64(&payload),
             });
             let manifest_len = self.commit_manifest(&safe, &manifest)?;
+            self.epoch.store(c, Ordering::SeqCst);
+            self.gc_retained_locked(Some(&safe));
             payload.len() as u64 + manifest_len
         };
         if let Some(t) = self.throttle {
@@ -435,12 +839,13 @@ impl DiskCatalog {
         let safe = Self::safe_name(name);
         let (read_bytes, written) = {
             let _io = self.io.write();
+            self.claim_name(&safe, name)?;
             let (manifest, raw) = self.load_manifest(name)?;
             if manifest.segments.len() == 1 && manifest.segments[0].id == 0 {
                 return Ok(0);
             }
             let table = self.read_segments(name, &safe, &manifest)?;
-            let written = self.rewrite_locked(&safe, &table)?;
+            let written = self.rewrite_locked(name, &safe, &table)?;
             (raw.len() as u64 + manifest.total_bytes(), written)
         };
         if let Some(t) = self.throttle {
@@ -463,15 +868,86 @@ impl DiskCatalog {
     }
 
     /// Reads and verifies every segment of `manifest`, concatenated in
-    /// manifest order.
+    /// manifest order (live versions; callers hold an `io` lock half).
     fn read_segments(&self, name: &str, safe: &str, manifest: &Manifest) -> Result<Table> {
+        self.read_segments_at(name, safe, manifest, None)
+    }
+
+    /// Reads and verifies every segment of `manifest` as of `pin`,
+    /// concatenated in manifest order.
+    fn read_segments_at(
+        &self,
+        name: &str,
+        safe: &str,
+        manifest: &Manifest,
+        pin: Option<u64>,
+    ) -> Result<Table> {
         let mut parts = Vec::with_capacity(manifest.segments.len());
         for seg in &manifest.segments {
-            parts.push(self.read_segment(name, safe, seg)?);
+            parts.push(self.read_segment_at(name, safe, seg, pin)?);
         }
         match parts.len() {
             1 => Ok(parts.pop().expect("one part")),
             _ => Table::concat(&parts.iter().collect::<Vec<_>>()),
+        }
+    }
+
+    /// Runs `attempt` under the io read lock against the manifest as of
+    /// `pin`. Unpinned attempts that fail verification are retried while
+    /// the live manifest keeps changing under them (a writer on another
+    /// handle), up to the configured retry cap — exhaustion is the typed
+    /// [`EngineError::ReadContention`], while a failing attempt over a
+    /// *stable* manifest is genuine [`EngineError::Corrupt`]. Pinned
+    /// attempts never retry: a pin's files are held on disk for its
+    /// lifetime.
+    fn with_manifest<T>(
+        &self,
+        name: &str,
+        safe: &str,
+        pin: Option<u64>,
+        mut attempt: impl FnMut(&Manifest, &[u8]) -> Result<T>,
+    ) -> Result<T> {
+        let mut attempts = 0u32;
+        loop {
+            let (result, manifest_raw) = {
+                let _io = self.io.read();
+                let (manifest, raw) = self.manifest_at(name, safe, pin)?;
+                let result = attempt(&manifest, &raw);
+                (result, raw)
+            };
+            match result {
+                Ok(v) => return Ok(v),
+                Err(err @ EngineError::Corrupt(_)) if pin.is_none() => {
+                    attempts += 1;
+                    if attempts > self.read_retry_cap {
+                        return Err(EngineError::ReadContention {
+                            table: name.to_string(),
+                            attempts,
+                        });
+                    }
+                    let changed = |raw: &[u8]| {
+                        fs::read(self.manifest_path(safe))
+                            .map(|now| now != raw)
+                            .unwrap_or(true)
+                    };
+                    if changed(&manifest_raw) {
+                        // A cross-handle writer committed: back off
+                        // briefly so a hot writer cannot starve the
+                        // reader, then try the new manifest.
+                        std::thread::sleep(Duration::from_micros(100));
+                        continue;
+                    }
+                    // Possibly mid-commit (segment swapped, manifest not
+                    // yet renamed): give the writer a beat, then decide.
+                    std::thread::sleep(Duration::from_micros(500));
+                    if changed(&manifest_raw) {
+                        continue;
+                    }
+                    // Stable manifest: genuine corruption.
+                    return Err(err);
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -488,47 +964,16 @@ impl DiskCatalog {
     /// writer (retry against the new manifest), a stable one means the
     /// corruption is real and surfaces as [`EngineError::Corrupt`].
     pub fn read_table(&self, name: &str) -> Result<Table> {
+        self.read_table_at(name, None)
+    }
+
+    fn read_table_at(&self, name: &str, pin: Option<u64>) -> Result<Table> {
         let started = Instant::now();
         let safe = Self::safe_name(name);
-        let mut retries = 32u32;
-        let (table, total_bytes) = loop {
-            let (attempt, manifest_raw) = {
-                let _io = self.io.read();
-                let (manifest, raw) = self.load_manifest(name)?;
-                let attempt = self
-                    .read_segments(name, &safe, &manifest)
-                    .map(|t| (t, raw.len() as u64 + manifest.total_bytes()));
-                (attempt, raw)
-            };
-            match attempt {
-                Ok(done) => break done,
-                Err(err @ EngineError::Corrupt(_)) if retries > 0 => {
-                    retries -= 1;
-                    let changed = |raw: &[u8]| {
-                        fs::read(self.manifest_path(&safe))
-                            .map(|now| now != raw)
-                            .unwrap_or(true)
-                    };
-                    if changed(&manifest_raw) {
-                        // A cross-handle writer committed: back off
-                        // briefly so a hot writer cannot starve the
-                        // reader through every retry, then try the new
-                        // manifest.
-                        std::thread::sleep(Duration::from_micros(100));
-                        continue;
-                    }
-                    // Possibly mid-commit (segment swapped, manifest not
-                    // yet renamed): give the writer a beat, then decide.
-                    std::thread::sleep(Duration::from_micros(500));
-                    if changed(&manifest_raw) {
-                        continue;
-                    }
-                    // Stable manifest: genuine corruption.
-                    return Err(err);
-                }
-                Err(e) => return Err(e),
-            }
-        };
+        let (table, total_bytes) = self.with_manifest(name, &safe, pin, |manifest, raw| {
+            let t = self.read_segments_at(name, &safe, manifest, pin)?;
+            Ok((t, raw.len() as u64 + manifest.total_bytes()))
+        })?;
         if let Some(t) = self.throttle {
             Pacer::pace(
                 &self.pacer.read_free,
@@ -544,50 +989,101 @@ impl DiskCatalog {
     /// Size in bytes of the stored table (manifest plus all segments), if
     /// present.
     pub fn size_of(&self, name: &str) -> Result<u64> {
-        let (manifest, raw) = self.load_manifest(name)?;
-        Ok(raw.len() as u64 + manifest.total_bytes())
+        self.size_of_at(name, None)
+    }
+
+    fn size_of_at(&self, name: &str, pin: Option<u64>) -> Result<u64> {
+        let safe = Self::safe_name(name);
+        self.with_manifest(name, &safe, pin, |m, raw| {
+            Ok(raw.len() as u64 + m.total_bytes())
+        })
     }
 
     /// Number of committed segments backing `name` (1 = canonical form).
     pub fn segment_count(&self, name: &str) -> Result<usize> {
-        Ok(self.load_manifest(name)?.0.segments.len())
+        self.segment_count_at(name, None)
+    }
+
+    fn segment_count_at(&self, name: &str, pin: Option<u64>) -> Result<usize> {
+        let safe = Self::safe_name(name);
+        self.with_manifest(name, &safe, pin, |m, _| Ok(m.segments.len()))
     }
 
     /// Total stored rows of `name`, from the manifest alone (no segment
     /// reads).
     pub fn row_count(&self, name: &str) -> Result<u64> {
-        Ok(self.load_manifest(name)?.0.total_rows())
+        self.row_count_at(name, None)
+    }
+
+    fn row_count_at(&self, name: &str, pin: Option<u64>) -> Result<u64> {
+        let safe = Self::safe_name(name);
+        self.with_manifest(name, &safe, pin, |m, _| Ok(m.total_rows()))
     }
 
     /// The raw stored bytes of every file backing `name` — the manifest
-    /// first, then each segment in manifest order — keyed by file name.
-    /// This is what the differential suites compare for the
-    /// byte-identity-after-compact contract.
+    /// first, then each segment in manifest order — keyed by *live* file
+    /// name (pinned reads of retained copies report the same keys, so
+    /// byte-identity comparisons stay file-for-file). Every segment's
+    /// bytes are verified against its manifest entry, so a cross-handle
+    /// rewrite mid-walk retries instead of returning a torn mix of two
+    /// committed states. This is what the differential suites compare
+    /// for the byte-identity-after-compact contract.
     pub fn stored_file_bytes(&self, name: &str) -> Result<Vec<(String, Vec<u8>)>> {
+        self.stored_file_bytes_at(name, None)
+    }
+
+    fn stored_file_bytes_at(&self, name: &str, pin: Option<u64>) -> Result<Vec<(String, Vec<u8>)>> {
         let safe = Self::safe_name(name);
-        let _io = self.io.read();
-        let (manifest, _) = self.load_manifest(name)?;
-        let mut out = vec![(format!("{safe}.sctb"), fs::read(self.manifest_path(&safe))?)];
-        for seg in &manifest.segments {
-            out.push((
-                format!("{safe}.{}.seg", seg.id),
-                fs::read(self.segment_path(&safe, seg.id))?,
-            ));
-        }
-        Ok(out)
+        self.with_manifest(name, &safe, pin, |manifest, raw| {
+            let mut out = vec![(Self::manifest_file(&safe), raw.to_vec())];
+            for seg in &manifest.segments {
+                out.push((
+                    Self::segment_file(&safe, seg.id),
+                    self.read_segment_bytes_at(name, &safe, seg, pin)?,
+                ));
+            }
+            Ok(out)
+        })
     }
 
     /// Deletes a stored table — manifest and every segment file, including
-    /// crash orphans (no error if absent).
+    /// crash orphans (no error if absent). With pins live, the committed
+    /// version moves to the retained namespace instead, so pinned
+    /// readers keep seeing it until the last pin drops; the live
+    /// namespace is empty either way. Dropping releases the name's stem
+    /// claim for reuse.
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let safe = Self::safe_name(name);
         let _io = self.io.write();
-        match fs::remove_file(self.manifest_path(&safe)) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
+        match self.load_manifest(name) {
+            Ok((manifest, raw)) if !self.pins.lock().is_empty() => {
+                let c = self.epoch.load(Ordering::SeqCst) + 1;
+                self.retain_version_locked(&safe, &manifest, &raw, c)?;
+                match fs::remove_file(self.manifest_path(&safe)) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e.into()),
+                }
+                self.epoch.store(c, Ordering::SeqCst);
+            }
+            Ok(_) | Err(EngineError::UnknownTable(_)) | Err(EngineError::Corrupt(_)) => {
+                match fs::remove_file(self.manifest_path(&safe)) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Err(e) => return Err(e),
         }
-        self.prune_segments(&safe, &[])
+        {
+            let mut names = self.names.lock();
+            if names.get(&safe).is_some_and(|o| o == name) {
+                names.remove(&safe);
+            }
+        }
+        self.prune_segments(&safe, &[])?;
+        self.gc_retained_locked(Some(&safe));
+        Ok(())
     }
 
     /// Names of all stored tables (manifest file stems), sorted.
@@ -603,6 +1099,69 @@ impl DiskCatalog {
         }
         names.sort();
         Ok(names)
+    }
+}
+
+/// A reader handle pinning the catalog's state as of a manifest epoch
+/// (see [`DiskCatalog::pin`]). Every read through it resolves each
+/// table to the file versions committed at pin time — byte for byte,
+/// no matter how many rewrites, appends, compactions, or drops commit
+/// concurrently on the same catalog instance. The files a pin needs
+/// are retained on disk until the last pin that can see them drops
+/// (epoch GC runs on drop).
+///
+/// Pinned reads never retry and never contend with the refresh-run
+/// lock; they serialize only against the short filesystem critical
+/// section of a committing writer.
+#[derive(Debug)]
+pub struct EpochPin<'a> {
+    catalog: &'a DiskCatalog,
+    epoch: u64,
+}
+
+impl EpochPin<'_> {
+    /// The manifest epoch this pin holds.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The catalog this pin reads from.
+    pub fn catalog(&self) -> &DiskCatalog {
+        self.catalog
+    }
+
+    /// Loads the table stored under `name` as of the pinned epoch.
+    /// Tables created after the pin are [`EngineError::UnknownTable`].
+    pub fn read_table(&self, name: &str) -> Result<Table> {
+        self.catalog.read_table_at(name, Some(self.epoch))
+    }
+
+    /// Size in bytes of the pinned version (manifest plus segments).
+    pub fn size_of(&self, name: &str) -> Result<u64> {
+        self.catalog.size_of_at(name, Some(self.epoch))
+    }
+
+    /// Segment count of the pinned version.
+    pub fn segment_count(&self, name: &str) -> Result<usize> {
+        self.catalog.segment_count_at(name, Some(self.epoch))
+    }
+
+    /// Stored rows of the pinned version (manifest only, no segment
+    /// reads).
+    pub fn row_count(&self, name: &str) -> Result<u64> {
+        self.catalog.row_count_at(name, Some(self.epoch))
+    }
+
+    /// Raw stored bytes of the pinned version, keyed by live file name
+    /// (see [`DiskCatalog::stored_file_bytes`]).
+    pub fn stored_file_bytes(&self, name: &str) -> Result<Vec<(String, Vec<u8>)>> {
+        self.catalog.stored_file_bytes_at(name, Some(self.epoch))
+    }
+}
+
+impl Drop for EpochPin<'_> {
+    fn drop(&mut self) {
+        self.catalog.unpin(self.epoch);
     }
 }
 
@@ -864,29 +1423,222 @@ mod tests {
         let v_new = sample(100..150);
         cat.write_table("t", &v_old).unwrap();
         let seg = dir.path().join("t.0.seg");
-        let backup = dir.path().join("t.0.seg.old");
         let manifest_path = dir.path().join("t.sctb");
         let old_seg_bytes = fs::read(&seg).unwrap();
         let old_manifest = fs::read(&manifest_path).unwrap();
         cat.write_table("t", &v_new).unwrap();
-        assert!(!backup.exists(), "a completed rewrite removes its backup");
+        assert_eq!(
+            cat.retained_file_count().unwrap(),
+            0,
+            "a completed unpinned rewrite GCs its retained files"
+        );
 
-        // Crash window 2: new segment landed, manifest commit lost — the
-        // old manifest plus the backup must serve the old version.
+        // Crash window 2: old segment renamed into the retained
+        // namespace and the new segment landed, but the manifest commit
+        // was lost — the old manifest plus the retained copy must serve
+        // the old version.
         fs::write(&manifest_path, &old_manifest).unwrap();
-        fs::write(&backup, &old_seg_bytes).unwrap();
+        fs::write(dir.path().join("t.0.seg~9"), &old_seg_bytes).unwrap();
         assert_eq!(cat.read_table("t").unwrap(), v_old);
 
-        // Crash window 1: old segment already moved to the backup, new
-        // segment never written.
+        // Crash window 1: old segment already renamed away, new segment
+        // never written.
         fs::remove_file(&seg).unwrap();
         assert_eq!(cat.read_table("t").unwrap(), v_old);
 
-        // Recovery: the next rewrite restores normal service and cleans
-        // the backup up.
+        // Recovery: the next rewrite restores normal service and sweeps
+        // the retained debris (no pins are live).
         cat.write_table("t", &v_new).unwrap();
         assert_eq!(cat.read_table("t").unwrap(), v_new);
-        assert!(!backup.exists());
+        assert_eq!(cat.retained_file_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn pinned_readers_hold_their_epoch_across_rewrites() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        let (v1, v2, v3) = (sample(0..10), sample(10..30), sample(30..60));
+        cat.write_table("t", &v1).unwrap();
+        let pin1 = cat.pin();
+        cat.write_table("t", &v2).unwrap();
+        let pin2 = cat.pin();
+        cat.write_table("t", &v3).unwrap();
+
+        // Each pin sees its own version; the live read sees the newest.
+        assert_eq!(pin1.read_table("t").unwrap(), v1);
+        assert_eq!(pin2.read_table("t").unwrap(), v2);
+        assert_eq!(cat.read_table("t").unwrap(), v3);
+        assert_eq!(pin1.row_count("t").unwrap(), 10);
+        assert_eq!(pin2.row_count("t").unwrap(), 20);
+        assert_eq!(pin1.segment_count("t").unwrap(), 1);
+        assert!(pin1.size_of("t").unwrap() < pin2.size_of("t").unwrap());
+        assert!(cat.retained_file_count().unwrap() > 0);
+
+        // Rereads are byte-identical snapshots, keyed by live file name.
+        let b1 = pin1.stored_file_bytes("t").unwrap();
+        assert_eq!(b1, pin1.stored_file_bytes("t").unwrap());
+        assert_eq!(b1[0].0, "t.sctb");
+        assert_ne!(b1, cat.stored_file_bytes("t").unwrap());
+
+        // GC frees v1's files once pin1 drops, v2's once pin2 drops.
+        drop(pin1);
+        assert_eq!(pin2.read_table("t").unwrap(), v2);
+        drop(pin2);
+        assert_eq!(cat.retained_file_count().unwrap(), 0);
+        assert_eq!(cat.read_table("t").unwrap(), v3);
+    }
+
+    #[test]
+    fn pin_sees_pre_append_and_pre_drop_state() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("t", &sample(0..5)).unwrap();
+        let pin = cat.pin();
+        cat.append_table("t", &sample(5..8)).unwrap();
+        assert_eq!(pin.row_count("t").unwrap(), 5);
+        assert_eq!(cat.row_count("t").unwrap(), 8);
+        // A drop with a live pin retains the committed version.
+        cat.drop_table("t").unwrap();
+        assert!(!cat.contains("t"));
+        assert!(matches!(
+            cat.read_table("t"),
+            Err(EngineError::UnknownTable(_))
+        ));
+        assert_eq!(pin.read_table("t").unwrap(), sample(0..5));
+        drop(pin);
+        assert_eq!(cat.retained_file_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn table_created_after_pin_is_invisible_to_it() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("old", &sample(0..3)).unwrap();
+        let pin = cat.pin();
+        cat.write_table("new", &sample(0..4)).unwrap();
+        assert!(matches!(
+            pin.read_table("new"),
+            Err(EngineError::UnknownTable(_))
+        ));
+        // Even once the young table is rewritten (leaving retained
+        // copies), the pin must not see any incarnation of it.
+        cat.write_table("new", &sample(0..6)).unwrap();
+        assert!(matches!(
+            pin.read_table("new"),
+            Err(EngineError::UnknownTable(_))
+        ));
+        assert_eq!(pin.read_table("old").unwrap(), sample(0..3));
+        assert_eq!(cat.read_table("new").unwrap(), sample(0..6));
+    }
+
+    #[test]
+    fn colliding_names_are_rejected_on_write_paths() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        assert_eq!(
+            DiskCatalog::file_stem("mv.a"),
+            DiskCatalog::file_stem("mv_a")
+        );
+        cat.write_table("mv.a", &sample(0..3)).unwrap();
+        // Same name again: fine. A *different* name on the same stem:
+        // typed error on every write path.
+        cat.write_table("mv.a", &sample(0..4)).unwrap();
+        match cat.write_table("mv_a", &sample(0..1)) {
+            Err(EngineError::NameCollision { name, existing }) => {
+                assert_eq!(name, "mv_a");
+                assert_eq!(existing, "mv.a");
+            }
+            other => panic!("expected NameCollision, got {other:?}"),
+        }
+        assert!(matches!(
+            cat.append_table("mv_a", &sample(0..1)),
+            Err(EngineError::NameCollision { .. })
+        ));
+        assert!(matches!(
+            cat.compact("mv_a"),
+            Err(EngineError::NameCollision { .. })
+        ));
+        // Dropping the claimant releases the stem for reuse.
+        cat.drop_table("mv.a").unwrap();
+        cat.write_table("mv_a", &sample(0..2)).unwrap();
+        assert_eq!(cat.read_table("mv_a").unwrap(), sample(0..2));
+    }
+
+    #[test]
+    fn failed_gc_deletes_are_counted() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("t", &sample(0..10)).unwrap();
+        let pin = cat.pin();
+        cat.write_table("t", &sample(10..30)).unwrap();
+        assert_eq!(cat.gc_failed_deletes(), 0);
+        // Sabotage: replace a retained file with a *directory*, which
+        // fs::remove_file cannot delete.
+        let retained = dir.path().join("t.0.seg~2");
+        assert!(retained.exists(), "v1's segment must be retained");
+        fs::remove_file(&retained).unwrap();
+        fs::create_dir(&retained).unwrap();
+        drop(pin); // pin-drop GC tries (and fails) to delete it
+        assert!(
+            cat.gc_failed_deletes() >= 1,
+            "failed retained-file deletes must be counted, not swallowed"
+        );
+        // The table itself stays fully serviceable.
+        assert_eq!(cat.read_table("t").unwrap(), sample(10..30));
+        fs::remove_dir(&retained).unwrap();
+    }
+
+    #[test]
+    fn retry_exhaustion_under_churn_is_typed_contention() {
+        use std::sync::atomic::AtomicBool;
+        let dir = tempfile::tempdir().unwrap();
+        let reader = DiskCatalog::open(dir.path())
+            .unwrap()
+            .with_read_retry_cap(3);
+        let writer = DiskCatalog::open(dir.path()).unwrap();
+        writer.write_table("t", &sample(0..50)).unwrap();
+        // Permanently corrupt segment 0 (same length, flipped byte):
+        // every read attempt fails verification...
+        let seg = dir.path().join("t.0.seg");
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        // ...while a hot writer keeps committing appends, so the
+        // manifest keeps changing under the reader and the retry loop
+        // runs to its cap instead of concluding "corrupt".
+        let stop = AtomicBool::new(false);
+        let contention = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    writer.append_table("t", &sample(0..1)).unwrap();
+                }
+            });
+            // The churn thread commits continuously; retry until the
+            // reader observes cap exhaustion (each failed read is Err
+            // either way — never a torn table).
+            let mut contention = None;
+            for _ in 0..50 {
+                match reader.read_table("t") {
+                    Ok(_) => panic!("corrupt segment must never read Ok"),
+                    Err(e @ EngineError::ReadContention { .. }) => {
+                        contention = Some(e);
+                        break;
+                    }
+                    Err(EngineError::Corrupt(_)) => continue,
+                    Err(e) => panic!("unexpected error {e:?}"),
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            contention
+        });
+        match contention {
+            Some(EngineError::ReadContention { table, attempts }) => {
+                assert_eq!(table, "t");
+                assert_eq!(attempts, 4, "cap of 3 retries fails on attempt 4");
+            }
+            _ => panic!("never saw ReadContention under sustained churn"),
+        }
     }
 
     #[test]

@@ -93,6 +93,27 @@ impl Manifest {
     }
 }
 
+/// File name under which a *superseded* copy of `file` is retained for
+/// epoch-pinned readers: `<file>~<epoch>`, where `epoch` is the commit
+/// that replaced it. `~` never appears in a sanitized table stem, so the
+/// live namespace (`<stem>.sctb`, `<stem>.<id>.seg`) and the retained
+/// namespace cannot collide, and the manifest/segment *bytes* of the
+/// live version never carry an epoch — the byte-identity contracts over
+/// canonical form are untouched by retention.
+pub fn retained_name(file: &str, epoch: u64) -> String {
+    format!("{file}~{epoch}")
+}
+
+/// Parses a retained-file name back into `(live file name, supersede
+/// epoch)`; `None` for live-namespace files.
+pub fn parse_retained(file: &str) -> Option<(&str, u64)> {
+    let (base, suffix) = file.rsplit_once('~')?;
+    if base.is_empty() {
+        return None;
+    }
+    suffix.parse::<u64>().ok().map(|epoch| (base, epoch))
+}
+
 /// Serializes a manifest.
 pub fn encode_manifest(manifest: &Manifest) -> Bytes {
     let mut buf = BytesMut::with_capacity(10 + manifest.segments.len() * 32);
@@ -378,6 +399,22 @@ mod tests {
     use super::*;
     use crate::table::TableBuilder;
     use crate::types::Value;
+
+    #[test]
+    fn retained_names_roundtrip_and_reject_live_files() {
+        assert_eq!(retained_name("t.sctb", 7), "t.sctb~7");
+        assert_eq!(parse_retained("t.sctb~7"), Some(("t.sctb", 7)));
+        assert_eq!(parse_retained("t.12.seg~3"), Some(("t.12.seg", 3)));
+        // Live-namespace files and malformed suffixes never parse.
+        assert_eq!(parse_retained("t.sctb"), None);
+        assert_eq!(parse_retained("t.0.seg"), None);
+        assert_eq!(parse_retained("t.sctb~"), None);
+        assert_eq!(parse_retained("t.sctb~x"), None);
+        assert_eq!(parse_retained("~3"), None);
+        // Nested retention parses on the *last* separator, so retained
+        // names stay invertible even if a retained file were re-retained.
+        assert_eq!(parse_retained("t.sctb~2~5"), Some(("t.sctb~2", 5)));
+    }
 
     fn full_table() -> Table {
         let mut t = TableBuilder::new()

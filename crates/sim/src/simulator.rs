@@ -53,6 +53,16 @@ pub struct SimConfig {
     /// [`crate::SimNode::delta_bytes`] annotation is set (mirrors
     /// `RefreshConfig::refresh_mode` in the engine).
     pub refresh_mode: RefreshMode,
+    /// Disk-read bandwidth consumed by concurrent snapshot readers
+    /// (bytes/s) — the serving tier's epoch-pinned scans share the read
+    /// channel with the refresh run, so maintenance reads see the
+    /// residual bandwidth (floored at 10% of the channel; readers are
+    /// throttled before maintenance stalls). The engine's snapshot reads
+    /// are lock-free, so contention is purely a bandwidth effect — and
+    /// deliberately invisible to [`SimConfig::cost_model`], which prices
+    /// the quiet-system plan the optimizer sees.
+    #[serde(default)]
+    pub reader_read_bps: f64,
 }
 
 impl SimConfig {
@@ -72,7 +82,15 @@ impl SimConfig {
             run_ahead_window: None,
             fallback_on_memory_pressure: true,
             refresh_mode: RefreshMode::Auto,
+            reader_read_bps: 0.0,
         }
+    }
+
+    /// Adds a concurrent snapshot-reader load of `bps` bytes/s on the
+    /// disk-read channel (see [`SimConfig::reader_read_bps`]).
+    pub fn with_reader_load(mut self, bps: f64) -> Self {
+        self.reader_read_bps = bps.max(0.0);
+        self
     }
 
     /// The same environment with `lanes` compute lanes.
@@ -110,7 +128,9 @@ impl SimConfig {
     }
 
     fn disk_read_time(&self, bytes: u64) -> f64 {
-        self.disk_latency_s + bytes as f64 / (self.disk_read_bps * self.io_scale)
+        let channel = self.disk_read_bps * self.io_scale;
+        let effective = (channel - self.reader_read_bps).max(channel * 0.1);
+        self.disk_latency_s + bytes as f64 / effective
     }
 
     fn disk_write_time(&self, bytes: u64) -> f64 {
@@ -1066,6 +1086,36 @@ mod tests {
         );
         assert_eq!(r.peak_memory_bytes, 0);
         assert_eq!(r.fallbacks(), 0);
+    }
+
+    #[test]
+    fn reader_load_slows_refresh_reads_but_not_decisions() {
+        let w = fig4();
+        let quiet_cfg = SimConfig::paper(10 * GIB);
+        // Readers eat half the read channel.
+        let busy_cfg = quiet_cfg
+            .clone()
+            .with_reader_load(quiet_cfg.disk_read_bps / 2.0);
+        let quiet = Simulator::new(quiet_cfg.clone());
+        let busy = Simulator::new(busy_cfg.clone());
+        let p = plan(&[0, 1, 2], &[0], 3);
+        let q = quiet.run(&w, &p).unwrap();
+        let b = busy.run(&w, &p).unwrap();
+        assert!(
+            b.total_s > q.total_s,
+            "reader load must slow maintenance reads: {} vs {}",
+            b.total_s,
+            q.total_s
+        );
+        // Disk reads roughly double; writes and compute are untouched.
+        assert!(b.nodes[0].disk_read_s > q.nodes[0].disk_read_s * 1.9);
+        assert_eq!(b.nodes[0].write_s, q.nodes[0].write_s);
+        // The cost model stays the quiet-system one: reader load is a
+        // runtime effect the optimizer does not price.
+        assert_eq!(busy_cfg.cost_model(), quiet_cfg.cost_model());
+        // Even absurd reader load is floored at 10% of the channel.
+        let floored = SimConfig::paper(10 * GIB).with_reader_load(f64::MAX);
+        assert!(floored.disk_read_time(GIB).is_finite());
     }
 
     #[test]

@@ -85,7 +85,7 @@ mod report;
 mod system;
 
 pub use report::RefreshReport;
-pub use system::{ScError, ScSession, ScSessionBuilder, ScSystem};
+pub use system::{ScError, ScSession, ScSessionBuilder, ScSnapshot, ScSystem};
 
 /// Commonly used items across the workspace.
 pub mod prelude {
@@ -98,5 +98,5 @@ pub mod prelude {
         ChurnRound, DatasetSpec, GeneratorParams, PaperWorkload, ScenarioSpec, SynthGenerator,
     };
 
-    pub use crate::{RefreshReport, ScSession, ScSessionBuilder};
+    pub use crate::{RefreshReport, ScSession, ScSessionBuilder, ScSnapshot};
 }

@@ -121,6 +121,12 @@ impl RefreshReport {
             self.metrics.total_write_s(),
             self.metrics.final_drain_s,
         ));
+        if self.metrics.gc_failed_deletes > 0 {
+            out.push_str(&format!(
+                "WARNING: {} retained-file delete(s) failed during epoch GC; superseded segments are leaking on disk\n",
+                self.metrics.gc_failed_deletes,
+            ));
+        }
         out
     }
 }
@@ -167,6 +173,7 @@ mod tests {
                 ],
                 peak_memory_bytes: 2048,
                 final_drain_s: 0.0,
+                gc_failed_deletes: 0,
             },
             plan: Plan {
                 order: (0..3).map(sc_dag::NodeId).collect(),
@@ -188,5 +195,15 @@ mod tests {
         assert_eq!(report.mode("quiet"), Some(NodeMode::Skipped));
         assert_eq!(report.mode("missing"), None);
         assert_eq!(report.total_s(), 1.5);
+
+        // GC debt is silent at zero, loud when a run leaked.
+        assert!(!text.contains("WARNING"));
+        let mut leaky = report.clone();
+        leaky.metrics.gc_failed_deletes = 2;
+        let text = leaky.explain();
+        assert!(
+            text.contains("WARNING: 2 retained-file delete(s) failed"),
+            "gc debt warning missing: {text}"
+        );
     }
 }

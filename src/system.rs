@@ -22,6 +22,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -31,10 +32,12 @@ use sc_engine::controller::{
     Controller, ControllerConfig, MvDefinition, RefreshConfig, RunMetrics,
 };
 use sc_engine::exec::TableDelta;
+use sc_engine::plan::{LogicalPlan, TableSource};
 use sc_engine::storage::{
-    self, DeltaStore, DiskCatalog, MemoryCatalog, ObservationStore, Throttle, SIDECAR_FILE,
+    self, DeltaStore, DiskCatalog, EpochPin, MemoryCatalog, ObservationStore, Throttle,
+    SIDECAR_FILE,
 };
-use sc_engine::EngineError;
+use sc_engine::{EngineError, Table};
 use sc_workload::engine_mvs::problem_from_metrics;
 use sc_workload::ScenarioSpec;
 
@@ -51,6 +54,14 @@ pub enum ScError {
     Dag(DagError),
     /// A registered MV name collides with an existing one.
     DuplicateMv(String),
+    /// Two distinct MV names sanitize to the same on-disk file stem, so
+    /// they would silently alias one set of stored files.
+    NameCollision {
+        /// The name whose registration was rejected.
+        name: String,
+        /// The already-registered name occupying the same file stem.
+        existing: String,
+    },
     /// The builder was not given a storage directory.
     MissingStorageDir,
     /// Scenario-corpus failure: a malformed or inconsistent `.scn` case,
@@ -65,6 +76,10 @@ impl fmt::Display for ScError {
             ScError::Opt(e) => write!(f, "optimizer: {e}"),
             ScError::Dag(e) => write!(f, "dag: {e}"),
             ScError::DuplicateMv(n) => write!(f, "duplicate MV '{n}'"),
+            ScError::NameCollision { name, existing } => write!(
+                f,
+                "MV name '{name}' collides with '{existing}' (same on-disk file stem)"
+            ),
             ScError::MissingStorageDir => {
                 write!(f, "ScSessionBuilder::storage_dir was never called")
             }
@@ -396,12 +411,22 @@ impl ScSession {
     ///
     /// Fails with [`ScError::DuplicateMv`] when the name is already
     /// registered — two MVs materializing to the same storage name would
-    /// silently overwrite each other. Registration invalidates any cached
-    /// plan (the next [`ScSession::refresh`] re-profiles).
+    /// silently overwrite each other — and with [`ScError::NameCollision`]
+    /// when a *distinct* name sanitizes to the same on-disk file stem as a
+    /// registered one, which would alias their stored state just as
+    /// silently. Registration invalidates any cached plan (the next
+    /// [`ScSession::refresh`] re-profiles).
     pub fn register_mv(&self, mv: MvDefinition) -> Result<NodeId> {
         let mut mvs = self.mvs.write();
         if mvs.iter().any(|m| m.name == mv.name) {
             return Err(ScError::DuplicateMv(mv.name));
+        }
+        let stem = DiskCatalog::file_stem(&mv.name);
+        if let Some(clash) = mvs.iter().find(|m| DiskCatalog::file_stem(&m.name) == stem) {
+            return Err(ScError::NameCollision {
+                name: mv.name,
+                existing: clash.name.clone(),
+            });
         }
         let id = NodeId(mvs.len());
         mvs.push(mv);
@@ -631,6 +656,35 @@ impl ScSession {
         }
     }
 
+    /// Pins the current committed storage epoch and returns a consistent
+    /// read view over every stored table (base tables and materialized
+    /// MVs alike).
+    ///
+    /// The snapshot is **lock-free with respect to maintenance**: while
+    /// it is held, [`ScSession::refresh`], [`ScSession::ingest_delta`],
+    /// and [`ScSession::compact_mvs`] all proceed concurrently, and every
+    /// read through the snapshot keeps returning the exact bytes that
+    /// were committed at pin time — superseded files are retained on disk
+    /// until the last snapshot pinning them drops, then epoch GC reclaims
+    /// them (see `DiskCatalog`'s module docs).
+    ///
+    /// Tables created after the pin are invisible; tables dropped after
+    /// the pin remain readable.
+    pub fn snapshot(&self) -> ScSnapshot<'_> {
+        ScSnapshot {
+            pin: self.disk.pin(),
+        }
+    }
+
+    /// Executes an ad-hoc [`LogicalPlan`] against a snapshot of the
+    /// current committed state — the serving path. Equivalent to
+    /// `self.snapshot().query(plan)`: the whole query reads one pinned
+    /// epoch, so a refresh committing mid-execution can never show it a
+    /// mix of old and new MV versions.
+    pub fn query(&self, plan: &LogicalPlan) -> Result<Table> {
+        self.snapshot().query(plan)
+    }
+
     /// Whether a managed plan is currently cached (false right after
     /// construction, registration, or a drift invalidation).
     pub fn has_cached_plan(&self) -> bool {
@@ -674,6 +728,67 @@ impl ScSession {
                     (obs as f64) < lo || (obs as f64) > hi
                 }
             })
+    }
+}
+
+/// A consistent read view returned by [`ScSession::snapshot`]: every read
+/// resolves against the manifest epoch that was committed when the
+/// snapshot was taken, byte-identically, no matter how many refreshes,
+/// ingests, or compactions commit while it is held.
+///
+/// Dropping the snapshot releases its epoch pin; once the oldest pin
+/// drops, epoch GC deletes the superseded files it was holding alive.
+pub struct ScSnapshot<'a> {
+    pin: EpochPin<'a>,
+}
+
+/// Adapter giving [`LogicalPlan::execute`] pinned-epoch scans.
+struct SnapshotSource<'p, 'a>(&'p EpochPin<'a>);
+
+impl TableSource for SnapshotSource<'_, '_> {
+    fn table(&self, name: &str) -> sc_engine::Result<Arc<Table>> {
+        self.0.read_table(name).map(Arc::new)
+    }
+}
+
+impl ScSnapshot<'_> {
+    /// The manifest epoch this snapshot reads at.
+    pub fn epoch(&self) -> u64 {
+        self.pin.epoch()
+    }
+
+    /// Reads the version of `name` committed at pin time.
+    /// [`ScError::Engine`]`(`[`EngineError::UnknownTable`]`)` if the
+    /// table did not exist then (even if it exists *now*).
+    pub fn read_table(&self, name: &str) -> Result<Table> {
+        Ok(self.pin.read_table(name)?)
+    }
+
+    /// Stored size (manifest + segments) of `name` at pin time, bytes.
+    pub fn size_of(&self, name: &str) -> Result<u64> {
+        Ok(self.pin.size_of(name)?)
+    }
+
+    /// Row count of `name` at pin time, without decoding segment data.
+    pub fn row_count(&self, name: &str) -> Result<u64> {
+        Ok(self.pin.row_count(name)?)
+    }
+
+    /// Number of stored segments backing `name` at pin time.
+    pub fn segment_count(&self, name: &str) -> Result<usize> {
+        Ok(self.pin.segment_count(name)?)
+    }
+
+    /// The verified stored bytes of `name` at pin time, keyed by live
+    /// file name (manifest first, then segments in manifest order).
+    pub fn stored_file_bytes(&self, name: &str) -> Result<Vec<(String, Vec<u8>)>> {
+        Ok(self.pin.stored_file_bytes(name)?)
+    }
+
+    /// Executes an ad-hoc [`LogicalPlan`] whose scans all resolve at this
+    /// snapshot's epoch — one query never observes two different commits.
+    pub fn query(&self, plan: &LogicalPlan) -> Result<Table> {
+        Ok(plan.execute(&SnapshotSource(&self.pin))?)
     }
 }
 
@@ -755,6 +870,70 @@ mod tests {
         // The registry is untouched: still 9 MVs, original plan intact.
         assert_eq!(sys.mv_count(), 9);
         assert_eq!(sys.mvs()[0].name, "enriched_sales");
+    }
+
+    #[test]
+    fn colliding_mv_stems_are_rejected_at_registration() {
+        let (_dir, sys) = session();
+        // "enriched.sales" sanitizes to the same stem as the registered
+        // "enriched_sales" — letting it through would alias their files.
+        let err = sys
+            .register_mv(MvDefinition::new(
+                "enriched.sales",
+                sc_engine::plan::LogicalPlan::scan("store_sales"),
+            ))
+            .unwrap_err();
+        match &err {
+            ScError::NameCollision { name, existing } => {
+                assert_eq!(name, "enriched.sales");
+                assert_eq!(existing, "enriched_sales");
+            }
+            other => panic!("expected NameCollision, got {other:?}"),
+        }
+        assert_eq!(sys.mv_count(), 9);
+        assert!(err.to_string().contains("collides"));
+    }
+
+    #[test]
+    fn snapshot_pins_committed_state_across_refresh() {
+        let (_dir, sys) = session();
+        sys.refresh().unwrap();
+        let snap = sys.snapshot();
+        let before = snap.read_table("rev_by_category").unwrap();
+        let rows_before = snap.row_count("rev_by_category").unwrap();
+        let bytes_before = snap.stored_file_bytes("rev_by_category").unwrap();
+
+        // Churn a base table and refresh: live state moves on.
+        let sales = sys.disk().read_table("store_sales").unwrap();
+        let sample = sales.take_rows(&(0..25).collect::<Vec<_>>()).unwrap();
+        sys.ingest_delta("store_sales", TableDelta::insert_only(sample))
+            .unwrap();
+        sys.refresh().unwrap();
+
+        // The pinned snapshot still serves the pre-refresh version,
+        // byte-identically; a fresh snapshot sees the new one.
+        assert_eq!(snap.read_table("rev_by_category").unwrap(), before);
+        assert_eq!(snap.row_count("rev_by_category").unwrap(), rows_before);
+        assert_eq!(
+            snap.stored_file_bytes("rev_by_category").unwrap(),
+            bytes_before
+        );
+        let fresh = sys.snapshot();
+        assert!(fresh.epoch() > snap.epoch());
+        assert_ne!(
+            fresh.stored_file_bytes("rev_by_category").unwrap(),
+            bytes_before,
+            "live state moved on while the pin held its version"
+        );
+        // Queries through the snapshot resolve at its epoch too.
+        let plan = sc_engine::plan::LogicalPlan::scan("rev_by_category");
+        assert_eq!(snap.query(&plan).unwrap(), before);
+        assert_eq!(
+            sys.query(&plan).unwrap(),
+            fresh.read_table("rev_by_category").unwrap()
+        );
+        drop((snap, fresh));
+        assert_eq!(sys.disk().retained_file_count().unwrap(), 0);
     }
 
     #[test]

@@ -161,6 +161,7 @@ fn simulator_and_engine_agree_on_plan_ranking() {
         run_ahead_window: None,
         fallback_on_memory_pressure: true,
         refresh_mode: sc_core::RefreshMode::Auto,
+        reader_read_bps: 0.0,
     };
     let sim = Simulator::new(config);
     let sim_base = sim.run_unoptimized(&w).unwrap();

@@ -124,6 +124,15 @@ proptest! {
                 "seed {}: histories diverged on disk",
                 seed
             );
+            // With no epoch pins ever taken, commit-time GC deletes every
+            // superseded file immediately: retained debris never outlives
+            // the operation that created it.
+            prop_assert_eq!(
+                cat_a.retained_file_count().unwrap(),
+                0,
+                "seed {}: retained files leaked without pins",
+                seed
+            );
         }
 
         // Crash simulation: an appended segment whose manifest commit
