@@ -1,0 +1,196 @@
+//! Criterion benchmark for the `sc-serve` serving tier: end-to-end wire
+//! latency of epoch-pinned reads and ad-hoc queries over a persistent
+//! client connection, with the system quiet vs. with a refresher
+//! committing new MV versions in the background ("hot").
+//!
+//! The claim under test extends `refresh_readers` one layer up: the
+//! whole wire path — frame codec, one snapshot pin per request, SCTB
+//! chunking, epoch GC on pin drop — keeps served-read latency ~flat
+//! while maintenance commits underneath. On the 1-CPU unthrottled host
+//! the quiet and hot p50s land within scheduler noise of each other.
+//!
+//! Beyond the criterion groups, the bench takes explicit latency
+//! samples, computes p50/p99 for quiet and hot reads, derives the
+//! served-read throughput in bytes/s — the number
+//! `ScenarioSpec::with_reader_load` expects — and records everything to
+//! `BENCH_serve.json` at the workspace root. `-- --test` runs the same
+//! path with tiny sample counts as a CI smoke (and still exercises the
+//! correctness riders: epoch byte-identity across connections and zero
+//! retained files after shutdown).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sc::ScSession;
+use sc_engine::plan::LogicalPlan;
+use sc_serve::{Client, ServeConfig, Server};
+use sc_workload::engine_mvs::sales_pipeline;
+use sc_workload::tpcds::TinyTpcds;
+
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn serving_session(dir: &std::path::Path) -> Arc<ScSession> {
+    let s = ScSession::builder()
+        .storage_dir(dir)
+        .memory_budget(16 << 20)
+        .build()
+        .expect("session builds");
+    TinyTpcds::generate(0.2, 42)
+        .load_into(s.disk())
+        .expect("tables load");
+    for mv in sales_pipeline() {
+        s.register_mv(mv).expect("mv registers");
+    }
+    s.refresh().expect("baseline refresh");
+    Arc::new(s)
+}
+
+/// Takes `n` wire-read latency samples (microseconds, sorted) and the
+/// total SCTB payload bytes those reads returned.
+fn sample_reads(client: &mut Client, n: usize) -> (Vec<u64>, u64) {
+    let mut samples = Vec::with_capacity(n);
+    let mut bytes = 0u64;
+    for _ in 0..n {
+        let started = Instant::now();
+        let (_, sctb) = client
+            .read_table_raw("rev_by_category")
+            .expect("served read");
+        samples.push(started.elapsed().as_micros() as u64);
+        bytes += sctb.len() as u64;
+    }
+    samples.sort_unstable();
+    (samples, bytes)
+}
+
+/// Nearest-rank percentile over a sorted sample set.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn bench_serve_queries(c: &mut Criterion) {
+    let dir = tempfile::tempdir().expect("tempdir");
+    let session = serving_session(dir.path());
+    let server = Server::start(
+        Arc::clone(&session),
+        ServeConfig {
+            workers: 4,
+            backlog: 32,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+
+    let mut g = c.benchmark_group("serve_queries");
+    g.sample_size(20);
+
+    // Quiet steady state: one persistent connection re-reading an MV.
+    let mut client = Client::connect(addr).expect("client connects");
+    g.bench_function("read_quiet", |b| {
+        b.iter(|| client.read_table_raw("rev_by_category").expect("read"))
+    });
+
+    // Ad-hoc plan execution over the wire (scan + limit, one epoch).
+    let plan = LogicalPlan::scan("rev_by_category").limit(8);
+    g.bench_function("query_quiet", |b| {
+        b.iter(|| client.query(&plan).expect("query"))
+    });
+
+    // Hot: the same reads while a refresher thread commits continuously
+    // (wire-driven, so the commit path includes serving-tier overhead).
+    let stop = AtomicBool::new(false);
+    let (hot_samples, quiet_samples, quiet_bytes, quiet_elapsed) = std::thread::scope(|scope| {
+        let refresher = {
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rc = Client::connect(addr).expect("refresher connects");
+                let mut commits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    rc.refresh().expect("background refresh");
+                    commits += 1;
+                }
+                commits
+            })
+        };
+        g.bench_function("read_hot", |b| {
+            b.iter(|| client.read_table_raw("rev_by_category").expect("read"))
+        });
+
+        // Explicit percentile samples, hot first (refresher still live).
+        let n = if smoke_mode() { 20 } else { 300 };
+        let (hot, _) = sample_reads(&mut client, n);
+        stop.store(true, Ordering::Relaxed);
+        let commits = refresher.join().expect("refresher joins");
+        assert!(commits > 0, "the background refresher must have committed");
+
+        let quiet_started = Instant::now();
+        let (quiet, bytes) = sample_reads(&mut client, n);
+        (hot, quiet, bytes, quiet_started.elapsed())
+    });
+    g.finish();
+
+    // Correctness riders (run in smoke mode too): byte-identity for one
+    // epoch across a second connection, then a clean drain.
+    let (epoch_a, bytes_a) = client
+        .read_table_raw("rev_by_category")
+        .expect("identity read");
+    let mut other = Client::connect(addr).expect("second connection");
+    let (epoch_b, bytes_b) = other
+        .read_table_raw("rev_by_category")
+        .expect("identity reread");
+    assert_eq!(epoch_a, epoch_b, "no commits are running");
+    assert_eq!(
+        bytes_a, bytes_b,
+        "same epoch must serve byte-identical SCTB payloads"
+    );
+
+    // Served-read throughput: what ScenarioSpec::with_reader_load wants.
+    let read_bps = quiet_bytes as f64 / quiet_elapsed.as_secs_f64().max(1e-9);
+
+    let quiet_p50 = percentile(&quiet_samples, 50.0);
+    let quiet_p99 = percentile(&quiet_samples, 99.0);
+    let hot_p50 = percentile(&hot_samples, 50.0);
+    let hot_p99 = percentile(&hot_samples, 99.0);
+    println!(
+        "serve_queries percentiles ({} samples/side): \
+         quiet p50 {quiet_p50} us p99 {quiet_p99} us | \
+         hot p50 {hot_p50} us p99 {hot_p99} us | \
+         served-read throughput {read_bps:.0} B/s",
+        quiet_samples.len()
+    );
+
+    drop(client);
+    drop(other);
+    let metrics = server.shutdown();
+    assert!(metrics.requests() > 0);
+    assert_eq!(
+        session.disk().retained_file_count().expect("dir scan"),
+        0,
+        "drained shutdown must leave zero retained files"
+    );
+
+    // Record the measurement next to the other BENCH_* artifacts. Smoke
+    // runs are labeled so a CI pass never overwrites a real measurement
+    // with 20-sample noise (the file is committed from a local run).
+    if !smoke_mode() {
+        let json = format!(
+            "{{\n  \"bench\": \"serve_queries\",\n  \"samples_per_side\": {},\n  \
+             \"quiet_p50_us\": {quiet_p50},\n  \"quiet_p99_us\": {quiet_p99},\n  \
+             \"hot_p50_us\": {hot_p50},\n  \"hot_p99_us\": {hot_p99},\n  \
+             \"served_read_bps\": {read_bps:.0}\n}}\n",
+            quiet_samples.len()
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        std::fs::write(path, json).expect("BENCH_serve.json writes");
+        println!("recorded {path}");
+    }
+}
+
+criterion_group!(benches, bench_serve_queries);
+criterion_main!(benches);

@@ -65,6 +65,30 @@ pub enum EngineError {
     Materialize(String),
 }
 
+impl EngineError {
+    /// Stable machine-readable tag for the error variant, independent of
+    /// the human-facing [`fmt::Display`] text. Wire protocols (the serve
+    /// tier) ship this tag so clients can match on error class without
+    /// parsing messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::TypeMismatch { .. } => "type_mismatch",
+            EngineError::UnknownColumn(_) => "unknown_column",
+            EngineError::UnknownTable(_) => "unknown_table",
+            EngineError::TableExists(_) => "table_exists",
+            EngineError::ArityMismatch { .. } => "arity_mismatch",
+            EngineError::Arithmetic(_) => "arithmetic",
+            EngineError::MemoryBudgetExceeded { .. } => "memory_budget_exceeded",
+            EngineError::Corrupt(_) => "corrupt",
+            EngineError::ReadContention { .. } => "read_contention",
+            EngineError::NameCollision { .. } => "name_collision",
+            EngineError::Io(_) => "io",
+            EngineError::InvalidPlan(_) => "invalid_plan",
+            EngineError::Materialize(_) => "materialize",
+        }
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -173,6 +197,7 @@ mod tests {
         ];
         for (e, frag) in cases {
             assert!(e.to_string().contains(frag), "{e} missing '{frag}'");
+            assert!(!e.kind().is_empty());
         }
         let io = EngineError::from(std::io::Error::other("x"));
         assert!(io.to_string().contains("io error"));

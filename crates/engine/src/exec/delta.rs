@@ -242,6 +242,20 @@ impl TableDelta {
         let schema = Arc::new(Schema::new(fields[..ncols - 2].to_vec())?);
         let batch_col = encoded.column(ncols - 2);
         let del_col = encoded.column(ncols - 1);
+        // Every batch the encoder wrote is non-empty, so a valid index
+        // is below the row count; anything else (including a negative
+        // index) is a corrupt encoding, not a reason to preallocate an
+        // attacker-chosen number of batches.
+        for r in 0..encoded.num_rows() {
+            match batch_col.value(r) {
+                Value::Int64(b) if 0 <= b && (b as usize) < encoded.num_rows() => {}
+                v => {
+                    return Err(EngineError::InvalidPlan(format!(
+                        "encoded delta batch index {v:?} out of range"
+                    )))
+                }
+            }
+        }
         let n_batches = (0..encoded.num_rows())
             .map(|r| match batch_col.value(r) {
                 Value::Int64(b) => b as usize + 1,
@@ -690,6 +704,31 @@ mod tests {
         let other = TableBuilder::new().column("x", DataType::Bool).build();
         let mut delta = TableDelta::empty(base(&[]).schema().clone());
         assert!(delta.push_batch(DeltaBatch::insert_only(other)).is_err());
+    }
+
+    #[test]
+    fn decoding_rejects_out_of_range_batch_indices() {
+        // A hostile/corrupt encoding must not drive the batch-vector
+        // preallocation (a huge or negative index once aborted the
+        // process with a capacity overflow).
+        let delta = TableDelta::insert_only(base(&[(1, 1.0), (2, 2.0)]));
+        let encoded = delta.to_table().unwrap();
+        for bad in [i64::MAX, i64::MIN, -1, 2] {
+            let mut evil = Table::empty(encoded.schema().clone());
+            for row in 0..encoded.num_rows() {
+                let mut values: Vec<Value> = (0..encoded.num_columns())
+                    .map(|c| encoded.value(row, c))
+                    .collect();
+                let n = values.len();
+                values[n - 2] = Value::Int64(bad);
+                evil.push_row(values).unwrap();
+            }
+            let err = TableDelta::from_table(&evil).unwrap_err();
+            assert!(
+                err.to_string().contains("out of range"),
+                "index {bad}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -1100,6 +1100,49 @@ impl DiskCatalog {
         names.sort();
         Ok(names)
     }
+
+    /// Table names visible to a reader pinned at epoch `pin`, sorted.
+    ///
+    /// A table is visible iff a manifest for it was committed at or
+    /// before the pinned epoch: tables created after the pin are absent,
+    /// tables dropped after the pin are still listed (their pinned
+    /// version remains readable through the retained namespace). Names
+    /// are the logical names registered on this instance's write paths;
+    /// tables only ever written by another process list under their
+    /// sanitized file stem (identical for already-path-safe names).
+    fn list_at(&self, pin: u64) -> Result<Vec<String>> {
+        let _io = self.io.read();
+        // Candidate stems: live manifests plus retained manifest copies
+        // (the only trace a post-pin drop leaves behind).
+        let mut stems = std::collections::BTreeSet::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(file) = path.file_name().and_then(|f| f.to_str()) else {
+                continue;
+            };
+            let live = match format::parse_retained(file) {
+                Some((base, _)) => base,
+                None => file,
+            };
+            if let Some(stem) = live.strip_suffix(".sctb") {
+                stems.insert(stem.to_string());
+            }
+        }
+        let names = self.names.lock().clone();
+        let mut out = Vec::new();
+        for stem in stems {
+            let name = names.get(&stem).cloned().unwrap_or_else(|| stem.clone());
+            match self.manifest_at(&name, &stem, Some(pin)) {
+                Ok(_) => out.push(name),
+                // Born after the pin (or a retained copy of a later
+                // incarnation): invisible, not an error.
+                Err(EngineError::UnknownTable(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
 }
 
 /// A reader handle pinning the catalog's state as of a manifest epoch
@@ -1156,6 +1199,13 @@ impl EpochPin<'_> {
     /// (see [`DiskCatalog::stored_file_bytes`]).
     pub fn stored_file_bytes(&self, name: &str) -> Result<Vec<(String, Vec<u8>)>> {
         self.catalog.stored_file_bytes_at(name, Some(self.epoch))
+    }
+
+    /// Logical names of every table visible at the pinned epoch, sorted.
+    /// Tables created after the pin are absent; tables dropped after the
+    /// pin are still listed because their pinned version stays readable.
+    pub fn tables(&self) -> Result<Vec<String>> {
+        self.catalog.list_at(self.epoch)
     }
 }
 
@@ -1529,6 +1579,39 @@ mod tests {
         ));
         assert_eq!(pin.read_table("old").unwrap(), sample(0..3));
         assert_eq!(cat.read_table("new").unwrap(), sample(0..6));
+    }
+
+    #[test]
+    fn pinned_tables_listing_tracks_the_pinned_epoch() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("alpha", &sample(0..3)).unwrap();
+        cat.write_table("beta", &sample(0..3)).unwrap();
+        let pin = cat.pin();
+        // Registered after the pin: absent from the pinned listing.
+        cat.write_table("gamma", &sample(0..2)).unwrap();
+        assert_eq!(pin.tables().unwrap(), vec!["alpha", "beta"]);
+        // Dropped after the pin: still listed (the retained copy is
+        // readable through the pin), while a fresh pin sees the new
+        // state.
+        cat.drop_table("beta").unwrap();
+        assert_eq!(pin.tables().unwrap(), vec!["alpha", "beta"]);
+        assert_eq!(pin.read_table("beta").unwrap(), sample(0..3));
+        let fresh = cat.pin();
+        assert_eq!(fresh.tables().unwrap(), vec!["alpha", "gamma"]);
+        drop(fresh);
+        drop(pin);
+        assert_eq!(cat.retained_file_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn pinned_tables_listing_uses_logical_names() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        cat.write_table("enriched.sales", &sample(0..3)).unwrap();
+        let pin = cat.pin();
+        assert_eq!(pin.tables().unwrap(), vec!["enriched.sales"]);
+        assert_eq!(pin.read_table("enriched.sales").unwrap(), sample(0..3));
     }
 
     #[test]

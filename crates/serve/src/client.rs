@@ -1,0 +1,243 @@
+//! A blocking client for the serve protocol, used by tests, benches,
+//! and `examples/serve.rs`. One [`Client`] wraps one TCP connection and
+//! issues requests synchronously; responses are decoded with the same
+//! bounds-checked readers the server uses, so a hostile or broken peer
+//! yields a typed [`ServeError`], never a panic.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sc_engine::exec::TableDelta;
+use sc_engine::plan::LogicalPlan;
+use sc_engine::storage::format;
+use sc_engine::Table;
+
+use crate::error::{Result, ServeError};
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{
+    self, decode_table_bytes, encode_request, read_error_body, Reader, RefreshSummary, Request,
+    MAX_FRAME, MAX_NAME, OP_ERROR, OP_INGEST, OP_INGESTED, OP_REFRESHED, OP_STATS_REPLY,
+    OP_TABLE_CHUNK, OP_TABLE_HEADER,
+};
+
+/// Server + snapshot statistics, as returned by [`Client::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsReport {
+    /// The manifest epoch of the snapshot the stats were taken on.
+    pub epoch: u64,
+    /// Tables visible at that epoch, sorted.
+    pub tables: Vec<String>,
+    /// Serving-tier counters at response time.
+    pub metrics: MetricsSnapshot,
+}
+
+impl StatsReport {
+    /// Renders epoch, table list, and metrics as text.
+    pub fn render(&self) -> String {
+        format!(
+            "epoch {} serving {} tables: {}\n{}",
+            self.epoch,
+            self.tables.len(),
+            self.tables.join(", "),
+            self.metrics.render()
+        )
+    }
+}
+
+/// A blocking connection to an [`crate::Server`].
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Caps how long any single response read may block (unset by
+    /// default: reads wait indefinitely).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn send(&mut self, payload: &[u8]) -> Result<()> {
+        self.stream
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.stream.write_all(payload)?;
+        Ok(())
+    }
+
+    fn read_frame(&mut self) -> Result<Vec<u8>> {
+        let mut header = [0u8; 4];
+        self.stream.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header);
+        if len > MAX_FRAME {
+            return Err(ServeError::Protocol(format!(
+                "response frame length {len} exceeds max {MAX_FRAME}"
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.stream.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+
+    /// Reads one response frame, converting an error frame into
+    /// [`ServeError::Remote`]. Returns `(opcode, body)`.
+    fn read_response(&mut self) -> Result<(u8, Vec<u8>)> {
+        let frame = self.read_frame()?;
+        let Some((&op, body)) = frame.split_first() else {
+            return Err(ServeError::Protocol("empty response frame".into()));
+        };
+        if op == OP_ERROR {
+            let mut r = Reader::new(body);
+            let err = read_error_body(&mut r)
+                .map_err(|e| ServeError::Protocol(format!("bad error frame: {}", e.message)))?;
+            return Err(ServeError::Remote(err));
+        }
+        Ok((op, body.to_vec()))
+    }
+
+    /// Reads a table response (header + chunks) into raw SCTB bytes.
+    /// The bytes are exactly what the storage tier would write — two
+    /// responses from the same epoch are byte-identical.
+    fn read_table_response(&mut self) -> Result<(u64, Vec<u8>)> {
+        let (op, body) = self.read_response()?;
+        if op != OP_TABLE_HEADER {
+            return Err(ServeError::Protocol(format!(
+                "expected table header, got opcode {op:#04x}"
+            )));
+        }
+        let mut r = Reader::new(&body);
+        let proto = |e: crate::error::WireError| ServeError::Protocol(e.message);
+        let epoch = r.u64().map_err(proto)?;
+        let nchunks = r.u32().map_err(proto)?;
+        let total = r.u64().map_err(proto)?;
+        r.finish().map_err(proto)?;
+        let mut bytes = Vec::new();
+        for expect in 0..nchunks {
+            let (op, chunk) = self.read_response()?;
+            if op != OP_TABLE_CHUNK {
+                return Err(ServeError::Protocol(format!(
+                    "expected table chunk, got opcode {op:#04x}"
+                )));
+            }
+            let mut r = Reader::new(&chunk);
+            let index = r.u32().map_err(proto)?;
+            if index != expect {
+                return Err(ServeError::Protocol(format!(
+                    "chunk {index} arrived out of order (expected {expect})"
+                )));
+            }
+            bytes.extend_from_slice(r.rest());
+        }
+        if bytes.len() as u64 != total {
+            return Err(ServeError::Protocol(format!(
+                "table body was {} bytes, header declared {total}",
+                bytes.len()
+            )));
+        }
+        Ok((epoch, bytes))
+    }
+
+    /// Reads `table` at the server's current snapshot. Returns the
+    /// snapshot epoch and the decoded table.
+    pub fn read_table(&mut self, table: &str) -> Result<(u64, Table)> {
+        let (epoch, bytes) = self.read_table_raw(table)?;
+        let t = decode_table_bytes(bytes).map_err(|e| ServeError::Protocol(e.message))?;
+        Ok((epoch, t))
+    }
+
+    /// Like [`Client::read_table`] but returns the raw SCTB bytes —
+    /// the right form for byte-identity assertions.
+    pub fn read_table_raw(&mut self, table: &str) -> Result<(u64, Vec<u8>)> {
+        self.send(&encode_request(&Request::ReadTable {
+            table: table.into(),
+        }))?;
+        self.read_table_response()
+    }
+
+    /// Executes `plan` on one server-side snapshot. Returns the epoch
+    /// every scan resolved at and the result.
+    pub fn query(&mut self, plan: &LogicalPlan) -> Result<(u64, Table)> {
+        self.send(&encode_request(&Request::Query { plan: plan.clone() }))?;
+        let (epoch, bytes) = self.read_table_response()?;
+        let t = decode_table_bytes(bytes).map_err(|e| ServeError::Protocol(e.message))?;
+        Ok((epoch, t))
+    }
+
+    /// Appends `delta` to `table`'s ingest log. Returns the number of
+    /// changed rows the server acknowledged.
+    pub fn ingest(&mut self, table: &str, delta: &TableDelta) -> Result<u64> {
+        let encoded = delta
+            .to_table()
+            .map_err(|e| ServeError::Protocol(format!("delta not wire-encodable: {e}")))?;
+        let mut payload = vec![OP_INGEST];
+        protocol::put_string(&mut payload, table);
+        payload.extend_from_slice(&format::encode(&encoded));
+        self.send(&payload)?;
+        let (op, body) = self.read_response()?;
+        if op != OP_INGESTED {
+            return Err(ServeError::Protocol(format!(
+                "expected ingest ack, got opcode {op:#04x}"
+            )));
+        }
+        let mut r = Reader::new(&body);
+        let rows = r.u64().map_err(|e| ServeError::Protocol(e.message))?;
+        r.finish().map_err(|e| ServeError::Protocol(e.message))?;
+        Ok(rows)
+    }
+
+    /// Runs one managed refresh on the server.
+    pub fn refresh(&mut self) -> Result<RefreshSummary> {
+        self.send(&encode_request(&Request::Refresh))?;
+        let (op, body) = self.read_response()?;
+        if op != OP_REFRESHED {
+            return Err(ServeError::Protocol(format!(
+                "expected refresh summary, got opcode {op:#04x}"
+            )));
+        }
+        let mut r = Reader::new(&body);
+        let proto = |e: crate::error::WireError| ServeError::Protocol(e.message);
+        let profiled = r.u8().map_err(proto)? != 0;
+        let nodes = r.u32().map_err(proto)?;
+        let total_s = r.f64().map_err(proto)?;
+        r.finish().map_err(proto)?;
+        Ok(RefreshSummary {
+            profiled,
+            nodes,
+            total_s,
+        })
+    }
+
+    /// Fetches server + snapshot statistics.
+    pub fn stats(&mut self) -> Result<StatsReport> {
+        self.send(&encode_request(&Request::Stats))?;
+        let (op, body) = self.read_response()?;
+        if op != OP_STATS_REPLY {
+            return Err(ServeError::Protocol(format!(
+                "expected stats, got opcode {op:#04x}"
+            )));
+        }
+        let mut r = Reader::new(&body);
+        let proto = |e: crate::error::WireError| ServeError::Protocol(e.message);
+        let epoch = r.u64().map_err(proto)?;
+        let n = r.u32().map_err(proto)? as usize;
+        let mut tables = Vec::new();
+        for _ in 0..n {
+            tables.push(r.string(MAX_NAME).map_err(proto)?);
+        }
+        let metrics = MetricsSnapshot::decode_from(&mut r).map_err(proto)?;
+        r.finish().map_err(proto)?;
+        Ok(StatsReport {
+            epoch,
+            tables,
+            metrics,
+        })
+    }
+}

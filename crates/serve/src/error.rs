@@ -1,0 +1,169 @@
+//! The serve tier's error type and its wire representation.
+//!
+//! Every failure a client can observe is **typed**: the server answers a
+//! malformed or rejected request with an error frame carrying a stable
+//! [`ErrorCode`] (plus, for engine failures, the
+//! [`sc_engine::EngineError::kind`] tag), never by panicking a worker or
+//! silently dropping the connection mid-response.
+
+use std::fmt;
+use std::io;
+
+/// Stable one-byte error class carried by an error frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request frame could not be decoded (bad opcode, truncated
+    /// body, oversized length prefix, invalid UTF-8…).
+    Malformed = 1,
+    /// Admission control rejected the connection: the worker pool and
+    /// its bounded backlog are full. Back off and retry.
+    Overloaded = 2,
+    /// The request exceeded its per-request deadline before a response
+    /// could be committed.
+    DeadlineExceeded = 3,
+    /// The server is draining for shutdown and no longer accepts work.
+    ShuttingDown = 4,
+    /// The session/engine failed the request; `kind` carries
+    /// [`sc_engine::EngineError::kind`] (or a façade tag) for matching
+    /// without parsing the message.
+    Engine = 5,
+}
+
+impl ErrorCode {
+    /// Decodes the wire byte.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        match b {
+            1 => Some(ErrorCode::Malformed),
+            2 => Some(ErrorCode::Overloaded),
+            3 => Some(ErrorCode::DeadlineExceeded),
+            4 => Some(ErrorCode::ShuttingDown),
+            5 => Some(ErrorCode::Engine),
+            _ => None,
+        }
+    }
+}
+
+/// A typed error response as it travels on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Error class.
+    pub code: ErrorCode,
+    /// Machine-readable subtag (an [`sc_engine::EngineError::kind`] for
+    /// [`ErrorCode::Engine`], empty or a short slug otherwise).
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl WireError {
+    /// A malformed-frame error with the given description.
+    pub fn malformed(msg: impl Into<String>) -> WireError {
+        WireError {
+            code: ErrorCode::Malformed,
+            kind: String::new(),
+            message: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.kind.is_empty() {
+            write!(f, "{:?}: {}", self.code, self.message)
+        } else {
+            write!(f, "{:?}({}): {}", self.code, self.kind, self.message)
+        }
+    }
+}
+
+/// Client-side error: either the transport failed, the peer answered
+/// something unintelligible, or the server answered a typed error.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket-level failure (includes mid-frame disconnects).
+    Io(io::Error),
+    /// The peer's bytes did not decode as a protocol frame.
+    Protocol(String),
+    /// The server answered a typed error frame.
+    Remote(WireError),
+}
+
+impl ServeError {
+    /// The remote error, if this is [`ServeError::Remote`].
+    pub fn remote(&self) -> Option<&WireError> {
+        match self {
+            ServeError::Remote(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Whether the server rejected the connection with
+    /// [`ErrorCode::Overloaded`].
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self.remote(), Some(w) if w.code == ErrorCode::Overloaded)
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol: {m}"),
+            ServeError::Remote(w) => write!(f, "server: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Convenience alias for client-side results.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_code_roundtrip() {
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Engine,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(200), None);
+    }
+
+    #[test]
+    fn display_carries_kind_and_code() {
+        let w = WireError {
+            code: ErrorCode::Engine,
+            kind: "unknown_table".into(),
+            message: "unknown table 'x'".into(),
+        };
+        let text = ServeError::Remote(w).to_string();
+        assert!(text.contains("unknown_table"));
+        assert!(text.contains("Engine"));
+        assert!(ServeError::Protocol("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+}

@@ -1,0 +1,64 @@
+//! # sc-serve — a concurrent query-serving front end for S/C
+//!
+//! PR 8 gave the engine an MVCC snapshot tier: epoch-pinned, lock-free
+//! reads ([`sc::ScSession::snapshot`]) that stay byte-identical while
+//! refresh / ingest / compaction commit underneath. This crate is the
+//! subsystem that *serves* it: a thread-pooled `std::net` TCP server
+//! (no async runtime) exposing an `Arc<ScSession>` over a small
+//! length-prefixed binary protocol whose table payloads reuse the SCTB
+//! columnar encoding from [`sc_engine::storage::format`] verbatim.
+//!
+//! Request types: `ReadTable`, `Query(LogicalPlan)`,
+//! `Ingest(TableDelta)`, `Refresh`, `Stats`. Every read executes on one
+//! snapshot pin, so a multi-frame response is epoch-consistent; ingest
+//! and refresh funnel through the session's existing paths, so all
+//! engine invariants (delta-log cursors, refresh-run locking, epoch GC)
+//! hold untouched.
+//!
+//! Production edges, not just the happy path:
+//!
+//! * **Bounded admission** — a fixed worker pool plus a bounded backlog;
+//!   beyond that, connections get a typed [`ErrorCode::Overloaded`]
+//!   frame, never an unbounded queue.
+//! * **Per-request deadlines** — [`ServeConfig::deadline`], answered
+//!   with [`ErrorCode::DeadlineExceeded`].
+//! * **Malformed-frame safety** — decoding is fully bounds-checked and
+//!   depth-capped; a garbage frame yields a typed error (or a clean
+//!   close), never a worker panic.
+//! * **Graceful shutdown** — [`Server::shutdown`] drains in-flight
+//!   requests, joins every thread, and drops every snapshot pin, so
+//!   epoch GC provably reclaims all retained files.
+//! * **Observability** — [`ServeMetrics`] (request/byte/rejection
+//!   counters plus a latency histogram) surfaced through `Stats` and
+//!   rendered `explain()`-style by [`MetricsSnapshot::render`].
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use sc::ScSession;
+//! use sc_serve::{Client, ServeConfig, Server};
+//!
+//! let dir = tempfile::tempdir().unwrap();
+//! let session = Arc::new(
+//!     ScSession::builder().storage_dir(dir.path()).build().unwrap(),
+//! );
+//! let server = Server::start(session, ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! let stats = client.stats().unwrap();
+//! println!("{}", stats.render());
+//! server.shutdown();
+//! ```
+
+mod client;
+mod error;
+mod metrics;
+mod protocol;
+mod server;
+
+pub use client::{Client, StatsReport};
+pub use error::{ErrorCode, Result, ServeError, WireError};
+pub use metrics::{MetricsSnapshot, OpClass, ServeMetrics, HIST_BUCKETS};
+pub use protocol::{
+    decode_request, encode_request, RefreshSummary, Request, CHUNK_SIZE, MAX_DEPTH, MAX_FRAME,
+    MAX_NAME,
+};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,320 @@
+//! Serving-tier observability: lock-free counters and a latency
+//! histogram, snapshotted into a wire-encodable [`MetricsSnapshot`] and
+//! rendered `explain()`-style for humans.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::protocol::{put_u64, DecodeResult, Reader};
+
+/// Number of power-of-two latency buckets: bucket `i` counts requests
+/// with `latency_us` in `[2^i, 2^(i+1))` (bucket 0 also absorbs 0–1 µs).
+pub const HIST_BUCKETS: usize = 32;
+
+/// Lock-free serving-tier counters, updated by workers on every request.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    reads: AtomicU64,
+    queries: AtomicU64,
+    ingests: AtomicU64,
+    refreshes: AtomicU64,
+    stats: AtomicU64,
+    errors: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_deadline: AtomicU64,
+    malformed: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    latency_us: [AtomicU64; HIST_BUCKETS],
+}
+
+/// The request classes the per-class counters distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// `ReadTable`.
+    Read,
+    /// `Query`.
+    Query,
+    /// `Ingest`.
+    Ingest,
+    /// `Refresh`.
+    Refresh,
+    /// `Stats`.
+    Stats,
+}
+
+impl ServeMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Records one completed request of class `op` with its latency.
+    pub fn record(&self, op: OpClass, latency_us: u64) {
+        match op {
+            OpClass::Read => &self.reads,
+            OpClass::Query => &self.queries,
+            OpClass::Ingest => &self.ingests,
+            OpClass::Refresh => &self.refreshes,
+            OpClass::Stats => &self.stats,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let bucket = (64 - latency_us.max(1).leading_zeros() as usize - 1).min(HIST_BUCKETS - 1);
+        self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request answered with a typed error.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an admission rejection (`Overloaded`).
+    pub fn record_overloaded(&self) {
+        self.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a deadline rejection.
+    pub fn record_deadline(&self) {
+        self.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a malformed frame.
+    pub fn record_malformed(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds received payload bytes.
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds sent payload bytes.
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut hist = [0u64; HIST_BUCKETS];
+        for (dst, src) in hist.iter_mut().zip(&self.latency_us) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            ingests: self.ingests.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            stats: self.stats.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            latency_us: hist,
+        }
+    }
+}
+
+/// A wire-encodable point-in-time copy of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Completed `ReadTable` requests.
+    pub reads: u64,
+    /// Completed `Query` requests.
+    pub queries: u64,
+    /// Completed `Ingest` requests.
+    pub ingests: u64,
+    /// Completed `Refresh` requests.
+    pub refreshes: u64,
+    /// Completed `Stats` requests.
+    pub stats: u64,
+    /// Requests answered with a typed error frame.
+    pub errors: u64,
+    /// Connections rejected by admission control.
+    pub rejected_overloaded: u64,
+    /// Requests rejected for exceeding their deadline.
+    pub rejected_deadline: u64,
+    /// Malformed frames answered with a typed error.
+    pub malformed: u64,
+    /// Request payload bytes received.
+    pub bytes_in: u64,
+    /// Response payload bytes sent.
+    pub bytes_out: u64,
+    /// Power-of-two latency buckets (µs), successful requests only.
+    pub latency_us: [u64; HIST_BUCKETS],
+}
+
+impl MetricsSnapshot {
+    /// Total completed requests across classes.
+    pub fn requests(&self) -> u64 {
+        self.reads + self.queries + self.ingests + self.refreshes + self.stats
+    }
+
+    /// Upper edge (µs) of the bucket containing quantile `q` in `[0,1]`,
+    /// or `None` with an empty histogram. Bucketed, so an upper bound —
+    /// exact enough for p50/p99 trend lines.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total: u64 = self.latency_us.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.latency_us.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Median latency upper bound, µs.
+    pub fn p50_us(&self) -> Option<u64> {
+        self.quantile_us(0.50)
+    }
+
+    /// 99th-percentile latency upper bound, µs.
+    pub fn p99_us(&self) -> Option<u64> {
+        self.quantile_us(0.99)
+    }
+
+    /// Renders the snapshot as an `explain()`-style table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve metrics: {} requests ({} errors), {} B in / {} B out\n",
+            self.requests(),
+            self.errors,
+            self.bytes_in,
+            self.bytes_out,
+        ));
+        out.push_str(&format!(
+            "{:<12} {:>10}\n{:<12} {:>10}\n{:<12} {:>10}\n{:<12} {:>10}\n{:<12} {:>10}\n",
+            "read",
+            self.reads,
+            "query",
+            self.queries,
+            "ingest",
+            self.ingests,
+            "refresh",
+            self.refreshes,
+            "stats",
+            self.stats,
+        ));
+        out.push_str(&format!(
+            "rejections: {} overloaded, {} deadline, {} malformed\n",
+            self.rejected_overloaded, self.rejected_deadline, self.malformed,
+        ));
+        match (self.p50_us(), self.p99_us()) {
+            (Some(p50), Some(p99)) => {
+                out.push_str(&format!("latency: p50 <= {p50} us, p99 <= {p99} us\n"));
+            }
+            _ => out.push_str("latency: no samples\n"),
+        }
+        out
+    }
+
+    /// Appends the fixed-size wire encoding to `out`.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.reads,
+            self.queries,
+            self.ingests,
+            self.refreshes,
+            self.stats,
+            self.errors,
+            self.rejected_overloaded,
+            self.rejected_deadline,
+            self.malformed,
+            self.bytes_in,
+            self.bytes_out,
+        ] {
+            put_u64(out, v);
+        }
+        for b in self.latency_us {
+            put_u64(out, b);
+        }
+    }
+
+    /// Decodes the fixed-size wire encoding.
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> DecodeResult<MetricsSnapshot> {
+        let mut s = MetricsSnapshot {
+            reads: r.u64()?,
+            queries: r.u64()?,
+            ingests: r.u64()?,
+            refreshes: r.u64()?,
+            stats: r.u64()?,
+            errors: r.u64()?,
+            rejected_overloaded: r.u64()?,
+            rejected_deadline: r.u64()?,
+            malformed: r.u64()?,
+            bytes_in: r.u64()?,
+            bytes_out: r.u64()?,
+            latency_us: [0; HIST_BUCKETS],
+        };
+        for b in s.latency_us.iter_mut() {
+            *b = r.u64()?;
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let m = ServeMetrics::new();
+        // 99 fast requests (≈8 µs) and one slow outlier (≈1 s).
+        for _ in 0..99 {
+            m.record(OpClass::Read, 8);
+        }
+        m.record(OpClass::Query, 1_000_000);
+        let s = m.snapshot();
+        assert_eq!(s.reads, 99);
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.requests(), 100);
+        let p50 = s.p50_us().unwrap();
+        let p99 = s.p99_us().unwrap();
+        assert!(p50 <= 16, "p50 bound {p50} for 8 us samples");
+        assert!(p99 <= 16, "99/100 samples are fast: {p99}");
+        assert!(s.quantile_us(1.0).unwrap() > 1_000_000);
+        assert!(s.render().contains("p50"));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = MetricsSnapshot::default();
+        assert_eq!(s.p50_us(), None);
+        assert!(s.render().contains("no samples"));
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        let m = ServeMetrics::new();
+        m.record(OpClass::Ingest, 0);
+        let s = m.snapshot();
+        assert_eq!(s.latency_us[0], 1);
+    }
+
+    #[test]
+    fn snapshot_encoding_roundtrip() {
+        let m = ServeMetrics::new();
+        m.record(OpClass::Read, 5);
+        m.record_error();
+        m.record_overloaded();
+        m.record_deadline();
+        m.record_malformed();
+        m.add_bytes_in(10);
+        m.add_bytes_out(20);
+        let s = m.snapshot();
+        let mut buf = Vec::new();
+        s.encode_into(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = MetricsSnapshot::decode_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, s);
+    }
+}

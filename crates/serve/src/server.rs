@@ -1,0 +1,521 @@
+//! The thread-pooled TCP server.
+//!
+//! One accept thread admits connections into a **bounded** rendezvous
+//! queue (`std::sync::mpsc::sync_channel`); a fixed pool of workers takes
+//! connections off the queue and serves requests until the peer closes.
+//! Admission control is load shedding, not queueing: when every worker is
+//! busy and the backlog is full, the accept thread answers a typed
+//! [`ErrorCode::Overloaded`] frame and closes — a client is never parked
+//! in an unbounded queue.
+//!
+//! Every `ReadTable`/`Query`/`Stats` request executes against **one**
+//! [`sc::ScSnapshot`] pin taken at dispatch and dropped when the response
+//! is done, so a multi-frame table response is epoch-consistent by
+//! construction, and graceful shutdown — which drains in-flight requests
+//! and joins every worker — provably leaves no pins behind (epoch GC then
+//! reclaims every retained file). Ingest and refresh go through the
+//! session's existing paths, inheriting all engine invariants.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sc::{ScError, ScSession};
+use sc_engine::storage::format;
+
+use crate::error::{ErrorCode, WireError};
+use crate::metrics::{MetricsSnapshot, OpClass, ServeMetrics};
+use crate::protocol::{
+    self, decode_request, error_frame, ingested_frame, refreshed_frame, table_response_frames,
+    RefreshSummary, Request, MAX_FRAME, OP_STATS_REPLY,
+};
+
+/// How often a blocked worker read wakes up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server knobs. `Default` is tuned for tests and examples.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Admitted-but-unclaimed connection bound. `0` makes admission a
+    /// pure rendezvous: a connection is admitted only if a worker is
+    /// waiting for one right now.
+    pub backlog: usize,
+    /// Per-request deadline, measured from the moment the request frame
+    /// is fully received to the moment its response starts writing.
+    pub deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            backlog: 64,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running server. Dropping it performs a graceful shutdown.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds a loopback ephemeral port and starts serving `session`.
+    pub fn start(session: Arc<ScSession>, config: ServeConfig) -> io::Result<Server> {
+        Server::bind(session, ("127.0.0.1", 0), config)
+    }
+
+    /// Binds `addr` and starts serving `session`.
+    pub fn bind(
+        session: Arc<ScSession>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServeMetrics::new());
+        let workers = config.workers.max(1);
+        let (tx, rx) = sync_channel::<TcpStream>(config.backlog);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let session = Arc::clone(&session);
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(rx, session, metrics, stop, config))?,
+            );
+        }
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("sc-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        match tx.try_send(stream) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(stream)) => {
+                                // Load shedding: typed backpressure, not
+                                // unbounded queueing.
+                                metrics.record_overloaded();
+                                metrics.record_error();
+                                shed_connection(stream);
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
+                    }
+                    // Dropping `tx` unblocks every worker's `recv`.
+                })?
+        };
+
+        Ok(Server {
+            addr: local,
+            stop,
+            metrics,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (connect [`crate::Client`]s here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live serving-tier counters.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Graceful shutdown: stop admitting, drain in-flight requests, join
+    /// every thread (dropping every snapshot pin), and return the final
+    /// metrics. Queued-but-unclaimed connections are answered with a
+    /// typed `ShuttingDown` error.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_and_join();
+        self.metrics.snapshot()
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop; it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Writes one length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)
+}
+
+/// Sheds a connection the admission bound rejected: answer a typed
+/// `Overloaded` frame, half-close, and drain the peer's pending bytes
+/// before dropping. The drain matters: the client has usually already
+/// written its request, and closing a socket with unread bytes in the
+/// receive buffer sends a TCP RST, which discards the error frame out of
+/// the client's buffer before it can read it — the client would see a
+/// raw transport error instead of typed backpressure. Runs on a short
+/// detached thread so the accept loop keeps shedding at full rate.
+fn shed_connection(mut stream: TcpStream) {
+    std::thread::spawn(move || {
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        if write_frame(
+            &mut stream,
+            &error_frame(&WireError {
+                code: ErrorCode::Overloaded,
+                kind: String::new(),
+                message: "admission bound reached; retry later".into(),
+            }),
+        )
+        .is_err()
+        {
+            return;
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut scratch = [0u8; 512];
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while Instant::now() < deadline {
+            match stream.read(&mut scratch) {
+                // EOF: the peer saw our FIN (and the frame) and closed.
+                Ok(0) => break,
+                Ok(_) => {}
+                // Timeouts keep draining until the deadline — the peer
+                // may still be mid-write; anything else is fatal anyway.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => break,
+            }
+        }
+    });
+}
+
+enum FrameRead {
+    /// A complete payload.
+    Frame(Vec<u8>),
+    /// Peer closed (cleanly at a frame boundary, or mid-frame — either
+    /// way there is no one left to answer) or the transport failed.
+    Closed,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+    /// Shutdown began while waiting; `mid_frame` says whether the peer
+    /// had started sending a request that will now never be served.
+    Stopped { mid_frame: bool },
+}
+
+/// Reads one frame, waking every [`POLL_INTERVAL`] to check `stop`.
+fn read_frame_polling(stream: &mut TcpStream, stop: &AtomicBool) -> FrameRead {
+    let mut header = [0u8; 4];
+    match read_exact_polling(stream, stop, &mut header, true) {
+        ReadExact::Done => {}
+        ReadExact::Closed => return FrameRead::Closed,
+        ReadExact::Stopped { any_bytes } => {
+            return FrameRead::Stopped {
+                mid_frame: any_bytes,
+            }
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME {
+        return FrameRead::TooLarge(len);
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_polling(stream, stop, &mut payload, false) {
+        ReadExact::Done => FrameRead::Frame(payload),
+        ReadExact::Closed => FrameRead::Closed,
+        ReadExact::Stopped { .. } => FrameRead::Stopped { mid_frame: true },
+    }
+}
+
+enum ReadExact {
+    Done,
+    Closed,
+    Stopped { any_bytes: bool },
+}
+
+/// Fills `buf`, polling `stop` on every timeout. With `stop_at_boundary`
+/// the read gives up on shutdown even before the first byte (used for
+/// the header, so an idle connection closes promptly); mid-buffer it
+/// always reports `Stopped` so the caller can answer `ShuttingDown`.
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    buf: &mut [u8],
+    stop_at_boundary: bool,
+) -> ReadExact {
+    let mut got = 0;
+    if buf.is_empty() {
+        return ReadExact::Done;
+    }
+    loop {
+        if stop.load(Ordering::SeqCst) && (got > 0 || stop_at_boundary) {
+            return ReadExact::Stopped { any_bytes: got > 0 };
+        }
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return ReadExact::Closed,
+            Ok(n) => {
+                got += n;
+                if got == buf.len() {
+                    return ReadExact::Done;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadExact::Closed,
+        }
+    }
+}
+
+fn worker_loop(
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    session: Arc<ScSession>,
+    metrics: Arc<ServeMetrics>,
+    stop: Arc<AtomicBool>,
+    config: ServeConfig,
+) {
+    loop {
+        // Take the next admitted connection; holding the lock only for
+        // the take keeps the other workers runnable.
+        let conn = { rx.lock().expect("receiver lock").recv() };
+        let Ok(mut stream) = conn else { break };
+        if stop.load(Ordering::SeqCst) {
+            metrics.record_error();
+            let _ = write_frame(
+                &mut stream,
+                &error_frame(&WireError {
+                    code: ErrorCode::ShuttingDown,
+                    kind: String::new(),
+                    message: "server is draining".into(),
+                }),
+            );
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        serve_connection(&mut stream, &session, &metrics, &stop, &config);
+    }
+}
+
+/// Serves one connection until the peer closes, the framing breaks, or
+/// shutdown drains it.
+fn serve_connection(
+    stream: &mut TcpStream,
+    session: &ScSession,
+    metrics: &ServeMetrics,
+    stop: &AtomicBool,
+    config: &ServeConfig,
+) {
+    loop {
+        let payload = match read_frame_polling(stream, stop) {
+            FrameRead::Frame(p) => p,
+            FrameRead::Closed => return,
+            FrameRead::TooLarge(len) => {
+                // The stream cannot be resynced past an oversized frame:
+                // answer a typed error, then close.
+                metrics.record_malformed();
+                metrics.record_error();
+                let _ = write_frame(
+                    stream,
+                    &error_frame(&WireError::malformed(format!(
+                        "frame length {len} exceeds max {MAX_FRAME}"
+                    ))),
+                );
+                return;
+            }
+            FrameRead::Stopped { mid_frame } => {
+                if mid_frame {
+                    metrics.record_error();
+                    let _ = write_frame(
+                        stream,
+                        &error_frame(&WireError {
+                            code: ErrorCode::ShuttingDown,
+                            kind: String::new(),
+                            message: "server is draining".into(),
+                        }),
+                    );
+                }
+                return;
+            }
+        };
+        metrics.add_bytes_in(payload.len() as u64);
+        let started = Instant::now();
+        let deadline = started + config.deadline;
+
+        // A panic inside decoding or the engine must never take the
+        // worker down: convert it into a typed error and drop the
+        // connection (its request state is unknowable). Decode errors
+        // keep the connection: the framing stayed intact, so it is
+        // still usable.
+        let executed = catch_unwind(AssertUnwindSafe(|| {
+            let req = decode_request(&payload)?;
+            execute(session, metrics, req, deadline)
+        }));
+        let (op, frames) = match executed {
+            Ok(Ok(ok)) => ok,
+            Ok(Err(err)) => {
+                match err.code {
+                    ErrorCode::DeadlineExceeded => metrics.record_deadline(),
+                    ErrorCode::Malformed => metrics.record_malformed(),
+                    _ => {}
+                }
+                metrics.record_error();
+                if write_frame(stream, &error_frame(&err)).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => {
+                metrics.record_error();
+                let _ = write_frame(
+                    stream,
+                    &error_frame(&WireError {
+                        code: ErrorCode::Engine,
+                        kind: "panic".into(),
+                        message: "internal error while serving the request".into(),
+                    }),
+                );
+                return;
+            }
+        };
+        for frame in &frames {
+            metrics.add_bytes_out(frame.len() as u64);
+            if write_frame(stream, frame).is_err() {
+                return;
+            }
+        }
+        metrics.record(op, started.elapsed().as_micros() as u64);
+    }
+}
+
+fn engine_error(err: ScError) -> WireError {
+    let kind = match &err {
+        ScError::Engine(e) => e.kind().to_string(),
+        ScError::Opt(_) => "opt".into(),
+        ScError::Dag(_) => "dag".into(),
+        ScError::DuplicateMv(_) => "duplicate_mv".into(),
+        ScError::NameCollision { .. } => "name_collision".into(),
+        ScError::MissingStorageDir => "missing_storage_dir".into(),
+        ScError::Scenario(_) => "scenario".into(),
+    };
+    WireError {
+        code: ErrorCode::Engine,
+        kind,
+        message: err.to_string(),
+    }
+}
+
+fn check_deadline(deadline: Instant) -> Result<(), WireError> {
+    if Instant::now() >= deadline {
+        Err(WireError {
+            code: ErrorCode::DeadlineExceeded,
+            kind: String::new(),
+            message: "request exceeded its deadline".into(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Executes one request, returning the response frames. Reads pin one
+/// snapshot for the whole response; the pin drops on return (before the
+/// frames hit the socket the table bytes are already extracted, so the
+/// response stays epoch-consistent regardless).
+fn execute(
+    session: &ScSession,
+    metrics: &ServeMetrics,
+    req: Request,
+    deadline: Instant,
+) -> Result<(OpClass, Vec<Vec<u8>>), WireError> {
+    check_deadline(deadline)?;
+    match req {
+        Request::ReadTable { table } => {
+            let snap = session.snapshot();
+            let t = snap.read_table(&table).map_err(engine_error)?;
+            check_deadline(deadline)?;
+            let frames = table_response_frames(snap.epoch(), &format::encode(&t));
+            Ok((OpClass::Read, frames))
+        }
+        Request::Query { plan } => {
+            let snap = session.snapshot();
+            let t = snap.query(&plan).map_err(engine_error)?;
+            check_deadline(deadline)?;
+            let frames = table_response_frames(snap.epoch(), &format::encode(&t));
+            Ok((OpClass::Query, frames))
+        }
+        Request::Ingest { table, delta } => {
+            let rows = (delta.insert_rows() + delta.delete_rows()) as u64;
+            session.ingest_delta(&table, delta).map_err(engine_error)?;
+            check_deadline(deadline)?;
+            Ok((OpClass::Ingest, vec![ingested_frame(rows)]))
+        }
+        Request::Refresh => {
+            let report = session.refresh().map_err(engine_error)?;
+            check_deadline(deadline)?;
+            let summary = RefreshSummary {
+                profiled: report.profiled,
+                nodes: report.nodes().len() as u32,
+                total_s: report.total_s(),
+            };
+            Ok((OpClass::Refresh, vec![refreshed_frame(&summary)]))
+        }
+        Request::Stats => {
+            let snap = session.snapshot();
+            let tables = snap.tables().map_err(engine_error)?;
+            check_deadline(deadline)?;
+            let mut f = vec![OP_STATS_REPLY];
+            protocol::put_u64(&mut f, snap.epoch());
+            protocol::put_u32(&mut f, tables.len() as u32);
+            for t in &tables {
+                protocol::put_string(&mut f, t);
+            }
+            metrics.snapshot().encode_into(&mut f);
+            Ok((OpClass::Stats, vec![f]))
+        }
+    }
+}

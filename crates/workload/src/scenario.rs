@@ -187,6 +187,13 @@ pub struct ScenarioConfig {
     /// default; differential experiments pinning exact decisions turn it
     /// off so measured timings cannot shift a mode choice mid-suite.
     pub runtime_feedback: bool,
+    /// Steady-state serving-tier read load, bytes/s, stolen from the
+    /// sim's disk-read channel ([`SimConfig::reader_read_bps`]). Measure
+    /// it from a real front end (`sc-serve`'s `Stats` reports bytes
+    /// served; the `serve_queries` bench prints `bytes/s`) and feed it
+    /// back here so the simulator predicts refresh latency *under that
+    /// serving load*. `0.0` (the default) models a quiet system.
+    pub reader_read_bps: f64,
 }
 
 impl ScenarioConfig {
@@ -201,6 +208,7 @@ impl ScenarioConfig {
             throttle: None,
             compact_every: None,
             runtime_feedback: true,
+            reader_read_bps: 0.0,
         }
     }
 }
@@ -304,6 +312,15 @@ impl ScenarioSpec {
         self
     }
 
+    /// Models a concurrent serving-tier read load of `bps` bytes/s (see
+    /// [`ScenarioConfig::reader_read_bps`]). Typically measured from
+    /// `sc-serve` throughput and fed back so simulated refreshes compete
+    /// with real readers for the disk channel.
+    pub fn with_reader_load(mut self, bps: f64) -> Self {
+        self.config.reader_read_bps = bps.max(0.0);
+        self
+    }
+
     /// Whether the schedule calls for a compaction after (0-based) churn
     /// round `round` was refreshed.
     pub fn compact_due(&self, round: usize) -> bool {
@@ -338,7 +355,7 @@ impl ScenarioSpec {
             cfg.disk_write_bps = t.write_bps;
             cfg.disk_latency_s = t.latency_s;
         }
-        cfg
+        cfg.with_reader_load(self.config.reader_read_bps)
     }
 
     /// Generates the base tables into `disk`.
@@ -509,6 +526,21 @@ mod tests {
         assert_eq!(sim.disk_read_bps, 1e6);
         assert_eq!(sim.disk_write_bps, 2e6);
         assert_eq!(sim.disk_latency_s, 0.5);
+    }
+
+    #[test]
+    fn reader_load_flows_into_the_sim_config() {
+        // Quiet by default: the sim's reader contention stays off.
+        assert_eq!(spec().sim_config().reader_read_bps, 0.0);
+        // A measured serving-tier load lands on the sim's read channel,
+        // and negatives clamp to quiet rather than adding bandwidth.
+        let s = spec().with_reader_load(64e6);
+        assert_eq!(s.config.reader_read_bps, 64e6);
+        assert_eq!(s.sim_config().reader_read_bps, 64e6);
+        assert_eq!(
+            spec().with_reader_load(-1.0).sim_config().reader_read_bps,
+            0.0
+        );
     }
 
     #[test]

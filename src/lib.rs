@@ -30,6 +30,13 @@
 //!   ([`sc_workload::ScenarioSpec`], consumed by
 //!   [`ScSession::from_spec`]).
 //!
+//! A separate (not re-exported) crate, `sc-serve`, layers a concurrent
+//! TCP query-serving front end over this façade: epoch-pinned reads and
+//! wire queries/ingest/refresh over a length-prefixed binary protocol,
+//! with bounded admission, deadlines, and graceful drain. Take a
+//! refreshed `Arc<ScSession>` and hand it to `sc_serve::Server::start`;
+//! see `examples/serve.rs`.
+//!
 //! The crate's own façade is [`ScSession`] (long-lived, `Arc`-shareable,
 //! plan-managing; `ScSystem` remains as an alias for the pre-redesign
 //! name) plus the [`RefreshReport`] a managed refresh returns.

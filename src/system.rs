@@ -790,6 +790,14 @@ impl ScSnapshot<'_> {
     pub fn query(&self, plan: &LogicalPlan) -> Result<Table> {
         Ok(plan.execute(&SnapshotSource(&self.pin))?)
     }
+
+    /// Logical names of every table visible at this snapshot's epoch,
+    /// sorted. Tables registered after the pin are absent; tables
+    /// dropped after the pin are still listed (their pinned version
+    /// stays readable).
+    pub fn tables(&self) -> Result<Vec<String>> {
+        Ok(self.pin.tables()?)
+    }
 }
 
 #[cfg(test)]
@@ -934,6 +942,34 @@ mod tests {
         );
         drop((snap, fresh));
         assert_eq!(sys.disk().retained_file_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn snapshot_tables_excludes_post_pin_registrations() {
+        let (_dir, sys) = session();
+        sys.refresh().unwrap();
+        let snap = sys.snapshot();
+        let before = snap.tables().unwrap();
+        assert!(before.contains(&"store_sales".to_string()));
+        assert!(before.contains(&"rev_by_category".to_string()));
+
+        // A table registered after the pin must be absent from the
+        // pinned listing but visible to a fresh snapshot.
+        let sample = sys
+            .disk()
+            .read_table("date_dim")
+            .unwrap()
+            .take_rows(&[0])
+            .unwrap();
+        sys.disk().write_table("late_arrival", &sample).unwrap();
+        let after = snap.tables().unwrap();
+        assert_eq!(after, before);
+        assert!(!after.contains(&"late_arrival".to_string()));
+        let fresh = sys.snapshot();
+        assert!(fresh
+            .tables()
+            .unwrap()
+            .contains(&"late_arrival".to_string()));
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Serving under churn: N client threads re-read MVs over live
+//! connections while a refresher, an ingester, and a compactor commit
+//! underneath. Pins the serving tier's core contracts:
+//!
+//! * every response is epoch-consistent and **byte-identical** across
+//!   connections for the same epoch;
+//! * per-connection epochs never go backwards;
+//! * `Overloaded` backpressure actually fires under a tiny admission
+//!   bound;
+//! * graceful shutdown drains every connection and drops every pin, so
+//!   epoch GC leaves **zero** retained files.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sc::ScSession;
+use sc_engine::exec::TableDelta;
+use sc_serve::{Client, ServeConfig, Server};
+use sc_workload::engine_mvs::sales_pipeline;
+use sc_workload::tpcds::TinyTpcds;
+
+fn serving_session(dir: &std::path::Path) -> Arc<ScSession> {
+    let s = ScSession::builder()
+        .storage_dir(dir)
+        .memory_budget(8 << 20)
+        .build()
+        .unwrap();
+    TinyTpcds::generate(0.1, 11).load_into(s.disk()).unwrap();
+    for mv in sales_pipeline() {
+        s.register_mv(mv).unwrap();
+    }
+    s.refresh().unwrap();
+    Arc::new(s)
+}
+
+#[test]
+fn concurrent_readers_stay_epoch_consistent_under_churn() {
+    const READERS: usize = 4;
+    let dir = tempfile::tempdir().unwrap();
+    let session = serving_session(dir.path());
+    // Every connection is persistent and occupies a worker, so the pool
+    // must exceed readers + ingester + refresher.
+    let server = Server::start(
+        Arc::clone(&session),
+        ServeConfig {
+            workers: READERS + 4,
+            backlog: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Delta sample for the ingester: real store_sales rows.
+    let sample = {
+        let sales = session.disk().read_table("store_sales").unwrap();
+        sales.take_rows(&(0..20).collect::<Vec<_>>()).unwrap()
+    };
+
+    let stop = AtomicBool::new(false);
+    // epoch -> SCTB bytes: responses at one epoch must be identical
+    // regardless of which connection (and which worker) served them.
+    let by_epoch: Mutex<HashMap<u64, Vec<u8>>> = Mutex::new(HashMap::new());
+    let reads_done = std::sync::atomic::AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // Readers: re-read one MV over a live connection.
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            readers.push(scope.spawn(|| {
+                let mut client = Client::connect(addr).unwrap();
+                let mut last_epoch = 0u64;
+                let mut seen = std::collections::BTreeSet::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let (epoch, bytes) = client.read_table_raw("rev_by_category").unwrap();
+                    assert!(
+                        epoch >= last_epoch,
+                        "per-connection epochs went backwards: {epoch} < {last_epoch}"
+                    );
+                    last_epoch = epoch;
+                    seen.insert(epoch);
+                    let mut map = by_epoch.lock().unwrap();
+                    let prev = map.entry(epoch).or_insert_with(|| bytes.clone());
+                    assert_eq!(
+                        *prev, bytes,
+                        "two responses at epoch {epoch} differed byte-for-byte"
+                    );
+                    drop(map);
+                    reads_done.fetch_add(1, Ordering::Relaxed);
+                }
+                seen.len()
+            }));
+        }
+
+        // Ingester: append deltas to a base table over the wire.
+        let ingester = scope.spawn(|| {
+            let mut client = Client::connect(addr).unwrap();
+            for _ in 0..10 {
+                let rows = client
+                    .ingest("store_sales", &TableDelta::insert_only(sample.clone()))
+                    .unwrap();
+                assert_eq!(rows, 20);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+
+        // Refresher: commit new MV versions over the wire.
+        let refresher = scope.spawn(|| {
+            let mut client = Client::connect(addr).unwrap();
+            for _ in 0..5 {
+                let summary = client.refresh().unwrap();
+                assert_eq!(summary.nodes, 9);
+            }
+        });
+
+        // Compactor: rewrite multi-segment MVs through the session path
+        // (compaction is an operator action, not a wire request).
+        let compactor = scope.spawn(|| {
+            for _ in 0..4 {
+                session.compact_mvs().unwrap();
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
+
+        ingester.join().unwrap();
+        refresher.join().unwrap();
+        compactor.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let mut distinct_total = 0;
+        for r in readers {
+            distinct_total += r.join().unwrap();
+        }
+        // The refresher committed repeatedly, so readers must have
+        // observed the world move (at least one reader saw >= 2 epochs).
+        assert!(
+            distinct_total > READERS,
+            "readers never observed an epoch change under churn"
+        );
+    });
+
+    assert!(reads_done.load(Ordering::Relaxed) > 20);
+    let metrics = server.shutdown();
+    assert!(metrics.reads >= reads_done.load(Ordering::Relaxed));
+    assert!(metrics.ingests >= 10);
+    assert!(metrics.refreshes >= 5);
+
+    // Graceful shutdown dropped every pin: epoch GC reclaimed every
+    // retained file, with no failed deletes.
+    assert_eq!(session.disk().retained_file_count().unwrap(), 0);
+    assert_eq!(session.disk().gc_failed_deletes(), 0);
+}
+
+#[test]
+fn overloaded_fires_under_a_tiny_admission_bound() {
+    let dir = tempfile::tempdir().unwrap();
+    let session = serving_session(dir.path());
+    // One worker, zero backlog: admission is a pure rendezvous, so a
+    // second concurrent connection must be shed with `Overloaded`.
+    let server = Server::start(
+        Arc::clone(&session),
+        ServeConfig {
+            workers: 1,
+            backlog: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut first = Client::connect(server.addr()).unwrap();
+    // A completed request proves the single worker now owns this
+    // connection (and is parked on it).
+    let (_, t) = first.read_table("rev_by_category").unwrap();
+    assert!(t.num_rows() > 0);
+
+    let mut second = Client::connect(server.addr()).unwrap();
+    let err = second.read_table("rev_by_category").unwrap_err();
+    assert!(
+        err.is_overloaded(),
+        "expected typed Overloaded backpressure, got {err}"
+    );
+
+    // The admitted connection keeps working: shedding is per-connection.
+    let (_, t) = first.read_table("rev_by_category").unwrap();
+    assert!(t.num_rows() > 0);
+
+    drop(first);
+    let metrics = server.shutdown();
+    assert!(metrics.rejected_overloaded >= 1);
+    assert_eq!(session.disk().retained_file_count().unwrap(), 0);
+}
+
+#[test]
+fn stats_over_the_wire_reports_epoch_tables_and_counters() {
+    let dir = tempfile::tempdir().unwrap();
+    let session = serving_session(dir.path());
+    let server = Server::start(Arc::clone(&session), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    client.read_table("rev_by_category").unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.epoch, session.snapshot().epoch());
+    assert!(stats.tables.contains(&"rev_by_category".to_string()));
+    assert!(stats.tables.contains(&"store_sales".to_string()));
+    assert!(stats.metrics.reads >= 1);
+    assert!(stats.metrics.bytes_out > 0);
+    let text = stats.render();
+    assert!(text.contains("rev_by_category"));
+    assert!(text.contains("p50"));
+
+    // Wire queries resolve on one snapshot and match local execution.
+    let plan = sc_engine::plan::LogicalPlan::scan("rev_by_category");
+    let (epoch, served) = client.query(&plan).unwrap();
+    assert_eq!(epoch, stats.epoch);
+    assert_eq!(served, session.query(&plan).unwrap());
+    server.shutdown();
+}
