@@ -17,6 +17,15 @@
 //! path with tiny sample counts as a CI smoke (and still exercises the
 //! correctness riders: epoch byte-identity across connections and zero
 //! retained files after shutdown).
+//!
+//! A second phase re-runs the hot-read measurement against a
+//! cache-enabled server (the `serve_queries_cached` group): a hit takes
+//! no snapshot pin and never crosses the committing refresher's io
+//! lock, which is exactly the hot-path p99 spike the shared-snapshot
+//! cache exists to remove. The uncached phase keeps `cache_bytes: 0`
+//! so its numbers stay comparable with the PR 9 baseline, which is
+//! embedded in the recorded JSON (`pr9_baseline`) rather than
+//! overwritten.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -76,11 +85,14 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 fn bench_serve_queries(c: &mut Criterion) {
     let dir = tempfile::tempdir().expect("tempdir");
     let session = serving_session(dir.path());
+    // Phase 1 runs uncached so quiet/hot stay comparable with the PR 9
+    // baseline (measured before the cache existed).
     let server = Server::start(
         Arc::clone(&session),
         ServeConfig {
             workers: 4,
             backlog: 32,
+            cache_bytes: 0,
             ..ServeConfig::default()
         },
     )
@@ -169,21 +181,102 @@ fn bench_serve_queries(c: &mut Criterion) {
     drop(other);
     let metrics = server.shutdown();
     assert!(metrics.requests() > 0);
+    assert_eq!(metrics.cache_hits, 0, "phase 1 must run uncached");
     assert_eq!(
         session.disk().retained_file_count().expect("dir scan"),
         0,
         "drained shutdown must leave zero retained files"
     );
 
+    // Phase 2: the same hot-read measurement against a cache-enabled
+    // server. Hits skip the pin and the io lock entirely, so the hot
+    // p99 — the number the uncached phase shows spiking — should drop
+    // toward the quiet p50.
+    let server = Server::start(
+        Arc::clone(&session),
+        ServeConfig {
+            workers: 4,
+            backlog: 32,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("cached server starts");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("client connects");
+    // Warm the current epoch's entry before measuring.
+    client.read_table_raw("rev_by_category").expect("warm read");
+
+    let mut g = c.benchmark_group("serve_queries_cached");
+    g.sample_size(20);
+    let stop = AtomicBool::new(false);
+    let cached_hot_samples = std::thread::scope(|scope| {
+        let refresher = {
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut rc = Client::connect(addr).expect("refresher connects");
+                let mut commits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    rc.refresh().expect("background refresh");
+                    commits += 1;
+                }
+                commits
+            })
+        };
+        g.bench_function("read_cached_hot", |b| {
+            b.iter(|| client.read_table_raw("rev_by_category").expect("read"))
+        });
+        let n = if smoke_mode() { 20 } else { 300 };
+        let (hot, _) = sample_reads(&mut client, n);
+        stop.store(true, Ordering::Relaxed);
+        let commits = refresher.join().expect("refresher joins");
+        assert!(commits > 0, "the background refresher must have committed");
+        hot
+    });
+    g.finish();
+
+    let cached_hot_p50 = percentile(&cached_hot_samples, 50.0);
+    let cached_hot_p99 = percentile(&cached_hot_samples, 99.0);
+    drop(client);
+    let metrics = server.shutdown();
+    assert!(
+        metrics.cache_hits > 0,
+        "hot re-reads of one MV must hit the shared-snapshot cache"
+    );
+    let cache_lookups = metrics.cache_hits + metrics.cache_misses;
+    let hit_ratio = metrics.cache_hits as f64 / cache_lookups.max(1) as f64;
+    println!(
+        "serve_queries_cached percentiles ({} samples): \
+         cached-hot p50 {cached_hot_p50} us p99 {cached_hot_p99} us | \
+         cache hit ratio {hit_ratio:.3} ({} hits / {cache_lookups} lookups, \
+         {} B cached, {} evicted)",
+        cached_hot_samples.len(),
+        metrics.cache_hits,
+        metrics.cache_bytes,
+        metrics.cache_evicted
+    );
+    assert_eq!(
+        session.disk().retained_file_count().expect("dir scan"),
+        0,
+        "cached shutdown must leave zero retained files"
+    );
+
     // Record the measurement next to the other BENCH_* artifacts. Smoke
     // runs are labeled so a CI pass never overwrites a real measurement
     // with 20-sample noise (the file is committed from a local run).
+    // The PR 9 numbers ride along as `pr9_baseline` so the cached-hot
+    // improvement is legible without digging through git history.
     if !smoke_mode() {
         let json = format!(
             "{{\n  \"bench\": \"serve_queries\",\n  \"samples_per_side\": {},\n  \
              \"quiet_p50_us\": {quiet_p50},\n  \"quiet_p99_us\": {quiet_p99},\n  \
              \"hot_p50_us\": {hot_p50},\n  \"hot_p99_us\": {hot_p99},\n  \
-             \"served_read_bps\": {read_bps:.0}\n}}\n",
+             \"cached_hot_p50_us\": {cached_hot_p50},\n  \
+             \"cached_hot_p99_us\": {cached_hot_p99},\n  \
+             \"cache_hit_ratio\": {hit_ratio:.3},\n  \
+             \"served_read_bps\": {read_bps:.0},\n  \
+             \"pr9_baseline\": {{\n    \"quiet_p50_us\": 32,\n    \"quiet_p99_us\": 103,\n    \
+             \"hot_p50_us\": 30,\n    \"hot_p99_us\": 1924,\n    \
+             \"served_read_bps\": 5403531\n  }}\n}}\n",
             quiet_samples.len()
         );
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");

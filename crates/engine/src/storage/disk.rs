@@ -60,6 +60,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -186,6 +187,20 @@ pub struct DiskCatalog {
     /// manifest that keeps changing under it before failing with
     /// [`EngineError::ReadContention`].
     read_retry_cap: u32,
+    /// Observer notified whenever the epoch-retention horizon moves
+    /// (see [`DiskCatalog::set_retention_hook`]).
+    retention_hook: Mutex<Option<RetentionHook>>,
+}
+
+/// A registered retention observer (see
+/// [`DiskCatalog::set_retention_hook`]). Wrapped so [`DiskCatalog`] can
+/// keep deriving `Debug`.
+struct RetentionHook(Arc<dyn Fn(u64) + Send + Sync>);
+
+impl std::fmt::Debug for RetentionHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RetentionHook")
+    }
 }
 
 /// A superseded file retained for pinned readers: which live file it
@@ -225,6 +240,7 @@ impl DiskCatalog {
             names: Mutex::new(HashMap::new()),
             gc_failed: AtomicU64::new(0),
             read_retry_cap: DEFAULT_READ_RETRY_CAP,
+            retention_hook: Mutex::new(None),
         })
     }
 
@@ -333,6 +349,41 @@ impl DiskCatalog {
 
     // ---- epoch pins, retention, and epoch GC ----
 
+    /// The last committed manifest epoch, read without taking the io
+    /// lock. Because commits store the epoch with `SeqCst` only after
+    /// every rename has landed, the value is always a *committed* epoch
+    /// and observes each commit's total order — it can lag a concurrent
+    /// commit by one epoch, never run ahead of one. This is the
+    /// serving-tier fast path: a cache keyed by `(epoch, table)` can
+    /// answer hits without contending with a committing writer's
+    /// exclusive io lock.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Registers `hook` to be notified with the current **retention
+    /// horizon** — `min(oldest live pin, committed epoch)` — every time
+    /// epoch GC runs (every commit and every pin drop). State keyed at
+    /// an epoch *below* the horizon can never be read again through
+    /// this catalog: no live pin holds it, and new pins only land at
+    /// the committed epoch. The serving tier uses this to evict
+    /// snapshot-cache entries in lockstep with retained-namespace
+    /// reclamation.
+    ///
+    /// The hook runs while the catalog's internal io write lock is
+    /// held: it must be fast and must **not** call back into this
+    /// catalog. One hook is held at a time; re-registering replaces the
+    /// previous one.
+    pub fn set_retention_hook(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        *self.retention_hook.lock() = Some(RetentionHook(Arc::new(hook)));
+    }
+
+    /// Removes the retention hook (see
+    /// [`DiskCatalog::set_retention_hook`]).
+    pub fn clear_retention_hook(&self) {
+        *self.retention_hook.lock() = None;
+    }
+
     /// Pins the current manifest epoch and returns the reader handle.
     /// Every read through the pin resolves to the file versions
     /// committed at pin time; the files it needs are retained on disk
@@ -386,6 +437,19 @@ impl DiskCatalog {
                 self.remove_counted(&self.dir.join(format::retained_name(&r.file, r.epoch)));
                 false
             });
+        }
+        // Tell the retention observer (if any) how far reclamation has
+        // advanced, so external caches keyed by epoch evict in lockstep
+        // with the retained namespace. `min_pin` is `u64::MAX` when
+        // nothing is pinned, so the observable horizon is bounded by
+        // the committed epoch.
+        let hook = self
+            .retention_hook
+            .lock()
+            .as_ref()
+            .map(|h| Arc::clone(&h.0));
+        if let Some(hook) = hook {
+            hook(horizon.min(self.epoch.load(Ordering::SeqCst)));
         }
         let Some(safe) = table else { return };
         let prefix = format!("{safe}.");
@@ -1762,5 +1826,62 @@ mod tests {
         let t = Throttle::paper_disk();
         assert!((t.read_bps - 519.8e6).abs() < 1.0);
         assert!((t.write_bps - 358.9e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn retention_hook_tracks_the_gc_horizon() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        let horizons: Arc<std::sync::Mutex<Vec<u64>>> = Arc::default();
+        let sink = Arc::clone(&horizons);
+        cat.set_retention_hook(move |h| sink.lock().unwrap().push(h));
+
+        // Unpinned commit: the horizon is the new committed epoch.
+        cat.write_table("t", &sample(0..10)).unwrap();
+        assert_eq!(horizons.lock().unwrap().last(), Some(&1));
+
+        // While a pin is live, commits must not report past it —
+        // exactly the bound retained-namespace reclamation honors.
+        let pin = cat.pin();
+        assert_eq!(pin.epoch(), 1);
+        cat.write_table("t", &sample(0..20)).unwrap();
+        assert_eq!(cat.current_epoch(), 2);
+        assert_eq!(horizons.lock().unwrap().last(), Some(&1));
+
+        // Dropping the pin runs GC and the horizon catches up.
+        drop(pin);
+        assert_eq!(horizons.lock().unwrap().last(), Some(&2));
+        assert_eq!(cat.retained_file_count().unwrap(), 0);
+
+        // Clearing stops notifications.
+        let before = horizons.lock().unwrap().len();
+        cat.clear_retention_hook();
+        cat.write_table("t", &sample(0..30)).unwrap();
+        assert_eq!(horizons.lock().unwrap().len(), before);
+    }
+
+    #[test]
+    fn current_epoch_is_lock_free_and_monotone_under_commits() {
+        let dir = tempfile::tempdir().unwrap();
+        let cat = DiskCatalog::open(dir.path()).unwrap();
+        assert_eq!(cat.current_epoch(), 0);
+        cat.write_table("t", &sample(0..10)).unwrap();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for v in 0..20 {
+                    cat.write_table("t", &sample(v..v + 10)).unwrap();
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+            let mut last = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let e = cat.current_epoch();
+                assert!(e >= last, "epoch went backwards: {e} < {last}");
+                last = e;
+            }
+            writer.join().unwrap();
+        });
+        assert_eq!(cat.current_epoch(), 21);
     }
 }

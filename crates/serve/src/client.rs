@@ -73,6 +73,45 @@ impl Client {
         Ok(())
     }
 
+    /// Sends a request **without** waiting for its response — the write
+    /// half of the pipelined API. The server reads ahead up to its
+    /// configured pipeline depth and answers strictly in send order, so
+    /// after `k` sends the matching receives are `k` calls to the
+    /// appropriate `recv_*` method, in the same order.
+    pub fn send_request(&mut self, req: &Request) -> Result<()> {
+        self.send(&encode_request(req))
+    }
+
+    /// Receives one pipelined table response (for a `ReadTable` or
+    /// `Query` sent earlier). Returns the snapshot epoch and raw SCTB
+    /// bytes; a typed server rejection (deadline, engine error) surfaces
+    /// as [`ServeError::Remote`] without desynchronizing the stream.
+    pub fn recv_table_raw(&mut self) -> Result<(u64, Vec<u8>)> {
+        self.read_table_response()
+    }
+
+    /// Receives one pipelined refresh summary (for a `Refresh` sent
+    /// earlier).
+    pub fn recv_refresh(&mut self) -> Result<RefreshSummary> {
+        let (op, body) = self.read_response()?;
+        if op != OP_REFRESHED {
+            return Err(ServeError::Protocol(format!(
+                "expected refresh summary, got opcode {op:#04x}"
+            )));
+        }
+        let mut r = Reader::new(&body);
+        let proto = |e: crate::error::WireError| ServeError::Protocol(e.message);
+        let profiled = r.u8().map_err(proto)? != 0;
+        let nodes = r.u32().map_err(proto)?;
+        let total_s = r.f64().map_err(proto)?;
+        r.finish().map_err(proto)?;
+        Ok(RefreshSummary {
+            profiled,
+            nodes,
+            total_s,
+        })
+    }
+
     fn read_frame(&mut self) -> Result<Vec<u8>> {
         let mut header = [0u8; 4];
         self.stream.read_exact(&mut header)?;
@@ -196,23 +235,7 @@ impl Client {
     /// Runs one managed refresh on the server.
     pub fn refresh(&mut self) -> Result<RefreshSummary> {
         self.send(&encode_request(&Request::Refresh))?;
-        let (op, body) = self.read_response()?;
-        if op != OP_REFRESHED {
-            return Err(ServeError::Protocol(format!(
-                "expected refresh summary, got opcode {op:#04x}"
-            )));
-        }
-        let mut r = Reader::new(&body);
-        let proto = |e: crate::error::WireError| ServeError::Protocol(e.message);
-        let profiled = r.u8().map_err(proto)? != 0;
-        let nodes = r.u32().map_err(proto)?;
-        let total_s = r.f64().map_err(proto)?;
-        r.finish().map_err(proto)?;
-        Ok(RefreshSummary {
-            profiled,
-            nodes,
-            total_s,
-        })
+        self.recv_refresh()
     }
 
     /// Fetches server + snapshot statistics.

@@ -48,17 +48,19 @@
 //! server.shutdown();
 //! ```
 
+mod cache;
 mod client;
 mod error;
 mod metrics;
 mod protocol;
 mod server;
 
+pub use cache::{CacheStats, SnapshotCache};
 pub use client::{Client, StatsReport};
 pub use error::{ErrorCode, Result, ServeError, WireError};
-pub use metrics::{MetricsSnapshot, OpClass, ServeMetrics, HIST_BUCKETS};
+pub use metrics::{MetricsSnapshot, OpClass, Quantile, ServeMetrics, HIST_BUCKETS};
 pub use protocol::{
     decode_request, encode_request, RefreshSummary, Request, CHUNK_SIZE, MAX_DEPTH, MAX_FRAME,
     MAX_NAME,
 };
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, MAX_DRAINERS};

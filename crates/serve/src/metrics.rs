@@ -110,7 +110,48 @@ impl ServeMetrics {
             malformed: self.malformed.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            // Cache counters live in the server's `SnapshotCache`; the
+            // server merges them in (`MetricsSnapshot::merge_cache`).
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_evicted: 0,
+            cache_bytes: 0,
             latency_us: hist,
+        }
+    }
+}
+
+/// A latency quantile derived from the power-of-two histogram.
+///
+/// Every bucket except the last has a real upper edge, so a quantile
+/// landing there is a trustworthy *upper bound*. The last bucket is
+/// unbounded — a sample there could be 36 minutes or 36 hours — so a
+/// quantile landing in it is reported as [`Quantile::Saturated`] with
+/// the bucket's **lower** edge, never dressed up as a finite `<=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantile {
+    /// The quantile is at most this many microseconds.
+    AtMost(u64),
+    /// The quantile fell in the unbounded overflow bucket: it is at
+    /// *least* this many microseconds, with no upper bound known.
+    Saturated(u64),
+}
+
+impl Quantile {
+    /// A conservative numeric stand-in: the bound for
+    /// [`Quantile::AtMost`], `u64::MAX` for [`Quantile::Saturated`]
+    /// (whose true value is unbounded).
+    pub fn as_micros_upper(self) -> u64 {
+        match self {
+            Quantile::AtMost(us) => us,
+            Quantile::Saturated(_) => u64::MAX,
+        }
+    }
+
+    fn render(self) -> String {
+        match self {
+            Quantile::AtMost(us) => format!("<= {us} us"),
+            Quantile::Saturated(lo) => format!(">= {lo} us (overflow bucket)"),
         }
     }
 }
@@ -140,6 +181,14 @@ pub struct MetricsSnapshot {
     pub bytes_in: u64,
     /// Response payload bytes sent.
     pub bytes_out: u64,
+    /// Read-class requests served from the shared-snapshot cache.
+    pub cache_hits: u64,
+    /// Read-class requests that took the full pinned read path.
+    pub cache_misses: u64,
+    /// Snapshot-cache entries evicted (epoch horizon + LRU).
+    pub cache_evicted: u64,
+    /// Bytes currently held by the snapshot cache.
+    pub cache_bytes: u64,
     /// Power-of-two latency buckets (µs), successful requests only.
     pub latency_us: [u64; HIST_BUCKETS],
 }
@@ -150,10 +199,14 @@ impl MetricsSnapshot {
         self.reads + self.queries + self.ingests + self.refreshes + self.stats
     }
 
-    /// Upper edge (µs) of the bucket containing quantile `q` in `[0,1]`,
-    /// or `None` with an empty histogram. Bucketed, so an upper bound —
-    /// exact enough for p50/p99 trend lines.
-    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+    /// The bucketed quantile `q` in `[0,1]`, or `None` with an empty
+    /// histogram. Every bucket but the last yields a trustworthy
+    /// [`Quantile::AtMost`] upper edge; the last bucket is unbounded
+    /// (`[2^31, ∞)` µs), so a quantile landing there is
+    /// [`Quantile::Saturated`] — rendering it as a finite `<=` would
+    /// turn the histogram's one honest "slower than I can measure"
+    /// signal into a fabricated bound.
+    pub fn quantile(&self, q: f64) -> Option<Quantile> {
         let total: u64 = self.latency_us.iter().sum();
         if total == 0 {
             return None;
@@ -163,20 +216,52 @@ impl MetricsSnapshot {
         for (i, &n) in self.latency_us.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Some(1u64 << (i + 1).min(63));
+                return Some(if i == HIST_BUCKETS - 1 {
+                    Quantile::Saturated(1u64 << (HIST_BUCKETS - 1))
+                } else {
+                    Quantile::AtMost(1u64 << (i + 1))
+                });
             }
         }
-        Some(u64::MAX)
+        Some(Quantile::Saturated(1u64 << (HIST_BUCKETS - 1)))
     }
 
-    /// Median latency upper bound, µs.
+    /// Upper edge (µs) of the bucket containing quantile `q`, or
+    /// `u64::MAX` when the quantile saturated the overflow bucket (see
+    /// [`MetricsSnapshot::quantile`] — the overflow bucket has no upper
+    /// edge to report). `None` with an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        self.quantile(q).map(Quantile::as_micros_upper)
+    }
+
+    /// Median latency bucket.
+    pub fn p50(&self) -> Option<Quantile> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency bucket.
+    pub fn p99(&self) -> Option<Quantile> {
+        self.quantile(0.99)
+    }
+
+    /// Median latency upper bound, µs (`u64::MAX` when saturated).
     pub fn p50_us(&self) -> Option<u64> {
         self.quantile_us(0.50)
     }
 
-    /// 99th-percentile latency upper bound, µs.
+    /// 99th-percentile latency upper bound, µs (`u64::MAX` when
+    /// saturated).
     pub fn p99_us(&self) -> Option<u64> {
         self.quantile_us(0.99)
+    }
+
+    /// Folds the shared-snapshot cache counters into this snapshot
+    /// (the server calls this before encoding a `Stats` reply).
+    pub fn merge_cache(&mut self, cache: &crate::cache::CacheStats) {
+        self.cache_hits = cache.hits;
+        self.cache_misses = cache.misses;
+        self.cache_evicted = cache.evicted;
+        self.cache_bytes = cache.bytes;
     }
 
     /// Renders the snapshot as an `explain()`-style table.
@@ -206,9 +291,17 @@ impl MetricsSnapshot {
             "rejections: {} overloaded, {} deadline, {} malformed\n",
             self.rejected_overloaded, self.rejected_deadline, self.malformed,
         ));
-        match (self.p50_us(), self.p99_us()) {
+        out.push_str(&format!(
+            "snapshot cache: {} hits, {} misses, {} evicted, {} B cached\n",
+            self.cache_hits, self.cache_misses, self.cache_evicted, self.cache_bytes,
+        ));
+        match (self.p50(), self.p99()) {
             (Some(p50), Some(p99)) => {
-                out.push_str(&format!("latency: p50 <= {p50} us, p99 <= {p99} us\n"));
+                out.push_str(&format!(
+                    "latency: p50 {}, p99 {}\n",
+                    p50.render(),
+                    p99.render()
+                ));
             }
             _ => out.push_str("latency: no samples\n"),
         }
@@ -229,6 +322,10 @@ impl MetricsSnapshot {
             self.malformed,
             self.bytes_in,
             self.bytes_out,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evicted,
+            self.cache_bytes,
         ] {
             put_u64(out, v);
         }
@@ -251,6 +348,10 @@ impl MetricsSnapshot {
             malformed: r.u64()?,
             bytes_in: r.u64()?,
             bytes_out: r.u64()?,
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            cache_evicted: r.u64()?,
+            cache_bytes: r.u64()?,
             latency_us: [0; HIST_BUCKETS],
         };
         for b in s.latency_us.iter_mut() {
@@ -281,7 +382,39 @@ mod tests {
         assert!(p50 <= 16, "p50 bound {p50} for 8 us samples");
         assert!(p99 <= 16, "99/100 samples are fast: {p99}");
         assert!(s.quantile_us(1.0).unwrap() > 1_000_000);
+        assert_eq!(s.quantile(1.0), Some(Quantile::AtMost(1 << 20)));
         assert!(s.render().contains("p50"));
+    }
+
+    #[test]
+    fn overflow_bucket_reports_saturated_not_a_fake_bound() {
+        let m = ServeMetrics::new();
+        // A request slower than the histogram can bound: 2^33 µs (~2.5
+        // hours) lands in the last, unbounded bucket.
+        m.record(OpClass::Query, 1u64 << 33);
+        let s = m.snapshot();
+        assert_eq!(s.latency_us[HIST_BUCKETS - 1], 1);
+        let lower = 1u64 << (HIST_BUCKETS - 1);
+        assert_eq!(s.p99(), Some(Quantile::Saturated(lower)));
+        assert_eq!(s.p99_us(), Some(u64::MAX), "no finite bound exists");
+        let text = s.render();
+        assert!(
+            text.contains(&format!(">= {lower} us")),
+            "render must show a saturated marker, got: {text}"
+        );
+        assert!(
+            !text.contains(&format!("<= {}", 1u64 << 32)),
+            "the old fake 2^32 upper edge must be gone: {text}"
+        );
+
+        // Mixed load: fast median, saturated tail.
+        for _ in 0..99 {
+            m.record(OpClass::Read, 8);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.p50(), Some(Quantile::AtMost(16)));
+        assert_eq!(s.p99(), Some(Quantile::AtMost(16)));
+        assert_eq!(s.quantile(1.0), Some(Quantile::Saturated(lower)));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The thread-pooled TCP server.
+//! The thread-pooled, pipelined TCP server.
 //!
 //! One accept thread admits connections into a **bounded** rendezvous
 //! queue (`std::sync::mpsc::sync_channel`); a fixed pool of workers takes
@@ -6,28 +6,50 @@
 //! Admission control is load shedding, not queueing: when every worker is
 //! busy and the backlog is full, the accept thread answers a typed
 //! [`ErrorCode::Overloaded`] frame and closes — a client is never parked
-//! in an unbounded queue.
+//! in an unbounded queue. The graceful-shed drain itself runs on a
+//! **capped** pool of detached drainer threads ([`MAX_DRAINERS`]); past
+//! the cap, rejected connections are closed immediately so a connection
+//! flood can never become a thread flood.
+//!
+//! Within a connection, requests are **pipelined**: a per-connection
+//! reader thread keeps pulling frames (up to
+//! [`ServeConfig::pipeline_depth`] ahead) while the worker executes and
+//! writes responses strictly in receipt order, so response ordering is
+//! preserved by construction and a client may batch writes without
+//! waiting for replies. The per-request deadline clock starts the moment
+//! a frame is fully received — queue time counts against the deadline,
+//! execution-slot luck does not.
 //!
 //! Every `ReadTable`/`Query`/`Stats` request executes against **one**
 //! [`sc::ScSnapshot`] pin taken at dispatch and dropped when the response
-//! is done, so a multi-frame table response is epoch-consistent by
+//! is built, so a multi-frame table response is epoch-consistent by
 //! construction, and graceful shutdown — which drains in-flight requests
-//! and joins every worker — provably leaves no pins behind (epoch GC then
-//! reclaims every retained file). Ingest and refresh go through the
-//! session's existing paths, inheriting all engine invariants.
+//! and joins every thread — provably leaves no pins behind (epoch GC then
+//! reclaims every retained file). The exception that proves the rule:
+//! a [`SnapshotCache`] hit takes **no pin at all**. The cached frames
+//! were built under a pin at their epoch and are immutable bytes in
+//! memory; the lock-free [`DiskCatalog::current_epoch`] load that keys
+//! the lookup is monotone, so a hit is indistinguishable from the same
+//! request having executed moments earlier. Ingest and refresh go
+//! through the session's existing paths, inheriting all engine
+//! invariants.
+//!
+//! [`DiskCatalog::current_epoch`]: sc_engine::storage::DiskCatalog::current_epoch
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sc::{ScError, ScSession};
+use sc_engine::plan::LogicalPlan;
 use sc_engine::storage::format;
 
+use crate::cache::{SharedFrames, SnapshotCache};
 use crate::error::{ErrorCode, WireError};
 use crate::metrics::{MetricsSnapshot, OpClass, ServeMetrics};
 use crate::protocol::{
@@ -35,8 +57,14 @@ use crate::protocol::{
     RefreshSummary, Request, MAX_FRAME, OP_STATS_REPLY,
 };
 
-/// How often a blocked worker read wakes up to check the shutdown flag.
+/// How often a blocked reader wakes up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Concurrent graceful-shed drainers. Beyond this, a rejected connection
+/// is dropped immediately (the peer sees a reset instead of the typed
+/// `Overloaded` frame) — under a genuine flood, a bounded thread count
+/// beats a graceful goodbye.
+pub const MAX_DRAINERS: usize = 8;
 
 /// Server knobs. `Default` is tuned for tests and examples.
 #[derive(Debug, Clone)]
@@ -50,6 +78,14 @@ pub struct ServeConfig {
     /// Per-request deadline, measured from the moment the request frame
     /// is fully received to the moment its response starts writing.
     pub deadline: Duration,
+    /// How many requests a connection's reader may receive ahead of the
+    /// one currently executing. `0` disables read-ahead (rendezvous):
+    /// the next frame is accepted only once the previous response is
+    /// being written.
+    pub pipeline_depth: usize,
+    /// Byte budget for the shared-snapshot read cache ([`SnapshotCache`]);
+    /// `0` disables caching entirely.
+    pub cache_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -58,18 +94,32 @@ impl Default for ServeConfig {
             workers: 4,
             backlog: 64,
             deadline: Duration::from_secs(30),
+            pipeline_depth: 8,
+            cache_bytes: 32 << 20,
         }
     }
 }
 
 /// A running server. Dropping it performs a graceful shutdown.
-#[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
+    cache: Arc<SnapshotCache>,
+    session: Arc<ScSession>,
+    hooked: bool,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("cache", &self.cache)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Server {
@@ -79,6 +129,12 @@ impl Server {
     }
 
     /// Binds `addr` and starts serving `session`.
+    ///
+    /// When the read cache is enabled, this registers the storage tier's
+    /// retention hook so cache eviction tracks epoch GC exactly; the
+    /// catalog holds **one** hook, so run at most one cache-enabled
+    /// server per session (extra readers can share it with
+    /// `cache_bytes: 0`).
     pub fn bind(
         session: Arc<ScSession>,
         addr: impl ToSocketAddrs,
@@ -88,6 +144,17 @@ impl Server {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServeMetrics::new());
+        let cache = Arc::new(SnapshotCache::new(config.cache_bytes));
+        let hooked = cache.enabled();
+        if hooked {
+            // Evict in lockstep with retained-namespace reclamation: a
+            // cached epoch never outlives its retained files by more
+            // than the commit (or pin drop) that buried it.
+            let cache = Arc::clone(&cache);
+            session
+                .disk()
+                .set_retention_hook(move |horizon| cache.evict_below(horizon));
+        }
         let workers = config.workers.max(1);
         let (tx, rx) = sync_channel::<TcpStream>(config.backlog);
         let rx = Arc::new(Mutex::new(rx));
@@ -97,18 +164,20 @@ impl Server {
             let rx = Arc::clone(&rx);
             let session = Arc::clone(&session);
             let metrics = Arc::clone(&metrics);
+            let cache = Arc::clone(&cache);
             let stop = Arc::clone(&stop);
             let config = config.clone();
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("sc-serve-worker-{i}"))
-                    .spawn(move || worker_loop(rx, session, metrics, stop, config))?,
+                    .spawn(move || worker_loop(rx, session, metrics, cache, stop, config))?,
             );
         }
 
         let accept = {
             let stop = Arc::clone(&stop);
             let metrics = Arc::clone(&metrics);
+            let drainers = Arc::new(AtomicUsize::new(0));
             std::thread::Builder::new()
                 .name("sc-serve-accept".into())
                 .spawn(move || {
@@ -124,7 +193,7 @@ impl Server {
                                 // unbounded queueing.
                                 metrics.record_overloaded();
                                 metrics.record_error();
-                                shed_connection(stream);
+                                shed_connection(stream, &drainers);
                             }
                             Err(TrySendError::Disconnected(_)) => break,
                         }
@@ -137,6 +206,9 @@ impl Server {
             addr: local,
             stop,
             metrics,
+            cache,
+            session,
+            hooked,
             accept: Some(accept),
             workers: worker_handles,
         })
@@ -152,13 +224,21 @@ impl Server {
         &self.metrics
     }
 
+    /// The shared-snapshot read cache (disabled when
+    /// [`ServeConfig::cache_bytes`] is `0`).
+    pub fn cache(&self) -> &SnapshotCache {
+        &self.cache
+    }
+
     /// Graceful shutdown: stop admitting, drain in-flight requests, join
     /// every thread (dropping every snapshot pin), and return the final
-    /// metrics. Queued-but-unclaimed connections are answered with a
-    /// typed `ShuttingDown` error.
+    /// metrics — cache counters included. Queued-but-unclaimed
+    /// connections are answered with a typed `ShuttingDown` error.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.stop_and_join();
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.merge_cache(&self.cache.stats());
+        snap
     }
 
     fn stop_and_join(&mut self) {
@@ -172,6 +252,9 @@ impl Server {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        if self.hooked {
+            self.session.disk().clear_retention_hook();
         }
     }
 }
@@ -194,43 +277,83 @@ fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
 /// written its request, and closing a socket with unread bytes in the
 /// receive buffer sends a TCP RST, which discards the error frame out of
 /// the client's buffer before it can read it — the client would see a
-/// raw transport error instead of typed backpressure. Runs on a short
-/// detached thread so the accept loop keeps shedding at full rate.
-fn shed_connection(mut stream: TcpStream) {
-    std::thread::spawn(move || {
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-        if write_frame(
-            &mut stream,
-            &error_frame(&WireError {
-                code: ErrorCode::Overloaded,
-                kind: String::new(),
-                message: "admission bound reached; retry later".into(),
-            }),
-        )
-        .is_err()
-        {
+/// raw transport error instead of typed backpressure.
+///
+/// The drain runs on a short detached thread so the accept loop keeps
+/// shedding at full rate — but the number of live drainers is capped at
+/// [`MAX_DRAINERS`]. At the cap the connection is simply dropped:
+/// during a flood, each graceful drain can hold its thread for up to a
+/// second, so an unbounded spawn-per-rejection would turn the flood into
+/// a thread explosion exactly when the server is least able to afford
+/// one.
+fn shed_connection(mut stream: TcpStream, drainers: &Arc<AtomicUsize>) {
+    let mut live = drainers.load(Ordering::Relaxed);
+    loop {
+        if live >= MAX_DRAINERS {
+            // Fall through: immediate close, no thread.
             return;
         }
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-        let mut scratch = [0u8; 512];
-        let deadline = Instant::now() + Duration::from_secs(1);
-        while Instant::now() < deadline {
-            match stream.read(&mut scratch) {
-                // EOF: the peer saw our FIN (and the frame) and closed.
-                Ok(0) => break,
-                Ok(_) => {}
-                // Timeouts keep draining until the deadline — the peer
-                // may still be mid-write; anything else is fatal anyway.
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) => {}
-                Err(_) => break,
-            }
+        match drainers.compare_exchange_weak(live, live + 1, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(now) => live = now,
         }
-    });
+    }
+    let pool = Arc::clone(drainers);
+    let spawned = std::thread::Builder::new()
+        .name("sc-serve-drain".into())
+        .spawn(move || {
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            if write_frame(
+                &mut stream,
+                &error_frame(&WireError {
+                    code: ErrorCode::Overloaded,
+                    kind: String::new(),
+                    message: "admission bound reached; retry later".into(),
+                }),
+            )
+            .is_ok()
+            {
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                let mut scratch = [0u8; 512];
+                let deadline = Instant::now() + Duration::from_secs(1);
+                while Instant::now() < deadline {
+                    match stream.read(&mut scratch) {
+                        // EOF: the peer saw our FIN (and the frame) and
+                        // closed.
+                        Ok(0) => break,
+                        Ok(_) => {}
+                        // Timeouts keep draining until the deadline —
+                        // the peer may still be mid-write; anything else
+                        // is fatal anyway.
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                            ) => {}
+                        Err(_) => break,
+                    }
+                }
+            }
+            pool.fetch_sub(1, Ordering::AcqRel);
+        });
+    if spawned.is_err() {
+        drainers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Reasons a connection's reader gives up between frames.
+struct Halt<'a> {
+    /// Server-wide shutdown.
+    stop: &'a AtomicBool,
+    /// This connection's executor is gone (write failure or panic).
+    done: &'a AtomicBool,
+}
+
+impl Halt<'_> {
+    fn halted(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || self.done.load(Ordering::SeqCst)
+    }
 }
 
 enum FrameRead {
@@ -246,10 +369,10 @@ enum FrameRead {
     Stopped { mid_frame: bool },
 }
 
-/// Reads one frame, waking every [`POLL_INTERVAL`] to check `stop`.
-fn read_frame_polling(stream: &mut TcpStream, stop: &AtomicBool) -> FrameRead {
+/// Reads one frame, waking every [`POLL_INTERVAL`] to check `halt`.
+fn read_frame_polling(stream: &mut TcpStream, halt: &Halt<'_>) -> FrameRead {
     let mut header = [0u8; 4];
-    match read_exact_polling(stream, stop, &mut header, true) {
+    match read_exact_polling(stream, halt, &mut header, true) {
         ReadExact::Done => {}
         ReadExact::Closed => return FrameRead::Closed,
         ReadExact::Stopped { any_bytes } => {
@@ -263,7 +386,7 @@ fn read_frame_polling(stream: &mut TcpStream, stop: &AtomicBool) -> FrameRead {
         return FrameRead::TooLarge(len);
     }
     let mut payload = vec![0u8; len as usize];
-    match read_exact_polling(stream, stop, &mut payload, false) {
+    match read_exact_polling(stream, halt, &mut payload, false) {
         ReadExact::Done => FrameRead::Frame(payload),
         ReadExact::Closed => FrameRead::Closed,
         ReadExact::Stopped { .. } => FrameRead::Stopped { mid_frame: true },
@@ -276,13 +399,13 @@ enum ReadExact {
     Stopped { any_bytes: bool },
 }
 
-/// Fills `buf`, polling `stop` on every timeout. With `stop_at_boundary`
+/// Fills `buf`, polling `halt` on every timeout. With `stop_at_boundary`
 /// the read gives up on shutdown even before the first byte (used for
 /// the header, so an idle connection closes promptly); mid-buffer it
 /// always reports `Stopped` so the caller can answer `ShuttingDown`.
 fn read_exact_polling(
     stream: &mut TcpStream,
-    stop: &AtomicBool,
+    halt: &Halt<'_>,
     buf: &mut [u8],
     stop_at_boundary: bool,
 ) -> ReadExact {
@@ -291,7 +414,7 @@ fn read_exact_polling(
         return ReadExact::Done;
     }
     loop {
-        if stop.load(Ordering::SeqCst) && (got > 0 || stop_at_boundary) {
+        if halt.halted() && (got > 0 || stop_at_boundary) {
             return ReadExact::Stopped { any_bytes: got > 0 };
         }
         match stream.read(&mut buf[got..]) {
@@ -315,6 +438,7 @@ fn worker_loop(
     rx: Arc<Mutex<Receiver<TcpStream>>>,
     session: Arc<ScSession>,
     metrics: Arc<ServeMetrics>,
+    cache: Arc<SnapshotCache>,
     stop: Arc<AtomicBool>,
     config: ServeConfig,
 ) {
@@ -338,24 +462,87 @@ fn worker_loop(
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-        serve_connection(&mut stream, &session, &metrics, &stop, &config);
+        serve_connection(&mut stream, &session, &metrics, &cache, &stop, &config);
+    }
+}
+
+/// What the per-connection reader hands the executor. `Frame` carries
+/// the receipt timestamp — the deadline clock starts here, not at
+/// dequeue, so time spent queued behind a slow request counts against
+/// the queued request's deadline.
+enum Inbound {
+    Frame { payload: Vec<u8>, received: Instant },
+    Closed,
+    TooLarge(u32),
+    Stopped { mid_frame: bool },
+}
+
+/// Pulls frames off the socket and into the bounded pipeline queue.
+/// Every non-`Frame` read is terminal, and so is a send failure (the
+/// executor hung up). The bounded `send` is the pipelining backpressure:
+/// at most `pipeline_depth` requests sit received-but-unexecuted.
+fn reader_loop(mut stream: TcpStream, halt: &Halt<'_>, tx: SyncSender<Inbound>) {
+    loop {
+        let item = match read_frame_polling(&mut stream, halt) {
+            FrameRead::Frame(payload) => Inbound::Frame {
+                payload,
+                received: Instant::now(),
+            },
+            FrameRead::Closed => Inbound::Closed,
+            FrameRead::TooLarge(len) => Inbound::TooLarge(len),
+            FrameRead::Stopped { mid_frame } => Inbound::Stopped { mid_frame },
+        };
+        let terminal = !matches!(item, Inbound::Frame { .. });
+        if tx.send(item).is_err() || terminal {
+            return;
+        }
     }
 }
 
 /// Serves one connection until the peer closes, the framing breaks, or
-/// shutdown drains it.
+/// shutdown drains it. Reads are pipelined (see [`reader_loop`]);
+/// responses are written strictly in receipt order because this single
+/// executor dequeues and writes serially — a deadline rejection
+/// mid-pipeline emits its error frame in sequence and later responses
+/// stay correctly ordered.
 fn serve_connection(
     stream: &mut TcpStream,
     session: &ScSession,
     metrics: &ServeMetrics,
-    stop: &AtomicBool,
+    cache: &SnapshotCache,
+    stop: &Arc<AtomicBool>,
     config: &ServeConfig,
 ) {
-    loop {
-        let payload = match read_frame_polling(stream, stop) {
-            FrameRead::Frame(p) => p,
-            FrameRead::Closed => return,
-            FrameRead::TooLarge(len) => {
+    let Ok(reader_stream) = stream.try_clone() else {
+        return;
+    };
+    let done = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = sync_channel::<Inbound>(config.pipeline_depth);
+    let reader = {
+        let stop = Arc::clone(stop);
+        let done = Arc::clone(&done);
+        std::thread::Builder::new()
+            .name("sc-serve-reader".into())
+            .spawn(move || {
+                reader_loop(
+                    reader_stream,
+                    &Halt {
+                        stop: &stop,
+                        done: &done,
+                    },
+                    tx,
+                )
+            })
+    };
+    let Ok(reader) = reader else {
+        return;
+    };
+
+    while let Ok(item) = rx.recv() {
+        let (payload, received) = match item {
+            Inbound::Frame { payload, received } => (payload, received),
+            Inbound::Closed => break,
+            Inbound::TooLarge(len) => {
                 // The stream cannot be resynced past an oversized frame:
                 // answer a typed error, then close.
                 metrics.record_malformed();
@@ -366,9 +553,9 @@ fn serve_connection(
                         "frame length {len} exceeds max {MAX_FRAME}"
                     ))),
                 );
-                return;
+                break;
             }
-            FrameRead::Stopped { mid_frame } => {
+            Inbound::Stopped { mid_frame } => {
                 if mid_frame {
                     metrics.record_error();
                     let _ = write_frame(
@@ -380,12 +567,11 @@ fn serve_connection(
                         }),
                     );
                 }
-                return;
+                break;
             }
         };
         metrics.add_bytes_in(payload.len() as u64);
-        let started = Instant::now();
-        let deadline = started + config.deadline;
+        let deadline = received + config.deadline;
 
         // A panic inside decoding or the engine must never take the
         // worker down: convert it into a typed error and drop the
@@ -394,10 +580,23 @@ fn serve_connection(
         // still usable.
         let executed = catch_unwind(AssertUnwindSafe(|| {
             let req = decode_request(&payload)?;
-            execute(session, metrics, req, deadline)
+            execute(session, metrics, cache, req, deadline)
         }));
-        let (op, frames) = match executed {
-            Ok(Ok(ok)) => ok,
+        match executed {
+            Ok(Ok((op, frames))) => {
+                let mut broken = false;
+                for frame in frames.iter() {
+                    metrics.add_bytes_out(frame.len() as u64);
+                    if write_frame(stream, frame).is_err() {
+                        broken = true;
+                        break;
+                    }
+                }
+                if broken {
+                    break;
+                }
+                metrics.record(op, received.elapsed().as_micros() as u64);
+            }
             Ok(Err(err)) => {
                 match err.code {
                     ErrorCode::DeadlineExceeded => metrics.record_deadline(),
@@ -406,9 +605,8 @@ fn serve_connection(
                 }
                 metrics.record_error();
                 if write_frame(stream, &error_frame(&err)).is_err() {
-                    return;
+                    break;
                 }
-                continue;
             }
             Err(_) => {
                 metrics.record_error();
@@ -420,17 +618,15 @@ fn serve_connection(
                         message: "internal error while serving the request".into(),
                     }),
                 );
-                return;
-            }
-        };
-        for frame in &frames {
-            metrics.add_bytes_out(frame.len() as u64);
-            if write_frame(stream, frame).is_err() {
-                return;
+                break;
             }
         }
-        metrics.record(op, started.elapsed().as_micros() as u64);
     }
+    // Tear the pipeline down: the reader observes `done` at its next
+    // poll tick (or its pending `send` fails once `rx` drops) and exits.
+    done.store(true, Ordering::SeqCst);
+    drop(rx);
+    let _ = reader.join();
 }
 
 fn engine_error(err: ScError) -> WireError {
@@ -462,37 +658,72 @@ fn check_deadline(deadline: Instant) -> Result<(), WireError> {
     }
 }
 
+/// Serves a whole-table read through the snapshot cache.
+///
+/// The hit path is the serving tier's fast path: one lock-free
+/// `current_epoch` load plus a shared-lock map probe — no snapshot pin,
+/// no io-lock crossing with a committing writer, no decode/encode. The
+/// miss path is the pre-cache path verbatim (pin, read, encode, chunk),
+/// then memoizes the frames **at the pin's epoch** — which may already
+/// be newer than the `current_epoch` probed above; keying by what was
+/// actually served keeps cached and uncached responses byte-identical
+/// per epoch.
+fn read_cached(
+    session: &ScSession,
+    cache: &SnapshotCache,
+    table: &str,
+    deadline: Instant,
+) -> Result<SharedFrames, WireError> {
+    if cache.enabled() {
+        let epoch = session.disk().current_epoch();
+        if let Some(frames) = cache.get(epoch, table) {
+            return Ok(frames);
+        }
+    }
+    let snap = session.snapshot();
+    let t = snap.read_table(table).map_err(engine_error)?;
+    check_deadline(deadline)?;
+    let frames: SharedFrames = Arc::new(table_response_frames(snap.epoch(), &format::encode(&t)));
+    cache.insert(snap.epoch(), table, Arc::clone(&frames));
+    Ok(frames)
+}
+
 /// Executes one request, returning the response frames. Reads pin one
-/// snapshot for the whole response; the pin drops on return (before the
-/// frames hit the socket the table bytes are already extracted, so the
-/// response stays epoch-consistent regardless).
+/// snapshot for the whole response (cache hits excepted — their frames
+/// were built under a pin and are immutable); the pin drops on return,
+/// before the frames hit the socket, which is safe because the table
+/// bytes are already extracted.
 fn execute(
     session: &ScSession,
     metrics: &ServeMetrics,
+    cache: &SnapshotCache,
     req: Request,
     deadline: Instant,
-) -> Result<(OpClass, Vec<Vec<u8>>), WireError> {
+) -> Result<(OpClass, SharedFrames), WireError> {
     check_deadline(deadline)?;
     match req {
         Request::ReadTable { table } => {
-            let snap = session.snapshot();
-            let t = snap.read_table(&table).map_err(engine_error)?;
-            check_deadline(deadline)?;
-            let frames = table_response_frames(snap.epoch(), &format::encode(&t));
+            let frames = read_cached(session, cache, &table, deadline)?;
             Ok((OpClass::Read, frames))
         }
         Request::Query { plan } => {
+            // A bare scan is `ReadTable` in query clothing — same pinned
+            // read, same bytes — so it shares the same cache key.
+            if let LogicalPlan::Scan { table } = &plan {
+                let frames = read_cached(session, cache, table, deadline)?;
+                return Ok((OpClass::Query, frames));
+            }
             let snap = session.snapshot();
             let t = snap.query(&plan).map_err(engine_error)?;
             check_deadline(deadline)?;
             let frames = table_response_frames(snap.epoch(), &format::encode(&t));
-            Ok((OpClass::Query, frames))
+            Ok((OpClass::Query, Arc::new(frames)))
         }
         Request::Ingest { table, delta } => {
             let rows = (delta.insert_rows() + delta.delete_rows()) as u64;
             session.ingest_delta(&table, delta).map_err(engine_error)?;
             check_deadline(deadline)?;
-            Ok((OpClass::Ingest, vec![ingested_frame(rows)]))
+            Ok((OpClass::Ingest, Arc::new(vec![ingested_frame(rows)])))
         }
         Request::Refresh => {
             let report = session.refresh().map_err(engine_error)?;
@@ -502,7 +733,7 @@ fn execute(
                 nodes: report.nodes().len() as u32,
                 total_s: report.total_s(),
             };
-            Ok((OpClass::Refresh, vec![refreshed_frame(&summary)]))
+            Ok((OpClass::Refresh, Arc::new(vec![refreshed_frame(&summary)])))
         }
         Request::Stats => {
             let snap = session.snapshot();
@@ -514,8 +745,10 @@ fn execute(
             for t in &tables {
                 protocol::put_string(&mut f, t);
             }
-            metrics.snapshot().encode_into(&mut f);
-            Ok((OpClass::Stats, vec![f]))
+            let mut m = metrics.snapshot();
+            m.merge_cache(&cache.stats());
+            m.encode_into(&mut f);
+            Ok((OpClass::Stats, Arc::new(vec![f])))
         }
     }
 }

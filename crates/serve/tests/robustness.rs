@@ -15,7 +15,8 @@ use sc::ScSession;
 use sc_engine::exec::TableDelta;
 use sc_engine::plan::LogicalPlan;
 use sc_serve::{
-    encode_request, Client, ErrorCode, Request, ServeConfig, ServeError, Server, MAX_FRAME,
+    encode_request, Client, ErrorCode, Request, ServeConfig, ServeError, Server, MAX_DRAINERS,
+    MAX_FRAME,
 };
 use sc_workload::engine_mvs::sales_pipeline;
 use sc_workload::tpcds::TinyTpcds;
@@ -291,6 +292,121 @@ fn unknown_table_is_a_typed_engine_error() {
     let (_, t) = client.read_table("rev_by_category").unwrap();
     assert!(t.num_rows() > 0);
     server.shutdown();
+}
+
+/// Pipelining must not weaken framing robustness: garbage sandwiched
+/// between valid frames — all sent before reading a single response —
+/// still yields responses strictly in order, with the garbage answered
+/// by a typed error and the frames around it served normally.
+#[test]
+fn pipelined_garbage_between_valid_frames_answers_in_order() {
+    let dir = tempfile::tempdir().unwrap();
+    let server = start_server(dir.path());
+    let mut stream = raw_connect(&server);
+
+    send_raw_frame(
+        &mut stream,
+        &encode_request(&Request::ReadTable {
+            table: "rev_by_category".into(),
+        }),
+    );
+    send_raw_frame(&mut stream, &[0xFF; 16]); // unknown opcode
+    send_raw_frame(&mut stream, &encode_request(&Request::Stats));
+
+    // 1: the table response (header + declared chunks).
+    let header = match read_raw_reply(&mut stream) {
+        RawReply::Frame(f) => f,
+        RawReply::Closed => panic!("expected a table header"),
+    };
+    assert_eq!(header[0], 0x81);
+    let nchunks = u32::from_le_bytes(header[9..13].try_into().unwrap());
+    assert!(nchunks >= 1);
+    for _ in 0..nchunks {
+        match read_raw_reply(&mut stream) {
+            RawReply::Frame(f) => assert_eq!(f[0], 0x82),
+            RawReply::Closed => panic!("server closed mid-table"),
+        }
+    }
+    // 2: the garbage frame's typed error, in sequence.
+    match read_raw_reply(&mut stream) {
+        RawReply::Frame(f) => {
+            assert_eq!(f[0], 0xEE);
+            assert_eq!(f[1], ErrorCode::Malformed as u8);
+        }
+        RawReply::Closed => panic!("garbage mid-pipeline must not kill the connection"),
+    }
+    // 3: the stats reply — the connection survived in order.
+    match read_raw_reply(&mut stream) {
+        RawReply::Frame(f) => assert_eq!(f[0], 0x85),
+        RawReply::Closed => panic!("valid frame after garbage must be served"),
+    }
+    server.shutdown();
+}
+
+#[cfg(target_os = "linux")]
+fn live_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line in /proc/self/status")
+}
+
+/// A connection flood against a saturated server must not become a
+/// thread flood: graceful-shed drainers are capped at [`MAX_DRAINERS`],
+/// with excess rejections closed immediately.
+#[cfg(target_os = "linux")]
+#[test]
+fn overload_flood_keeps_drainer_threads_bounded() {
+    const FLOOD: usize = 64;
+    let dir = tempfile::tempdir().unwrap();
+    let server = Server::start(
+        session(dir.path()),
+        ServeConfig {
+            workers: 1,
+            backlog: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Park the single worker on a live connection.
+    let mut first = Client::connect(server.addr()).unwrap();
+    first.read_table("rev_by_category").unwrap();
+    let baseline = live_threads();
+
+    // Flood. Each socket writes a request and stays open, so every
+    // granted drainer holds its thread for the full drain window —
+    // worst case for an unbounded spawn-per-rejection design.
+    let frame = encode_request(&Request::Stats);
+    let mut flood = Vec::new();
+    for _ in 0..FLOOD {
+        let s = TcpStream::connect(server.addr()).unwrap();
+        let mut framed = (frame.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&frame);
+        // The server may already have dropped us at the drainer cap; a
+        // failed write is exactly that fall-through, not a test failure.
+        let _ = (&s).write_all(&framed);
+        flood.push(s);
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    let during = live_threads();
+    assert!(
+        during <= baseline + MAX_DRAINERS + 2,
+        "flood of {FLOOD} grew threads {baseline} -> {during}; drainers are unbounded"
+    );
+    drop(flood);
+
+    // The admitted connection and the server both survived the flood.
+    first.read_table("rev_by_category").unwrap();
+    drop(first);
+    let m = server.shutdown();
+    assert!(
+        m.rejected_overloaded >= FLOOD as u64,
+        "every flooded connection must be counted as shed, got {}",
+        m.rejected_overloaded
+    );
 }
 
 #[test]

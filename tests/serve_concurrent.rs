@@ -5,6 +5,11 @@
 //! * every response is epoch-consistent and **byte-identical** across
 //!   connections for the same epoch;
 //! * per-connection epochs never go backwards;
+//! * a cache-enabled server and a cache-disabled server over the same
+//!   session return **byte-identical** responses per epoch while epoch
+//!   GC reclaims retained files under live cache entries;
+//! * pipelined requests are answered strictly in receipt order, and the
+//!   per-request deadline clock starts at frame receipt, not dequeue;
 //! * `Overloaded` backpressure actually fires under a tiny admission
 //!   bound;
 //! * graceful shutdown drains every connection and drops every pin, so
@@ -17,7 +22,8 @@ use std::time::Duration;
 
 use sc::ScSession;
 use sc_engine::exec::TableDelta;
-use sc_serve::{Client, ServeConfig, Server};
+use sc_engine::plan::LogicalPlan;
+use sc_serve::{Client, ErrorCode, Request, ServeConfig, ServeError, Server};
 use sc_workload::engine_mvs::sales_pipeline;
 use sc_workload::tpcds::TinyTpcds;
 
@@ -150,6 +156,267 @@ fn concurrent_readers_stay_epoch_consistent_under_churn() {
     // retained file, with no failed deletes.
     assert_eq!(session.disk().retained_file_count().unwrap(), 0);
     assert_eq!(session.disk().gc_failed_deletes(), 0);
+}
+
+/// The cache-coherence lens: one session, two servers — one with the
+/// shared-snapshot cache, one without — must return byte-identical
+/// responses per epoch while an ingester + refresher advance epochs and
+/// epoch GC reclaims retained files under live cache entries. Readers
+/// alternate `ReadTable` with `Query(Scan)` so the identity-query path
+/// shares (and validates) the same cache key.
+#[test]
+fn cached_and_uncached_servers_agree_byte_for_byte_under_churn() {
+    const READERS: usize = 2; // per server
+    let dir = tempfile::tempdir().unwrap();
+    let session = serving_session(dir.path());
+    let cached = Server::start(
+        Arc::clone(&session),
+        ServeConfig {
+            workers: READERS + 2,
+            backlog: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let uncached = Server::start(
+        Arc::clone(&session),
+        ServeConfig {
+            workers: READERS + 2,
+            backlog: 16,
+            cache_bytes: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let sample = {
+        let sales = session.disk().read_table("store_sales").unwrap();
+        sales.take_rows(&(0..20).collect::<Vec<_>>()).unwrap()
+    };
+
+    let stop = AtomicBool::new(false);
+    // epoch -> SCTB response bytes, shared across BOTH servers' readers:
+    // a cache hit must be indistinguishable from a pinned read.
+    let by_epoch: Mutex<HashMap<u64, Vec<u8>>> = Mutex::new(HashMap::new());
+
+    std::thread::scope(|scope| {
+        let stop = &stop;
+        let by_epoch = &by_epoch;
+        let mut readers = Vec::new();
+        for addr in [cached.addr(), uncached.addr()] {
+            for _ in 0..READERS {
+                readers.push(scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut seen = std::collections::BTreeSet::new();
+                    let mut flip = false;
+                    while !stop.load(Ordering::Relaxed) {
+                        let (epoch, bytes) = if flip {
+                            // The identity query executes as a bare
+                            // table read, so it must share the cache
+                            // entry — and its bytes.
+                            client
+                                .send_request(&Request::Query {
+                                    plan: LogicalPlan::scan("rev_by_category"),
+                                })
+                                .unwrap();
+                            client.recv_table_raw().unwrap()
+                        } else {
+                            client.read_table_raw("rev_by_category").unwrap()
+                        };
+                        flip = !flip;
+                        seen.insert(epoch);
+                        let mut map = by_epoch.lock().unwrap();
+                        let prev = map.entry(epoch).or_insert_with(|| bytes.clone());
+                        assert_eq!(
+                            *prev, bytes,
+                            "cached/uncached responses at epoch {epoch} differed"
+                        );
+                    }
+                    seen.len()
+                }));
+            }
+        }
+
+        let ingester = scope.spawn(|| {
+            let mut client = Client::connect(cached.addr()).unwrap();
+            for _ in 0..10 {
+                client
+                    .ingest("store_sales", &TableDelta::insert_only(sample.clone()))
+                    .unwrap();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        });
+        let refresher = scope.spawn(|| {
+            let mut client = Client::connect(uncached.addr()).unwrap();
+            for _ in 0..5 {
+                client.refresh().unwrap();
+            }
+        });
+
+        ingester.join().unwrap();
+        refresher.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let distinct: usize = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(
+            distinct > 2 * READERS,
+            "readers never observed an epoch change under churn"
+        );
+    });
+
+    // Cache observability over the wire: hit ratio and cached bytes are
+    // part of `Stats`.
+    let mut probe = Client::connect(cached.addr()).unwrap();
+    probe.read_table_raw("rev_by_category").unwrap();
+    probe.read_table_raw("rev_by_category").unwrap();
+    let stats = probe.stats().unwrap();
+    assert!(stats.metrics.cache_hits >= 1, "repeat read must hit");
+    assert!(
+        stats.metrics.cache_bytes > 0,
+        "cached bytes must be visible"
+    );
+    drop(probe);
+
+    let cm = cached.shutdown();
+    assert!(cm.cache_hits > 0, "churn readers never hit the cache");
+    assert!(cm.cache_misses > 0, "every epoch change forces a miss");
+    assert!(
+        cm.cache_evicted > 0,
+        "epoch GC advanced past cached epochs, so the hook must have evicted"
+    );
+    let um = uncached.shutdown();
+    assert_eq!(
+        (um.cache_hits, um.cache_misses, um.cache_bytes),
+        (0, 0, 0),
+        "the cache-disabled server must not touch the cache"
+    );
+
+    // Both servers down: every pin dropped, every retained file (and
+    // every stale cache epoch with it) reclaimed.
+    assert_eq!(session.disk().retained_file_count().unwrap(), 0);
+    assert_eq!(session.disk().gc_failed_deletes(), 0);
+}
+
+/// Pipelined requests over one connection are answered strictly in send
+/// order — including when one of them is rejected mid-pipeline (unknown
+/// table → typed engine error) — and distinct tables prove no response
+/// swapped places.
+#[test]
+fn pipelined_responses_preserve_order_even_through_rejections() {
+    let dir = tempfile::tempdir().unwrap();
+    let session = serving_session(dir.path());
+    let server = Server::start(Arc::clone(&session), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Reference bytes per table at the quiescent epoch.
+    let tables = ["rev_by_category", "rev_by_year", "top_items"];
+    let mut reference = HashMap::new();
+    for t in tables {
+        let (epoch, bytes) = client.read_table_raw(t).unwrap();
+        reference.insert(t, (epoch, bytes));
+    }
+
+    // Two full cycles of reads with a poison request in the middle of
+    // each, sent back-to-back without reading a single response.
+    let mut expect = Vec::new();
+    for _ in 0..2 {
+        for (i, t) in tables.iter().enumerate() {
+            client
+                .send_request(&Request::ReadTable { table: (*t).into() })
+                .unwrap();
+            expect.push(Some(*t));
+            if i == 1 {
+                client
+                    .send_request(&Request::ReadTable {
+                        table: "no_such_table".into(),
+                    })
+                    .unwrap();
+                expect.push(None);
+            }
+        }
+    }
+
+    for want in expect {
+        match want {
+            Some(t) => {
+                let (epoch, bytes) = client.recv_table_raw().unwrap();
+                let (ref_epoch, ref_bytes) = &reference[t];
+                assert_eq!(epoch, *ref_epoch);
+                assert_eq!(
+                    &bytes, ref_bytes,
+                    "response for {t} arrived out of order or corrupted"
+                );
+            }
+            None => match client.recv_table_raw().unwrap_err() {
+                ServeError::Remote(w) => assert_eq!(w.code, ErrorCode::Engine),
+                other => panic!("expected a typed engine error, got {other}"),
+            },
+        }
+    }
+    server.shutdown();
+}
+
+/// The per-request deadline clock starts when the frame is received, not
+/// when the executor dequeues it: reads queued behind a slow refresh
+/// must burn their deadline in the queue and come back rejected — in
+/// order — while a fresh request afterwards still succeeds.
+#[test]
+fn deadline_clock_starts_at_frame_receipt_not_dequeue() {
+    let dir = tempfile::tempdir().unwrap();
+    let session = serving_session(dir.path());
+    let server = Server::start(
+        Arc::clone(&session),
+        ServeConfig {
+            workers: 1,
+            deadline: Duration::from_millis(5),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Give the refresh real work so it reliably outlives the 5 ms
+    // deadline of everything queued behind it.
+    let sample = {
+        let sales = session.disk().read_table("store_sales").unwrap();
+        sales.take_rows(&(0..200).collect::<Vec<_>>()).unwrap()
+    };
+    session
+        .ingest_delta("store_sales", TableDelta::insert_only(sample))
+        .unwrap();
+
+    client.send_request(&Request::Refresh).unwrap();
+    for _ in 0..3 {
+        client
+            .send_request(&Request::ReadTable {
+                table: "rev_by_category".into(),
+            })
+            .unwrap();
+    }
+
+    // The refresh itself blows its own 5 ms deadline (the work still
+    // committed — the deadline gates the response, not the engine).
+    match client.recv_refresh() {
+        Err(ServeError::Remote(w)) => assert_eq!(w.code, ErrorCode::DeadlineExceeded),
+        Ok(s) => panic!("a 9-MV refresh finished within 5 ms? {s:?}"),
+        Err(other) => panic!("expected a typed deadline error, got {other}"),
+    }
+    // The queued reads spent the refresh's runtime in the pipeline: had
+    // the clock started at dequeue they would all succeed (a cached or
+    // pinned read takes well under 5 ms).
+    for _ in 0..3 {
+        match client.recv_table_raw().unwrap_err() {
+            ServeError::Remote(w) => assert_eq!(w.code, ErrorCode::DeadlineExceeded),
+            other => panic!("expected a typed deadline error, got {other}"),
+        }
+    }
+    // Rejections did not corrupt the connection: a fresh request with a
+    // fresh deadline is served, at the epoch the refresh committed.
+    let (epoch, bytes) = client.read_table_raw("rev_by_category").unwrap();
+    assert!(epoch >= 1);
+    assert!(!bytes.is_empty());
+
+    let m = server.shutdown();
+    assert!(m.rejected_deadline >= 3);
 }
 
 #[test]
